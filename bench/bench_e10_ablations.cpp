@@ -1,0 +1,17 @@
+// E10 — design ablations of ΔLRU-EDF through the full pipeline: the paper's
+// n/4 + n/4 replicated split with demote-on-LRU-exit, vs alternative LRU/EDF
+// splits, evict-first demotion, and no replication.
+#include "analysis/experiments.h"
+#include "bench_util.h"
+
+int main() {
+  rrs::analysis::E10Params params;
+  rrs::Table table = rrs::analysis::RunE10Ablations(params);
+  rrs::bench::PrintExperiment(
+      "E10: dlru-edf ablations (n=" + std::to_string(params.n) +
+          ", delta=" + std::to_string(params.delta) + ")",
+      "the paper's n/4+n/4 replicated split should sit on the Pareto "
+      "frontier of reconfigurations vs drops across workloads.",
+      table);
+  return 0;
+}

@@ -1,0 +1,18 @@
+// E14 — the value of lookahead: sweep the visible-future window W of a
+// semi-online greedy and compare with the fully-online Theorem-3 pipeline,
+// all against the certified OPT lower bound.
+#include "analysis/experiments.h"
+#include "bench_util.h"
+
+int main() {
+  rrs::analysis::E14Params params;
+  rrs::Table table = rrs::analysis::RunE14Lookahead(params);
+  rrs::bench::PrintExperiment(
+      "E14: lookahead sweep (bursty workload, n=" + std::to_string(params.n) +
+          ", delta=" + std::to_string(params.delta) + ")",
+      "cost falls with the lookahead window with diminishing returns; the "
+      "fully-online dlru-edf pipeline sits within the W-sweep's spread "
+      "without seeing any future.",
+      table);
+  return 0;
+}

@@ -1,0 +1,20 @@
+// E2 — Appendix B: EDF is not resource competitive.
+// Regenerates the thrashing construction across k and reports the certified
+// ratio against the hand-built (validated, zero-drop) OFF schedule, next to
+// the paper's prediction 2^{k-j-1}/(n/2+1).
+#include "analysis/experiments.h"
+#include "bench_util.h"
+
+int main() {
+  rrs::analysis::E2Params params;
+  rrs::Table table = rrs::analysis::RunE2EdfAdversary(params);
+  rrs::bench::PrintExperiment(
+      "E2: Appendix B adversary vs edf (n=" + std::to_string(params.n) +
+          ", delta=" + std::to_string(params.delta) +
+          ", j=" + std::to_string(params.j) + ")",
+      "edf's competitive ratio grows as 2^{k-j-1}/(n/2+1) — roughly 2x per k "
+      "step — driven by reconfiguration thrashing; OFF executes everything "
+      "with n/2+1 reconfigurations.",
+      table);
+  return 0;
+}

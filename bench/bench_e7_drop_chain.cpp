@@ -1,0 +1,18 @@
+// E7 — the Lemma 3.2 proof chain, measured:
+//   EligibleDrop_{ΔLRU-EDF(n)}(σ) <= Drop_{DS-Seq-EDF(m)}(α)   [Lemma 3.10]
+// with α the eligible-job subsequence and m = n/4; Par-EDF(α) drops reported
+// as context for Corollary 3.1 / Lemma 3.7.
+#include "analysis/experiments.h"
+#include "bench_util.h"
+
+int main() {
+  rrs::analysis::E7Params params;
+  rrs::Table table = rrs::analysis::RunE7DropChain(params);
+  rrs::bench::PrintExperiment(
+      "E7: Lemma 3.2 drop chain (n=" + std::to_string(params.n) +
+          ", m=n/4, " + std::to_string(params.num_seeds) + " seeds)",
+      "chain_violations must be 0: dlru-edf's eligible drop cost never "
+      "exceeds double-speed Seq-EDF's drops on the eligible subsequence.",
+      table);
+  return 0;
+}

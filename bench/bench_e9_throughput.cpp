@@ -1,0 +1,82 @@
+// E9 — engine and scheduler throughput (google-benchmark): rounds/s and
+// jobs/s of the simulation engine under each policy as colors and resources
+// scale, plus the full pipeline. Establishes the repro-band claim that the
+// whole system runs comfortably on a laptop.
+#include <benchmark/benchmark.h>
+
+#include "core/engine.h"
+#include "reduce/pipeline.h"
+#include "sched/registry.h"
+#include "workload/synthetic.h"
+
+namespace {
+
+rrs::Instance MakeBenchInstance(size_t colors, rrs::Round rounds,
+                                uint64_t seed) {
+  std::vector<rrs::workload::ColorSpec> specs;
+  const rrs::Round delays[] = {1, 2, 4, 8, 16, 32};
+  for (size_t c = 0; c < colors; ++c) {
+    specs.push_back({delays[c % 6], 0.5});
+  }
+  rrs::workload::PoissonOptions gen;
+  gen.rounds = rounds;
+  gen.rate_limited = true;
+  gen.seed = seed;
+  return MakePoisson(specs, gen);
+}
+
+void RunPolicyBench(benchmark::State& state, const char* policy_name) {
+  const size_t colors = static_cast<size_t>(state.range(0));
+  const uint32_t n = static_cast<uint32_t>(state.range(1));
+  rrs::Instance inst = MakeBenchInstance(colors, /*rounds=*/4096, /*seed=*/7);
+  auto policy = rrs::MakePolicy(policy_name);
+  rrs::EngineOptions options;
+  options.num_resources = n;
+  options.cost_model.delta = 4;
+
+  uint64_t jobs = 0;
+  for (auto _ : state) {
+    rrs::RunResult r = rrs::RunPolicy(inst, *policy, options);
+    benchmark::DoNotOptimize(r.cost.drops);
+    jobs += r.arrived;
+  }
+  state.counters["rounds/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 4096,
+      benchmark::Counter::kIsRate);
+  state.counters["jobs/s"] =
+      benchmark::Counter(static_cast<double>(jobs), benchmark::Counter::kIsRate);
+}
+
+void BM_DlruEdf(benchmark::State& state) { RunPolicyBench(state, "dlru-edf"); }
+void BM_Dlru(benchmark::State& state) { RunPolicyBench(state, "dlru"); }
+void BM_Edf(benchmark::State& state) { RunPolicyBench(state, "edf"); }
+void BM_GreedyEdf(benchmark::State& state) {
+  RunPolicyBench(state, "greedy-edf");
+}
+
+void BM_Pipeline(benchmark::State& state) {
+  const size_t colors = static_cast<size_t>(state.range(0));
+  const uint32_t n = static_cast<uint32_t>(state.range(1));
+  rrs::Instance inst = MakeBenchInstance(colors, 4096, 7);
+  rrs::EngineOptions options;
+  options.num_resources = n;
+  options.cost_model.delta = 4;
+  for (auto _ : state) {
+    auto result = rrs::reduce::SolveOnline(inst, options);
+    benchmark::DoNotOptimize(result.validation.executed);
+  }
+  state.counters["rounds/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 4096,
+      benchmark::Counter::kIsRate);
+}
+
+}  // namespace
+
+BENCHMARK(BM_DlruEdf)->Args({8, 8})->Args({32, 8})->Args({128, 8})
+    ->Args({32, 16})->Args({32, 64});
+BENCHMARK(BM_Dlru)->Args({32, 8})->Args({128, 8});
+BENCHMARK(BM_Edf)->Args({32, 8})->Args({128, 8});
+BENCHMARK(BM_GreedyEdf)->Args({32, 8})->Args({128, 8});
+BENCHMARK(BM_Pipeline)->Args({8, 8})->Args({32, 8})->Args({32, 16});
+
+BENCHMARK_MAIN();

@@ -1,0 +1,23 @@
+// Shared header/footer formatting for the experiment bench binaries so every
+// table in bench_output.txt carries its paper claim next to the measurement.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "util/table.h"
+
+namespace rrs {
+namespace bench {
+
+inline void PrintExperiment(const std::string& id, const std::string& claim,
+                            const Table& table) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", id.c_str());
+  std::printf("paper claim: %s\n", claim.c_str());
+  std::printf("--------------------------------------------------------------\n");
+  std::printf("%s\n", table.ToAscii().c_str());
+}
+
+}  // namespace bench
+}  // namespace rrs

@@ -1,0 +1,77 @@
+// Capacity planner: a downstream-user workflow. Given a workload family and
+// a drop-rate SLO, sweep the resource count (in parallel across seeds) under
+// the guaranteed Theorem-3 pipeline, print the cost/drop-rate grid, and pick
+// the smallest n meeting the SLO.
+//
+//   ./capacity_planner [--kind=router|datacenter] [--slo=0.01] [--delta=8]
+//                      [--rounds=1024] [--seeds=5]
+#include <cstdio>
+
+#include "analysis/sweep.h"
+#include "util/flags.h"
+#include "workload/scenarios.h"
+#include "workload/trace_stats.h"
+
+int main(int argc, char** argv) {
+  rrs::FlagSet flags;
+  flags.DefineString("kind", "router", "workload: router or datacenter")
+      .DefineDouble("slo", 0.01, "maximum acceptable drop rate")
+      .DefineInt("delta", 8, "reconfiguration cost")
+      .DefineInt("rounds", 1024, "trace length")
+      .DefineInt("seeds", 5, "seeds per configuration");
+  if (!flags.Parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n", flags.error().c_str());
+    return 1;
+  }
+  if (flags.help_requested()) {
+    std::printf("%s", flags.Help("capacity_planner").c_str());
+    return 0;
+  }
+
+  const std::string kind = flags.GetString("kind");
+  const rrs::Round rounds = flags.GetInt("rounds");
+  auto factory = [&](uint64_t seed) -> rrs::Instance {
+    if (kind == "datacenter") {
+      rrs::workload::DatacenterOptions gen;
+      gen.rounds = rounds;
+      gen.seed = seed;
+      return rrs::workload::MakeDatacenterScenario(gen);
+    }
+    rrs::workload::RouterOptions gen;
+    gen.rounds = rounds;
+    gen.seed = seed;
+    return rrs::workload::MakeRouterScenario(
+        rrs::workload::DefaultRouterServices(), gen);
+  };
+
+  // Show what we're sizing for.
+  auto stats = rrs::workload::ComputeTraceStats(factory(1));
+  std::printf("workload '%s' (seed 1 sample):\n%s\n", kind.c_str(),
+              stats.ToString().c_str());
+
+  rrs::analysis::SweepConfig config;
+  config.ns = {4, 8, 12, 16, 24, 32, 48, 64};
+  config.deltas = {static_cast<uint64_t>(flags.GetInt("delta"))};
+  config.seeds.clear();
+  for (int64_t s = 1; s <= flags.GetInt("seeds"); ++s) {
+    config.seeds.push_back(static_cast<uint64_t>(s));
+  }
+
+  auto cells = rrs::analysis::RunCostSweep(factory, config);
+  std::printf("%s\n",
+              rrs::analysis::CostSweepTable(factory, config).ToAscii().c_str());
+
+  const double slo = flags.GetDouble("slo");
+  for (const auto& cell : cells) {
+    if (cell.mean_drop_rate <= slo) {
+      std::printf(
+          "smallest n meeting drop-rate SLO %.3f: n=%u (mean drop rate "
+          "%.4f, mean total cost %.1f)\n",
+          slo, cell.n, cell.mean_drop_rate, cell.mean_total);
+      return 0;
+    }
+  }
+  std::printf("no swept n meets drop-rate SLO %.3f; increase the range\n",
+              slo);
+  return 0;
+}

@@ -1,0 +1,174 @@
+// Trace tool: generate, inspect, and replay rrsched trace files — the
+// command-line face of the library for downstream users with their own
+// workloads.
+//
+//   ./trace_tool generate --kind=router --rounds=1024 --seed=7 --out=t.trace
+//   ./trace_tool info t.trace
+//   ./trace_tool run t.trace --policy=dlru-edf --n=16 --delta=8
+//   ./trace_tool run t.trace --pipeline --n=16 --delta=8
+#include <cstdio>
+#include <string>
+
+#include "core/engine.h"
+#include "reduce/pipeline.h"
+#include "sched/registry.h"
+#include "util/flags.h"
+#include "util/str.h"
+#include "workload/scenarios.h"
+#include "workload/synthetic.h"
+#include "workload/trace_stats.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  trace_tool generate --kind=<router|datacenter|poisson|zipf>"
+               " [--rounds=N] [--seed=S] --out=FILE\n"
+               "  trace_tool info FILE\n"
+               "  trace_tool run FILE [--policy=NAME | --pipeline]"
+               " [--n=N] [--delta=D] [--save-schedule=FILE]\n"
+               "  trace_tool validate TRACE SCHEDULE [--delta=D]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rrs::FlagSet flags;
+  flags.DefineString("kind", "router", "workload kind for generate")
+      .DefineInt("rounds", 1024, "trace length")
+      .DefineInt("seed", 1, "workload seed")
+      .DefineString("out", "", "output file for generate")
+      .DefineString("policy", "dlru-edf", "policy name for run")
+      .DefineBool("pipeline", false, "run the Theorem-3 pipeline instead")
+      .DefineInt("n", 16, "online resources")
+      .DefineInt("delta", 8, "reconfiguration cost")
+      .DefineString("save-schedule", "", "write the run's schedule to a file");
+  if (!flags.Parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n", flags.error().c_str());
+    return Usage();
+  }
+  if (flags.help_requested() || flags.positional().empty()) return Usage();
+
+  const std::string& command = flags.positional()[0];
+  if (command == "generate") {
+    const std::string kind = flags.GetString("kind");
+    const rrs::Round rounds = flags.GetInt("rounds");
+    const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed"));
+    rrs::Instance instance;
+    if (kind == "router") {
+      rrs::workload::RouterOptions gen;
+      gen.rounds = rounds;
+      gen.seed = seed;
+      instance = rrs::workload::MakeRouterScenario(
+          rrs::workload::DefaultRouterServices(), gen);
+    } else if (kind == "datacenter") {
+      rrs::workload::DatacenterOptions gen;
+      gen.rounds = rounds;
+      gen.seed = seed;
+      instance = rrs::workload::MakeDatacenterScenario(gen);
+    } else if (kind == "poisson") {
+      rrs::workload::PoissonOptions gen;
+      gen.rounds = rounds;
+      gen.seed = seed;
+      instance = MakePoisson({{2, 1.0}, {4, 1.0}, {8, 0.5}, {16, 0.5}}, gen);
+    } else if (kind == "zipf") {
+      rrs::workload::ZipfOptions gen;
+      gen.rounds = rounds;
+      gen.seed = seed;
+      instance = MakeZipf(gen);
+    } else {
+      std::fprintf(stderr, "unknown kind '%s'\n", kind.c_str());
+      return Usage();
+    }
+    const std::string out = flags.GetString("out");
+    if (out.empty()) {
+      std::fprintf(stderr, "generate requires --out\n");
+      return Usage();
+    }
+    if (!instance.SaveToFile(out)) {
+      std::fprintf(stderr, "cannot write %s\n", out.c_str());
+      return 1;
+    }
+    std::printf("wrote %s: %s\n", out.c_str(), instance.Summary().c_str());
+    return 0;
+  }
+
+  if (flags.positional().size() < 2) return Usage();
+  rrs::Instance instance = rrs::Instance::LoadFromFile(flags.positional()[1]);
+
+  if (command == "info") {
+    std::printf("%s\n", instance.Summary().c_str());
+    std::printf("batched: %s, rate-limited: %s, power-of-two delays: %s, "
+                "unit drop costs: %s\n",
+                instance.IsBatched() ? "yes" : "no",
+                instance.IsRateLimited() ? "yes" : "no",
+                instance.DelayBoundsArePowersOfTwo() ? "yes" : "no",
+                instance.HasUnitDropCosts() ? "yes" : "no");
+    std::printf("%s",
+                rrs::workload::ComputeTraceStats(instance).ToString().c_str());
+    return 0;
+  }
+
+  if (command == "validate") {
+    if (flags.positional().size() < 3) return Usage();
+    rrs::Schedule schedule =
+        rrs::Schedule::LoadFromFile(flags.positional()[2]);
+    rrs::CostModel model{static_cast<uint64_t>(flags.GetInt("delta"))};
+    auto v = schedule.Validate(instance);
+    if (!v.ok) {
+      std::printf("INVALID: %s\n", v.error.c_str());
+      return 1;
+    }
+    std::printf("valid: executed=%llu reconfigs=%llu drops=%llu total=%llu\n",
+                static_cast<unsigned long long>(v.executed),
+                static_cast<unsigned long long>(v.cost.reconfigurations),
+                static_cast<unsigned long long>(v.cost.drops),
+                static_cast<unsigned long long>(v.cost.total(model)));
+    return 0;
+  }
+
+  if (command == "run") {
+    rrs::EngineOptions options;
+    options.num_resources = static_cast<uint32_t>(flags.GetInt("n"));
+    options.cost_model.delta = static_cast<uint64_t>(flags.GetInt("delta"));
+    const std::string save_path = flags.GetString("save-schedule");
+    if (flags.GetBool("pipeline")) {
+      auto result = rrs::reduce::SolveOnline(instance, options);
+      std::printf("pipeline: reconfigs=%llu drops=%llu total=%llu valid=%s\n",
+                  static_cast<unsigned long long>(
+                      result.cost().reconfigurations),
+                  static_cast<unsigned long long>(result.cost().drops),
+                  static_cast<unsigned long long>(
+                      result.cost().total(options.cost_model)),
+                  result.validation.ok ? "yes" : "NO");
+      if (!save_path.empty() && result.schedule.SaveToFile(save_path)) {
+        std::printf("schedule written to %s\n", save_path.c_str());
+      }
+      return result.validation.ok ? 0 : 1;
+    }
+    auto policy = rrs::MakePolicy(flags.GetString("policy"));
+    if (!policy) {
+      std::fprintf(stderr, "unknown policy '%s'; known: %s\n",
+                   flags.GetString("policy").c_str(),
+                   rrs::Join(rrs::PolicyNames(), ", ").c_str());
+      return 1;
+    }
+    options.record_schedule = !save_path.empty();
+    rrs::RunResult r = rrs::RunPolicy(instance, *policy, options);
+    std::printf("%s: reconfigs=%llu drops=%llu total=%llu executed=%llu\n",
+                policy->name().c_str(),
+                static_cast<unsigned long long>(r.cost.reconfigurations),
+                static_cast<unsigned long long>(r.cost.drops),
+                static_cast<unsigned long long>(
+                    r.total_cost(options.cost_model)),
+                static_cast<unsigned long long>(r.executed));
+    if (!save_path.empty() && r.schedule &&
+        r.schedule->SaveToFile(save_path)) {
+      std::printf("schedule written to %s\n", save_path.c_str());
+    }
+    return 0;
+  }
+  return Usage();
+}

@@ -1,0 +1,337 @@
+// Experiments E5, E8, E10: reduction overhead, epoch bounds, ablations.
+#include <string>
+#include <vector>
+
+#include "analysis/experiments.h"
+#include "core/engine.h"
+#include "offline/lower_bound.h"
+#include "reduce/pipeline.h"
+#include "sched/dlru_edf.h"
+#include "sched/greedy.h"
+#include "sched/lookahead.h"
+#include "util/check.h"
+#include "util/rng.h"
+#include "workload/scenarios.h"
+#include "workload/synthetic.h"
+
+namespace rrs {
+namespace analysis {
+
+namespace {
+
+struct NamedInstance {
+  std::string name;
+  Instance instance;
+};
+
+std::vector<NamedInstance> WorkloadFamilies(Round rounds, uint64_t seed) {
+  std::vector<NamedInstance> out;
+
+  std::vector<workload::ColorSpec> specs = {
+      {2, 0.8}, {4, 0.8}, {8, 0.5}, {16, 0.5}, {32, 0.3}, {64, 0.3}};
+
+  workload::PoissonOptions poisson;
+  poisson.rounds = rounds;
+  poisson.seed = seed;
+  out.push_back({"poisson", MakePoisson(specs, poisson)});
+
+  workload::BurstyOptions bursty;
+  bursty.rounds = rounds;
+  bursty.seed = seed + 1;
+  bursty.p_off_to_on = 0.02;
+  bursty.p_on_to_off = 0.1;
+  out.push_back({"bursty", MakeBursty(specs, bursty)});
+
+  workload::ZipfOptions zipf;
+  zipf.rounds = rounds;
+  zipf.seed = seed + 2;
+  zipf.num_colors = 10;
+  zipf.jobs_per_round = 5.0;
+  out.push_back({"zipf", MakeZipf(zipf)});
+
+  workload::RouterOptions router;
+  router.rounds = rounds;
+  router.seed = seed + 3;
+  out.push_back({"router", MakeRouterScenario(
+                               workload::DefaultRouterServices(), router)});
+
+  workload::DatacenterOptions dc;
+  dc.rounds = rounds;
+  dc.seed = seed + 4;
+  out.push_back({"datacenter", MakeDatacenterScenario(dc)});
+
+  return out;
+}
+
+}  // namespace
+
+Table RunE5Reductions(const E5Params& params) {
+  Table table({"workload", "jobs", "direct_cost", "pipeline_cost",
+               "opt_lower_bound", "pipeline/direct", "pipeline/lb"});
+  const CostModel model{params.delta};
+
+  for (const auto& [name, instance] : WorkloadFamilies(params.rounds,
+                                                       params.seed)) {
+    EngineOptions options;
+    options.num_resources = params.n;
+    options.cost_model = model;
+
+    // Direct ΔLRU-EDF run on the raw (unbatched) instance: legal in the
+    // engine, but outside the paper's guarantee. It anchors the overhead the
+    // reductions pay for their guarantee.
+    DlruEdfPolicy direct;
+    RunResult direct_run = RunPolicy(instance, direct, options);
+    const uint64_t direct_cost = direct_run.total_cost(model);
+
+    auto pipeline = reduce::SolveOnline(instance, options);
+    const uint64_t pipeline_cost = pipeline.cost().total(model);
+
+    const uint64_t lb = offline::LowerBound(instance, params.m, model);
+
+    table.AddRow()
+        .Cell(name)
+        .Cell(static_cast<uint64_t>(instance.num_jobs()))
+        .Cell(direct_cost)
+        .Cell(pipeline_cost)
+        .Cell(lb)
+        .Cell(direct_cost == 0
+                  ? 0.0
+                  : static_cast<double>(pipeline_cost) /
+                        static_cast<double>(direct_cost),
+              3)
+        .Cell(lb == 0 ? 0.0
+                      : static_cast<double>(pipeline_cost) /
+                            static_cast<double>(lb),
+              3);
+  }
+  return table;
+}
+
+Table RunE8EpochBounds(const E8Params& params) {
+  Table table({"delta", "reconfig_cost", "epoch_bound_4*E*delta",
+               "reconfig_slack", "ineligible_drops", "epoch_bound_E*delta",
+               "ineligible_slack", "num_epochs"});
+
+  std::vector<workload::ColorSpec> specs = {
+      {1, 0.6}, {2, 0.6}, {4, 0.6}, {4, 0.6},
+      {8, 0.4}, {8, 0.4}, {16, 0.3}, {32, 0.3}};
+  workload::BurstyOptions gen;
+  gen.rounds = params.rounds;
+  gen.rate_limited = true;
+  gen.p_off_to_on = 0.05;
+  gen.p_on_to_off = 0.1;
+  gen.seed = params.seed;
+  Instance instance = MakeBursty(specs, gen);
+
+  for (uint64_t delta : params.deltas) {
+    const CostModel model{delta};
+    DlruEdfPolicy policy;
+    EngineOptions options;
+    options.num_resources = params.n;
+    options.cost_model = model;
+    RunResult run = RunPolicy(instance, policy, options);
+
+    const uint64_t epochs = policy.num_epochs();
+    const uint64_t reconfig_cost = run.cost.reconfig_cost(model);
+    const uint64_t reconfig_bound = 4 * epochs * delta;   // Lemma 3.3
+    const uint64_t ineligible = policy.ineligible_drop_cost();
+    const uint64_t ineligible_bound = epochs * delta;     // Lemma 3.4
+
+    RRS_CHECK_LE(reconfig_cost, reconfig_bound)
+        << "Lemma 3.3 bound violated at delta=" << delta;
+    RRS_CHECK_LE(ineligible, ineligible_bound)
+        << "Lemma 3.4 bound violated at delta=" << delta;
+
+    table.AddRow()
+        .Cell(delta)
+        .Cell(reconfig_cost)
+        .Cell(reconfig_bound)
+        .Cell(reconfig_cost == 0
+                  ? 0.0
+                  : static_cast<double>(reconfig_bound) /
+                        static_cast<double>(reconfig_cost),
+              2)
+        .Cell(ineligible)
+        .Cell(ineligible_bound)
+        .Cell(ineligible == 0 ? 0.0
+                              : static_cast<double>(ineligible_bound) /
+                                    static_cast<double>(ineligible),
+              2)
+        .Cell(epochs);
+  }
+  return table;
+}
+
+Table RunE10Ablations(const E10Params& params) {
+  Table table({"variant", "workload", "reconfigs", "drops", "total_cost"});
+  const CostModel model{params.delta};
+
+  struct Variant {
+    std::string name;
+    DlruEdfPolicy::Params params;
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"paper(n/4+n/4,demote,repl)", {}});
+  {
+    DlruEdfPolicy::Params p;
+    p.lru_den = 3;
+    variants.push_back({"lru=n/3", p});
+  }
+  {
+    DlruEdfPolicy::Params p;
+    p.lru_den = 8;
+    variants.push_back({"lru=n/8", p});
+  }
+  {
+    DlruEdfPolicy::Params p;
+    p.exit_policy = LruExitPolicy::kEvictFirst;
+    variants.push_back({"evict-first", p});
+  }
+  {
+    DlruEdfPolicy::Params p;
+    p.replicate = false;
+    variants.push_back({"no-replication", p});
+  }
+  {
+    DlruEdfPolicy::Params p;
+    p.random_evict = true;
+    variants.push_back({"random-evict", p});
+  }
+
+  std::vector<workload::ColorSpec> specs = {
+      {2, 0.8}, {4, 0.8}, {8, 0.5}, {8, 0.5}, {16, 0.5}, {32, 0.3}};
+  workload::BurstyOptions bursty;
+  bursty.rounds = params.rounds;
+  bursty.seed = params.seed;
+  bursty.p_off_to_on = 0.02;
+  bursty.p_on_to_off = 0.1;
+  workload::RouterOptions router;
+  router.rounds = params.rounds;
+  router.seed = params.seed + 1;
+
+  std::vector<std::pair<std::string, Instance>> workloads;
+  workloads.emplace_back("bursty", MakeBursty(specs, bursty));
+  workloads.emplace_back(
+      "router",
+      MakeRouterScenario(workload::DefaultRouterServices(), router));
+
+  for (const Variant& variant : variants) {
+    for (const auto& [wname, instance] : workloads) {
+      EngineOptions options;
+      options.num_resources = params.n;
+      options.cost_model = model;
+      auto pipeline = reduce::SolveOnline(instance, options, variant.params);
+      table.AddRow()
+          .Cell(variant.name)
+          .Cell(wname)
+          .Cell(pipeline.cost().reconfigurations)
+          .Cell(pipeline.cost().drops)
+          .Cell(pipeline.cost().total(model));
+    }
+  }
+  return table;
+}
+
+Table RunE13WeightedDrops(const E13Params& params) {
+  Table table({"policy", "reconfigs", "drop_count", "weighted_drop_cost",
+               "premium_drops", "total_cost"});
+  const CostModel model{params.delta};
+
+  // Premium voice-like service (tight deadline, expensive drops) sharing an
+  // undersized pool with more best-effort services than resources, so every
+  // policy must choose whom to starve.
+  InstanceBuilder builder;
+  Rng rng(params.seed);
+  ColorId premium = builder.AddColor(2, "premium", params.premium_weight);
+  std::vector<ColorId> best_effort;
+  for (int s = 0; s < 6; ++s) {
+    best_effort.push_back(
+        builder.AddColor(8 << (s % 3), "besteffort" + std::to_string(s), 1));
+  }
+  for (Round t = 0; t < params.rounds; ++t) {
+    builder.AddJobs(premium, t, rng.Poisson(0.8));
+    for (ColorId c : best_effort) builder.AddJobs(c, t, rng.Poisson(0.6));
+  }
+  Instance instance = builder.Build();
+
+  EngineOptions options;
+  options.num_resources = params.n;
+  options.cost_model = model;
+
+  auto add_row = [&](const std::string& name, const RunResult& r) {
+    table.AddRow()
+        .Cell(name)
+        .Cell(r.cost.reconfigurations)
+        .Cell(r.cost.drops)
+        .Cell(r.cost.weighted_drops)
+        .Cell(r.drops_per_color[premium])
+        .Cell(r.total_cost(model));
+  };
+
+  GreedyEdfPolicy greedy;
+  add_row("greedy-edf", RunPolicy(instance, greedy, options));
+  LazyGreedyPolicy blind(1, false);
+  add_row("lazy-greedy", RunPolicy(instance, blind, options));
+  LazyGreedyPolicy aware(1, true);
+  add_row("lazy-greedy-weighted", RunPolicy(instance, aware, options));
+  DlruEdfPolicy combined;
+  add_row("dlru-edf", RunPolicy(instance, combined, options));
+
+  table.AddRow()
+      .Cell("certified lower bound (m=" + std::to_string(params.m) + ")")
+      .Cell("-")
+      .Cell("-")
+      .Cell("-")
+      .Cell("-")
+      .Cell(offline::LowerBound(instance, params.m, model));
+  return table;
+}
+
+Table RunE14Lookahead(const E14Params& params) {
+  Table table({"algorithm", "reconfigs", "drops", "total_cost",
+               "cost_vs_lb"});
+  const CostModel model{params.delta};
+
+  std::vector<workload::ColorSpec> specs = {
+      {2, 0.7}, {4, 0.7}, {8, 0.5}, {8, 0.5}, {16, 0.4}, {32, 0.3}};
+  workload::BurstyOptions gen;
+  gen.rounds = params.rounds;
+  gen.p_off_to_on = 0.03;
+  gen.p_on_to_off = 0.1;
+  gen.seed = params.seed;
+  Instance instance = MakeBursty(specs, gen);
+
+  EngineOptions options;
+  options.num_resources = params.n;
+  options.cost_model = model;
+  const uint64_t lb = offline::LowerBound(instance, params.m, model);
+  auto ratio = [&](uint64_t cost) {
+    return lb == 0 ? 0.0
+                   : static_cast<double>(cost) / static_cast<double>(lb);
+  };
+
+  for (Round window : params.windows) {
+    LookaheadGreedyPolicy::Params lp;
+    lp.window = window;
+    LookaheadGreedyPolicy policy(lp);
+    RunResult r = RunPolicy(instance, policy, options);
+    table.AddRow()
+        .Cell("lookahead W=" + std::to_string(window))
+        .Cell(r.cost.reconfigurations)
+        .Cell(r.cost.drops)
+        .Cell(r.total_cost(model))
+        .Cell(ratio(r.total_cost(model)), 3);
+  }
+
+  auto pipeline = reduce::SolveOnline(instance, options);
+  table.AddRow()
+      .Cell("dlru-edf pipeline (online)")
+      .Cell(pipeline.cost().reconfigurations)
+      .Cell(pipeline.cost().drops)
+      .Cell(pipeline.cost().total(model))
+      .Cell(ratio(pipeline.cost().total(model)), 3);
+  return table;
+}
+
+}  // namespace analysis
+}  // namespace rrs

@@ -1,0 +1,54 @@
+#include "analysis/ratio.h"
+
+#include <algorithm>
+
+#include "offline/clairvoyant.h"
+#include "offline/lower_bound.h"
+#include "offline/optimal.h"
+
+namespace rrs {
+namespace analysis {
+
+namespace {
+
+double SafeRatio(uint64_t numerator, uint64_t denominator) {
+  if (denominator == 0) return numerator == 0 ? 1.0 : 0.0;
+  return static_cast<double>(numerator) / static_cast<double>(denominator);
+}
+
+}  // namespace
+
+std::optional<ExactRatio> MeasureExactRatio(const Instance& instance,
+                                            uint64_t online_cost, uint32_t m,
+                                            const CostModel& model,
+                                            uint64_t max_states) {
+  offline::OptimalOptions options;
+  options.num_resources = m;
+  options.cost_model = model;
+  options.max_states = max_states;
+  auto optimal = offline::SolveOptimal(instance, options);
+  if (!optimal) return std::nullopt;
+
+  ExactRatio out;
+  out.online_cost = online_cost;
+  out.optimal_cost = optimal->total_cost;
+  out.ratio = SafeRatio(online_cost, optimal->total_cost);
+  return out;
+}
+
+RatioBracket MeasureRatioBracket(const Instance& instance,
+                                 uint64_t online_cost, uint32_t m,
+                                 const CostModel& model) {
+  RatioBracket out;
+  out.online_cost = online_cost;
+  out.lower_bound = offline::LowerBound(instance, m, model);
+  auto heuristic = offline::ClairvoyantCost(instance, m, model);
+  out.heuristic_cost = heuristic.total_cost;
+  out.heuristic_policy = heuristic.best_policy;
+  out.ratio_lower = SafeRatio(online_cost, out.heuristic_cost);
+  out.ratio_upper = SafeRatio(online_cost, out.lower_bound);
+  return out;
+}
+
+}  // namespace analysis
+}  // namespace rrs

@@ -1,0 +1,48 @@
+// Competitive-ratio measurement helpers.
+//
+// Two regimes:
+//  - tiny instances: ratio against the *exact* offline optimum
+//    (offline::SolveOptimal);
+//  - larger instances: a bracket [online/heuristic-OFF, online/LB] whose
+//    lower end under-reports and upper end over-reports the true ratio
+//    (offline::ClairvoyantCost and offline::LowerBound).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/cost.h"
+#include "core/instance.h"
+
+namespace rrs {
+namespace analysis {
+
+struct ExactRatio {
+  uint64_t online_cost = 0;
+  uint64_t optimal_cost = 0;
+  double ratio = 0;  // online / max(optimal, 1); 1.0 when both are zero
+};
+
+// Exact ratio; nullopt if the optimal solver exceeds its state budget.
+std::optional<ExactRatio> MeasureExactRatio(const Instance& instance,
+                                            uint64_t online_cost, uint32_t m,
+                                            const CostModel& model,
+                                            uint64_t max_states = 5'000'000);
+
+struct RatioBracket {
+  uint64_t online_cost = 0;
+  uint64_t lower_bound = 0;      // certified LB on OPT
+  uint64_t heuristic_cost = 0;   // certified UB on OPT
+  std::string heuristic_policy;
+  // online/heuristic <= true ratio <= online/lower_bound.
+  double ratio_lower = 0;
+  double ratio_upper = 0;
+};
+
+RatioBracket MeasureRatioBracket(const Instance& instance,
+                                 uint64_t online_cost, uint32_t m,
+                                 const CostModel& model);
+
+}  // namespace analysis
+}  // namespace rrs

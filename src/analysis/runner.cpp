@@ -1,0 +1,28 @@
+#include "analysis/runner.h"
+
+#include <chrono>
+
+namespace rrs {
+namespace analysis {
+
+PolicyReport RunAndReport(const Instance& instance, SchedulerPolicy& policy,
+                          const EngineOptions& options) {
+  auto start = std::chrono::steady_clock::now();
+  RunResult result = RunPolicy(instance, policy, options);
+  auto end = std::chrono::steady_clock::now();
+
+  PolicyReport report;
+  report.policy = policy.name();
+  report.cost = result.cost;
+  report.total_cost = result.total_cost(options.cost_model);
+  report.executed = result.executed;
+  report.arrived = result.arrived;
+  report.rounds = result.rounds_simulated;
+  report.wall_seconds =
+      std::chrono::duration<double>(end - start).count();
+  report.counters = std::move(result.policy_counters);
+  return report;
+}
+
+}  // namespace analysis
+}  // namespace rrs

@@ -1,0 +1,35 @@
+// Thin wrapper around Engine::Run adding wall-clock timing and a flat report
+// row, used by examples and the experiment harness.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "core/engine.h"
+
+namespace rrs {
+namespace analysis {
+
+struct PolicyReport {
+  std::string policy;
+  CostBreakdown cost;
+  uint64_t total_cost = 0;
+  uint64_t executed = 0;
+  uint64_t arrived = 0;
+  Round rounds = 0;
+  double wall_seconds = 0;
+  std::map<std::string, double> counters;
+
+  double jobs_per_second() const {
+    return wall_seconds > 0 ? static_cast<double>(arrived) / wall_seconds : 0;
+  }
+  double rounds_per_second() const {
+    return wall_seconds > 0 ? static_cast<double>(rounds) / wall_seconds : 0;
+  }
+};
+
+PolicyReport RunAndReport(const Instance& instance, SchedulerPolicy& policy,
+                          const EngineOptions& options);
+
+}  // namespace analysis
+}  // namespace rrs

@@ -1,0 +1,30 @@
+// The experiment suite as data: every experiment of DESIGN.md §4 with its
+// id, the paper claim it measures, and a runner producing its Table. Drives
+// the `run_experiments` exporter (CSV/JSON per experiment) and lets tests
+// iterate the whole suite.
+//
+// E9/E11/E12 are google-benchmark microbenchmarks and live in their bench
+// binaries; they have no Table form and are not listed here.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/table.h"
+
+namespace rrs {
+namespace analysis {
+
+struct ExperimentSpec {
+  std::string id;      // "E1", ...
+  std::string title;
+  std::string claim;   // the paper claim under measurement
+  std::function<Table()> run;  // default parameters
+};
+
+// All table-producing experiments in id order.
+std::vector<ExperimentSpec> ExperimentSuite();
+
+}  // namespace analysis
+}  // namespace rrs

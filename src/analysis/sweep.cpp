@@ -1,0 +1,124 @@
+#include "analysis/sweep.h"
+
+#include <atomic>
+
+#include "core/engine.h"
+#include "parallel/parallel_for.h"
+#include "parallel/thread_pool.h"
+#include "reduce/pipeline.h"
+#include "sched/dlru_edf.h"
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace rrs {
+namespace analysis {
+
+std::vector<SweepCell> RunCostSweep(const InstanceFactory& factory,
+                                    const SweepConfig& config) {
+  RRS_CHECK(!config.ns.empty());
+  RRS_CHECK(!config.deltas.empty());
+  RRS_CHECK(!config.seeds.empty());
+
+  // Generate one instance per seed up front (shared across the grid).
+  std::vector<Instance> instances(config.seeds.size());
+  ParallelFor(GlobalThreadPool(), 0,
+              static_cast<int64_t>(config.seeds.size()), [&](int64_t i) {
+                instances[static_cast<size_t>(i)] =
+                    factory(config.seeds[static_cast<size_t>(i)]);
+              });
+
+  struct CellKey {
+    uint32_t n;
+    uint64_t delta;
+  };
+  std::vector<CellKey> grid;
+  for (uint32_t n : config.ns) {
+    for (uint64_t delta : config.deltas) grid.push_back({n, delta});
+  }
+
+  // One task per (cell, seed); results gathered into per-cell stats after.
+  struct RunOutcome {
+    uint64_t total = 0;
+    uint64_t reconfigs = 0;
+    uint64_t drops = 0;
+    uint64_t arrived = 0;
+  };
+  std::vector<RunOutcome> outcomes(grid.size() * config.seeds.size());
+
+  ParallelFor(
+      GlobalThreadPool(), 0, static_cast<int64_t>(outcomes.size()),
+      [&](int64_t flat) {
+        const size_t cell = static_cast<size_t>(flat) / config.seeds.size();
+        const size_t seed_idx =
+            static_cast<size_t>(flat) % config.seeds.size();
+        const Instance& instance = instances[seed_idx];
+
+        EngineOptions options;
+        options.num_resources = grid[cell].n;
+        options.cost_model.delta = grid[cell].delta;
+
+        RunOutcome out;
+        out.arrived = instance.num_jobs();
+        if (config.use_pipeline) {
+          auto result = reduce::SolveOnline(instance, options);
+          out.total = result.cost().total(options.cost_model);
+          out.reconfigs = result.cost().reconfigurations;
+          out.drops = result.cost().drops;
+        } else {
+          DlruEdfPolicy policy;
+          RunResult result = RunPolicy(instance, policy, options);
+          out.total = result.total_cost(options.cost_model);
+          out.reconfigs = result.cost.reconfigurations;
+          out.drops = result.cost.drops;
+        }
+        outcomes[static_cast<size_t>(flat)] = out;
+      });
+
+  std::vector<SweepCell> cells;
+  cells.reserve(grid.size());
+  for (size_t cell = 0; cell < grid.size(); ++cell) {
+    RunningStats total_stats, reconfig_stats, drop_stats, rate_stats;
+    for (size_t s = 0; s < config.seeds.size(); ++s) {
+      const RunOutcome& out = outcomes[cell * config.seeds.size() + s];
+      total_stats.Add(static_cast<double>(out.total));
+      reconfig_stats.Add(static_cast<double>(out.reconfigs));
+      drop_stats.Add(static_cast<double>(out.drops));
+      rate_stats.Add(out.arrived == 0
+                         ? 0.0
+                         : static_cast<double>(out.drops) /
+                               static_cast<double>(out.arrived));
+    }
+    SweepCell summary;
+    summary.n = grid[cell].n;
+    summary.delta = grid[cell].delta;
+    summary.seeds = config.seeds.size();
+    summary.mean_total = total_stats.mean();
+    summary.ci95_total = total_stats.ci95_halfwidth();
+    summary.mean_reconfigs = reconfig_stats.mean();
+    summary.mean_drops = drop_stats.mean();
+    summary.mean_drop_rate = rate_stats.mean();
+    cells.push_back(summary);
+  }
+  return cells;
+}
+
+Table CostSweepTable(const InstanceFactory& factory,
+                     const SweepConfig& config) {
+  Table table({"n", "delta", "seeds", "mean_total", "ci95", "mean_reconfigs",
+               "mean_drops", "drop_rate"});
+  for (const SweepCell& cell : RunCostSweep(factory, config)) {
+    table.AddRow()
+        .Cell(static_cast<uint64_t>(cell.n))
+        .Cell(cell.delta)
+        .Cell(static_cast<uint64_t>(cell.seeds))
+        .Cell(cell.mean_total, 1)
+        .Cell(cell.ci95_total, 1)
+        .Cell(cell.mean_reconfigs, 1)
+        .Cell(cell.mean_drops, 1)
+        .Cell(cell.mean_drop_rate, 4);
+  }
+  return table;
+}
+
+}  // namespace analysis
+}  // namespace rrs

@@ -1,0 +1,50 @@
+// Generic parameter-sweep harness: runs a grid of (n, Δ, seed) configurations
+// in parallel on the shared thread pool and aggregates per-(n, Δ) cost
+// statistics over seeds into a Table. Used by the capacity-planner example
+// and by downstream users sizing a deployment.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+#include "util/table.h"
+
+namespace rrs {
+namespace analysis {
+
+struct SweepConfig {
+  std::vector<uint32_t> ns = {4, 8, 16};
+  std::vector<uint64_t> deltas = {4};
+  std::vector<uint64_t> seeds = {1, 2, 3};
+  // When true, run the guaranteed Theorem-3 pipeline; otherwise run the bare
+  // ΔLRU-EDF policy directly on the instance.
+  bool use_pipeline = true;
+};
+
+// Builds the workload for a given seed; called once per seed (instances are
+// shared across the (n, delta) grid for that seed).
+using InstanceFactory = std::function<Instance(uint64_t seed)>;
+
+struct SweepCell {
+  uint32_t n = 0;
+  uint64_t delta = 0;
+  size_t seeds = 0;
+  double mean_total = 0;
+  double ci95_total = 0;
+  double mean_reconfigs = 0;
+  double mean_drops = 0;
+  double mean_drop_rate = 0;  // drops / arrivals
+};
+
+// Raw results, one cell per (n, delta), ordered by (n, delta).
+std::vector<SweepCell> RunCostSweep(const InstanceFactory& factory,
+                                    const SweepConfig& config);
+
+// Table rendering of RunCostSweep.
+Table CostSweepTable(const InstanceFactory& factory, const SweepConfig& config);
+
+}  // namespace analysis
+}  // namespace rrs

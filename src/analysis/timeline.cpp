@@ -1,0 +1,229 @@
+#include "analysis/timeline.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace rrs {
+namespace analysis {
+
+// Forwards to the engine's view while counting actual recolorings (the
+// engine only charges real changes, so compare before setting).
+class TimelinePolicy::CountingView : public ResourceView {
+ public:
+  CountingView(ResourceView& inner, uint64_t& counter)
+      : inner_(inner), counter_(counter) {}
+
+  uint32_t num_resources() const override { return inner_.num_resources(); }
+  ColorId color_of(ResourceId r) const override { return inner_.color_of(r); }
+  void SetColor(ResourceId r, ColorId c) override {
+    if (inner_.color_of(r) != c) ++counter_;
+    inner_.SetColor(r, c);
+  }
+  uint64_t pending_count(ColorId c) const override {
+    return inner_.pending_count(c);
+  }
+  Round earliest_deadline(ColorId c) const override {
+    return inner_.earliest_deadline(c);
+  }
+  const std::vector<ColorId>& nonidle_colors() const override {
+    return inner_.nonidle_colors();
+  }
+
+ private:
+  ResourceView& inner_;
+  uint64_t& counter_;
+};
+
+void TimelinePolicy::Reset(const Instance& instance,
+                           const EngineOptions& options) {
+  resources_ = options.num_resources;
+  mini_rounds_ = options.mini_rounds_per_round;
+  samples_.clear();
+  backlog_ = 0;
+  inner_.Reset(instance, options);
+}
+
+RoundSample& TimelinePolicy::SampleFor(Round k) {
+  while (samples_.size() <= static_cast<size_t>(k)) {
+    RoundSample s;
+    s.round = static_cast<Round>(samples_.size());
+    samples_.push_back(s);
+  }
+  return samples_[static_cast<size_t>(k)];
+}
+
+void TimelinePolicy::OnJobsDropped(Round k, ColorId c, uint64_t count,
+                                   std::span<const JobId> jobs) {
+  SampleFor(k).drops += count;
+  inner_.OnJobsDropped(k, c, count, jobs);
+}
+
+void TimelinePolicy::OnArrivals(Round k, ColorId c, uint64_t count) {
+  SampleFor(k).arrivals += count;
+  inner_.OnArrivals(k, c, count);
+}
+
+void TimelinePolicy::Reconfigure(Round k, int mini, ResourceView& view) {
+  RoundSample& sample = SampleFor(k);
+  if (mini == 0) {
+    // Pre-execution backlog: sum of pending over nonidle colors. Stored in
+    // `backlog`; the post-run pass in samples()/ToTable() converts the
+    // series into executed counts.
+    uint64_t backlog = 0;
+    for (ColorId c : view.nonidle_colors()) backlog += view.pending_count(c);
+    sample.backlog = backlog;
+  }
+  CountingView counting(view, sample.reconfigs);
+  inner_.Reconfigure(k, mini, counting);
+}
+
+namespace {
+
+// Derives executed(k) from the recorded pre-execution backlogs:
+//   Bpre(k+1) = Bpre(k) - exec(k) - drops(k+1) + arrivals(k+1)
+// and for the final round everything pending executes (the engine runs to
+// the horizon, where all jobs are resolved and nothing drops afterwards).
+void FinalizeSamples(std::vector<RoundSample>& samples, uint32_t resources,
+                     int mini_rounds) {
+  const double capacity =
+      static_cast<double>(resources) * static_cast<double>(mini_rounds);
+  for (size_t k = 0; k < samples.size(); ++k) {
+    uint64_t executed;
+    if (k + 1 < samples.size()) {
+      const uint64_t b_now = samples[k].backlog;
+      const uint64_t b_next = samples[k + 1].backlog +
+                              samples[k + 1].drops - samples[k + 1].arrivals;
+      executed = b_now >= b_next ? b_now - b_next : 0;
+    } else {
+      executed = samples[k].backlog;
+    }
+    samples[k].executed = executed;
+    samples[k].utilization =
+        capacity > 0 ? static_cast<double>(executed) / capacity : 0;
+  }
+}
+
+}  // namespace
+
+Table TimelinePolicy::ToTable() const {
+  std::vector<RoundSample> finished = samples_;
+  FinalizeSamples(finished, resources_, mini_rounds_);
+  Table table({"round", "arrivals", "drops", "reconfigs", "executed",
+               "backlog", "utilization"});
+  for (const RoundSample& s : finished) {
+    table.AddRow()
+        .Cell(static_cast<int64_t>(s.round))
+        .Cell(s.arrivals)
+        .Cell(s.drops)
+        .Cell(s.reconfigs)
+        .Cell(s.executed)
+        .Cell(s.backlog)
+        .Cell(s.utilization, 3);
+  }
+  return table;
+}
+
+std::string TimelinePolicy::Sparkline(const std::string& series,
+                                      size_t width) const {
+  std::vector<RoundSample> finished = samples_;
+  FinalizeSamples(finished, resources_, mini_rounds_);
+
+  auto value_of = [&](const RoundSample& s) -> double {
+    if (series == "arrivals") return static_cast<double>(s.arrivals);
+    if (series == "drops") return static_cast<double>(s.drops);
+    if (series == "reconfigs") return static_cast<double>(s.reconfigs);
+    if (series == "executed") return static_cast<double>(s.executed);
+    if (series == "backlog") return static_cast<double>(s.backlog);
+    if (series == "utilization") return s.utilization;
+    RRS_CHECK(false) << "unknown timeline series '" << series << "'";
+    return 0;
+  };
+
+  if (finished.empty() || width == 0) return "";
+  width = std::min(width, finished.size());
+  std::vector<double> buckets(width, 0);
+  for (size_t i = 0; i < finished.size(); ++i) {
+    size_t b = i * width / finished.size();
+    buckets[b] += value_of(finished[i]);
+  }
+  // Mean per bucket (buckets can differ by one round in size).
+  for (size_t b = 0; b < width; ++b) {
+    size_t lo = b * finished.size() / width;
+    size_t hi = (b + 1) * finished.size() / width;
+    size_t span = std::max<size_t>(1, hi - lo);
+    buckets[b] /= static_cast<double>(span);
+  }
+  double peak = 0;
+  for (double v : buckets) peak = std::max(peak, v);
+  static const char kLevels[] = " .:-=+*#@";
+  const size_t levels = sizeof(kLevels) - 2;
+  std::string out;
+  out.reserve(width);
+  for (double v : buckets) {
+    size_t level =
+        peak > 0 ? static_cast<size_t>(std::lround(v / peak *
+                                                   static_cast<double>(levels)))
+                 : 0;
+    out.push_back(kLevels[std::min(level, levels)]);
+  }
+  return out;
+}
+
+std::string RenderGantt(const Schedule& schedule, const Instance& instance,
+                        Round first_round, Round last_round) {
+  RRS_CHECK_LE(first_round, last_round);
+  RRS_CHECK_LE(last_round - first_round, 512) << "Gantt window too wide";
+  RRS_CHECK_LE(schedule.num_resources(), 64u) << "too many resources to draw";
+  const size_t cols = static_cast<size_t>(last_round - first_round) + 1;
+  const size_t rows = schedule.num_resources();
+
+  // Replay reconfigurations in timeline order to know each resource's color
+  // per round; mark executions.
+  std::vector<ReconfigAction> reconfigs = schedule.reconfigs();
+  std::stable_sort(reconfigs.begin(), reconfigs.end(),
+                   [](const ReconfigAction& a, const ReconfigAction& b) {
+                     if (a.round != b.round) return a.round < b.round;
+                     return a.mini < b.mini;
+                   });
+  std::vector<std::string> grid(rows, std::string(cols, '.'));
+  std::vector<ColorId> color(rows, kNoColor);
+  size_t next_reconfig = 0;
+  std::vector<std::vector<uint8_t>> executed(
+      rows, std::vector<uint8_t>(cols, 0));
+  for (const ExecAction& e : schedule.executions()) {
+    if (e.round < first_round || e.round > last_round) continue;
+    executed[e.resource][static_cast<size_t>(e.round - first_round)] = 1;
+  }
+
+  for (Round k = 0; k <= last_round; ++k) {
+    while (next_reconfig < reconfigs.size() &&
+           reconfigs[next_reconfig].round <= k) {
+      const ReconfigAction& a = reconfigs[next_reconfig++];
+      if (a.round == k) color[a.resource] = a.to;
+    }
+    if (k < first_round) continue;
+    const size_t col = static_cast<size_t>(k - first_round);
+    for (size_t r = 0; r < rows; ++r) {
+      if (color[r] == kNoColor) continue;
+      char ch = static_cast<char>('a' + color[r] % 26);
+      if (executed[r][col]) ch = static_cast<char>(ch - 'a' + 'A');
+      grid[r][col] = ch;
+    }
+  }
+
+  std::string out;
+  out += "rounds " + std::to_string(first_round) + ".." +
+         std::to_string(last_round) + " (uppercase = executed a job; '.' = black)\n";
+  for (size_t r = 0; r < rows; ++r) {
+    out += "r" + std::to_string(r) + (r < 10 ? "  |" : " |");
+    out += grid[r];
+    out += "|\n";
+  }
+  (void)instance;
+  return out;
+}
+
+}  // namespace analysis
+}  // namespace rrs

@@ -1,0 +1,80 @@
+// Timeline instrumentation: per-round time series of a run (backlog,
+// executions, reconfigurations, drops, resource utilization), recorded by a
+// transparent policy wrapper, exportable as CSV, and renderable as compact
+// ASCII sparklines. Also an ASCII Gantt renderer for (small) Schedules:
+// rounds across, resources down, one letter per color — the quickest way to
+// see thrashing vs underutilization with your own eyes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/policy.h"
+#include "core/schedule.h"
+#include "util/table.h"
+
+namespace rrs {
+namespace analysis {
+
+struct RoundSample {
+  Round round = 0;
+  uint64_t arrivals = 0;
+  uint64_t drops = 0;
+  uint64_t reconfigs = 0;   // resource recolorings this round
+  uint64_t executed = 0;    // jobs executed this round
+  uint64_t backlog = 0;     // pending jobs after the round
+  double utilization = 0;   // executed / (resources * mini_rounds)
+};
+
+// Wraps any policy; forwards everything and samples each round.
+class TimelinePolicy : public SchedulerPolicy {
+ public:
+  explicit TimelinePolicy(SchedulerPolicy& inner) : inner_(inner) {}
+
+  std::string name() const override { return inner_.name(); }
+  void Reset(const Instance& instance, const EngineOptions& options) override;
+  void OnJobsDropped(Round k, ColorId c, uint64_t count,
+                     std::span<const JobId> jobs) override;
+  void AfterDropPhase(Round k) override { inner_.AfterDropPhase(k); }
+  void OnArrivals(Round k, ColorId c, uint64_t count) override;
+  void AfterArrivalPhase(Round k) override { inner_.AfterArrivalPhase(k); }
+  void Reconfigure(Round k, int mini, ResourceView& view) override;
+  void CollectCounters(std::map<std::string, double>& out) const override {
+    inner_.CollectCounters(out);
+  }
+
+  const std::vector<RoundSample>& samples() const { return samples_; }
+
+  // Series rendering: one character per bucket, 8 intensity levels scaled to
+  // the series max. `width` buckets (rounds are aggregated evenly).
+  std::string Sparkline(const std::string& series, size_t width = 64) const;
+
+  // Full per-round CSV (round, arrivals, drops, reconfigs, executed,
+  // backlog, utilization).
+  Table ToTable() const;
+
+ private:
+  // Counting view: forwards to the engine view, counts recolorings and
+  // executions are derived from backlog deltas.
+  class CountingView;
+
+  RoundSample& SampleFor(Round k);
+
+  SchedulerPolicy& inner_;
+  uint32_t resources_ = 0;
+  int mini_rounds_ = 1;
+  std::vector<RoundSample> samples_;
+  uint64_t backlog_ = 0;
+};
+
+// Renders a recorded Schedule as an ASCII Gantt chart: one row per resource,
+// one column per round in [first_round, last_round], '.' for black/idle
+// configuration, letters a-z cycling over colors, uppercase when the
+// resource executed a job that round. Intended for small instances.
+std::string RenderGantt(const Schedule& schedule, const Instance& instance,
+                        Round first_round, Round last_round);
+
+}  // namespace analysis
+}  // namespace rrs

@@ -1,0 +1,173 @@
+// IndexedHeap: a d-ary min-heap over dense integer keys [0, capacity) with
+// O(log n) push/pop and O(log n) Update (decrease or increase priority).
+//
+// The schedulers keep one heap entry per color keyed by ranking tuples that
+// change every round (deadline updates, idleness flips), so decrease/increase
+// key must be first-class. Priorities are compared with a caller-supplied
+// strict-weak-order Less; ties must be broken inside the priority type
+// itself (the paper's "consistent order of colors" is the final tiebreak in
+// all ranking tuples).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/check.h"
+
+namespace rrs {
+
+template <typename Priority, typename Less = std::less<Priority>, int Arity = 4>
+class IndexedHeap {
+  static_assert(Arity >= 2, "heap arity must be at least 2");
+
+ public:
+  using key_type = uint32_t;
+  static constexpr size_t kNotInHeap = static_cast<size_t>(-1);
+
+  explicit IndexedHeap(size_t capacity, Less less = Less())
+      : less_(std::move(less)), position_(capacity, kNotInHeap) {
+    priority_.resize(capacity);
+  }
+
+  size_t size() const { return heap_.size(); }
+  bool empty() const { return heap_.empty(); }
+  size_t capacity() const { return position_.size(); }
+
+  bool Contains(key_type key) const {
+    RRS_DCHECK(key < position_.size());
+    return position_[key] != kNotInHeap;
+  }
+
+  const Priority& PriorityOf(key_type key) const {
+    RRS_DCHECK(Contains(key));
+    return priority_[key];
+  }
+
+  // Inserts key with the given priority. Key must not already be present.
+  void Push(key_type key, Priority priority) {
+    RRS_CHECK(!Contains(key)) << "key " << key << " already in heap";
+    priority_[key] = std::move(priority);
+    position_[key] = heap_.size();
+    heap_.push_back(key);
+    SiftUp(heap_.size() - 1);
+  }
+
+  // Updates the priority of a present key (either direction).
+  void Update(key_type key, Priority priority) {
+    RRS_CHECK(Contains(key)) << "key " << key << " not in heap";
+    bool decreased = less_(priority, priority_[key]);
+    priority_[key] = std::move(priority);
+    size_t pos = position_[key];
+    if (decreased) {
+      SiftUp(pos);
+    } else {
+      SiftDown(pos);
+    }
+  }
+
+  // Push if absent, Update otherwise.
+  void PushOrUpdate(key_type key, Priority priority) {
+    if (Contains(key)) {
+      Update(key, std::move(priority));
+    } else {
+      Push(key, std::move(priority));
+    }
+  }
+
+  key_type Top() const {
+    RRS_CHECK(!empty());
+    return heap_[0];
+  }
+
+  const Priority& TopPriority() const { return priority_[Top()]; }
+
+  key_type Pop() {
+    key_type top = Top();
+    RemoveAt(0);
+    return top;
+  }
+
+  // Removes an arbitrary present key.
+  void Remove(key_type key) {
+    RRS_CHECK(Contains(key)) << "key " << key << " not in heap";
+    RemoveAt(position_[key]);
+  }
+
+  void Clear() {
+    for (key_type key : heap_) position_[key] = kNotInHeap;
+    heap_.clear();
+  }
+
+  // Validates the heap property and index consistency; O(n). Test hook.
+  bool CheckInvariants() const {
+    for (size_t i = 0; i < heap_.size(); ++i) {
+      if (position_[heap_[i]] != i) return false;
+      size_t first_child = i * Arity + 1;
+      for (size_t c = first_child;
+           c < first_child + Arity && c < heap_.size(); ++c) {
+        if (less_(priority_[heap_[c]], priority_[heap_[i]])) return false;
+      }
+    }
+    size_t present = 0;
+    for (size_t pos : position_) {
+      if (pos != kNotInHeap) ++present;
+    }
+    return present == heap_.size();
+  }
+
+ private:
+  void RemoveAt(size_t pos) {
+    key_type removed = heap_[pos];
+    position_[removed] = kNotInHeap;
+    key_type last = heap_.back();
+    heap_.pop_back();
+    if (pos < heap_.size()) {
+      heap_[pos] = last;
+      position_[last] = pos;
+      // The displaced element may need to move either direction.
+      SiftUp(pos);
+      SiftDown(position_[last]);
+    }
+  }
+
+  void SiftUp(size_t pos) {
+    key_type key = heap_[pos];
+    while (pos > 0) {
+      size_t parent = (pos - 1) / Arity;
+      if (!less_(priority_[key], priority_[heap_[parent]])) break;
+      heap_[pos] = heap_[parent];
+      position_[heap_[pos]] = pos;
+      pos = parent;
+    }
+    heap_[pos] = key;
+    position_[key] = pos;
+  }
+
+  void SiftDown(size_t pos) {
+    key_type key = heap_[pos];
+    while (true) {
+      size_t first_child = pos * Arity + 1;
+      if (first_child >= heap_.size()) break;
+      size_t best = first_child;
+      size_t end = std::min(first_child + Arity, heap_.size());
+      for (size_t c = first_child + 1; c < end; ++c) {
+        if (less_(priority_[heap_[c]], priority_[heap_[best]])) best = c;
+      }
+      if (!less_(priority_[heap_[best]], priority_[key])) break;
+      heap_[pos] = heap_[best];
+      position_[heap_[pos]] = pos;
+      pos = best;
+    }
+    heap_[pos] = key;
+    position_[key] = pos;
+  }
+
+  Less less_;
+  std::vector<Priority> priority_;   // indexed by key
+  std::vector<size_t> position_;     // key -> heap index, kNotInHeap if absent
+  std::vector<key_type> heap_;       // heap order -> key
+};
+
+}  // namespace rrs

@@ -1,0 +1,117 @@
+// Index-based intrusive doubly-linked list over dense integer keys.
+//
+// Stores only prev/next indices per key (no node allocation, no payload), so
+// membership moves are O(1) and cache-friendly. This is the backbone of
+// LruTracker: colors are keys, and recency order is the list order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace rrs {
+
+class IntrusiveIndexList {
+ public:
+  using key_type = uint32_t;
+  static constexpr key_type kNil = static_cast<key_type>(-1);
+
+  explicit IntrusiveIndexList(size_t capacity)
+      : prev_(capacity, kNil), next_(capacity, kNil), in_list_(capacity, 0) {}
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return prev_.size(); }
+
+  bool Contains(key_type key) const {
+    RRS_DCHECK(key < in_list_.size());
+    return in_list_[key] != 0;
+  }
+
+  key_type front() const { return head_; }
+  key_type back() const { return tail_; }
+  key_type next(key_type key) const { return next_[key]; }
+  key_type prev(key_type key) const { return prev_[key]; }
+
+  void PushFront(key_type key) {
+    RRS_CHECK(!Contains(key));
+    prev_[key] = kNil;
+    next_[key] = head_;
+    if (head_ != kNil) prev_[head_] = key;
+    head_ = key;
+    if (tail_ == kNil) tail_ = key;
+    in_list_[key] = 1;
+    ++size_;
+  }
+
+  void PushBack(key_type key) {
+    RRS_CHECK(!Contains(key));
+    next_[key] = kNil;
+    prev_[key] = tail_;
+    if (tail_ != kNil) next_[tail_] = key;
+    tail_ = key;
+    if (head_ == kNil) head_ = key;
+    in_list_[key] = 1;
+    ++size_;
+  }
+
+  void Remove(key_type key) {
+    RRS_CHECK(Contains(key));
+    if (prev_[key] != kNil) {
+      next_[prev_[key]] = next_[key];
+    } else {
+      head_ = next_[key];
+    }
+    if (next_[key] != kNil) {
+      prev_[next_[key]] = prev_[key];
+    } else {
+      tail_ = prev_[key];
+    }
+    prev_[key] = next_[key] = kNil;
+    in_list_[key] = 0;
+    --size_;
+  }
+
+  // Moves an existing key to the front (most-recent position).
+  void MoveToFront(key_type key) {
+    if (head_ == key) return;
+    Remove(key);
+    PushFront(key);
+  }
+
+  void Clear() {
+    for (key_type k = head_; k != kNil;) {
+      key_type n = next_[k];
+      prev_[k] = next_[k] = kNil;
+      in_list_[k] = 0;
+      k = n;
+    }
+    head_ = tail_ = kNil;
+    size_ = 0;
+  }
+
+  // O(n) structural validation; test hook.
+  bool CheckInvariants() const {
+    size_t forward = 0;
+    key_type last = kNil;
+    for (key_type k = head_; k != kNil; k = next_[k]) {
+      if (!Contains(k)) return false;
+      if (prev_[k] != last) return false;
+      last = k;
+      if (++forward > size_) return false;  // cycle
+    }
+    return forward == size_ && last == tail_;
+  }
+
+ private:
+  std::vector<key_type> prev_;
+  std::vector<key_type> next_;
+  std::vector<uint8_t> in_list_;
+  key_type head_ = kNil;
+  key_type tail_ = kNil;
+  size_t size_ = 0;
+};
+
+}  // namespace rrs

@@ -1,0 +1,87 @@
+#include "container/lru_tracker.h"
+
+#include "util/check.h"
+
+namespace rrs {
+
+LruTracker::LruTracker(size_t capacity)
+    : timestamp_(capacity, 0), present_(capacity, 0) {}
+
+bool LruTracker::Contains(key_type key) const {
+  RRS_DCHECK(key < present_.size());
+  return present_[key] != 0;
+}
+
+void LruTracker::Insert(key_type key, int64_t timestamp) {
+  RRS_CHECK(!Contains(key)) << "key " << key << " already tracked";
+  entries_.emplace(timestamp, key);
+  timestamp_[key] = timestamp;
+  present_[key] = 1;
+}
+
+void LruTracker::Touch(key_type key, int64_t timestamp) {
+  RRS_CHECK(Contains(key)) << "key " << key << " not tracked";
+  if (timestamp_[key] == timestamp) return;
+  entries_.erase({timestamp_[key], key});
+  entries_.emplace(timestamp, key);
+  timestamp_[key] = timestamp;
+}
+
+void LruTracker::InsertOrTouch(key_type key, int64_t timestamp) {
+  if (Contains(key)) {
+    Touch(key, timestamp);
+  } else {
+    Insert(key, timestamp);
+  }
+}
+
+void LruTracker::Remove(key_type key) {
+  RRS_CHECK(Contains(key)) << "key " << key << " not tracked";
+  entries_.erase({timestamp_[key], key});
+  present_[key] = 0;
+}
+
+int64_t LruTracker::TimestampOf(key_type key) const {
+  RRS_CHECK(Contains(key));
+  return timestamp_[key];
+}
+
+std::vector<LruTracker::key_type> LruTracker::TopK(size_t k) const {
+  std::vector<key_type> out;
+  TopK(k, out);
+  return out;
+}
+
+void LruTracker::TopK(size_t k, std::vector<key_type>& out) const {
+  out.clear();
+  for (auto it = entries_.begin(); it != entries_.end() && out.size() < k;
+       ++it) {
+    out.push_back(it->second);
+  }
+}
+
+bool LruTracker::Oldest(key_type& key) const {
+  if (entries_.empty()) return false;
+  key = entries_.rbegin()->second;
+  return true;
+}
+
+void LruTracker::Clear() {
+  for (const auto& [ts, key] : entries_) present_[key] = 0;
+  entries_.clear();
+}
+
+bool LruTracker::CheckInvariants() const {
+  size_t present_count = 0;
+  for (size_t key = 0; key < present_.size(); ++key) {
+    if (present_[key]) {
+      ++present_count;
+      if (!entries_.count({timestamp_[key], static_cast<key_type>(key)})) {
+        return false;
+      }
+    }
+  }
+  return present_count == entries_.size();
+}
+
+}  // namespace rrs

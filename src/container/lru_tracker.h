@@ -1,0 +1,74 @@
+// LruTracker: maintains a set of keys ordered by (timestamp desc, key asc) and
+// answers "the k most-recent keys" queries.
+//
+// This is the data structure behind the ΔLRU reconfiguration scheme
+// (Section 3.1.1 of the paper): eligible colors are members, their paper
+// timestamps are the recency values, and each reconfiguration phase asks for
+// the top n/2 (ΔLRU) or n/4 (ΔLRU-EDF) members. Ties are broken by ascending
+// key, matching the library-wide "consistent order of colors".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace rrs {
+
+class LruTracker {
+ public:
+  using key_type = uint32_t;
+
+  explicit LruTracker(size_t capacity);
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  bool Contains(key_type key) const;
+
+  // Inserts key with the given timestamp; key must be absent.
+  void Insert(key_type key, int64_t timestamp);
+
+  // Updates the timestamp of a present key.
+  void Touch(key_type key, int64_t timestamp);
+
+  // Inserts if absent, otherwise updates.
+  void InsertOrTouch(key_type key, int64_t timestamp);
+
+  // Removes a present key.
+  void Remove(key_type key);
+
+  int64_t TimestampOf(key_type key) const;
+
+  // The up-to-k most recent keys, in (timestamp desc, key asc) order.
+  std::vector<key_type> TopK(size_t k) const;
+
+  // Appends the up-to-k most recent keys to out (avoids allocation in the
+  // per-round scheduler hot path).
+  void TopK(size_t k, std::vector<key_type>& out) const;
+
+  // The least recent member, or returns false if empty.
+  bool Oldest(key_type& key) const;
+
+  void Clear();
+
+  // O(n) consistency check between the ordered set and the per-key index.
+  bool CheckInvariants() const;
+
+ private:
+  // Ordered most-recent-first: larger timestamp first, then smaller key.
+  struct Order {
+    bool operator()(const std::pair<int64_t, key_type>& a,
+                    const std::pair<int64_t, key_type>& b) const {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second < b.second;
+    }
+  };
+
+  std::set<std::pair<int64_t, key_type>, Order> entries_;
+  std::vector<int64_t> timestamp_;  // valid iff present_[key]
+  std::vector<uint8_t> present_;
+};
+
+}  // namespace rrs

@@ -1,0 +1,201 @@
+// PairingHeap: amortized O(1) insert/meld, O(log n) amortized pop-min, with
+// handle-based DecreaseKey. Node storage is pooled (no per-node allocation in
+// steady state). Offered alongside IndexedHeap: the exact offline solver uses
+// it as the frontier priority queue of the uniform-cost search, where keys are
+// sparse search-state ids rather than dense color ids.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace rrs {
+
+template <typename Value, typename Priority,
+          typename Less = std::less<Priority>>
+class PairingHeap {
+ public:
+  using Handle = uint32_t;
+  static constexpr Handle kNullHandle = static_cast<Handle>(-1);
+
+  explicit PairingHeap(Less less = Less()) : less_(std::move(less)) {}
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Inserts and returns a stable handle usable for DecreaseKey.
+  Handle Push(Value value, Priority priority) {
+    Handle h = AllocNode(std::move(value), std::move(priority));
+    root_ = (root_ == kNullHandle) ? h : Meld(root_, h);
+    ++size_;
+    return h;
+  }
+
+  const Value& TopValue() const {
+    RRS_CHECK(!empty());
+    return nodes_[root_].value;
+  }
+
+  const Priority& TopPriority() const {
+    RRS_CHECK(!empty());
+    return nodes_[root_].priority;
+  }
+
+  // Removes the minimum and returns (value, priority).
+  std::pair<Value, Priority> Pop() {
+    RRS_CHECK(!empty());
+    Handle old_root = root_;
+    std::pair<Value, Priority> out(std::move(nodes_[old_root].value),
+                                   std::move(nodes_[old_root].priority));
+    root_ = MergePairs(nodes_[old_root].child);
+    if (root_ != kNullHandle) {
+      nodes_[root_].parent = kNullHandle;
+      nodes_[root_].sibling = kNullHandle;
+    }
+    FreeNode(old_root);
+    --size_;
+    return out;
+  }
+
+  // Lowers the priority of a live handle. Priority must not increase.
+  void DecreaseKey(Handle h, Priority priority) {
+    RRS_DCHECK(h < nodes_.size() && nodes_[h].live);
+    RRS_CHECK(!less_(nodes_[h].priority, priority))
+        << "DecreaseKey must not increase priority";
+    nodes_[h].priority = std::move(priority);
+    if (h == root_) return;
+    DetachFromParent(h);
+    root_ = Meld(root_, h);
+  }
+
+  void Clear() {
+    nodes_.clear();
+    free_list_.clear();
+    root_ = kNullHandle;
+    size_ = 0;
+  }
+
+  // O(n) structural validation; test hook.
+  bool CheckInvariants() const {
+    if (root_ == kNullHandle) return size_ == 0;
+    size_t seen = 0;
+    bool ok = CheckSubtree(root_, seen);
+    return ok && seen == size_;
+  }
+
+ private:
+  struct Node {
+    Value value;
+    Priority priority;
+    Handle child = kNullHandle;
+    Handle sibling = kNullHandle;
+    Handle parent = kNullHandle;  // previous sibling or actual parent
+    bool live = false;
+  };
+
+  Handle AllocNode(Value value, Priority priority) {
+    Handle h;
+    if (!free_list_.empty()) {
+      h = free_list_.back();
+      free_list_.pop_back();
+    } else {
+      h = static_cast<Handle>(nodes_.size());
+      nodes_.emplace_back();
+    }
+    Node& n = nodes_[h];
+    n.value = std::move(value);
+    n.priority = std::move(priority);
+    n.child = n.sibling = n.parent = kNullHandle;
+    n.live = true;
+    return h;
+  }
+
+  void FreeNode(Handle h) {
+    nodes_[h].live = false;
+    free_list_.push_back(h);
+  }
+
+  // Melds two root nodes, returns the new root.
+  Handle Meld(Handle a, Handle b) {
+    if (a == kNullHandle) return b;
+    if (b == kNullHandle) return a;
+    if (less_(nodes_[b].priority, nodes_[a].priority)) std::swap(a, b);
+    // b becomes a's first child.
+    nodes_[b].sibling = nodes_[a].child;
+    if (nodes_[a].child != kNullHandle) nodes_[nodes_[a].child].parent = b;
+    nodes_[b].parent = a;
+    nodes_[a].child = b;
+    nodes_[a].sibling = kNullHandle;
+    nodes_[a].parent = kNullHandle;
+    return a;
+  }
+
+  // Two-pass pairing of a sibling list.
+  Handle MergePairs(Handle first) {
+    if (first == kNullHandle) return kNullHandle;
+    std::vector<Handle> pairs;
+    Handle cur = first;
+    while (cur != kNullHandle) {
+      Handle next = nodes_[cur].sibling;
+      Handle after = (next != kNullHandle) ? nodes_[next].sibling : kNullHandle;
+      nodes_[cur].sibling = kNullHandle;
+      nodes_[cur].parent = kNullHandle;
+      if (next != kNullHandle) {
+        nodes_[next].sibling = kNullHandle;
+        nodes_[next].parent = kNullHandle;
+        pairs.push_back(Meld(cur, next));
+      } else {
+        pairs.push_back(cur);
+      }
+      cur = after;
+    }
+    Handle root = pairs.back();
+    for (size_t i = pairs.size() - 1; i-- > 0;) {
+      root = Meld(pairs[i], root);
+    }
+    return root;
+  }
+
+  // Unlinks h from its parent/previous-sibling chain.
+  void DetachFromParent(Handle h) {
+    Handle p = nodes_[h].parent;
+    RRS_DCHECK(p != kNullHandle);
+    if (nodes_[p].child == h) {
+      // p is the true parent.
+      nodes_[p].child = nodes_[h].sibling;
+      if (nodes_[h].sibling != kNullHandle) {
+        nodes_[nodes_[h].sibling].parent = p;
+      }
+    } else {
+      // p is the previous sibling.
+      nodes_[p].sibling = nodes_[h].sibling;
+      if (nodes_[h].sibling != kNullHandle) {
+        nodes_[nodes_[h].sibling].parent = p;
+      }
+    }
+    nodes_[h].parent = kNullHandle;
+    nodes_[h].sibling = kNullHandle;
+  }
+
+  bool CheckSubtree(Handle h, size_t& seen) const {
+    ++seen;
+    for (Handle c = nodes_[h].child; c != kNullHandle;
+         c = nodes_[c].sibling) {
+      if (less_(nodes_[c].priority, nodes_[h].priority)) return false;
+      if (!CheckSubtree(c, seen)) return false;
+    }
+    return true;
+  }
+
+  Less less_;
+  std::vector<Node> nodes_;
+  std::vector<Handle> free_list_;
+  Handle root_ = kNullHandle;
+  size_t size_ = 0;
+};
+
+}  // namespace rrs

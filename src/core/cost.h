@@ -1,0 +1,51 @@
+// Cost accounting: total cost = Δ · (#reconfigurations) + (#dropped jobs).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rrs {
+
+// The [Δ | 1 | ...] cost model: a fixed positive integer reconfiguration cost
+// and unit drop cost. The paper assumes Δ is a positive integer; we keep that
+// assumption (generalization to arbitrary Δ is straightforward per the paper).
+struct CostModel {
+  uint64_t delta = 1;
+};
+
+struct CostBreakdown {
+  uint64_t reconfigurations = 0;
+  uint64_t drops = 0;           // dropped-job COUNT
+  uint64_t weighted_drops = 0;  // Σ per-color drop costs; == drops when every
+                                // color has the paper's unit drop cost
+
+  uint64_t reconfig_cost(const CostModel& model) const {
+    return reconfigurations * model.delta;
+  }
+  uint64_t drop_cost() const { return weighted_drops; }
+  uint64_t total(const CostModel& model) const {
+    return reconfig_cost(model) + drop_cost();
+  }
+
+  CostBreakdown& operator+=(const CostBreakdown& o) {
+    reconfigurations += o.reconfigurations;
+    drops += o.drops;
+    weighted_drops += o.weighted_drops;
+    return *this;
+  }
+
+  friend bool operator==(const CostBreakdown&, const CostBreakdown&) = default;
+
+  std::string ToString(const CostModel& model) const {
+    return "reconfigs=" + std::to_string(reconfigurations) +
+           " drops=" + std::to_string(drops) +
+           " total=" + std::to_string(total(model));
+  }
+};
+
+// Convenience for the common unit-drop-cost case.
+inline CostBreakdown UnitCosts(uint64_t reconfigurations, uint64_t drops) {
+  return CostBreakdown{reconfigurations, drops, drops};
+}
+
+}  // namespace rrs

@@ -1,0 +1,228 @@
+#include "core/engine.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace rrs {
+
+namespace {
+
+// Mutable per-run simulation state, shared between the phase loop and the
+// policy-facing view.
+struct SimState {
+  explicit SimState(const Instance& instance, const EngineOptions& options)
+      : instance(instance),
+        resource_color(options.num_resources, kNoColor),
+        pending(instance.num_colors()),
+        in_nonidle_list(instance.num_colors(), 0),
+        expiry_buckets(static_cast<size_t>(instance.horizon()) + 1),
+        last_bucket_round(instance.num_colors(), -1) {}
+
+  const Instance& instance;
+  std::vector<ColorId> resource_color;
+  std::vector<std::deque<JobId>> pending;  // FIFO == earliest-deadline order
+  std::vector<ColorId> nonidle_list;       // lazily compacted
+  std::vector<uint8_t> in_nonidle_list;
+  std::vector<std::vector<ColorId>> expiry_buckets;  // round -> colors
+  std::vector<Round> last_bucket_round;  // dedupe bucket pushes per color
+
+  uint64_t pending_count(ColorId c) const { return pending[c].size(); }
+
+  void AddPending(ColorId c, JobId job) {
+    if (pending[c].empty() && !in_nonidle_list[c]) {
+      in_nonidle_list[c] = 1;
+      nonidle_list.push_back(c);
+    }
+    pending[c].push_back(job);
+  }
+
+  // Removes nonidle-list entries whose color went idle. Amortized O(1) per
+  // idle transition.
+  void CompactNonidle() {
+    size_t out = 0;
+    for (size_t i = 0; i < nonidle_list.size(); ++i) {
+      ColorId c = nonidle_list[i];
+      if (!pending[c].empty()) {
+        nonidle_list[out++] = c;
+      } else {
+        in_nonidle_list[c] = 0;
+      }
+    }
+    nonidle_list.resize(out);
+  }
+};
+
+}  // namespace
+
+class Engine::View : public ResourceView {
+ public:
+  View(SimState& state, const EngineOptions& options, CostBreakdown& cost,
+       Schedule* schedule)
+      : state_(state), options_(options), cost_(cost), schedule_(schedule) {}
+
+  void SetPhase(Round round, int mini) {
+    round_ = round;
+    mini_ = mini;
+    compacted_ = false;
+  }
+
+  uint32_t num_resources() const override { return options_.num_resources; }
+
+  ColorId color_of(ResourceId r) const override {
+    RRS_DCHECK(r < state_.resource_color.size());
+    return state_.resource_color[r];
+  }
+
+  void SetColor(ResourceId r, ColorId c) override {
+    RRS_CHECK_LT(r, state_.resource_color.size());
+    RRS_CHECK(c == kNoColor || c < state_.instance.num_colors())
+        << "SetColor to unknown color " << c;
+    if (state_.resource_color[r] == c) return;
+    state_.resource_color[r] = c;
+    ++cost_.reconfigurations;
+    if (schedule_ != nullptr) {
+      schedule_->AddReconfig(round_, mini_, r, c);
+    }
+  }
+
+  uint64_t pending_count(ColorId c) const override {
+    RRS_DCHECK(c < state_.pending.size());
+    return state_.pending[c].size();
+  }
+
+  Round earliest_deadline(ColorId c) const override {
+    RRS_CHECK(!state_.pending[c].empty())
+        << "earliest_deadline on idle color " << c;
+    return state_.instance.deadline(state_.pending[c].front());
+  }
+
+  const std::vector<ColorId>& nonidle_colors() const override {
+    if (!compacted_) {
+      state_.CompactNonidle();
+      compacted_ = true;
+    }
+    return state_.nonidle_list;
+  }
+
+ private:
+  SimState& state_;
+  const EngineOptions& options_;
+  CostBreakdown& cost_;
+  Schedule* schedule_;
+  Round round_ = 0;
+  int mini_ = 0;
+  mutable bool compacted_ = false;
+};
+
+Engine::Engine(const Instance& instance, EngineOptions options)
+    : instance_(instance), options_(options) {
+  RRS_CHECK_GE(options_.num_resources, 1u);
+  RRS_CHECK_GE(options_.mini_rounds_per_round, 1);
+  RRS_CHECK_GE(options_.cost_model.delta, 1u);
+}
+
+RunResult Engine::Run(SchedulerPolicy& policy) {
+  RunResult result;
+  result.drops_per_color.assign(instance_.num_colors(), 0);
+  result.arrived = instance_.num_jobs();
+
+  Schedule schedule(options_.num_resources, options_.mini_rounds_per_round);
+  Schedule* schedule_ptr = options_.record_schedule ? &schedule : nullptr;
+
+  SimState state(instance_, options_);
+  View view(state, options_, result.cost, schedule_ptr);
+
+  policy.Reset(instance_, options_);
+
+  std::vector<JobId> dropped_scratch;
+  const Round horizon = instance_.horizon();
+  for (Round k = 0; k <= horizon; ++k) {
+    // ---- Drop phase: jobs with deadline == k are dropped. ----
+    if (k < static_cast<Round>(state.expiry_buckets.size())) {
+      for (ColorId c : state.expiry_buckets[static_cast<size_t>(k)]) {
+        dropped_scratch.clear();
+        auto& queue = state.pending[c];
+        while (!queue.empty() && instance_.deadline(queue.front()) == k) {
+          dropped_scratch.push_back(queue.front());
+          queue.pop_front();
+        }
+        if (!dropped_scratch.empty()) {
+          result.cost.drops += dropped_scratch.size();
+          result.cost.weighted_drops +=
+              dropped_scratch.size() * instance_.drop_cost(c);
+          result.drops_per_color[c] += dropped_scratch.size();
+          policy.OnJobsDropped(k, c, dropped_scratch.size(), dropped_scratch);
+        }
+      }
+    }
+    policy.AfterDropPhase(k);
+
+    // ---- Arrival phase: request k. ----
+    auto arrivals = instance_.jobs_in_round(k);
+    if (!arrivals.empty()) {
+      JobId id = instance_.first_job_in_round(k);
+      // Jobs within a round are grouped per color for the policy callback;
+      // runs of equal colors are contiguous after a single pass because the
+      // builder keeps insertion order and generators emit per-color runs.
+      // Handle arbitrary interleavings anyway.
+      size_t i = 0;
+      while (i < arrivals.size()) {
+        ColorId c = arrivals[i].color;
+        uint64_t count = 0;
+        size_t j = i;
+        while (j < arrivals.size() && arrivals[j].color == c) {
+          state.AddPending(c, id + static_cast<JobId>(j));
+          ++count;
+          ++j;
+        }
+        // Register expiry bucket once per (color, round).
+        Round deadline = k + instance_.delay_bound(c);
+        RRS_CHECK_LE(deadline, horizon);
+        if (state.last_bucket_round[c] != deadline) {
+          state.last_bucket_round[c] = deadline;
+          state.expiry_buckets[static_cast<size_t>(deadline)].push_back(c);
+        }
+        policy.OnArrivals(k, c, count);
+        i = j;
+      }
+    }
+    policy.AfterArrivalPhase(k);
+
+    // ---- Mini-rounds: reconfiguration + execution phases. ----
+    for (int mini = 0; mini < options_.mini_rounds_per_round; ++mini) {
+      view.SetPhase(k, mini);
+      policy.Reconfigure(k, mini, view);
+
+      for (ResourceId r = 0; r < options_.num_resources; ++r) {
+        ColorId c = state.resource_color[r];
+        if (c == kNoColor) continue;
+        auto& queue = state.pending[c];
+        if (queue.empty()) continue;
+        JobId job = queue.front();
+        queue.pop_front();
+        ++result.executed;
+        if (schedule_ptr != nullptr) {
+          schedule_ptr->AddExecution(k, mini, r, job);
+        }
+      }
+    }
+  }
+
+  // Every job must have been executed or dropped by the horizon.
+  RRS_CHECK_EQ(result.executed + result.cost.drops, result.arrived)
+      << "engine accounting mismatch";
+
+  policy.CollectCounters(result.policy_counters);
+  result.rounds_simulated = horizon + 1;
+  if (schedule_ptr != nullptr) result.schedule = std::move(schedule);
+  return result;
+}
+
+RunResult RunPolicy(const Instance& instance, SchedulerPolicy& policy,
+                    const EngineOptions& options) {
+  Engine engine(instance, options);
+  return engine.Run(policy);
+}
+
+}  // namespace rrs

@@ -1,0 +1,64 @@
+// The round-phase simulation engine for [Δ | 1 | D_ℓ | ·] (Section 2).
+//
+// The engine is the single source of truth for model semantics: the
+// drop/arrival/reconfiguration/execution phase order, unit-job pending state,
+// cost accounting (Δ per actual recoloring, 1 per drop), and the optional
+// mini-round doubling used by double-speed algorithms. Policies only decide
+// resource colors; everything else is fixed by the model.
+//
+// Per-color pending jobs are FIFO deques: a color's deadlines arrive in
+// nondecreasing order (deadline = arrival + D_ℓ with D_ℓ fixed per color), so
+// FIFO order *is* earliest-deadline order and drop-phase expiry only ever
+// pops from the front. Expiry scanning uses per-round buckets so a round's
+// drop phase touches only colors that can actually expire in it.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/policy.h"
+#include "core/schedule.h"
+
+namespace rrs {
+
+struct RunResult {
+  CostBreakdown cost;
+  uint64_t executed = 0;
+  uint64_t arrived = 0;
+  Round rounds_simulated = 0;
+  std::vector<uint64_t> drops_per_color;
+  std::map<std::string, double> policy_counters;
+  std::optional<Schedule> schedule;  // present iff options.record_schedule
+
+  uint64_t total_cost(const CostModel& model) const {
+    return cost.total(model);
+  }
+};
+
+class Engine {
+ public:
+  Engine(const Instance& instance, EngineOptions options);
+
+  // Runs the policy over the whole instance (rounds 0..horizon inclusive, so
+  // every job either executes or drops) and returns the outcome.
+  RunResult Run(SchedulerPolicy& policy);
+
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  // ResourceView implementation handed to the policy each reconfig phase.
+  class View;
+
+  const Instance& instance_;
+  EngineOptions options_;
+};
+
+// Convenience helper: construct an engine and run one policy.
+RunResult RunPolicy(const Instance& instance, SchedulerPolicy& policy,
+                    const EngineOptions& options);
+
+}  // namespace rrs

@@ -1,0 +1,241 @@
+#include "core/instance.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace rrs {
+
+ColorId InstanceBuilder::AddColor(Round delay_bound, std::string name,
+                                  uint64_t drop_cost) {
+  RRS_CHECK_GE(delay_bound, 1) << "delay bound must be a positive integer";
+  RRS_CHECK_GE(drop_cost, 1u) << "drop cost must be a positive integer";
+  ColorId id = static_cast<ColorId>(delay_bounds_.size());
+  delay_bounds_.push_back(delay_bound);
+  drop_costs_.push_back(drop_cost);
+  if (name.empty()) name = "c" + std::to_string(id);
+  names_.push_back(std::move(name));
+  return id;
+}
+
+void InstanceBuilder::AddJob(ColorId color, Round arrival) {
+  RRS_CHECK_LT(color, delay_bounds_.size()) << "unknown color";
+  RRS_CHECK_GE(arrival, 0);
+  jobs_.push_back(Job{color, arrival});
+}
+
+void InstanceBuilder::AddJobs(ColorId color, Round arrival, uint64_t count) {
+  for (uint64_t i = 0; i < count; ++i) AddJob(color, arrival);
+}
+
+Instance InstanceBuilder::Build() {
+  Instance inst;
+  inst.delay_bounds_ = std::move(delay_bounds_);
+  inst.drop_costs_ = std::move(drop_costs_);
+  inst.names_ = std::move(names_);
+  inst.jobs_ = std::move(jobs_);
+  delay_bounds_.clear();
+  drop_costs_.clear();
+  names_.clear();
+  jobs_.clear();
+
+  std::stable_sort(inst.jobs_.begin(), inst.jobs_.end(),
+                   [](const Job& a, const Job& b) { return a.arrival < b.arrival; });
+
+  inst.jobs_per_color_.assign(inst.delay_bounds_.size(), 0);
+  Round max_arrival = -1;
+  Round max_deadline = 0;
+  for (const Job& j : inst.jobs_) {
+    ++inst.jobs_per_color_[j.color];
+    max_arrival = std::max(max_arrival, j.arrival);
+    max_deadline = std::max(max_deadline, j.arrival + inst.delay_bounds_[j.color]);
+  }
+  inst.num_request_rounds_ = max_arrival + 1;
+  inst.horizon_ = max_deadline;
+
+  // CSR offsets: round_offsets_[r] = index of first job with arrival >= r.
+  inst.round_offsets_.assign(static_cast<size_t>(inst.num_request_rounds_) + 1, 0);
+  for (const Job& j : inst.jobs_) {
+    ++inst.round_offsets_[static_cast<size_t>(j.arrival) + 1];
+  }
+  for (size_t r = 1; r < inst.round_offsets_.size(); ++r) {
+    inst.round_offsets_[r] += inst.round_offsets_[r - 1];
+  }
+  return inst;
+}
+
+Round Instance::delay_bound(ColorId c) const {
+  RRS_CHECK_LT(c, delay_bounds_.size());
+  return delay_bounds_[c];
+}
+
+const std::string& Instance::color_name(ColorId c) const {
+  RRS_CHECK_LT(c, names_.size());
+  return names_[c];
+}
+
+uint64_t Instance::drop_cost(ColorId c) const {
+  RRS_CHECK_LT(c, drop_costs_.size());
+  return drop_costs_[c];
+}
+
+bool Instance::HasUnitDropCosts() const {
+  return std::all_of(drop_costs_.begin(), drop_costs_.end(),
+                     [](uint64_t w) { return w == 1; });
+}
+
+const Job& Instance::job(JobId id) const {
+  RRS_CHECK_LT(id, jobs_.size());
+  return jobs_[id];
+}
+
+Round Instance::deadline(JobId id) const {
+  const Job& j = job(id);
+  return j.arrival + delay_bounds_[j.color];
+}
+
+std::span<const Job> Instance::jobs_in_round(Round r) const {
+  if (r < 0 || r >= num_request_rounds_) return {};
+  size_t lo = round_offsets_[static_cast<size_t>(r)];
+  size_t hi = round_offsets_[static_cast<size_t>(r) + 1];
+  return std::span<const Job>(jobs_.data() + lo, hi - lo);
+}
+
+JobId Instance::first_job_in_round(Round r) const {
+  RRS_CHECK_GE(r, 0);
+  RRS_CHECK_LT(r, num_request_rounds_);
+  return static_cast<JobId>(round_offsets_[static_cast<size_t>(r)]);
+}
+
+bool Instance::IsBatched() const {
+  for (const Job& j : jobs_) {
+    if (j.arrival % delay_bounds_[j.color] != 0) return false;
+  }
+  return true;
+}
+
+bool Instance::IsRateLimited() const {
+  if (!IsBatched()) return false;
+  // Count per (color, arrival round); arrivals are sorted by round, so a
+  // single pass with a per-color "current round count" suffices.
+  std::vector<Round> last_round(delay_bounds_.size(), -1);
+  std::vector<Round> count(delay_bounds_.size(), 0);
+  for (const Job& j : jobs_) {
+    if (last_round[j.color] != j.arrival) {
+      last_round[j.color] = j.arrival;
+      count[j.color] = 0;
+    }
+    if (++count[j.color] > delay_bounds_[j.color]) return false;
+  }
+  return true;
+}
+
+bool Instance::DelayBoundsArePowersOfTwo() const {
+  return std::all_of(delay_bounds_.begin(), delay_bounds_.end(),
+                     [](Round d) { return IsPowerOfTwo(d); });
+}
+
+void Instance::Serialize(std::ostream& out) const {
+  out << "rrsched-trace 1\n";
+  for (size_t c = 0; c < delay_bounds_.size(); ++c) {
+    out << "color " << delay_bounds_[c] << " " << names_[c];
+    if (drop_costs_[c] != 1) out << " " << drop_costs_[c];
+    out << "\n";
+  }
+  // Run-length encode consecutive identical jobs for compactness.
+  size_t i = 0;
+  while (i < jobs_.size()) {
+    size_t j = i;
+    while (j < jobs_.size() && jobs_[j] == jobs_[i]) ++j;
+    out << "job " << jobs_[i].color << " " << jobs_[i].arrival;
+    if (j - i > 1) out << " " << (j - i);
+    out << "\n";
+    i = j;
+  }
+}
+
+Instance Instance::Deserialize(std::istream& in) {
+  InstanceBuilder builder;
+  std::string line;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    std::string_view sv = Trim(line);
+    if (sv.empty() || sv[0] == '#') continue;
+    auto fields = Split(std::string(sv), ' ');
+    // Drop empty fields from repeated spaces.
+    std::erase_if(fields, [](const std::string& f) { return f.empty(); });
+    RRS_CHECK(!fields.empty());
+    if (fields[0] == "rrsched-trace") {
+      RRS_CHECK_GE(fields.size(), 2u);
+      RRS_CHECK(fields[1] == "1") << "unsupported trace version " << fields[1];
+      saw_header = true;
+    } else if (fields[0] == "color") {
+      RRS_CHECK(saw_header) << "trace missing header";
+      RRS_CHECK_GE(fields.size(), 2u);
+      auto d = ParseInt(fields[1]);
+      RRS_CHECK(d.has_value()) << "bad delay bound: " << fields[1];
+      uint64_t drop_cost = 1;
+      if (fields.size() >= 4) {
+        auto w = ParseUint(fields[3]);
+        RRS_CHECK(w.has_value()) << "bad drop cost: " << fields[3];
+        drop_cost = *w;
+      }
+      builder.AddColor(*d, fields.size() >= 3 ? fields[2] : std::string(),
+                       drop_cost);
+    } else if (fields[0] == "job") {
+      RRS_CHECK(saw_header) << "trace missing header";
+      RRS_CHECK_GE(fields.size(), 3u);
+      auto c = ParseUint(fields[1]);
+      auto a = ParseInt(fields[2]);
+      RRS_CHECK(c.has_value() && a.has_value()) << "bad job line: " << line;
+      uint64_t count = 1;
+      if (fields.size() >= 4) {
+        auto n = ParseUint(fields[3]);
+        RRS_CHECK(n.has_value()) << "bad job count: " << fields[3];
+        count = *n;
+      }
+      builder.AddJobs(static_cast<ColorId>(*c), *a, count);
+    } else {
+      RRS_CHECK(false) << "unknown trace directive: " << fields[0];
+    }
+  }
+  RRS_CHECK(saw_header) << "not an rrsched trace";
+  return builder.Build();
+}
+
+bool Instance::SaveToFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  Serialize(out);
+  return static_cast<bool>(out);
+}
+
+Instance Instance::LoadFromFile(const std::string& path) {
+  std::ifstream in(path);
+  RRS_CHECK(static_cast<bool>(in)) << "cannot open trace file " << path;
+  return Deserialize(in);
+}
+
+std::string Instance::Summary() const {
+  std::ostringstream os;
+  os << num_colors() << " colors, " << num_jobs() << " jobs, "
+     << num_request_rounds_ << " request rounds, horizon " << horizon_;
+  std::map<Round, size_t> by_delay;
+  for (Round d : delay_bounds_) ++by_delay[d];
+  os << "; delay bounds:";
+  for (const auto& [d, n] : by_delay) os << " " << d << "x" << n;
+  return os.str();
+}
+
+Round FloorPowerOfTwo(Round v) {
+  RRS_CHECK_GE(v, 1);
+  Round p = 1;
+  while (p * 2 <= v) p *= 2;
+  return p;
+}
+
+}  // namespace rrs

@@ -1,0 +1,136 @@
+// Problem instances for [Δ | 1 | D_ℓ | batch]: the color table (per-color
+// delay bounds), the request sequence (jobs grouped by arrival round), and
+// structural predicates (batched, rate-limited, power-of-two delay bounds)
+// used to validate the preconditions of each algorithm and reduction.
+//
+// Instances are immutable once built; InstanceBuilder performs construction.
+// Jobs carry dense JobIds (their index in jobs()), which schedules and the
+// validator use to refer to them.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/job.h"
+#include "core/types.h"
+
+namespace rrs {
+
+class Instance;
+
+class InstanceBuilder {
+ public:
+  // Adds a color with the given delay bound (>= 1). Returns its ColorId.
+  // drop_cost is the per-job cost of dropping this color's jobs; the paper's
+  // model is unit drop cost (the default), and the Section-3 guarantees only
+  // apply there, but the engine/validator support the variable-drop-cost
+  // [Δ | c_ℓ | D_ℓ | ·] family of the authors' earlier work as an extension.
+  ColorId AddColor(Round delay_bound, std::string name = {},
+                   uint64_t drop_cost = 1);
+
+  // Adds a unit job of an existing color arriving at `arrival` (>= 0).
+  // Returns the provisional job index (stable: Build() keeps insertion order
+  // within a round and orders rounds ascending).
+  void AddJob(ColorId color, Round arrival);
+
+  // Adds `count` identical jobs.
+  void AddJobs(ColorId color, Round arrival, uint64_t count);
+
+  size_t num_colors() const { return delay_bounds_.size(); }
+  size_t num_jobs() const { return jobs_.size(); }
+
+  // Finalizes into an immutable Instance. The builder is left empty.
+  Instance Build();
+
+ private:
+  std::vector<Round> delay_bounds_;
+  std::vector<uint64_t> drop_costs_;
+  std::vector<std::string> names_;
+  std::vector<Job> jobs_;
+};
+
+class Instance {
+ public:
+  Instance() = default;
+
+  size_t num_colors() const { return delay_bounds_.size(); }
+  size_t num_jobs() const { return jobs_.size(); }
+
+  Round delay_bound(ColorId c) const;
+  uint64_t drop_cost(ColorId c) const;
+  const std::string& color_name(ColorId c) const;
+
+  // True when every color has the paper's unit drop cost (the precondition
+  // of the Section 3-5 guarantees).
+  bool HasUnitDropCosts() const;
+
+  const Job& job(JobId id) const;
+  Round deadline(JobId id) const;
+  std::span<const Job> jobs() const { return jobs_; }
+
+  // Jobs arriving in round r (empty span if none). JobIds of the span are
+  // contiguous starting at first_job_in_round(r).
+  std::span<const Job> jobs_in_round(Round r) const;
+  JobId first_job_in_round(Round r) const;
+
+  // Number of rounds with arrivals: max arrival + 1 (0 if no jobs).
+  Round num_request_rounds() const { return num_request_rounds_; }
+
+  // The last round that must be simulated so every job either executes or
+  // drops: the maximum deadline over all jobs (0 if no jobs).
+  Round horizon() const { return horizon_; }
+
+  // Per-color total job count.
+  const std::vector<uint64_t>& jobs_per_color() const {
+    return jobs_per_color_;
+  }
+
+  // --- Structural predicates -------------------------------------------
+
+  // True if every color-ℓ job arrives at an integral multiple of D_ℓ
+  // (the [Δ | 1 | D_ℓ | D_ℓ] batching condition).
+  bool IsBatched() const;
+
+  // True if batched AND at most D_ℓ color-ℓ jobs arrive per batch round
+  // (the rate-limited condition of Section 3).
+  bool IsRateLimited() const;
+
+  // True if every delay bound is a power of two.
+  bool DelayBoundsArePowersOfTwo() const;
+
+  // --- Serialization ----------------------------------------------------
+  // Text trace format:
+  //   # comment
+  //   rrsched-trace 1
+  //   color <delay_bound> [name]
+  //   job <color_id> <arrival> [count]
+  void Serialize(std::ostream& out) const;
+  static Instance Deserialize(std::istream& in);
+
+  bool SaveToFile(const std::string& path) const;
+  static Instance LoadFromFile(const std::string& path);
+
+  std::string Summary() const;
+
+ private:
+  friend class InstanceBuilder;
+
+  std::vector<Round> delay_bounds_;
+  std::vector<uint64_t> drop_costs_;
+  std::vector<std::string> names_;
+  std::vector<Job> jobs_;                 // sorted by arrival (stable)
+  std::vector<uint32_t> round_offsets_;   // CSR: round -> first job index
+  std::vector<uint64_t> jobs_per_color_;
+  Round num_request_rounds_ = 0;
+  Round horizon_ = 0;
+};
+
+inline bool IsPowerOfTwo(Round v) { return v > 0 && (v & (v - 1)) == 0; }
+
+// Largest power of two <= v (v >= 1).
+Round FloorPowerOfTwo(Round v);
+
+}  // namespace rrs

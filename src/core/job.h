@@ -1,0 +1,18 @@
+// The unit job of the model: a color, an arrival round, and (via its color's
+// delay bound) a deadline. A job must execute on a resource of its color in
+// the execution phase of some round r with arrival <= r < deadline; otherwise
+// it is dropped in the drop phase of round `deadline` at unit cost.
+#pragma once
+
+#include "core/types.h"
+
+namespace rrs {
+
+struct Job {
+  ColorId color = kNoColor;
+  Round arrival = 0;
+
+  friend bool operator==(const Job&, const Job&) = default;
+};
+
+}  // namespace rrs

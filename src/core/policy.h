@@ -1,0 +1,103 @@
+// The online-scheduler interface driven by the Engine.
+//
+// The engine owns the ground truth of the model (pending jobs, resource
+// colors, cost accounting, the four-phase round structure) and calls into the
+// policy at well-defined points:
+//
+//   round k:
+//     drop phase      -> OnJobsDropped(k, color, count) per affected color,
+//                        then AfterDropPhase(k)
+//     arrival phase   -> OnArrivals(k, color, count) per arriving color,
+//                        then AfterArrivalPhase(k)
+//     per mini-round: -> Reconfigure(k, mini, view)  [policy recolors
+//                        resources through the view; engine charges Δ per
+//                        actual color change]
+//     execution phase -> engine executes one earliest-deadline pending job of
+//                        each resource's color (no policy involvement; the
+//                        model fixes this behavior)
+//
+// Policies are single-threaded and owned by one engine run at a time; Reset()
+// is called before each run so one policy object can be reused across runs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+
+#include "core/cost.h"
+#include "core/instance.h"
+#include "core/types.h"
+
+namespace rrs {
+
+struct EngineOptions {
+  uint32_t num_resources = 1;
+  int mini_rounds_per_round = 1;  // 2 = double-speed (Section 3.3)
+  CostModel cost_model;
+  bool record_schedule = false;
+};
+
+// Engine-provided window onto the simulation state during a reconfiguration
+// phase. SetColor is the only mutating operation available to policies.
+class ResourceView {
+ public:
+  virtual ~ResourceView() = default;
+
+  virtual uint32_t num_resources() const = 0;
+  virtual ColorId color_of(ResourceId r) const = 0;
+
+  // Recolors resource r. A change to a different color costs Δ and is
+  // recorded; setting the current color is a no-op (no cost).
+  virtual void SetColor(ResourceId r, ColorId c) = 0;
+
+  virtual uint64_t pending_count(ColorId c) const = 0;
+
+  // Earliest deadline among pending color-c jobs; requires pending_count > 0.
+  virtual Round earliest_deadline(ColorId c) const = 0;
+
+  // Colors with at least one pending job (unordered).
+  virtual const std::vector<ColorId>& nonidle_colors() const = 0;
+};
+
+class SchedulerPolicy {
+ public:
+  virtual ~SchedulerPolicy() = default;
+
+  virtual std::string name() const = 0;
+
+  // Called once before each run. The instance and options outlive the run.
+  virtual void Reset(const Instance& instance, const EngineOptions& options) = 0;
+
+  // Drop phase of round k dropped `count` color-c jobs. `jobs` carries their
+  // ids when the driver knows them (Engine replaying an Instance) and is
+  // empty in streaming mode (StreamEngine); ids are valid for the duration
+  // of the call only.
+  virtual void OnJobsDropped(Round k, ColorId c, uint64_t count,
+                             std::span<const JobId> jobs) {
+    (void)k;
+    (void)c;
+    (void)count;
+    (void)jobs;
+  }
+  virtual void AfterDropPhase(Round k) { (void)k; }
+
+  // Arrival phase of round k delivered `count` color-c jobs.
+  virtual void OnArrivals(Round k, ColorId c, uint64_t count) {
+    (void)k;
+    (void)c;
+    (void)count;
+  }
+  virtual void AfterArrivalPhase(Round k) { (void)k; }
+
+  // Reconfiguration phase of mini-round (k, mini).
+  virtual void Reconfigure(Round k, int mini, ResourceView& view) = 0;
+
+  // Policy-specific instrumentation (epoch counts, eligible/ineligible drop
+  // split, ...) exported into RunResult::policy_counters.
+  virtual void CollectCounters(std::map<std::string, double>& out) const {
+    (void)out;
+  }
+};
+
+}  // namespace rrs

@@ -1,0 +1,230 @@
+#include "core/schedule.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace rrs {
+
+Schedule::Schedule(uint32_t num_resources, int mini_rounds_per_round)
+    : num_resources_(num_resources), mini_rounds_(mini_rounds_per_round) {
+  RRS_CHECK_GE(mini_rounds_per_round, 1);
+}
+
+void Schedule::AddReconfig(Round round, int mini, ResourceId resource,
+                           ColorId to) {
+  reconfigs_.push_back(ReconfigAction{round, mini, resource, to});
+}
+
+void Schedule::AddExecution(Round round, int mini, ResourceId resource,
+                            JobId job) {
+  executions_.push_back(ExecAction{round, mini, resource, job});
+}
+
+void Schedule::Serialize(std::ostream& out) const {
+  out << "rrsched-schedule 1 " << num_resources_ << " " << mini_rounds_
+      << "\n";
+  for (const ReconfigAction& a : reconfigs_) {
+    out << "r " << a.round << " " << a.mini << " " << a.resource << " "
+        << (a.to == kNoColor ? int64_t{-1} : static_cast<int64_t>(a.to))
+        << "\n";
+  }
+  for (const ExecAction& a : executions_) {
+    out << "x " << a.round << " " << a.mini << " " << a.resource << " "
+        << a.job << "\n";
+  }
+}
+
+Schedule Schedule::Deserialize(std::istream& in) {
+  std::string line;
+  RRS_CHECK(static_cast<bool>(std::getline(in, line)))
+      << "empty schedule stream";
+  auto header = Split(std::string(Trim(line)), ' ');
+  std::erase_if(header, [](const std::string& f) { return f.empty(); });
+  RRS_CHECK(header.size() == 4 && header[0] == "rrsched-schedule" &&
+            header[1] == "1")
+      << "bad schedule header: " << line;
+  auto resources = ParseUint(header[2]);
+  auto minis = ParseInt(header[3]);
+  RRS_CHECK(resources.has_value() && minis.has_value());
+  Schedule schedule(static_cast<uint32_t>(*resources),
+                    static_cast<int>(*minis));
+
+  while (std::getline(in, line)) {
+    std::string_view sv = Trim(line);
+    if (sv.empty() || sv[0] == '#') continue;
+    auto fields = Split(std::string(sv), ' ');
+    std::erase_if(fields, [](const std::string& f) { return f.empty(); });
+    RRS_CHECK_EQ(fields.size(), 5u) << "bad schedule line: " << line;
+    auto round = ParseInt(fields[1]);
+    auto mini = ParseInt(fields[2]);
+    auto resource = ParseUint(fields[3]);
+    RRS_CHECK(round && mini && resource) << "bad schedule line: " << line;
+    if (fields[0] == "r") {
+      auto color = ParseInt(fields[4]);
+      RRS_CHECK(color.has_value()) << "bad color: " << fields[4];
+      schedule.AddReconfig(*round, static_cast<int>(*mini),
+                           static_cast<ResourceId>(*resource),
+                           *color < 0 ? kNoColor
+                                      : static_cast<ColorId>(*color));
+    } else if (fields[0] == "x") {
+      auto job = ParseUint(fields[4]);
+      RRS_CHECK(job.has_value()) << "bad job id: " << fields[4];
+      schedule.AddExecution(*round, static_cast<int>(*mini),
+                            static_cast<ResourceId>(*resource),
+                            static_cast<JobId>(*job));
+    } else {
+      RRS_CHECK(false) << "unknown schedule directive: " << fields[0];
+    }
+  }
+  return schedule;
+}
+
+bool Schedule::SaveToFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  Serialize(out);
+  return static_cast<bool>(out);
+}
+
+Schedule Schedule::LoadFromFile(const std::string& path) {
+  std::ifstream in(path);
+  RRS_CHECK(static_cast<bool>(in)) << "cannot open schedule file " << path;
+  return Deserialize(in);
+}
+
+CostBreakdown Schedule::Cost(const Instance& instance) const {
+  CostBreakdown cost;
+  cost.reconfigurations = reconfigs_.size();
+  RRS_CHECK_LE(executions_.size(), instance.num_jobs());
+  cost.drops = instance.num_jobs() - executions_.size();
+  // Weighted drop cost: total job weight minus executed weight.
+  uint64_t total_weight = 0;
+  for (ColorId c = 0; c < instance.num_colors(); ++c) {
+    total_weight += instance.jobs_per_color()[c] * instance.drop_cost(c);
+  }
+  uint64_t executed_weight = 0;
+  for (const ExecAction& a : executions_) {
+    executed_weight += instance.drop_cost(instance.job(a.job).color);
+  }
+  cost.weighted_drops = total_weight - executed_weight;
+  return cost;
+}
+
+namespace {
+
+// A merged timeline event: reconfigs apply before executions within the same
+// (round, mini) per the model's phase order.
+struct Event {
+  Round round;
+  int mini;
+  int kind;  // 0 = reconfig, 1 = execution
+  size_t index;
+};
+
+std::string Where(Round round, int mini, ResourceId resource) {
+  std::ostringstream os;
+  os << "round " << round << " mini " << mini << " resource " << resource;
+  return os.str();
+}
+
+}  // namespace
+
+ValidationResult Schedule::Validate(const Instance& instance) const {
+  ValidationResult result;
+  auto fail = [&](const std::string& msg) {
+    result.ok = false;
+    result.error = msg;
+    return result;
+  };
+
+  std::vector<Event> events;
+  events.reserve(reconfigs_.size() + executions_.size());
+  for (size_t i = 0; i < reconfigs_.size(); ++i) {
+    const auto& a = reconfigs_[i];
+    events.push_back(Event{a.round, a.mini, 0, i});
+  }
+  for (size_t i = 0; i < executions_.size(); ++i) {
+    const auto& a = executions_[i];
+    events.push_back(Event{a.round, a.mini, 1, i});
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.round != b.round) return a.round < b.round;
+    if (a.mini != b.mini) return a.mini < b.mini;
+    return a.kind < b.kind;
+  });
+
+  std::vector<ColorId> color(num_resources_, kNoColor);
+  std::vector<uint8_t> executed(instance.num_jobs(), 0);
+  // Detects two executions on the same (resource, round, mini): stores the
+  // last (round, mini) each resource executed in.
+  std::vector<std::pair<Round, int>> last_exec(
+      num_resources_, {-1, -1});
+
+  for (const Event& ev : events) {
+    if (ev.kind == 0) {
+      const ReconfigAction& a = reconfigs_[ev.index];
+      if (a.round < 0) return fail("reconfig in negative round");
+      if (a.mini < 0 || a.mini >= mini_rounds_) {
+        return fail("reconfig mini-round out of range at " +
+                    Where(a.round, a.mini, a.resource));
+      }
+      if (a.resource >= num_resources_) {
+        return fail("reconfig on unknown resource at " +
+                    Where(a.round, a.mini, a.resource));
+      }
+      if (a.to != kNoColor && a.to >= instance.num_colors()) {
+        return fail("reconfig to unknown color at " +
+                    Where(a.round, a.mini, a.resource));
+      }
+      color[a.resource] = a.to;
+    } else {
+      const ExecAction& a = executions_[ev.index];
+      if (a.mini < 0 || a.mini >= mini_rounds_) {
+        return fail("execution mini-round out of range at " +
+                    Where(a.round, a.mini, a.resource));
+      }
+      if (a.resource >= num_resources_) {
+        return fail("execution on unknown resource at " +
+                    Where(a.round, a.mini, a.resource));
+      }
+      if (a.job >= instance.num_jobs()) {
+        return fail("execution of unknown job at " +
+                    Where(a.round, a.mini, a.resource));
+      }
+      const Job& job = instance.job(a.job);
+      if (color[a.resource] != job.color) {
+        return fail("resource not configured with job's color at " +
+                    Where(a.round, a.mini, a.resource));
+      }
+      if (a.round < job.arrival) {
+        return fail("job " + std::to_string(a.job) + " executed before arrival at " +
+                    Where(a.round, a.mini, a.resource));
+      }
+      if (a.round >= instance.deadline(a.job)) {
+        return fail("job " + std::to_string(a.job) + " executed at/after deadline at " +
+                    Where(a.round, a.mini, a.resource));
+      }
+      if (executed[a.job]) {
+        return fail("job " + std::to_string(a.job) + " executed twice");
+      }
+      if (last_exec[a.resource] == std::make_pair(a.round, a.mini)) {
+        return fail("two executions in one slot at " +
+                    Where(a.round, a.mini, a.resource));
+      }
+      executed[a.job] = 1;
+      last_exec[a.resource] = {a.round, a.mini};
+    }
+  }
+
+  result.ok = true;
+  result.executed = executions_.size();
+  result.cost = Cost(instance);
+  return result;
+}
+
+}  // namespace rrs

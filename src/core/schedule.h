@@ -1,0 +1,105 @@
+// Recorded schedules and the independent legality validator.
+//
+// A Schedule is the complete record of what an algorithm (online policy,
+// reduction pipeline, exact offline solver, or a hand-built Appendix
+// construction) did: every reconfiguration and every job execution, tagged
+// with (round, mini_round, resource). The validator replays a schedule
+// against the originating Instance and re-derives its cost from first
+// principles, so every algorithm in the repository is checked by code that
+// shares nothing with the engine that produced the schedule.
+//
+// Mini-rounds: uni-speed schedules have 1 mini-round per round; double-speed
+// schedules (DS-Seq-EDF, Section 3.3) have 2.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/cost.h"
+#include "core/instance.h"
+#include "core/types.h"
+
+namespace rrs {
+
+struct ReconfigAction {
+  Round round = 0;
+  int mini = 0;
+  ResourceId resource = 0;
+  ColorId to = kNoColor;
+
+  friend bool operator==(const ReconfigAction&, const ReconfigAction&) = default;
+};
+
+struct ExecAction {
+  Round round = 0;
+  int mini = 0;
+  ResourceId resource = 0;
+  JobId job = kNoJob;
+
+  friend bool operator==(const ExecAction&, const ExecAction&) = default;
+};
+
+struct ValidationResult {
+  bool ok = false;
+  std::string error;          // first failure, empty when ok
+  CostBreakdown cost;         // recomputed from the schedule + instance
+  uint64_t executed = 0;
+
+  explicit operator bool() const { return ok; }
+};
+
+class Schedule {
+ public:
+  // Default-constructed schedules are empty placeholders (0 resources) to be
+  // overwritten by assignment; validating one fails unless it has no actions.
+  Schedule() = default;
+  Schedule(uint32_t num_resources, int mini_rounds_per_round = 1);
+
+  uint32_t num_resources() const { return num_resources_; }
+  int mini_rounds_per_round() const { return mini_rounds_; }
+
+  // Actions may be appended in any order; validation sorts a copy.
+  void AddReconfig(Round round, int mini, ResourceId resource, ColorId to);
+  void AddExecution(Round round, int mini, ResourceId resource, JobId job);
+
+  const std::vector<ReconfigAction>& reconfigs() const { return reconfigs_; }
+  const std::vector<ExecAction>& executions() const { return executions_; }
+
+  uint64_t num_reconfigs() const { return reconfigs_.size(); }
+  uint64_t num_executions() const { return executions_.size(); }
+
+  // Cost assuming the schedule is legal for `instance`: Δ per reconfig plus
+  // one per job of the instance that the schedule does not execute.
+  CostBreakdown Cost(const Instance& instance) const;
+
+  // --- Serialization ------------------------------------------------------
+  // Text format:
+  //   rrsched-schedule 1 <resources> <mini_rounds>
+  //   r <round> <mini> <resource> <color>    (color -1 = black)
+  //   x <round> <mini> <resource> <job>
+  // A serialized (instance, schedule) pair is a certifiable artifact: anyone
+  // can reload both and re-run Validate.
+  void Serialize(std::ostream& out) const;
+  static Schedule Deserialize(std::istream& in);
+  bool SaveToFile(const std::string& path) const;
+  static Schedule LoadFromFile(const std::string& path);
+
+  // Full legality replay against `instance`:
+  //  - every reconfiguration targets a valid resource/mini and an actual
+  //    color (or kNoColor, i.e. back to black);
+  //  - every execution happens on a resource currently configured with the
+  //    job's color, within [arrival, deadline), at most one execution per
+  //    (resource, round, mini), and no job executes twice;
+  //  - the recomputed cost is returned.
+  ValidationResult Validate(const Instance& instance) const;
+
+ private:
+  uint32_t num_resources_ = 0;
+  int mini_rounds_ = 1;
+  std::vector<ReconfigAction> reconfigs_;
+  std::vector<ExecAction> executions_;
+};
+
+}  // namespace rrs

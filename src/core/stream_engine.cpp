@@ -1,0 +1,197 @@
+#include "core/stream_engine.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace rrs {
+
+namespace {
+
+Instance ColorsOnlyInstance(const std::vector<Round>& delay_bounds) {
+  InstanceBuilder builder;
+  for (Round d : delay_bounds) builder.AddColor(d);
+  return builder.Build();
+}
+
+}  // namespace
+
+// Policy-facing view over the streaming state.
+class StreamEngine::View : public ResourceView {
+ public:
+  View(StreamEngine& engine, int mini) : engine_(engine), mini_(mini) {}
+
+  uint32_t num_resources() const override {
+    return engine_.options_.num_resources;
+  }
+
+  ColorId color_of(ResourceId r) const override {
+    return engine_.resource_color_[r];
+  }
+
+  void SetColor(ResourceId r, ColorId c) override {
+    RRS_CHECK_LT(r, engine_.resource_color_.size());
+    RRS_CHECK(c == kNoColor || c < engine_.num_colors());
+    if (engine_.resource_color_[r] == c) return;
+    engine_.resource_color_[r] = c;
+    ++engine_.cost_.reconfigurations;
+    engine_.outcome_.reconfigs.emplace_back(r, c);
+  }
+
+  uint64_t pending_count(ColorId c) const override {
+    return engine_.pending_count(c);
+  }
+
+  Round earliest_deadline(ColorId c) const override {
+    RRS_CHECK(!engine_.pending_[c].empty());
+    return engine_.pending_[c].front().first;
+  }
+
+  const std::vector<ColorId>& nonidle_colors() const override {
+    auto& list = engine_.nonidle_list_;
+    size_t out = 0;
+    for (size_t i = 0; i < list.size(); ++i) {
+      ColorId c = list[i];
+      if (!engine_.pending_[c].empty()) {
+        list[out++] = c;
+      } else {
+        engine_.in_nonidle_list_[c] = 0;
+      }
+    }
+    list.resize(out);
+    return list;
+  }
+
+ private:
+  StreamEngine& engine_;
+  [[maybe_unused]] int mini_;
+};
+
+StreamEngine::StreamEngine(std::vector<Round> delay_bounds,
+                           SchedulerPolicy& policy, EngineOptions options)
+    : instance_(ColorsOnlyInstance(delay_bounds)),
+      policy_(policy),
+      options_(options) {
+  RRS_CHECK_GE(options_.num_resources, 1u);
+  RRS_CHECK_GE(options_.mini_rounds_per_round, 1);
+  RRS_CHECK(!options_.record_schedule)
+      << "streaming mode has no job ids; schedule recording is unsupported";
+  pending_.assign(instance_.num_colors(), {});
+  in_nonidle_list_.assign(instance_.num_colors(), 0);
+  last_expiry_push_.assign(instance_.num_colors(), -1);
+  resource_color_.assign(options_.num_resources, kNoColor);
+  arrivals_scratch_.assign(instance_.num_colors(), 0);
+  policy_.Reset(instance_, options_);
+}
+
+uint64_t StreamEngine::pending_count(ColorId c) const {
+  uint64_t total = 0;
+  for (const auto& [deadline, count] : pending_[c]) total += count;
+  return total;
+}
+
+const RoundOutcome& StreamEngine::Step(
+    std::span<const std::pair<ColorId, uint64_t>> arrivals) {
+  const Round k = round_;
+  outcome_.round = k;
+  outcome_.reconfigs.clear();
+  outcome_.executions.clear();
+  outcome_.drops.clear();
+
+  // ---- Drop phase -------------------------------------------------------
+  while (!expiry_.empty() && expiry_.top().first <= k) {
+    auto [deadline, c] = expiry_.top();
+    expiry_.pop();
+    if (deadline < k) continue;  // stale lazy entry
+    uint64_t dropped = 0;
+    auto& queue = pending_[c];
+    while (!queue.empty() && queue.front().first == k) {
+      dropped += queue.front().second;
+      queue.pop_front();
+    }
+    if (dropped > 0) {
+      cost_.drops += dropped;
+      cost_.weighted_drops += dropped * instance_.drop_cost(c);
+      pending_total_ -= dropped;
+      outcome_.drops.emplace_back(c, dropped);
+      policy_.OnJobsDropped(k, c, dropped, {});
+    }
+    // Re-arm for the color's next deadline.
+    if (!queue.empty() && last_expiry_push_[c] != queue.front().first) {
+      last_expiry_push_[c] = queue.front().first;
+      expiry_.emplace(queue.front().first, c);
+    }
+  }
+  policy_.AfterDropPhase(k);
+
+  // ---- Arrival phase ----------------------------------------------------
+  touched_scratch_.clear();
+  for (const auto& [c, count] : arrivals) {
+    RRS_CHECK_LT(c, instance_.num_colors());
+    if (count == 0) continue;
+    if (arrivals_scratch_[c] == 0) touched_scratch_.push_back(c);
+    arrivals_scratch_[c] += count;
+  }
+  for (ColorId c : touched_scratch_) {
+    uint64_t count = arrivals_scratch_[c];
+    arrivals_scratch_[c] = 0;
+    const Round deadline = k + instance_.delay_bound(c);
+    auto& queue = pending_[c];
+    if (!queue.empty() && queue.back().first == deadline) {
+      queue.back().second += count;
+    } else {
+      queue.emplace_back(deadline, count);
+    }
+    if (queue.size() == 1 && last_expiry_push_[c] != deadline) {
+      last_expiry_push_[c] = deadline;
+      expiry_.emplace(deadline, c);
+    }
+    if (!in_nonidle_list_[c]) {
+      in_nonidle_list_[c] = 1;
+      nonidle_list_.push_back(c);
+    }
+    arrived_ += count;
+    pending_total_ += count;
+    policy_.OnArrivals(k, c, count);
+  }
+  policy_.AfterArrivalPhase(k);
+
+  // ---- Mini-rounds ------------------------------------------------------
+  for (int mini = 0; mini < options_.mini_rounds_per_round; ++mini) {
+    View view(*this, mini);
+    policy_.Reconfigure(k, mini, view);
+
+    for (ResourceId r = 0; r < options_.num_resources; ++r) {
+      ColorId c = resource_color_[r];
+      if (c == kNoColor) continue;
+      auto& queue = pending_[c];
+      if (queue.empty()) continue;
+      if (--queue.front().second == 0) queue.pop_front();
+      --pending_total_;
+      ++executed_;
+      if (!outcome_.executions.empty() &&
+          outcome_.executions.back().first == c) {
+        ++outcome_.executions.back().second;
+      } else {
+        outcome_.executions.emplace_back(c, 1);
+      }
+      // Keep the expiry heap armed for the new front deadline.
+      if (!queue.empty() && last_expiry_push_[c] != queue.front().first) {
+        last_expiry_push_[c] = queue.front().first;
+        expiry_.emplace(queue.front().first, c);
+      }
+    }
+  }
+
+  ++round_;
+  return outcome_;
+}
+
+void StreamEngine::Finish() {
+  while (HasPending()) {
+    Step({});
+  }
+  // One more drop phase cannot be pending: HasPending() counts every job.
+}
+
+}  // namespace rrs

@@ -1,0 +1,99 @@
+// StreamEngine: the incremental (truly online) counterpart of Engine.
+//
+// Engine replays a complete Instance — convenient for experiments and
+// validation, but an actual deployment (a router data plane, a cluster
+// manager) sees requests one round at a time and needs decisions back
+// immediately. StreamEngine drives the same SchedulerPolicy interface with
+// the same four-phase semantics, but is fed arrivals round by round via
+// Step() and reports each round's reconfigurations, executions (as color
+// counts; there are no job ids in streaming mode), and drops.
+//
+// Equivalence with Engine — same policy, same workload, same costs — is
+// pinned by tests (stream_test.cpp): the two implementations share the
+// semantics, not the code, so the tests are the contract.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <queue>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/policy.h"
+
+namespace rrs {
+
+struct RoundOutcome {
+  Round round = 0;
+  // Reconfigurations applied this round, in application order across all
+  // mini-rounds. Pairs are (resource, new color).
+  std::vector<std::pair<ResourceId, ColorId>> reconfigs;
+  // Executions this round as (color, count) pairs aggregated over resources
+  // and mini-rounds.
+  std::vector<std::pair<ColorId, uint64_t>> executions;
+  // Jobs dropped in this round's drop phase, as (color, count).
+  std::vector<std::pair<ColorId, uint64_t>> drops;
+};
+
+class StreamEngine {
+ public:
+  // delay_bounds[c] is color c's delay bound. The policy is reset
+  // immediately (against a jobless Instance carrying the color table).
+  StreamEngine(std::vector<Round> delay_bounds, SchedulerPolicy& policy,
+               EngineOptions options);
+
+  size_t num_colors() const { return instance_.num_colors(); }
+  Round current_round() const { return round_; }
+
+  // Advances one round with the given arrivals (color, count). Colors may
+  // repeat; counts accumulate. Returns the round's outcome (valid until the
+  // next Step).
+  const RoundOutcome& Step(
+      std::span<const std::pair<ColorId, uint64_t>> arrivals);
+
+  // True while any job is still pending.
+  bool HasPending() const { return pending_total_ > 0; }
+
+  // Advances empty rounds until no jobs are pending (each pending job either
+  // executes or reaches its deadline). Bounded by the largest delay bound.
+  void Finish();
+
+  const CostBreakdown& cost() const { return cost_; }
+  uint64_t arrived() const { return arrived_; }
+  uint64_t executed() const { return executed_; }
+
+ private:
+  class View;
+  friend class View;
+
+  uint64_t pending_count(ColorId c) const;
+
+  Instance instance_;  // colors only; gives policies the color table
+  SchedulerPolicy& policy_;
+  EngineOptions options_;
+
+  Round round_ = 0;
+  CostBreakdown cost_;
+  uint64_t arrived_ = 0;
+  uint64_t executed_ = 0;
+  uint64_t pending_total_ = 0;
+
+  // Per color: FIFO of (deadline, count); FIFO order == deadline order.
+  std::vector<std::deque<std::pair<Round, uint64_t>>> pending_;
+  std::vector<ColorId> nonidle_list_;  // lazily compacted
+  std::vector<uint8_t> in_nonidle_list_;
+  // Colors that may expire, keyed by deadline (lazy min-heap; duplicates ok).
+  std::priority_queue<std::pair<Round, ColorId>,
+                      std::vector<std::pair<Round, ColorId>>,
+                      std::greater<>>
+      expiry_;
+  std::vector<Round> last_expiry_push_;  // dedupe heap pushes
+  std::vector<ColorId> resource_color_;
+  std::vector<uint64_t> arrivals_scratch_;
+  std::vector<ColorId> touched_scratch_;
+  RoundOutcome outcome_;
+};
+
+}  // namespace rrs

@@ -1,0 +1,25 @@
+// Fundamental identifier and time types of the scheduling model (Section 2 of
+// the paper).
+#pragma once
+
+#include <cstdint>
+
+namespace rrs {
+
+// A job/resource color. The paper's "black" (unconfigured) state is kNoColor.
+using ColorId = uint32_t;
+inline constexpr ColorId kNoColor = static_cast<ColorId>(-1);
+
+// Round index. Rounds are numbered from 0; deadlines and delay bounds live in
+// the same space. Signed so that differences and "one before round 0" (-1)
+// are representable.
+using Round = int64_t;
+
+// Dense job identifier: the index of the job within its Instance.
+using JobId = uint32_t;
+inline constexpr JobId kNoJob = static_cast<JobId>(-1);
+
+// Resource (cache location) index.
+using ResourceId = uint32_t;
+
+}  // namespace rrs

@@ -1,0 +1,125 @@
+#include "offline/bruteforce.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.h"
+
+namespace rrs {
+namespace offline {
+
+namespace {
+
+// Pending jobs of one color: (absolute deadline, count), ascending.
+using ColorPending = std::vector<std::pair<Round, uint64_t>>;
+
+struct Search {
+  const Instance& instance;
+  uint32_t m;
+  uint64_t delta;
+  uint64_t max_nodes;
+  uint64_t nodes = 0;
+  bool exhausted = false;
+  uint64_t best = static_cast<uint64_t>(-1);
+
+  explicit Search(const Instance& inst) : instance(inst), m(1), delta(1),
+                                          max_nodes(0) {}
+
+  void AddArrivals(Round k, std::vector<ColorPending>& pending) const {
+    auto jobs = instance.jobs_in_round(k);
+    size_t i = 0;
+    while (i < jobs.size()) {
+      ColorId c = jobs[i].color;
+      uint64_t count = 0;
+      while (i < jobs.size() && jobs[i].color == c) {
+        ++count;
+        ++i;
+      }
+      pending[c].emplace_back(k + instance.delay_bound(c), count);
+    }
+  }
+
+  // Explore round k (state: post-arrival) with the given config and pending.
+  void ExploreRound(Round k, const std::vector<ColorId>& config,
+             const std::vector<ColorPending>& pending, uint64_t cost) {
+    if (cost >= best) return;
+    if (++nodes > max_nodes) {
+      exhausted = true;
+      return;
+    }
+    if (k == instance.horizon()) {
+      best = std::min(best, cost);
+      return;
+    }
+    // Enumerate per-resource choices: keep, or ANY color (no WLOG
+    // restriction; this is the point of the cross-check).
+    std::vector<ColorId> next(config);
+    EnumerateResource(k, 0, config, next, pending, cost);
+  }
+
+  void EnumerateResource(Round k, uint32_t r, const std::vector<ColorId>& old,
+                         std::vector<ColorId>& next,
+                         const std::vector<ColorPending>& pending,
+                         uint64_t cost) {
+    if (exhausted || cost >= best) return;
+    if (r == m) {
+      Apply(k, next, pending, cost);
+      return;
+    }
+    // Keep first (cheapest) for better branch-and-bound ordering.
+    next[r] = old[r];
+    EnumerateResource(k, r + 1, old, next, pending, cost);
+    for (ColorId c = 0; c < instance.num_colors(); ++c) {
+      if (c == old[r]) continue;
+      next[r] = c;
+      EnumerateResource(k, r + 1, old, next, pending, cost + delta);
+    }
+    next[r] = old[r];
+  }
+
+  void Apply(Round k, const std::vector<ColorId>& config,
+             std::vector<ColorPending> pending, uint64_t cost) {
+    // Execution phase: earliest-deadline job per configured resource.
+    for (ColorId c : config) {
+      if (c == kNoColor) continue;
+      ColorPending& p = pending[c];
+      if (p.empty()) continue;
+      if (--p.front().second == 0) p.erase(p.begin());
+    }
+    // Advance: drop phase of round k+1, then its arrivals.
+    for (ColorId c = 0; c < instance.num_colors(); ++c) {
+      ColorPending& p = pending[c];
+      if (!p.empty() && p.front().first == k + 1) {
+        cost += p.front().second * instance.drop_cost(c);
+        p.erase(p.begin());
+      }
+    }
+    if (cost >= best) return;
+    AddArrivals(k + 1, pending);
+    ExploreRound(k + 1, config, pending, cost);
+  }
+};
+
+}  // namespace
+
+std::optional<uint64_t> SolveBruteForce(const Instance& instance,
+                                        const BruteForceOptions& options) {
+  RRS_CHECK_GE(options.num_resources, 1u);
+  if (instance.num_jobs() == 0) return 0;
+
+  Search search(instance);
+  search.m = options.num_resources;
+  search.delta = options.cost_model.delta;
+  search.max_nodes = options.max_nodes;
+
+  std::vector<ColorId> config(options.num_resources, kNoColor);
+  std::vector<ColorPending> pending(instance.num_colors());
+  search.AddArrivals(0, pending);
+  search.ExploreRound(0, config, pending, 0);
+
+  if (search.exhausted) return std::nullopt;
+  return search.best;
+}
+
+}  // namespace offline
+}  // namespace rrs

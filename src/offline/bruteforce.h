@@ -1,0 +1,32 @@
+// Brute-force exact offline solver: plain exhaustive recursion over per-round
+// configuration choices with no canonicalization, no dominance pruning, and
+// no WLOG restrictions beyond "execute the earliest-deadline pending job of
+// the resource's color" (which is exchange-optimal, see optimal.h).
+//
+// Exponentially slower than offline::SolveOptimal, but *independent* of it:
+// the two implementations share no state representation, so agreeing on
+// random instances is strong evidence both are correct. Used only in tests
+// and strictly for very small instances.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/cost.h"
+#include "core/instance.h"
+
+namespace rrs {
+namespace offline {
+
+struct BruteForceOptions {
+  uint32_t num_resources = 1;
+  CostModel cost_model;
+  // Recursion node budget; nullopt is returned when exceeded.
+  uint64_t max_nodes = 20'000'000;
+};
+
+std::optional<uint64_t> SolveBruteForce(const Instance& instance,
+                                        const BruteForceOptions& options);
+
+}  // namespace offline
+}  // namespace rrs

@@ -1,0 +1,53 @@
+#include "offline/clairvoyant.h"
+
+#include <memory>
+#include <vector>
+
+#include "core/engine.h"
+#include "sched/dlru_edf.h"
+#include "sched/edf.h"
+#include "sched/greedy.h"
+#include "util/check.h"
+
+namespace rrs {
+namespace offline {
+
+ClairvoyantResult ClairvoyantCost(const Instance& instance, uint32_t m,
+                                  const CostModel& model) {
+  RRS_CHECK_GE(m, 1u);
+  std::vector<std::unique_ptr<SchedulerPolicy>> portfolio;
+  portfolio.push_back(std::make_unique<GreedyEdfPolicy>());
+  portfolio.push_back(std::make_unique<LazyGreedyPolicy>(1));
+  if (model.delta >= 2) {
+    portfolio.push_back(std::make_unique<LazyGreedyPolicy>(model.delta / 2));
+    portfolio.push_back(std::make_unique<LazyGreedyPolicy>(model.delta));
+  }
+  portfolio.push_back(std::make_unique<StaticPartitionPolicy>());
+  if (m >= 2 && m % 2 == 0) {
+    portfolio.push_back(std::make_unique<EdfPolicy>(true));
+  }
+  if (m >= 4 && m % 4 == 0) {
+    portfolio.push_back(std::make_unique<DlruEdfPolicy>());
+  }
+
+  EngineOptions options;
+  options.num_resources = m;
+  options.cost_model = model;
+
+  ClairvoyantResult best;
+  bool first = true;
+  for (const auto& policy : portfolio) {
+    RunResult result = RunPolicy(instance, *policy, options);
+    uint64_t cost = result.total_cost(model);
+    if (first || cost < best.total_cost) {
+      first = false;
+      best.total_cost = cost;
+      best.breakdown = result.cost;
+      best.best_policy = policy->name();
+    }
+  }
+  return best;
+}
+
+}  // namespace offline
+}  // namespace rrs

@@ -1,0 +1,36 @@
+// Clairvoyant-OFF proxy for instances beyond the exact solver's reach.
+//
+// Any feasible m-resource schedule upper-bounds OPT, so the minimum cost over
+// a portfolio of m-resource policies is a certified upper bound on the
+// optimal offline cost. Together with offline::LowerBound this brackets OPT:
+//
+//     LowerBound <= OPT <= ClairvoyantCost
+//
+// and any online/OFF ratio reported against ClairvoyantCost is a lower bound
+// on the true ratio, while the same ratio against LowerBound is an upper
+// bound. Experiment E4 reports both.
+//
+// The portfolio: greedy-edf, lazy-greedy at thresholds {1, Δ/2, Δ}, static
+// partition, and — where m permits — edf and dlru-edf.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/cost.h"
+#include "core/instance.h"
+
+namespace rrs {
+namespace offline {
+
+struct ClairvoyantResult {
+  uint64_t total_cost = 0;
+  CostBreakdown breakdown;
+  std::string best_policy;
+};
+
+ClairvoyantResult ClairvoyantCost(const Instance& instance, uint32_t m,
+                                  const CostModel& model);
+
+}  // namespace offline
+}  // namespace rrs

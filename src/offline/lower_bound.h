@@ -1,0 +1,30 @@
+// Certified lower bounds on the optimal offline cost, used as ratio
+// denominators where the exact solver is out of reach (experiment E4).
+//
+//   LB_drop   = DropCost_ParEDF(σ, m)        (Lemma 3.7: Par-EDF drops lower-
+//               bound any m-resource algorithm's drops, and drop cost lower-
+//               bounds total cost)
+//   LB_color  = Σ_ℓ min(Δ, #jobs of ℓ)       (every color with jobs either
+//               gets configured at least once — one reconfiguration, cost Δ —
+//               or all its jobs drop; the argument of Lemma 3.1 /
+//               Corollary 3.3)
+//   LowerBound = max(LB_drop, LB_color)
+//
+// Both legs hold for every schedule with m resources, so the max does too.
+#pragma once
+
+#include <cstdint>
+
+#include "core/cost.h"
+#include "core/instance.h"
+
+namespace rrs {
+namespace offline {
+
+uint64_t DropLowerBound(const Instance& instance, uint32_t m);
+uint64_t ColorLowerBound(const Instance& instance, const CostModel& model);
+uint64_t LowerBound(const Instance& instance, uint32_t m,
+                    const CostModel& model);
+
+}  // namespace offline
+}  // namespace rrs

@@ -1,0 +1,348 @@
+#include "offline/optimal.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "util/check.h"
+
+namespace rrs {
+namespace offline {
+
+namespace {
+
+// Black (unconfigured) sentinel inside state encodings: one past the last
+// real color, so sorted configs are canonical.
+struct VecHash {
+  size_t operator()(const std::vector<uint32_t>& v) const {
+    uint64_t h = 1469598103934665603ULL;  // FNV-1a
+    for (uint32_t x : v) {
+      h ^= x;
+      h *= 1099511628211ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+// Pending jobs of one color: (relative deadline, count), sorted ascending.
+using ColorPending = std::vector<std::pair<uint32_t, uint32_t>>;
+
+struct State {
+  std::vector<uint32_t> config;        // sorted, size m, black = num_colors
+  std::vector<ColorPending> pending;   // per color
+
+  std::vector<uint32_t> Encode() const {
+    std::vector<uint32_t> key;
+    key.reserve(config.size() + pending.size() * 3);
+    key.insert(key.end(), config.begin(), config.end());
+    for (const ColorPending& p : pending) {
+      key.push_back(static_cast<uint32_t>(p.size()));
+      for (const auto& [rel, count] : p) {
+        key.push_back(rel);
+        key.push_back(count);
+      }
+    }
+    return key;
+  }
+};
+
+// Multiset overlap of two sorted vectors.
+uint32_t SortedOverlap(const std::vector<uint32_t>& a,
+                       const std::vector<uint32_t>& b) {
+  uint32_t overlap = 0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++overlap;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return overlap;
+}
+
+// Replays a per-round configuration-multiset sequence against the instance,
+// producing a concrete Schedule with real job ids. Resource assignment keeps
+// as many resources in place as the multiset overlap allows (matching the
+// DP's reconfiguration cost), reassigning the rest deterministically;
+// executions pick the earliest-deadline (FIFO) pending job per resource.
+Schedule ReplayConfigs(const Instance& instance, uint32_t m, uint32_t black,
+                       const std::vector<std::vector<uint32_t>>& configs) {
+  Schedule schedule(m, 1);
+  std::vector<uint32_t> resource(m, black);
+  std::vector<std::deque<JobId>> pending(instance.num_colors());
+
+  for (Round k = 0; k < static_cast<Round>(configs.size()); ++k) {
+    // Drop phase: expire deadline-k jobs.
+    for (auto& queue : pending) {
+      while (!queue.empty() && instance.deadline(queue.front()) == k) {
+        queue.pop_front();
+      }
+    }
+    // Arrival phase.
+    auto jobs = instance.jobs_in_round(k);
+    if (!jobs.empty()) {
+      JobId id = instance.first_job_in_round(k);
+      for (size_t i = 0; i < jobs.size(); ++i) {
+        pending[jobs[i].color].push_back(id + static_cast<JobId>(i));
+      }
+    }
+    // Reconfiguration phase: realize the target multiset with minimal
+    // changes. need[c] = multiplicity of c in the target.
+    const std::vector<uint32_t>& target = configs[static_cast<size_t>(k)];
+    std::map<uint32_t, uint32_t> need;
+    for (uint32_t c : target) ++need[c];
+    std::vector<uint8_t> keep(m, 0);
+    for (uint32_t r = 0; r < m; ++r) {
+      auto it = need.find(resource[r]);
+      if (it != need.end() && it->second > 0) {
+        keep[r] = 1;
+        --it->second;
+      }
+    }
+    std::vector<uint32_t> leftovers;
+    for (const auto& [c, count] : need) {
+      for (uint32_t i = 0; i < count; ++i) leftovers.push_back(c);
+    }
+    size_t next_leftover = 0;
+    for (uint32_t r = 0; r < m; ++r) {
+      if (keep[r]) continue;
+      RRS_CHECK_LT(next_leftover, leftovers.size());
+      uint32_t c = leftovers[next_leftover++];
+      resource[r] = c;
+      schedule.AddReconfig(k, 0, r,
+                           c == black ? kNoColor : static_cast<ColorId>(c));
+    }
+    // Execution phase.
+    for (uint32_t r = 0; r < m; ++r) {
+      uint32_t c = resource[r];
+      if (c == black) continue;
+      auto& queue = pending[c];
+      if (queue.empty()) continue;
+      schedule.AddExecution(k, 0, r, queue.front());
+      queue.pop_front();
+    }
+  }
+  return schedule;
+}
+
+// Enumerates all sorted multisets of size m over the sorted alphabet.
+void EnumerateConfigs(const std::vector<uint32_t>& alphabet, uint32_t m,
+                      size_t from, std::vector<uint32_t>& current,
+                      std::vector<std::vector<uint32_t>>& out) {
+  if (current.size() == m) {
+    out.push_back(current);
+    return;
+  }
+  for (size_t i = from; i < alphabet.size(); ++i) {
+    current.push_back(alphabet[i]);
+    EnumerateConfigs(alphabet, m, i, current, out);
+    current.pop_back();
+  }
+}
+
+}  // namespace
+
+std::optional<OptimalResult> SolveOptimal(const Instance& instance,
+                                          const OptimalOptions& options) {
+  RRS_CHECK_GE(options.num_resources, 1u);
+  const uint32_t m = options.num_resources;
+  const uint32_t num_colors = static_cast<uint32_t>(instance.num_colors());
+  const uint32_t kBlack = num_colors;
+  const uint64_t delta = options.cost_model.delta;
+
+  if (instance.num_jobs() == 0) {
+    OptimalResult empty;
+    if (options.reconstruct_schedule) empty.schedule = Schedule(m, 1);
+    return empty;
+  }
+
+  // Per-round per-color arrival counts, gathered once.
+  auto arrivals_of = [&](Round k) {
+    std::vector<std::pair<ColorId, uint32_t>> out;
+    auto jobs = instance.jobs_in_round(k);
+    size_t i = 0;
+    while (i < jobs.size()) {
+      ColorId c = jobs[i].color;
+      uint32_t count = 0;
+      while (i < jobs.size() && jobs[i].color == c) {
+        ++count;
+        ++i;
+      }
+      out.emplace_back(c, count);
+    }
+    return out;
+  };
+
+  // Layer k: canonical state -> min cost, for states after the arrival phase
+  // of round k.
+  std::unordered_map<std::vector<uint32_t>, uint64_t, VecHash> layer;
+  std::unordered_map<std::vector<uint32_t>, uint64_t, VecHash> next_layer;
+
+  // Parent links for schedule reconstruction: per round, best predecessor
+  // state and the configuration used during that round.
+  struct Parent {
+    std::vector<uint32_t> prev_key;
+    std::vector<uint32_t> config;
+  };
+  std::vector<std::unordered_map<std::vector<uint32_t>, Parent, VecHash>>
+      parents;
+
+  State initial;
+  initial.config.assign(m, kBlack);
+  initial.pending.assign(num_colors, {});
+  for (const auto& [c, count] : arrivals_of(0)) {
+    initial.pending[c].emplace_back(
+        static_cast<uint32_t>(instance.delay_bound(c)), count);
+  }
+  layer.emplace(initial.Encode(), 0);
+
+  uint64_t states_expanded = 0;
+  const Round horizon = instance.horizon();
+
+  // Decoding helper: rebuild a State from its key.
+  auto decode = [&](const std::vector<uint32_t>& key) {
+    State s;
+    s.config.assign(key.begin(), key.begin() + m);
+    s.pending.assign(num_colors, {});
+    size_t pos = m;
+    for (uint32_t c = 0; c < num_colors; ++c) {
+      uint32_t len = key[pos++];
+      s.pending[c].reserve(len);
+      for (uint32_t i = 0; i < len; ++i) {
+        uint32_t rel = key[pos++];
+        uint32_t count = key[pos++];
+        s.pending[c].emplace_back(rel, count);
+      }
+    }
+    return s;
+  };
+
+  std::vector<std::vector<uint32_t>> configs;
+  std::vector<uint32_t> scratch;
+
+  if (options.reconstruct_schedule) {
+    parents.resize(static_cast<size_t>(horizon));
+  }
+
+  for (Round k = 0; k < horizon; ++k) {
+    next_layer.clear();
+    auto next_arrivals = arrivals_of(k + 1);
+    auto* parent_map =
+        options.reconstruct_schedule ? &parents[static_cast<size_t>(k)]
+                                     : nullptr;
+
+    for (const auto& [key, base_cost] : layer) {
+      if (++states_expanded > options.max_states) return std::nullopt;
+      State s = decode(key);
+
+      // Alphabet: current colors ∪ nonidle colors (reconfiguring to an idle
+      // color is dominated; "keep" is covered by including current colors).
+      std::vector<uint32_t> alphabet = s.config;
+      for (uint32_t c = 0; c < num_colors; ++c) {
+        if (!s.pending[c].empty()) alphabet.push_back(c);
+      }
+      std::sort(alphabet.begin(), alphabet.end());
+      alphabet.erase(std::unique(alphabet.begin(), alphabet.end()),
+                     alphabet.end());
+
+      configs.clear();
+      scratch.clear();
+      EnumerateConfigs(alphabet, m, 0, scratch, configs);
+
+      for (const std::vector<uint32_t>& config : configs) {
+        uint64_t cost =
+            base_cost + delta * (m - SortedOverlap(s.config, config));
+
+        // Execution phase: each resource executes the earliest-deadline
+        // pending job of its color.
+        State t;
+        t.config = config;
+        t.pending = s.pending;
+        for (size_t i = 0; i < config.size();) {
+          uint32_t c = config[i];
+          size_t j = i;
+          while (j < config.size() && config[j] == c) ++j;
+          uint32_t copies = static_cast<uint32_t>(j - i);
+          i = j;
+          if (c == kBlack) continue;
+          ColorPending& p = t.pending[c];
+          while (copies > 0 && !p.empty()) {
+            uint32_t take = std::min(copies, p.front().second);
+            p.front().second -= take;
+            copies -= take;
+            if (p.front().second == 0) p.erase(p.begin());
+          }
+        }
+
+        // Advance to round k+1: decrement relative deadlines, drop rel==1.
+        for (uint32_t c = 0; c < num_colors; ++c) {
+          ColorPending& p = t.pending[c];
+          size_t out = 0;
+          for (auto& [rel, count] : p) {
+            if (rel == 1) {
+              // Dropped in round k+1's drop phase (weighted).
+              cost += count * instance.drop_cost(c);
+            } else {
+              p[out++] = {rel - 1, count};
+            }
+          }
+          p.resize(out);
+        }
+        // Arrivals of round k+1.
+        for (const auto& [c, count] : next_arrivals) {
+          t.pending[c].emplace_back(
+              static_cast<uint32_t>(instance.delay_bound(c)), count);
+        }
+
+        auto enc = t.Encode();
+        auto [it, inserted] = next_layer.emplace(enc, cost);
+        bool improved = inserted || cost < it->second;
+        if (!inserted && cost < it->second) it->second = cost;
+        if (improved && parent_map != nullptr) {
+          (*parent_map)[enc] = Parent{key, config};
+        }
+      }
+    }
+    layer.swap(next_layer);
+  }
+
+  uint64_t best = static_cast<uint64_t>(-1);
+  const std::vector<uint32_t>* best_key = nullptr;
+  for (const auto& [key, cost] : layer) {
+    if (cost < best) {
+      best = cost;
+      best_key = &key;
+    }
+  }
+  RRS_CHECK(!layer.empty());
+
+  OptimalResult result;
+  result.total_cost = best;
+  result.states_expanded = states_expanded;
+
+  if (options.reconstruct_schedule) {
+    // Backtrack the per-round configurations of the best path, then replay
+    // them against the instance with real job ids.
+    std::vector<std::vector<uint32_t>> configs(static_cast<size_t>(horizon));
+    std::vector<uint32_t> cursor = *best_key;
+    for (Round k = horizon; k-- > 0;) {
+      const auto& parent_map = parents[static_cast<size_t>(k)];
+      auto it = parent_map.find(cursor);
+      RRS_CHECK(it != parent_map.end()) << "broken parent chain at round " << k;
+      configs[static_cast<size_t>(k)] = it->second.config;
+      cursor = it->second.prev_key;
+    }
+    result.schedule = ReplayConfigs(instance, m, kBlack, configs);
+  }
+  return result;
+}
+
+}  // namespace offline
+}  // namespace rrs

@@ -1,0 +1,65 @@
+// Exact offline optimal cost via forward dynamic programming over canonical
+// simulation states. This is the OFF of the paper's competitive analysis,
+// computed exactly; experiment E3 measures ΔLRU-EDF's empirical competitive
+// ratio against it.
+//
+// State after the arrival phase of round k:
+//   - the multiset of resource colors (resources are interchangeable, so the
+//     sorted multiset is canonical);
+//   - per color, the multiset of *relative* deadlines of pending jobs
+//     (unit jobs collapse to (relative deadline, count) pairs; relative
+//     encoding maximizes state sharing across rounds).
+//
+// Transition (one round): choose the next color multiset C' over
+// {colors with pending work} ∪ {current colors} — reconfiguring to an idle
+// color is dominated, since the reconfiguration can always be postponed to
+// the round of first use at equal cost — pay Δ·(m − |C ∩ C'| as multisets)
+// (an optimal assignment keeps matching resources in place), then each
+// resource executes the earliest-deadline pending job of its color
+// (exchange-optimal within a color; idling a resource whose color has
+// pending work is dominated because executing any job never increases cost),
+// then advance: jobs reaching deadline drop at unit cost, round-(k+1)
+// arrivals join.
+//
+// Complexity is exponential; the solver enforces an expansion budget and
+// fails loudly beyond it. Intended envelope: m <= 3 resources, <= 4 colors,
+// horizon <= ~64, a few dozen jobs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/cost.h"
+#include "core/instance.h"
+#include "core/schedule.h"
+
+namespace rrs {
+namespace offline {
+
+struct OptimalOptions {
+  uint32_t num_resources = 1;
+  CostModel cost_model;
+  // Abort (return nullopt) if the DP expands more than this many states.
+  uint64_t max_states = 5'000'000;
+  // Also reconstruct an optimal Schedule (with real JobIds) by backtracking
+  // the DP and replaying the chosen configuration sequence. The schedule is
+  // suitable for Schedule::Validate, whose recomputed cost must equal
+  // total_cost (tests pin this). Costs extra memory (parent links per
+  // state).
+  bool reconstruct_schedule = false;
+};
+
+struct OptimalResult {
+  uint64_t total_cost = 0;
+  uint64_t states_expanded = 0;
+  // Present iff reconstruct_schedule was set.
+  std::optional<Schedule> schedule;
+};
+
+// Exact minimum total cost over all offline schedules with the given number
+// of resources. Returns nullopt if the state budget is exceeded.
+std::optional<OptimalResult> SolveOptimal(const Instance& instance,
+                                          const OptimalOptions& options);
+
+}  // namespace offline
+}  // namespace rrs

@@ -1,0 +1,64 @@
+// Blocked parallel_for built on ThreadPool.
+//
+// ParallelFor(pool, 0, n, fn) partitions [0, n) into contiguous blocks, one
+// batch per worker on average, and invokes fn(i) for every index. fn must be
+// safe to call concurrently for distinct indices; exceptions propagate to the
+// caller (first one wins).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <future>
+#include <vector>
+
+#include "parallel/thread_pool.h"
+
+namespace rrs {
+
+template <typename Fn>
+void ParallelFor(ThreadPool& pool, int64_t begin, int64_t end, Fn&& fn,
+                 int64_t min_block = 1) {
+  if (begin >= end) return;
+  const int64_t total = end - begin;
+  const int64_t workers = static_cast<int64_t>(pool.thread_count());
+  // ~4 blocks per worker balances load without excessive task overhead.
+  int64_t block = std::max<int64_t>(min_block, total / (workers * 4 + 1));
+  if (block <= 0) block = 1;
+
+  if (total <= block) {
+    for (int64_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(static_cast<size_t>((total + block - 1) / block));
+  for (int64_t lo = begin; lo < end; lo += block) {
+    int64_t hi = std::min(end, lo + block);
+    futures.push_back(pool.Submit([lo, hi, &fn] {
+      for (int64_t i = lo; i < hi; ++i) fn(i);
+    }));
+  }
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+// Parallel map: out[i] = fn(i) for i in [0, n). Result type must be
+// default-constructible.
+template <typename Result, typename Fn>
+std::vector<Result> ParallelMap(ThreadPool& pool, size_t n, Fn&& fn) {
+  std::vector<Result> out(n);
+  ParallelFor(pool, 0, static_cast<int64_t>(n),
+              [&](int64_t i) { out[static_cast<size_t>(i)] = fn(static_cast<size_t>(i)); });
+  return out;
+}
+
+}  // namespace rrs

@@ -1,0 +1,65 @@
+// Bounded lock-free single-producer/single-consumer ring buffer.
+//
+// Used to stream per-run results from a producing simulation thread to a
+// consuming reporter without locks (see bench_e11_substrates for the scaling
+// measurement). Capacity is rounded up to a power of two; one slot is kept
+// empty to distinguish full from empty.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace rrs {
+
+template <typename T>
+class SpscQueue {
+ public:
+  explicit SpscQueue(size_t capacity) {
+    RRS_CHECK_GT(capacity, 0u);
+    size_t cap = 1;
+    while (cap < capacity + 1) cap <<= 1;
+    mask_ = cap - 1;
+    slots_.resize(cap);
+  }
+
+  // Producer side. Returns false if the queue is full.
+  bool TryPush(T value) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    const size_t next = (head + 1) & mask_;
+    if (next == tail_.load(std::memory_order_acquire)) return false;
+    slots_[head] = std::move(value);
+    head_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side. Returns false if the queue is empty.
+  bool TryPop(T& out) {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_.load(std::memory_order_acquire)) return false;
+    out = std::move(slots_[tail]);
+    tail_.store((tail + 1) & mask_, std::memory_order_release);
+    return true;
+  }
+
+  bool Empty() const {
+    return tail_.load(std::memory_order_acquire) ==
+           head_.load(std::memory_order_acquire);
+  }
+
+  size_t capacity() const { return mask_; }
+
+ private:
+  std::vector<T> slots_;
+  size_t mask_ = 0;
+  // Producer writes head, consumer writes tail; keep them on separate cache
+  // lines to avoid false sharing.
+  alignas(64) std::atomic<size_t> head_{0};
+  alignas(64) std::atomic<size_t> tail_{0};
+};
+
+}  // namespace rrs

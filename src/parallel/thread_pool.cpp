@@ -1,0 +1,71 @@
+#include "parallel/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace rrs {
+
+ThreadPool::ThreadPool(size_t threads) {
+  if (threads == 0) {
+    threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::Enqueue(std::function<void()> job) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    RRS_CHECK(!shutting_down_) << "Submit after shutdown";
+    queue_.push_back(std::move(job));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(
+          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        // shutting_down_ and no work left.
+        return;
+      }
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    job();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+ThreadPool& GlobalThreadPool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace rrs

@@ -1,0 +1,67 @@
+// Fixed-size thread pool used by the experiment sweep harness to run
+// independent (instance, policy, seed) simulations in parallel. Tasks are
+// plain std::function jobs; Submit returns a std::future. The pool is the
+// only place in rrsched where threads are created; all simulation code is
+// single-threaded and shares nothing, so parallel sweeps need no locks beyond
+// the pool's queue mutex.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace rrs {
+
+class ThreadPool {
+ public:
+  // threads == 0 selects std::thread::hardware_concurrency() (at least 1).
+  explicit ThreadPool(size_t threads = 0);
+
+  // Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t thread_count() const { return workers_.size(); }
+
+  // Schedules fn() on a worker; the returned future carries the result (or
+  // exception).
+  template <typename Fn>
+  auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using Result = std::invoke_result_t<Fn>;
+    auto task = std::make_shared<std::packaged_task<Result()>>(
+        std::forward<Fn>(fn));
+    std::future<Result> future = task->get_future();
+    Enqueue([task]() { (*task)(); });
+    return future;
+  }
+
+  // Blocks until every task submitted so far has finished.
+  void WaitIdle();
+
+ private:
+  void Enqueue(std::function<void()> job);
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  size_t active_ = 0;
+  bool shutting_down_ = false;
+};
+
+// Global pool shared by benches/examples; created on first use with
+// hardware_concurrency threads.
+ThreadPool& GlobalThreadPool();
+
+}  // namespace rrs

@@ -1,0 +1,120 @@
+#include "reduce/aggregate.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "util/check.h"
+
+namespace rrs {
+namespace reduce {
+
+AggregateResult AggregateSchedule(const Instance& instance, const Schedule& t,
+                                  const DistributeTransform& transform) {
+  RRS_CHECK(instance.IsBatched()) << "Aggregate requires a batched instance";
+  RRS_CHECK(instance.DelayBoundsArePowersOfTwo())
+      << "Aggregate requires power-of-two delay bounds";
+  RRS_CHECK_EQ(t.mini_rounds_per_round(), 1)
+      << "Aggregate takes a uni-speed schedule";
+  const uint32_t m = t.num_resources();
+  const uint32_t big_m = 3 * m;
+  const Round horizon = instance.horizon();
+
+  // T's executed count per (color, batch round).
+  std::map<std::pair<ColorId, Round>, uint64_t> exec_count;
+  for (const ExecAction& a : t.executions()) {
+    const Job& job = instance.job(a.job);
+    ++exec_count[{job.color, job.arrival}];
+  }
+
+  // Slot occupancy of the 3m-resource grid, uni-speed: (resource, round).
+  std::vector<uint8_t> occupied(
+      static_cast<size_t>(big_m) * static_cast<size_t>(horizon), 0);
+  auto slot = [&](uint32_t r, Round round) -> uint8_t& {
+    return occupied[static_cast<size_t>(r) * static_cast<size_t>(horizon) +
+                    static_cast<size_t>(round)];
+  };
+
+  struct Placement {
+    Round round;
+    ResourceId resource;
+    JobId job;       // shared id between I and I'
+    ColorId subcolor;
+  };
+  std::vector<Placement> placements;
+  placements.reserve(t.executions().size());
+
+  std::map<Round, std::vector<ColorId>> by_delay;
+  for (ColorId c = 0; c < instance.num_colors(); ++c) {
+    by_delay[instance.delay_bound(c)].push_back(c);
+  }
+
+  // Ascending delay bounds, block by block, per color (the paper's order).
+  for (const auto& [p, colors] : by_delay) {
+    for (Round block_start = 0; block_start < instance.num_request_rounds();
+         block_start += p) {
+      for (ColorId c : colors) {
+        auto it = exec_count.find({c, block_start});
+        if (it == exec_count.end() || it->second == 0) continue;
+        const uint64_t want = it->second;
+
+        // The batch's job ids in rank order (subcolors are rank-contiguous).
+        std::vector<JobId> batch;
+        auto jobs = instance.jobs_in_round(block_start);
+        JobId base = instance.first_job_in_round(block_start);
+        for (size_t i = 0; i < jobs.size(); ++i) {
+          if (jobs[i].color == c) batch.push_back(base + static_cast<JobId>(i));
+        }
+        RRS_CHECK_LE(want, batch.size())
+            << "T executes more color-" << c << " jobs than the batch holds";
+
+        // Greedy resource-major packing into the block's 3m x p grid. The
+        // Lemma 4.4 capacity argument (T fits at most m*p executions into
+        // any block, the grid holds 3m*p) guarantees this never runs out.
+        uint64_t placed = 0;
+        for (uint32_t r = 0; r < big_m && placed < want; ++r) {
+          for (Round round = block_start;
+               round < block_start + p && placed < want; ++round) {
+            if (slot(r, round)) continue;
+            slot(r, round) = 1;
+            placements.push_back(Placement{
+                round, r, batch[placed],
+                transform.transformed.job(batch[placed]).color});
+            ++placed;
+          }
+        }
+        RRS_CHECK_EQ(placed, want)
+            << "Lemma 4.4 capacity violated in block(" << p << ", "
+            << block_start / p << ")";
+      }
+    }
+  }
+
+  // Emit: per resource in round order, reconfigure on subcolor change.
+  std::sort(placements.begin(), placements.end(),
+            [](const Placement& a, const Placement& b) {
+              if (a.resource != b.resource) return a.resource < b.resource;
+              return a.round < b.round;
+            });
+  AggregateResult result;
+  result.schedule = Schedule(big_m, 1);
+  ResourceId current_resource = static_cast<ResourceId>(-1);
+  ColorId current_color = kNoColor;
+  for (const Placement& pl : placements) {
+    if (pl.resource != current_resource) {
+      current_resource = pl.resource;
+      current_color = kNoColor;
+    }
+    if (pl.subcolor != current_color) {
+      result.schedule.AddReconfig(pl.round, 0, pl.resource, pl.subcolor);
+      current_color = pl.subcolor;
+    }
+    result.schedule.AddExecution(pl.round, 0, pl.resource, pl.job);
+    ++result.executed;
+  }
+  RRS_CHECK_EQ(result.executed, t.executions().size());
+  return result;
+}
+
+}  // namespace reduce
+}  // namespace rrs

@@ -1,0 +1,111 @@
+#include "reduce/distribute.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace rrs {
+namespace reduce {
+
+DistributeTransform DistributeInstance(const Instance& instance) {
+  RRS_CHECK(instance.IsBatched())
+      << "Distribute requires a batched instance ([Δ|1|D|D])";
+
+  // First pass: maximum per-batch count for each color determines how many
+  // subcolors it needs. Jobs are sorted by arrival, so one linear scan with a
+  // per-color (round, count) tracker suffices.
+  const size_t num_colors = instance.num_colors();
+  std::vector<Round> last_round(num_colors, -1);
+  std::vector<uint64_t> count_in_round(num_colors, 0);
+  std::vector<uint64_t> max_in_round(num_colors, 0);
+  for (const Job& j : instance.jobs()) {
+    if (last_round[j.color] != j.arrival) {
+      last_round[j.color] = j.arrival;
+      count_in_round[j.color] = 0;
+    }
+    max_in_round[j.color] =
+        std::max(max_in_round[j.color], ++count_in_round[j.color]);
+  }
+
+  DistributeTransform out;
+  out.subcolors_per_color.resize(num_colors);
+  std::vector<ColorId> first_subcolor(num_colors);
+  InstanceBuilder builder;
+  for (ColorId c = 0; c < num_colors; ++c) {
+    const Round d = instance.delay_bound(c);
+    const uint64_t subs = std::max<uint64_t>(
+        1, (max_in_round[c] + static_cast<uint64_t>(d) - 1) /
+               static_cast<uint64_t>(d));
+    out.subcolors_per_color[c] = static_cast<uint32_t>(subs);
+    first_subcolor[c] = static_cast<ColorId>(out.base_of.size());
+    for (uint64_t s = 0; s < subs; ++s) {
+      builder.AddColor(d, instance.color_name(c) + "." + std::to_string(s));
+      out.base_of.push_back(c);
+    }
+  }
+
+  // Second pass: emit each job under its subcolor. Rank within the request =
+  // arrival order (the paper allows an arbitrary rank).
+  std::fill(last_round.begin(), last_round.end(), -1);
+  std::fill(count_in_round.begin(), count_in_round.end(), 0);
+  for (const Job& j : instance.jobs()) {
+    if (last_round[j.color] != j.arrival) {
+      last_round[j.color] = j.arrival;
+      count_in_round[j.color] = 0;
+    }
+    uint64_t rank = count_in_round[j.color]++;
+    uint64_t sub = rank / static_cast<uint64_t>(instance.delay_bound(j.color));
+    builder.AddJob(first_subcolor[j.color] + static_cast<ColorId>(sub),
+                   j.arrival);
+  }
+
+  out.transformed = builder.Build();
+  RRS_CHECK(out.transformed.IsRateLimited())
+      << "Distribute output must be rate-limited";
+  RRS_CHECK_EQ(out.transformed.num_jobs(), instance.num_jobs());
+  return out;
+}
+
+Schedule ProjectDistributeSchedule(const Schedule& inner,
+                                   const DistributeTransform& transform) {
+  Schedule projected(inner.num_resources(), inner.mini_rounds_per_round());
+
+  // Replay reconfigs in timeline order, eliding those that keep the
+  // resource's base color unchanged (Lemma 4.2).
+  std::vector<ReconfigAction> reconfigs = inner.reconfigs();
+  std::stable_sort(reconfigs.begin(), reconfigs.end(),
+                   [](const ReconfigAction& a, const ReconfigAction& b) {
+                     if (a.round != b.round) return a.round < b.round;
+                     return a.mini < b.mini;
+                   });
+  std::vector<ColorId> base_color(inner.num_resources(), kNoColor);
+  for (const ReconfigAction& a : reconfigs) {
+    ColorId base = a.to == kNoColor ? kNoColor : transform.base_of[a.to];
+    if (base_color[a.resource] == base) continue;
+    base_color[a.resource] = base;
+    projected.AddReconfig(a.round, a.mini, a.resource, base);
+  }
+
+  // Executions pass through: JobIds are shared between I and I'.
+  for (const ExecAction& a : inner.executions()) {
+    projected.AddExecution(a.round, a.mini, a.resource, a.job);
+  }
+  return projected;
+}
+
+DistributeRun RunDistribute(const Instance& instance, SchedulerPolicy& policy,
+                            EngineOptions options) {
+  DistributeRun run;
+  run.transform = DistributeInstance(instance);
+  options.record_schedule = true;
+  run.inner = RunPolicy(run.transform.transformed, policy, options);
+  RRS_CHECK(run.inner.schedule.has_value());
+  run.schedule = ProjectDistributeSchedule(*run.inner.schedule, run.transform);
+  run.validation = run.schedule.Validate(instance);
+  RRS_CHECK(run.validation.ok) << "projected Distribute schedule invalid: "
+                               << run.validation.error;
+  return run;
+}
+
+}  // namespace reduce
+}  // namespace rrs

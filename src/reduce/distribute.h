@@ -1,0 +1,63 @@
+// Algorithm Distribute (Section 4): reduces batched [Δ | 1 | D_ℓ | D_ℓ] to
+// rate-limited [Δ | 1 | D_ℓ | D_ℓ].
+//
+// Step 1 (instance transform): each color ℓ of the batched instance I is
+// split into subcolors (ℓ, j); the color-ℓ jobs of request i are ranked
+// (we use their arrival order) and job with rank r becomes a job of subcolor
+// (ℓ, ⌊r / D_ℓ⌋) — so at most D_ℓ jobs of any subcolor arrive per batch,
+// i.e. the transformed instance I' is rate-limited. The transform is causal
+// (round-by-round), so Distribute is an online algorithm.
+//
+// Step 2: run ΔLRU-EDF (or any scheduler) on I'.
+//
+// Step 3 (schedule projection): whenever the inner schedule configures
+// (ℓ, j), configure ℓ; whenever it executes an (ℓ, j) job, execute the
+// corresponding ℓ job. Reconfigurations that do not change the resource's
+// base color are elided, which realizes Lemma 4.2's
+// cost(projected) <= cost(inner).
+//
+// Job identity is preserved: transformed JobId == original JobId (the
+// transform keeps every job's arrival round and the builder's ordering), so
+// projection only rewrites colors.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/instance.h"
+#include "core/schedule.h"
+
+namespace rrs {
+namespace reduce {
+
+struct DistributeTransform {
+  Instance transformed;             // the rate-limited instance I'
+  std::vector<ColorId> base_of;     // subcolor -> original color
+  std::vector<uint32_t> subcolors_per_color;  // original color -> #subcolors
+};
+
+// Requires instance.IsBatched(). The transformed instance satisfies
+// IsRateLimited().
+DistributeTransform DistributeInstance(const Instance& instance);
+
+// Projects a schedule for the transformed instance back onto the original
+// instance: colors are mapped through base_of, no-op recolorings are elided,
+// and job ids pass through unchanged.
+Schedule ProjectDistributeSchedule(const Schedule& inner,
+                                   const DistributeTransform& transform);
+
+struct DistributeRun {
+  DistributeTransform transform;
+  RunResult inner;           // scheduler outcome on I'
+  Schedule schedule;         // projected schedule for the original instance
+  ValidationResult validation;  // projected schedule checked against original
+};
+
+// End-to-end: transform, run `policy` on I' (with schedule recording forced
+// on), project, validate against the original instance.
+DistributeRun RunDistribute(const Instance& instance, SchedulerPolicy& policy,
+                            EngineOptions options);
+
+}  // namespace reduce
+}  // namespace rrs

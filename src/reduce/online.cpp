@@ -1,0 +1,131 @@
+#include "reduce/online.h"
+
+#include <algorithm>
+
+#include "reduce/varbatch.h"
+#include "util/check.h"
+
+namespace rrs {
+namespace reduce {
+
+namespace {
+
+std::vector<Round> InnerDelayBounds(
+    const std::vector<OnlineSolver::ColorSpec>& colors) {
+  std::vector<Round> inner;
+  for (const auto& spec : colors) {
+    RRS_CHECK_GE(spec.max_subcolors, 1u);
+    const Round d_inner = VarBatchDelayBound(spec.delay_bound);
+    for (uint32_t s = 0; s < spec.max_subcolors; ++s) {
+      inner.push_back(d_inner);
+    }
+  }
+  return inner;
+}
+
+}  // namespace
+
+OnlineSolver::OnlineSolver(std::vector<ColorSpec> colors,
+                           EngineOptions options, DlruEdfPolicy::Params params)
+    : colors_(std::move(colors)),
+      policy_(params),
+      engine_(InnerDelayBounds(colors_), policy_, options),
+      cost_model_(options.cost_model),
+      resource_base_color_(options.num_resources, kNoColor) {
+  inner_delay_.reserve(colors_.size());
+  first_subcolor_.reserve(colors_.size());
+  for (const auto& spec : colors_) {
+    inner_delay_.push_back(VarBatchDelayBound(spec.delay_bound));
+    first_subcolor_.push_back(static_cast<ColorId>(base_of_.size()));
+    for (uint32_t s = 0; s < spec.max_subcolors; ++s) {
+      base_of_.push_back(static_cast<ColorId>(inner_delay_.size() - 1));
+    }
+  }
+}
+
+const RoundOutcome& OnlineSolver::Step(
+    std::span<const std::pair<ColorId, uint64_t>> arrivals) {
+  // VarBatch streaming: buffer each arrival at its half-block boundary.
+  for (const auto& [c, count] : arrivals) {
+    RRS_CHECK_LT(c, colors_.size());
+    if (count == 0) continue;
+    arrived_ += count;
+    const Round boundary = VarBatchArrival(round_, colors_[c].delay_bound);
+    buffered_[boundary][c] += count;
+  }
+
+  // Deliveries due this round (D = 1 colors buffer to the current round).
+  inner_arrivals_scratch_.clear();
+  auto due = buffered_.find(round_);
+  if (due != buffered_.end()) {
+    for (const auto& [c, total] : due->second) {
+      // Distribute streaming: split the batch into subcolors of at most
+      // D'_c jobs each, in rank order.
+      const uint64_t d_inner = static_cast<uint64_t>(inner_delay_[c]);
+      const uint64_t needed = (total + d_inner - 1) / d_inner;
+      RRS_CHECK_LE(needed, colors_[c].max_subcolors)
+          << "burst of " << total << " jobs of color " << c
+          << " exceeds the declared subcolor budget";
+      uint64_t remaining = total;
+      for (uint64_t s = 0; remaining > 0; ++s) {
+        uint64_t chunk = std::min(remaining, d_inner);
+        inner_arrivals_scratch_.emplace_back(
+            first_subcolor_[c] + static_cast<ColorId>(s), chunk);
+        remaining -= chunk;
+      }
+    }
+    buffered_.erase(due);
+  }
+
+  StepInner(inner_arrivals_scratch_);
+  return outcome_;
+}
+
+void OnlineSolver::StepInner(
+    std::span<const std::pair<ColorId, uint64_t>> arrivals) {
+  const RoundOutcome& inner = engine_.Step(arrivals);
+
+  outcome_.round = round_;
+  outcome_.reconfigs.clear();
+  outcome_.executions.clear();
+  outcome_.drops.clear();
+
+  // Project reconfigurations: only base-color changes count (Lemma 4.2).
+  for (const auto& [r, inner_color] : inner.reconfigs) {
+    ColorId base = inner_color == kNoColor ? kNoColor : base_of_[inner_color];
+    if (resource_base_color_[r] == base) continue;
+    resource_base_color_[r] = base;
+    ++cost_.reconfigurations;
+    outcome_.reconfigs.emplace_back(r, base);
+  }
+  for (const auto& [inner_color, count] : inner.executions) {
+    ColorId base = base_of_[inner_color];
+    if (!outcome_.executions.empty() &&
+        outcome_.executions.back().first == base) {
+      outcome_.executions.back().second += count;
+    } else {
+      outcome_.executions.emplace_back(base, count);
+    }
+  }
+  for (const auto& [inner_color, count] : inner.drops) {
+    ColorId base = base_of_[inner_color];
+    cost_.drops += count;
+    cost_.weighted_drops += count;  // OnlineSolver models unit drop costs
+    if (!outcome_.drops.empty() && outcome_.drops.back().first == base) {
+      outcome_.drops.back().second += count;
+    } else {
+      outcome_.drops.emplace_back(base, count);
+    }
+  }
+
+  ++round_;
+}
+
+void OnlineSolver::Finish() {
+  while (!buffered_.empty() || engine_.HasPending()) {
+    Step({});
+  }
+}
+
+}  // namespace reduce
+}  // namespace rrs

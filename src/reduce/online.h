@@ -1,0 +1,91 @@
+// OnlineSolver: the deployment-facing, truly incremental form of the paper's
+// algorithm (VarBatch ∘ Distribute ∘ ΔLRU-EDF), built on StreamEngine.
+//
+// A caller declares the color table (per-color delay bounds plus a subcolor
+// budget — the maximum number of (ℓ, j) subcolors Distribute may need, i.e.
+// ceil(max jobs per batch / D'_ℓ)) and then feeds arrivals one round at a
+// time; each Step returns the reconfigurations to apply and the per-color
+// execution counts for that round, in the ORIGINAL color space.
+//
+// Internally:
+//  - VarBatch streaming: a job of color ℓ arriving at round t is buffered
+//    until the next half-block boundary VarBatchArrival(t, D_ℓ) and injected
+//    there with delay bound D'_ℓ = VarBatchDelayBound(D_ℓ);
+//  - Distribute streaming: each boundary batch of T jobs is split into
+//    subcolors of at most D'_ℓ jobs each (rank order);
+//  - ΔLRU-EDF runs on the subcolor stream inside a StreamEngine;
+//  - outputs are projected back: subcolor reconfigurations that do not
+//    change a resource's base color are elided (Lemma 4.2), executions and
+//    drops are re-labelled with base colors.
+//
+// Cost equivalence with the offline pipeline (reduce::SolveOnline) on the
+// same workload — given matching subcolor budgets — is pinned by tests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "container/flat_map.h"
+#include "core/stream_engine.h"
+#include "sched/dlru_edf.h"
+
+namespace rrs {
+namespace reduce {
+
+class OnlineSolver {
+ public:
+  struct ColorSpec {
+    Round delay_bound = 1;
+    // Upper bound on ceil((jobs of this color arriving in one half-block) /
+    // D'): the number of subcolors reserved. Feeding a burst that needs more
+    // subcolors than reserved is a checked error.
+    uint32_t max_subcolors = 1;
+  };
+
+  OnlineSolver(std::vector<ColorSpec> colors, EngineOptions options,
+               DlruEdfPolicy::Params params = {});
+
+  size_t num_colors() const { return colors_.size(); }
+  Round current_round() const { return round_; }
+
+  // Advances one round; arrivals are (original color, count) pairs. The
+  // returned outcome is expressed in original colors and is valid until the
+  // next Step/Finish call.
+  const RoundOutcome& Step(
+      std::span<const std::pair<ColorId, uint64_t>> arrivals);
+
+  // Drains all buffered and pending work (runs empty rounds until done).
+  void Finish();
+
+  // Total certified cost so far: base-color reconfigurations * Δ + drops.
+  CostBreakdown cost() const { return cost_; }
+  uint64_t arrived() const { return arrived_; }
+  uint64_t executed() const { return engine_.executed(); }
+
+ private:
+  void StepInner(std::span<const std::pair<ColorId, uint64_t>> arrivals);
+
+  std::vector<ColorSpec> colors_;
+  std::vector<Round> inner_delay_;        // D' per original color
+  std::vector<ColorId> first_subcolor_;   // original color -> first inner id
+  std::vector<ColorId> base_of_;          // inner id -> original color
+
+  DlruEdfPolicy policy_;
+  StreamEngine engine_;
+  CostModel cost_model_;
+
+  Round round_ = 0;
+  uint64_t arrived_ = 0;
+  CostBreakdown cost_;
+  std::vector<ColorId> resource_base_color_;
+  // Buffered VarBatch batches: boundary round -> per original color count.
+  // Flat maps: the key sets are tiny (pending boundaries / colors per
+  // boundary) and hot.
+  FlatMap<Round, FlatMap<ColorId, uint64_t>> buffered_;
+  std::vector<std::pair<ColorId, uint64_t>> inner_arrivals_scratch_;
+  RoundOutcome outcome_;
+};
+
+}  // namespace reduce
+}  // namespace rrs

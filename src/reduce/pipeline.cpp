@@ -1,0 +1,49 @@
+#include "reduce/pipeline.h"
+
+#include "util/check.h"
+
+namespace rrs {
+namespace reduce {
+
+PipelineResult SolveBatched(const Instance& instance, EngineOptions options,
+                            const DlruEdfPolicy::Params& params) {
+  PipelineResult result;
+  result.distribute = DistributeInstance(instance);
+
+  DlruEdfPolicy policy(params);
+  options.record_schedule = true;
+  result.inner = RunPolicy(result.distribute.transformed, policy, options);
+  RRS_CHECK(result.inner.schedule.has_value());
+
+  result.schedule =
+      ProjectDistributeSchedule(*result.inner.schedule, result.distribute);
+  result.validation = result.schedule.Validate(instance);
+  RRS_CHECK(result.validation.ok)
+      << "batched pipeline schedule invalid: " << result.validation.error;
+  return result;
+}
+
+PipelineResult SolveOnline(const Instance& instance, EngineOptions options,
+                           const DlruEdfPolicy::Params& params) {
+  PipelineResult result;
+  result.varbatch = VarBatchInstance(instance);
+  result.distribute = DistributeInstance(result.varbatch.transformed);
+
+  DlruEdfPolicy policy(params);
+  options.record_schedule = true;
+  result.inner = RunPolicy(result.distribute.transformed, policy, options);
+  RRS_CHECK(result.inner.schedule.has_value());
+
+  // Project subcolors back to colors (vs the VarBatch instance), then map
+  // job ids back to the original instance.
+  Schedule mid =
+      ProjectDistributeSchedule(*result.inner.schedule, result.distribute);
+  result.schedule = ProjectVarBatchSchedule(mid, result.varbatch);
+  result.validation = result.schedule.Validate(instance);
+  RRS_CHECK(result.validation.ok)
+      << "pipeline schedule invalid: " << result.validation.error;
+  return result;
+}
+
+}  // namespace reduce
+}  // namespace rrs

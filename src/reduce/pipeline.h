@@ -1,0 +1,48 @@
+// The paper's end-to-end online algorithm for the main problem
+// [Δ | 1 | D_ℓ | 1] (Theorem 3):
+//
+//     VarBatch  ∘  Distribute  ∘  ΔLRU-EDF
+//
+// VarBatch delays each job to the next half-block boundary (making the
+// instance batched with halved delay bounds), Distribute splits over-full
+// batches into rate-limited subcolors, ΔLRU-EDF schedules the rate-limited
+// batched instance, and the two projections map the schedule back to the
+// original instance, where the independent validator certifies it.
+#pragma once
+
+#include <memory>
+
+#include "core/engine.h"
+#include "core/instance.h"
+#include "core/schedule.h"
+#include "reduce/distribute.h"
+#include "reduce/varbatch.h"
+#include "sched/dlru_edf.h"
+
+namespace rrs {
+namespace reduce {
+
+struct PipelineResult {
+  VarBatchTransform varbatch;
+  DistributeTransform distribute;
+  RunResult inner;              // ΔLRU-EDF on the fully transformed instance
+  Schedule schedule;            // schedule for the ORIGINAL instance
+  ValidationResult validation;  // certified against the original instance
+
+  // Certified cost of the final schedule on the original instance.
+  CostBreakdown cost() const { return validation.cost; }
+};
+
+// Runs the full pipeline on an arbitrary [Δ | 1 | D_ℓ | 1] instance.
+// options.num_resources must satisfy ΔLRU-EDF's requirement (divisible by 4,
+// >= the LRU denominator in params).
+PipelineResult SolveOnline(const Instance& instance, EngineOptions options,
+                           const DlruEdfPolicy::Params& params = {});
+
+// The Section-4 sub-pipeline for inputs that are already batched:
+// Distribute ∘ ΔLRU-EDF (Theorem 2).
+PipelineResult SolveBatched(const Instance& instance, EngineOptions options,
+                            const DlruEdfPolicy::Params& params = {});
+
+}  // namespace reduce
+}  // namespace rrs

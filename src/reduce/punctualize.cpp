@@ -1,0 +1,100 @@
+#include "reduce/punctualize.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "util/check.h"
+
+namespace rrs {
+namespace reduce {
+
+PunctualizeResult PunctualizeSchedule(const Instance& instance,
+                                      const Schedule& s,
+                                      const VarBatchTransform& transform) {
+  RRS_CHECK_EQ(s.mini_rounds_per_round(), 1)
+      << "Punctualize takes a uni-speed schedule";
+  const uint32_t m = s.num_resources();
+  const uint32_t big_m = 7 * m;
+  const Instance& vb = transform.transformed;
+  const Round horizon = vb.horizon();
+
+  // Inverse job map: original id -> transformed id.
+  std::vector<JobId> transformed_of(instance.num_jobs(), kNoJob);
+  for (JobId t = 0; t < vb.num_jobs(); ++t) {
+    transformed_of[transform.orig_of[t]] = t;
+  }
+
+  // Bucket S's executions by (transformed delay bound, window start, color):
+  // the transformed job's punctual window is [arrival', arrival' + D').
+  std::map<std::tuple<Round, Round, ColorId>, std::vector<JobId>> buckets;
+  for (const ExecAction& a : s.executions()) {
+    JobId t = transformed_of[a.job];
+    RRS_CHECK(t != kNoJob);
+    const Job& job = vb.job(t);
+    buckets[{vb.delay_bound(job.color), job.arrival, job.color}].push_back(t);
+  }
+
+  std::vector<uint8_t> occupied(
+      static_cast<size_t>(big_m) * static_cast<size_t>(horizon), 0);
+  auto slot = [&](uint32_t r, Round round) -> uint8_t& {
+    return occupied[static_cast<size_t>(r) * static_cast<size_t>(horizon) +
+                    static_cast<size_t>(round)];
+  };
+
+  struct Placement {
+    Round round;
+    ResourceId resource;
+    JobId job;  // transformed id
+    ColorId color;
+  };
+  std::vector<Placement> placements;
+  placements.reserve(s.executions().size());
+
+  // std::map iterates keys ascending, i.e. ascending transformed delay
+  // bound, then ascending window start, then color order — the nesting
+  // order the capacity argument needs.
+  for (const auto& [key, jobs] : buckets) {
+    const auto& [d_inner, window_start, color] = key;
+    uint64_t placed = 0;
+    for (uint32_t r = 0; r < big_m && placed < jobs.size(); ++r) {
+      for (Round round = window_start;
+           round < window_start + d_inner && placed < jobs.size(); ++round) {
+        if (slot(r, round)) continue;
+        slot(r, round) = 1;
+        placements.push_back(Placement{round, r, jobs[placed], color});
+        ++placed;
+      }
+    }
+    RRS_CHECK_EQ(placed, jobs.size())
+        << "Lemma 5.3 capacity violated in the half-block at "
+        << window_start << " (D'=" << d_inner << ", color " << color << ")";
+  }
+
+  std::sort(placements.begin(), placements.end(),
+            [](const Placement& a, const Placement& b) {
+              if (a.resource != b.resource) return a.resource < b.resource;
+              return a.round < b.round;
+            });
+  PunctualizeResult result;
+  result.schedule = Schedule(big_m, 1);
+  ResourceId current_resource = static_cast<ResourceId>(-1);
+  ColorId current_color = kNoColor;
+  for (const Placement& pl : placements) {
+    if (pl.resource != current_resource) {
+      current_resource = pl.resource;
+      current_color = kNoColor;
+    }
+    if (pl.color != current_color) {
+      result.schedule.AddReconfig(pl.round, 0, pl.resource, pl.color);
+      current_color = pl.color;
+    }
+    result.schedule.AddExecution(pl.round, 0, pl.resource, pl.job);
+    ++result.executed;
+  }
+  RRS_CHECK_EQ(result.executed, s.executions().size());
+  return result;
+}
+
+}  // namespace reduce
+}  // namespace rrs

@@ -1,0 +1,42 @@
+// The punctual-schedule construction of Lemmas 5.1-5.3: given an arbitrary
+// offline schedule S for an instance I of [Δ | 1 | D_ℓ | 1], build a
+// schedule S' for the VarBatch instance I_vb that uses 7x the resources,
+// executes exactly as many jobs, and (Lemma 5.3) costs a constant factor
+// more. Every execution of S' is *punctual*: it lands inside the
+// transformed job's half-block window [b, b + D'), which is what lets
+// Theorem 3 treat the VarBatch instance's optimum as O(OPT(I)).
+//
+// The paper proves Lemma 5.3 by splitting each resource's executions into
+// early / punctual / late and re-timing the early ones forward (Lemma 5.1)
+// and the late ones backward (Lemma 5.2) onto 3 + 1 + 3 resources. We keep
+// the outer structure — every S-execution is re-timed into its punctual
+// window — but pack greedily into the 7m-resource grid, ascending delay
+// bound, half-block by half-block. Capacity argument (checked at runtime):
+// the jobs placed into any half-block of length L were executed by S within
+// a 3L-round span on m resources, so at most 3mL of them exist against a
+// 7mL-slot grid. Cost: reconfigurations are emitted per color change per
+// resource; the constant-factor bound is asserted empirically in tests.
+#pragma once
+
+#include <cstdint>
+
+#include "core/instance.h"
+#include "core/schedule.h"
+#include "reduce/varbatch.h"
+
+namespace rrs {
+namespace reduce {
+
+struct PunctualizeResult {
+  Schedule schedule;   // for transform.transformed, 7x S's resources
+  uint64_t executed = 0;
+};
+
+// Requires: `s` a valid uni-speed schedule for `instance`; `transform` the
+// VarBatchTransform of `instance`.
+PunctualizeResult PunctualizeSchedule(const Instance& instance,
+                                      const Schedule& s,
+                                      const VarBatchTransform& transform);
+
+}  // namespace reduce
+}  // namespace rrs

@@ -1,0 +1,68 @@
+#include "reduce/varbatch.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace rrs {
+namespace reduce {
+
+Round VarBatchDelayBound(Round d) {
+  RRS_CHECK_GE(d, 1);
+  if (d == 1) return 1;
+  return FloorPowerOfTwo(d) / 2 > 0 ? FloorPowerOfTwo(d) / 2 : 1;
+}
+
+Round VarBatchArrival(Round arrival, Round d) {
+  RRS_CHECK_GE(d, 1);
+  if (d == 1) return arrival;
+  const Round half = VarBatchDelayBound(d);
+  return (arrival / half + 1) * half;
+}
+
+VarBatchTransform VarBatchInstance(const Instance& instance) {
+  VarBatchTransform out;
+  InstanceBuilder builder;
+  for (ColorId c = 0; c < instance.num_colors(); ++c) {
+    builder.AddColor(VarBatchDelayBound(instance.delay_bound(c)),
+                     instance.color_name(c));
+  }
+  // Transformed jobs must be re-sorted by their delayed arrival; record the
+  // (delayed arrival, original id) pairs and emit in sorted order so the
+  // builder's stable sort leaves transformed id i mapping to orig_of[i].
+  std::vector<std::pair<Round, JobId>> delayed;
+  delayed.reserve(instance.num_jobs());
+  for (JobId id = 0; id < instance.num_jobs(); ++id) {
+    const Job& j = instance.job(id);
+    delayed.emplace_back(
+        VarBatchArrival(j.arrival, instance.delay_bound(j.color)), id);
+  }
+  std::stable_sort(delayed.begin(), delayed.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  out.orig_of.reserve(delayed.size());
+  for (const auto& [arrival, id] : delayed) {
+    builder.AddJob(instance.job(id).color, arrival);
+    out.orig_of.push_back(id);
+  }
+  out.transformed = builder.Build();
+  RRS_CHECK(out.transformed.IsBatched()) << "VarBatch output must be batched";
+  RRS_CHECK_EQ(out.transformed.num_jobs(), instance.num_jobs());
+  return out;
+}
+
+Schedule ProjectVarBatchSchedule(const Schedule& inner,
+                                 const VarBatchTransform& transform) {
+  Schedule projected(inner.num_resources(), inner.mini_rounds_per_round());
+  for (const ReconfigAction& a : inner.reconfigs()) {
+    projected.AddReconfig(a.round, a.mini, a.resource, a.to);
+  }
+  for (const ExecAction& a : inner.executions()) {
+    projected.AddExecution(a.round, a.mini, a.resource,
+                           transform.orig_of[a.job]);
+  }
+  return projected;
+}
+
+}  // namespace reduce
+}  // namespace rrs

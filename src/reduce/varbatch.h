@@ -1,0 +1,50 @@
+// Algorithm VarBatch (Section 5): reduces the main problem [Δ | 1 | D_ℓ | 1]
+// to batched [Δ | 1 | D'_ℓ | D'_ℓ].
+//
+// For power-of-two D_ℓ >= 2 (Section 5.1): a job arriving in
+// halfBlock(D, i) — the D/2 rounds starting at i·D/2 — is delayed to round
+// (i+1)·D/2 and must execute within halfBlock(D, i+1); the transformed color
+// has delay bound D/2 and arrivals only at multiples of D/2.
+//
+// For arbitrary D_ℓ (Section 5.3): with 2^j <= D < 2^{j+1}, apply the same
+// scheme to p̂ = 2^j, i.e. the transformed delay bound is 2^{j-1} = p̂/2.
+// Legality: a job arriving at t in halfBlock(p̂, i) executes by
+// (i+2)·p̂/2 <= t + p̂ <= t + D, inside its original window.
+//
+// D_ℓ = 1 colors are already batched and pass through unchanged.
+//
+// The transform is causal (jobs are only delayed), so VarBatch is online.
+// VarBatchTransform keeps the transformed-job -> original-job mapping so the
+// inner schedule can be re-targeted at the original instance and validated
+// against it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/schedule.h"
+
+namespace rrs {
+namespace reduce {
+
+struct VarBatchTransform {
+  Instance transformed;          // batched instance with halved delay bounds
+  std::vector<JobId> orig_of;    // transformed job id -> original job id
+};
+
+// The transformed delay bound for an original delay bound d (>= 1).
+Round VarBatchDelayBound(Round d);
+
+// The transformed arrival round for an original (arrival, delay bound) pair.
+Round VarBatchArrival(Round arrival, Round d);
+
+VarBatchTransform VarBatchInstance(const Instance& instance);
+
+// Re-targets a schedule for the transformed instance at the original one by
+// mapping job ids back (colors are shared between the two instances).
+Schedule ProjectVarBatchSchedule(const Schedule& inner,
+                                 const VarBatchTransform& transform);
+
+}  // namespace reduce
+}  // namespace rrs

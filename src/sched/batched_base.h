@@ -1,0 +1,87 @@
+// Shared plumbing for the Section 3.1 schedulers (ΔLRU, EDF, ΔLRU-EDF):
+// wires the ColorStateTable into the engine's phase hooks and owns the
+// CacheSlots. Subclasses implement the reconfiguration scheme only.
+//
+// These schedulers are defined for the rate-limited batched problem
+// [Δ | 1 | D_ℓ | D_ℓ]; running them on unbatched inputs is allowed by the
+// engine (the bookkeeping is still well-defined) but the paper's guarantees
+// only apply through the reductions of Sections 4-5.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "core/policy.h"
+#include "sched/cache_slots.h"
+#include "sched/color_state.h"
+#include "sched/ranking.h"
+
+namespace rrs {
+
+class BatchedSchedulerBase : public SchedulerPolicy {
+ public:
+  // primary_fraction_den: the cache uses n/primary_fraction_den primary
+  // slots... see subclasses; here we just take the resolved slot count.
+  void Reset(const Instance& instance, const EngineOptions& options) override;
+
+  void OnJobsDropped(Round k, ColorId c, uint64_t count,
+                     std::span<const JobId> jobs) final;
+  void AfterDropPhase(Round k) final;
+  void OnArrivals(Round k, ColorId c, uint64_t count) final;
+
+  void CollectCounters(std::map<std::string, double>& out) const override;
+
+  const ColorStateTable& color_state() const { return table_; }
+  const CacheSlots& cache() const { return slots_; }
+
+  // When enabled before a run, the ids of jobs dropped while their color was
+  // ineligible are collected; the complement of this set is the paper's
+  // "eligible job" subsequence α (Section 3.2), used by experiment E7 and the
+  // Lemma 3.2 tests.
+  void set_collect_ineligible_jobs(bool enabled) {
+    collect_ineligible_jobs_ = enabled;
+  }
+  const std::vector<JobId>& ineligible_job_ids() const {
+    return ineligible_job_ids_;
+  }
+
+ protected:
+  // Number of primary (distinct-color) slots for n resources; replication
+  // mirrors them. Subclasses define the split.
+  virtual uint32_t PrimarySlots(uint32_t n) const = 0;
+  virtual bool Replicate() const { return true; }
+
+  // Subclass hooks fired by the shared phase processing. The round is the
+  // one whose drop/arrival phase triggered the event.
+  virtual void OnReset() {}
+  virtual void OnBecameEligible(Round k, ColorId c) {
+    (void)k;
+    (void)c;
+  }
+  virtual void OnBecameIneligible(Round k, ColorId c) {
+    (void)k;
+    (void)c;
+  }
+  virtual void OnTimestampUpdated(Round k, ColorId c) {
+    (void)k;
+    (void)c;
+  }
+
+  // Builds the EDF rank key for color c (idleness from the view).
+  ColorRankKey RankOf(ColorId c, const ResourceView& view) const {
+    return ColorRankKey{view.pending_count(c) == 0 ? uint8_t{1} : uint8_t{0},
+                        table_.deadline(c), instance_->delay_bound(c), c};
+  }
+
+  const Instance* instance_ = nullptr;
+  ColorStateTable table_;
+  CacheSlots slots_;
+
+ private:
+  ColorStateTable::BoundaryEvents events_;
+  bool collect_ineligible_jobs_ = false;
+  std::vector<JobId> ineligible_job_ids_;
+};
+
+}  // namespace rrs

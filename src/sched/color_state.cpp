@@ -1,0 +1,102 @@
+#include "sched/color_state.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace rrs {
+
+void ColorStateTable::Reset(const Instance& instance, uint64_t delta) {
+  RRS_CHECK_GE(delta, 1u);
+  instance_ = &instance;
+  delta_ = delta;
+  state_.assign(instance.num_colors(), State{});
+
+  groups_by_delay_.clear();
+  std::map<Round, std::vector<ColorId>> groups;
+  for (ColorId c = 0; c < instance.num_colors(); ++c) {
+    groups[instance.delay_bound(c)].push_back(c);
+  }
+  groups_by_delay_.assign(groups.begin(), groups.end());
+
+  eligible_list_.clear();
+  in_eligible_list_.assign(instance.num_colors(), 0);
+
+  epochs_completed_ = 0;
+  colors_with_jobs_ = 0;
+  eligible_drops_ = 0;
+  ineligible_drops_ = 0;
+  wrap_events_ = 0;
+  timestamp_update_events_ = 0;
+}
+
+void ColorStateTable::RecordDrop(ColorId c, uint64_t count) {
+  if (state_[c].eligible) {
+    eligible_drops_ += count;
+  } else {
+    ineligible_drops_ += count;
+  }
+}
+
+bool ColorStateTable::OnArrivals(Round k, ColorId c, uint64_t count) {
+  State& s = state_[c];
+  if (!s.saw_jobs && count > 0) {
+    s.saw_jobs = true;
+    ++colors_with_jobs_;
+  }
+  s.cnt += count;
+  bool became_eligible = false;
+  if (s.cnt >= delta_) {
+    s.cnt %= delta_;  // counter wrapping event
+    s.pending_wrap = k;
+    ++wrap_events_;
+    if (!s.eligible) {
+      s.eligible = true;
+      became_eligible = true;
+      if (!in_eligible_list_[c]) {
+        in_eligible_list_[c] = 1;
+        eligible_list_.push_back(c);
+      }
+    }
+  }
+  return became_eligible;
+}
+
+const std::vector<ColorId>& ColorStateTable::eligible_colors() const {
+  size_t out = 0;
+  for (size_t i = 0; i < eligible_list_.size(); ++i) {
+    ColorId c = eligible_list_[i];
+    if (state_[c].eligible) {
+      eligible_list_[out++] = c;
+    } else {
+      in_eligible_list_[c] = 0;
+    }
+  }
+  eligible_list_.resize(out);
+  return eligible_list_;
+}
+
+void ColorStateTable::CollectBoundaryColors(Round k,
+                                            std::vector<ColorId>& out) const {
+  out.clear();
+  for (const auto& [delay, colors] : groups_by_delay_) {
+    if (k % delay == 0) {
+      out.insert(out.end(), colors.begin(), colors.end());
+    }
+  }
+}
+
+uint64_t ColorStateTable::num_epochs() const {
+  return epochs_completed_ + colors_with_jobs_;
+}
+
+void ColorStateTable::CollectCounters(std::map<std::string, double>& out) const {
+  out["epochs_completed"] = static_cast<double>(epochs_completed_);
+  out["num_epochs"] = static_cast<double>(num_epochs());
+  out["eligible_drops"] = static_cast<double>(eligible_drops_);
+  out["ineligible_drops"] = static_cast<double>(ineligible_drops_);
+  out["wrap_events"] = static_cast<double>(wrap_events_);
+  out["timestamp_update_events"] = static_cast<double>(timestamp_update_events_);
+}
+
+}  // namespace rrs

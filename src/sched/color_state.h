@@ -1,0 +1,147 @@
+// Per-color bookkeeping shared by ΔLRU, EDF, and ΔLRU-EDF (the "common
+// aspects" of Section 3.1 of the paper).
+//
+// For each color ℓ the table maintains:
+//   cnt        - the job counter; arrival of x jobs adds x; reaching Δ wraps
+//                the counter (cnt mod Δ), a *counter wrapping event*, and
+//                makes ℓ eligible.
+//   dd         - the color deadline: set to k + D_ℓ at every integral
+//                multiple k of D_ℓ (arrival-phase step 1).
+//   eligible   - colors start ineligible; a wrapping event makes them
+//                eligible; the drop phase of a boundary round makes an
+//                eligible, *uncached* color ineligible again (and zeroes cnt).
+//   timestamp  - the ΔLRU timestamp (Section 3.1.1): the latest round
+//                strictly before the most recent multiple of D_ℓ in which a
+//                wrapping event occurred (0 if none). Implemented as a
+//                current value plus a pending wrap that is *promoted* at the
+//                next boundary; a promotion is a "timestamp update event"
+//                (Section 3.4).
+//
+// The table also keeps the analysis counters used to test Lemmas 3.2-3.4:
+// epoch counts (an epoch of ℓ ends when ℓ becomes ineligible), eligible vs
+// ineligible drop costs, wrapping events, and timestamp update events.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/types.h"
+
+namespace rrs {
+
+class ColorStateTable {
+ public:
+  // Events produced by boundary processing, consumed by the policies to keep
+  // their caching structures (LruTracker etc.) in sync.
+  struct BoundaryEvents {
+    std::vector<ColorId> boundary_colors;     // colors with k % D_ℓ == 0
+    std::vector<ColorId> became_ineligible;   // eligible & uncached -> ineligible
+    std::vector<ColorId> timestamp_updated;   // pending wrap promoted
+  };
+
+  void Reset(const Instance& instance, uint64_t delta);
+
+  // ---- Phase processing (called from policy hooks) ----------------------
+
+  // Record drop-phase drops for eligible/ineligible accounting. Must be
+  // called before ProcessBoundary for the same round (the paper classifies a
+  // dropped job by the color's eligibility at drop time, before the
+  // drop-phase state transition).
+  void RecordDrop(ColorId c, uint64_t count);
+
+  // Runs the boundary bookkeeping of round k (both the drop-phase eligibility
+  // transition and the arrival-phase step-1 deadline/timestamp updates):
+  // for every color ℓ with k ≡ 0 (mod D_ℓ):
+  //   1. if ℓ is eligible and !is_cached(ℓ): ℓ becomes ineligible, cnt = 0
+  //      (ends the current epoch of ℓ);
+  //   2. promote a pending counter-wrap into the timestamp (a timestamp
+  //      update event);
+  //   3. set ℓ.dd = k + D_ℓ.
+  // `is_cached` is queried for eligible colors only.
+  template <typename IsCachedFn>
+  void ProcessBoundary(Round k, IsCachedFn&& is_cached, BoundaryEvents& events) {
+    CollectBoundaryColors(k, events.boundary_colors);
+    events.became_ineligible.clear();
+    events.timestamp_updated.clear();
+    for (ColorId c : events.boundary_colors) {
+      State& s = state_[c];
+      if (s.eligible && !is_cached(c)) {
+        s.eligible = false;
+        s.cnt = 0;
+        ++epochs_completed_;
+        events.became_ineligible.push_back(c);
+      }
+      if (s.pending_wrap >= 0) {
+        s.timestamp = s.pending_wrap;
+        s.pending_wrap = -1;
+        ++timestamp_update_events_;
+        events.timestamp_updated.push_back(c);
+      }
+      s.dd = k + instance_->delay_bound(c);
+    }
+  }
+
+  // Arrival-phase steps 2-3 for one color: cnt += count; on reaching Δ, wrap
+  // (cnt mod Δ) and make the color eligible. Returns true if the color
+  // transitioned ineligible -> eligible in this call.
+  bool OnArrivals(Round k, ColorId c, uint64_t count);
+
+  // ---- Queries -----------------------------------------------------------
+
+  bool eligible(ColorId c) const { return state_[c].eligible; }
+  uint64_t counter(ColorId c) const { return state_[c].cnt; }
+  Round deadline(ColorId c) const { return state_[c].dd; }
+  Round timestamp(ColorId c) const { return state_[c].timestamp; }
+
+  // All currently eligible colors (unordered; lazily compacted).
+  const std::vector<ColorId>& eligible_colors() const;
+
+  size_t num_colors() const { return state_.size(); }
+  uint64_t delta() const { return delta_; }
+
+  // ---- Analysis counters (Lemmas 3.2-3.4 instrumentation) ---------------
+
+  // Total epochs: completed epochs (eligible->ineligible transitions) plus
+  // the trailing incomplete epoch of every color that received any job.
+  uint64_t num_epochs() const;
+  uint64_t epochs_completed() const { return epochs_completed_; }
+  uint64_t eligible_drops() const { return eligible_drops_; }
+  uint64_t ineligible_drops() const { return ineligible_drops_; }
+  uint64_t wrap_events() const { return wrap_events_; }
+  uint64_t timestamp_update_events() const { return timestamp_update_events_; }
+
+  void CollectCounters(std::map<std::string, double>& out) const;
+
+ private:
+  struct State {
+    uint64_t cnt = 0;
+    Round dd = 0;
+    Round timestamp = 0;
+    Round pending_wrap = -1;  // wrap round awaiting boundary promotion
+    bool eligible = false;
+    bool saw_jobs = false;
+  };
+
+  void CollectBoundaryColors(Round k, std::vector<ColorId>& out) const;
+
+  const Instance* instance_ = nullptr;
+  uint64_t delta_ = 1;
+  std::vector<State> state_;
+  // Colors grouped by delay bound for O(#boundary-colors) boundary scans.
+  std::vector<std::pair<Round, std::vector<ColorId>>> groups_by_delay_;
+
+  mutable std::vector<ColorId> eligible_list_;  // lazily compacted
+  mutable std::vector<uint8_t> in_eligible_list_;
+
+  uint64_t epochs_completed_ = 0;
+  uint64_t colors_with_jobs_ = 0;
+  uint64_t eligible_drops_ = 0;
+  uint64_t ineligible_drops_ = 0;
+  uint64_t wrap_events_ = 0;
+  uint64_t timestamp_update_events_ = 0;
+};
+
+}  // namespace rrs

@@ -1,0 +1,50 @@
+#include "sched/dlru.h"
+
+#include "util/check.h"
+
+namespace rrs {
+
+void DlruPolicy::OnReset() {
+  tracker_ = LruTracker(instance_->num_colors());
+  in_desired_.assign(instance_->num_colors(), 0);
+}
+
+void DlruPolicy::OnBecameEligible(Round k, ColorId c) {
+  (void)k;
+  tracker_.Insert(c, table_.timestamp(c));
+}
+
+void DlruPolicy::OnBecameIneligible(Round k, ColorId c) {
+  (void)k;
+  tracker_.Remove(c);
+}
+
+void DlruPolicy::OnTimestampUpdated(Round k, ColorId c) {
+  (void)k;
+  if (tracker_.Contains(c)) tracker_.Touch(c, table_.timestamp(c));
+}
+
+void DlruPolicy::Reconfigure(Round k, int mini, ResourceView& view) {
+  (void)k;
+  (void)mini;
+  // Invariant: the cache holds exactly the top-P eligible colors by
+  // timestamp. Cached colors stay eligible (only uncached colors become
+  // ineligible), so the desired set never shrinks below the cached set and
+  // every eviction is paired with an insertion.
+  tracker_.TopK(slots_.capacity(), desired_);
+  for (ColorId c : desired_) in_desired_[c] = 1;
+
+  to_evict_.clear();
+  for (ColorId c : slots_.cached_colors()) {
+    if (!in_desired_[c]) to_evict_.push_back(c);
+  }
+  for (ColorId c : to_evict_) slots_.Evict(c);
+  for (ColorId c : desired_) {
+    if (!slots_.IsCached(c)) slots_.Insert(c);
+  }
+  for (ColorId c : desired_) in_desired_[c] = 0;
+
+  slots_.ApplyTo(view);
+}
+
+}  // namespace rrs

@@ -1,0 +1,41 @@
+// Algorithm ΔLRU (Section 3.1.1).
+//
+// Reconfiguration scheme: keep the n/2 eligible colors with the most recent
+// timestamps in the cache (ties by the consistent order of colors), each
+// replicated in two locations. The timestamp of ℓ is the latest round before
+// the most recent multiple of D_ℓ in which a counter-wrapping event of ℓ
+// occurred.
+//
+// ΔLRU captures only the recency aspect and is NOT resource competitive: it
+// happily keeps idle colors with recent timestamps cached (underutilization).
+// Appendix A's construction (workload::MakeDlruAdversary) exhibits an
+// Ω(2^{j+1}/(nΔ)) ratio; experiment E1 reproduces it.
+#pragma once
+
+#include "container/lru_tracker.h"
+#include "sched/batched_base.h"
+
+namespace rrs {
+
+class DlruPolicy : public BatchedSchedulerBase {
+ public:
+  std::string name() const override { return "dlru"; }
+
+  void Reconfigure(Round k, int mini, ResourceView& view) override;
+
+ protected:
+  uint32_t PrimarySlots(uint32_t n) const override { return n / 2; }
+
+  void OnReset() override;
+  void OnBecameEligible(Round k, ColorId c) override;
+  void OnBecameIneligible(Round k, ColorId c) override;
+  void OnTimestampUpdated(Round k, ColorId c) override;
+
+ private:
+  LruTracker tracker_{0};
+  std::vector<ColorId> desired_;
+  std::vector<uint8_t> in_desired_;
+  std::vector<ColorId> to_evict_;
+};
+
+}  // namespace rrs

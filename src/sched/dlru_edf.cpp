@@ -1,0 +1,124 @@
+#include "sched/dlru_edf.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace rrs {
+
+void DlruEdfPolicy::OnReset() {
+  RRS_CHECK_GE(params_.lru_den, 2u);
+  // lru_capacity is defined as n / lru_den; recover n from the slot count.
+  const uint32_t n = slots_.capacity() * (params_.replicate ? 2 : 1);
+  lru_capacity_ = n / params_.lru_den;
+  RRS_CHECK_GE(lru_capacity_, 1u)
+      << "dlru-edf needs n >= " << params_.lru_den << " resources";
+  RRS_CHECK_LT(lru_capacity_, slots_.capacity())
+      << "LRU side must leave room for the EDF side";
+  tracker_ = LruTracker(instance_->num_colors());
+  evict_rng_ = Rng(params_.random_evict_seed);
+  is_lru_.assign(instance_->num_colors(), 0);
+  evict_first_.assign(instance_->num_colors(), 0);
+  in_lru_desired_.assign(instance_->num_colors(), 0);
+}
+
+void DlruEdfPolicy::OnBecameEligible(Round k, ColorId c) {
+  (void)k;
+  tracker_.Insert(c, table_.timestamp(c));
+}
+
+void DlruEdfPolicy::OnBecameIneligible(Round k, ColorId c) {
+  (void)k;
+  tracker_.Remove(c);
+  is_lru_[c] = 0;
+  evict_first_[c] = 0;
+}
+
+void DlruEdfPolicy::OnTimestampUpdated(Round k, ColorId c) {
+  (void)k;
+  if (tracker_.Contains(c)) tracker_.Touch(c, table_.timestamp(c));
+}
+
+void DlruEdfPolicy::Reconfigure(Round k, int mini, ResourceView& view) {
+  (void)k;
+  (void)mini;
+  const uint32_t edf_budget = slots_.capacity() - lru_capacity_;
+
+  // ---- ΔLRU side: the top lru_capacity_ eligible colors by timestamp. ----
+  tracker_.TopK(lru_capacity_, lru_desired_);
+  for (ColorId c : lru_desired_) in_lru_desired_[c] = 1;
+
+  // Demote cached colors that fell out of the LRU top set.
+  for (ColorId c : slots_.cached_colors()) {
+    if (is_lru_[c] && !in_lru_desired_[c]) {
+      is_lru_[c] = 0;
+      if (params_.exit_policy == LruExitPolicy::kEvictFirst) {
+        evict_first_[c] = 1;
+      }
+    }
+  }
+  for (ColorId c : lru_desired_) {
+    is_lru_[c] = 1;
+    evict_first_[c] = 0;
+  }
+
+  // Eviction candidates: cached non-LRU colors, worst first. With
+  // kEvictFirst, freshly demoted colors precede everything else.
+  victims_.clear();
+  for (ColorId c : slots_.cached_colors()) {
+    if (!is_lru_[c]) victims_.emplace_back(RankOf(c, view), c);
+  }
+  std::sort(victims_.begin(), victims_.end(),
+            [this](const auto& a, const auto& b) {
+              bool ea = evict_first_[a.second], eb = evict_first_[b.second];
+              if (ea != eb) return ea > eb;
+              return b.first < a.first;  // worst rank first
+            });
+  if (params_.random_evict && victims_.size() > 1) {
+    // Ablation: shuffle the candidate order instead of using EDF rank
+    // (kEvictFirst demotions, if any, lose their priority too).
+    evict_rng_.Shuffle(victims_);
+  }
+  size_t next_victim = 0;
+  auto evict_one = [&]() {
+    while (next_victim < victims_.size() &&
+           !slots_.IsCached(victims_[next_victim].second)) {
+      ++next_victim;
+    }
+    RRS_CHECK_LT(next_victim, victims_.size())
+        << "dlru-edf: no non-LRU eviction candidate";
+    slots_.Evict(victims_[next_victim++].second);
+  };
+
+  // Bring LRU-desired colors in (most recent first).
+  for (ColorId c : lru_desired_) {
+    if (!slots_.IsCached(c)) {
+      if (slots_.full()) evict_one();
+      slots_.Insert(c);
+    }
+  }
+
+  // ---- EDF side: rank eligible non-LRU colors; admit the nonidle top. ----
+  const auto& eligible = table_.eligible_colors();
+  ranked_.clear();
+  for (ColorId c : eligible) {
+    if (!is_lru_[c]) ranked_.emplace_back(RankOf(c, view), c);
+  }
+  if (ranked_.size() > edf_budget) {
+    std::nth_element(ranked_.begin(), ranked_.begin() + edf_budget,
+                     ranked_.end());
+    ranked_.resize(edf_budget);
+  }
+  std::sort(ranked_.begin(), ranked_.end());
+  for (const auto& [key, c] : ranked_) {
+    if (key.idle) break;  // only nonidle colors are brought in
+    if (slots_.IsCached(c)) continue;
+    if (slots_.full()) evict_one();
+    slots_.Insert(c);
+  }
+
+  for (ColorId c : lru_desired_) in_lru_desired_[c] = 0;
+  slots_.ApplyTo(view);
+}
+
+}  // namespace rrs

@@ -1,0 +1,52 @@
+#include "sched/edf.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace rrs {
+
+void EdfPolicy::Reconfigure(Round k, int mini, ResourceView& view) {
+  (void)k;
+  (void)mini;
+  const uint32_t P = slots_.capacity();
+
+  // Rank all eligible colors; select the top-P.
+  const auto& eligible = table_.eligible_colors();
+  ranked_.clear();
+  ranked_.reserve(eligible.size());
+  for (ColorId c : eligible) ranked_.emplace_back(RankOf(c, view), c);
+  if (ranked_.size() > P) {
+    std::nth_element(ranked_.begin(), ranked_.begin() + P, ranked_.end());
+    ranked_.resize(P);
+  }
+  std::sort(ranked_.begin(), ranked_.end());
+
+  // Eviction candidates: currently cached colors, worst rank first. Cached
+  // colors are always eligible, so RankOf applies.
+  evict_order_.clear();
+  for (ColorId c : slots_.cached_colors()) {
+    evict_order_.emplace_back(RankOf(c, view), c);
+  }
+  std::sort(evict_order_.begin(), evict_order_.end(),
+            [](const auto& a, const auto& b) { return b < a; });
+  size_t next_victim = 0;
+
+  for (const auto& [key, c] : ranked_) {
+    if (key.idle) break;  // idle colors rank after all nonidle ones
+    if (slots_.IsCached(c)) continue;
+    if (slots_.full()) {
+      // The paper: evict the color with the lowest rank. Since c is in the
+      // top-P and the cache holds P colors, some cached color ranks below c.
+      RRS_CHECK_LT(next_victim, evict_order_.size());
+      ColorId victim = evict_order_[next_victim++].second;
+      RRS_DCHECK(victim != c);
+      slots_.Evict(victim);
+    }
+    slots_.Insert(c);
+  }
+
+  slots_.ApplyTo(view);
+}
+
+}  // namespace rrs

@@ -1,0 +1,47 @@
+// Algorithm EDF (Section 3.1.2) and its Seq-EDF variant (Section 3.3).
+//
+// Reconfiguration scheme: rank the eligible colors (nonidle first, then
+// ascending color deadline, then ascending delay bound, then the consistent
+// order of colors). Every nonidle eligible color in the top-P rankings that
+// is not cached is brought in, evicting the lowest-ranked cached color when
+// the cache is full.
+//
+//  - EDF proper: P = n/2 primary slots, each cached color replicated twice.
+//  - Seq-EDF:    P = n, no replication (all capacity distinct). Run with
+//    mini_rounds_per_round = 2 this is DS-Seq-EDF, the double-speed analysis
+//    companion of Lemma 3.8.
+//
+// EDF captures only the deadline aspect and is NOT resource competitive: it
+// thrashes when a short-delay color alternates between idle and nonidle,
+// repeatedly displacing a long-delay color (Appendix B; experiment E2).
+#pragma once
+
+#include <vector>
+
+#include "sched/batched_base.h"
+
+namespace rrs {
+
+class EdfPolicy : public BatchedSchedulerBase {
+ public:
+  // replicate = true: the Section 3.1 scheme (P = n/2, mirrored).
+  // replicate = false: Seq-EDF (P = n, distinct).
+  explicit EdfPolicy(bool replicate = true) : replicate_(replicate) {}
+
+  std::string name() const override { return replicate_ ? "edf" : "seq-edf"; }
+
+  void Reconfigure(Round k, int mini, ResourceView& view) override;
+
+ protected:
+  uint32_t PrimarySlots(uint32_t n) const override {
+    return replicate_ ? n / 2 : n;
+  }
+  bool Replicate() const override { return replicate_; }
+
+ private:
+  bool replicate_;
+  std::vector<std::pair<ColorRankKey, ColorId>> ranked_;
+  std::vector<std::pair<ColorRankKey, ColorId>> evict_order_;
+};
+
+}  // namespace rrs

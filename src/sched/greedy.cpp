@@ -1,0 +1,139 @@
+#include "sched/greedy.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace rrs {
+
+void GreedyEdfPolicy::Reset(const Instance& instance,
+                            const EngineOptions& options) {
+  (void)options;
+  instance_ = &instance;
+  desired_flag_.assign(instance.num_colors(), 0);
+  placed_flag_.assign(instance.num_colors(), 0);
+}
+
+void GreedyEdfPolicy::Reconfigure(Round k, int mini, ResourceView& view) {
+  (void)k;
+  (void)mini;
+  const uint32_t n = view.num_resources();
+
+  // Rank nonidle colors by the earliest pending job deadline.
+  const auto& nonidle = view.nonidle_colors();
+  ranked_.clear();
+  ranked_.reserve(nonidle.size());
+  for (ColorId c : nonidle) {
+    ranked_.emplace_back(ColorRankKey{0, view.earliest_deadline(c),
+                                      instance_->delay_bound(c), c},
+                         c);
+  }
+  if (ranked_.size() > n) {
+    std::nth_element(ranked_.begin(), ranked_.begin() + n, ranked_.end());
+    ranked_.resize(n);
+  }
+  std::sort(ranked_.begin(), ranked_.end());
+
+  for (const auto& [key, c] : ranked_) desired_flag_[c] = 1;
+
+  // Keep resources already serving a desired color (first resource per color
+  // wins; duplicates are reassigned).
+  for (ResourceId r = 0; r < n; ++r) {
+    ColorId c = view.color_of(r);
+    if (c != kNoColor && desired_flag_[c] && !placed_flag_[c]) {
+      placed_flag_[c] = 1;
+    }
+  }
+  // Assign missing desired colors to resources not holding a desired color.
+  size_t next = 0;
+  for (const auto& [key, c] : ranked_) {
+    if (placed_flag_[c]) continue;
+    while (next < n) {
+      ColorId cur = view.color_of(next);
+      bool keep = cur != kNoColor && desired_flag_[cur] && placed_flag_[cur] &&
+                  cur != c;
+      // A resource is reusable unless it is the designated keeper of another
+      // desired color.
+      if (!keep) break;
+      ++next;
+    }
+    RRS_CHECK_LT(next, n);
+    view.SetColor(static_cast<ResourceId>(next), c);
+    placed_flag_[c] = 1;
+    ++next;
+  }
+
+  for (const auto& [key, c] : ranked_) {
+    desired_flag_[c] = 0;
+    placed_flag_[c] = 0;
+  }
+}
+
+void LazyGreedyPolicy::Reset(const Instance& instance,
+                             const EngineOptions& options) {
+  (void)options;
+  instance_ = &instance;
+  claimed_.assign(instance.num_colors(), 0);
+}
+
+void LazyGreedyPolicy::Reconfigure(Round k, int mini, ResourceView& view) {
+  (void)k;
+  (void)mini;
+  const uint32_t n = view.num_resources();
+  const auto& nonidle = view.nonidle_colors();
+
+  // Colors already being served keep their claim.
+  for (ResourceId r = 0; r < n; ++r) {
+    ColorId c = view.color_of(r);
+    if (c != kNoColor && view.pending_count(c) > 0) claimed_[c] = 1;
+  }
+
+  for (ResourceId r = 0; r < n; ++r) {
+    ColorId cur = view.color_of(r);
+    if (cur != kNoColor && view.pending_count(cur) > 0) continue;  // busy
+    // Idle resource: find the unclaimed nonidle color with the largest
+    // (optionally drop-cost-weighted) backlog meeting the switch threshold.
+    ColorId best = kNoColor;
+    uint64_t best_score = 0;
+    for (ColorId c : nonidle) {
+      if (claimed_[c]) continue;
+      uint64_t backlog = view.pending_count(c);
+      if (backlog < switch_threshold_) continue;
+      uint64_t score =
+          weight_aware_ ? backlog * instance_->drop_cost(c) : backlog;
+      if (score > best_score ||
+          (score == best_score && best != kNoColor && c < best)) {
+        best = c;
+        best_score = score;
+      }
+    }
+    if (best != kNoColor) {
+      view.SetColor(r, best);
+      claimed_[best] = 1;
+    }
+  }
+
+  for (ResourceId r = 0; r < n; ++r) {
+    ColorId c = view.color_of(r);
+    if (c != kNoColor) claimed_[c] = 0;
+  }
+}
+
+void StaticPartitionPolicy::Reset(const Instance& instance,
+                                  const EngineOptions& options) {
+  (void)options;
+  instance_ = &instance;
+  configured_ = false;
+}
+
+void StaticPartitionPolicy::Reconfigure(Round k, int mini, ResourceView& view) {
+  (void)k;
+  (void)mini;
+  if (configured_ || instance_->num_colors() == 0) return;
+  for (ResourceId r = 0; r < view.num_resources(); ++r) {
+    view.SetColor(r, static_cast<ColorId>(r % instance_->num_colors()));
+  }
+  configured_ = true;
+}
+
+}  // namespace rrs

@@ -1,0 +1,88 @@
+// Baseline policies that implement the "basic approaches" the paper's
+// introduction argues against. None of them use the eligibility machinery;
+// they exist to make the thrashing/underutilization trade-off measurable
+// (experiment E6) and as sanity baselines everywhere else.
+//
+//  - GreedyEdfPolicy: every mini-round, chase the nonidle colors with the
+//    earliest pending deadlines (pure deadline-greedy; thrashes when bursts
+//    alternate).
+//  - LazyGreedyPolicy ("idle-fill"): keep the current color while it has
+//    work; when a resource idles, grab the unclaimed nonidle color with the
+//    largest backlog, but only if the backlog is at least switch_threshold
+//    jobs (threshold 1 = eager idle-filling; large thresholds approximate
+//    "wait for a long batch", the other failure mode of the introduction).
+//  - StaticPartitionPolicy: fixed color i -> resource (i mod n) assignment in
+//    round 0, never reconfigures afterwards.
+//  - NeverReconfigurePolicy: keeps every resource black and drops everything
+//    (cost upper bound sanity).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/policy.h"
+#include "sched/ranking.h"
+
+namespace rrs {
+
+class GreedyEdfPolicy : public SchedulerPolicy {
+ public:
+  std::string name() const override { return "greedy-edf"; }
+  void Reset(const Instance& instance, const EngineOptions& options) override;
+  void Reconfigure(Round k, int mini, ResourceView& view) override;
+
+ private:
+  const Instance* instance_ = nullptr;
+  std::vector<std::pair<ColorRankKey, ColorId>> ranked_;
+  std::vector<uint8_t> desired_flag_;
+  std::vector<uint8_t> placed_flag_;
+};
+
+class LazyGreedyPolicy : public SchedulerPolicy {
+ public:
+  // weight_aware = true scores backlogs by (pending jobs x per-color drop
+  // cost), the natural heuristic for the variable-drop-cost extension.
+  explicit LazyGreedyPolicy(uint64_t switch_threshold = 1,
+                            bool weight_aware = false)
+      : switch_threshold_(switch_threshold), weight_aware_(weight_aware) {}
+
+  std::string name() const override {
+    return weight_aware_ ? "lazy-greedy-weighted" : "lazy-greedy";
+  }
+  void Reset(const Instance& instance, const EngineOptions& options) override;
+  void Reconfigure(Round k, int mini, ResourceView& view) override;
+
+ private:
+  uint64_t switch_threshold_;
+  bool weight_aware_;
+  const Instance* instance_ = nullptr;
+  std::vector<uint8_t> claimed_;
+};
+
+class StaticPartitionPolicy : public SchedulerPolicy {
+ public:
+  std::string name() const override { return "static"; }
+  void Reset(const Instance& instance, const EngineOptions& options) override;
+  void Reconfigure(Round k, int mini, ResourceView& view) override;
+
+ private:
+  const Instance* instance_ = nullptr;
+  bool configured_ = false;
+};
+
+class NeverReconfigurePolicy : public SchedulerPolicy {
+ public:
+  std::string name() const override { return "never"; }
+  void Reset(const Instance& instance, const EngineOptions& options) override {
+    (void)instance;
+    (void)options;
+  }
+  void Reconfigure(Round k, int mini, ResourceView& view) override {
+    (void)k;
+    (void)mini;
+    (void)view;
+  }
+};
+
+}  // namespace rrs

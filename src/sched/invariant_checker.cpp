@@ -1,0 +1,85 @@
+#include "sched/invariant_checker.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.h"
+
+namespace rrs {
+
+void InvariantCheckingPolicy::Reset(const Instance& instance,
+                                    const EngineOptions& options) {
+  num_resources_ = options.num_resources;
+  checks_ = 0;
+  inner_.Reset(instance, options);
+}
+
+void InvariantCheckingPolicy::Reconfigure(Round k, int mini,
+                                          ResourceView& view) {
+  inner_.Reconfigure(k, mini, view);
+  Verify(k, view);
+  ++checks_;
+}
+
+void InvariantCheckingPolicy::CollectCounters(
+    std::map<std::string, double>& out) const {
+  inner_.CollectCounters(out);
+  out["invariant_checks"] = static_cast<double>(checks_);
+}
+
+void InvariantCheckingPolicy::Verify(Round k, const ResourceView& view) const {
+  const CacheSlots& slots = inner_.cache();
+  const ColorStateTable& table = inner_.color_state();
+
+  // (1) Slot bookkeeping.
+  RRS_CHECK(slots.CheckInvariants())
+      << inner_.name() << ": slot bookkeeping broken at round " << k;
+  RRS_CHECK_LE(slots.size(), slots.capacity());
+
+  // (2) Cached colors are eligible; (3) engine resources mirror the slots.
+  for (uint32_t s = 0; s < slots.capacity(); ++s) {
+    ColorId c = slots.color_in_slot(s);
+    if (c == kNoColor) {
+      RRS_CHECK(view.color_of(s) == kNoColor)
+          << inner_.name() << ": empty slot " << s
+          << " has a configured resource at round " << k;
+      continue;
+    }
+    RRS_CHECK(table.eligible(c))
+        << inner_.name() << ": cached color " << c
+        << " is ineligible at round " << k;
+    RRS_CHECK(view.color_of(s) == c)
+        << inner_.name() << ": resource " << s << " out of sync at round " << k;
+    if (slots.replicate()) {
+      RRS_CHECK(view.color_of(slots.capacity() + s) == c)
+          << inner_.name() << ": replica of slot " << s
+          << " out of sync at round " << k << " (replication invariant)";
+    }
+  }
+
+  // (4) ΔLRU invariant: the top n/lru_den eligible colors by (timestamp
+  // desc, color asc) are all cached.
+  if (lru_den_ != 0) {
+    const uint32_t n =
+        slots.replicate() ? slots.capacity() * 2 : slots.capacity();
+    const uint32_t lru_slots = n / lru_den_;
+    std::vector<std::pair<Round, ColorId>> eligible;
+    for (ColorId c : table.eligible_colors()) {
+      eligible.emplace_back(table.timestamp(c), c);
+    }
+    std::sort(eligible.begin(), eligible.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first > b.first;
+                return a.second < b.second;
+              });
+    const size_t top = std::min<size_t>(lru_slots, eligible.size());
+    for (size_t i = 0; i < top; ++i) {
+      RRS_CHECK(slots.IsCached(eligible[i].second))
+          << inner_.name() << ": LRU-top color " << eligible[i].second
+          << " (timestamp " << eligible[i].first << ") not cached at round "
+          << k;
+    }
+  }
+}
+
+}  // namespace rrs

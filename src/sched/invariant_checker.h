@@ -1,0 +1,61 @@
+// InvariantCheckingPolicy: a transparent wrapper around any
+// BatchedSchedulerBase scheduler that re-verifies the paper's structural
+// cache invariants after every reconfiguration phase:
+//
+//  1. the CacheSlots bookkeeping is internally consistent;
+//  2. every cached color is eligible (a color can only become ineligible
+//     while out of the cache — drop-phase rule of Section 3.1);
+//  3. the engine's actual resource colors mirror the slots, including the
+//     replication invariant ("each cached color is cached in two locations");
+//  4. for ΔLRU-EDF: the eligible colors with the most recent timestamps
+//     (top n/lru_den by (timestamp desc, color asc)) are all cached — the
+//     ΔLRU side's defining invariant.
+//
+// Violations abort via RRS_CHECK with a description; property tests drive
+// this wrapper across workload families and seeds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/policy.h"
+#include "sched/batched_base.h"
+#include "sched/dlru_edf.h"
+
+namespace rrs {
+
+class InvariantCheckingPolicy : public SchedulerPolicy {
+ public:
+  // Wraps `inner` (not owned; must outlive the wrapper). If `lru_slots_den`
+  // is nonzero, invariant 4 is checked with lru_slots = n / lru_slots_den.
+  explicit InvariantCheckingPolicy(BatchedSchedulerBase& inner,
+                                   uint32_t lru_slots_den = 0)
+      : inner_(inner), lru_den_(lru_slots_den) {}
+
+  std::string name() const override { return "checked(" + inner_.name() + ")"; }
+
+  void Reset(const Instance& instance, const EngineOptions& options) override;
+  void OnJobsDropped(Round k, ColorId c, uint64_t count,
+                     std::span<const JobId> jobs) override {
+    inner_.OnJobsDropped(k, c, count, jobs);
+  }
+  void AfterDropPhase(Round k) override { inner_.AfterDropPhase(k); }
+  void OnArrivals(Round k, ColorId c, uint64_t count) override {
+    inner_.OnArrivals(k, c, count);
+  }
+  void AfterArrivalPhase(Round k) override { inner_.AfterArrivalPhase(k); }
+  void Reconfigure(Round k, int mini, ResourceView& view) override;
+  void CollectCounters(std::map<std::string, double>& out) const override;
+
+  uint64_t checks_performed() const { return checks_; }
+
+ private:
+  void Verify(Round k, const ResourceView& view) const;
+
+  BatchedSchedulerBase& inner_;
+  uint32_t lru_den_;
+  uint32_t num_resources_ = 0;
+  uint64_t checks_ = 0;
+};
+
+}  // namespace rrs

@@ -1,0 +1,120 @@
+#include "sched/lookahead.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace rrs {
+
+void LookaheadGreedyPolicy::Reset(const Instance& instance,
+                                  const EngineOptions& options) {
+  RRS_CHECK_GE(params_.window, 0);
+  instance_ = &instance;
+  delta_ = options.cost_model.delta;
+  score_.assign(instance.num_colors(), 0.0);
+  in_scored_.assign(instance.num_colors(), 0);
+  placed_.assign(instance.num_colors(), 0);
+  selected_.assign(instance.num_colors(), 0);
+}
+
+void LookaheadGreedyPolicy::Reconfigure(Round k, int mini,
+                                        ResourceView& view) {
+  (void)mini;
+  const uint32_t n = view.num_resources();
+
+  // ---- Score: deadline pressure of pending + visible future arrivals. ----
+  scored_colors_.clear();
+  auto bump = [&](ColorId c, double amount) {
+    if (!in_scored_[c]) {
+      in_scored_[c] = 1;
+      scored_colors_.push_back(c);
+      score_[c] = 0;
+    }
+    score_[c] += amount;
+  };
+  for (ColorId c : view.nonidle_colors()) {
+    const double slack = std::max<double>(
+        1.0, static_cast<double>(view.earliest_deadline(c) - k));
+    bump(c, static_cast<double>(view.pending_count(c)) / slack);
+  }
+  for (Round r = k + 1; r <= k + params_.window; ++r) {
+    for (const Job& j : instance_->jobs_in_round(r)) {
+      const double slack = static_cast<double>(
+          r + instance_->delay_bound(j.color) - k);
+      bump(j.color, 1.0 / slack);
+    }
+  }
+
+  // ---- Select the top-n pressures. ----
+  std::sort(scored_colors_.begin(), scored_colors_.end(),
+            [&](ColorId a, ColorId b) {
+              if (score_[a] != score_[b]) return score_[a] > score_[b];
+              return a < b;
+            });
+  const size_t selected_count = std::min<size_t>(n, scored_colors_.size());
+  for (size_t i = 0; i < selected_count; ++i) {
+    selected_[scored_colors_[i]] = 1;
+    placed_[scored_colors_[i]] = 0;
+  }
+
+  // Stability pass: the first resource serving each selected color stays;
+  // duplicates remain displaceable.
+  resource_protected_.assign(n, 0);
+  for (ResourceId r = 0; r < n; ++r) {
+    ColorId c = view.color_of(r);
+    if (c == kNoColor) continue;
+    if (selected_[c] && !placed_[c]) {
+      placed_[c] = 1;
+      resource_protected_[r] = 1;
+    }
+  }
+
+  // Assignment with hysteresis: a challenger must beat the weakest
+  // incumbent by an amortized-reconfiguration margin.
+  const double margin =
+      params_.hysteresis * static_cast<double>(delta_) /
+      std::max<double>(1.0, static_cast<double>(params_.window));
+  for (size_t i = 0; i < selected_count; ++i) {
+    ColorId c = scored_colors_[i];
+    if (placed_[c]) continue;
+    // Weakest displaceable resource: lowest incumbent pressure, preferring
+    // black/unscored incumbents. Resources keeping another selected, placed
+    // color are protected.
+    ResourceId victim = n;
+    double victim_score = 0;
+    bool victim_duplicate = false;
+    for (ResourceId r = 0; r < n; ++r) {
+      if (resource_protected_[r]) continue;
+      ColorId cur = view.color_of(r);
+      // A duplicate of an already-placed color contributes nothing extra:
+      // it is a free slot regardless of its color's score.
+      bool duplicate =
+          cur != kNoColor && selected_[cur] && placed_[cur] && cur != c;
+      double cur_score = (cur == kNoColor || !in_scored_[cur] || duplicate)
+                             ? 0.0
+                             : score_[cur];
+      if (victim == n || cur_score < victim_score) {
+        victim = r;
+        victim_score = cur_score;
+        victim_duplicate = duplicate;
+      }
+    }
+    if (victim == n) break;  // every resource protects a stronger color
+    ColorId cur = view.color_of(victim);
+    bool free_slot = cur == kNoColor || !in_scored_[cur] || victim_duplicate;
+    if (free_slot || score_[c] > victim_score + margin) {
+      view.SetColor(victim, c);
+      placed_[c] = 1;
+      resource_protected_[victim] = 1;
+    }
+  }
+
+  // Clear all per-phase flags (over the FULL scored list, not just top-n).
+  for (ColorId c : scored_colors_) {
+    in_scored_[c] = 0;
+    selected_[c] = 0;
+    placed_[c] = 0;
+  }
+}
+
+}  // namespace rrs

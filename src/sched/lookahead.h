@@ -1,0 +1,54 @@
+// LookaheadGreedyPolicy: a semi-online baseline that can see the next W
+// rounds of arrivals (W = 0 degrades to a pending-only greedy). The paper's
+// setting is fully online; lookahead quantifies *what the online algorithm
+// is paying for not knowing the future* (experiment E14), a natural
+// future-work axis for the paper's model.
+//
+// Scheme: each reconfiguration phase scores every relevant color by
+// "deadline pressure" — each known job contributes 1/(deadline - k) — over
+// its pending jobs plus the arrivals visible in (k, k + W]. The n resources
+// chase the top-n pressures with assignment stability (resources already
+// serving a chosen color stay put), plus hysteresis: an incumbent is only
+// displaced when the challenger's pressure exceeds its own by a
+// Δ-proportional margin, which suppresses thrash on near-ties.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/policy.h"
+
+namespace rrs {
+
+class LookaheadGreedyPolicy : public SchedulerPolicy {
+ public:
+  struct Params {
+    Round window = 8;          // W: rounds of visible future arrivals
+    double hysteresis = 0.25;  // challenger must beat incumbent by this
+                               // fraction of Δ's amortized per-round value
+  };
+
+  LookaheadGreedyPolicy() = default;
+  explicit LookaheadGreedyPolicy(Params params) : params_(params) {}
+
+  std::string name() const override {
+    return "lookahead(" + std::to_string(params_.window) + ")";
+  }
+
+  void Reset(const Instance& instance, const EngineOptions& options) override;
+  void Reconfigure(Round k, int mini, ResourceView& view) override;
+
+ private:
+  Params params_;
+  const Instance* instance_ = nullptr;
+  uint64_t delta_ = 1;
+  std::vector<double> score_;          // per color, rebuilt each phase
+  std::vector<ColorId> scored_colors_;
+  std::vector<uint8_t> in_scored_;
+  std::vector<uint8_t> selected_;
+  std::vector<uint8_t> placed_;
+  std::vector<uint8_t> resource_protected_;
+};
+
+}  // namespace rrs

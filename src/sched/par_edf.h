@@ -1,0 +1,29 @@
+// Algorithm Par-EDF (Section 3.3): an analysis companion, not a real
+// scheduler. The m resources are viewed as one super-resource that executes
+// up to m best-ranked pending jobs per round, with no reconfiguration
+// constraints or costs. Jobs are ranked by increasing deadline, then
+// increasing delay bound, then the consistent order of colors.
+//
+// Lemma 3.7: DropCost_ParEDF(σ) <= DropCost_OFF(σ) for an OFF with m
+// resources — Par-EDF's drop count is therefore a valid lower bound on any
+// algorithm's drop cost and is one leg of offline::LowerBound.
+#pragma once
+
+#include <cstdint>
+
+#include "core/instance.h"
+
+namespace rrs {
+
+struct ParEdfResult {
+  uint64_t executed = 0;
+  uint64_t drops = 0;
+};
+
+// Simulates Par-EDF with m >= 1 resources over the whole instance.
+ParEdfResult RunParEdf(const Instance& instance, uint32_t m);
+
+// Convenience accessor for the drop lower bound.
+uint64_t ParEdfDropCost(const Instance& instance, uint32_t m);
+
+}  // namespace rrs

@@ -1,0 +1,34 @@
+// The EDF color-ranking key of Sections 3.1.2/3.3: eligible colors are ranked
+// first on idleness (nonidle first), then ascending color deadline, breaking
+// ties by ascending delay bound, then by the consistent order of colors
+// (ascending ColorId throughout this library). Smaller key = better rank.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+#include "core/types.h"
+
+namespace rrs {
+
+struct ColorRankKey {
+  uint8_t idle = 0;          // 0 = nonidle (better), 1 = idle
+  Round deadline = 0;        // color deadline ℓ.dd
+  Round delay_bound = 0;
+  ColorId color = kNoColor;  // consistent order of colors
+
+  friend auto operator<=>(const ColorRankKey&, const ColorRankKey&) = default;
+};
+
+// The job-ranking key used by Par-EDF (Section 3.3): increasing deadline,
+// then increasing delay bound, then the consistent order of colors.
+struct JobRankKey {
+  Round deadline = 0;
+  Round delay_bound = 0;
+  ColorId color = kNoColor;
+  JobId job = kNoJob;  // final tiebreak for determinism
+
+  friend auto operator<=>(const JobRankKey&, const JobRankKey&) = default;
+};
+
+}  // namespace rrs

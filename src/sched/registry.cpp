@@ -1,0 +1,41 @@
+#include "sched/registry.h"
+
+#include "sched/dlru.h"
+#include "sched/dlru_edf.h"
+#include "sched/edf.h"
+#include "sched/greedy.h"
+#include "sched/lookahead.h"
+
+namespace rrs {
+
+std::unique_ptr<SchedulerPolicy> MakePolicy(const std::string& name) {
+  if (name == "dlru") return std::make_unique<DlruPolicy>();
+  if (name == "edf") return std::make_unique<EdfPolicy>(true);
+  if (name == "seq-edf") return std::make_unique<EdfPolicy>(false);
+  if (name == "dlru-edf") return std::make_unique<DlruEdfPolicy>();
+  if (name == "dlru-edf-evict") {
+    DlruEdfPolicy::Params params;
+    params.exit_policy = LruExitPolicy::kEvictFirst;
+    return std::make_unique<DlruEdfPolicy>(params);
+  }
+  if (name == "greedy-edf") return std::make_unique<GreedyEdfPolicy>();
+  if (name == "lazy-greedy") return std::make_unique<LazyGreedyPolicy>();
+  if (name == "lazy-greedy-weighted") {
+    return std::make_unique<LazyGreedyPolicy>(1, /*weight_aware=*/true);
+  }
+  if (name == "static") return std::make_unique<StaticPartitionPolicy>();
+  if (name == "never") return std::make_unique<NeverReconfigurePolicy>();
+  if (name == "lookahead") {
+    return std::make_unique<LookaheadGreedyPolicy>();
+  }
+  return nullptr;
+}
+
+std::vector<std::string> PolicyNames() {
+  return {"dlru",        "edf",         "seq-edf",
+          "dlru-edf",    "dlru-edf-evict", "greedy-edf",
+          "lazy-greedy", "lazy-greedy-weighted", "static",
+          "never",       "lookahead"};
+}
+
+}  // namespace rrs

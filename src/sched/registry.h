@@ -1,0 +1,19 @@
+// Name -> policy factory used by examples and CLI front-ends.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/policy.h"
+
+namespace rrs {
+
+// Known names: dlru, edf, seq-edf, dlru-edf, dlru-edf-evict, greedy-edf,
+// lazy-greedy, static, never. Returns nullptr for unknown names.
+std::unique_ptr<SchedulerPolicy> MakePolicy(const std::string& name);
+
+// All registered policy names (for --help output).
+std::vector<std::string> PolicyNames();
+
+}  // namespace rrs

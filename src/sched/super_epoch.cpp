@@ -1,0 +1,73 @@
+#include "sched/super_epoch.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace rrs {
+
+void InstrumentedDlruEdfPolicy::OnReset() {
+  DlruEdfPolicy::OnReset();
+  RRS_CHECK_GE(m_, 1u);
+  super_epochs_completed_ = 0;
+  max_overlap_ = 0;
+  active_count_ = 0;
+  active_in_se_.assign(instance_->num_colors(), 0);
+  prev_timestamp_.assign(instance_->num_colors(), 0);
+  epoch_ends_in_se_.assign(instance_->num_colors(), 0);
+  touched_.clear();
+  touched_flag_.assign(instance_->num_colors(), 0);
+}
+
+void InstrumentedDlruEdfPolicy::OnBecameIneligible(Round k, ColorId c) {
+  DlruEdfPolicy::OnBecameIneligible(k, c);
+  // An epoch of c ends here; it overlapped the current super-epoch.
+  ++epoch_ends_in_se_[c];
+  if (!touched_flag_[c]) {
+    touched_flag_[c] = 1;
+    touched_.push_back(c);
+  }
+}
+
+void InstrumentedDlruEdfPolicy::OnTimestampUpdated(Round k, ColorId c) {
+  DlruEdfPolicy::OnTimestampUpdated(k, c);
+  const Round ts = table_.timestamp(c);
+  if (ts <= prev_timestamp_[c]) return;  // not a strict increase
+  prev_timestamp_[c] = ts;
+  if (!active_in_se_[c]) {
+    active_in_se_[c] = 1;
+    ++active_count_;
+    if (!touched_flag_[c]) {
+      touched_flag_[c] = 1;
+      touched_.push_back(c);
+    }
+    if (active_count_ >= 2ull * m_) {
+      CloseSuperEpoch();
+    }
+  }
+}
+
+void InstrumentedDlruEdfPolicy::CloseSuperEpoch() {
+  ++super_epochs_completed_;
+  // Overlap count for a color = epochs that ended during the SE + the one
+  // still open at SE end (epochs partition time, so there is always an open
+  // one).
+  for (ColorId c : touched_) {
+    max_overlap_ =
+        std::max<uint64_t>(max_overlap_, epoch_ends_in_se_[c] + 1);
+    epoch_ends_in_se_[c] = 0;
+    active_in_se_[c] = 0;
+    touched_flag_[c] = 0;
+  }
+  touched_.clear();
+  active_count_ = 0;
+}
+
+void InstrumentedDlruEdfPolicy::CollectCounters(
+    std::map<std::string, double>& out) const {
+  DlruEdfPolicy::CollectCounters(out);
+  out["super_epochs_completed"] = static_cast<double>(super_epochs_completed_);
+  out["max_epochs_per_super_epoch"] = static_cast<double>(max_overlap_);
+}
+
+}  // namespace rrs

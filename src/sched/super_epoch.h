@@ -1,0 +1,65 @@
+// Section 3.4 instrumentation: super-epochs and i-active colors.
+//
+// A *super-epoch* ends the moment at least 2m distinct colors have strictly
+// increased their timestamps since the super-epoch started; a new one starts
+// immediately. A color is *i-active* if its timestamp updates during
+// super-epoch i; an epoch of an i-active color overlapping super-epoch i is
+// an *i-active epoch*.
+//
+// The paper's amortization (Lemma 3.15 / Corollary 3.2) hinges on: at most
+// three epochs of any color overlap any super-epoch. This subclass of
+// ΔLRU-EDF tracks super-epoch boundaries and per-color epoch overlap counts
+// so that property can be measured and asserted empirically (experiment E8's
+// companion tests).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/dlru_edf.h"
+
+namespace rrs {
+
+class InstrumentedDlruEdfPolicy : public DlruEdfPolicy {
+ public:
+  // m is the offline resource count of the analysis; a super-epoch ends when
+  // 2m distinct colors have increased their timestamps.
+  explicit InstrumentedDlruEdfPolicy(uint32_t m, Params params = {})
+      : DlruEdfPolicy(params), m_(m) {}
+
+  std::string name() const override { return "dlru-edf-instrumented"; }
+
+  uint64_t super_epochs_completed() const { return super_epochs_completed_; }
+
+  // Max over all (color, super-epoch) pairs of the number of epochs of that
+  // color overlapping that super-epoch (complete super-epochs only).
+  // Corollary 3.2 predicts <= 3.
+  uint64_t max_epochs_overlapping_super_epoch() const { return max_overlap_; }
+
+  // Distinct timestamp-increasing colors in the current (incomplete)
+  // super-epoch.
+  uint64_t active_colors_in_current() const { return active_count_; }
+
+  void CollectCounters(std::map<std::string, double>& out) const override;
+
+ protected:
+  void OnReset() override;
+  void OnBecameIneligible(Round k, ColorId c) override;
+  void OnTimestampUpdated(Round k, ColorId c) override;
+
+ private:
+  void CloseSuperEpoch();
+
+  uint32_t m_;
+  uint64_t super_epochs_completed_ = 0;
+  uint64_t max_overlap_ = 0;
+  uint64_t active_count_ = 0;
+
+  std::vector<uint8_t> active_in_se_;     // ts increased this super-epoch
+  std::vector<Round> prev_timestamp_;     // last observed ts per color
+  std::vector<uint32_t> epoch_ends_in_se_;
+  std::vector<ColorId> touched_;          // colors with state this SE
+  std::vector<uint8_t> touched_flag_;
+};
+
+}  // namespace rrs

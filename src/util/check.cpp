@@ -1,0 +1,18 @@
+#include "util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rrs {
+namespace internal {
+
+void CheckFailed(const char* file, int line, const char* expr,
+                 const std::string& message) {
+  std::fprintf(stderr, "[rrsched] CHECK failed at %s:%d: %s %s\n", file, line,
+               expr, message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace rrs

@@ -1,0 +1,80 @@
+// Lightweight runtime-check macros used throughout rrsched.
+//
+// RRS_CHECK(cond)        - always-on invariant check; aborts with location and
+//                          an optional streamed message on failure.
+// RRS_CHECK_OP(a, op, b) - comparison check that prints both operands.
+// RRS_DCHECK(cond)       - debug-only check (compiled out in NDEBUG builds).
+//
+// These are used for *programming errors* (broken invariants, API misuse).
+// Recoverable conditions use error returns or exceptions instead.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace rrs {
+namespace internal {
+
+// Terminates the process after printing a formatted check-failure message.
+// Defined out of line so the fast path of a passing check stays small.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& message);
+
+// Accumulates a streamed failure message and fires CheckFailed when
+// destroyed. Used by the RRS_CHECK macro family.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  CheckMessageBuilder(const CheckMessageBuilder&) = delete;
+  CheckMessageBuilder& operator=(const CheckMessageBuilder&) = delete;
+
+  [[noreturn]] ~CheckMessageBuilder() {
+    CheckFailed(file_, line_, expr_, stream_.str());
+  }
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace rrs
+
+#define RRS_CHECK(cond)                                               \
+  if (cond) {                                                         \
+  } else                                                              \
+    ::rrs::internal::CheckMessageBuilder(__FILE__, __LINE__, #cond)
+
+#define RRS_CHECK_OP(a, op, b)                                        \
+  if ((a)op(b)) {                                                     \
+  } else                                                              \
+    ::rrs::internal::CheckMessageBuilder(__FILE__, __LINE__,          \
+                                         #a " " #op " " #b)           \
+        << "(" << (a) << " vs " << (b) << ") "
+
+#define RRS_CHECK_EQ(a, b) RRS_CHECK_OP(a, ==, b)
+#define RRS_CHECK_NE(a, b) RRS_CHECK_OP(a, !=, b)
+#define RRS_CHECK_LT(a, b) RRS_CHECK_OP(a, <, b)
+#define RRS_CHECK_LE(a, b) RRS_CHECK_OP(a, <=, b)
+#define RRS_CHECK_GT(a, b) RRS_CHECK_OP(a, >, b)
+#define RRS_CHECK_GE(a, b) RRS_CHECK_OP(a, >=, b)
+
+#ifdef NDEBUG
+#define RRS_DCHECK(cond) \
+  if (true) {            \
+  } else                 \
+    ::rrs::internal::CheckMessageBuilder(__FILE__, __LINE__, #cond)
+#else
+#define RRS_DCHECK(cond) RRS_CHECK(cond)
+#endif

@@ -1,0 +1,180 @@
+#include "util/flags.h"
+
+#include <sstream>
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace rrs {
+
+FlagSet::Flag& FlagSet::Define(const std::string& name, Type type,
+                               const std::string& help) {
+  RRS_CHECK(!flags_.count(name)) << "duplicate flag --" << name;
+  Flag& f = flags_[name];
+  f.type = type;
+  f.help = help;
+  return f;
+}
+
+FlagSet& FlagSet::DefineInt(const std::string& name, int64_t default_value,
+                            const std::string& help) {
+  Flag& f = Define(name, Type::kInt, help);
+  f.int_value = default_value;
+  f.default_repr = std::to_string(default_value);
+  return *this;
+}
+
+FlagSet& FlagSet::DefineDouble(const std::string& name, double default_value,
+                               const std::string& help) {
+  Flag& f = Define(name, Type::kDouble, help);
+  f.double_value = default_value;
+  f.default_repr = FormatDouble(default_value, 6);
+  return *this;
+}
+
+FlagSet& FlagSet::DefineBool(const std::string& name, bool default_value,
+                             const std::string& help) {
+  Flag& f = Define(name, Type::kBool, help);
+  f.bool_value = default_value;
+  f.default_repr = default_value ? "true" : "false";
+  return *this;
+}
+
+FlagSet& FlagSet::DefineString(const std::string& name,
+                               const std::string& default_value,
+                               const std::string& help) {
+  Flag& f = Define(name, Type::kString, help);
+  f.string_value = default_value;
+  f.default_repr = default_value;
+  return *this;
+}
+
+bool FlagSet::SetFromString(Flag& flag, const std::string& name,
+                            const std::string& value) {
+  switch (flag.type) {
+    case Type::kInt: {
+      auto v = ParseInt(value);
+      if (!v) {
+        error_ = "flag --" + name + ": expected integer, got '" + value + "'";
+        return false;
+      }
+      flag.int_value = *v;
+      return true;
+    }
+    case Type::kDouble: {
+      auto v = ParseDouble(value);
+      if (!v) {
+        error_ = "flag --" + name + ": expected number, got '" + value + "'";
+        return false;
+      }
+      flag.double_value = *v;
+      return true;
+    }
+    case Type::kBool: {
+      if (value == "true" || value == "1") {
+        flag.bool_value = true;
+      } else if (value == "false" || value == "0") {
+        flag.bool_value = false;
+      } else {
+        error_ = "flag --" + name + ": expected bool, got '" + value + "'";
+        return false;
+      }
+      return true;
+    }
+    case Type::kString:
+      flag.string_value = value;
+      return true;
+  }
+  return false;
+}
+
+bool FlagSet::Parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    if (body == "help") {
+      help_requested_ = true;
+      continue;
+    }
+    std::string name;
+    std::string value;
+    bool has_value = false;
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+      has_value = true;
+    } else {
+      name = body;
+    }
+
+    auto it = flags_.find(name);
+    if (it == flags_.end() && StartsWith(name, "no-")) {
+      // --no-foo for a bool flag foo.
+      auto base = flags_.find(name.substr(3));
+      if (base != flags_.end() && base->second.type == Type::kBool &&
+          !has_value) {
+        base->second.bool_value = false;
+        continue;
+      }
+    }
+    if (it == flags_.end()) {
+      error_ = "unknown flag --" + name;
+      return false;
+    }
+    Flag& flag = it->second;
+    if (!has_value) {
+      if (flag.type == Type::kBool) {
+        flag.bool_value = true;
+        continue;
+      }
+      if (i + 1 >= argc) {
+        error_ = "flag --" + name + ": missing value";
+        return false;
+      }
+      value = argv[++i];
+    }
+    if (!SetFromString(flag, name, value)) return false;
+  }
+  return true;
+}
+
+const FlagSet::Flag& FlagSet::GetChecked(const std::string& name,
+                                         Type type) const {
+  auto it = flags_.find(name);
+  RRS_CHECK(it != flags_.end()) << "undefined flag --" << name;
+  RRS_CHECK(it->second.type == type) << "flag --" << name << " type mismatch";
+  return it->second;
+}
+
+int64_t FlagSet::GetInt(const std::string& name) const {
+  return GetChecked(name, Type::kInt).int_value;
+}
+
+double FlagSet::GetDouble(const std::string& name) const {
+  return GetChecked(name, Type::kDouble).double_value;
+}
+
+bool FlagSet::GetBool(const std::string& name) const {
+  return GetChecked(name, Type::kBool).bool_value;
+}
+
+const std::string& FlagSet::GetString(const std::string& name) const {
+  return GetChecked(name, Type::kString).string_value;
+}
+
+std::string FlagSet::Help(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [flags]\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name << " (default: " << flag.default_repr << ")\n"
+       << "      " << flag.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace rrs

@@ -1,0 +1,67 @@
+// Minimal command-line flag parser used by the examples and bench harness
+// front-ends. Supports --name=value, --name value, and boolean --name /
+// --no-name forms. Unknown flags are reported as errors so typos fail fast.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rrs {
+
+class FlagSet {
+ public:
+  // Registers flags with defaults and help strings. Returns *this to allow
+  // chaining during setup.
+  FlagSet& DefineInt(const std::string& name, int64_t default_value,
+                     const std::string& help);
+  FlagSet& DefineDouble(const std::string& name, double default_value,
+                        const std::string& help);
+  FlagSet& DefineBool(const std::string& name, bool default_value,
+                      const std::string& help);
+  FlagSet& DefineString(const std::string& name,
+                        const std::string& default_value,
+                        const std::string& help);
+
+  // Parses argv (skipping argv[0]). Non-flag arguments are collected into
+  // positional(). Returns false and fills error() on malformed or unknown
+  // flags. "--help" sets help_requested().
+  bool Parse(int argc, const char* const* argv);
+
+  int64_t GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+  const std::string& GetString(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& error() const { return error_; }
+  bool help_requested() const { return help_requested_; }
+
+  // Renders a usage/help string listing all flags with defaults.
+  std::string Help(const std::string& program) const;
+
+ private:
+  enum class Type { kInt, kDouble, kBool, kString };
+  struct Flag {
+    Type type;
+    std::string help;
+    int64_t int_value = 0;
+    double double_value = 0;
+    bool bool_value = false;
+    std::string string_value;
+    std::string default_repr;
+  };
+
+  Flag& Define(const std::string& name, Type type, const std::string& help);
+  bool SetFromString(Flag& flag, const std::string& name,
+                     const std::string& value);
+  const Flag& GetChecked(const std::string& name, Type type) const;
+
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+  std::string error_;
+  bool help_requested_ = false;
+};
+
+}  // namespace rrs

@@ -1,0 +1,150 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace rrs {
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.Next();
+  // An all-zero state is the one fixed point of xoshiro; SplitMix64 cannot
+  // produce four consecutive zeros from any seed, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  RRS_CHECK_GT(bound, 0u);
+  // Lemire's method: multiply-shift with rejection of the biased low range.
+  __uint128_t m = static_cast<__uint128_t>(Next()) * bound;
+  uint64_t low = static_cast<uint64_t>(m);
+  if (low < bound) {
+    uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      m = static_cast<__uint128_t>(Next()) * bound;
+      low = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  RRS_CHECK_LE(lo, hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+double Rng::UniformDouble() {
+  // 53 random bits mapped to [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * UniformDouble();
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0) return false;
+  if (p >= 1) return true;
+  return UniformDouble() < p;
+}
+
+uint64_t Rng::Poisson(double mean) {
+  RRS_CHECK_GE(mean, 0.0);
+  if (mean == 0) return 0;
+  if (mean < 30) {
+    // Knuth's product method.
+    const double limit = std::exp(-mean);
+    double prod = UniformDouble();
+    uint64_t count = 0;
+    while (prod > limit) {
+      prod *= UniformDouble();
+      ++count;
+    }
+    return count;
+  }
+  // For large means, split mean = m1 + m2 recursively so each piece stays in
+  // the numerically stable range of the product method. Poisson(a + b) is the
+  // sum of independent Poisson(a) and Poisson(b).
+  double half = mean / 2;
+  return Poisson(half) + Poisson(mean - half);
+}
+
+double Rng::Exponential(double rate) {
+  RRS_CHECK_GT(rate, 0.0);
+  // -log(1 - U) avoids log(0) since UniformDouble() < 1.
+  return -std::log1p(-UniformDouble()) / rate;
+}
+
+uint64_t Rng::Geometric(double p) {
+  RRS_CHECK_GT(p, 0.0);
+  RRS_CHECK_LE(p, 1.0);
+  if (p == 1.0) return 0;
+  double u = UniformDouble();
+  return static_cast<uint64_t>(std::floor(std::log1p(-u) / std::log1p(-p)));
+}
+
+Rng Rng::Fork() {
+  // Jump-free forking: derive a child seed from two outputs. Streams are
+  // statistically independent for experiment purposes.
+  uint64_t a = Next();
+  uint64_t b = Next();
+  return Rng(a ^ Rotl(b, 29) ^ 0x9e3779b97f4a7c15ULL);
+}
+
+ZipfDistribution::ZipfDistribution(size_t n, double exponent)
+    : exponent_(exponent) {
+  RRS_CHECK_GT(n, 0u);
+  RRS_CHECK_GE(exponent, 0.0);
+  cdf_.resize(n);
+  double total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+    cdf_[i] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against accumulated rounding
+}
+
+size_t ZipfDistribution::Sample(Rng& rng) const {
+  double u = rng.UniformDouble();
+  size_t lo = 0, hi = cdf_.size() - 1;
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (cdf_[mid] <= u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+double ZipfDistribution::Pmf(size_t i) const {
+  RRS_CHECK_LT(i, cdf_.size());
+  return i == 0 ? cdf_[0] : cdf_[i] - cdf_[i - 1];
+}
+
+}  // namespace rrs

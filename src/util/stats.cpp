@@ -1,0 +1,141 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace rrs {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  // Chan et al. parallel-merge formulas.
+  double na = static_cast<double>(count_);
+  double nb = static_cast<double>(other.count_);
+  double delta = other.mean_ - mean_;
+  double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::ci95_halfwidth() const {
+  if (count_ < 2) return 0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+std::string RunningStats::ToString() const {
+  std::ostringstream os;
+  os << "n=" << count_ << " mean=" << mean() << " sd=" << stddev()
+     << " min=" << min() << " max=" << max();
+  return os.str();
+}
+
+void SampleSet::Add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+double SampleSet::mean() const {
+  if (samples_.empty()) return 0;
+  double s = 0;
+  for (double x : samples_) s += x;
+  return s / static_cast<double>(samples_.size());
+}
+
+double SampleSet::min() const {
+  RRS_CHECK(!samples_.empty());
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double SampleSet::max() const {
+  RRS_CHECK(!samples_.empty());
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+void SampleSet::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::Quantile(double q) const {
+  RRS_CHECK(!samples_.empty());
+  RRS_CHECK_GE(q, 0.0);
+  RRS_CHECK_LE(q, 1.0);
+  EnsureSorted();
+  if (samples_.size() == 1) return samples_[0];
+  double pos = q * static_cast<double>(samples_.size() - 1);
+  size_t i = static_cast<size_t>(pos);
+  double frac = pos - static_cast<double>(i);
+  if (i + 1 >= samples_.size()) return samples_.back();
+  return samples_[i] * (1 - frac) + samples_[i + 1] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  RRS_CHECK_LT(lo, hi);
+  RRS_CHECK_GT(buckets, 0u);
+  bucket_width_ = (hi - lo) / static_cast<double>(buckets);
+}
+
+void Histogram::Add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+  } else if (x >= hi_) {
+    ++overflow_;
+  } else {
+    size_t i = static_cast<size_t>((x - lo_) / bucket_width_);
+    if (i >= counts_.size()) i = counts_.size() - 1;  // rounding guard
+    ++counts_[i];
+  }
+}
+
+double Histogram::bucket_lo(size_t i) const {
+  return lo_ + bucket_width_ * static_cast<double>(i);
+}
+
+std::string Histogram::ToAscii(size_t width) const {
+  size_t peak = 1;
+  for (size_t c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    size_t bar = counts_[i] * width / peak;
+    os << "[" << bucket_lo(i) << ", " << bucket_hi(i) << ") "
+       << std::string(bar, '#') << " " << counts_[i] << "\n";
+  }
+  if (underflow_) os << "underflow " << underflow_ << "\n";
+  if (overflow_) os << "overflow " << overflow_ << "\n";
+  return os.str();
+}
+
+}  // namespace rrs

@@ -1,0 +1,104 @@
+#include "util/str.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace rrs {
+
+std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      break;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  size_t b = 0;
+  while (b < s.size() && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  size_t e = s.size();
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::optional<int64_t> ParseInt(std::string_view s) {
+  s = Trim(s);
+  if (s.empty()) return std::nullopt;
+  int64_t value = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc() || ptr != s.data() + s.size()) return std::nullopt;
+  return value;
+}
+
+std::optional<uint64_t> ParseUint(std::string_view s) {
+  s = Trim(s);
+  if (s.empty() || s[0] == '-') return std::nullopt;
+  uint64_t value = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc() || ptr != s.data() + s.size()) return std::nullopt;
+  return value;
+}
+
+std::optional<double> ParseDouble(std::string_view s) {
+  s = Trim(s);
+  if (s.empty()) return std::nullopt;
+  // std::from_chars for double is not universally available; use strtod on a
+  // bounded copy.
+  std::string buf(s);
+  char* end = nullptr;
+  double value = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size()) return std::nullopt;
+  return value;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::string FormatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string HumanCount(double v) {
+  const char* suffix = "";
+  double a = std::fabs(v);
+  if (a >= 1e9) {
+    v /= 1e9;
+    suffix = "G";
+  } else if (a >= 1e6) {
+    v /= 1e6;
+    suffix = "M";
+  } else if (a >= 1e3) {
+    v /= 1e3;
+    suffix = "k";
+  }
+  char buf[64];
+  if (*suffix) {
+    std::snprintf(buf, sizeof(buf), "%.1f%s", v, suffix);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%g", v);
+  }
+  return buf;
+}
+
+}  // namespace rrs

@@ -1,0 +1,168 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace rrs {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  RRS_CHECK(!headers_.empty());
+}
+
+Table& Table::AddRow() {
+  rows_.emplace_back();
+  rows_.back().reserve(headers_.size());
+  return *this;
+}
+
+Table& Table::Cell(const std::string& value) {
+  RRS_CHECK(!rows_.empty()) << "Cell() before AddRow()";
+  RRS_CHECK_LT(rows_.back().size(), headers_.size());
+  rows_.back().push_back(value);
+  return *this;
+}
+
+Table& Table::Cell(int64_t value) { return Cell(std::to_string(value)); }
+Table& Table::Cell(uint64_t value) { return Cell(std::to_string(value)); }
+
+Table& Table::Cell(double value, int precision) {
+  return Cell(FormatDouble(value, precision));
+}
+
+Table& Table::Row(std::vector<std::string> cells) {
+  RRS_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+const std::string& Table::At(size_t row, size_t col) const {
+  RRS_CHECK_LT(row, rows_.size());
+  RRS_CHECK_LT(col, rows_[row].size());
+  return rows_[row][col];
+}
+
+std::string Table::ToAscii() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& cells,
+                        std::ostringstream& os) {
+    os << "|";
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& v = c < cells.size() ? cells[c] : std::string();
+      os << " " << v << std::string(widths[c] - v.size(), ' ') << " |";
+    }
+    os << "\n";
+  };
+  std::ostringstream os;
+  render_row(headers_, os);
+  os << "|";
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) render_row(row, os);
+  return os.str();
+}
+
+namespace {
+
+std::string CsvEscape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char ch : field) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string Table::ToCsv() const {
+  std::ostringstream os;
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    if (c) os << ",";
+    os << CsvEscape(headers_[c]);
+  }
+  os << "\n";
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ",";
+      os << CsvEscape(row[c]);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+void JsonEscapeTo(const std::string& s, std::ostringstream& os) {
+  os << '"';
+  for (char ch : s) {
+    switch (ch) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          os << buf;
+        } else {
+          os << ch;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+std::string Table::ToJson() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t row = 0; row < rows_.size(); ++row) {
+    if (row) os << ",";
+    os << "\n  {";
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      if (c) os << ", ";
+      JsonEscapeTo(headers_[c], os);
+      os << ": ";
+      const std::string& value = c < rows_[row].size() ? rows_[row][c]
+                                                       : std::string();
+      // Numbers pass through unquoted; everything else is a string.
+      if (auto i = ParseInt(value)) {
+        os << *i;
+      } else if (auto d = ParseDouble(value)) {
+        os << FormatDouble(*d, 6);
+      } else {
+        JsonEscapeTo(value, os);
+      }
+    }
+    os << "}";
+  }
+  os << "\n]\n";
+  return os.str();
+}
+
+bool Table::WriteCsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << ToCsv();
+  return static_cast<bool>(out);
+}
+
+}  // namespace rrs

@@ -1,0 +1,49 @@
+// Aligned ASCII table and CSV rendering for experiment output. Every bench
+// binary prints its paper-reproduction table through this class so the
+// formats stay consistent and machine-extractable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rrs {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Row construction. AddRow starts a new row; Cell variants append to it.
+  Table& AddRow();
+  Table& Cell(const std::string& value);
+  Table& Cell(int64_t value);
+  Table& Cell(uint64_t value);
+  Table& Cell(double value, int precision = 3);
+
+  // Convenience: adds a full row at once.
+  Table& Row(std::vector<std::string> cells);
+
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_cols() const { return headers_.size(); }
+  const std::string& At(size_t row, size_t col) const;
+
+  // Renders an aligned, pipe-separated ASCII table with a header rule.
+  std::string ToAscii() const;
+
+  // Renders RFC-4180-ish CSV (fields containing comma/quote/newline quoted).
+  std::string ToCsv() const;
+
+  // Renders a JSON array of row objects keyed by header; cells that parse as
+  // numbers are emitted as numbers, everything else as strings. For
+  // machine-readable experiment exports.
+  std::string ToJson() const;
+
+  // Writes CSV to a file path; returns false on IO failure.
+  bool WriteCsv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rrs

@@ -1,0 +1,195 @@
+#include "workload/adversary.h"
+
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace rrs {
+namespace workload {
+
+namespace {
+
+// JobIds of color `color` arriving in round `round`, in id order.
+std::vector<JobId> JobIdsOfColorInRound(const Instance& instance, ColorId color,
+                                        Round round) {
+  std::vector<JobId> ids;
+  auto jobs = instance.jobs_in_round(round);
+  if (jobs.empty()) return ids;
+  JobId base = instance.first_job_in_round(round);
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    if (jobs[i].color == color) ids.push_back(base + static_cast<JobId>(i));
+  }
+  return ids;
+}
+
+}  // namespace
+
+DlruAdversary MakeDlruAdversary(uint32_t n, uint64_t delta, int j, int k) {
+  RRS_CHECK_GE(n, 2u);
+  RRS_CHECK_EQ(n % 2, 0u);
+  RRS_CHECK_GE(j, 0);
+  RRS_CHECK_LT(k, 40);
+  const Round short_delay = Round{1} << j;
+  const Round long_delay = Round{1} << k;
+  RRS_CHECK_GT(2 * short_delay, static_cast<Round>(n * delta))
+      << "Appendix A requires 2^{j+1} > n*delta";
+  RRS_CHECK_GT(long_delay, 2 * short_delay)
+      << "Appendix A requires 2^k > 2^{j+1}";
+
+  DlruAdversary adv;
+  adv.n = n;
+  adv.delta = delta;
+  adv.j = j;
+  adv.k = k;
+
+  InstanceBuilder builder;
+  for (uint32_t s = 0; s < n / 2; ++s) {
+    adv.short_colors.push_back(
+        builder.AddColor(short_delay, "short" + std::to_string(s)));
+  }
+  adv.long_color = builder.AddColor(long_delay, "long");
+
+  // 2^k long-term jobs at round 0.
+  builder.AddJobs(adv.long_color, 0, static_cast<uint64_t>(long_delay));
+  // Δ jobs of every short-term color at each multiple of 2^j in [0, 2^k).
+  for (Round t = 0; t < long_delay; t += short_delay) {
+    for (ColorId c : adv.short_colors) builder.AddJobs(c, t, delta);
+  }
+  adv.instance = builder.Build();
+  RRS_CHECK(adv.instance.IsRateLimited());
+  return adv;
+}
+
+Schedule MakeDlruAdversaryOffSchedule(const DlruAdversary& adv) {
+  const Round long_delay = Round{1} << adv.k;
+  Schedule schedule(/*num_resources=*/1, /*mini_rounds_per_round=*/1);
+  schedule.AddReconfig(0, 0, 0, adv.long_color);
+  std::vector<JobId> long_jobs =
+      JobIdsOfColorInRound(adv.instance, adv.long_color, 0);
+  RRS_CHECK_EQ(long_jobs.size(), static_cast<size_t>(long_delay));
+  for (Round r = 0; r < long_delay; ++r) {
+    schedule.AddExecution(r, 0, 0, long_jobs[static_cast<size_t>(r)]);
+  }
+  return schedule;
+}
+
+EdfAdversary MakeEdfAdversary(uint32_t n, uint64_t delta, int j, int k) {
+  RRS_CHECK_GE(n, 2u);
+  RRS_CHECK_EQ(n % 2, 0u);
+  RRS_CHECK_GT(delta, static_cast<uint64_t>(n))
+      << "Appendix B requires delta > n";
+  const Round short_delay = Round{1} << j;
+  RRS_CHECK_GT(short_delay, static_cast<Round>(delta))
+      << "Appendix B requires 2^j > delta";
+  RRS_CHECK_GT(k, j) << "Appendix B requires 2^k > 2^j";
+  RRS_CHECK_LT(k + static_cast<int>(n) / 2, 40) << "construction too large";
+
+  EdfAdversary adv;
+  adv.n = n;
+  adv.delta = delta;
+  adv.j = j;
+  adv.k = k;
+
+  InstanceBuilder builder;
+  adv.short_color = builder.AddColor(short_delay, "short");
+  for (uint32_t p = 0; p < n / 2; ++p) {
+    adv.long_colors.push_back(builder.AddColor(
+        Round{1} << (k + static_cast<int>(p)), "long" + std::to_string(p)));
+  }
+
+  // Δ short jobs at each multiple of 2^j until round 2^{k-1}.
+  const Round short_until = Round{1} << (k - 1);
+  for (Round t = 0; t < short_until; t += short_delay) {
+    builder.AddJobs(adv.short_color, t, delta);
+  }
+  // 2^{k+p-1} jobs of long color p at round 0.
+  for (uint32_t p = 0; p < n / 2; ++p) {
+    builder.AddJobs(adv.long_colors[p], 0,
+                    uint64_t{1} << (k + static_cast<int>(p) - 1));
+  }
+  adv.instance = builder.Build();
+  RRS_CHECK(adv.instance.IsRateLimited());
+  return adv;
+}
+
+Schedule MakeEdfAdversaryOffSchedule(const EdfAdversary& adv) {
+  Schedule schedule(/*num_resources=*/1, /*mini_rounds_per_round=*/1);
+  const Round short_delay = Round{1} << adv.j;
+  const Round short_until = Round{1} << (adv.k - 1);
+
+  // Phase 0: the short color throughout [0, 2^{k-1}); each batch's Δ jobs
+  // execute in the Δ rounds following the batch (Δ < 2^j, so they finish
+  // before both the batch deadline and the next batch).
+  schedule.AddReconfig(0, 0, 0, adv.short_color);
+  for (Round t = 0; t < short_until; t += short_delay) {
+    std::vector<JobId> batch =
+        JobIdsOfColorInRound(adv.instance, adv.short_color, t);
+    RRS_CHECK_EQ(batch.size(), static_cast<size_t>(adv.delta));
+    for (size_t i = 0; i < batch.size(); ++i) {
+      schedule.AddExecution(t + static_cast<Round>(i), 0, 0, batch[i]);
+    }
+  }
+
+  // Phase p: long color p throughout [2^{k+p-1}, 2^{k+p}); its 2^{k+p-1}
+  // jobs (deadline 2^{k+p}) fill the phase exactly.
+  for (uint32_t p = 0; p < adv.long_colors.size(); ++p) {
+    const Round phase_start = Round{1} << (adv.k + static_cast<int>(p) - 1);
+    const Round phase_end = Round{1} << (adv.k + static_cast<int>(p));
+    schedule.AddReconfig(phase_start, 0, 0, adv.long_colors[p]);
+    std::vector<JobId> jobs =
+        JobIdsOfColorInRound(adv.instance, adv.long_colors[p], 0);
+    RRS_CHECK_EQ(jobs.size(), static_cast<size_t>(phase_end - phase_start));
+    for (Round r = phase_start; r < phase_end; ++r) {
+      schedule.AddExecution(r, 0, 0,
+                            jobs[static_cast<size_t>(r - phase_start)]);
+    }
+  }
+  return schedule;
+}
+
+Instance MakeIntroScenario(const IntroScenarioOptions& options) {
+  RRS_CHECK(IsPowerOfTwo(options.short_delay));
+  RRS_CHECK(IsPowerOfTwo(options.background_delay));
+  RRS_CHECK_GT(options.background_delay, options.short_delay);
+  RRS_CHECK_GE(options.gap_blocks, 1);
+  Rng rng(options.seed);
+
+  InstanceBuilder builder;
+  std::vector<ColorId> shorts;
+  for (int s = 0; s < options.num_short_colors; ++s) {
+    shorts.push_back(
+        builder.AddColor(options.short_delay, "short" + std::to_string(s)));
+  }
+  ColorId background = builder.AddColor(options.background_delay, "background");
+
+  // Background jobs: one batch per background block, capped at the delay
+  // bound so the instance stays rate-limited.
+  uint64_t remaining = options.background_jobs;
+  for (Round t = 0; t < options.rounds && remaining > 0;
+       t += options.background_delay) {
+    uint64_t batch = std::min<uint64_t>(
+        remaining, static_cast<uint64_t>(options.background_delay));
+    builder.AddJobs(background, t, batch);
+    remaining -= batch;
+  }
+
+  // Short-term bursts: staggered every gap_blocks blocks, with 20% of bursts
+  // randomly skipped to make the idle gaps irregular.
+  const uint64_t burst = std::min<uint64_t>(
+      options.jobs_per_burst, static_cast<uint64_t>(options.short_delay));
+  Round block_index = 0;
+  for (Round t = 0; t < options.rounds; t += options.short_delay, ++block_index) {
+    for (size_t s = 0; s < shorts.size(); ++s) {
+      if ((block_index + static_cast<Round>(s)) % options.gap_blocks != 0) {
+        continue;
+      }
+      if (rng.Bernoulli(0.2)) continue;
+      builder.AddJobs(shorts[s], t, burst);
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace workload
+}  // namespace rrs

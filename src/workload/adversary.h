@@ -1,0 +1,97 @@
+// The lower-bound constructions of Appendices A and B, together with the
+// hand-built offline schedules the paper compares against. The schedules are
+// returned as explicit rrs::Schedule objects so the independent validator can
+// certify their legality and cost — the measured ratio
+//   cost(online) / cost(handmade OFF)
+// is then a certified lower bound on the online algorithm's competitive
+// ratio on that input.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/schedule.h"
+
+namespace rrs {
+namespace workload {
+
+// ---- Appendix A: ΔLRU is not resource competitive ------------------------
+//
+// n/2 "short-term" colors with delay bound 2^j and one "long-term" color
+// with delay bound 2^k, where 2^k > 2^{j+1} > nΔ. Over 2^k rounds: Δ jobs of
+// every short-term color at each multiple of 2^j, and 2^k long-term jobs at
+// round 0. ΔLRU pins the short-term colors (their timestamps refresh every
+// block) and drops all 2^k long-term jobs; OFF serves the long-term color on
+// one resource. Ratio: Ω(2^{j+1} / (nΔ)).
+
+struct DlruAdversary {
+  Instance instance;
+  uint32_t n = 0;        // online resource count the construction targets
+  uint64_t delta = 1;
+  int j = 0;             // short-term delay bound exponent
+  int k = 0;             // long-term delay bound exponent
+  ColorId long_color = kNoColor;
+  std::vector<ColorId> short_colors;
+};
+
+// Requires 2^k > 2^{j+1} > n * delta, n even and >= 2.
+DlruAdversary MakeDlruAdversary(uint32_t n, uint64_t delta, int j, int k);
+
+// The offline schedule of Appendix A: one resource, configured to the
+// long-term color at round 0, executing one long-term job per round.
+// Cost: Δ + (all short-term jobs dropped) = Δ + 2^{k-j-1} n Δ.
+Schedule MakeDlruAdversaryOffSchedule(const DlruAdversary& adv);
+
+// ---- Appendix B: EDF is not resource competitive --------------------------
+//
+// One color with delay bound 2^j plus n/2 colors with delay bounds
+// 2^k, 2^{k+1}, ..., 2^{k + n/2 - 1}, where 2^k > 2^j > Δ > n. Over
+// 2^{k + n/2 - 1} rounds: Δ short jobs at each multiple of 2^j until round
+// 2^{k-1}, and 2^{k+p-1} jobs of long color p at round 0. EDF repeatedly
+// displaces the long colors whenever the short color turns nonidle
+// (thrashing, reconfiguration cost >= 2^{k-j-1} Δ); OFF serves the short
+// color first and each long color in its own phase, at total cost
+// (n/2 + 1) Δ with zero drops. Ratio: >= 2^{k-j-1} / (n/2 + 1).
+
+struct EdfAdversary {
+  Instance instance;
+  uint32_t n = 0;
+  uint64_t delta = 1;
+  int j = 0;
+  int k = 0;
+  ColorId short_color = kNoColor;
+  std::vector<ColorId> long_colors;  // long_colors[p] has delay bound 2^{k+p}
+};
+
+// Requires 2^k > 2^j > delta > n, n even and >= 2.
+EdfAdversary MakeEdfAdversary(uint32_t n, uint64_t delta, int j, int k);
+
+// The offline schedule of Appendix B: one resource; the short color
+// throughout rounds [0, 2^{k-1}), then long color p throughout
+// [2^{k+p-1}, 2^{k+p}). Cost: (n/2 + 1) Δ, zero drops.
+Schedule MakeEdfAdversaryOffSchedule(const EdfAdversary& adv);
+
+// ---- Introduction scenario: background vs short-term jobs -----------------
+//
+// The motivating example of Section 1: one "background" color with a distant
+// deadline and a stream of intermittently arriving "short-term" colors.
+// Policies that eagerly fill idle cycles with background work thrash;
+// policies that never do underutilize. gap_rounds controls the short-term
+// inter-burst gap.
+
+struct IntroScenarioOptions {
+  int num_short_colors = 3;
+  Round short_delay = 8;        // power of two
+  Round background_delay = 4096;  // power of two, >> short_delay
+  uint64_t jobs_per_burst = 8;
+  Round gap_blocks = 2;   // short-term bursts arrive every gap_blocks blocks
+  uint64_t background_jobs = 2048;
+  Round rounds = 4096;
+  uint64_t seed = 1;
+};
+
+Instance MakeIntroScenario(const IntroScenarioOptions& options);
+
+}  // namespace workload
+}  // namespace rrs

@@ -1,0 +1,74 @@
+#include "workload/mix.h"
+
+#include "util/check.h"
+
+namespace rrs {
+namespace workload {
+
+Instance MergeInstances(const std::vector<const Instance*>& instances) {
+  RRS_CHECK(!instances.empty());
+  InstanceBuilder builder;
+  std::vector<ColorId> offsets;
+  offsets.reserve(instances.size());
+  for (const Instance* inst : instances) {
+    RRS_CHECK(inst != nullptr);
+    offsets.push_back(static_cast<ColorId>(builder.num_colors()));
+    for (ColorId c = 0; c < inst->num_colors(); ++c) {
+      builder.AddColor(inst->delay_bound(c), inst->color_name(c));
+    }
+  }
+  for (size_t i = 0; i < instances.size(); ++i) {
+    for (const Job& j : instances[i]->jobs()) {
+      builder.AddJob(offsets[i] + j.color, j.arrival);
+    }
+  }
+  return builder.Build();
+}
+
+Instance TimeShift(const Instance& instance, Round offset) {
+  RRS_CHECK_GE(offset, 0);
+  InstanceBuilder builder;
+  for (ColorId c = 0; c < instance.num_colors(); ++c) {
+    builder.AddColor(instance.delay_bound(c), instance.color_name(c));
+  }
+  for (const Job& j : instance.jobs()) {
+    builder.AddJob(j.color, j.arrival + offset);
+  }
+  return builder.Build();
+}
+
+Instance Thin(const Instance& instance, double keep_prob, uint64_t seed) {
+  RRS_CHECK_GE(keep_prob, 0.0);
+  RRS_CHECK_LE(keep_prob, 1.0);
+  Rng rng(seed);
+  InstanceBuilder builder;
+  for (ColorId c = 0; c < instance.num_colors(); ++c) {
+    builder.AddColor(instance.delay_bound(c), instance.color_name(c));
+  }
+  for (const Job& j : instance.jobs()) {
+    if (rng.Bernoulli(keep_prob)) builder.AddJob(j.color, j.arrival);
+  }
+  return builder.Build();
+}
+
+Instance Concat(const Instance& a, const Instance& b, Round gap) {
+  RRS_CHECK_GE(gap, 0);
+  RRS_CHECK_EQ(a.num_colors(), b.num_colors())
+      << "Concat requires identical color tables";
+  for (ColorId c = 0; c < a.num_colors(); ++c) {
+    RRS_CHECK_EQ(a.delay_bound(c), b.delay_bound(c))
+        << "Concat requires identical color tables (color " << c << ")";
+  }
+  InstanceBuilder builder;
+  for (ColorId c = 0; c < a.num_colors(); ++c) {
+    builder.AddColor(a.delay_bound(c), a.color_name(c));
+  }
+  for (const Job& j : a.jobs()) builder.AddJob(j.color, j.arrival);
+  // Start b after every job of a has arrived; the gap adds idle rounds.
+  const Round offset = a.num_request_rounds() + gap;
+  for (const Job& j : b.jobs()) builder.AddJob(j.color, j.arrival + offset);
+  return builder.Build();
+}
+
+}  // namespace workload
+}  // namespace rrs

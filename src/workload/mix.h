@@ -1,0 +1,35 @@
+// Workload composition utilities: merge independent traces onto one shared
+// substrate (the paper's "shared data center hosting multiple services"
+// setting), shift traces in time, thin them probabilistically, and
+// concatenate scenarios back to back. All operations preserve per-color
+// delay bounds and return fresh Instances.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.h"
+#include "util/rng.h"
+
+namespace rrs {
+namespace workload {
+
+// Union of several instances: colors are renumbered (instance i's color c
+// becomes offset_i + c); arrivals are unchanged. Models co-locating
+// independent tenants on one resource pool.
+Instance MergeInstances(const std::vector<const Instance*>& instances);
+
+// Shifts every arrival by `offset` rounds (>= 0).
+Instance TimeShift(const Instance& instance, Round offset);
+
+// Keeps each job independently with probability `keep_prob` (deterministic
+// in the seed). Models sampling a heavy trace down to a target load.
+Instance Thin(const Instance& instance, double keep_prob, uint64_t seed);
+
+// Plays `b` after `a` with `gap` empty rounds in between. Colors are shared:
+// both instances must have identical color tables. Models consecutive
+// workload phases.
+Instance Concat(const Instance& a, const Instance& b, Round gap);
+
+}  // namespace workload
+}  // namespace rrs

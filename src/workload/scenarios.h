@@ -1,0 +1,63 @@
+// Application-level scenario generators modelled on the paper's motivating
+// systems (Section 1): a multi-service router on programmable network
+// processors, and a shared data center whose workload composition changes
+// over time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+
+namespace rrs {
+namespace workload {
+
+// ---- Multi-service router -------------------------------------------------
+// Packet categories with per-service delay tolerances (QoS classes). Traffic
+// follows smooth sinusoidal load curves with per-service phase offsets, so
+// the dominant service drifts over time and processor allocations must
+// follow (the paper's "traffic load fluctuates" setting).
+struct RouterService {
+  std::string name;
+  Round delay_bound = 1;  // QoS delay tolerance in rounds
+  double base_rate = 1.0;   // mean packets per round at trough
+  double peak_rate = 4.0;   // mean packets per round at crest
+};
+
+struct RouterOptions {
+  Round rounds = 1024;
+  Round period = 256;  // load-curve period
+  bool batched = false;
+  bool rate_limited = false;
+  uint64_t seed = 1;
+};
+
+// Default service mix: voice (D=2), video (D=4), web (D=16), bulk (D=64).
+std::vector<RouterService> DefaultRouterServices();
+
+Instance MakeRouterScenario(const std::vector<RouterService>& services,
+                            const RouterOptions& options);
+
+// ---- Shared data center ---------------------------------------------------
+// Services hosted on a shared cluster; time is divided into phases and each
+// phase has a different dominant subset of services (abrupt workload
+// composition changes, the setting of Chandra et al. / Chase et al. cited in
+// the paper).
+struct DatacenterOptions {
+  size_t num_services = 8;
+  std::vector<Round> delay_choices = {4, 8, 16, 32};
+  Round rounds = 2048;
+  Round phase_length = 256;
+  size_t dominant_per_phase = 2;  // services spiking in each phase
+  double background_rate = 0.2;   // mean jobs/round for non-dominant services
+  double dominant_rate = 4.0;     // mean jobs/round for dominant services
+  bool batched = false;
+  bool rate_limited = false;
+  uint64_t seed = 1;
+};
+
+Instance MakeDatacenterScenario(const DatacenterOptions& options);
+
+}  // namespace workload
+}  // namespace rrs

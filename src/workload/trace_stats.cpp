@@ -1,0 +1,79 @@
+#include "workload/trace_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace rrs {
+namespace workload {
+
+TraceStats ComputeTraceStats(const Instance& instance) {
+  TraceStats stats;
+  stats.total_jobs = instance.num_jobs();
+  stats.request_rounds = instance.num_request_rounds();
+  const Round rounds = std::max<Round>(1, stats.request_rounds);
+  stats.total_rate =
+      static_cast<double>(stats.total_jobs) / static_cast<double>(rounds);
+
+  // Per-color per-round counts in one pass (jobs are sorted by arrival).
+  const size_t num_colors = instance.num_colors();
+  std::vector<std::vector<uint64_t>> per_round(
+      num_colors, std::vector<uint64_t>(static_cast<size_t>(rounds), 0));
+  for (const Job& j : instance.jobs()) {
+    ++per_round[j.color][static_cast<size_t>(j.arrival)];
+  }
+
+  for (ColorId c = 0; c < num_colors; ++c) {
+    ColorStats cs;
+    cs.color = c;
+    cs.delay_bound = instance.delay_bound(c);
+    cs.jobs = instance.jobs_per_color()[c];
+    cs.mean_rate =
+        static_cast<double>(cs.jobs) / static_cast<double>(rounds);
+    cs.load_factor = cs.mean_rate;
+
+    double sum = 0, sum_sq = 0;
+    for (uint64_t count : per_round[c]) {
+      cs.peak_round = std::max(cs.peak_round, count);
+      sum += static_cast<double>(count);
+      sum_sq += static_cast<double>(count) * static_cast<double>(count);
+    }
+    const double n = static_cast<double>(rounds);
+    const double mean = sum / n;
+    const double variance = std::max(0.0, sum_sq / n - mean * mean);
+    cs.burstiness = mean > 0 ? std::sqrt(variance) / mean : 0;
+
+    // Peak D-aligned window.
+    for (Round w = 0; w < rounds; w += cs.delay_bound) {
+      uint64_t window = 0;
+      for (Round r = w; r < std::min(rounds, w + cs.delay_bound); ++r) {
+        window += per_round[c][static_cast<size_t>(r)];
+      }
+      cs.peak_window = std::max(cs.peak_window, window);
+    }
+    stats.colors.push_back(cs);
+  }
+
+  stats.min_feasible_resources = std::max<uint32_t>(
+      1, static_cast<uint32_t>(std::ceil(stats.total_rate)));
+  return stats;
+}
+
+std::string TraceStats::ToString() const {
+  std::ostringstream os;
+  os << total_jobs << " jobs over " << request_rounds
+     << " request rounds (mean " << total_rate << " jobs/round; load floor "
+     << min_feasible_resources << " resources)\n";
+  for (const ColorStats& cs : colors) {
+    os << "  color " << cs.color << " (D=" << cs.delay_bound << "): " << cs.jobs
+       << " jobs, rate " << cs.mean_rate << "/round, peak round "
+       << cs.peak_round << ", peak D-window " << cs.peak_window
+       << ", burstiness " << cs.burstiness << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace workload
+}  // namespace rrs

@@ -1,0 +1,46 @@
+// Trace statistics: per-color and aggregate load characterization of an
+// Instance — offered load vs capacity, burstiness, batch profile. Used by
+// trace_tool's `info` command, the capacity-planner example, and tests that
+// want to reason about generated workloads quantitatively.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+
+namespace rrs {
+namespace workload {
+
+struct ColorStats {
+  ColorId color = kNoColor;
+  Round delay_bound = 0;
+  uint64_t jobs = 0;
+  double mean_rate = 0;       // jobs per round over the request horizon
+  uint64_t peak_round = 0;    // max arrivals in one round
+  uint64_t peak_window = 0;   // max arrivals in any D-aligned window
+  // Coefficient of variation of per-round arrival counts (0 = perfectly
+  // smooth; >1 = bursty).
+  double burstiness = 0;
+  // Offered load relative to one dedicated resource: jobs / request rounds.
+  double load_factor = 0;
+};
+
+struct TraceStats {
+  std::vector<ColorStats> colors;
+  uint64_t total_jobs = 0;
+  Round request_rounds = 0;
+  double total_rate = 0;  // mean total arrivals per round
+
+  // Minimum resources for which total offered load < capacity (ignores
+  // reconfiguration and deadline effects; a quick sizing floor).
+  uint32_t min_feasible_resources = 1;
+
+  std::string ToString() const;
+};
+
+TraceStats ComputeTraceStats(const Instance& instance);
+
+}  // namespace workload
+}  // namespace rrs

@@ -1,0 +1,420 @@
+// Unit and randomized-property tests for src/container: IndexedHeap,
+// PairingHeap, IntrusiveIndexList, LruTracker.
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "container/flat_map.h"
+#include "container/indexed_heap.h"
+#include "container/intrusive_list.h"
+#include "container/lru_tracker.h"
+#include "container/pairing_heap.h"
+#include "util/rng.h"
+
+namespace rrs {
+namespace {
+
+// --------------------------------------------------------- IndexedHeap ----
+
+TEST(IndexedHeap, PushPopSorted) {
+  IndexedHeap<int> heap(10);
+  heap.Push(3, 30);
+  heap.Push(1, 10);
+  heap.Push(2, 20);
+  EXPECT_EQ(heap.size(), 3u);
+  EXPECT_EQ(heap.Pop(), 1u);
+  EXPECT_EQ(heap.Pop(), 2u);
+  EXPECT_EQ(heap.Pop(), 3u);
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(IndexedHeap, DecreaseKeyMovesToTop) {
+  IndexedHeap<int> heap(4);
+  heap.Push(0, 10);
+  heap.Push(1, 20);
+  heap.Push(2, 30);
+  heap.Update(2, 5);
+  EXPECT_EQ(heap.Top(), 2u);
+  EXPECT_EQ(heap.PriorityOf(2), 5);
+}
+
+TEST(IndexedHeap, IncreaseKeySinks) {
+  IndexedHeap<int> heap(4);
+  heap.Push(0, 10);
+  heap.Push(1, 20);
+  heap.Update(0, 100);
+  EXPECT_EQ(heap.Top(), 1u);
+}
+
+TEST(IndexedHeap, RemoveArbitrary) {
+  IndexedHeap<int> heap(5);
+  for (uint32_t k = 0; k < 5; ++k) heap.Push(k, static_cast<int>(k));
+  heap.Remove(2);
+  EXPECT_FALSE(heap.Contains(2));
+  EXPECT_TRUE(heap.CheckInvariants());
+  std::vector<uint32_t> popped;
+  while (!heap.empty()) popped.push_back(heap.Pop());
+  EXPECT_EQ(popped, (std::vector<uint32_t>{0, 1, 3, 4}));
+}
+
+TEST(IndexedHeap, PushOrUpdate) {
+  IndexedHeap<int> heap(3);
+  heap.PushOrUpdate(0, 5);
+  heap.PushOrUpdate(0, 1);
+  EXPECT_EQ(heap.PriorityOf(0), 1);
+  EXPECT_EQ(heap.size(), 1u);
+}
+
+TEST(IndexedHeap, ClearEmpties) {
+  IndexedHeap<int> heap(3);
+  heap.Push(0, 1);
+  heap.Push(1, 2);
+  heap.Clear();
+  EXPECT_TRUE(heap.empty());
+  EXPECT_FALSE(heap.Contains(0));
+  heap.Push(0, 9);  // reusable after clear
+  EXPECT_EQ(heap.Top(), 0u);
+}
+
+TEST(IndexedHeap, RandomizedAgainstStdPriorityQueue) {
+  Rng rng(101);
+  const size_t capacity = 64;
+  IndexedHeap<uint64_t> heap(capacity);
+  std::vector<bool> present(capacity, false);
+  std::vector<uint64_t> priority(capacity, 0);
+
+  for (int step = 0; step < 20000; ++step) {
+    uint32_t key = static_cast<uint32_t>(rng.NextBounded(capacity));
+    double action = rng.UniformDouble();
+    if (action < 0.4) {
+      uint64_t p = rng.NextBounded(1000) * capacity + key;  // unique priority
+      if (present[key]) {
+        heap.Update(key, p);
+      } else {
+        heap.Push(key, p);
+        present[key] = true;
+      }
+      priority[key] = p;
+    } else if (action < 0.6) {
+      if (present[key]) {
+        heap.Remove(key);
+        present[key] = false;
+      }
+    } else if (!heap.empty()) {
+      uint32_t top = heap.Pop();
+      // Verify against a brute-force minimum.
+      uint64_t best = UINT64_MAX;
+      for (size_t i = 0; i < capacity; ++i) {
+        if (present[i]) best = std::min(best, priority[i]);
+      }
+      EXPECT_EQ(priority[top], best);
+      present[top] = false;
+    }
+    if (step % 500 == 0) {
+      ASSERT_TRUE(heap.CheckInvariants()) << "step " << step;
+    }
+  }
+}
+
+// --------------------------------------------------------- PairingHeap ----
+
+TEST(PairingHeap, PushPopSorted) {
+  PairingHeap<int, int> heap;
+  heap.Push(100, 3);
+  heap.Push(200, 1);
+  heap.Push(300, 2);
+  EXPECT_EQ(heap.Pop().first, 200);
+  EXPECT_EQ(heap.Pop().first, 300);
+  EXPECT_EQ(heap.Pop().first, 100);
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(PairingHeap, DecreaseKey) {
+  PairingHeap<int, int> heap;
+  heap.Push(1, 10);
+  auto h2 = heap.Push(2, 20);
+  heap.Push(3, 30);
+  heap.DecreaseKey(h2, 5);
+  EXPECT_EQ(heap.TopValue(), 2);
+  EXPECT_EQ(heap.TopPriority(), 5);
+  EXPECT_TRUE(heap.CheckInvariants());
+}
+
+TEST(PairingHeap, DecreaseKeyOnRootIsNoopStructurally) {
+  PairingHeap<int, int> heap;
+  auto h = heap.Push(1, 10);
+  heap.Push(2, 20);
+  heap.DecreaseKey(h, 1);
+  EXPECT_EQ(heap.TopValue(), 1);
+  EXPECT_TRUE(heap.CheckInvariants());
+}
+
+TEST(PairingHeap, RandomizedAgainstStdPriorityQueue) {
+  Rng rng(103);
+  PairingHeap<uint64_t, uint64_t> heap;
+  using Entry = std::pair<uint64_t, uint64_t>;  // (priority, value)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> ref;
+  uint64_t next_value = 0;
+
+  for (int step = 0; step < 20000; ++step) {
+    if (rng.UniformDouble() < 0.6 || heap.empty()) {
+      uint64_t p = rng.NextBounded(1'000'000'000);
+      heap.Push(next_value, p);
+      ref.emplace(p, next_value);
+      ++next_value;
+    } else {
+      auto [value, priority] = heap.Pop();
+      EXPECT_EQ(priority, ref.top().first);
+      ref.pop();
+    }
+  }
+  while (!heap.empty()) {
+    auto [value, priority] = heap.Pop();
+    EXPECT_EQ(priority, ref.top().first);
+    ref.pop();
+  }
+}
+
+TEST(PairingHeap, RandomizedDecreaseKey) {
+  Rng rng(107);
+  PairingHeap<uint32_t, uint64_t> heap;
+  std::vector<PairingHeap<uint32_t, uint64_t>::Handle> handles;
+  std::vector<uint64_t> priorities;
+  std::vector<bool> live;
+
+  for (int step = 0; step < 5000; ++step) {
+    double action = rng.UniformDouble();
+    if (action < 0.5 || heap.empty()) {
+      uint64_t p = (rng.NextBounded(1000000) << 16) | handles.size();
+      handles.push_back(heap.Push(static_cast<uint32_t>(handles.size()), p));
+      priorities.push_back(p);
+      live.push_back(true);
+    } else if (action < 0.8) {
+      // Decrease a random live handle.
+      size_t tries = 0;
+      size_t i = rng.NextBounded(handles.size());
+      while (!live[i] && tries++ < handles.size()) {
+        i = rng.NextBounded(handles.size());
+      }
+      if (live[i] && priorities[i] > 0) {
+        uint64_t p = rng.NextBounded(priorities[i]);
+        heap.DecreaseKey(handles[i], p);
+        priorities[i] = p;
+      }
+    } else {
+      auto [value, priority] = heap.Pop();
+      uint64_t best = UINT64_MAX;
+      for (size_t i = 0; i < priorities.size(); ++i) {
+        if (live[i]) best = std::min(best, priorities[i]);
+      }
+      EXPECT_EQ(priority, best);
+      live[value] = false;
+    }
+  }
+  EXPECT_TRUE(heap.CheckInvariants());
+}
+
+// -------------------------------------------------- IntrusiveIndexList ----
+
+TEST(IntrusiveIndexList, PushFrontBackOrder) {
+  IntrusiveIndexList list(8);
+  list.PushBack(1);
+  list.PushFront(0);
+  list.PushBack(2);
+  EXPECT_EQ(list.front(), 0u);
+  EXPECT_EQ(list.back(), 2u);
+  EXPECT_EQ(list.next(0), 1u);
+  EXPECT_EQ(list.next(1), 2u);
+  EXPECT_EQ(list.size(), 3u);
+  EXPECT_TRUE(list.CheckInvariants());
+}
+
+TEST(IntrusiveIndexList, RemoveMiddleAndEnds) {
+  IntrusiveIndexList list(8);
+  for (uint32_t k = 0; k < 5; ++k) list.PushBack(k);
+  list.Remove(2);
+  EXPECT_EQ(list.next(1), 3u);
+  list.Remove(0);
+  EXPECT_EQ(list.front(), 1u);
+  list.Remove(4);
+  EXPECT_EQ(list.back(), 3u);
+  EXPECT_EQ(list.size(), 2u);
+  EXPECT_TRUE(list.CheckInvariants());
+}
+
+TEST(IntrusiveIndexList, MoveToFront) {
+  IntrusiveIndexList list(4);
+  for (uint32_t k = 0; k < 4; ++k) list.PushBack(k);
+  list.MoveToFront(3);
+  EXPECT_EQ(list.front(), 3u);
+  EXPECT_EQ(list.back(), 2u);
+  list.MoveToFront(3);  // already front: no-op
+  EXPECT_EQ(list.front(), 3u);
+  EXPECT_TRUE(list.CheckInvariants());
+}
+
+TEST(IntrusiveIndexList, ClearAndReuse) {
+  IntrusiveIndexList list(4);
+  list.PushBack(0);
+  list.PushBack(1);
+  list.Clear();
+  EXPECT_TRUE(list.empty());
+  EXPECT_FALSE(list.Contains(0));
+  list.PushBack(1);
+  EXPECT_EQ(list.front(), 1u);
+  EXPECT_TRUE(list.CheckInvariants());
+}
+
+// ------------------------------------------------------------- FlatMap ----
+
+TEST(FlatMap, InsertFindErase) {
+  FlatMap<int, std::string> map;
+  map[3] = "three";
+  map[1] = "one";
+  map[2] = "two";
+  EXPECT_EQ(map.size(), 3u);
+  EXPECT_TRUE(map.CheckInvariants());
+  ASSERT_TRUE(map.contains(2));
+  EXPECT_EQ(map.at(2), "two");
+  EXPECT_EQ(map.erase(2), 1u);
+  EXPECT_EQ(map.erase(2), 0u);
+  EXPECT_FALSE(map.contains(2));
+  EXPECT_TRUE(map.CheckInvariants());
+}
+
+TEST(FlatMap, IterationIsSorted) {
+  FlatMap<int, int> map;
+  for (int k : {5, 1, 4, 2, 3}) map[k] = k * 10;
+  int expected = 1;
+  for (const auto& [key, value] : map) {
+    EXPECT_EQ(key, expected);
+    EXPECT_EQ(value, expected * 10);
+    ++expected;
+  }
+  EXPECT_EQ(map.front().first, 1);
+}
+
+TEST(FlatMap, OperatorBracketDefaultConstructs) {
+  FlatMap<int, uint64_t> map;
+  map[7] += 3;
+  map[7] += 4;
+  EXPECT_EQ(map.at(7), 7u);
+}
+
+TEST(FlatMap, EmplaceReportsInsertion) {
+  FlatMap<int, int> map;
+  auto [it1, inserted1] = map.emplace(1, 10);
+  EXPECT_TRUE(inserted1);
+  auto [it2, inserted2] = map.emplace(1, 99);
+  EXPECT_FALSE(inserted2);
+  EXPECT_EQ(it2->second, 10);
+}
+
+TEST(FlatMap, RandomizedAgainstStdMap) {
+  Rng rng(211);
+  FlatMap<uint32_t, uint64_t> flat;
+  std::map<uint32_t, uint64_t> ref;
+  for (int step = 0; step < 5000; ++step) {
+    uint32_t key = static_cast<uint32_t>(rng.NextBounded(64));
+    double action = rng.UniformDouble();
+    if (action < 0.6) {
+      uint64_t v = rng.Next();
+      flat[key] = v;
+      ref[key] = v;
+    } else {
+      EXPECT_EQ(flat.erase(key), ref.erase(key));
+    }
+  }
+  ASSERT_EQ(flat.size(), ref.size());
+  auto it = ref.begin();
+  for (const auto& [key, value] : flat) {
+    EXPECT_EQ(key, it->first);
+    EXPECT_EQ(value, it->second);
+    ++it;
+  }
+}
+
+// ---------------------------------------------------------- LruTracker ----
+
+TEST(LruTracker, TopKOrdersByTimestampDescThenKeyAsc) {
+  LruTracker lru(8);
+  lru.Insert(3, 10);
+  lru.Insert(1, 20);
+  lru.Insert(5, 10);  // same ts as key 3 -> key order breaks the tie
+  lru.Insert(2, 30);
+  EXPECT_EQ(lru.TopK(4), (std::vector<uint32_t>{2, 1, 3, 5}));
+  EXPECT_EQ(lru.TopK(2), (std::vector<uint32_t>{2, 1}));
+}
+
+TEST(LruTracker, TouchReorders) {
+  LruTracker lru(4);
+  lru.Insert(0, 1);
+  lru.Insert(1, 2);
+  lru.Touch(0, 3);
+  EXPECT_EQ(lru.TopK(2), (std::vector<uint32_t>{0, 1}));
+  EXPECT_EQ(lru.TimestampOf(0), 3);
+  EXPECT_TRUE(lru.CheckInvariants());
+}
+
+TEST(LruTracker, RemoveAndOldest) {
+  LruTracker lru(4);
+  lru.Insert(0, 5);
+  lru.Insert(1, 9);
+  uint32_t oldest = 99;
+  ASSERT_TRUE(lru.Oldest(oldest));
+  EXPECT_EQ(oldest, 0u);
+  lru.Remove(0);
+  ASSERT_TRUE(lru.Oldest(oldest));
+  EXPECT_EQ(oldest, 1u);
+  lru.Remove(1);
+  EXPECT_FALSE(lru.Oldest(oldest));
+  EXPECT_TRUE(lru.CheckInvariants());
+}
+
+TEST(LruTracker, InsertOrTouch) {
+  LruTracker lru(4);
+  lru.InsertOrTouch(2, 1);
+  lru.InsertOrTouch(2, 7);
+  EXPECT_EQ(lru.TimestampOf(2), 7);
+  EXPECT_EQ(lru.size(), 1u);
+}
+
+TEST(LruTracker, TopKLargerThanSize) {
+  LruTracker lru(4);
+  lru.Insert(0, 1);
+  EXPECT_EQ(lru.TopK(10).size(), 1u);
+}
+
+TEST(LruTracker, RandomizedInvariants) {
+  Rng rng(109);
+  LruTracker lru(32);
+  std::vector<bool> present(32, false);
+  for (int step = 0; step < 10000; ++step) {
+    uint32_t key = static_cast<uint32_t>(rng.NextBounded(32));
+    int64_t ts = static_cast<int64_t>(rng.NextBounded(1000));
+    if (rng.UniformDouble() < 0.7) {
+      lru.InsertOrTouch(key, ts);
+      present[key] = true;
+    } else if (present[key]) {
+      lru.Remove(key);
+      present[key] = false;
+    }
+    if (step % 500 == 0) {
+      ASSERT_TRUE(lru.CheckInvariants());
+    }
+  }
+  // TopK of full size must be sorted by (ts desc, key asc).
+  auto all = lru.TopK(32);
+  for (size_t i = 1; i < all.size(); ++i) {
+    int64_t prev = lru.TimestampOf(all[i - 1]);
+    int64_t cur = lru.TimestampOf(all[i]);
+    EXPECT_TRUE(prev > cur || (prev == cur && all[i - 1] < all[i]));
+  }
+}
+
+}  // namespace
+}  // namespace rrs

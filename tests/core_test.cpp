@@ -1,0 +1,510 @@
+// Tests for src/core: Instance construction and predicates, trace
+// serialization, the schedule validator, and the four-phase engine semantics.
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/instance.h"
+#include "core/schedule.h"
+#include "sched/greedy.h"
+
+namespace rrs {
+namespace {
+
+Instance TwoColorInstance() {
+  InstanceBuilder b;
+  ColorId red = b.AddColor(2, "red");
+  ColorId blue = b.AddColor(4, "blue");
+  b.AddJobs(red, 0, 2);
+  b.AddJob(blue, 0);
+  b.AddJob(red, 2);
+  b.AddJob(blue, 4);
+  return b.Build();
+}
+
+// ------------------------------------------------------------ Instance ----
+
+TEST(Instance, BuilderSortsByArrivalAndBuildsCsr) {
+  InstanceBuilder b;
+  ColorId c = b.AddColor(3);
+  b.AddJob(c, 5);
+  b.AddJob(c, 1);
+  b.AddJob(c, 5);
+  Instance inst = b.Build();
+  EXPECT_EQ(inst.num_jobs(), 3u);
+  EXPECT_EQ(inst.job(0).arrival, 1);
+  EXPECT_EQ(inst.jobs_in_round(5).size(), 2u);
+  EXPECT_EQ(inst.jobs_in_round(3).size(), 0u);
+  EXPECT_EQ(inst.jobs_in_round(99).size(), 0u);
+  EXPECT_EQ(inst.first_job_in_round(5), 1u);
+  EXPECT_EQ(inst.num_request_rounds(), 6);
+  EXPECT_EQ(inst.horizon(), 8);  // 5 + 3
+}
+
+TEST(Instance, DeadlineIsArrivalPlusDelayBound) {
+  Instance inst = TwoColorInstance();
+  EXPECT_EQ(inst.deadline(0), 2);  // red @0, D=2
+  EXPECT_EQ(inst.delay_bound(1), 4);
+}
+
+TEST(Instance, JobsPerColor) {
+  Instance inst = TwoColorInstance();
+  EXPECT_EQ(inst.jobs_per_color()[0], 3u);
+  EXPECT_EQ(inst.jobs_per_color()[1], 2u);
+}
+
+TEST(Instance, BatchedPredicate) {
+  EXPECT_TRUE(TwoColorInstance().IsBatched());
+  InstanceBuilder b;
+  ColorId c = b.AddColor(4);
+  b.AddJob(c, 2);  // 2 is not a multiple of 4
+  EXPECT_FALSE(b.Build().IsBatched());
+}
+
+TEST(Instance, RateLimitedPredicate) {
+  InstanceBuilder b;
+  ColorId c = b.AddColor(2);
+  b.AddJobs(c, 0, 2);
+  EXPECT_TRUE(b.Build().IsRateLimited());
+
+  InstanceBuilder b2;
+  ColorId c2 = b2.AddColor(2);
+  b2.AddJobs(c2, 0, 3);  // 3 > D = 2
+  Instance inst2 = b2.Build();
+  EXPECT_TRUE(inst2.IsBatched());
+  EXPECT_FALSE(inst2.IsRateLimited());
+}
+
+TEST(Instance, PowerOfTwoPredicate) {
+  EXPECT_TRUE(TwoColorInstance().DelayBoundsArePowersOfTwo());
+  InstanceBuilder b;
+  b.AddColor(3);
+  EXPECT_FALSE(b.Build().DelayBoundsArePowersOfTwo());
+}
+
+TEST(Instance, EmptyInstance) {
+  InstanceBuilder b;
+  Instance inst = b.Build();
+  EXPECT_EQ(inst.num_jobs(), 0u);
+  EXPECT_EQ(inst.horizon(), 0);
+  EXPECT_TRUE(inst.IsBatched());
+  EXPECT_TRUE(inst.IsRateLimited());
+}
+
+TEST(Instance, SerializationRoundTrip) {
+  Instance inst = TwoColorInstance();
+  std::stringstream ss;
+  inst.Serialize(ss);
+  Instance back = Instance::Deserialize(ss);
+  EXPECT_EQ(back.num_colors(), inst.num_colors());
+  EXPECT_EQ(back.num_jobs(), inst.num_jobs());
+  for (JobId id = 0; id < inst.num_jobs(); ++id) {
+    EXPECT_EQ(back.job(id), inst.job(id));
+  }
+  for (ColorId c = 0; c < inst.num_colors(); ++c) {
+    EXPECT_EQ(back.delay_bound(c), inst.delay_bound(c));
+    EXPECT_EQ(back.color_name(c), inst.color_name(c));
+  }
+}
+
+TEST(Instance, SerializationRunLengthEncodesBulkJobs) {
+  InstanceBuilder b;
+  ColorId c = b.AddColor(8);
+  b.AddJobs(c, 0, 1000);
+  std::stringstream ss;
+  b.Build().Serialize(ss);
+  // One color line + one job line + header, not 1000 job lines.
+  std::string text = ss.str();
+  EXPECT_LT(text.size(), 100u);
+  EXPECT_NE(text.find("job 0 0 1000"), std::string::npos);
+}
+
+TEST(Instance, SummaryMentionsCounts) {
+  std::string s = TwoColorInstance().Summary();
+  EXPECT_NE(s.find("2 colors"), std::string::npos);
+  EXPECT_NE(s.find("5 jobs"), std::string::npos);
+}
+
+TEST(FloorPowerOfTwoFn, Values) {
+  EXPECT_EQ(FloorPowerOfTwo(1), 1);
+  EXPECT_EQ(FloorPowerOfTwo(2), 2);
+  EXPECT_EQ(FloorPowerOfTwo(3), 2);
+  EXPECT_EQ(FloorPowerOfTwo(4), 4);
+  EXPECT_EQ(FloorPowerOfTwo(1023), 512);
+}
+
+// ------------------------------------------------------------ Schedule ----
+
+TEST(Schedule, ValidAcceptedAndCostComputed) {
+  Instance inst = TwoColorInstance();
+  Schedule s(1);
+  s.AddReconfig(0, 0, 0, 0);     // red
+  s.AddExecution(0, 0, 0, 0);    // red job @0
+  s.AddExecution(1, 0, 0, 1);    // second red job @0 (deadline 2)
+  auto v = s.Validate(inst);
+  ASSERT_TRUE(v.ok) << v.error;
+  EXPECT_EQ(v.executed, 2u);
+  EXPECT_EQ(v.cost.reconfigurations, 1u);
+  EXPECT_EQ(v.cost.drops, 3u);  // 5 jobs - 2 executed
+}
+
+TEST(Schedule, RejectsWrongColorResource) {
+  Instance inst = TwoColorInstance();
+  Schedule s(1);
+  s.AddReconfig(0, 0, 0, 1);   // blue
+  s.AddExecution(0, 0, 0, 0);  // red job on blue resource
+  auto v = s.Validate(inst);
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.error.find("color"), std::string::npos);
+}
+
+TEST(Schedule, RejectsExecutionOnBlackResource) {
+  Instance inst = TwoColorInstance();
+  Schedule s(1);
+  s.AddExecution(0, 0, 0, 0);
+  EXPECT_FALSE(s.Validate(inst).ok);
+}
+
+TEST(Schedule, RejectsExecutionBeforeArrival) {
+  InstanceBuilder b;
+  ColorId c = b.AddColor(4);
+  b.AddJob(c, 4);
+  Instance inst = b.Build();
+  Schedule s(1);
+  s.AddReconfig(0, 0, 0, c);
+  s.AddExecution(2, 0, 0, 0);
+  auto v = s.Validate(inst);
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.error.find("before arrival"), std::string::npos);
+}
+
+TEST(Schedule, RejectsExecutionAtDeadline) {
+  Instance inst = TwoColorInstance();
+  Schedule s(1);
+  s.AddReconfig(0, 0, 0, 0);
+  s.AddExecution(2, 0, 0, 0);  // red @0 has deadline 2; round 2 is too late
+  auto v = s.Validate(inst);
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.error.find("deadline"), std::string::npos);
+}
+
+TEST(Schedule, AllowsExecutionAtDeadlineMinusOne) {
+  Instance inst = TwoColorInstance();
+  Schedule s(1);
+  s.AddReconfig(0, 0, 0, 0);
+  s.AddExecution(1, 0, 0, 0);  // round 1 < deadline 2
+  EXPECT_TRUE(s.Validate(inst).ok);
+}
+
+TEST(Schedule, RejectsDoubleExecution) {
+  Instance inst = TwoColorInstance();
+  Schedule s(1);
+  s.AddReconfig(0, 0, 0, 0);
+  s.AddExecution(0, 0, 0, 0);
+  s.AddExecution(1, 0, 0, 0);
+  auto v = s.Validate(inst);
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.error.find("twice"), std::string::npos);
+}
+
+TEST(Schedule, RejectsTwoJobsInOneSlot) {
+  Instance inst = TwoColorInstance();
+  Schedule s(1);
+  s.AddReconfig(0, 0, 0, 0);
+  s.AddExecution(0, 0, 0, 0);
+  s.AddExecution(0, 0, 0, 1);
+  auto v = s.Validate(inst);
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.error.find("one slot"), std::string::npos);
+}
+
+TEST(Schedule, RejectsUnknownResourceAndJob) {
+  Instance inst = TwoColorInstance();
+  Schedule s(1);
+  s.AddReconfig(0, 0, 5, 0);
+  EXPECT_FALSE(s.Validate(inst).ok);
+
+  Schedule s2(1);
+  s2.AddReconfig(0, 0, 0, 0);
+  s2.AddExecution(0, 0, 0, 99);
+  EXPECT_FALSE(s2.Validate(inst).ok);
+}
+
+TEST(Schedule, RejectsBadMiniRound) {
+  Instance inst = TwoColorInstance();
+  Schedule s(1, 1);
+  s.AddReconfig(0, 1, 0, 0);  // mini 1 with only 1 mini-round per round
+  EXPECT_FALSE(s.Validate(inst).ok);
+}
+
+TEST(Schedule, MiniRoundsDoubleCapacity) {
+  InstanceBuilder b;
+  ColorId c = b.AddColor(1);
+  b.AddJobs(c, 0, 2);
+  Instance inst = b.Build();
+  Schedule s(1, 2);
+  s.AddReconfig(0, 0, 0, c);
+  s.AddExecution(0, 0, 0, 0);
+  s.AddExecution(0, 1, 0, 1);  // second mini-round, same round
+  auto v = s.Validate(inst);
+  ASSERT_TRUE(v.ok) << v.error;
+  EXPECT_EQ(v.cost.drops, 0u);
+}
+
+TEST(Schedule, ReconfigAppliesBeforeExecutionInSameMini) {
+  Instance inst = TwoColorInstance();
+  Schedule s(1);
+  s.AddExecution(0, 0, 0, 0);
+  s.AddReconfig(0, 0, 0, 0);  // added later but same (round, mini): applies first
+  EXPECT_TRUE(s.Validate(inst).ok);
+}
+
+// -------------------------------------------------------------- Engine ----
+
+TEST(Engine, NeverPolicyDropsEverything) {
+  Instance inst = TwoColorInstance();
+  NeverReconfigurePolicy never;
+  EngineOptions options;
+  options.num_resources = 2;
+  options.cost_model.delta = 3;
+  RunResult r = RunPolicy(inst, never, options);
+  EXPECT_EQ(r.cost.drops, inst.num_jobs());
+  EXPECT_EQ(r.cost.reconfigurations, 0u);
+  EXPECT_EQ(r.executed, 0u);
+  EXPECT_EQ(r.total_cost(options.cost_model), inst.num_jobs());
+}
+
+TEST(Engine, DropsPerColorTracked) {
+  Instance inst = TwoColorInstance();
+  NeverReconfigurePolicy never;
+  EngineOptions options;
+  options.num_resources = 1;
+  RunResult r = RunPolicy(inst, never, options);
+  EXPECT_EQ(r.drops_per_color[0], 3u);
+  EXPECT_EQ(r.drops_per_color[1], 2u);
+}
+
+TEST(Engine, StaticPolicyExecutesItsColors) {
+  InstanceBuilder b;
+  ColorId c0 = b.AddColor(4);
+  b.AddColor(4);
+  b.AddJobs(c0, 0, 3);
+  Instance inst = b.Build();
+  StaticPartitionPolicy policy;
+  EngineOptions options;
+  options.num_resources = 2;  // resource 0 -> color 0, resource 1 -> color 1
+  RunResult r = RunPolicy(inst, policy, options);
+  EXPECT_EQ(r.cost.reconfigurations, 2u);
+  EXPECT_EQ(r.executed, 3u);  // 1 job/round on resource 0, rounds 0..2
+  EXPECT_EQ(r.cost.drops, 0u);
+}
+
+TEST(Engine, JobExecutableUntilDeadlineMinusOne) {
+  // One job with D=2 arriving at 0 and a policy that only configures in
+  // round 1: the job must still execute (round 1 < deadline 2).
+  class LateConfig : public SchedulerPolicy {
+   public:
+    std::string name() const override { return "late"; }
+    void Reset(const Instance&, const EngineOptions&) override {}
+    void Reconfigure(Round k, int, ResourceView& view) override {
+      if (k == 1) view.SetColor(0, 0);
+    }
+  };
+  InstanceBuilder b;
+  ColorId c = b.AddColor(2);
+  b.AddJob(c, 0);
+  Instance inst = b.Build();
+  LateConfig policy;
+  EngineOptions options;
+  options.num_resources = 1;
+  RunResult r = RunPolicy(inst, policy, options);
+  EXPECT_EQ(r.executed, 1u);
+  EXPECT_EQ(r.cost.drops, 0u);
+}
+
+TEST(Engine, JobDroppedAtDeadlineBeforeExecution) {
+  // Configuring in round 2 is too late for a D=2 job arriving at 0: the drop
+  // phase of round 2 removes it before the execution phase.
+  class TooLate : public SchedulerPolicy {
+   public:
+    std::string name() const override { return "too-late"; }
+    void Reset(const Instance&, const EngineOptions&) override {}
+    void Reconfigure(Round k, int, ResourceView& view) override {
+      if (k == 2) view.SetColor(0, 0);
+    }
+  };
+  InstanceBuilder b;
+  ColorId c = b.AddColor(2);
+  b.AddJob(c, 0);
+  Instance inst = b.Build();
+  TooLate policy;
+  EngineOptions options;
+  options.num_resources = 1;
+  RunResult r = RunPolicy(inst, policy, options);
+  EXPECT_EQ(r.executed, 0u);
+  EXPECT_EQ(r.cost.drops, 1u);
+}
+
+TEST(Engine, SetColorToSameColorIsFree) {
+  class Redundant : public SchedulerPolicy {
+   public:
+    std::string name() const override { return "redundant"; }
+    void Reset(const Instance&, const EngineOptions&) override {}
+    void Reconfigure(Round, int, ResourceView& view) override {
+      view.SetColor(0, 0);  // same color every round: only first one costs
+    }
+  };
+  InstanceBuilder b;
+  ColorId c = b.AddColor(4);
+  b.AddJob(c, 0);
+  Instance inst = b.Build();
+  Redundant policy;
+  EngineOptions options;
+  options.num_resources = 1;
+  RunResult r = RunPolicy(inst, policy, options);
+  EXPECT_EQ(r.cost.reconfigurations, 1u);
+}
+
+TEST(Engine, RecordedScheduleValidates) {
+  Instance inst = TwoColorInstance();
+  GreedyEdfPolicy policy;
+  EngineOptions options;
+  options.num_resources = 2;
+  options.record_schedule = true;
+  RunResult r = RunPolicy(inst, policy, options);
+  ASSERT_TRUE(r.schedule.has_value());
+  auto v = r.schedule->Validate(inst);
+  ASSERT_TRUE(v.ok) << v.error;
+  EXPECT_EQ(v.cost, r.cost);
+  EXPECT_EQ(v.executed, r.executed);
+}
+
+TEST(Engine, DoubleSpeedExecutesTwicePerRound) {
+  InstanceBuilder b;
+  ColorId c = b.AddColor(1);
+  b.AddJobs(c, 0, 2);
+  Instance inst = b.Build();
+  StaticPartitionPolicy policy;
+  EngineOptions options;
+  options.num_resources = 1;
+  options.mini_rounds_per_round = 2;
+  RunResult r = RunPolicy(inst, policy, options);
+  EXPECT_EQ(r.executed, 2u);  // both D=1 jobs in round 0's two mini-rounds
+}
+
+TEST(Engine, EmptyInstanceRuns) {
+  InstanceBuilder b;
+  b.AddColor(2);
+  Instance inst = b.Build();
+  NeverReconfigurePolicy never;
+  EngineOptions options;
+  options.num_resources = 1;
+  RunResult r = RunPolicy(inst, never, options);
+  EXPECT_EQ(r.arrived, 0u);
+  EXPECT_EQ(r.total_cost(options.cost_model), 0u);
+}
+
+TEST(Engine, AccountingIdentityHolds) {
+  Instance inst = TwoColorInstance();
+  LazyGreedyPolicy policy(1);
+  EngineOptions options;
+  options.num_resources = 1;
+  RunResult r = RunPolicy(inst, policy, options);
+  EXPECT_EQ(r.executed + r.cost.drops, r.arrived);
+}
+
+TEST(CostBreakdown, Arithmetic) {
+  CostModel model{5};
+  CostBreakdown c = UnitCosts(3, 7);
+  EXPECT_EQ(c.reconfig_cost(model), 15u);
+  EXPECT_EQ(c.drop_cost(), 7u);
+  EXPECT_EQ(c.total(model), 22u);
+  CostBreakdown d = UnitCosts(1, 1);
+  d += c;
+  EXPECT_EQ(d.reconfigurations, 4u);
+  EXPECT_EQ(d.drops, 8u);
+  EXPECT_EQ(d.weighted_drops, 8u);
+}
+
+// ---------------------------------------- Variable drop costs (extension) ----
+
+TEST(WeightedDrops, EngineAccountsPerColorWeights) {
+  InstanceBuilder b;
+  ColorId cheap = b.AddColor(2, "cheap", 1);
+  ColorId dear = b.AddColor(2, "dear", 5);
+  b.AddJobs(cheap, 0, 3);
+  b.AddJobs(dear, 0, 2);
+  Instance inst = b.Build();
+  EXPECT_FALSE(inst.HasUnitDropCosts());
+  EXPECT_EQ(inst.drop_cost(dear), 5u);
+
+  NeverReconfigurePolicy never;
+  EngineOptions options;
+  options.num_resources = 1;
+  options.cost_model.delta = 2;
+  RunResult r = RunPolicy(inst, never, options);
+  EXPECT_EQ(r.cost.drops, 5u);             // 5 jobs dropped
+  EXPECT_EQ(r.cost.weighted_drops, 13u);   // 3*1 + 2*5
+  EXPECT_EQ(r.total_cost(options.cost_model), 13u);
+}
+
+TEST(WeightedDrops, ValidatorMatchesEngine) {
+  InstanceBuilder b;
+  ColorId cheap = b.AddColor(4, "cheap", 1);
+  ColorId dear = b.AddColor(4, "dear", 3);
+  b.AddJobs(cheap, 0, 4);
+  b.AddJobs(dear, 0, 4);
+  Instance inst = b.Build();
+
+  LazyGreedyPolicy policy(1);
+  EngineOptions options;
+  options.num_resources = 1;
+  options.cost_model.delta = 2;
+  options.record_schedule = true;
+  RunResult r = RunPolicy(inst, policy, options);
+  ASSERT_TRUE(r.schedule.has_value());
+  auto v = r.schedule->Validate(inst);
+  ASSERT_TRUE(v.ok) << v.error;
+  EXPECT_EQ(v.cost, r.cost);  // includes weighted_drops
+}
+
+TEST(WeightedDrops, TraceRoundTripKeepsWeights) {
+  InstanceBuilder b;
+  b.AddColor(2, "a", 1);
+  b.AddColor(4, "b", 7);
+  b.AddJobs(1, 0, 2);
+  std::stringstream ss;
+  b.Build().Serialize(ss);
+  Instance back = Instance::Deserialize(ss);
+  EXPECT_EQ(back.drop_cost(0), 1u);
+  EXPECT_EQ(back.drop_cost(1), 7u);
+}
+
+TEST(WeightedDrops, WeightAwareLazyGreedyProtectsExpensiveColor) {
+  // One resource, two equally-loaded colors, one 10x more expensive to drop:
+  // the weight-aware heuristic must favor it.
+  InstanceBuilder b;
+  ColorId cheap = b.AddColor(4, "cheap", 1);
+  ColorId dear = b.AddColor(4, "dear", 10);
+  b.AddJobs(cheap, 0, 4);
+  b.AddJobs(dear, 0, 4);
+  Instance inst = b.Build();
+
+  EngineOptions options;
+  options.num_resources = 1;
+  options.cost_model.delta = 1;
+
+  LazyGreedyPolicy naive(1, false);
+  RunResult naive_run = RunPolicy(inst, naive, options);
+  LazyGreedyPolicy aware(1, true);
+  RunResult aware_run = RunPolicy(inst, aware, options);
+
+  EXPECT_EQ(aware_run.drops_per_color[dear], 0u);
+  EXPECT_LE(aware_run.total_cost(options.cost_model),
+            naive_run.total_cost(options.cost_model));
+  (void)cheap;
+}
+
+}  // namespace
+}  // namespace rrs

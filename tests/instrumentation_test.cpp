@@ -1,0 +1,245 @@
+// Tests for the instrumentation layer: the ΔLRU-EDF invariant checker, the
+// Section 3.4 super-epoch tracker (Corollary 3.2), the sweep harness, and
+// trace statistics.
+#include <gtest/gtest.h>
+
+#include "analysis/sweep.h"
+#include "core/engine.h"
+#include "sched/dlru.h"
+#include "sched/dlru_edf.h"
+#include "sched/edf.h"
+#include "sched/invariant_checker.h"
+#include "sched/super_epoch.h"
+#include "util/rng.h"
+#include "workload/adversary.h"
+#include "workload/scenarios.h"
+#include "workload/synthetic.h"
+#include "workload/trace_stats.h"
+
+namespace rrs {
+namespace {
+
+Instance InstrumentationWorkload(uint64_t seed) {
+  std::vector<workload::ColorSpec> specs = {
+      {1, 0.5}, {2, 0.6}, {4, 0.6}, {8, 0.4}, {8, 0.4}, {16, 0.3}, {32, 0.2}};
+  workload::BurstyOptions gen;
+  gen.rounds = 512;
+  gen.rate_limited = true;
+  gen.p_off_to_on = 0.05;
+  gen.p_on_to_off = 0.12;
+  gen.seed = seed;
+  return MakeBursty(specs, gen);
+}
+
+// ------------------------------------------------- InvariantChecking ----
+
+class InvariantSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(InvariantSweep, DlruEdfInvariantsHoldEveryRound) {
+  Instance instance = InstrumentationWorkload(GetParam());
+  DlruEdfPolicy inner;
+  InvariantCheckingPolicy checked(inner, /*lru_slots_den=*/4);
+  EngineOptions options;
+  options.num_resources = 8;
+  options.cost_model.delta = 3;
+  RunResult r = RunPolicy(instance, checked, options);
+  EXPECT_GT(checked.checks_performed(), 0u);
+  EXPECT_EQ(r.executed + r.cost.drops, r.arrived);
+  EXPECT_TRUE(r.policy_counters.count("invariant_checks"));
+}
+
+TEST_P(InvariantSweep, DlruInvariantsHold) {
+  Instance instance = InstrumentationWorkload(GetParam() + 100);
+  DlruPolicy inner;
+  InvariantCheckingPolicy checked(inner, /*lru_slots_den=*/2);
+  EngineOptions options;
+  options.num_resources = 8;
+  options.cost_model.delta = 3;
+  RunPolicy(instance, checked, options);
+  EXPECT_GT(checked.checks_performed(), 0u);
+}
+
+TEST_P(InvariantSweep, EdfInvariantsHold) {
+  Instance instance = InstrumentationWorkload(GetParam() + 200);
+  EdfPolicy inner(true);
+  InvariantCheckingPolicy checked(inner);  // no LRU invariant for pure EDF
+  EngineOptions options;
+  options.num_resources = 8;
+  options.cost_model.delta = 3;
+  RunPolicy(instance, checked, options);
+  EXPECT_GT(checked.checks_performed(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InvariantSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(InvariantChecking, HoldsOnAdversarialInputs) {
+  auto adv_a = workload::MakeDlruAdversary(4, 2, 3, 8);
+  auto adv_b = workload::MakeEdfAdversary(4, 5, 3, 8);
+  for (const Instance* inst : {&adv_a.instance, &adv_b.instance}) {
+    DlruEdfPolicy inner;
+    InvariantCheckingPolicy checked(inner, 4);
+    EngineOptions options;
+    options.num_resources = 4;
+    options.cost_model.delta = 3;
+    RunPolicy(*inst, checked, options);
+    EXPECT_GT(checked.checks_performed(), 0u);
+  }
+}
+
+TEST(InvariantChecking, EvictFirstVariantAlsoHolds) {
+  Instance instance = InstrumentationWorkload(42);
+  DlruEdfPolicy::Params params;
+  params.exit_policy = LruExitPolicy::kEvictFirst;
+  DlruEdfPolicy inner(params);
+  InvariantCheckingPolicy checked(inner, 4);
+  EngineOptions options;
+  options.num_resources = 8;
+  options.cost_model.delta = 3;
+  RunPolicy(instance, checked, options);
+  EXPECT_GT(checked.checks_performed(), 0u);
+}
+
+// ----------------------------------------------------- Super-epochs ----
+
+class SuperEpochSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SuperEpochSweep, Corollary32OverlapBound) {
+  Instance instance = InstrumentationWorkload(GetParam() + 300);
+  // n = 8 with the paper's n = 4m coupling -> m = 2.
+  InstrumentedDlruEdfPolicy policy(/*m=*/2);
+  EngineOptions options;
+  options.num_resources = 8;
+  options.cost_model.delta = 3;
+  RunResult r = RunPolicy(instance, policy, options);
+  (void)r;
+  // Corollary 3.2: at most three epochs of any color overlap any
+  // (complete) super-epoch.
+  if (policy.super_epochs_completed() > 0) {
+    EXPECT_LE(policy.max_epochs_overlapping_super_epoch(), 3u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SuperEpochSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST(SuperEpoch, CompletesSuperEpochsUnderChurn) {
+  // Many colors wrapping repeatedly must close super-epochs.
+  std::vector<workload::ColorSpec> specs;
+  for (int i = 0; i < 12; ++i) specs.push_back({4, 1.5});
+  workload::PoissonOptions gen;
+  gen.rounds = 512;
+  gen.rate_limited = true;
+  gen.seed = 9;
+  Instance instance = MakePoisson(specs, gen);
+
+  InstrumentedDlruEdfPolicy policy(/*m=*/2);
+  EngineOptions options;
+  options.num_resources = 8;
+  options.cost_model.delta = 2;
+  RunResult r = RunPolicy(instance, policy, options);
+  EXPECT_GT(policy.super_epochs_completed(), 0u);
+  EXPECT_TRUE(r.policy_counters.count("super_epochs_completed"));
+  EXPECT_TRUE(r.policy_counters.count("max_epochs_per_super_epoch"));
+}
+
+TEST(SuperEpoch, NoSuperEpochWithoutTimestampChurn) {
+  // A single color can never complete a super-epoch with m >= 1 (needs 2m
+  // distinct colors).
+  InstanceBuilder b;
+  ColorId c = b.AddColor(4);
+  for (Round t = 0; t < 64; t += 4) b.AddJobs(c, t, 4);
+  Instance instance = b.Build();
+  InstrumentedDlruEdfPolicy policy(/*m=*/1);
+  EngineOptions options;
+  options.num_resources = 8;
+  options.cost_model.delta = 2;
+  RunPolicy(instance, policy, options);
+  EXPECT_EQ(policy.super_epochs_completed(), 0u);
+}
+
+// ------------------------------------------------------------ Sweep ----
+
+TEST(Sweep, GridShapeAndMonotonicity) {
+  analysis::SweepConfig config;
+  config.ns = {4, 8, 16};
+  config.deltas = {4};
+  config.seeds = {1, 2, 3};
+  auto factory = [](uint64_t seed) {
+    workload::RouterOptions gen;
+    gen.rounds = 256;
+    gen.seed = seed;
+    return MakeRouterScenario(workload::DefaultRouterServices(), gen);
+  };
+  auto cells = analysis::RunCostSweep(factory, config);
+  ASSERT_EQ(cells.size(), 3u);
+  for (const auto& cell : cells) {
+    EXPECT_EQ(cell.seeds, 3u);
+    EXPECT_GE(cell.mean_total, 0.0);
+    EXPECT_LE(cell.mean_drop_rate, 1.0);
+  }
+  // More resources must not increase the drop rate on this loaded workload.
+  EXPECT_GE(cells[0].mean_drops, cells[2].mean_drops);
+}
+
+TEST(Sweep, TableRendering) {
+  analysis::SweepConfig config;
+  config.ns = {8};
+  config.deltas = {2, 8};
+  config.seeds = {1};
+  auto factory = [](uint64_t seed) {
+    std::vector<workload::ColorSpec> specs = {{2, 1.0}, {8, 0.5}};
+    workload::PoissonOptions gen;
+    gen.rounds = 64;
+    gen.seed = seed;
+    return MakePoisson(specs, gen);
+  };
+  Table table = analysis::CostSweepTable(factory, config);
+  EXPECT_EQ(table.num_rows(), 2u);
+  EXPECT_EQ(table.num_cols(), 8u);
+}
+
+// ------------------------------------------------------ TraceStats ----
+
+TEST(TraceStats, HandComputedValues) {
+  InstanceBuilder b;
+  ColorId c0 = b.AddColor(2);
+  ColorId c1 = b.AddColor(4);
+  b.AddJobs(c0, 0, 2);
+  b.AddJobs(c0, 2, 4);
+  b.AddJob(c1, 0);
+  Instance inst = b.Build();
+
+  auto stats = workload::ComputeTraceStats(inst);
+  EXPECT_EQ(stats.total_jobs, 7u);
+  EXPECT_EQ(stats.request_rounds, 3);
+  ASSERT_EQ(stats.colors.size(), 2u);
+  EXPECT_EQ(stats.colors[0].jobs, 6u);
+  EXPECT_EQ(stats.colors[0].peak_round, 4u);
+  EXPECT_EQ(stats.colors[0].peak_window, 4u);  // windows [0,2), [2,4)
+  EXPECT_EQ(stats.colors[1].peak_window, 1u);
+  EXPECT_GT(stats.colors[0].burstiness, 0.0);
+  EXPECT_GE(stats.min_feasible_resources, 3u);  // 7 jobs / 3 rounds
+}
+
+TEST(TraceStats, SmoothTrafficHasLowBurstiness) {
+  InstanceBuilder b;
+  ColorId c = b.AddColor(4);
+  for (Round t = 0; t < 64; ++t) b.AddJob(c, t);
+  auto stats = workload::ComputeTraceStats(b.Build());
+  EXPECT_NEAR(stats.colors[0].burstiness, 0.0, 1e-9);
+  EXPECT_EQ(stats.colors[0].peak_round, 1u);
+}
+
+TEST(TraceStats, ToStringMentionsColors) {
+  workload::RouterOptions gen;
+  gen.rounds = 64;
+  Instance inst =
+      MakeRouterScenario(workload::DefaultRouterServices(), gen);
+  std::string s = workload::ComputeTraceStats(inst).ToString();
+  EXPECT_NE(s.find("color 0"), std::string::npos);
+  EXPECT_NE(s.find("burstiness"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rrs

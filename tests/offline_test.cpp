@@ -1,0 +1,505 @@
+// Tests for src/offline: the exact optimal solver (against hand-computed
+// optima and as a floor under every policy), the certified lower bounds, and
+// the clairvoyant portfolio bracket.
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "offline/bruteforce.h"
+#include "offline/clairvoyant.h"
+#include "offline/lower_bound.h"
+#include "offline/nice_schedule.h"
+#include "offline/optimal.h"
+#include "sched/registry.h"
+#include "util/rng.h"
+#include "workload/synthetic.h"
+
+namespace rrs {
+namespace {
+
+std::optional<offline::OptimalResult> Solve(const Instance& inst, uint32_t m,
+                                            uint64_t delta) {
+  offline::OptimalOptions options;
+  options.num_resources = m;
+  options.cost_model.delta = delta;
+  return offline::SolveOptimal(inst, options);
+}
+
+// -------------------------------------------------------------- Optimal ----
+
+TEST(Optimal, EmptyInstanceIsFree) {
+  InstanceBuilder b;
+  b.AddColor(2);
+  auto r = Solve(b.Build(), 1, 5);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->total_cost, 0u);
+}
+
+TEST(Optimal, SingleJobConfigureOrDrop) {
+  // One job, delta = 3: dropping (cost 1) beats configuring (cost 3).
+  InstanceBuilder b;
+  ColorId c = b.AddColor(2);
+  b.AddJob(c, 0);
+  auto r = Solve(b.Build(), 1, 3);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->total_cost, 1u);
+}
+
+TEST(Optimal, ManyJobsJustifyConfiguring) {
+  // 5 jobs with D = 8, delta = 3: configure once (3) beats dropping (5).
+  InstanceBuilder b;
+  ColorId c = b.AddColor(8);
+  b.AddJobs(c, 0, 5);
+  auto r = Solve(b.Build(), 1, 3);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->total_cost, 3u);
+}
+
+TEST(Optimal, CapacityForcesDropsEvenWhenConfigured) {
+  // 6 jobs, D = 4, one resource: at most 4 executions fit; cost = Δ + 2.
+  InstanceBuilder b;
+  ColorId c = b.AddColor(4);
+  b.AddJobs(c, 0, 6);
+  auto r = Solve(b.Build(), 1, 2);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->total_cost, 2u + 2u);
+}
+
+TEST(Optimal, TwoColorsOneResourceConflict) {
+  // Two colors, each 4 jobs with D = 4 at round 0, one resource, delta = 1:
+  // serve one color fully (1 reconfig + 4 drops of the other) or split
+  // 2/2 with 2 reconfigs + 4 drops... serving one color = 1 + 4 = 5;
+  // splitting 2+2: cost 2 + 4 = 6. Optimal = 5.
+  InstanceBuilder b;
+  ColorId c0 = b.AddColor(4);
+  ColorId c1 = b.AddColor(4);
+  b.AddJobs(c0, 0, 4);
+  b.AddJobs(c1, 0, 4);
+  auto r = Solve(b.Build(), 1, 1);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->total_cost, 5u);
+}
+
+TEST(Optimal, TwoResourcesResolveTheConflict) {
+  InstanceBuilder b;
+  ColorId c0 = b.AddColor(4);
+  ColorId c1 = b.AddColor(4);
+  b.AddJobs(c0, 0, 4);
+  b.AddJobs(c1, 0, 4);
+  auto r = Solve(b.Build(), 2, 1);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->total_cost, 2u);  // two reconfigs, zero drops
+}
+
+TEST(Optimal, ReconfigurationMidStreamWhenWorthIt) {
+  // Color A: 3 jobs at round 0 (D=4); color B: 3 jobs at round 4 (D=4).
+  // delta = 2: serve A (2), reconfigure to B (2): total 4 < dropping either.
+  InstanceBuilder b;
+  ColorId a = b.AddColor(4);
+  ColorId c = b.AddColor(4);
+  b.AddJobs(a, 0, 3);
+  b.AddJobs(c, 4, 3);
+  auto r = Solve(b.Build(), 1, 2);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->total_cost, 4u);
+}
+
+TEST(Optimal, InterleavedUrgencyRequiresChoosing) {
+  // An urgent D=1 stream alongside a D=8 backlog, one resource, delta = 1.
+  // 4 urgent jobs (rounds 0..3) + 4 backlog jobs at round 0 (deadline 8).
+  // One resource can do urgent rounds 0-3 then backlog rounds 4-7:
+  // cost = 2 reconfigs = 2.
+  InstanceBuilder b;
+  ColorId urgent = b.AddColor(1);
+  ColorId backlog = b.AddColor(8);
+  for (Round t = 0; t < 4; ++t) b.AddJob(urgent, t);
+  b.AddJobs(backlog, 0, 4);
+  auto r = Solve(b.Build(), 1, 1);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->total_cost, 2u);
+}
+
+TEST(Optimal, StateBudgetRespected) {
+  // A deliberately wide instance with a 1-state budget must bail out.
+  InstanceBuilder b;
+  ColorId c0 = b.AddColor(4);
+  ColorId c1 = b.AddColor(4);
+  b.AddJobs(c0, 0, 4);
+  b.AddJobs(c1, 0, 4);
+  b.AddJobs(c0, 4, 4);
+  offline::OptimalOptions options;
+  options.num_resources = 2;
+  options.max_states = 1;
+  EXPECT_FALSE(offline::SolveOptimal(b.Build(), options).has_value());
+}
+
+TEST(Optimal, IsAFloorUnderEveryPolicy) {
+  Rng rng(307);
+  for (int trial = 0; trial < 15; ++trial) {
+    std::vector<workload::ColorSpec> specs = {{1, 0.4}, {2, 0.4}, {4, 0.3}};
+    workload::PoissonOptions gen;
+    gen.rounds = 12;
+    gen.seed = rng.Next();
+    Instance inst = MakePoisson(specs, gen);
+    const uint64_t delta = 2;
+    auto opt = Solve(inst, 1, delta);
+    ASSERT_TRUE(opt.has_value()) << "trial " << trial;
+    CostModel model{delta};
+    for (const char* name : {"greedy-edf", "lazy-greedy", "static", "never"}) {
+      auto policy = MakePolicy(name);
+      EngineOptions options;
+      options.num_resources = 1;
+      options.cost_model = model;
+      RunResult r = RunPolicy(inst, *policy, options);
+      EXPECT_GE(r.total_cost(model), opt->total_cost)
+          << name << " trial " << trial;
+    }
+  }
+}
+
+TEST(Optimal, MoreResourcesNeverHurt) {
+  Rng rng(311);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<workload::ColorSpec> specs = {{2, 0.5}, {4, 0.4}};
+    workload::PoissonOptions gen;
+    gen.rounds = 10;
+    gen.seed = rng.Next();
+    Instance inst = MakePoisson(specs, gen);
+    auto m1 = Solve(inst, 1, 2);
+    auto m2 = Solve(inst, 2, 2);
+    ASSERT_TRUE(m1 && m2);
+    EXPECT_LE(m2->total_cost, m1->total_cost) << "trial " << trial;
+  }
+}
+
+// ------------------------------------------- Cross-check & reconstruction ----
+
+TEST(Optimal, AgreesWithIndependentBruteForce) {
+  // The DP (canonical states, WLOG prunings) and the brute-force solver
+  // (plain exhaustive recursion over ALL configurations, including
+  // reconfigurations to idle colors) share no code or representation;
+  // agreement over random instances certifies both — and in particular the
+  // DP's "reconfigure only to nonidle colors" exchange argument.
+  Rng rng(401);
+  int checked = 0;
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<workload::ColorSpec> specs = {{1, 0.5}, {2, 0.4}, {4, 0.3}};
+    workload::PoissonOptions gen;
+    gen.rounds = 6;
+    gen.seed = rng.Next();
+    Instance inst = MakePoisson(specs, gen);
+    const uint64_t delta = 1 + trial % 3;
+
+    auto dp = Solve(inst, 1, delta);
+    offline::BruteForceOptions bf_options;
+    bf_options.num_resources = 1;
+    bf_options.cost_model.delta = delta;
+    auto bf = offline::SolveBruteForce(inst, bf_options);
+    ASSERT_TRUE(dp.has_value());
+    if (!bf.has_value()) continue;  // node budget; skip
+    EXPECT_EQ(dp->total_cost, *bf) << "trial " << trial;
+    ++checked;
+  }
+  EXPECT_GE(checked, 10);
+}
+
+TEST(Optimal, AgreesWithBruteForceTwoResources) {
+  Rng rng(403);
+  int checked = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<workload::ColorSpec> specs = {{1, 0.6}, {2, 0.5}};
+    workload::PoissonOptions gen;
+    gen.rounds = 5;
+    gen.seed = rng.Next();
+    Instance inst = MakePoisson(specs, gen);
+    auto dp = Solve(inst, 2, 2);
+    offline::BruteForceOptions bf_options;
+    bf_options.num_resources = 2;
+    bf_options.cost_model.delta = 2;
+    auto bf = offline::SolveBruteForce(inst, bf_options);
+    ASSERT_TRUE(dp.has_value());
+    if (!bf.has_value()) continue;
+    EXPECT_EQ(dp->total_cost, *bf) << "trial " << trial;
+    ++checked;
+  }
+  EXPECT_GE(checked, 5);
+}
+
+TEST(Optimal, AgreesWithBruteForceUnderVariableDropCosts) {
+  // The variable-drop-cost extension: both exact solvers must agree when
+  // colors have different drop weights.
+  Rng rng(419);
+  int checked = 0;
+  for (int trial = 0; trial < 15; ++trial) {
+    InstanceBuilder b;
+    ColorId c0 = b.AddColor(2, "a", 1);
+    ColorId c1 = b.AddColor(2, "b", 4);
+    for (Round t = 0; t < 6; t += 2) {
+      b.AddJobs(c0, t, rng.NextBounded(3));
+      b.AddJobs(c1, t, rng.NextBounded(3));
+    }
+    Instance inst = b.Build();
+    if (inst.num_jobs() == 0) continue;
+    auto dp = Solve(inst, 1, 2);
+    offline::BruteForceOptions bf_options;
+    bf_options.num_resources = 1;
+    bf_options.cost_model.delta = 2;
+    auto bf = offline::SolveBruteForce(inst, bf_options);
+    ASSERT_TRUE(dp.has_value());
+    if (!bf.has_value()) continue;
+    EXPECT_EQ(dp->total_cost, *bf) << "trial " << trial;
+    ++checked;
+  }
+  EXPECT_GE(checked, 5);
+}
+
+TEST(Optimal, PrefersProtectingExpensiveColor) {
+  // One resource, delta = 10; two colors with 3 jobs each (D = 4) but drop
+  // weights 1 vs 5. Serving one color fully costs 10 (reconfig) + 3w of the
+  // other; OPT must sacrifice the cheap color: 10 + 3*1 = 13 vs 10 + 15.
+  InstanceBuilder b;
+  ColorId cheap = b.AddColor(4, "cheap", 1);
+  ColorId dear = b.AddColor(4, "dear", 5);
+  b.AddJobs(cheap, 0, 3);
+  b.AddJobs(dear, 0, 3);
+  (void)cheap;
+  (void)dear;
+  auto r = Solve(b.Build(), 1, 10);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->total_cost, 13u);
+}
+
+TEST(Optimal, ReconstructedScheduleValidatesAtOptimalCost) {
+  Rng rng(407);
+  for (int trial = 0; trial < 12; ++trial) {
+    std::vector<workload::ColorSpec> specs = {{1, 0.5}, {2, 0.5}, {4, 0.4}};
+    workload::PoissonOptions gen;
+    gen.rounds = 10;
+    gen.seed = rng.Next();
+    Instance inst = MakePoisson(specs, gen);
+    const uint64_t delta = 2;
+
+    offline::OptimalOptions options;
+    options.num_resources = 2;
+    options.cost_model.delta = delta;
+    options.reconstruct_schedule = true;
+    auto result = offline::SolveOptimal(inst, options);
+    ASSERT_TRUE(result.has_value());
+    ASSERT_TRUE(result->schedule.has_value());
+
+    auto v = result->schedule->Validate(inst);
+    ASSERT_TRUE(v.ok) << "trial " << trial << ": " << v.error;
+    // The independently recomputed cost of the reconstructed schedule must
+    // equal the DP's optimum exactly.
+    EXPECT_EQ(v.cost.total(CostModel{delta}), result->total_cost)
+        << "trial " << trial;
+  }
+}
+
+TEST(Optimal, ReconstructionOnKnownInstance) {
+  // 5 jobs D=8, delta=3: OPT configures once and executes everything.
+  InstanceBuilder b;
+  ColorId c = b.AddColor(8);
+  b.AddJobs(c, 0, 5);
+  Instance inst = b.Build();
+  offline::OptimalOptions options;
+  options.num_resources = 1;
+  options.cost_model.delta = 3;
+  options.reconstruct_schedule = true;
+  auto result = offline::SolveOptimal(inst, options);
+  ASSERT_TRUE(result.has_value() && result->schedule.has_value());
+  auto v = result->schedule->Validate(inst);
+  ASSERT_TRUE(v.ok) << v.error;
+  EXPECT_EQ(v.executed, 5u);
+  EXPECT_EQ(v.cost.reconfigurations, 1u);
+}
+
+TEST(BruteForce, EmptyInstanceIsFree) {
+  InstanceBuilder b;
+  b.AddColor(2);
+  offline::BruteForceOptions options;
+  EXPECT_EQ(offline::SolveBruteForce(b.Build(), options), 0u);
+}
+
+TEST(BruteForce, NodeBudgetRespected) {
+  InstanceBuilder b;
+  ColorId c0 = b.AddColor(4);
+  ColorId c1 = b.AddColor(4);
+  b.AddJobs(c0, 0, 4);
+  b.AddJobs(c1, 0, 4);
+  b.AddJobs(c0, 4, 4);
+  b.AddJobs(c1, 4, 4);
+  offline::BruteForceOptions options;
+  options.num_resources = 2;
+  options.max_nodes = 10;
+  EXPECT_FALSE(offline::SolveBruteForce(b.Build(), options).has_value());
+}
+
+// ------------------------------------------------- Lemma 3.8 construction ----
+
+TEST(NiceSchedule, ExecutesEveryJobOnNiceInputs) {
+  // Lemma 3.8, constructively: for rate-limited batched inputs that Par-EDF
+  // clears, the block-by-block double-speed construction places every job,
+  // and the result passes the independent validator.
+  Rng rng(431);
+  int built = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<workload::ColorSpec> specs = {
+        {1, 0.3}, {2, 0.4}, {4, 0.4}, {8, 0.3}, {16, 0.3}};
+    workload::PoissonOptions gen;
+    gen.rounds = 64;
+    gen.rate_limited = true;
+    gen.seed = rng.Next();
+    Instance inst = MakePoisson(specs, gen);
+    const uint32_t m = 2;
+    auto result = offline::BuildNiceDoubleSpeedSchedule(inst, m);
+    if (!result) continue;  // not nice at this load/seed
+    ++built;
+    EXPECT_EQ(result->executed, inst.num_jobs());
+    auto v = result->schedule.Validate(inst);
+    ASSERT_TRUE(v.ok) << "trial " << trial << ": " << v.error;
+    EXPECT_EQ(v.cost.drops, 0u);
+    EXPECT_EQ(v.executed, inst.num_jobs());
+  }
+  EXPECT_GE(built, 5) << "too few nice draws; lower the load";
+}
+
+TEST(NiceSchedule, RejectsNonNiceInput) {
+  // Overload: 10 jobs with D=2 on m=1 cannot be nice.
+  InstanceBuilder b;
+  ColorId c = b.AddColor(2);
+  b.AddJobs(c, 0, 2);
+  b.AddJobs(c, 2, 2);
+  Instance light = b.Build();
+  EXPECT_TRUE(offline::BuildNiceDoubleSpeedSchedule(light, 1).has_value());
+
+  InstanceBuilder b2;
+  ColorId c2 = b2.AddColor(4);
+  ColorId c3 = b2.AddColor(4);
+  b2.AddJobs(c2, 0, 4);
+  b2.AddJobs(c3, 0, 4);
+  Instance heavy = b2.Build();
+  // 8 jobs, 4 executable rounds, m=1 single-speed Par-EDF: drops -> not nice.
+  EXPECT_FALSE(offline::BuildNiceDoubleSpeedSchedule(heavy, 1).has_value());
+}
+
+TEST(NiceSchedule, RejectsUnbatchedOrNonPow2) {
+  InstanceBuilder b;
+  ColorId c = b.AddColor(4);
+  b.AddJob(c, 1);  // unbatched
+  EXPECT_FALSE(offline::BuildNiceDoubleSpeedSchedule(b.Build(), 2).has_value());
+
+  InstanceBuilder b2;
+  ColorId c2 = b2.AddColor(3);  // not a power of two
+  b2.AddJob(c2, 0);
+  EXPECT_FALSE(
+      offline::BuildNiceDoubleSpeedSchedule(b2.Build(), 2).has_value());
+}
+
+TEST(NiceSchedule, EmptyInstance) {
+  InstanceBuilder b;
+  b.AddColor(2);
+  auto result = offline::BuildNiceDoubleSpeedSchedule(b.Build(), 1);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->executed, 0u);
+}
+
+TEST(NiceSchedule, MixedDelayBoundsInterleave) {
+  // A dense but nice mix across 4 delay bounds on m = 2; every job placed.
+  InstanceBuilder b;
+  ColorId c1 = b.AddColor(1);
+  ColorId c2 = b.AddColor(2);
+  ColorId c4 = b.AddColor(4);
+  ColorId c8 = b.AddColor(8);
+  for (Round t = 0; t < 16; ++t) b.AddJob(c1, t);
+  for (Round t = 0; t < 16; t += 2) b.AddJob(c2, t);
+  for (Round t = 0; t < 16; t += 4) b.AddJobs(c4, t, 2);
+  b.AddJobs(c8, 0, 4);
+  b.AddJobs(c8, 8, 4);
+  Instance inst = b.Build();
+  ASSERT_TRUE(inst.IsRateLimited());
+  // Offered load is 2.5 jobs/round; m = 3 keeps Par-EDF drop-free.
+  auto result = offline::BuildNiceDoubleSpeedSchedule(inst, 3);
+  ASSERT_TRUE(result.has_value()) << "input unexpectedly not nice";
+  auto v = result->schedule.Validate(inst);
+  ASSERT_TRUE(v.ok) << v.error;
+  EXPECT_EQ(v.cost.drops, 0u);
+}
+
+// ---------------------------------------------------------- LowerBound ----
+
+TEST(LowerBound, ColorLegCountsMinPerColor) {
+  InstanceBuilder b;
+  ColorId c0 = b.AddColor(8);
+  ColorId c1 = b.AddColor(8);
+  b.AddJobs(c0, 0, 2);   // min(2, 5) = 2
+  b.AddJobs(c1, 0, 9);   // min(9, 5) = 5
+  Instance inst = b.Build();
+  CostModel model{5};
+  EXPECT_EQ(offline::ColorLowerBound(inst, model), 7u);
+}
+
+TEST(LowerBound, DropLegMatchesParEdf) {
+  InstanceBuilder b;
+  ColorId c = b.AddColor(2);
+  b.AddJobs(c, 0, 10);
+  Instance inst = b.Build();
+  EXPECT_EQ(offline::DropLowerBound(inst, 1), 8u);
+}
+
+TEST(LowerBound, NeverExceedsExactOptimal) {
+  Rng rng(313);
+  for (int trial = 0; trial < 15; ++trial) {
+    std::vector<workload::ColorSpec> specs = {{1, 0.5}, {2, 0.5}, {4, 0.3}};
+    workload::PoissonOptions gen;
+    gen.rounds = 12;
+    gen.seed = rng.Next();
+    Instance inst = MakePoisson(specs, gen);
+    const uint64_t delta = 3;
+    auto opt = Solve(inst, 1, delta);
+    ASSERT_TRUE(opt.has_value());
+    EXPECT_LE(offline::LowerBound(inst, 1, CostModel{delta}), opt->total_cost)
+        << "trial " << trial;
+  }
+}
+
+// ---------------------------------------------------------- Clairvoyant ----
+
+TEST(Clairvoyant, NeverBelowExactOptimal) {
+  Rng rng(317);
+  for (int trial = 0; trial < 15; ++trial) {
+    std::vector<workload::ColorSpec> specs = {{1, 0.5}, {2, 0.5}, {4, 0.3}};
+    workload::PoissonOptions gen;
+    gen.rounds = 12;
+    gen.seed = rng.Next();
+    Instance inst = MakePoisson(specs, gen);
+    const uint64_t delta = 2;
+    CostModel model{delta};
+    auto opt = Solve(inst, 1, delta);
+    ASSERT_TRUE(opt.has_value());
+    auto heuristic = offline::ClairvoyantCost(inst, 1, model);
+    EXPECT_GE(heuristic.total_cost, opt->total_cost) << "trial " << trial;
+    EXPECT_GE(heuristic.total_cost,
+              offline::LowerBound(inst, 1, model))
+        << "trial " << trial;
+    EXPECT_FALSE(heuristic.best_policy.empty());
+  }
+}
+
+TEST(Clairvoyant, BracketOrdering) {
+  // LB <= Clairvoyant on larger instances too (no exact solve needed).
+  std::vector<workload::ColorSpec> specs = {
+      {2, 1.0}, {4, 1.0}, {8, 0.5}, {16, 0.5}};
+  workload::PoissonOptions gen;
+  gen.rounds = 256;
+  gen.seed = 331;
+  Instance inst = MakePoisson(specs, gen);
+  CostModel model{4};
+  for (uint32_t m : {1u, 2u, 4u}) {
+    EXPECT_LE(offline::LowerBound(inst, m, model),
+              offline::ClairvoyantCost(inst, m, model).total_cost)
+        << "m=" << m;
+  }
+}
+
+}  // namespace
+}  // namespace rrs

@@ -1,0 +1,154 @@
+// Tests for src/parallel: ThreadPool, ParallelFor, SpscQueue.
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "parallel/parallel_for.h"
+#include "parallel/spsc_queue.h"
+#include "parallel/thread_pool.h"
+
+namespace rrs {
+namespace {
+
+TEST(ThreadPool, SubmitReturnsResults) {
+  ThreadPool pool(4);
+  auto f1 = pool.Submit([] { return 6 * 7; });
+  auto f2 = pool.Submit([] { return std::string("done"); });
+  EXPECT_EQ(f1.get(), 42);
+  EXPECT_EQ(f2.get(), "done");
+}
+
+TEST(ThreadPool, ExceptionsPropagateThroughFuture) {
+  ThreadPool pool(2);
+  auto f = pool.Submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ManyTasksAllRun) {
+  ThreadPool pool(8);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 1000; ++i) {
+    futures.push_back(pool.Submit([&count] { count.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPool, WaitIdleDrainsQueue) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, DefaultThreadCountPositive) {
+  ThreadPool pool;
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, DestructorDrainsOutstandingWork) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+  }  // destructor joins
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ParallelFor, CoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(pool, 0, 1000, [&](int64_t i) { hits[static_cast<size_t>(i)]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  int calls = 0;
+  ParallelFor(pool, 5, 5, [&](int64_t) { ++calls; });
+  ParallelFor(pool, 5, 3, [&](int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor, PropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(ParallelFor(pool, 0, 100,
+                           [&](int64_t i) {
+                             if (i == 37) throw std::runtime_error("x");
+                           }),
+               std::runtime_error);
+}
+
+TEST(ParallelMap, ComputesAllValues) {
+  ThreadPool pool(4);
+  auto out = ParallelMap<int64_t>(pool, 256, [](size_t i) {
+    return static_cast<int64_t>(i) * 2;
+  });
+  ASSERT_EQ(out.size(), 256u);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int64_t>(i) * 2);
+  }
+}
+
+TEST(SpscQueue, FifoSingleThread) {
+  SpscQueue<int> q(8);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(q.TryPush(i));
+  int out;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(q.TryPop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(q.TryPop(out));
+}
+
+TEST(SpscQueue, FullRejectsPush) {
+  SpscQueue<int> q(2);  // capacity rounds up; fill until rejection
+  int pushed = 0;
+  while (q.TryPush(pushed)) ++pushed;
+  EXPECT_GE(pushed, 2);
+  int out;
+  ASSERT_TRUE(q.TryPop(out));
+  EXPECT_EQ(out, 0);
+  EXPECT_TRUE(q.TryPush(99));  // space freed
+}
+
+TEST(SpscQueue, TwoThreadStressPreservesOrderAndCount) {
+  SpscQueue<uint64_t> q(1024);
+  constexpr uint64_t kCount = 200000;
+  std::thread producer([&] {
+    for (uint64_t i = 0; i < kCount; ++i) {
+      while (!q.TryPush(i)) std::this_thread::yield();
+    }
+  });
+  uint64_t expected = 0;
+  while (expected < kCount) {
+    uint64_t v;
+    if (q.TryPop(v)) {
+      ASSERT_EQ(v, expected);
+      ++expected;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(GlobalThreadPool, IsSingleton) {
+  ThreadPool& a = GlobalThreadPool();
+  ThreadPool& b = GlobalThreadPool();
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace rrs

@@ -1,0 +1,208 @@
+// Property-based suites: every (policy x workload-family x seed) combination
+// must produce a legal schedule whose validator-recomputed cost matches the
+// engine's accounting, and a handful of cross-policy dominance properties
+// must hold. Uses parameterized gtest (TEST_P / INSTANTIATE_TEST_SUITE_P).
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "offline/lower_bound.h"
+#include "reduce/pipeline.h"
+#include "sched/registry.h"
+#include "util/rng.h"
+#include "workload/scenarios.h"
+#include "workload/synthetic.h"
+
+namespace rrs {
+namespace {
+
+// ---- Workload family fixtures ---------------------------------------------
+
+enum class Family { kPoissonRateLimited, kBurstyRateLimited, kZipfUnbatched,
+                    kRouter, kDatacenter };
+
+std::string FamilyName(Family f) {
+  switch (f) {
+    case Family::kPoissonRateLimited: return "PoissonRL";
+    case Family::kBurstyRateLimited: return "BurstyRL";
+    case Family::kZipfUnbatched: return "Zipf";
+    case Family::kRouter: return "Router";
+    case Family::kDatacenter: return "Datacenter";
+  }
+  return "?";
+}
+
+Instance MakeFamily(Family f, uint64_t seed) {
+  std::vector<workload::ColorSpec> specs = {
+      {1, 0.5}, {2, 0.6}, {4, 0.6}, {8, 0.4}, {16, 0.4}, {32, 0.2}};
+  switch (f) {
+    case Family::kPoissonRateLimited: {
+      workload::PoissonOptions gen;
+      gen.rounds = 128;
+      gen.rate_limited = true;
+      gen.seed = seed;
+      return MakePoisson(specs, gen);
+    }
+    case Family::kBurstyRateLimited: {
+      workload::BurstyOptions gen;
+      gen.rounds = 128;
+      gen.rate_limited = true;
+      gen.seed = seed;
+      gen.p_off_to_on = 0.05;
+      gen.p_on_to_off = 0.15;
+      return MakeBursty(specs, gen);
+    }
+    case Family::kZipfUnbatched: {
+      workload::ZipfOptions gen;
+      gen.rounds = 128;
+      gen.num_colors = 9;
+      gen.jobs_per_round = 4.0;
+      gen.seed = seed;
+      return MakeZipf(gen);
+    }
+    case Family::kRouter: {
+      workload::RouterOptions gen;
+      gen.rounds = 128;
+      gen.seed = seed;
+      return MakeRouterScenario(workload::DefaultRouterServices(), gen);
+    }
+    case Family::kDatacenter: {
+      workload::DatacenterOptions gen;
+      gen.rounds = 128;
+      gen.phase_length = 32;
+      gen.seed = seed;
+      return MakeDatacenterScenario(gen);
+    }
+  }
+  return InstanceBuilder().Build();
+}
+
+// ---- Legal-schedule property across all policies ---------------------------
+
+using LegalityParam = std::tuple<std::string, Family, uint64_t>;
+
+class PolicyLegality : public ::testing::TestWithParam<LegalityParam> {};
+
+TEST_P(PolicyLegality, RecordedScheduleValidatesAndCostsMatch) {
+  const auto& [policy_name, family, seed] = GetParam();
+  Instance inst = MakeFamily(family, seed);
+  auto policy = MakePolicy(policy_name);
+  ASSERT_NE(policy, nullptr);
+
+  EngineOptions options;
+  options.num_resources = 8;
+  options.cost_model.delta = 3;
+  options.record_schedule = true;
+  RunResult r = RunPolicy(inst, *policy, options);
+
+  // Accounting identity.
+  EXPECT_EQ(r.executed + r.cost.drops, r.arrived);
+
+  // Independent validation of the recorded schedule.
+  ASSERT_TRUE(r.schedule.has_value());
+  auto v = r.schedule->Validate(inst);
+  ASSERT_TRUE(v.ok) << policy_name << "/" << FamilyName(family) << ": "
+                    << v.error;
+  EXPECT_EQ(v.cost, r.cost);
+  EXPECT_EQ(v.executed, r.executed);
+
+  // Cost is at least the certified lower bound for the same resource count.
+  EXPECT_GE(r.total_cost(options.cost_model),
+            offline::LowerBound(inst, options.num_resources,
+                                options.cost_model));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicyLegality,
+    ::testing::Combine(
+        ::testing::Values("dlru", "edf", "seq-edf", "dlru-edf",
+                          "dlru-edf-evict", "greedy-edf", "lazy-greedy",
+                          "static"),
+        ::testing::Values(Family::kPoissonRateLimited,
+                          Family::kBurstyRateLimited, Family::kZipfUnbatched,
+                          Family::kRouter, Family::kDatacenter),
+        ::testing::Values(1u, 2u, 3u)),
+    [](const ::testing::TestParamInfo<LegalityParam>& info) {
+      auto name = std::get<0>(info.param) + "_" +
+                  FamilyName(std::get<1>(info.param)) + "_s" +
+                  std::to_string(std::get<2>(info.param));
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+// ---- Pipeline legality across families and resource counts -----------------
+
+using PipelineParam = std::tuple<Family, uint32_t, uint64_t>;
+
+class PipelineLegality : public ::testing::TestWithParam<PipelineParam> {};
+
+TEST_P(PipelineLegality, SolveOnlineValidatesAgainstOriginal) {
+  const auto& [family, n, seed] = GetParam();
+  Instance inst = MakeFamily(family, seed);
+  EngineOptions options;
+  options.num_resources = n;
+  options.cost_model.delta = 3;
+  auto result = reduce::SolveOnline(inst, options);
+  ASSERT_TRUE(result.validation.ok) << result.validation.error;
+  EXPECT_EQ(result.validation.executed + result.cost().drops,
+            inst.num_jobs());
+  // The inner (transformed) run can never drop fewer jobs than the final
+  // schedule executes... (both count the same executions).
+  EXPECT_EQ(result.inner.executed, result.validation.executed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pipelines, PipelineLegality,
+    ::testing::Combine(::testing::Values(Family::kPoissonRateLimited,
+                                         Family::kZipfUnbatched,
+                                         Family::kRouter,
+                                         Family::kDatacenter),
+                       ::testing::Values(4u, 8u, 16u),
+                       ::testing::Values(11u, 12u)),
+    [](const ::testing::TestParamInfo<PipelineParam>& info) {
+      return FamilyName(std::get<0>(info.param)) + "_n" +
+             std::to_string(std::get<1>(info.param)) + "_s" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// ---- Delta sweep: engine cost accounting is linear in delta ---------------
+
+class DeltaSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DeltaSweep, TotalCostDecomposes) {
+  const uint64_t delta = GetParam();
+  Instance inst = MakeFamily(Family::kBurstyRateLimited, 5);
+  auto policy = MakePolicy("dlru-edf");
+  EngineOptions options;
+  options.num_resources = 8;
+  options.cost_model.delta = delta;
+  RunResult r = RunPolicy(inst, *policy, options);
+  EXPECT_EQ(r.total_cost(options.cost_model),
+            r.cost.reconfigurations * delta + r.cost.drops);
+}
+
+INSTANTIATE_TEST_SUITE_P(Deltas, DeltaSweep,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 16u, 64u));
+
+// ---- Resource monotonicity of Par-EDF --------------------------------------
+
+class ParEdfResourceSweep : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(ParEdfResourceSweep, MoreResourcesNeverIncreaseDrops) {
+  const uint32_t m = GetParam();
+  Instance inst = MakeFamily(Family::kPoissonRateLimited, 9);
+  uint64_t drops_m = offline::DropLowerBound(inst, m);
+  uint64_t drops_m1 = offline::DropLowerBound(inst, m + 1);
+  EXPECT_GE(drops_m, drops_m1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Resources, ParEdfResourceSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 6u, 8u));
+
+}  // namespace
+}  // namespace rrs

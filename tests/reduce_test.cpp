@@ -1,0 +1,471 @@
+// Tests for src/reduce: the Distribute and VarBatch reductions and the
+// end-to-end pipeline (Theorems 2-3 machinery).
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "offline/optimal.h"
+#include "reduce/aggregate.h"
+#include "reduce/distribute.h"
+#include "reduce/punctualize.h"
+#include "reduce/pipeline.h"
+#include "reduce/varbatch.h"
+#include "sched/dlru_edf.h"
+#include "sched/registry.h"
+#include "util/rng.h"
+#include "workload/scenarios.h"
+#include "workload/synthetic.h"
+
+namespace rrs {
+namespace {
+
+using reduce::DistributeInstance;
+using reduce::VarBatchArrival;
+using reduce::VarBatchDelayBound;
+using reduce::VarBatchInstance;
+
+// ----------------------------------------------------------- Distribute ----
+
+TEST(Distribute, SplitsOverfullBatchesIntoSubcolors) {
+  InstanceBuilder b;
+  ColorId c = b.AddColor(2);
+  b.AddJobs(c, 0, 5);  // 5 jobs, D = 2 -> 3 subcolors
+  Instance inst = b.Build();
+  auto t = DistributeInstance(inst);
+  EXPECT_EQ(t.subcolors_per_color[c], 3u);
+  EXPECT_EQ(t.transformed.num_colors(), 3u);
+  EXPECT_TRUE(t.transformed.IsRateLimited());
+  EXPECT_EQ(t.transformed.num_jobs(), 5u);
+  // Subcolor delay bounds inherit the base color's.
+  for (ColorId sub = 0; sub < 3; ++sub) {
+    EXPECT_EQ(t.transformed.delay_bound(sub), 2);
+    EXPECT_EQ(t.base_of[sub], c);
+  }
+  // Ranks 0-1 -> subcolor 0, 2-3 -> subcolor 1, 4 -> subcolor 2.
+  EXPECT_EQ(t.transformed.jobs_per_color(),
+            (std::vector<uint64_t>{2, 2, 1}));
+}
+
+TEST(Distribute, RateLimitedInputPassesThrough) {
+  InstanceBuilder b;
+  ColorId c0 = b.AddColor(4);
+  ColorId c1 = b.AddColor(2);
+  b.AddJobs(c0, 0, 4);
+  b.AddJobs(c1, 2, 2);
+  Instance inst = b.Build();
+  ASSERT_TRUE(inst.IsRateLimited());
+  auto t = DistributeInstance(inst);
+  EXPECT_EQ(t.transformed.num_colors(), inst.num_colors());
+  for (JobId id = 0; id < inst.num_jobs(); ++id) {
+    EXPECT_EQ(t.transformed.job(id).arrival, inst.job(id).arrival);
+  }
+}
+
+TEST(Distribute, JobIdsPreserved) {
+  InstanceBuilder b;
+  ColorId c = b.AddColor(2);
+  b.AddJobs(c, 0, 5);
+  b.AddJobs(c, 4, 3);
+  Instance inst = b.Build();
+  auto t = DistributeInstance(inst);
+  for (JobId id = 0; id < inst.num_jobs(); ++id) {
+    EXPECT_EQ(t.transformed.job(id).arrival, inst.job(id).arrival);
+    EXPECT_EQ(t.base_of[t.transformed.job(id).color], inst.job(id).color);
+  }
+}
+
+TEST(Distribute, RejectsUnbatchedInput) {
+  InstanceBuilder b;
+  ColorId c = b.AddColor(4);
+  b.AddJob(c, 1);
+  Instance inst = b.Build();
+  EXPECT_DEATH(DistributeInstance(inst), "batched");
+}
+
+TEST(Distribute, RunProducesValidProjectedSchedule) {
+  std::vector<workload::ColorSpec> specs = {{2, 3.0}, {4, 2.0}, {8, 1.0}};
+  workload::PoissonOptions gen;
+  gen.rounds = 64;
+  gen.batched = true;  // batched but NOT rate-limited
+  gen.seed = 43;
+  Instance inst = MakePoisson(specs, gen);
+  ASSERT_TRUE(inst.IsBatched());
+
+  DlruEdfPolicy policy;
+  EngineOptions options;
+  options.num_resources = 8;
+  options.cost_model.delta = 2;
+  auto run = reduce::RunDistribute(inst, policy, options);
+  ASSERT_TRUE(run.validation.ok) << run.validation.error;
+
+  // Lemma 4.2: the projected schedule costs at most the inner one.
+  CostModel model = options.cost_model;
+  EXPECT_LE(run.validation.cost.total(model), run.inner.total_cost(model));
+  // Drop cost is exactly preserved (same executions).
+  EXPECT_EQ(run.validation.cost.drops, run.inner.cost.drops);
+}
+
+TEST(Distribute, ProjectionElidesNoopRecolorings) {
+  // Two subcolors of one base color alternating in the inner schedule
+  // project to a single base-color configuration.
+  reduce::DistributeTransform t;
+  t.base_of = {0, 0};
+  Schedule inner(1);
+  inner.AddReconfig(0, 0, 0, 0);   // subcolor (0,0)
+  inner.AddReconfig(3, 0, 0, 1);   // subcolor (0,1): same base color
+  Schedule projected = reduce::ProjectDistributeSchedule(inner, t);
+  EXPECT_EQ(projected.num_reconfigs(), 1u);
+}
+
+// ------------------------------------------------------------- VarBatch ----
+
+TEST(VarBatch, DelayBoundHalving) {
+  EXPECT_EQ(VarBatchDelayBound(1), 1);
+  EXPECT_EQ(VarBatchDelayBound(2), 1);
+  EXPECT_EQ(VarBatchDelayBound(4), 2);
+  EXPECT_EQ(VarBatchDelayBound(8), 4);
+  EXPECT_EQ(VarBatchDelayBound(1024), 512);
+}
+
+TEST(VarBatch, DelayBoundArbitrary) {
+  // Section 5.3: round D down to a power of two, then halve.
+  EXPECT_EQ(VarBatchDelayBound(3), 1);
+  EXPECT_EQ(VarBatchDelayBound(5), 2);
+  EXPECT_EQ(VarBatchDelayBound(7), 2);
+  EXPECT_EQ(VarBatchDelayBound(12), 4);
+}
+
+TEST(VarBatch, ArrivalDelaysToNextHalfBlock) {
+  // D = 8 -> half-blocks of 4.
+  EXPECT_EQ(VarBatchArrival(0, 8), 4);
+  EXPECT_EQ(VarBatchArrival(3, 8), 4);
+  EXPECT_EQ(VarBatchArrival(4, 8), 8);
+  EXPECT_EQ(VarBatchArrival(7, 8), 8);
+  // D = 1: unchanged.
+  EXPECT_EQ(VarBatchArrival(5, 1), 5);
+}
+
+TEST(VarBatch, TransformedWindowInsideOriginal) {
+  // The transformed job's execution window [t', t' + D') must lie inside the
+  // original [t, t + D) for every (t, D) combination.
+  for (Round d : {1, 2, 3, 4, 5, 7, 8, 12, 16, 31, 32}) {
+    for (Round t = 0; t < 70; ++t) {
+      Round t2 = VarBatchArrival(t, d);
+      Round d2 = VarBatchDelayBound(d);
+      EXPECT_GE(t2, t) << "t=" << t << " d=" << d;
+      EXPECT_LE(t2 + d2, t + d) << "t=" << t << " d=" << d;
+    }
+  }
+}
+
+TEST(VarBatch, TransformedInstanceIsBatched) {
+  InstanceBuilder b;
+  ColorId c8 = b.AddColor(8);
+  ColorId c2 = b.AddColor(2);
+  b.AddJob(c8, 3);
+  b.AddJob(c8, 5);
+  b.AddJob(c2, 1);
+  Instance inst = b.Build();
+  auto t = VarBatchInstance(inst);
+  EXPECT_TRUE(t.transformed.IsBatched());
+  EXPECT_EQ(t.transformed.delay_bound(c8), 4);
+  EXPECT_EQ(t.transformed.delay_bound(c2), 1);
+  EXPECT_EQ(t.transformed.num_jobs(), 3u);
+}
+
+TEST(VarBatch, OrigOfMapsBack) {
+  InstanceBuilder b;
+  ColorId c = b.AddColor(8);
+  b.AddJob(c, 6);  // -> arrival 8
+  b.AddJob(c, 1);  // -> arrival 4 (sorts first)
+  Instance inst = b.Build();
+  auto t = VarBatchInstance(inst);
+  // Transformed job 0 arrives at 4 and maps to original job 0 (arrival 1);
+  // note the original builder also sorts, so original job 0 has arrival 1.
+  EXPECT_EQ(t.transformed.job(0).arrival, 4);
+  EXPECT_EQ(inst.job(t.orig_of[0]).arrival, 1);
+  EXPECT_EQ(t.transformed.job(1).arrival, 8);
+  EXPECT_EQ(inst.job(t.orig_of[1]).arrival, 6);
+}
+
+// ------------------------------------------------------------ Aggregate ----
+
+TEST(Aggregate, RebuildsAnyScheduleOnTripleResources) {
+  // Lemma 4.1 constructively: take an arbitrary offline schedule T for a
+  // batched instance (here: several engine policies at m resources), build
+  // T' for the Distribute instance on 3m resources, and certify that it
+  // executes exactly as many jobs (Lemma 4.5's equal drop cost).
+  Rng rng(443);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<workload::ColorSpec> specs = {{2, 2.0}, {4, 1.5}, {8, 1.0}};
+    workload::PoissonOptions gen;
+    gen.rounds = 48;
+    gen.batched = true;  // batched but NOT rate-limited
+    gen.seed = rng.Next();
+    Instance inst = MakePoisson(specs, gen);
+    if (inst.num_jobs() == 0) continue;
+    auto dt = DistributeInstance(inst);
+
+    for (const char* name : {"greedy-edf", "lazy-greedy"}) {
+      auto policy = MakePolicy(name);
+      EngineOptions options;
+      options.num_resources = 2;
+      options.cost_model.delta = 3;
+      options.record_schedule = true;
+      RunResult t_run = RunPolicy(inst, *policy, options);
+      ASSERT_TRUE(t_run.schedule.has_value());
+
+      auto result =
+          reduce::AggregateSchedule(inst, *t_run.schedule, dt);
+      EXPECT_EQ(result.executed, t_run.executed) << name;
+      EXPECT_EQ(result.schedule.num_resources(), 6u);
+
+      auto v = result.schedule.Validate(dt.transformed);
+      ASSERT_TRUE(v.ok) << name << " trial " << trial << ": " << v.error;
+      EXPECT_EQ(v.cost.drops, t_run.cost.drops) << name;
+
+      // Lemma 4.6's shape: T' reconfiguration cost within a constant factor
+      // of T's TOTAL cost (generous empirical constant).
+      CostModel model = options.cost_model;
+      EXPECT_LE(v.cost.reconfig_cost(model),
+                8 * t_run.total_cost(model) + 8 * model.delta)
+          << name << " trial " << trial;
+    }
+  }
+}
+
+TEST(Aggregate, WorksOnExactOptimalSchedules) {
+  InstanceBuilder b;
+  ColorId c0 = b.AddColor(2);
+  ColorId c1 = b.AddColor(4);
+  b.AddJobs(c0, 0, 5);  // over-full batch: 3 subcolors
+  b.AddJobs(c1, 0, 3);
+  b.AddJobs(c0, 4, 2);
+  Instance inst = b.Build();
+  auto dt = DistributeInstance(inst);
+
+  offline::OptimalOptions options;
+  options.num_resources = 1;
+  options.cost_model.delta = 2;
+  options.reconstruct_schedule = true;
+  auto opt = offline::SolveOptimal(inst, options);
+  ASSERT_TRUE(opt.has_value() && opt->schedule.has_value());
+
+  auto result = reduce::AggregateSchedule(inst, *opt->schedule, dt);
+  auto v = result.schedule.Validate(dt.transformed);
+  ASSERT_TRUE(v.ok) << v.error;
+  EXPECT_EQ(v.executed, opt->schedule->executions().size());
+}
+
+TEST(Aggregate, EmptyScheduleGivesEmptyResult) {
+  InstanceBuilder b;
+  ColorId c = b.AddColor(4);
+  b.AddJobs(c, 0, 2);
+  Instance inst = b.Build();
+  auto dt = DistributeInstance(inst);
+  Schedule t(2, 1);  // executes nothing
+  auto result = reduce::AggregateSchedule(inst, t, dt);
+  EXPECT_EQ(result.executed, 0u);
+  EXPECT_TRUE(result.schedule.Validate(dt.transformed).ok);
+}
+
+// ---------------------------------------------------------- Punctualize ----
+
+TEST(Punctualize, RetimesAnyScheduleIntoPunctualWindows) {
+  // Lemma 5.3 constructively: any offline schedule S for [Δ|1|D|1] becomes a
+  // punctual schedule S' for the VarBatch instance on 7x resources with the
+  // same execution count.
+  Rng rng(449);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<workload::ColorSpec> specs = {
+        {1, 0.4}, {2, 0.6}, {4, 0.6}, {8, 0.5}, {16, 0.3}};
+    workload::PoissonOptions gen;
+    gen.rounds = 48;
+    gen.seed = rng.Next();
+    Instance inst = MakePoisson(specs, gen);
+    if (inst.num_jobs() == 0) continue;
+    auto vb = VarBatchInstance(inst);
+
+    auto policy = MakePolicy("greedy-edf");
+    EngineOptions options;
+    options.num_resources = 2;
+    options.cost_model.delta = 3;
+    options.record_schedule = true;
+    RunResult s_run = RunPolicy(inst, *policy, options);
+    ASSERT_TRUE(s_run.schedule.has_value());
+
+    auto result = reduce::PunctualizeSchedule(inst, *s_run.schedule, vb);
+    EXPECT_EQ(result.executed, s_run.executed);
+    EXPECT_EQ(result.schedule.num_resources(), 14u);
+
+    auto v = result.schedule.Validate(vb.transformed);
+    ASSERT_TRUE(v.ok) << "trial " << trial << ": " << v.error;
+    EXPECT_EQ(v.cost.drops, s_run.cost.drops);
+  }
+}
+
+TEST(Punctualize, HandlesNonPowerOfTwoDelays) {
+  InstanceBuilder b;
+  ColorId c3 = b.AddColor(3);
+  ColorId c5 = b.AddColor(5);
+  Rng rng(457);
+  for (int i = 0; i < 30; ++i) {
+    b.AddJob(c3, static_cast<Round>(rng.NextBounded(20)));
+    b.AddJob(c5, static_cast<Round>(rng.NextBounded(20)));
+  }
+  Instance inst = b.Build();
+  auto vb = VarBatchInstance(inst);
+
+  auto policy = MakePolicy("lazy-greedy");
+  EngineOptions options;
+  options.num_resources = 2;
+  options.record_schedule = true;
+  RunResult s_run = RunPolicy(inst, *policy, options);
+  ASSERT_TRUE(s_run.schedule.has_value());
+
+  auto result = reduce::PunctualizeSchedule(inst, *s_run.schedule, vb);
+  auto v = result.schedule.Validate(vb.transformed);
+  ASSERT_TRUE(v.ok) << v.error;
+  EXPECT_EQ(v.executed, s_run.executed);
+}
+
+TEST(Punctualize, ComposedTheorem3OfflineChain) {
+  // The full offline direction of Theorem 3, executed: exact OPT on the
+  // original instance -> Punctualize (Lemma 5.3, 7x resources, VarBatch
+  // instance) -> Aggregate (Lemma 4.1, 3x more, Distribute instance). The
+  // final schedule lives on the SAME fully-transformed instance ΔLRU-EDF
+  // runs on, executes exactly OPT's job count, and validates.
+  InstanceBuilder b;
+  ColorId urgent = b.AddColor(2);
+  ColorId relaxed = b.AddColor(8);
+  for (Round t = 0; t < 12; t += 3) b.AddJobs(urgent, t, 2);
+  b.AddJobs(relaxed, 1, 5);
+  Instance inst = b.Build();
+
+  offline::OptimalOptions opt_options;
+  opt_options.num_resources = 1;
+  opt_options.cost_model.delta = 2;
+  opt_options.reconstruct_schedule = true;
+  auto opt = offline::SolveOptimal(inst, opt_options);
+  ASSERT_TRUE(opt.has_value() && opt->schedule.has_value());
+
+  auto vb = VarBatchInstance(inst);
+  auto punctual = reduce::PunctualizeSchedule(inst, *opt->schedule, vb);
+  ASSERT_TRUE(punctual.schedule.Validate(vb.transformed).ok);
+
+  auto dt = DistributeInstance(vb.transformed);
+  auto aggregated =
+      reduce::AggregateSchedule(vb.transformed, punctual.schedule, dt);
+  auto v = aggregated.schedule.Validate(dt.transformed);
+  ASSERT_TRUE(v.ok) << v.error;
+  EXPECT_EQ(v.executed, opt->schedule->executions().size());
+  EXPECT_EQ(aggregated.schedule.num_resources(), 21u);  // 1 -> 7 -> 21
+}
+
+// ------------------------------------------------------------- Pipeline ----
+
+TEST(Pipeline, SolveBatchedValidatesAndBoundsCost) {
+  std::vector<workload::ColorSpec> specs = {{2, 3.0}, {4, 1.5}, {8, 1.0}};
+  workload::PoissonOptions gen;
+  gen.rounds = 64;
+  gen.batched = true;
+  gen.seed = 47;
+  Instance inst = MakePoisson(specs, gen);
+
+  EngineOptions options;
+  options.num_resources = 8;
+  options.cost_model.delta = 2;
+  auto result = reduce::SolveBatched(inst, options);
+  ASSERT_TRUE(result.validation.ok) << result.validation.error;
+  EXPECT_LE(result.cost().total(options.cost_model),
+            result.inner.total_cost(options.cost_model));
+}
+
+TEST(Pipeline, SolveOnlineHandlesArbitraryArrivals) {
+  std::vector<workload::ColorSpec> specs = {{2, 1.0}, {4, 1.0}, {16, 0.5}};
+  workload::PoissonOptions gen;
+  gen.rounds = 128;
+  gen.seed = 53;
+  Instance inst = MakePoisson(specs, gen);
+  ASSERT_FALSE(inst.IsBatched());
+
+  EngineOptions options;
+  options.num_resources = 8;
+  options.cost_model.delta = 3;
+  auto result = reduce::SolveOnline(inst, options);
+  ASSERT_TRUE(result.validation.ok) << result.validation.error;
+  // Executed + dropped == all jobs, on the ORIGINAL instance.
+  EXPECT_EQ(result.validation.executed + result.cost().drops,
+            inst.num_jobs());
+}
+
+TEST(Pipeline, SolveOnlineHandlesNonPowerOfTwoDelays) {
+  InstanceBuilder b;
+  ColorId c3 = b.AddColor(3);
+  ColorId c5 = b.AddColor(5);
+  ColorId c12 = b.AddColor(12);
+  Rng rng(59);
+  for (int i = 0; i < 60; ++i) {
+    b.AddJob(c3, static_cast<Round>(rng.NextBounded(40)));
+    b.AddJob(c5, static_cast<Round>(rng.NextBounded(40)));
+    b.AddJob(c12, static_cast<Round>(rng.NextBounded(40)));
+  }
+  Instance inst = b.Build();
+  EngineOptions options;
+  options.num_resources = 8;
+  options.cost_model.delta = 2;
+  auto result = reduce::SolveOnline(inst, options);
+  ASSERT_TRUE(result.validation.ok) << result.validation.error;
+}
+
+TEST(Pipeline, SolveOnlineOnScenarioWorkloads) {
+  workload::RouterOptions router;
+  router.rounds = 256;
+  router.seed = 61;
+  Instance inst = workload::MakeRouterScenario(
+      workload::DefaultRouterServices(), router);
+
+  EngineOptions options;
+  options.num_resources = 12;
+  options.cost_model.delta = 4;
+  auto result = reduce::SolveOnline(inst, options);
+  ASSERT_TRUE(result.validation.ok) << result.validation.error;
+  // Sanity: the pipeline does real work on a loaded scenario.
+  EXPECT_GT(result.validation.executed, 0u);
+}
+
+TEST(Pipeline, DelayOnlyReductionNeverBeatsMoreSlack) {
+  // The pipeline on an instance with doubled delay bounds should not be more
+  // expensive than on the halved one for the same arrivals (more slack can
+  // only help this deterministic policy family on average; we assert the
+  // weaker sanity property that both validate and produce consistent
+  // accounting rather than a cost inequality, which does not hold pointwise).
+  std::vector<workload::ColorSpec> tight = {{2, 1.0}, {4, 1.0}};
+  std::vector<workload::ColorSpec> loose = {{4, 1.0}, {8, 1.0}};
+  workload::PoissonOptions gen;
+  gen.rounds = 64;
+  gen.seed = 67;
+  Instance tight_inst = MakePoisson(tight, gen);
+  Instance loose_inst = MakePoisson(loose, gen);
+
+  EngineOptions options;
+  options.num_resources = 8;
+  options.cost_model.delta = 2;
+  auto a = reduce::SolveOnline(tight_inst, options);
+  auto b = reduce::SolveOnline(loose_inst, options);
+  EXPECT_TRUE(a.validation.ok);
+  EXPECT_TRUE(b.validation.ok);
+}
+
+TEST(Pipeline, EmptyInstance) {
+  InstanceBuilder b;
+  b.AddColor(4);
+  Instance inst = b.Build();
+  EngineOptions options;
+  options.num_resources = 8;
+  auto result = reduce::SolveOnline(inst, options);
+  EXPECT_TRUE(result.validation.ok);
+  EXPECT_EQ(result.cost().total(options.cost_model), 0u);
+}
+
+}  // namespace
+}  // namespace rrs

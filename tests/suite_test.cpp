@@ -1,0 +1,42 @@
+// Tests for the experiment-suite registry: ids are unique and ordered, every
+// entry carries a claim, and a representative entry produces its table
+// through the registry path.
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "analysis/suite.h"
+
+namespace rrs {
+namespace {
+
+TEST(Suite, IdsUniqueAndComplete) {
+  auto suite = analysis::ExperimentSuite();
+  ASSERT_GE(suite.size(), 11u);
+  std::set<std::string> ids;
+  for (const auto& spec : suite) {
+    EXPECT_TRUE(ids.insert(spec.id).second) << "duplicate id " << spec.id;
+    EXPECT_FALSE(spec.title.empty()) << spec.id;
+    EXPECT_FALSE(spec.claim.empty()) << spec.id;
+    EXPECT_TRUE(static_cast<bool>(spec.run)) << spec.id;
+  }
+  EXPECT_TRUE(ids.count("E1"));
+  EXPECT_TRUE(ids.count("E8"));
+  EXPECT_TRUE(ids.count("E14"));
+}
+
+TEST(Suite, RegistryRunsAnExperiment) {
+  auto suite = analysis::ExperimentSuite();
+  // E1 is cheap and deterministic; run it through the registry.
+  for (const auto& spec : suite) {
+    if (spec.id != "E1") continue;
+    Table table = spec.run();
+    EXPECT_GT(table.num_rows(), 0u);
+    EXPECT_GT(table.num_cols(), 0u);
+    return;
+  }
+  FAIL() << "E1 missing from the suite";
+}
+
+}  // namespace
+}  // namespace rrs
