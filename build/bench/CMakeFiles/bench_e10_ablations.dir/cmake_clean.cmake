@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_ablations.dir/bench_e10_ablations.cpp.o"
+  "CMakeFiles/bench_e10_ablations.dir/bench_e10_ablations.cpp.o.d"
+  "bench_e10_ablations"
+  "bench_e10_ablations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_ablations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

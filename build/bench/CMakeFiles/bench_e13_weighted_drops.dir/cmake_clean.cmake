@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_weighted_drops.dir/bench_e13_weighted_drops.cpp.o"
+  "CMakeFiles/bench_e13_weighted_drops.dir/bench_e13_weighted_drops.cpp.o.d"
+  "bench_e13_weighted_drops"
+  "bench_e13_weighted_drops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_weighted_drops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e14_lookahead.dir/bench_e14_lookahead.cpp.o"
+  "CMakeFiles/bench_e14_lookahead.dir/bench_e14_lookahead.cpp.o.d"
+  "bench_e14_lookahead"
+  "bench_e14_lookahead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e14_lookahead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

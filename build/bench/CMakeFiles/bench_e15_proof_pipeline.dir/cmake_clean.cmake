@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e15_proof_pipeline.dir/bench_e15_proof_pipeline.cpp.o"
+  "CMakeFiles/bench_e15_proof_pipeline.dir/bench_e15_proof_pipeline.cpp.o.d"
+  "bench_e15_proof_pipeline"
+  "bench_e15_proof_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e15_proof_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

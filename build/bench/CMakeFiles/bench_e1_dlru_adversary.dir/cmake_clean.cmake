@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_dlru_adversary.dir/bench_e1_dlru_adversary.cpp.o"
+  "CMakeFiles/bench_e1_dlru_adversary.dir/bench_e1_dlru_adversary.cpp.o.d"
+  "bench_e1_dlru_adversary"
+  "bench_e1_dlru_adversary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_dlru_adversary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

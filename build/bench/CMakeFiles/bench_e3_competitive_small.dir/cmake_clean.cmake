@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_competitive_small.dir/bench_e3_competitive_small.cpp.o"
+  "CMakeFiles/bench_e3_competitive_small.dir/bench_e3_competitive_small.cpp.o.d"
+  "bench_e3_competitive_small"
+  "bench_e3_competitive_small.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_competitive_small.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_augmentation.dir/bench_e4_augmentation.cpp.o"
+  "CMakeFiles/bench_e4_augmentation.dir/bench_e4_augmentation.cpp.o.d"
+  "bench_e4_augmentation"
+  "bench_e4_augmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_augmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_intro_scenario.dir/bench_e6_intro_scenario.cpp.o"
+  "CMakeFiles/bench_e6_intro_scenario.dir/bench_e6_intro_scenario.cpp.o.d"
+  "bench_e6_intro_scenario"
+  "bench_e6_intro_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_intro_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adversary_explorer.dir/adversary_explorer.cpp.o"
+  "CMakeFiles/adversary_explorer.dir/adversary_explorer.cpp.o.d"
+  "adversary_explorer"
+  "adversary_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adversary_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

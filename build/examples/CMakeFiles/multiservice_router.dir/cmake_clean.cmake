@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiservice_router.dir/multiservice_router.cpp.o"
+  "CMakeFiles/multiservice_router.dir/multiservice_router.cpp.o.d"
+  "multiservice_router"
+  "multiservice_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiservice_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

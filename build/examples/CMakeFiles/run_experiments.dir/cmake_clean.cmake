@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_experiments.dir/run_experiments.cpp.o"
+  "CMakeFiles/run_experiments.dir/run_experiments.cpp.o.d"
+  "run_experiments"
+  "run_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

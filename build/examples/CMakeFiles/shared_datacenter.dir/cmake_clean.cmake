@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_datacenter.dir/shared_datacenter.cpp.o"
+  "CMakeFiles/shared_datacenter.dir/shared_datacenter.cpp.o.d"
+  "shared_datacenter"
+  "shared_datacenter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_datacenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/experiments_adversary.cpp" "src/CMakeFiles/rrsched.dir/analysis/experiments_adversary.cpp.o" "gcc" "src/CMakeFiles/rrsched.dir/analysis/experiments_adversary.cpp.o.d"
+  "/root/repo/src/analysis/experiments_ratio.cpp" "src/CMakeFiles/rrsched.dir/analysis/experiments_ratio.cpp.o" "gcc" "src/CMakeFiles/rrsched.dir/analysis/experiments_ratio.cpp.o.d"
+  "/root/repo/src/analysis/experiments_reduction.cpp" "src/CMakeFiles/rrsched.dir/analysis/experiments_reduction.cpp.o" "gcc" "src/CMakeFiles/rrsched.dir/analysis/experiments_reduction.cpp.o.d"
+  "/root/repo/src/analysis/ratio.cpp" "src/CMakeFiles/rrsched.dir/analysis/ratio.cpp.o" "gcc" "src/CMakeFiles/rrsched.dir/analysis/ratio.cpp.o.d"
+  "/root/repo/src/analysis/runner.cpp" "src/CMakeFiles/rrsched.dir/analysis/runner.cpp.o" "gcc" "src/CMakeFiles/rrsched.dir/analysis/runner.cpp.o.d"
+  "/root/repo/src/analysis/suite.cpp" "src/CMakeFiles/rrsched.dir/analysis/suite.cpp.o" "gcc" "src/CMakeFiles/rrsched.dir/analysis/suite.cpp.o.d"
+  "/root/repo/src/analysis/sweep.cpp" "src/CMakeFiles/rrsched.dir/analysis/sweep.cpp.o" "gcc" "src/CMakeFiles/rrsched.dir/analysis/sweep.cpp.o.d"
+  "/root/repo/src/analysis/timeline.cpp" "src/CMakeFiles/rrsched.dir/analysis/timeline.cpp.o" "gcc" "src/CMakeFiles/rrsched.dir/analysis/timeline.cpp.o.d"
+  "/root/repo/src/container/lru_tracker.cpp" "src/CMakeFiles/rrsched.dir/container/lru_tracker.cpp.o" "gcc" "src/CMakeFiles/rrsched.dir/container/lru_tracker.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "src/CMakeFiles/rrsched.dir/core/engine.cpp.o" "gcc" "src/CMakeFiles/rrsched.dir/core/engine.cpp.o.d"
+  "/root/repo/src/core/instance.cpp" "src/CMakeFiles/rrsched.dir/core/instance.cpp.o" "gcc" "src/CMakeFiles/rrsched.dir/core/instance.cpp.o.d"
+  "/root/repo/src/core/schedule.cpp" "src/CMakeFiles/rrsched.dir/core/schedule.cpp.o" "gcc" "src/CMakeFiles/rrsched.dir/core/schedule.cpp.o.d"
+  "/root/repo/src/core/stream_engine.cpp" "src/CMakeFiles/rrsched.dir/core/stream_engine.cpp.o" "gcc" "src/CMakeFiles/rrsched.dir/core/stream_engine.cpp.o.d"
+  "/root/repo/src/offline/bruteforce.cpp" "src/CMakeFiles/rrsched.dir/offline/bruteforce.cpp.o" "gcc" "src/CMakeFiles/rrsched.dir/offline/bruteforce.cpp.o.d"
+  "/root/repo/src/offline/clairvoyant.cpp" "src/CMakeFiles/rrsched.dir/offline/clairvoyant.cpp.o" "gcc" "src/CMakeFiles/rrsched.dir/offline/clairvoyant.cpp.o.d"
+  "/root/repo/src/offline/lower_bound.cpp" "src/CMakeFiles/rrsched.dir/offline/lower_bound.cpp.o" "gcc" "src/CMakeFiles/rrsched.dir/offline/lower_bound.cpp.o.d"
+  "/root/repo/src/offline/nice_schedule.cpp" "src/CMakeFiles/rrsched.dir/offline/nice_schedule.cpp.o" "gcc" "src/CMakeFiles/rrsched.dir/offline/nice_schedule.cpp.o.d"
+  "/root/repo/src/offline/optimal.cpp" "src/CMakeFiles/rrsched.dir/offline/optimal.cpp.o" "gcc" "src/CMakeFiles/rrsched.dir/offline/optimal.cpp.o.d"
+  "/root/repo/src/parallel/thread_pool.cpp" "src/CMakeFiles/rrsched.dir/parallel/thread_pool.cpp.o" "gcc" "src/CMakeFiles/rrsched.dir/parallel/thread_pool.cpp.o.d"
+  "/root/repo/src/reduce/aggregate.cpp" "src/CMakeFiles/rrsched.dir/reduce/aggregate.cpp.o" "gcc" "src/CMakeFiles/rrsched.dir/reduce/aggregate.cpp.o.d"
+  "/root/repo/src/reduce/distribute.cpp" "src/CMakeFiles/rrsched.dir/reduce/distribute.cpp.o" "gcc" "src/CMakeFiles/rrsched.dir/reduce/distribute.cpp.o.d"
+  "/root/repo/src/reduce/online.cpp" "src/CMakeFiles/rrsched.dir/reduce/online.cpp.o" "gcc" "src/CMakeFiles/rrsched.dir/reduce/online.cpp.o.d"
+  "/root/repo/src/reduce/pipeline.cpp" "src/CMakeFiles/rrsched.dir/reduce/pipeline.cpp.o" "gcc" "src/CMakeFiles/rrsched.dir/reduce/pipeline.cpp.o.d"
+  "/root/repo/src/reduce/punctualize.cpp" "src/CMakeFiles/rrsched.dir/reduce/punctualize.cpp.o" "gcc" "src/CMakeFiles/rrsched.dir/reduce/punctualize.cpp.o.d"
+  "/root/repo/src/reduce/varbatch.cpp" "src/CMakeFiles/rrsched.dir/reduce/varbatch.cpp.o" "gcc" "src/CMakeFiles/rrsched.dir/reduce/varbatch.cpp.o.d"
+  "/root/repo/src/sched/batched_base.cpp" "src/CMakeFiles/rrsched.dir/sched/batched_base.cpp.o" "gcc" "src/CMakeFiles/rrsched.dir/sched/batched_base.cpp.o.d"
+  "/root/repo/src/sched/cache_slots.cpp" "src/CMakeFiles/rrsched.dir/sched/cache_slots.cpp.o" "gcc" "src/CMakeFiles/rrsched.dir/sched/cache_slots.cpp.o.d"
+  "/root/repo/src/sched/color_state.cpp" "src/CMakeFiles/rrsched.dir/sched/color_state.cpp.o" "gcc" "src/CMakeFiles/rrsched.dir/sched/color_state.cpp.o.d"
+  "/root/repo/src/sched/dlru.cpp" "src/CMakeFiles/rrsched.dir/sched/dlru.cpp.o" "gcc" "src/CMakeFiles/rrsched.dir/sched/dlru.cpp.o.d"
+  "/root/repo/src/sched/dlru_edf.cpp" "src/CMakeFiles/rrsched.dir/sched/dlru_edf.cpp.o" "gcc" "src/CMakeFiles/rrsched.dir/sched/dlru_edf.cpp.o.d"
+  "/root/repo/src/sched/edf.cpp" "src/CMakeFiles/rrsched.dir/sched/edf.cpp.o" "gcc" "src/CMakeFiles/rrsched.dir/sched/edf.cpp.o.d"
+  "/root/repo/src/sched/greedy.cpp" "src/CMakeFiles/rrsched.dir/sched/greedy.cpp.o" "gcc" "src/CMakeFiles/rrsched.dir/sched/greedy.cpp.o.d"
+  "/root/repo/src/sched/invariant_checker.cpp" "src/CMakeFiles/rrsched.dir/sched/invariant_checker.cpp.o" "gcc" "src/CMakeFiles/rrsched.dir/sched/invariant_checker.cpp.o.d"
+  "/root/repo/src/sched/lookahead.cpp" "src/CMakeFiles/rrsched.dir/sched/lookahead.cpp.o" "gcc" "src/CMakeFiles/rrsched.dir/sched/lookahead.cpp.o.d"
+  "/root/repo/src/sched/par_edf.cpp" "src/CMakeFiles/rrsched.dir/sched/par_edf.cpp.o" "gcc" "src/CMakeFiles/rrsched.dir/sched/par_edf.cpp.o.d"
+  "/root/repo/src/sched/registry.cpp" "src/CMakeFiles/rrsched.dir/sched/registry.cpp.o" "gcc" "src/CMakeFiles/rrsched.dir/sched/registry.cpp.o.d"
+  "/root/repo/src/sched/super_epoch.cpp" "src/CMakeFiles/rrsched.dir/sched/super_epoch.cpp.o" "gcc" "src/CMakeFiles/rrsched.dir/sched/super_epoch.cpp.o.d"
+  "/root/repo/src/util/check.cpp" "src/CMakeFiles/rrsched.dir/util/check.cpp.o" "gcc" "src/CMakeFiles/rrsched.dir/util/check.cpp.o.d"
+  "/root/repo/src/util/flags.cpp" "src/CMakeFiles/rrsched.dir/util/flags.cpp.o" "gcc" "src/CMakeFiles/rrsched.dir/util/flags.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/rrsched.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/rrsched.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/rrsched.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/rrsched.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/str.cpp" "src/CMakeFiles/rrsched.dir/util/str.cpp.o" "gcc" "src/CMakeFiles/rrsched.dir/util/str.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/rrsched.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/rrsched.dir/util/table.cpp.o.d"
+  "/root/repo/src/workload/adversary.cpp" "src/CMakeFiles/rrsched.dir/workload/adversary.cpp.o" "gcc" "src/CMakeFiles/rrsched.dir/workload/adversary.cpp.o.d"
+  "/root/repo/src/workload/mix.cpp" "src/CMakeFiles/rrsched.dir/workload/mix.cpp.o" "gcc" "src/CMakeFiles/rrsched.dir/workload/mix.cpp.o.d"
+  "/root/repo/src/workload/scenarios.cpp" "src/CMakeFiles/rrsched.dir/workload/scenarios.cpp.o" "gcc" "src/CMakeFiles/rrsched.dir/workload/scenarios.cpp.o.d"
+  "/root/repo/src/workload/synthetic.cpp" "src/CMakeFiles/rrsched.dir/workload/synthetic.cpp.o" "gcc" "src/CMakeFiles/rrsched.dir/workload/synthetic.cpp.o.d"
+  "/root/repo/src/workload/trace_stats.cpp" "src/CMakeFiles/rrsched.dir/workload/trace_stats.cpp.o" "gcc" "src/CMakeFiles/rrsched.dir/workload/trace_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

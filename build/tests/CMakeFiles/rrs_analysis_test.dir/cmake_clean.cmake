@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrs_analysis_test.dir/analysis_test.cpp.o"
+  "CMakeFiles/rrs_analysis_test.dir/analysis_test.cpp.o.d"
+  "rrs_analysis_test"
+  "rrs_analysis_test.pdb"
+  "rrs_analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrs_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

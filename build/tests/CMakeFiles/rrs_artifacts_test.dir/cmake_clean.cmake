@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrs_artifacts_test.dir/artifacts_test.cpp.o"
+  "CMakeFiles/rrs_artifacts_test.dir/artifacts_test.cpp.o.d"
+  "rrs_artifacts_test"
+  "rrs_artifacts_test.pdb"
+  "rrs_artifacts_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrs_artifacts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrs_container_test.dir/container_test.cpp.o"
+  "CMakeFiles/rrs_container_test.dir/container_test.cpp.o.d"
+  "rrs_container_test"
+  "rrs_container_test.pdb"
+  "rrs_container_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrs_container_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrs_core_test.dir/core_test.cpp.o"
+  "CMakeFiles/rrs_core_test.dir/core_test.cpp.o.d"
+  "rrs_core_test"
+  "rrs_core_test.pdb"
+  "rrs_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrs_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrs_differential_test.dir/differential_test.cpp.o"
+  "CMakeFiles/rrs_differential_test.dir/differential_test.cpp.o.d"
+  "rrs_differential_test"
+  "rrs_differential_test.pdb"
+  "rrs_differential_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrs_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrs_instrumentation_test.dir/instrumentation_test.cpp.o"
+  "CMakeFiles/rrs_instrumentation_test.dir/instrumentation_test.cpp.o.d"
+  "rrs_instrumentation_test"
+  "rrs_instrumentation_test.pdb"
+  "rrs_instrumentation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrs_instrumentation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrs_integration_test.dir/integration_test.cpp.o"
+  "CMakeFiles/rrs_integration_test.dir/integration_test.cpp.o.d"
+  "rrs_integration_test"
+  "rrs_integration_test.pdb"
+  "rrs_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrs_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrs_offline_test.dir/offline_test.cpp.o"
+  "CMakeFiles/rrs_offline_test.dir/offline_test.cpp.o.d"
+  "rrs_offline_test"
+  "rrs_offline_test.pdb"
+  "rrs_offline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrs_offline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

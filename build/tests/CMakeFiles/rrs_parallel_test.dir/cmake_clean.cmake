@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrs_parallel_test.dir/parallel_test.cpp.o"
+  "CMakeFiles/rrs_parallel_test.dir/parallel_test.cpp.o.d"
+  "rrs_parallel_test"
+  "rrs_parallel_test.pdb"
+  "rrs_parallel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrs_parallel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrs_property_test.dir/property_test.cpp.o"
+  "CMakeFiles/rrs_property_test.dir/property_test.cpp.o.d"
+  "rrs_property_test"
+  "rrs_property_test.pdb"
+  "rrs_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrs_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrs_reduce_test.dir/reduce_test.cpp.o"
+  "CMakeFiles/rrs_reduce_test.dir/reduce_test.cpp.o.d"
+  "rrs_reduce_test"
+  "rrs_reduce_test.pdb"
+  "rrs_reduce_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrs_reduce_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrs_sched_test.dir/sched_test.cpp.o"
+  "CMakeFiles/rrs_sched_test.dir/sched_test.cpp.o.d"
+  "rrs_sched_test"
+  "rrs_sched_test.pdb"
+  "rrs_sched_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrs_sched_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrs_stream_test.dir/stream_test.cpp.o"
+  "CMakeFiles/rrs_stream_test.dir/stream_test.cpp.o.d"
+  "rrs_stream_test"
+  "rrs_stream_test.pdb"
+  "rrs_stream_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrs_stream_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

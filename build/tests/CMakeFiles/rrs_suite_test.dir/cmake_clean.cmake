@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrs_suite_test.dir/suite_test.cpp.o"
+  "CMakeFiles/rrs_suite_test.dir/suite_test.cpp.o.d"
+  "rrs_suite_test"
+  "rrs_suite_test.pdb"
+  "rrs_suite_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrs_suite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrs_util_test.dir/util_test.cpp.o"
+  "CMakeFiles/rrs_util_test.dir/util_test.cpp.o.d"
+  "rrs_util_test"
+  "rrs_util_test.pdb"
+  "rrs_util_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrs_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrs_workload_test.dir/workload_test.cpp.o"
+  "CMakeFiles/rrs_workload_test.dir/workload_test.cpp.o.d"
+  "rrs_workload_test"
+  "rrs_workload_test.pdb"
+  "rrs_workload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrs_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/rrs_util_test[1]_include.cmake")
+include("/root/repo/build/tests/rrs_container_test[1]_include.cmake")
+include("/root/repo/build/tests/rrs_parallel_test[1]_include.cmake")
+include("/root/repo/build/tests/rrs_core_test[1]_include.cmake")
+include("/root/repo/build/tests/rrs_sched_test[1]_include.cmake")
+include("/root/repo/build/tests/rrs_workload_test[1]_include.cmake")
+include("/root/repo/build/tests/rrs_reduce_test[1]_include.cmake")
+include("/root/repo/build/tests/rrs_offline_test[1]_include.cmake")
+include("/root/repo/build/tests/rrs_analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/rrs_property_test[1]_include.cmake")
+include("/root/repo/build/tests/rrs_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/rrs_stream_test[1]_include.cmake")
+include("/root/repo/build/tests/rrs_instrumentation_test[1]_include.cmake")
+include("/root/repo/build/tests/rrs_artifacts_test[1]_include.cmake")
+include("/root/repo/build/tests/rrs_differential_test[1]_include.cmake")
+include("/root/repo/build/tests/rrs_suite_test[1]_include.cmake")
