@@ -5,6 +5,7 @@
 #include "offline/clairvoyant.h"
 #include "offline/lower_bound.h"
 #include "offline/optimal.h"
+#include "parallel/thread_pool.h"
 
 namespace rrs {
 namespace analysis {
@@ -47,6 +48,31 @@ RatioBracket MeasureRatioBracket(const Instance& instance,
   out.heuristic_policy = heuristic.best_policy;
   out.ratio_lower = SafeRatio(online_cost, out.heuristic_cost);
   out.ratio_upper = SafeRatio(online_cost, out.lower_bound);
+  return out;
+}
+
+std::vector<RatioBracket> MeasureRatioBrackets(
+    ThreadPool& pool, const Instance& instance,
+    std::span<const uint64_t> online_costs, uint32_t m,
+    const CostModel& model) {
+  // The two certified bounds are independent; overlap them.
+  auto lb_future =
+      pool.Submit([&] { return offline::LowerBound(instance, m, model); });
+  auto heuristic = offline::ClairvoyantCost(instance, m, model);
+  const uint64_t lower_bound = lb_future.get();
+
+  std::vector<RatioBracket> out;
+  out.reserve(online_costs.size());
+  for (uint64_t cost : online_costs) {
+    RatioBracket bracket;
+    bracket.online_cost = cost;
+    bracket.lower_bound = lower_bound;
+    bracket.heuristic_cost = heuristic.total_cost;
+    bracket.heuristic_policy = heuristic.best_policy;
+    bracket.ratio_lower = SafeRatio(cost, bracket.heuristic_cost);
+    bracket.ratio_upper = SafeRatio(cost, bracket.lower_bound);
+    out.push_back(std::move(bracket));
+  }
   return out;
 }
 

@@ -10,12 +10,17 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "core/cost.h"
 #include "core/instance.h"
 
 namespace rrs {
+
+class ThreadPool;
+
 namespace analysis {
 
 struct ExactRatio {
@@ -43,6 +48,16 @@ struct RatioBracket {
 RatioBracket MeasureRatioBracket(const Instance& instance,
                                  uint64_t online_cost, uint32_t m,
                                  const CostModel& model);
+
+// Batched bracket for several online costs against the same
+// (instance, m, model). The certified bounds depend only on those shared
+// arguments, so the lower bound and the clairvoyant heuristic are computed
+// once — concurrently on `pool` — instead of once per online cost.
+// out[i] is the bracket for online_costs[i].
+std::vector<RatioBracket> MeasureRatioBrackets(
+    ThreadPool& pool, const Instance& instance,
+    std::span<const uint64_t> online_costs, uint32_t m,
+    const CostModel& model);
 
 }  // namespace analysis
 }  // namespace rrs

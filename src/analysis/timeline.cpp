@@ -13,16 +13,13 @@ namespace analysis {
 class TimelinePolicy::CountingView : public ResourceView {
  public:
   CountingView(ResourceView& inner, uint64_t& counter)
-      : inner_(inner), counter_(counter) {}
+      : ResourceView(inner.pending_table()), inner_(inner), counter_(counter) {}
 
   uint32_t num_resources() const override { return inner_.num_resources(); }
   ColorId color_of(ResourceId r) const override { return inner_.color_of(r); }
   void SetColor(ResourceId r, ColorId c) override {
     if (inner_.color_of(r) != c) ++counter_;
     inner_.SetColor(r, c);
-  }
-  uint64_t pending_count(ColorId c) const override {
-    return inner_.pending_count(c);
   }
   Round earliest_deadline(ColorId c) const override {
     return inner_.earliest_deadline(c);

@@ -6,11 +6,20 @@
 // timestamps are the recency values, and each reconfiguration phase asks for
 // the top n/2 (ΔLRU) or n/4 (ΔLRU-EDF) members. Ties are broken by ascending
 // key, matching the library-wide "consistent order of colors".
+//
+// Layout: flat arrays over the key universe (dense member list + per-key slot
+// index), not an ordered tree. The scheduler hot path touches timestamps far
+// more often than it asks for the top-k (every counter-wrap/boundary event vs
+// once per reconfiguration phase), so Insert/Touch/Remove are O(1) with zero
+// allocation and TopK does an O(members) selection against a preallocated
+// scratch buffer. The key universe (color count) is small and fixed per run,
+// which keeps the scan cache-friendly; the previous std::set implementation
+// paid a node allocation plus rebalancing per touch and was the top
+// non-engine entry in the BM_DlruEdf profile.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <set>
 #include <utility>
 #include <vector>
 
@@ -22,8 +31,14 @@ class LruTracker {
 
   explicit LruTracker(size_t capacity);
 
-  size_t size() const { return entries_.size(); }
-  bool empty() const { return entries_.empty(); }
+  size_t size() const { return members_.size(); }
+  bool empty() const { return members_.empty(); }
+
+  // The member set in unspecified order (dense backing array). Lets callers
+  // whose "universe of interest" is exactly the tracked set iterate it
+  // without maintaining a second list.
+  const std::vector<key_type>& members() const { return members_; }
+
 
   bool Contains(key_type key) const;
 
@@ -45,7 +60,7 @@ class LruTracker {
   std::vector<key_type> TopK(size_t k) const;
 
   // Appends the up-to-k most recent keys to out (avoids allocation in the
-  // per-round scheduler hot path).
+  // per-round scheduler hot path once the scratch buffer has warmed up).
   void TopK(size_t k, std::vector<key_type>& out) const;
 
   // The least recent member, or returns false if empty.
@@ -53,12 +68,15 @@ class LruTracker {
 
   void Clear();
 
-  // O(n) consistency check between the ordered set and the per-key index.
+  // O(n) consistency check between the member list and the per-key index.
   bool CheckInvariants() const;
 
  private:
-  // Ordered most-recent-first: larger timestamp first, then smaller key.
-  struct Order {
+  static constexpr uint32_t kAbsent = static_cast<uint32_t>(-1);
+
+  // Recency order: larger timestamp first, then smaller key. A functor (not
+  // a function pointer) so the selection algorithms inline the comparison.
+  struct MoreRecent {
     bool operator()(const std::pair<int64_t, key_type>& a,
                     const std::pair<int64_t, key_type>& b) const {
       if (a.first != b.first) return a.first > b.first;
@@ -66,9 +84,13 @@ class LruTracker {
     }
   };
 
-  std::set<std::pair<int64_t, key_type>, Order> entries_;
-  std::vector<int64_t> timestamp_;  // valid iff present_[key]
-  std::vector<uint8_t> present_;
+  std::vector<key_type> members_;   // dense, unordered
+  std::vector<uint32_t> slot_;      // key -> index in members_, or kAbsent
+  // Timestamps parallel to members_ (slot-indexed, not key-indexed): TopK
+  // and Oldest stream two dense arrays instead of gathering by key.
+  std::vector<int64_t> timestamp_;
+  // TopK selection scratch; mutable so const queries stay allocation-free.
+  mutable std::vector<std::pair<int64_t, key_type>> scratch_;
 };
 
 }  // namespace rrs

@@ -6,15 +6,20 @@
 // mini-round doubling used by double-speed algorithms. Policies only decide
 // resource colors; everything else is fixed by the model.
 //
-// Per-color pending jobs are FIFO deques: a color's deadlines arrive in
-// nondecreasing order (deadline = arrival + D_ℓ with D_ℓ fixed per color), so
-// FIFO order *is* earliest-deadline order and drop-phase expiry only ever
-// pops from the front. Expiry scanning uses per-round buckets so a round's
-// drop phase touches only colors that can actually expire in it.
+// Per-color pending jobs live in power-of-two SoA rings (JobRing) sized to
+// the color's maximum *backlog*, not its total job count: a color's
+// deadlines arrive in nondecreasing order (deadline = arrival + D_ℓ with
+// D_ℓ fixed per color), so FIFO order *is* earliest-deadline order and
+// drop-phase expiry only ever advances the ring head. Ring capacity is
+// reused round over round, so per-run setup is O(num_colors) and the round
+// loop allocates nothing in steady state (gated by bench/bench_baseline).
+// Expiry scanning uses a timing wheel keyed by deadline mod (max D_ℓ + 1),
+// armed during the arrival phase, so a round's drop phase touches only
+// colors that can actually expire in it.
+// See src/core/engine.cpp (SimState) and DESIGN.md §"Engine internals".
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <optional>
 #include <vector>

@@ -68,34 +68,14 @@ Instance InstanceBuilder::Build() {
   return inst;
 }
 
-Round Instance::delay_bound(ColorId c) const {
-  RRS_CHECK_LT(c, delay_bounds_.size());
-  return delay_bounds_[c];
-}
-
 const std::string& Instance::color_name(ColorId c) const {
   RRS_CHECK_LT(c, names_.size());
   return names_[c];
 }
 
-uint64_t Instance::drop_cost(ColorId c) const {
-  RRS_CHECK_LT(c, drop_costs_.size());
-  return drop_costs_[c];
-}
-
 bool Instance::HasUnitDropCosts() const {
   return std::all_of(drop_costs_.begin(), drop_costs_.end(),
                      [](uint64_t w) { return w == 1; });
-}
-
-const Job& Instance::job(JobId id) const {
-  RRS_CHECK_LT(id, jobs_.size());
-  return jobs_[id];
-}
-
-Round Instance::deadline(JobId id) const {
-  const Job& j = job(id);
-  return j.arrival + delay_bounds_[j.color];
 }
 
 std::span<const Job> Instance::jobs_in_round(Round r) const {

@@ -16,6 +16,7 @@
 
 #include "core/job.h"
 #include "core/types.h"
+#include "util/check.h"
 
 namespace rrs {
 
@@ -59,16 +60,31 @@ class Instance {
   size_t num_colors() const { return delay_bounds_.size(); }
   size_t num_jobs() const { return jobs_.size(); }
 
-  Round delay_bound(ColorId c) const;
-  uint64_t drop_cost(ColorId c) const;
+  // Hot accessors are inline (header-defined): the engine and the ranking
+  // loops call them hundreds of times per simulated round, so they must
+  // compile down to a bounds-checked-in-debug array load.
+  Round delay_bound(ColorId c) const {
+    RRS_DCHECK(c < delay_bounds_.size());
+    return delay_bounds_[c];
+  }
+  uint64_t drop_cost(ColorId c) const {
+    RRS_DCHECK(c < drop_costs_.size());
+    return drop_costs_[c];
+  }
   const std::string& color_name(ColorId c) const;
 
   // True when every color has the paper's unit drop cost (the precondition
   // of the Section 3-5 guarantees).
   bool HasUnitDropCosts() const;
 
-  const Job& job(JobId id) const;
-  Round deadline(JobId id) const;
+  const Job& job(JobId id) const {
+    RRS_DCHECK(id < jobs_.size());
+    return jobs_[id];
+  }
+  Round deadline(JobId id) const {
+    const Job& j = job(id);
+    return j.arrival + delay_bounds_[j.color];
+  }
   std::span<const Job> jobs() const { return jobs_; }
 
   // Jobs arriving in round r (empty span if none). JobIds of the span are

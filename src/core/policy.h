@@ -40,6 +40,12 @@ struct EngineOptions {
 
 // Engine-provided window onto the simulation state during a reconfiguration
 // phase. SetColor is the only mutating operation available to policies.
+//
+// pending_count is deliberately NOT virtual: every engine maintains a dense
+// per-color pending-count table and hands the view a pointer to it, so the
+// ranking loops that query pending counts for every eligible color each
+// round (ΔLRU-EDF, EDF, greedy) pay one array load instead of a virtual
+// dispatch into engine-specific queue structures.
 class ResourceView {
  public:
   virtual ~ResourceView() = default;
@@ -51,13 +57,27 @@ class ResourceView {
   // recorded; setting the current color is a no-op (no cost).
   virtual void SetColor(ResourceId r, ColorId c) = 0;
 
-  virtual uint64_t pending_count(ColorId c) const = 0;
+  // Pending color-c jobs; O(1), non-virtual (see class comment).
+  uint64_t pending_count(ColorId c) const { return pending_by_color_[c]; }
+
+  // The engine's per-color pending table (indexed by ColorId); lets wrapper
+  // views forward the non-virtual fast path.
+  const uint64_t* pending_table() const { return pending_by_color_; }
 
   // Earliest deadline among pending color-c jobs; requires pending_count > 0.
   virtual Round earliest_deadline(ColorId c) const = 0;
 
   // Colors with at least one pending job (unordered).
   virtual const std::vector<ColorId>& nonidle_colors() const = 0;
+
+ protected:
+  // `pending_by_color` must stay valid and sized num_colors for the view's
+  // lifetime; the owning engine keeps it current across phases.
+  explicit ResourceView(const uint64_t* pending_by_color)
+      : pending_by_color_(pending_by_color) {}
+
+ private:
+  const uint64_t* pending_by_color_;
 };
 
 class SchedulerPolicy {

@@ -1,0 +1,214 @@
+#include "core/reference_engine.h"
+
+#include <deque>
+#include <vector>
+
+#include "util/check.h"
+
+namespace rrs {
+
+namespace {
+
+// The seed engine's per-run state, retained verbatim (see header).
+struct RefState {
+  explicit RefState(const Instance& instance, const EngineOptions& options)
+      : instance(instance),
+        resource_color(options.num_resources, kNoColor),
+        pending(instance.num_colors()),
+        pending_n(instance.num_colors(), 0),
+        in_nonidle_list(instance.num_colors(), 0),
+        expiry_buckets(static_cast<size_t>(instance.horizon()) + 1),
+        last_bucket_round(instance.num_colors(), -1) {}
+
+  const Instance& instance;
+  std::vector<ColorId> resource_color;
+  std::vector<std::deque<JobId>> pending;  // FIFO == earliest-deadline order
+  std::vector<uint64_t> pending_n;         // pending[c].size(), for the view
+  std::vector<ColorId> nonidle_list;       // lazily compacted
+  std::vector<uint8_t> in_nonidle_list;
+  std::vector<std::vector<ColorId>> expiry_buckets;  // round -> colors
+  std::vector<Round> last_bucket_round;  // dedupe bucket pushes per color
+
+  void AddPending(ColorId c, JobId job) {
+    if (pending[c].empty() && !in_nonidle_list[c]) {
+      in_nonidle_list[c] = 1;
+      nonidle_list.push_back(c);
+    }
+    pending[c].push_back(job);
+    ++pending_n[c];
+  }
+
+  void CompactNonidle() {
+    size_t out = 0;
+    for (size_t i = 0; i < nonidle_list.size(); ++i) {
+      ColorId c = nonidle_list[i];
+      if (!pending[c].empty()) {
+        nonidle_list[out++] = c;
+      } else {
+        in_nonidle_list[c] = 0;
+      }
+    }
+    nonidle_list.resize(out);
+  }
+};
+
+class RefView : public ResourceView {
+ public:
+  RefView(RefState& state, const EngineOptions& options, CostBreakdown& cost,
+          Schedule* schedule)
+      : ResourceView(state.pending_n.data()),
+        state_(state),
+        options_(options),
+        cost_(cost),
+        schedule_(schedule) {}
+
+  void SetPhase(Round round, int mini) {
+    round_ = round;
+    mini_ = mini;
+    compacted_ = false;
+  }
+
+  uint32_t num_resources() const override { return options_.num_resources; }
+
+  ColorId color_of(ResourceId r) const override {
+    RRS_DCHECK(r < state_.resource_color.size());
+    return state_.resource_color[r];
+  }
+
+  void SetColor(ResourceId r, ColorId c) override {
+    RRS_CHECK_LT(r, state_.resource_color.size());
+    RRS_CHECK(c == kNoColor || c < state_.instance.num_colors())
+        << "SetColor to unknown color " << c;
+    if (state_.resource_color[r] == c) return;
+    state_.resource_color[r] = c;
+    ++cost_.reconfigurations;
+    if (schedule_ != nullptr) {
+      schedule_->AddReconfig(round_, mini_, r, c);
+    }
+  }
+
+  Round earliest_deadline(ColorId c) const override {
+    RRS_CHECK(!state_.pending[c].empty())
+        << "earliest_deadline on idle color " << c;
+    return state_.instance.deadline(state_.pending[c].front());
+  }
+
+  const std::vector<ColorId>& nonidle_colors() const override {
+    if (!compacted_) {
+      state_.CompactNonidle();
+      compacted_ = true;
+    }
+    return state_.nonidle_list;
+  }
+
+ private:
+  RefState& state_;
+  const EngineOptions& options_;
+  CostBreakdown& cost_;
+  Schedule* schedule_;
+  Round round_ = 0;
+  int mini_ = 0;
+  mutable bool compacted_ = false;
+};
+
+}  // namespace
+
+RunResult RunPolicyReference(const Instance& instance, SchedulerPolicy& policy,
+                             const EngineOptions& options) {
+  RRS_CHECK_GE(options.num_resources, 1u);
+  RRS_CHECK_GE(options.mini_rounds_per_round, 1);
+  RRS_CHECK_GE(options.cost_model.delta, 1u);
+
+  RunResult result;
+  result.drops_per_color.assign(instance.num_colors(), 0);
+  result.arrived = instance.num_jobs();
+
+  Schedule schedule(options.num_resources, options.mini_rounds_per_round);
+  Schedule* schedule_ptr = options.record_schedule ? &schedule : nullptr;
+
+  RefState state(instance, options);
+  RefView view(state, options, result.cost, schedule_ptr);
+
+  policy.Reset(instance, options);
+
+  std::vector<JobId> dropped_scratch;
+  const Round horizon = instance.horizon();
+  for (Round k = 0; k <= horizon; ++k) {
+    // ---- Drop phase: jobs with deadline == k are dropped. ----
+    if (k < static_cast<Round>(state.expiry_buckets.size())) {
+      for (ColorId c : state.expiry_buckets[static_cast<size_t>(k)]) {
+        dropped_scratch.clear();
+        auto& queue = state.pending[c];
+        while (!queue.empty() && instance.deadline(queue.front()) == k) {
+          dropped_scratch.push_back(queue.front());
+          queue.pop_front();
+        }
+        if (!dropped_scratch.empty()) {
+          state.pending_n[c] -= dropped_scratch.size();
+          result.cost.drops += dropped_scratch.size();
+          result.cost.weighted_drops +=
+              dropped_scratch.size() * instance.drop_cost(c);
+          result.drops_per_color[c] += dropped_scratch.size();
+          policy.OnJobsDropped(k, c, dropped_scratch.size(), dropped_scratch);
+        }
+      }
+    }
+    policy.AfterDropPhase(k);
+
+    // ---- Arrival phase: request k. ----
+    auto arrivals = instance.jobs_in_round(k);
+    if (!arrivals.empty()) {
+      JobId id = instance.first_job_in_round(k);
+      size_t i = 0;
+      while (i < arrivals.size()) {
+        ColorId c = arrivals[i].color;
+        uint64_t count = 0;
+        size_t j = i;
+        while (j < arrivals.size() && arrivals[j].color == c) {
+          state.AddPending(c, id + static_cast<JobId>(j));
+          ++count;
+          ++j;
+        }
+        Round deadline = k + instance.delay_bound(c);
+        RRS_CHECK_LE(deadline, horizon);
+        if (state.last_bucket_round[c] != deadline) {
+          state.last_bucket_round[c] = deadline;
+          state.expiry_buckets[static_cast<size_t>(deadline)].push_back(c);
+        }
+        policy.OnArrivals(k, c, count);
+        i = j;
+      }
+    }
+    policy.AfterArrivalPhase(k);
+
+    // ---- Mini-rounds: reconfiguration + execution phases. ----
+    for (int mini = 0; mini < options.mini_rounds_per_round; ++mini) {
+      view.SetPhase(k, mini);
+      policy.Reconfigure(k, mini, view);
+
+      for (ResourceId r = 0; r < options.num_resources; ++r) {
+        ColorId c = state.resource_color[r];
+        if (c == kNoColor) continue;
+        auto& queue = state.pending[c];
+        if (queue.empty()) continue;
+        JobId job = queue.front();
+        queue.pop_front();
+        --state.pending_n[c];
+        ++result.executed;
+        if (schedule_ptr != nullptr) {
+          schedule_ptr->AddExecution(k, mini, r, job);
+        }
+      }
+    }
+  }
+
+  RRS_CHECK_EQ(result.executed + result.cost.drops, result.arrived)
+      << "reference engine accounting mismatch";
+
+  policy.CollectCounters(result.policy_counters);
+  result.rounds_simulated = horizon + 1;
+  if (schedule_ptr != nullptr) result.schedule = std::move(schedule);
+  return result;
+}
+
+}  // namespace rrs

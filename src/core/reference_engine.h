@@ -1,0 +1,24 @@
+// ReferenceEngine: the retained seed replay engine, kept verbatim as an
+// independent oracle for the optimized (ring + timing-wheel) Engine.
+//
+// This is the seed implementation of Engine::Run (per-color std::deque
+// pending queues, per-resource execution pops). It is deliberately NOT
+// optimized: its value is that it shares none of the optimized engine's data
+// layout, so tests/differential_test.cpp can cross-check the two on
+// randomized instances and pin exact cost equality (drops, weighted drops,
+// reconfigurations, executed). Semantics changes to the model must land in
+// both engines — the differential suite is the contract.
+#pragma once
+
+#include "core/engine.h"
+#include "core/instance.h"
+#include "core/policy.h"
+
+namespace rrs {
+
+// Runs `policy` over the whole instance with the retained deque-based engine;
+// the result is field-for-field comparable with Engine::Run.
+RunResult RunPolicyReference(const Instance& instance, SchedulerPolicy& policy,
+                             const EngineOptions& options);
+
+}  // namespace rrs

@@ -16,20 +16,37 @@ Instance ColorsOnlyInstance(const std::vector<Round>& delay_bounds) {
 
 }  // namespace
 
-// Policy-facing view over the streaming state.
-class StreamEngine::View : public ResourceView {
- public:
-  View(StreamEngine& engine, int mini) : engine_(engine), mini_(mini) {}
+void DeadlineRing::Grow() {
+  const uint32_t old_cap = capacity();
+  const uint32_t new_cap = old_cap == 0 ? 8 : old_cap * 2;
+  std::vector<Round> deadline(new_cap);
+  std::vector<uint64_t> count(new_cap);
+  for (uint32_t i = 0; i < size_; ++i) {
+    const uint32_t at = (head_ + i) & mask_;
+    deadline[i] = deadline_[at];
+    count[i] = count_[at];
+  }
+  deadline_ = std::move(deadline);
+  count_ = std::move(count);
+  head_ = 0;
+  mask_ = new_cap - 1;
+}
 
-  uint32_t num_resources() const override {
+// Policy-facing view over the streaming state.
+class StreamEngine::View final : public ResourceView {
+ public:
+  View(StreamEngine& engine, int mini)
+      : ResourceView(engine.pending_n_.data()), engine_(engine), mini_(mini) {}
+
+  uint32_t num_resources() const final {
     return engine_.options_.num_resources;
   }
 
-  ColorId color_of(ResourceId r) const override {
+  ColorId color_of(ResourceId r) const final {
     return engine_.resource_color_[r];
   }
 
-  void SetColor(ResourceId r, ColorId c) override {
+  void SetColor(ResourceId r, ColorId c) final {
     RRS_CHECK_LT(r, engine_.resource_color_.size());
     RRS_CHECK(c == kNoColor || c < engine_.num_colors());
     if (engine_.resource_color_[r] == c) return;
@@ -38,21 +55,17 @@ class StreamEngine::View : public ResourceView {
     engine_.outcome_.reconfigs.emplace_back(r, c);
   }
 
-  uint64_t pending_count(ColorId c) const override {
-    return engine_.pending_count(c);
-  }
-
-  Round earliest_deadline(ColorId c) const override {
+  Round earliest_deadline(ColorId c) const final {
     RRS_CHECK(!engine_.pending_[c].empty());
-    return engine_.pending_[c].front().first;
+    return engine_.pending_[c].front_deadline();
   }
 
-  const std::vector<ColorId>& nonidle_colors() const override {
+  const std::vector<ColorId>& nonidle_colors() const final {
     auto& list = engine_.nonidle_list_;
     size_t out = 0;
     for (size_t i = 0; i < list.size(); ++i) {
       ColorId c = list[i];
-      if (!engine_.pending_[c].empty()) {
+      if (engine_.pending_n_[c] != 0) {
         list[out++] = c;
       } else {
         engine_.in_nonidle_list_[c] = 0;
@@ -77,17 +90,26 @@ StreamEngine::StreamEngine(std::vector<Round> delay_bounds,
   RRS_CHECK(!options_.record_schedule)
       << "streaming mode has no job ids; schedule recording is unsupported";
   pending_.assign(instance_.num_colors(), {});
+  pending_n_.assign(instance_.num_colors(), 0);
   in_nonidle_list_.assign(instance_.num_colors(), 0);
   last_expiry_push_.assign(instance_.num_colors(), -1);
   resource_color_.assign(options_.num_resources, kNoColor);
   arrivals_scratch_.assign(instance_.num_colors(), 0);
+  exec_count_.assign(instance_.num_colors(), 0);
+  nonidle_list_.reserve(instance_.num_colors());
+  touched_scratch_.reserve(instance_.num_colors());
+  exec_touched_.reserve(instance_.num_colors());
   policy_.Reset(instance_, options_);
 }
 
-uint64_t StreamEngine::pending_count(ColorId c) const {
-  uint64_t total = 0;
-  for (const auto& [deadline, count] : pending_[c]) total += count;
-  return total;
+void StreamEngine::ArmExpiry(ColorId c) {
+  // Deadlines are pushed strictly increasing per color, so dedup by the last
+  // pushed value is exact.
+  const Round front = pending_[c].front_deadline();
+  if (last_expiry_push_[c] != front) {
+    last_expiry_push_[c] = front;
+    expiry_.emplace(front, c);
+  }
 }
 
 const RoundOutcome& StreamEngine::Step(
@@ -103,24 +125,20 @@ const RoundOutcome& StreamEngine::Step(
     auto [deadline, c] = expiry_.top();
     expiry_.pop();
     if (deadline < k) continue;  // stale lazy entry
-    uint64_t dropped = 0;
-    auto& queue = pending_[c];
-    while (!queue.empty() && queue.front().first == k) {
-      dropped += queue.front().second;
-      queue.pop_front();
-    }
-    if (dropped > 0) {
-      cost_.drops += dropped;
-      cost_.weighted_drops += dropped * instance_.drop_cost(c);
-      pending_total_ -= dropped;
-      outcome_.drops.emplace_back(c, dropped);
-      policy_.OnJobsDropped(k, c, dropped, {});
-    }
+    auto& ring = pending_[c];
+    // A color's pending deadlines are distinct, so at most one entry — the
+    // front — can carry deadline k.
+    if (ring.empty() || ring.front_deadline() != k) continue;
+    const uint64_t dropped = ring.front_count();
+    ring.pop_front();
+    pending_n_[c] -= dropped;
+    pending_total_ -= dropped;
+    cost_.drops += dropped;
+    cost_.weighted_drops += dropped * instance_.drop_cost(c);
+    outcome_.drops.emplace_back(c, dropped);
+    policy_.OnJobsDropped(k, c, dropped, {});
     // Re-arm for the color's next deadline.
-    if (!queue.empty() && last_expiry_push_[c] != queue.front().first) {
-      last_expiry_push_[c] = queue.front().first;
-      expiry_.emplace(queue.front().first, c);
-    }
+    if (!ring.empty()) ArmExpiry(c);
   }
   policy_.AfterDropPhase(k);
 
@@ -136,21 +154,19 @@ const RoundOutcome& StreamEngine::Step(
     uint64_t count = arrivals_scratch_[c];
     arrivals_scratch_[c] = 0;
     const Round deadline = k + instance_.delay_bound(c);
-    auto& queue = pending_[c];
-    if (!queue.empty() && queue.back().first == deadline) {
-      queue.back().second += count;
+    auto& ring = pending_[c];
+    if (!ring.empty() && ring.back_deadline() == deadline) {
+      ring.back_count() += count;
     } else {
-      queue.emplace_back(deadline, count);
+      ring.push_back(deadline, count);
     }
-    if (queue.size() == 1 && last_expiry_push_[c] != deadline) {
-      last_expiry_push_[c] = deadline;
-      expiry_.emplace(deadline, c);
-    }
+    if (ring.size() == 1) ArmExpiry(c);
     if (!in_nonidle_list_[c]) {
       in_nonidle_list_[c] = 1;
       nonidle_list_.push_back(c);
     }
     arrived_ += count;
+    pending_n_[c] += count;
     pending_total_ += count;
     policy_.OnArrivals(k, c, count);
   }
@@ -161,25 +177,37 @@ const RoundOutcome& StreamEngine::Step(
     View view(*this, mini);
     policy_.Reconfigure(k, mini, view);
 
+    // Execution, batched: histogram resources by color, then bulk-consume
+    // min(resources, pending) jobs per color. Identical totals and state to
+    // the per-resource pop loop — each color-c resource executes one
+    // earliest-deadline color-c job if one is pending — since unit jobs of
+    // one color are interchangeable within a mini-round.
+    exec_touched_.clear();
     for (ResourceId r = 0; r < options_.num_resources; ++r) {
-      ColorId c = resource_color_[r];
+      const ColorId c = resource_color_[r];
       if (c == kNoColor) continue;
-      auto& queue = pending_[c];
-      if (queue.empty()) continue;
-      if (--queue.front().second == 0) queue.pop_front();
-      --pending_total_;
-      ++executed_;
-      if (!outcome_.executions.empty() &&
-          outcome_.executions.back().first == c) {
-        ++outcome_.executions.back().second;
-      } else {
-        outcome_.executions.emplace_back(c, 1);
+      if (exec_count_[c]++ == 0) exec_touched_.push_back(c);
+    }
+    for (ColorId c : exec_touched_) {
+      uint64_t take = std::min<uint64_t>(exec_count_[c], pending_n_[c]);
+      exec_count_[c] = 0;
+      if (take == 0) continue;
+      pending_n_[c] -= take;
+      pending_total_ -= take;
+      executed_ += take;
+      outcome_.executions.emplace_back(c, take);
+      auto& ring = pending_[c];
+      while (take > 0) {
+        uint64_t& front = ring.front_count();
+        if (take < front) {
+          front -= take;
+          break;
+        }
+        take -= front;
+        ring.pop_front();
       }
       // Keep the expiry heap armed for the new front deadline.
-      if (!queue.empty() && last_expiry_push_[c] != queue.front().first) {
-        last_expiry_push_[c] = queue.front().first;
-        expiry_.emplace(queue.front().first, c);
-      }
+      if (!ring.empty()) ArmExpiry(c);
     }
   }
 

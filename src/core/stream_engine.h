@@ -8,13 +8,20 @@
 // Step() and reports each round's reconfigurations, executions (as color
 // counts; there are no job ids in streaming mode), and drops.
 //
+// Pending state is a per-color ring of (deadline, count) run-length entries.
+// A color's pending deadlines are distinct and confined to the next D_c
+// rounds, so the ring holds at most D_c entries; capacity grows (rarely, by
+// doubling) toward that bound and the steady state allocates nothing.
+// Per-color job totals live in a dense side table so pending_count is an O(1)
+// array load shared with ResourceView's non-virtual fast path.
+//
 // Equivalence with Engine — same policy, same workload, same costs — is
-// pinned by tests (stream_test.cpp): the two implementations share the
-// semantics, not the code, so the tests are the contract.
+// pinned by tests (stream_test.cpp, differential_test.cpp): the two
+// implementations share the semantics, not the code, so the tests are the
+// contract.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <queue>
 #include <span>
 #include <utility>
@@ -22,6 +29,7 @@
 
 #include "core/instance.h"
 #include "core/policy.h"
+#include "util/check.h"
 
 namespace rrs {
 
@@ -35,6 +43,62 @@ struct RoundOutcome {
   std::vector<std::pair<ColorId, uint64_t>> executions;
   // Jobs dropped in this round's drop phase, as (color, count).
   std::vector<std::pair<ColorId, uint64_t>> drops;
+};
+
+// FIFO ring of (deadline, count) run-length entries with power-of-two
+// capacity. FIFO order == deadline order (deadlines are pushed strictly
+// increasing per color).
+class DeadlineRing {
+ public:
+  bool empty() const { return size_ == 0; }
+  uint32_t size() const { return size_; }
+
+  Round front_deadline() const {
+    RRS_DCHECK(size_ > 0);
+    return deadline_[head_];
+  }
+  uint64_t front_count() const {
+    RRS_DCHECK(size_ > 0);
+    return count_[head_];
+  }
+  uint64_t& front_count() {
+    RRS_DCHECK(size_ > 0);
+    return count_[head_];
+  }
+
+  void pop_front() {
+    RRS_DCHECK(size_ > 0);
+    head_ = (head_ + 1) & mask_;
+    --size_;
+  }
+
+  void push_back(Round deadline, uint64_t count) {
+    if (size_ == capacity()) Grow();
+    const uint32_t at = (head_ + size_) & mask_;
+    deadline_[at] = deadline;
+    count_[at] = count;
+    ++size_;
+  }
+
+  // The most recently pushed entry; requires !empty().
+  Round back_deadline() const {
+    RRS_DCHECK(size_ > 0);
+    return deadline_[(head_ + size_ - 1) & mask_];
+  }
+  uint64_t& back_count() {
+    RRS_DCHECK(size_ > 0);
+    return count_[(head_ + size_ - 1) & mask_];
+  }
+
+ private:
+  uint32_t capacity() const { return static_cast<uint32_t>(deadline_.size()); }
+  void Grow();
+
+  std::vector<Round> deadline_;
+  std::vector<uint64_t> count_;
+  uint32_t head_ = 0;
+  uint32_t size_ = 0;
+  uint32_t mask_ = 0;  // capacity - 1 (capacity is a power of two, or 0)
 };
 
 class StreamEngine {
@@ -68,7 +132,10 @@ class StreamEngine {
   class View;
   friend class View;
 
-  uint64_t pending_count(ColorId c) const;
+  uint64_t pending_count(ColorId c) const { return pending_n_[c]; }
+
+  // Pushes (front deadline, c) onto the expiry heap if not already armed.
+  void ArmExpiry(ColorId c);
 
   Instance instance_;  // colors only; gives policies the color table
   SchedulerPolicy& policy_;
@@ -80,8 +147,10 @@ class StreamEngine {
   uint64_t executed_ = 0;
   uint64_t pending_total_ = 0;
 
-  // Per color: FIFO of (deadline, count); FIFO order == deadline order.
-  std::vector<std::deque<std::pair<Round, uint64_t>>> pending_;
+  // Per color: ring of (deadline, count) entries plus a dense job total
+  // (pending_n_ doubles as the view's pending table).
+  std::vector<DeadlineRing> pending_;
+  std::vector<uint64_t> pending_n_;
   std::vector<ColorId> nonidle_list_;  // lazily compacted
   std::vector<uint8_t> in_nonidle_list_;
   // Colors that may expire, keyed by deadline (lazy min-heap; duplicates ok).
@@ -93,6 +162,9 @@ class StreamEngine {
   std::vector<ColorId> resource_color_;
   std::vector<uint64_t> arrivals_scratch_;
   std::vector<ColorId> touched_scratch_;
+  // Execution-phase scratch: per-color resource histogram + touched list.
+  std::vector<uint32_t> exec_count_;
+  std::vector<ColorId> exec_touched_;
   RoundOutcome outcome_;
 };
 

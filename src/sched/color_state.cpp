@@ -11,6 +11,7 @@ void ColorStateTable::Reset(const Instance& instance, uint64_t delta) {
   instance_ = &instance;
   delta_ = delta;
   state_.assign(instance.num_colors(), State{});
+  dd_.assign(instance.num_colors(), 0);
 
   groups_by_delay_.clear();
   std::map<Round, std::vector<ColorId>> groups;
@@ -21,6 +22,7 @@ void ColorStateTable::Reset(const Instance& instance, uint64_t delta) {
 
   eligible_list_.clear();
   in_eligible_list_.assign(instance.num_colors(), 0);
+  eligible_list_dirty_ = false;
 
   epochs_completed_ = 0;
   colors_with_jobs_ = 0;
@@ -63,6 +65,8 @@ bool ColorStateTable::OnArrivals(Round k, ColorId c, uint64_t count) {
 }
 
 const std::vector<ColorId>& ColorStateTable::eligible_colors() const {
+  if (!eligible_list_dirty_) return eligible_list_;
+  eligible_list_dirty_ = false;
   size_t out = 0;
   for (size_t i = 0; i < eligible_list_.size(); ++i) {
     ColorId c = eligible_list_[i];

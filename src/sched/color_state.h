@@ -72,6 +72,7 @@ class ColorStateTable {
         s.eligible = false;
         s.cnt = 0;
         ++epochs_completed_;
+        eligible_list_dirty_ = true;
         events.became_ineligible.push_back(c);
       }
       if (s.pending_wrap >= 0) {
@@ -80,7 +81,7 @@ class ColorStateTable {
         ++timestamp_update_events_;
         events.timestamp_updated.push_back(c);
       }
-      s.dd = k + instance_->delay_bound(c);
+      dd_[c] = k + instance_->delay_bound(c);
     }
   }
 
@@ -93,7 +94,7 @@ class ColorStateTable {
 
   bool eligible(ColorId c) const { return state_[c].eligible; }
   uint64_t counter(ColorId c) const { return state_[c].cnt; }
-  Round deadline(ColorId c) const { return state_[c].dd; }
+  Round deadline(ColorId c) const { return dd_[c]; }
   Round timestamp(ColorId c) const { return state_[c].timestamp; }
 
   // All currently eligible colors (unordered; lazily compacted).
@@ -118,7 +119,6 @@ class ColorStateTable {
  private:
   struct State {
     uint64_t cnt = 0;
-    Round dd = 0;
     Round timestamp = 0;
     Round pending_wrap = -1;  // wrap round awaiting boundary promotion
     bool eligible = false;
@@ -130,11 +130,17 @@ class ColorStateTable {
   const Instance* instance_ = nullptr;
   uint64_t delta_ = 1;
   std::vector<State> state_;
+  // Color deadlines (ℓ.dd), dense: the ranking loops read them for every
+  // eligible color each round, so they live apart from the colder State.
+  std::vector<Round> dd_;
   // Colors grouped by delay bound for O(#boundary-colors) boundary scans.
   std::vector<std::pair<Round, std::vector<ColorId>>> groups_by_delay_;
 
   mutable std::vector<ColorId> eligible_list_;  // lazily compacted
   mutable std::vector<uint8_t> in_eligible_list_;
+  // True when eligible_list_ may contain stale (now-ineligible) entries;
+  // eligible_colors() skips its compaction scan otherwise.
+  mutable bool eligible_list_dirty_ = false;
 
   uint64_t epochs_completed_ = 0;
   uint64_t colors_with_jobs_ = 0;

@@ -20,6 +20,22 @@ void DlruEdfPolicy::OnReset() {
   is_lru_.assign(instance_->num_colors(), 0);
   evict_first_.assign(instance_->num_colors(), 0);
   in_lru_desired_.assign(instance_->num_colors(), 0);
+
+  // Delay classes for the EDF scan, colors ascending within each class.
+  class_delay_.clear();
+  class_colors_.clear();
+  for (ColorId c = 0; c < instance_->num_colors(); ++c) {
+    const Round d = instance_->delay_bound(c);
+    auto it = std::lower_bound(class_delay_.begin(), class_delay_.end(), d);
+    const size_t at = static_cast<size_t>(it - class_delay_.begin());
+    if (it == class_delay_.end() || *it != d) {
+      class_delay_.insert(it, d);
+      class_colors_.emplace(class_colors_.begin() +
+                            static_cast<ptrdiff_t>(at));
+    }
+    class_colors_[at].push_back(c);
+  }
+  class_order_.reserve(class_delay_.size());
 }
 
 void DlruEdfPolicy::OnBecameEligible(Round k, ColorId c) {
@@ -99,19 +115,33 @@ void DlruEdfPolicy::Reconfigure(Round k, int mini, ResourceView& view) {
   }
 
   // ---- EDF side: rank eligible non-LRU colors; admit the nonidle top. ----
-  const auto& eligible = table_.eligible_colors();
+  // Idle colors are filtered upfront — they rank behind every nonidle color
+  // (idle is the leading key field) and the admission loop stopped at the
+  // first idle entry, so the admitted set is the top-edf_budget among the
+  // nonidle candidates either way. Rank order is (dd, D, color), and every
+  // color of a delay class carries the same deadline dd = k - k mod D + D
+  // (boundary processing refreshes dd for the whole class at once), so the
+  // top set falls out of walking the ≤ |distinct D| classes in (dd, D)
+  // order and taking the first nonidle eligible non-LRU colors — the scan
+  // usually ends after a handful of colors instead of ranking all of them.
+  class_order_.clear();
+  for (uint32_t i = 0; i < class_delay_.size(); ++i) {
+    // All colors of a class share dd; read it off the first one (same
+    // source RankOf uses, so ordering is byte-identical to full ranking).
+    class_order_.emplace_back(table_.deadline(class_colors_[i][0]), i);
+  }
+  std::sort(class_order_.begin(), class_order_.end());
   ranked_.clear();
-  for (ColorId c : eligible) {
-    if (!is_lru_[c]) ranked_.emplace_back(RankOf(c, view), c);
+  for (const auto& [dd, i] : class_order_) {
+    for (ColorId c : class_colors_[i]) {
+      if (is_lru_[c] || !table_.eligible(c)) continue;
+      if (view.pending_count(c) == 0) continue;
+      ranked_.emplace_back(RankOf(c, view), c);
+      if (ranked_.size() == edf_budget) break;
+    }
+    if (ranked_.size() == edf_budget) break;
   }
-  if (ranked_.size() > edf_budget) {
-    std::nth_element(ranked_.begin(), ranked_.begin() + edf_budget,
-                     ranked_.end());
-    ranked_.resize(edf_budget);
-  }
-  std::sort(ranked_.begin(), ranked_.end());
   for (const auto& [key, c] : ranked_) {
-    if (key.idle) break;  // only nonidle colors are brought in
     if (slots_.IsCached(c)) continue;
     if (slots_.full()) evict_one();
     slots_.Insert(c);

@@ -85,6 +85,13 @@ class DlruEdfPolicy : public BatchedSchedulerBase {
   std::vector<uint8_t> in_lru_desired_;
   std::vector<std::pair<ColorRankKey, ColorId>> ranked_;
   std::vector<std::pair<ColorRankKey, ColorId>> victims_;
+  // Colors grouped by delay bound (ascending colors within a class), plus a
+  // per-round scratch of (class deadline, class index). Every color of a
+  // class shares the same color deadline at any round, so the EDF scan walks
+  // classes in (dd, D) order instead of ranking all eligible colors.
+  std::vector<Round> class_delay_;                  // sorted distinct D
+  std::vector<std::vector<ColorId>> class_colors_;  // parallel to class_delay_
+  std::vector<std::pair<Round, uint32_t>> class_order_;
   Rng evict_rng_{0};
 };
 

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "core/engine.h"
+#include "core/reference_engine.h"
 #include "core/stream_engine.h"
 #include "offline/bruteforce.h"
 #include "offline/clairvoyant.h"
@@ -14,6 +15,7 @@
 #include "reduce/pipeline.h"
 #include "sched/registry.h"
 #include "util/rng.h"
+#include "workload/synthetic.h"
 
 namespace rrs {
 namespace {
@@ -38,6 +40,141 @@ Instance RandomShape(Rng& rng, bool weighted, Round max_rounds = 10,
                  static_cast<uint64_t>(max_rounds))));
   }
   return b.Build();
+}
+
+// Feeds `inst` to a StreamEngine round by round (grouping each round's jobs
+// into (color, count) runs, preserving arrival order) and returns it after
+// Finish(). `policy` must be freshly made.
+void DriveStream(const Instance& inst, StreamEngine& stream) {
+  std::vector<std::pair<ColorId, uint64_t>> arrivals;
+  for (Round k = 0; k < inst.num_request_rounds(); ++k) {
+    arrivals.clear();
+    auto jobs = inst.jobs_in_round(k);
+    size_t i = 0;
+    while (i < jobs.size()) {
+      ColorId c = jobs[i].color;
+      uint64_t count = 0;
+      while (i < jobs.size() && jobs[i].color == c) {
+        ++count;
+        ++i;
+      }
+      arrivals.emplace_back(c, count);
+    }
+    stream.Step(arrivals);
+  }
+  stream.Finish();
+}
+
+// Cross-checks the ring-based Engine, the StreamEngine, and the retained
+// deque-based reference engine on one instance: exact equality of drops,
+// weighted drops, reconfigurations, and executed jobs. The stream leg is
+// skipped for weighted instances (StreamEngine's colors-only instance does
+// not carry drop weights) and when mini_rounds would need job ids.
+void ExpectThreeWayAgreement(const Instance& inst, const std::string& policy,
+                             const EngineOptions& options, bool weighted,
+                             const std::string& label) {
+  auto engine_policy = MakePolicy(policy);
+  RunResult fast = RunPolicy(inst, *engine_policy, options);
+
+  auto reference_policy = MakePolicy(policy);
+  RunResult oracle = RunPolicyReference(inst, *reference_policy, options);
+
+  ASSERT_EQ(fast.cost.drops, oracle.cost.drops) << label;
+  ASSERT_EQ(fast.cost.weighted_drops, oracle.cost.weighted_drops) << label;
+  ASSERT_EQ(fast.cost.reconfigurations, oracle.cost.reconfigurations) << label;
+  ASSERT_EQ(fast.executed, oracle.executed) << label;
+  ASSERT_EQ(fast.arrived, oracle.arrived) << label;
+
+  if (weighted) return;
+  std::vector<Round> delays;
+  for (ColorId c = 0; c < inst.num_colors(); ++c) {
+    delays.push_back(inst.delay_bound(c));
+  }
+  auto stream_policy = MakePolicy(policy);
+  StreamEngine stream(delays, *stream_policy, options);
+  DriveStream(inst, stream);
+  ASSERT_EQ(stream.cost().drops, oracle.cost.drops) << label;
+  ASSERT_EQ(stream.cost().weighted_drops, oracle.cost.weighted_drops) << label;
+  ASSERT_EQ(stream.cost().reconfigurations, oracle.cost.reconfigurations)
+      << label;
+  ASSERT_EQ(stream.executed(), oracle.executed) << label;
+}
+
+// ≥600 randomized Poisson instances across policies, resource counts, Δ, and
+// single/double speed.
+TEST(Differential, EnginesAgreeOnRandomizedPoisson) {
+  static const char* kPolicies[] = {"dlru-edf", "dlru",       "edf",
+                                    "seq-edf",  "greedy-edf", "static"};
+  static const Round kDelays[] = {1, 2, 3, 4, 5, 8, 16};
+  Rng rng(2027);
+  for (int trial = 0; trial < 600; ++trial) {
+    const size_t colors = 1 + rng.NextBounded(6);
+    std::vector<workload::ColorSpec> specs;
+    for (size_t c = 0; c < colors; ++c) {
+      specs.push_back({kDelays[rng.NextBounded(7)],
+                       0.1 + 0.2 * static_cast<double>(rng.NextBounded(5))});
+    }
+    workload::PoissonOptions gen;
+    gen.rounds = 10 + static_cast<Round>(rng.NextBounded(30));
+    gen.rate_limited = trial % 2 == 0;
+    gen.seed = rng.Next();
+    Instance inst = MakePoisson(specs, gen);
+    if (inst.num_jobs() == 0) continue;
+
+    EngineOptions options;
+    options.num_resources = 4 + 4 * static_cast<uint32_t>(trial % 2);
+    options.mini_rounds_per_round = 1 + trial % 2;
+    options.cost_model.delta = 1 + trial % 5;
+
+    const std::string policy = kPolicies[trial % 6];
+    ExpectThreeWayAgreement(
+        inst, policy, options, /*weighted=*/false,
+        "poisson trial " + std::to_string(trial) + " policy " + policy);
+  }
+}
+
+// ≥500 adversarial instances: phase-structured bursts that rotate the hot
+// color set every few rounds (the thrash pattern the ΔLRU side exists for),
+// deadline-edge stragglers, and occasional weighted drop costs.
+TEST(Differential, EnginesAgreeOnAdversarialBursts) {
+  static const char* kPolicies[] = {"dlru-edf", "dlru", "edf", "greedy-edf",
+                                    "lazy-greedy"};
+  Rng rng(2029);
+  for (int trial = 0; trial < 500; ++trial) {
+    const bool weighted = trial % 4 == 0;
+    InstanceBuilder b;
+    const size_t colors = 2 + rng.NextBounded(4);
+    std::vector<Round> delay(colors);
+    for (size_t c = 0; c < colors; ++c) {
+      delay[c] = Round{1} << rng.NextBounded(5);  // powers of two, 1..16
+      b.AddColor(delay[c], "", weighted ? 1 + rng.NextBounded(5) : 1);
+    }
+    const Round horizon = 12 + static_cast<Round>(rng.NextBounded(24));
+    // Rotating bursts: each phase floods one color, starving the previous
+    // one right as its delay bound expires.
+    const Round stride = 1 + static_cast<Round>(rng.NextBounded(4));
+    for (Round k = 0; k < horizon; k += stride) {
+      const ColorId hot = static_cast<ColorId>(
+          (static_cast<size_t>(k / stride)) % colors);
+      b.AddJobs(hot, k, 1 + rng.NextBounded(12));
+      // Deadline-edge straggler on another color.
+      if (rng.NextBounded(2) == 0) {
+        const ColorId c = static_cast<ColorId>(rng.NextBounded(colors));
+        b.AddJob(c, k);
+      }
+    }
+    Instance inst = b.Build();
+
+    EngineOptions options;
+    options.num_resources = 4 + static_cast<uint32_t>(rng.NextBounded(5));
+    options.mini_rounds_per_round = 1 + trial % 2;
+    options.cost_model.delta = 1 + trial % 4;
+
+    const std::string policy = kPolicies[trial % 5];
+    ExpectThreeWayAgreement(
+        inst, policy, options, weighted,
+        "adversarial trial " + std::to_string(trial) + " policy " + policy);
+  }
 }
 
 TEST(Differential, DpMatchesBruteForceAcrossShapes) {

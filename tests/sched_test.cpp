@@ -24,10 +24,19 @@ namespace rrs {
 namespace {
 
 // A stub ResourceView for driving CacheSlots and policies directly.
-class FakeView : public ResourceView {
+// Holds the pending table in a base subobject so it is constructed before
+// ResourceView, which captures a pointer to it.
+struct FakeViewPending {
+  explicit FakeViewPending(size_t colors) : pending_(colors, 0) {}
+  std::vector<uint64_t> pending_;
+};
+
+class FakeView : private FakeViewPending, public ResourceView {
  public:
   FakeView(uint32_t n, size_t colors)
-      : colors_(n, kNoColor), pending_(colors, 0) {}
+      : FakeViewPending(colors),
+        ResourceView(pending_.data()),
+        colors_(n, kNoColor) {}
 
   uint32_t num_resources() const override {
     return static_cast<uint32_t>(colors_.size());
@@ -38,7 +47,6 @@ class FakeView : public ResourceView {
     colors_[r] = c;
     ++reconfigs_;
   }
-  uint64_t pending_count(ColorId c) const override { return pending_[c]; }
   Round earliest_deadline(ColorId c) const override {
     return deadline_.at(c);
   }
@@ -57,7 +65,6 @@ class FakeView : public ResourceView {
 
  private:
   std::vector<ColorId> colors_;
-  std::vector<uint64_t> pending_;
   std::map<ColorId, Round> deadline_;
   mutable std::vector<ColorId> nonidle_;
   uint64_t reconfigs_ = 0;

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: compare a BENCH_engine.json against the baseline.
+
+Usage:
+    bench_compare.py BASELINE CURRENT [--threshold 0.15] [--alloc-budget 0.05]
+
+Fails (exit 1) when any benchmark cell in CURRENT:
+  * is missing relative to BASELINE,
+  * regresses rounds_per_sec or jobs_per_sec by more than --threshold
+    (fraction; 0.15 = 15% slower than baseline), or
+  * exceeds the steady-state allocation budget (allocations per round in
+    steady state; the engine's contract is ~0 — scratch reuse only, so even
+    amortized vector doubling stays under a small constant).
+
+Improvements and new cells never fail; the script prints a per-cell report
+either way. Update the checked-in baseline by copying a fresh report over
+bench/BENCH_baseline.json when a deliberate perf change lands.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_cells(path):
+    with open(path) as f:
+        report = json.load(f)
+    return {cell["name"]: cell for cell in report["benchmarks"]}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="max allowed fractional throughput regression")
+    parser.add_argument("--alloc-budget", type=float, default=0.05,
+                        help="max steady-state allocations per round")
+    args = parser.parse_args()
+
+    try:
+        baseline = load_cells(args.baseline)
+        current = load_cells(args.current)
+    except OSError as e:
+        print(f"cannot read benchmark report: {e}", file=sys.stderr)
+        return 1
+    except (json.JSONDecodeError, KeyError) as e:
+        print(f"malformed benchmark report: {e}", file=sys.stderr)
+        return 1
+
+    failures = []
+    for name, base in sorted(baseline.items()):
+        cur = current.get(name)
+        if cur is None:
+            failures.append(f"{name}: missing from current report")
+            continue
+        for metric in ("rounds_per_sec", "jobs_per_sec"):
+            b, c = base[metric], cur[metric]
+            change = (c - b) / b if b > 0 else 0.0
+            status = "ok"
+            if change < -args.threshold:
+                status = "REGRESSION"
+                failures.append(
+                    f"{name}: {metric} {c:.0f} vs baseline {b:.0f} "
+                    f"({change * 100:+.1f}% < -{args.threshold * 100:.0f}%)")
+            print(f"{name:24s} {metric:16s} {c:14.0f} "
+                  f"(baseline {b:.0f}, {change * 100:+.1f}%) {status}")
+        allocs = cur["steady_allocs_per_round"]
+        status = "ok"
+        if allocs > args.alloc_budget:
+            status = "OVER BUDGET"
+            failures.append(
+                f"{name}: steady_allocs_per_round {allocs:.4f} > "
+                f"budget {args.alloc_budget}")
+        print(f"{name:24s} {'allocs/round':16s} {allocs:14.4f} "
+              f"(budget {args.alloc_budget}) {status}")
+
+    for name in sorted(set(current) - set(baseline)):
+        print(f"{name:24s} new cell (not in baseline), skipped")
+
+    if failures:
+        print("\nPERF GATE FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nperf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
