@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "obs/scope.h"
 #include "reduce/pipeline.h"
 #include "sched/registry.h"
 #include "workload/synthetic.h"
@@ -81,15 +82,22 @@ struct CellResult {
   double rounds_per_sec = 0;
   double jobs_per_sec = 0;
   double steady_allocs_per_round = 0;
+  // Sampled phase wall-time medians (0 when the obs layer is compiled out).
+  double phase_p50_ns[rrs::obs::kNumPhases] = {};
 };
 
 CellResult RunCell(const Cell& cell) {
   constexpr rrs::Round kRounds = 4096;
   constexpr double kMinSeconds = 0.3;
 
+  // Every cell runs with a metrics-only scope attached, so the gate measures
+  // the default-on observability overhead rather than the bare engine.
+  rrs::obs::Scope scope;
+
   rrs::EngineOptions options;
   options.num_resources = cell.resources;
   options.cost_model.delta = 4;
+  options.obs_scope = &scope;
 
   const bool pipeline = std::string(cell.policy) == "pipeline";
   const rrs::Instance inst = MakeBenchInstance(cell.colors, kRounds, 7);
@@ -121,6 +129,16 @@ CellResult RunCell(const Cell& cell) {
   const double elapsed = Seconds(start, now);
   out.rounds_per_sec = static_cast<double>(iters * kRounds) / elapsed;
   out.jobs_per_sec = static_cast<double>(jobs) / elapsed;
+
+  for (int p = 0; p < rrs::obs::kNumPhases; ++p) {
+    const std::string hist_name =
+        std::string("engine.phase.") + rrs::obs::PhaseName(p) + ".ns";
+    const rrs::obs::LogHistogram* hist =
+        scope.registry().FindHistogram(hist_name);
+    if (hist != nullptr && hist->count() > 0) {
+      out.phase_p50_ns[p] = hist->Quantile(0.5);
+    }
+  }
 
   // Steady-state allocations: horizon-H vs horizon-2H runs; the difference
   // isolates per-round allocation from per-run setup.
@@ -173,9 +191,16 @@ int main(int argc, char** argv) {
     const CellResult& r = results[i];
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"rounds_per_sec\": %.1f, "
-                 "\"jobs_per_sec\": %.1f, \"steady_allocs_per_round\": %.4f}%s\n",
+                 "\"jobs_per_sec\": %.1f, \"steady_allocs_per_round\": %.4f",
                  r.name.c_str(), r.rounds_per_sec, r.jobs_per_sec,
-                 r.steady_allocs_per_round, i + 1 < results.size() ? "," : "");
+                 r.steady_allocs_per_round);
+    // Informational phase-time breakdown (not gated; bench_compare.py only
+    // diffs metrics present in the checked-in baseline).
+    for (int p = 0; p < rrs::obs::kNumPhases; ++p) {
+      std::fprintf(f, ", \"phase_%s_p50_ns\": %.1f", rrs::obs::PhaseName(p),
+                   r.phase_p50_ns[p]);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

@@ -10,6 +10,7 @@
 #include <fstream>
 
 #include "analysis/suite.h"
+#include "obs/scope.h"
 #include "util/flags.h"
 
 int main(int argc, char** argv) {
@@ -40,8 +41,18 @@ int main(int argc, char** argv) {
     if (!only.empty() && spec.id != only) continue;
     std::printf("==== %s: %s ====\nclaim: %s\n\n", spec.id.c_str(),
                 spec.title.c_str(), spec.claim.c_str());
+    // Experiments build their own engine runs internally, so telemetry is
+    // collected through the global-scope fallback; one scope per experiment
+    // keeps the footer line per-experiment. Installed from this
+    // single-threaded section, as the scope contract requires.
+    rrs::obs::Scope scope;
+    rrs::obs::SetGlobalScope(&scope);
     rrs::Table table = spec.run();
+    rrs::obs::SetGlobalScope(nullptr);
     std::printf("%s\n", table.ToAscii().c_str());
+    if (scope.runs_absorbed() > 0) {
+      std::printf("%s\n\n", scope.SummaryLine().c_str());
+    }
 
     const std::string base = outdir + "/" + spec.id;
     if (!table.WriteCsv(base + ".csv")) {

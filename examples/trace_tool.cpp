@@ -7,9 +7,12 @@
 //   ./trace_tool run t.trace --policy=dlru-edf --n=16 --delta=8
 //   ./trace_tool run t.trace --pipeline --n=16 --delta=8
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 #include "core/engine.h"
+#include "obs/scope.h"
+#include "obs/trace.h"
 #include "reduce/pipeline.h"
 #include "sched/registry.h"
 #include "util/flags.h"
@@ -28,6 +31,7 @@ int Usage() {
                "  trace_tool info FILE\n"
                "  trace_tool run FILE [--policy=NAME | --pipeline]"
                " [--n=N] [--delta=D] [--save-schedule=FILE]\n"
+               "                [--chrome-trace=FILE] [--metrics=FILE]\n"
                "  trace_tool validate TRACE SCHEDULE [--delta=D]\n");
   return 2;
 }
@@ -44,7 +48,12 @@ int main(int argc, char** argv) {
       .DefineBool("pipeline", false, "run the Theorem-3 pipeline instead")
       .DefineInt("n", 16, "online resources")
       .DefineInt("delta", 8, "reconfiguration cost")
-      .DefineString("save-schedule", "", "write the run's schedule to a file");
+      .DefineString("save-schedule", "", "write the run's schedule to a file")
+      .DefineString("chrome-trace", "",
+                    "write a Chrome trace_event JSON of the run "
+                    "(chrome://tracing, ui.perfetto.dev)")
+      .DefineString("metrics", "",
+                    "write run metrics in Prometheus text format");
   if (!flags.Parse(argc, argv)) {
     std::fprintf(stderr, "%s\n", flags.error().c_str());
     return Usage();
@@ -134,6 +143,46 @@ int main(int argc, char** argv) {
     options.num_resources = static_cast<uint32_t>(flags.GetInt("n"));
     options.cost_model.delta = static_cast<uint64_t>(flags.GetInt("delta"));
     const std::string save_path = flags.GetString("save-schedule");
+    const std::string trace_path = flags.GetString("chrome-trace");
+    const std::string metrics_path = flags.GetString("metrics");
+
+    // Observability: attach a scope (and, when a trace is requested, a
+    // tracer) so the engine records per-phase times and per-color counters.
+    rrs::obs::Tracer tracer;
+    rrs::obs::Scope::Options scope_options;
+    if (!trace_path.empty()) scope_options.tracer = &tracer;
+    rrs::obs::Scope scope(scope_options);
+    if (!trace_path.empty() || !metrics_path.empty()) {
+      options.obs_scope = &scope;
+      if (rrs::obs::kLevel == 0) {
+        std::fprintf(stderr,
+                     "warning: built with RRS_OBS_LEVEL=0; trace/metrics "
+                     "output will be empty\n");
+      }
+    }
+    auto write_observability = [&]() {
+      if (!trace_path.empty()) {
+        if (tracer.WriteChromeJson(trace_path)) {
+          std::printf("chrome trace written to %s (open in chrome://tracing "
+                      "or ui.perfetto.dev)\n",
+                      trace_path.c_str());
+        } else {
+          std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+        }
+      }
+      if (!metrics_path.empty()) {
+        std::ofstream out(metrics_path);
+        out << scope.registry().ToPrometheus();
+        if (out.good()) {
+          std::printf("metrics written to %s\n", metrics_path.c_str());
+        } else {
+          std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
+        }
+      }
+      if (options.obs_scope != nullptr) {
+        std::printf("%s\n", scope.SummaryLine().c_str());
+      }
+    };
     if (flags.GetBool("pipeline")) {
       auto result = rrs::reduce::SolveOnline(instance, options);
       std::printf("pipeline: reconfigs=%llu drops=%llu total=%llu valid=%s\n",
@@ -146,6 +195,7 @@ int main(int argc, char** argv) {
       if (!save_path.empty() && result.schedule.SaveToFile(save_path)) {
         std::printf("schedule written to %s\n", save_path.c_str());
       }
+      write_observability();
       return result.validation.ok ? 0 : 1;
     }
     auto policy = rrs::MakePolicy(flags.GetString("policy"));
@@ -168,6 +218,7 @@ int main(int argc, char** argv) {
         r.schedule->SaveToFile(save_path)) {
       std::printf("schedule written to %s\n", save_path.c_str());
     }
+    write_observability();
     return 0;
   }
   return Usage();

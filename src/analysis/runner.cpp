@@ -21,6 +21,7 @@ PolicyReport RunAndReport(const Instance& instance, SchedulerPolicy& policy,
   report.wall_seconds =
       std::chrono::duration<double>(end - start).count();
   report.counters = std::move(result.policy_counters);
+  report.telemetry = std::move(result.telemetry);
   return report;
 }
 

@@ -19,6 +19,10 @@ struct PolicyReport {
   Round rounds = 0;
   double wall_seconds = 0;
   std::map<std::string, double> counters;
+  // Structured per-run snapshot (phase times, per-color drops/reconfigs,
+  // policy counters); empty at RRS_OBS_LEVEL=0. `counters` above stays the
+  // legacy flat view.
+  obs::Telemetry telemetry;
 
   double jobs_per_second() const {
     return wall_seconds > 0 ? static_cast<double>(arrived) / wall_seconds : 0;

@@ -3,6 +3,8 @@
 #include <atomic>
 
 #include "core/engine.h"
+#include "obs/scope.h"
+#include "obs/trace.h"
 #include "parallel/parallel_for.h"
 #include "parallel/thread_pool.h"
 #include "reduce/pipeline.h"
@@ -19,10 +21,19 @@ std::vector<SweepCell> RunCostSweep(const InstanceFactory& factory,
   RRS_CHECK(!config.deltas.empty());
   RRS_CHECK(!config.seeds.empty());
 
+  // Sweep tasks trace onto per-worker-thread tracks (single-writer rings);
+  // null when the scope has no tracer.
+  obs::Tracer* tracer =
+      config.scope != nullptr ? config.scope->tracer() : nullptr;
+
   // Generate one instance per seed up front (shared across the grid).
   std::vector<Instance> instances(config.seeds.size());
   ParallelFor(GlobalThreadPool(), 0,
               static_cast<int64_t>(config.seeds.size()), [&](int64_t i) {
+                obs::Span span(tracer,
+                               tracer != nullptr ? tracer->ThreadTrack()
+                                                 : nullptr,
+                               "sweep.generate", static_cast<uint64_t>(i));
                 instances[static_cast<size_t>(i)] =
                     factory(config.seeds[static_cast<size_t>(i)]);
               });
@@ -53,9 +64,14 @@ std::vector<SweepCell> RunCostSweep(const InstanceFactory& factory,
             static_cast<size_t>(flat) % config.seeds.size();
         const Instance& instance = instances[seed_idx];
 
+        obs::Span span(tracer,
+                       tracer != nullptr ? tracer->ThreadTrack() : nullptr,
+                       "sweep.run", static_cast<uint64_t>(flat));
+
         EngineOptions options;
         options.num_resources = grid[cell].n;
         options.cost_model.delta = grid[cell].delta;
+        options.obs_scope = config.scope;
 
         RunOutcome out;
         out.arrived = instance.num_jobs();

@@ -13,6 +13,11 @@
 #include "util/table.h"
 
 namespace rrs {
+
+namespace obs {
+class Scope;
+}  // namespace obs
+
 namespace analysis {
 
 struct SweepConfig {
@@ -22,6 +27,10 @@ struct SweepConfig {
   // When true, run the guaranteed Theorem-3 pipeline; otherwise run the bare
   // ΔLRU-EDF policy directly on the instance.
   bool use_pipeline = true;
+  // Optional observability scope shared by every run in the sweep: engines
+  // aggregate per-phase histograms into it, and if it carries a Tracer the
+  // sweep tasks appear as spans on per-worker-thread tracks.
+  obs::Scope* scope = nullptr;
 };
 
 // Builds the workload for a given seed; called once per seed (instances are

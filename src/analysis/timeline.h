@@ -41,6 +41,9 @@ class TimelinePolicy : public SchedulerPolicy {
   void OnArrivals(Round k, ColorId c, uint64_t count) override;
   void AfterArrivalPhase(Round k) override { inner_.AfterArrivalPhase(k); }
   void Reconfigure(Round k, int mini, ResourceView& view) override;
+  void ExportMetrics(obs::Registry& registry) const override {
+    inner_.ExportMetrics(registry);
+  }
   void CollectCounters(std::map<std::string, double>& out) const override {
     inner_.CollectCounters(out);
   }

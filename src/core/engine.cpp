@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/run_telemetry.h"
+#include "obs/scope.h"
 #include "util/check.h"
 
 namespace rrs {
@@ -112,6 +114,9 @@ struct SimState {
         in_nonidle_list(instance.num_colors(), 0),
         last_wheel_push(instance.num_colors(), -1),
         exec_count(instance.num_colors(), 0) {
+#if RRS_OBS_LEVEL >= 1
+    reconfigs_per_color.assign(instance.num_colors(), 0);
+#endif
     const size_t num_colors = instance.num_colors();
     nonidle_list.reserve(num_colors);
     exec_touched.reserve(num_colors);
@@ -144,6 +149,12 @@ struct SimState {
   std::vector<uint32_t> exec_count;
   std::vector<ColorId> exec_touched;
   std::vector<JobId> dropped_scratch;  // wrapped drop spans only
+
+#if RRS_OBS_LEVEL >= 1
+  // Per-color recoloring counts (telemetry); recolorings to black are only
+  // in the aggregate total.
+  std::vector<uint64_t> reconfigs_per_color;
+#endif
 
   uint64_t pending_count(ColorId c) const { return pending_n[c]; }
 
@@ -186,12 +197,13 @@ struct SimState {
 class Engine::View final : public ResourceView {
  public:
   View(SimState& state, const EngineOptions& options, CostBreakdown& cost,
-       Schedule* schedule)
+       Schedule* schedule, obs::RunInstruments& instruments)
       : ResourceView(state.pending_n.data()),
         state_(state),
         options_(options),
         cost_(cost),
-        schedule_(schedule) {}
+        schedule_(schedule),
+        instruments_(instruments) {}
 
   void SetPhase(Round round, int mini) {
     round_ = round;
@@ -213,6 +225,10 @@ class Engine::View final : public ResourceView {
     if (state_.resource_color[r] == c) return;
     state_.resource_color[r] = c;
     ++cost_.reconfigurations;
+#if RRS_OBS_LEVEL >= 1
+    if (c != kNoColor) ++state_.reconfigs_per_color[c];
+    if (instruments_.tracing()) instruments_.EmitRecolor(round_, r);
+#endif
     if (schedule_ != nullptr) {
       schedule_->AddReconfig(round_, mini_, r, c);
     }
@@ -237,6 +253,7 @@ class Engine::View final : public ResourceView {
   const EngineOptions& options_;
   CostBreakdown& cost_;
   Schedule* schedule_;
+  obs::RunInstruments& instruments_;
   Round round_ = 0;
   int mini_ = 0;
   mutable bool compacted_ = false;
@@ -258,7 +275,8 @@ RunResult Engine::Run(SchedulerPolicy& policy) {
   Schedule* schedule_ptr = options_.record_schedule ? &schedule : nullptr;
 
   SimState state(instance_, options_);
-  View view(state, options_, result.cost, schedule_ptr);
+  obs::RunInstruments instruments(options_.obs_scope, "engine");
+  View view(state, options_, result.cost, schedule_ptr, instruments);
 
   policy.Reset(instance_, options_);
 
@@ -266,6 +284,11 @@ RunResult Engine::Run(SchedulerPolicy& policy) {
   const uint32_t num_resources = options_.num_resources;
   const size_t wheel_size = state.wheel.size();
   for (Round k = 0; k <= horizon; ++k) {
+    // Phase wall times are sampled (every round only when tracing); with no
+    // scope attached this folds to a single dead branch per round.
+    const bool obs_sampled = instruments.ShouldSample(k);
+    uint64_t obs_t0 = obs_sampled ? obs::NowNs() : 0;
+
     // ---- Drop phase: jobs with deadline == k are dropped. ----
     auto& slot = state.wheel[static_cast<size_t>(k) % wheel_size];
     if (!slot.empty()) {
@@ -295,6 +318,11 @@ RunResult Engine::Run(SchedulerPolicy& policy) {
       slot.clear();
     }
     policy.AfterDropPhase(k);
+    if (obs_sampled) {
+      const uint64_t t = obs::NowNs();
+      instruments.RecordPhase(obs::kPhaseDrop, k, obs_t0, t);
+      obs_t0 = t;
+    }
 
     // ---- Arrival phase: request k. ----
     auto arrivals = instance_.jobs_in_round(k);
@@ -318,11 +346,21 @@ RunResult Engine::Run(SchedulerPolicy& policy) {
       }
     }
     policy.AfterArrivalPhase(k);
+    if (obs_sampled) {
+      const uint64_t t = obs::NowNs();
+      instruments.RecordPhase(obs::kPhaseArrival, k, obs_t0, t);
+      obs_t0 = t;
+    }
 
     // ---- Mini-rounds: reconfiguration + execution phases. ----
     for (int mini = 0; mini < options_.mini_rounds_per_round; ++mini) {
       view.SetPhase(k, mini);
       policy.Reconfigure(k, mini, view);
+      if (obs_sampled) {
+        const uint64_t t = obs::NowNs();
+        instruments.RecordPhase(obs::kPhaseReconfig, k, obs_t0, t);
+        obs_t0 = t;
+      }
 
       if (schedule_ptr == nullptr) {
         // Batched execution: count resources per color once, then bulk-
@@ -361,6 +399,11 @@ RunResult Engine::Run(SchedulerPolicy& policy) {
           schedule_ptr->AddExecution(k, mini, r, job);
         }
       }
+      if (obs_sampled) {
+        const uint64_t t = obs::NowNs();
+        instruments.RecordPhase(obs::kPhaseExecute, k, obs_t0, t);
+        obs_t0 = t;
+      }
     }
   }
 
@@ -368,8 +411,13 @@ RunResult Engine::Run(SchedulerPolicy& policy) {
   RRS_CHECK_EQ(result.executed + result.cost.drops, result.arrived)
       << "engine accounting mismatch";
 
-  policy.CollectCounters(result.policy_counters);
   result.rounds_simulated = horizon + 1;
+#if RRS_OBS_LEVEL >= 1
+  internal::FinalizeRunTelemetry(policy, instruments,
+                                 std::move(state.reconfigs_per_color), result);
+#else
+  internal::FinalizeRunTelemetry(policy, instruments, {}, result);
+#endif
   if (schedule_ptr != nullptr) result.schedule = std::move(schedule);
   return result;
 }

@@ -27,6 +27,7 @@
 #include "core/instance.h"
 #include "core/policy.h"
 #include "core/schedule.h"
+#include "obs/telemetry.h"
 
 namespace rrs {
 
@@ -36,6 +37,12 @@ struct RunResult {
   uint64_t arrived = 0;
   Round rounds_simulated = 0;
   std::vector<uint64_t> drops_per_color;
+  // Structured per-run snapshot: cost totals, per-color drop/reconfig
+  // vectors, sampled per-phase wall-time summaries, and merged policy
+  // counters. Empty at RRS_OBS_LEVEL=0.
+  obs::Telemetry telemetry;
+  // DEPRECATED: string-map view of telemetry.counters, kept for one release;
+  // read telemetry.counters instead.
   std::map<std::string, double> policy_counters;
   std::optional<Schedule> schedule;  // present iff options.record_schedule
 

@@ -31,11 +31,21 @@
 
 namespace rrs {
 
+namespace obs {
+class Registry;
+class Scope;
+}  // namespace obs
+
 struct EngineOptions {
   uint32_t num_resources = 1;
   int mini_rounds_per_round = 1;  // 2 = double-speed (Section 3.3)
   CostModel cost_model;
   bool record_schedule = false;
+  // Optional observability scope (src/obs/scope.h): when set (or when a
+  // global scope is installed), the run populates per-phase wall-time
+  // histograms and per-color counters, and emits trace spans if the scope
+  // carries a Tracer. Null = no timing, structured telemetry only.
+  obs::Scope* obs_scope = nullptr;
 };
 
 // Engine-provided window onto the simulation state during a reconfiguration
@@ -113,8 +123,18 @@ class SchedulerPolicy {
   // Reconfiguration phase of mini-round (k, mini).
   virtual void Reconfigure(Round k, int mini, ResourceView& view) = 0;
 
-  // Policy-specific instrumentation (epoch counts, eligible/ineligible drop
-  // split, ...) exported into RunResult::policy_counters.
+  // Structured instrumentation: called once at end of run with a run-local
+  // obs::Registry; policies register named counters/gauges/histograms (epoch
+  // counts, eligible/ineligible drop split, ...). The values land in
+  // RunResult::telemetry.counters and in the scope's aggregate registry.
+  // Preferred over CollectCounters for new code.
+  virtual void ExportMetrics(obs::Registry& registry) const {
+    (void)registry;
+  }
+
+  // DEPRECATED string-map counter export, kept for one release as a
+  // compatibility path; RunResult::policy_counters is now derived from it
+  // plus ExportMetrics. Migrate overrides to ExportMetrics.
   virtual void CollectCounters(std::map<std::string, double>& out) const {
     (void)out;
   }

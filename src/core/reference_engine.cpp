@@ -1,8 +1,11 @@
 #include "core/reference_engine.h"
 
 #include <deque>
+#include <utility>
 #include <vector>
 
+#include "core/run_telemetry.h"
+#include "obs/scope.h"
 #include "util/check.h"
 
 namespace rrs {
@@ -18,7 +21,11 @@ struct RefState {
         pending_n(instance.num_colors(), 0),
         in_nonidle_list(instance.num_colors(), 0),
         expiry_buckets(static_cast<size_t>(instance.horizon()) + 1),
-        last_bucket_round(instance.num_colors(), -1) {}
+        last_bucket_round(instance.num_colors(), -1) {
+#if RRS_OBS_LEVEL >= 1
+    reconfigs_per_color.assign(instance.num_colors(), 0);
+#endif
+  }
 
   const Instance& instance;
   std::vector<ColorId> resource_color;
@@ -28,6 +35,9 @@ struct RefState {
   std::vector<uint8_t> in_nonidle_list;
   std::vector<std::vector<ColorId>> expiry_buckets;  // round -> colors
   std::vector<Round> last_bucket_round;  // dedupe bucket pushes per color
+#if RRS_OBS_LEVEL >= 1
+  std::vector<uint64_t> reconfigs_per_color;  // telemetry (kNoColor excluded)
+#endif
 
   void AddPending(ColorId c, JobId job) {
     if (pending[c].empty() && !in_nonidle_list[c]) {
@@ -55,12 +65,13 @@ struct RefState {
 class RefView : public ResourceView {
  public:
   RefView(RefState& state, const EngineOptions& options, CostBreakdown& cost,
-          Schedule* schedule)
+          Schedule* schedule, obs::RunInstruments& instruments)
       : ResourceView(state.pending_n.data()),
         state_(state),
         options_(options),
         cost_(cost),
-        schedule_(schedule) {}
+        schedule_(schedule),
+        instruments_(instruments) {}
 
   void SetPhase(Round round, int mini) {
     round_ = round;
@@ -82,6 +93,10 @@ class RefView : public ResourceView {
     if (state_.resource_color[r] == c) return;
     state_.resource_color[r] = c;
     ++cost_.reconfigurations;
+#if RRS_OBS_LEVEL >= 1
+    if (c != kNoColor) ++state_.reconfigs_per_color[c];
+    if (instruments_.tracing()) instruments_.EmitRecolor(round_, r);
+#endif
     if (schedule_ != nullptr) {
       schedule_->AddReconfig(round_, mini_, r, c);
     }
@@ -106,6 +121,7 @@ class RefView : public ResourceView {
   const EngineOptions& options_;
   CostBreakdown& cost_;
   Schedule* schedule_;
+  obs::RunInstruments& instruments_;
   Round round_ = 0;
   int mini_ = 0;
   mutable bool compacted_ = false;
@@ -127,13 +143,17 @@ RunResult RunPolicyReference(const Instance& instance, SchedulerPolicy& policy,
   Schedule* schedule_ptr = options.record_schedule ? &schedule : nullptr;
 
   RefState state(instance, options);
-  RefView view(state, options, result.cost, schedule_ptr);
+  obs::RunInstruments instruments(options.obs_scope, "reference");
+  RefView view(state, options, result.cost, schedule_ptr, instruments);
 
   policy.Reset(instance, options);
 
   std::vector<JobId> dropped_scratch;
   const Round horizon = instance.horizon();
   for (Round k = 0; k <= horizon; ++k) {
+    const bool obs_sampled = instruments.ShouldSample(k);
+    uint64_t obs_t0 = obs_sampled ? obs::NowNs() : 0;
+
     // ---- Drop phase: jobs with deadline == k are dropped. ----
     if (k < static_cast<Round>(state.expiry_buckets.size())) {
       for (ColorId c : state.expiry_buckets[static_cast<size_t>(k)]) {
@@ -154,6 +174,11 @@ RunResult RunPolicyReference(const Instance& instance, SchedulerPolicy& policy,
       }
     }
     policy.AfterDropPhase(k);
+    if (obs_sampled) {
+      const uint64_t t = obs::NowNs();
+      instruments.RecordPhase(obs::kPhaseDrop, k, obs_t0, t);
+      obs_t0 = t;
+    }
 
     // ---- Arrival phase: request k. ----
     auto arrivals = instance.jobs_in_round(k);
@@ -180,11 +205,21 @@ RunResult RunPolicyReference(const Instance& instance, SchedulerPolicy& policy,
       }
     }
     policy.AfterArrivalPhase(k);
+    if (obs_sampled) {
+      const uint64_t t = obs::NowNs();
+      instruments.RecordPhase(obs::kPhaseArrival, k, obs_t0, t);
+      obs_t0 = t;
+    }
 
     // ---- Mini-rounds: reconfiguration + execution phases. ----
     for (int mini = 0; mini < options.mini_rounds_per_round; ++mini) {
       view.SetPhase(k, mini);
       policy.Reconfigure(k, mini, view);
+      if (obs_sampled) {
+        const uint64_t t = obs::NowNs();
+        instruments.RecordPhase(obs::kPhaseReconfig, k, obs_t0, t);
+        obs_t0 = t;
+      }
 
       for (ResourceId r = 0; r < options.num_resources; ++r) {
         ColorId c = state.resource_color[r];
@@ -199,14 +234,24 @@ RunResult RunPolicyReference(const Instance& instance, SchedulerPolicy& policy,
           schedule_ptr->AddExecution(k, mini, r, job);
         }
       }
+      if (obs_sampled) {
+        const uint64_t t = obs::NowNs();
+        instruments.RecordPhase(obs::kPhaseExecute, k, obs_t0, t);
+        obs_t0 = t;
+      }
     }
   }
 
   RRS_CHECK_EQ(result.executed + result.cost.drops, result.arrived)
       << "reference engine accounting mismatch";
 
-  policy.CollectCounters(result.policy_counters);
   result.rounds_simulated = horizon + 1;
+#if RRS_OBS_LEVEL >= 1
+  internal::FinalizeRunTelemetry(policy, instruments,
+                                 std::move(state.reconfigs_per_color), result);
+#else
+  internal::FinalizeRunTelemetry(policy, instruments, {}, result);
+#endif
   if (schedule_ptr != nullptr) result.schedule = std::move(schedule);
   return result;
 }

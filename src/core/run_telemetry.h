@@ -1,0 +1,52 @@
+// Shared end-of-run telemetry assembly for the replay engines (Engine and
+// RunPolicyReference): merges the legacy CollectCounters map with the
+// structured ExportMetrics registry, fills RunResult::telemetry, and folds
+// the run into the obs::Scope via RunInstruments::Finalize.
+//
+// Internal header (engine implementations only).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/policy.h"
+#include "obs/metrics.h"
+#include "obs/scope.h"
+
+namespace rrs {
+namespace internal {
+
+inline void FinalizeRunTelemetry(SchedulerPolicy& policy,
+                                 obs::RunInstruments& instruments,
+                                 std::vector<uint64_t>&& reconfigs_per_color,
+                                 RunResult& result) {
+  // Legacy path first, structured values win on name collision. The merge
+  // runs at every obs level (it is end-of-run, not hot path), so policies
+  // migrated to ExportMetrics keep their policy_counters entries even when
+  // the instrumentation layer is compiled out.
+  policy.CollectCounters(result.policy_counters);
+  obs::Registry policy_registry;
+  policy.ExportMetrics(policy_registry);
+  for (const auto& [name, value] : policy_registry.Values()) {
+    result.policy_counters[name] = value;
+  }
+#if RRS_OBS_LEVEL >= 1
+  obs::Telemetry& telemetry = result.telemetry;
+  telemetry.arrived = result.arrived;
+  telemetry.executed = result.executed;
+  telemetry.drops = result.cost.drops;
+  telemetry.reconfigs = result.cost.reconfigurations;
+  telemetry.rounds = static_cast<uint64_t>(result.rounds_simulated);
+  telemetry.drops_per_color = result.drops_per_color;
+  telemetry.reconfigs_per_color = std::move(reconfigs_per_color);
+  telemetry.counters = result.policy_counters;
+  instruments.Finalize(telemetry);
+#else
+  (void)instruments;
+  (void)reconfigs_per_color;
+#endif
+}
+
+}  // namespace internal
+}  // namespace rrs

@@ -52,6 +52,12 @@ class StreamEngine::View final : public ResourceView {
     if (engine_.resource_color_[r] == c) return;
     engine_.resource_color_[r] = c;
     ++engine_.cost_.reconfigurations;
+#if RRS_OBS_LEVEL >= 1
+    if (c != kNoColor) ++engine_.reconfigs_per_color_[c];
+    if (engine_.instruments_.tracing()) {
+      engine_.instruments_.EmitRecolor(engine_.round_, r);
+    }
+#endif
     engine_.outcome_.reconfigs.emplace_back(r, c);
   }
 
@@ -84,7 +90,8 @@ StreamEngine::StreamEngine(std::vector<Round> delay_bounds,
                            SchedulerPolicy& policy, EngineOptions options)
     : instance_(ColorsOnlyInstance(delay_bounds)),
       policy_(policy),
-      options_(options) {
+      options_(options),
+      instruments_(options_.obs_scope, "stream") {
   RRS_CHECK_GE(options_.num_resources, 1u);
   RRS_CHECK_GE(options_.mini_rounds_per_round, 1);
   RRS_CHECK(!options_.record_schedule)
@@ -99,6 +106,10 @@ StreamEngine::StreamEngine(std::vector<Round> delay_bounds,
   nonidle_list_.reserve(instance_.num_colors());
   touched_scratch_.reserve(instance_.num_colors());
   exec_touched_.reserve(instance_.num_colors());
+#if RRS_OBS_LEVEL >= 1
+  drops_per_color_.assign(instance_.num_colors(), 0);
+  reconfigs_per_color_.assign(instance_.num_colors(), 0);
+#endif
   policy_.Reset(instance_, options_);
 }
 
@@ -120,6 +131,9 @@ const RoundOutcome& StreamEngine::Step(
   outcome_.executions.clear();
   outcome_.drops.clear();
 
+  const bool obs_sampled = instruments_.ShouldSample(k);
+  uint64_t obs_t0 = obs_sampled ? obs::NowNs() : 0;
+
   // ---- Drop phase -------------------------------------------------------
   while (!expiry_.empty() && expiry_.top().first <= k) {
     auto [deadline, c] = expiry_.top();
@@ -135,12 +149,20 @@ const RoundOutcome& StreamEngine::Step(
     pending_total_ -= dropped;
     cost_.drops += dropped;
     cost_.weighted_drops += dropped * instance_.drop_cost(c);
+#if RRS_OBS_LEVEL >= 1
+    drops_per_color_[c] += dropped;
+#endif
     outcome_.drops.emplace_back(c, dropped);
     policy_.OnJobsDropped(k, c, dropped, {});
     // Re-arm for the color's next deadline.
     if (!ring.empty()) ArmExpiry(c);
   }
   policy_.AfterDropPhase(k);
+  if (obs_sampled) {
+    const uint64_t t = obs::NowNs();
+    instruments_.RecordPhase(obs::kPhaseDrop, k, obs_t0, t);
+    obs_t0 = t;
+  }
 
   // ---- Arrival phase ----------------------------------------------------
   touched_scratch_.clear();
@@ -171,11 +193,21 @@ const RoundOutcome& StreamEngine::Step(
     policy_.OnArrivals(k, c, count);
   }
   policy_.AfterArrivalPhase(k);
+  if (obs_sampled) {
+    const uint64_t t = obs::NowNs();
+    instruments_.RecordPhase(obs::kPhaseArrival, k, obs_t0, t);
+    obs_t0 = t;
+  }
 
   // ---- Mini-rounds ------------------------------------------------------
   for (int mini = 0; mini < options_.mini_rounds_per_round; ++mini) {
     View view(*this, mini);
     policy_.Reconfigure(k, mini, view);
+    if (obs_sampled) {
+      const uint64_t t = obs::NowNs();
+      instruments_.RecordPhase(obs::kPhaseReconfig, k, obs_t0, t);
+      obs_t0 = t;
+    }
 
     // Execution, batched: histogram resources by color, then bulk-consume
     // min(resources, pending) jobs per color. Identical totals and state to
@@ -209,10 +241,48 @@ const RoundOutcome& StreamEngine::Step(
       // Keep the expiry heap armed for the new front deadline.
       if (!ring.empty()) ArmExpiry(c);
     }
+    if (obs_sampled) {
+      const uint64_t t = obs::NowNs();
+      instruments_.RecordPhase(obs::kPhaseExecute, k, obs_t0, t);
+      obs_t0 = t;
+    }
   }
 
   ++round_;
   return outcome_;
+}
+
+obs::Telemetry StreamEngine::SnapshotTelemetry() const {
+  obs::Telemetry telemetry;
+  telemetry.arrived = arrived_;
+  telemetry.executed = executed_;
+  telemetry.drops = cost_.drops;
+  telemetry.reconfigs = cost_.reconfigurations;
+  telemetry.rounds = static_cast<uint64_t>(round_);
+  policy_.CollectCounters(telemetry.counters);
+  obs::Registry policy_registry;
+  policy_.ExportMetrics(policy_registry);
+  for (const auto& [name, value] : policy_registry.Values()) {
+    telemetry.counters[name] = value;
+  }
+#if RRS_OBS_LEVEL >= 1
+  telemetry.drops_per_color = drops_per_color_;
+  telemetry.reconfigs_per_color = reconfigs_per_color_;
+  const obs::LogHistogram* phase_ns = instruments_.phase_histograms();
+  for (int p = 0; p < obs::kNumPhases; ++p) {
+    telemetry.phase[p] = obs::SummarizePhase(phase_ns[p]);
+  }
+#endif
+  return telemetry;
+}
+
+void StreamEngine::AbsorbIntoScope() {
+#if RRS_OBS_LEVEL >= 1
+  if (absorbed_ || !instruments_.active()) return;
+  absorbed_ = true;
+  obs::Telemetry telemetry = SnapshotTelemetry();
+  instruments_.Finalize(telemetry);
+#endif
 }
 
 void StreamEngine::Finish() {
@@ -220,6 +290,7 @@ void StreamEngine::Finish() {
     Step({});
   }
   // One more drop phase cannot be pending: HasPending() counts every job.
+  AbsorbIntoScope();
 }
 
 }  // namespace rrs

@@ -29,6 +29,7 @@
 
 #include "core/instance.h"
 #include "core/policy.h"
+#include "obs/scope.h"
 #include "util/check.h"
 
 namespace rrs {
@@ -128,6 +129,17 @@ class StreamEngine {
   uint64_t arrived() const { return arrived_; }
   uint64_t executed() const { return executed_; }
 
+  // Structured snapshot of everything seen so far: totals, per-color
+  // drop/reconfig vectors, sampled per-phase wall-time summaries, and the
+  // policy's merged counters. Callable at any round boundary. Near-empty at
+  // RRS_OBS_LEVEL=0 (totals only).
+  obs::Telemetry SnapshotTelemetry() const;
+
+  // Folds the stream's telemetry into the attached obs::Scope (if any).
+  // Called by Finish(); idempotent, so explicit calls for streams that never
+  // drain are safe.
+  void AbsorbIntoScope();
+
  private:
   class View;
   friend class View;
@@ -140,6 +152,7 @@ class StreamEngine {
   Instance instance_;  // colors only; gives policies the color table
   SchedulerPolicy& policy_;
   EngineOptions options_;
+  obs::RunInstruments instruments_;
 
   Round round_ = 0;
   CostBreakdown cost_;
@@ -166,6 +179,11 @@ class StreamEngine {
   std::vector<uint32_t> exec_count_;
   std::vector<ColorId> exec_touched_;
   RoundOutcome outcome_;
+#if RRS_OBS_LEVEL >= 1
+  std::vector<uint64_t> drops_per_color_;
+  std::vector<uint64_t> reconfigs_per_color_;  // telemetry (kNoColor excluded)
+  bool absorbed_ = false;
+#endif
 };
 
 }  // namespace rrs

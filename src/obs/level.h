@@ -1,0 +1,28 @@
+// Compile-time observability level (RRS_OBS_LEVEL).
+//
+//   0  — instrumentation erased: engines take no timestamps, emit no trace
+//        events, keep no per-color telemetry, and RunResult::telemetry stays
+//        empty; hot paths compile to exactly the uninstrumented code (the
+//        gating predicates are constexpr-false, so the optimizer removes the
+//        branches and the clock calls behind them).
+//   1  — default: structured telemetry + sampled per-phase wall-time
+//        histograms on every run, trace spans when a Tracer is attached to
+//        the run's obs::Scope.
+//
+// The level is a whole-build property (a PUBLIC compile definition on the
+// rrsched target, set by the RRS_OBS_LEVEL CMake cache variable), so every
+// translation unit — library, tests, benches — agrees on it.
+#pragma once
+
+#ifndef RRS_OBS_LEVEL
+#define RRS_OBS_LEVEL 1
+#endif
+
+namespace rrs {
+namespace obs {
+
+inline constexpr int kLevel = RRS_OBS_LEVEL;
+inline constexpr bool kEnabled = RRS_OBS_LEVEL >= 1;
+
+}  // namespace obs
+}  // namespace rrs

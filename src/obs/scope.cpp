@@ -1,0 +1,110 @@
+#include "obs/scope.h"
+
+#include <cstdio>
+
+namespace rrs {
+namespace obs {
+
+namespace {
+
+Scope* g_global_scope = nullptr;
+
+}  // namespace
+
+Scope* GlobalScope() { return g_global_scope; }
+void SetGlobalScope(Scope* scope) { g_global_scope = scope; }
+
+void Scope::Absorb(const Telemetry& telemetry, const LogHistogram* phase_ns) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++runs_absorbed_;
+  registry_.counter("engine.runs").Add(1);
+  registry_.counter("engine.rounds").Add(telemetry.rounds);
+  registry_.counter("engine.arrived").Add(telemetry.arrived);
+  registry_.counter("engine.executed").Add(telemetry.executed);
+  registry_.counter("engine.drops").Add(telemetry.drops);
+  registry_.counter("engine.reconfigs").Add(telemetry.reconfigs);
+  for (size_t c = 0; c < telemetry.drops_per_color.size(); ++c) {
+    if (telemetry.drops_per_color[c] != 0) {
+      registry_.counter("engine.drops.color" + std::to_string(c))
+          .Add(telemetry.drops_per_color[c]);
+    }
+  }
+  for (size_t c = 0; c < telemetry.reconfigs_per_color.size(); ++c) {
+    if (telemetry.reconfigs_per_color[c] != 0) {
+      registry_.counter("engine.reconfigs.color" + std::to_string(c))
+          .Add(telemetry.reconfigs_per_color[c]);
+    }
+  }
+  if (phase_ns != nullptr) {
+    for (int p = 0; p < kNumPhases; ++p) {
+      if (phase_ns[p].count() != 0) {
+        registry_.histogram(std::string("engine.phase.") + PhaseName(p) + ".ns")
+            .Merge(phase_ns[p]);
+      }
+    }
+  }
+  for (const auto& [name, value] : telemetry.counters) {
+    // Policy counters are per-run totals; summing across runs matches the
+    // counter semantics of every exporter we feed.
+    registry_.counter("policy." + name).Add(static_cast<uint64_t>(value));
+  }
+}
+
+std::string Scope::SummaryLine() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Const view of the aggregate; counter() would insert, so go through
+  // Values() which only reads.
+  const auto values = registry_.Values();
+  auto value_of = [&](const char* name) -> unsigned long long {
+    auto it = values.find(name);
+    return it == values.end() ? 0ull
+                              : static_cast<unsigned long long>(it->second);
+  };
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "telemetry: runs=%llu rounds=%llu drops=%llu reconfigs=%llu "
+                "executed=%llu",
+                static_cast<unsigned long long>(runs_absorbed_),
+                value_of("engine.rounds"), value_of("engine.drops"),
+                value_of("engine.reconfigs"), value_of("engine.executed"));
+  std::string out = buf;
+  for (int p = 0; p < kNumPhases; ++p) {
+    const std::string name =
+        std::string("engine.phase.") + PhaseName(p) + ".ns";
+    const LogHistogram* hist = registry_.FindHistogram(name);
+    if (hist == nullptr || hist->count() == 0) continue;
+    std::snprintf(buf, sizeof(buf), " %s[p50/p99]=%.0f/%.0fns", PhaseName(p),
+                  hist->Quantile(0.5), hist->Quantile(0.99));
+    out += buf;
+  }
+  return out;
+}
+
+#if RRS_OBS_LEVEL >= 1
+
+RunInstruments::RunInstruments(Scope* scope, const char* engine_name)
+    : scope_(EffectiveScope(scope)) {
+  if (scope_ == nullptr) return;
+  sample_mask_ = scope_->sample_mask();
+  Tracer* tracer = scope_->tracer();
+  if (tracer != nullptr) {
+    const std::string base =
+        "run" + std::to_string(scope_->NextRunId()) + "/" + engine_name + "/";
+    for (int p = 0; p < kNumPhases; ++p) {
+      tracks_[p] = tracer->RegisterTrack(base + PhaseName(p));
+    }
+    tracer_ = tracer;
+  }
+}
+
+void RunInstruments::Finalize(Telemetry& telemetry) {
+  for (int p = 0; p < kNumPhases; ++p) {
+    telemetry.phase[p] = SummarizePhase(phase_ns_[p]);
+  }
+  if (scope_ != nullptr) scope_->Absorb(telemetry, phase_ns_);
+}
+
+#endif  // RRS_OBS_LEVEL >= 1
+
+}  // namespace obs
+}  // namespace rrs

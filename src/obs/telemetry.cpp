@@ -1,0 +1,54 @@
+#include "obs/telemetry.h"
+
+#include <cstdio>
+
+#include "obs/metrics.h"
+
+namespace rrs {
+namespace obs {
+
+const char* PhaseName(int phase) {
+  switch (phase) {
+    case kPhaseDrop:
+      return "drop";
+    case kPhaseArrival:
+      return "arrival";
+    case kPhaseReconfig:
+      return "reconfig";
+    case kPhaseExecute:
+      return "execute";
+    default:
+      return "unknown";
+  }
+}
+
+PhaseStat SummarizePhase(const LogHistogram& hist) {
+  PhaseStat stat;
+  stat.samples = hist.count();
+  stat.total_ns = hist.sum();
+  stat.p50_ns = hist.Quantile(0.5);
+  stat.p99_ns = hist.Quantile(0.99);
+  stat.max_ns = hist.max();
+  return stat;
+}
+
+std::string Telemetry::SummaryLine() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "telemetry: rounds=%llu drops=%llu reconfigs=%llu executed=%llu",
+                static_cast<unsigned long long>(rounds),
+                static_cast<unsigned long long>(drops),
+                static_cast<unsigned long long>(reconfigs),
+                static_cast<unsigned long long>(executed));
+  std::string out = buf;
+  for (int p = 0; p < kNumPhases; ++p) {
+    if (phase[p].samples == 0) continue;
+    std::snprintf(buf, sizeof(buf), " %s[p50/p99]=%.0f/%.0fns", PhaseName(p),
+                  phase[p].p50_ns, phase[p].p99_ns);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace rrs

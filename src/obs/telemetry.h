@@ -1,0 +1,68 @@
+// Telemetry: the structured per-run snapshot carried by RunResult, replacing
+// the ad-hoc string-map policy_counters (which remains as a deprecated view
+// derived from `counters` for one release).
+//
+// The snapshot is cheap plain data — cost totals, per-color drop/reconfig
+// vectors, per-phase wall-time summaries (from sampled LogHistograms), and a
+// flat counter map fed by SchedulerPolicy::ExportMetrics plus the legacy
+// CollectCounters path — so harness code can aggregate it without touching
+// the obs runtime.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/level.h"
+
+namespace rrs {
+namespace obs {
+
+class LogHistogram;
+
+// The engine's four round phases, in model order (Section 2).
+enum EnginePhase : int {
+  kPhaseDrop = 0,
+  kPhaseArrival = 1,
+  kPhaseReconfig = 2,
+  kPhaseExecute = 3,
+  kNumPhases = 4,
+};
+
+const char* PhaseName(int phase);  // "drop", "arrival", "reconfig", "execute"
+
+// Summary of one phase's sampled wall-time distribution (nanoseconds).
+struct PhaseStat {
+  uint64_t samples = 0;
+  uint64_t total_ns = 0;
+  double p50_ns = 0;
+  double p99_ns = 0;
+  uint64_t max_ns = 0;
+};
+
+PhaseStat SummarizePhase(const LogHistogram& hist);
+
+struct Telemetry {
+  uint64_t arrived = 0;
+  uint64_t executed = 0;
+  uint64_t drops = 0;
+  uint64_t reconfigs = 0;
+  uint64_t rounds = 0;
+
+  std::vector<uint64_t> drops_per_color;
+  std::vector<uint64_t> reconfigs_per_color;
+
+  PhaseStat phase[kNumPhases];
+
+  // Structured policy/extension counters (ExportMetrics + legacy
+  // CollectCounters, merged; structured values win on name collision).
+  std::map<std::string, double> counters;
+
+  // One-line human summary: drops, reconfigs, and per-phase p50/p99 — the
+  // self-describing footer every experiment run prints.
+  std::string SummaryLine() const;
+};
+
+}  // namespace obs
+}  // namespace rrs

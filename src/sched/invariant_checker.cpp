@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace rrs {
@@ -21,10 +22,9 @@ void InvariantCheckingPolicy::Reconfigure(Round k, int mini,
   ++checks_;
 }
 
-void InvariantCheckingPolicy::CollectCounters(
-    std::map<std::string, double>& out) const {
-  inner_.CollectCounters(out);
-  out["invariant_checks"] = static_cast<double>(checks_);
+void InvariantCheckingPolicy::ExportMetrics(obs::Registry& registry) const {
+  inner_.ExportMetrics(registry);
+  registry.counter("invariant_checks").Add(checks_);
 }
 
 void InvariantCheckingPolicy::Verify(Round k, const ResourceView& view) const {

@@ -45,7 +45,13 @@ class InvariantCheckingPolicy : public SchedulerPolicy {
   }
   void AfterArrivalPhase(Round k) override { inner_.AfterArrivalPhase(k); }
   void Reconfigure(Round k, int mini, ResourceView& view) override;
-  void CollectCounters(std::map<std::string, double>& out) const override;
+  // Structured export: "invariant_checks" plus whatever the inner policy
+  // registers. The legacy CollectCounters path only forwards to the inner
+  // policy (this wrapper's own counter lives on the registry now).
+  void ExportMetrics(obs::Registry& registry) const override;
+  void CollectCounters(std::map<std::string, double>& out) const override {
+    inner_.CollectCounters(out);
+  }
 
   uint64_t checks_performed() const { return checks_; }
 

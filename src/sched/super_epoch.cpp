@@ -1,5 +1,7 @@
 #include "sched/super_epoch.h"
 
+#include "obs/metrics.h"
+
 #include <algorithm>
 
 #include "util/check.h"
@@ -63,11 +65,10 @@ void InstrumentedDlruEdfPolicy::CloseSuperEpoch() {
   active_count_ = 0;
 }
 
-void InstrumentedDlruEdfPolicy::CollectCounters(
-    std::map<std::string, double>& out) const {
-  DlruEdfPolicy::CollectCounters(out);
-  out["super_epochs_completed"] = static_cast<double>(super_epochs_completed_);
-  out["max_epochs_per_super_epoch"] = static_cast<double>(max_overlap_);
+void InstrumentedDlruEdfPolicy::ExportMetrics(obs::Registry& registry) const {
+  DlruEdfPolicy::ExportMetrics(registry);
+  registry.counter("super_epochs_completed").Add(super_epochs_completed_);
+  registry.counter("max_epochs_per_super_epoch").Add(max_overlap_);
 }
 
 }  // namespace rrs

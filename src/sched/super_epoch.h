@@ -40,7 +40,9 @@ class InstrumentedDlruEdfPolicy : public DlruEdfPolicy {
   // super-epoch.
   uint64_t active_colors_in_current() const { return active_count_; }
 
-  void CollectCounters(std::map<std::string, double>& out) const override;
+  // Registers "super_epochs_completed" and "max_epochs_per_super_epoch" on
+  // top of the base policy's export (migrated off the legacy string map).
+  void ExportMetrics(obs::Registry& registry) const override;
 
  protected:
   void OnReset() override;

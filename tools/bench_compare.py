@@ -6,11 +6,17 @@ Usage:
 
 Fails (exit 1) when any benchmark cell in CURRENT:
   * is missing relative to BASELINE,
+  * lacks a metric that the BASELINE cell records (a gated metric silently
+    disappearing from the report must fail loudly, not with a KeyError),
   * regresses rounds_per_sec or jobs_per_sec by more than --threshold
     (fraction; 0.15 = 15% slower than baseline), or
   * exceeds the steady-state allocation budget (allocations per round in
     steady state; the engine's contract is ~0 — scratch reuse only, so even
     amortized vector doubling stays under a small constant).
+
+Metrics present only in CURRENT (e.g. the informational phase_*_p50_ns
+breakdown) are ignored, so reports can grow new columns without a baseline
+update.
 
 Improvements and new cells never fail; the script prints a per-cell report
 either way. Update the checked-in baseline by copying a fresh report over
@@ -55,6 +61,13 @@ def main():
             failures.append(f"{name}: missing from current report")
             continue
         for metric in ("rounds_per_sec", "jobs_per_sec"):
+            if metric not in base:
+                continue  # baseline predates this metric; nothing to gate
+            if metric not in cur:
+                failures.append(
+                    f"{name}: metric '{metric}' present in baseline but "
+                    f"missing from current report")
+                continue
             b, c = base[metric], cur[metric]
             change = (c - b) / b if b > 0 else 0.0
             status = "ok"
@@ -65,6 +78,11 @@ def main():
                     f"({change * 100:+.1f}% < -{args.threshold * 100:.0f}%)")
             print(f"{name:24s} {metric:16s} {c:14.0f} "
                   f"(baseline {b:.0f}, {change * 100:+.1f}%) {status}")
+        if "steady_allocs_per_round" not in cur:
+            failures.append(
+                f"{name}: metric 'steady_allocs_per_round' present in "
+                f"baseline but missing from current report")
+            continue
         allocs = cur["steady_allocs_per_round"]
         status = "ok"
         if allocs > args.alloc_budget:

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Tests for tools/bench_compare.py (wired into ctest as a tier-1 test).
+
+Written as unittest so it runs with the stock interpreter, but the cases are
+pytest-compatible (pytest collects unittest.TestCase subclasses).
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TOOLS_DIR = os.path.dirname(os.path.abspath(__file__))
+BENCH_COMPARE = os.path.join(TOOLS_DIR, "bench_compare.py")
+
+
+def report(cells):
+    return {"benchmarks": cells}
+
+
+def cell(name, rounds=1e6, jobs=5e5, allocs=0.0, **extra):
+    out = {
+        "name": name,
+        "rounds_per_sec": rounds,
+        "jobs_per_sec": jobs,
+        "steady_allocs_per_round": allocs,
+    }
+    out.update(extra)
+    return out
+
+
+class BenchCompareTest(unittest.TestCase):
+    def run_compare(self, baseline, current, *extra_args):
+        """Writes both reports to temp files and runs bench_compare.py."""
+        with tempfile.TemporaryDirectory() as tmp:
+            base_path = os.path.join(tmp, "baseline.json")
+            cur_path = os.path.join(tmp, "current.json")
+            with open(base_path, "w") as f:
+                json.dump(baseline, f)
+            with open(cur_path, "w") as f:
+                json.dump(current, f)
+            return subprocess.run(
+                [sys.executable, BENCH_COMPARE, base_path, cur_path,
+                 *extra_args],
+                capture_output=True, text=True)
+
+    def test_identical_reports_pass(self):
+        r = report([cell("dlru/128c/8r"), cell("pipeline/32c/8r")])
+        proc = self.run_compare(r, r)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("perf gate passed", proc.stdout)
+
+    def test_missing_metric_fails_with_clear_message(self):
+        base = report([cell("dlru/128c/8r")])
+        cur = report([cell("dlru/128c/8r")])
+        del cur["benchmarks"][0]["jobs_per_sec"]
+        proc = self.run_compare(base, cur)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("metric 'jobs_per_sec' present in baseline but missing",
+                      proc.stderr)
+        self.assertNotIn("KeyError", proc.stderr)
+        self.assertNotIn("Traceback", proc.stderr)
+
+    def test_missing_alloc_metric_fails_with_clear_message(self):
+        base = report([cell("dlru/128c/8r")])
+        cur = report([cell("dlru/128c/8r")])
+        del cur["benchmarks"][0]["steady_allocs_per_round"]
+        proc = self.run_compare(base, cur)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn(
+            "metric 'steady_allocs_per_round' present in baseline but missing",
+            proc.stderr)
+        self.assertNotIn("Traceback", proc.stderr)
+
+    def test_throughput_regression_fails(self):
+        base = report([cell("dlru/128c/8r", rounds=1e6)])
+        cur = report([cell("dlru/128c/8r", rounds=0.5e6)])
+        proc = self.run_compare(base, cur)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("REGRESSION", proc.stdout)
+        self.assertIn("rounds_per_sec", proc.stderr)
+
+    def test_regression_within_threshold_passes(self):
+        base = report([cell("dlru/128c/8r", rounds=1e6, jobs=1e6)])
+        cur = report([cell("dlru/128c/8r", rounds=0.9e6, jobs=0.9e6)])
+        proc = self.run_compare(base, cur)  # default threshold 15%
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_alloc_budget_violation_fails(self):
+        base = report([cell("dlru/128c/8r", allocs=0.0)])
+        cur = report([cell("dlru/128c/8r", allocs=1.5)])
+        proc = self.run_compare(base, cur)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("OVER BUDGET", proc.stdout)
+
+    def test_missing_cell_fails(self):
+        base = report([cell("dlru/128c/8r"), cell("static/128c/8r")])
+        cur = report([cell("dlru/128c/8r")])
+        proc = self.run_compare(base, cur)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("missing from current report", proc.stderr)
+
+    def test_new_cell_and_new_metrics_ignored(self):
+        base = report([cell("dlru/128c/8r")])
+        cur = report([
+            cell("dlru/128c/8r", phase_drop_p50_ns=120.0),
+            cell("stream/64c/8r"),
+        ])
+        proc = self.run_compare(base, cur)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("new cell (not in baseline), skipped", proc.stdout)
+
+    def test_baseline_without_metric_is_not_gated(self):
+        # A baseline written before a metric existed must not fail the gate.
+        base = report([cell("dlru/128c/8r")])
+        del base["benchmarks"][0]["jobs_per_sec"]
+        cur = report([cell("dlru/128c/8r")])
+        proc = self.run_compare(base, cur)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()
