@@ -1,0 +1,203 @@
+// Perf-regression gate for the offline optimal solver (no google-benchmark
+// dependency; same plain-JSON pattern as bench_baseline).
+//
+// Runs a fixed instance matrix through the packed branch-and-bound solver
+// and the retained layered-DP reference and writes a JSON report (default
+// BENCH_offline.json, or argv[1]) with, per cell:
+//
+//   states_per_sec   expanded states per second of solve wall time
+//   solve_ms         mean wall time of one full solve
+//   states_expanded  expansions per solve (informational, pins search size)
+//   exact            1 when the solve finished inside the state budget
+//
+// Cell design notes:
+//   * dp_ref/... and packed_noprune/... run the SAME instance with pruning
+//     disabled, so both walk the identical reachable state space — the
+//     states_per_sec ratio between them isolates the packed-representation
+//     speedup (arena spans + open addressing vs vector keys in an
+//     unordered_map) from the pruning win.
+//   * packed/... re-enables bound + dominance pruning; its solve_ms against
+//     packed_noprune isolates the pruning win.
+//   * packed_t8/... drives the widest layers through an 8-thread pool. On a
+//     single-core host this measures overhead, not speedup; the cell exists
+//     so the deterministic-merge path is exercised and timed either way.
+//   * packed/m4/6c/h128 is the raised-envelope acceptance instance.
+//
+// tools/bench_compare.py diffs this report against the checked-in
+// bench/BENCH_offline.json and fails on regression; ctest wires the pair up
+// under the opt-in "perf" configuration (ctest -C perf -L perf).
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+#include "offline/dp_reference.h"
+#include "offline/optimal.h"
+#include "parallel/thread_pool.h"
+#include "util/rng.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+// Medium instance both solvers can exhaust unpruned: m=2, 4 colors,
+// horizon 48. Sized so the unpruned state space is large enough to time
+// (~10^5 states) but finishes in well under a second per solve.
+rrs::Instance MakeMediumInstance() {
+  rrs::InstanceBuilder b;
+  rrs::ColorId colors[4];
+  static const rrs::Round kDelays[4] = {2, 4, 8, 16};
+  for (int c = 0; c < 4; ++c) colors[c] = b.AddColor(kDelays[c], "", 1);
+  rrs::Rng rng(41);
+  for (rrs::Round t = 0; t + 3 <= 48; t += 3) {
+    b.AddJob(colors[rng.NextBounded(4)], t);
+    b.AddJob(colors[rng.NextBounded(4)], t + rng.NextBounded(3));
+  }
+  return b.Build();
+}
+
+// Denser m=2 instance whose unpruned layers go wide — the parallel-merge
+// stress cell. Kept unpruned so layer widths (and thus the sharded merge)
+// dominate the wall time.
+rrs::Instance MakeWideInstance() {
+  rrs::InstanceBuilder b;
+  rrs::ColorId colors[4];
+  static const rrs::Round kDelays[4] = {4, 8, 8, 16};
+  for (int c = 0; c < 4; ++c) colors[c] = b.AddColor(kDelays[c], "", 1);
+  rrs::Rng rng(59);
+  for (rrs::Round t = 0; t + 2 <= 40; t += 2) {
+    b.AddJob(colors[rng.NextBounded(4)], t);
+    b.AddJob(colors[rng.NextBounded(4)], t);
+    b.AddJob(colors[rng.NextBounded(4)], t + 1);
+  }
+  return b.Build();
+}
+
+// The raised-envelope acceptance instance: m=4, 6 colors, horizon 128
+// (same construction as the differential test's RaisedEnvelope case).
+rrs::Instance MakeEnvelopeInstance() {
+  rrs::InstanceBuilder b;
+  rrs::ColorId colors[6];
+  static const rrs::Round kDelays[6] = {2, 4, 4, 8, 16, 32};
+  for (int c = 0; c < 6; ++c) colors[c] = b.AddColor(kDelays[c], "", 1 + c % 2);
+  rrs::Rng rng(97);
+  for (rrs::Round t = 0; t + 4 <= 128; t += 4) {
+    b.AddJob(colors[rng.NextBounded(6)], t);
+    b.AddJob(colors[rng.NextBounded(6)], t + rng.NextBounded(4));
+    if (t % 8 == 0) b.AddJob(colors[rng.NextBounded(6)], t + rng.NextBounded(4));
+  }
+  return b.Build();
+}
+
+struct CellResult {
+  std::string name;
+  double states_per_sec = 0;
+  double solve_ms = 0;
+  double states_expanded = 0;
+  int exact = 1;
+};
+
+// Repeats solve() until kMinSeconds of samples accumulate; states/s uses
+// the summed expansions over the summed wall time.
+template <typename SolveFn>
+CellResult TimeCell(const std::string& name, SolveFn solve) {
+  constexpr double kMinSeconds = 0.3;
+  CellResult out;
+  out.name = name;
+  solve(&out);  // warm-up (page-in, arena growth)
+  uint64_t iters = 0;
+  uint64_t expanded = 0;
+  const auto start = Clock::now();
+  auto now = start;
+  do {
+    out.states_expanded = 0;
+    solve(&out);
+    expanded += static_cast<uint64_t>(out.states_expanded);
+    ++iters;
+    now = Clock::now();
+  } while (Seconds(start, now) < kMinSeconds);
+  const double elapsed = Seconds(start, now);
+  out.states_per_sec = static_cast<double>(expanded) / elapsed;
+  out.solve_ms = elapsed * 1e3 / static_cast<double>(iters);
+  return out;
+}
+
+CellResult RunPacked(const std::string& name, const rrs::Instance& inst,
+                     uint32_t m, uint64_t delta, bool prune,
+                     rrs::ThreadPool* pool) {
+  return TimeCell(name, [&](CellResult* out) {
+    rrs::offline::OptimalOptions options;
+    options.num_resources = m;
+    options.cost_model.delta = delta;
+    options.prune_bound = prune;
+    options.prune_dominance = prune;
+    options.pool = pool;
+    auto r = rrs::offline::SolveOptimal(inst, options);
+    out->states_expanded = static_cast<double>(r.states_expanded);
+    out->exact = r.exact ? 1 : 0;
+  });
+}
+
+CellResult RunDpReference(const std::string& name, const rrs::Instance& inst,
+                          uint32_t m, uint64_t delta) {
+  return TimeCell(name, [&](CellResult* out) {
+    rrs::offline::DpReferenceOptions options;
+    options.num_resources = m;
+    options.cost_model.delta = delta;
+    auto r = rrs::offline::SolveLayeredDpReference(inst, options);
+    out->states_expanded = r ? static_cast<double>(r->states_expanded) : 0;
+    out->exact = r.has_value() ? 1 : 0;
+  });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_offline.json";
+
+  const rrs::Instance medium = MakeMediumInstance();
+  const rrs::Instance wide = MakeWideInstance();
+  const rrs::Instance envelope = MakeEnvelopeInstance();
+  rrs::ThreadPool pool8(8);
+
+  std::vector<CellResult> results;
+  results.push_back(RunDpReference("dp_ref/m2/4c/h48", medium, 2, 3));
+  results.push_back(
+      RunPacked("packed_noprune/m2/4c/h48", medium, 2, 3, false, nullptr));
+  results.push_back(RunPacked("packed/m2/4c/h48", medium, 2, 3, true, nullptr));
+  results.push_back(
+      RunPacked("packed_t8/m2/4c/h40_wide", wide, 2, 3, false, &pool8));
+  results.push_back(
+      RunPacked("packed/m4/6c/h128", envelope, 4, 2, true, nullptr));
+
+  for (const CellResult& r : results) {
+    std::printf("%-28s %12.0f states/s %10.2f ms %10.0f expanded exact=%d\n",
+                r.name.c_str(), r.states_per_sec, r.solve_ms,
+                r.states_expanded, r.exact);
+  }
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path);
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"benchmarks\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const CellResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"states_per_sec\": %.1f, "
+                 "\"solve_ms\": %.3f, \"states_expanded\": %.0f, "
+                 "\"exact\": %d}%s\n",
+                 r.name.c_str(), r.states_per_sec, r.solve_ms,
+                 r.states_expanded, r.exact, i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path);
+  return 0;
+}

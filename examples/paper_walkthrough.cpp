@@ -160,13 +160,13 @@ int main() {
     opt_options.cost_model = model;
     opt_options.reconstruct_schedule = true;
     auto opt = offline::SolveOptimal(inst, opt_options);
-    if (opt && opt->schedule) {
-      auto v = opt->schedule->Validate(inst);
+    if (opt.exact && opt.schedule) {
+      auto v = opt.schedule->Validate(inst);
       std::printf("exact OPT (1 resource): cost=%llu, schedule validated=%s\n",
-                  static_cast<unsigned long long>(opt->total_cost),
+                  static_cast<unsigned long long>(opt.total_cost),
                   v.ok ? "yes" : "NO");
       std::printf("\nOPT's schedule as a Gantt chart:\n%s",
-                  analysis::RenderGantt(*opt->schedule, inst, 0,
+                  analysis::RenderGantt(*opt.schedule, inst, 0,
                                         inst.horizon() - 1)
                       .c_str());
     }

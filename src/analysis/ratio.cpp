@@ -19,21 +19,38 @@ double SafeRatio(uint64_t numerator, uint64_t denominator) {
 
 }  // namespace
 
-std::optional<ExactRatio> MeasureExactRatio(const Instance& instance,
-                                            uint64_t online_cost, uint32_t m,
-                                            const CostModel& model,
-                                            uint64_t max_states) {
+RatioReport MeasureRatio(const Instance& instance, uint64_t online_cost,
+                         uint32_t m, const CostModel& model,
+                         uint64_t max_states) {
   offline::OptimalOptions options;
   options.num_resources = m;
   options.cost_model = model;
   options.max_states = max_states;
-  auto optimal = offline::SolveOptimal(instance, options);
-  if (!optimal) return std::nullopt;
+  const offline::OptimalResult optimal = offline::SolveOptimal(instance, options);
+
+  RatioReport out;
+  out.exact = optimal.exact;
+  out.online_cost = online_cost;
+  out.opt_lower = optimal.lower_bound;
+  out.opt_upper = optimal.upper_bound;
+  out.states_expanded = optimal.states_expanded;
+  out.ratio_lower = SafeRatio(online_cost, optimal.upper_bound);
+  out.ratio_upper = SafeRatio(online_cost, optimal.lower_bound);
+  return out;
+}
+
+std::optional<ExactRatio> MeasureExactRatio(const Instance& instance,
+                                            uint64_t online_cost, uint32_t m,
+                                            const CostModel& model,
+                                            uint64_t max_states) {
+  const RatioReport report =
+      MeasureRatio(instance, online_cost, m, model, max_states);
+  if (!report.exact) return std::nullopt;
 
   ExactRatio out;
   out.online_cost = online_cost;
-  out.optimal_cost = optimal->total_cost;
-  out.ratio = SafeRatio(online_cost, optimal->total_cost);
+  out.optimal_cost = report.opt_upper;
+  out.ratio = report.ratio_lower;
   return out;
 }
 

@@ -1,11 +1,14 @@
 // Competitive-ratio measurement helpers.
 //
 // Two regimes:
-//  - tiny instances: ratio against the *exact* offline optimum
-//    (offline::SolveOptimal);
-//  - larger instances: a bracket [online/heuristic-OFF, online/LB] whose
+//  - solver-backed: MeasureRatio runs offline::SolveOptimal and reports the
+//    exact ratio when the search completes, or the solver's certified
+//    [lower, upper] bracket on OPT (and the induced ratio bracket) when the
+//    state budget runs out — budget exhaustion degrades, it never fails;
+//  - solver-free: a bracket [online/heuristic-OFF, online/LB] whose
 //    lower end under-reports and upper end over-reports the true ratio
-//    (offline::ClairvoyantCost and offline::LowerBound).
+//    (offline::ClairvoyantCost and offline::LowerBound), for instances where
+//    even a bounded search is too much (experiment E4).
 #pragma once
 
 #include <cstdint>
@@ -29,7 +32,26 @@ struct ExactRatio {
   double ratio = 0;  // online / max(optimal, 1); 1.0 when both are zero
 };
 
+// Solver-backed ratio report: exact when the search completed, otherwise the
+// certified OPT bracket it returned. states_expanded records the search
+// effort either way (deterministic, so comparable across runs).
+struct RatioReport {
+  bool exact = false;
+  uint64_t online_cost = 0;
+  uint64_t opt_lower = 0;  // == opt_upper when exact
+  uint64_t opt_upper = 0;
+  uint64_t states_expanded = 0;
+  // online/opt_upper <= true ratio <= online/opt_lower; equal when exact.
+  double ratio_lower = 0;
+  double ratio_upper = 0;
+};
+
+RatioReport MeasureRatio(const Instance& instance, uint64_t online_cost,
+                         uint32_t m, const CostModel& model,
+                         uint64_t max_states = 5'000'000);
+
 // Exact ratio; nullopt if the optimal solver exceeds its state budget.
+// Thin wrapper over MeasureRatio for callers that only want exact answers.
 std::optional<ExactRatio> MeasureExactRatio(const Instance& instance,
                                             uint64_t online_cost, uint32_t m,
                                             const CostModel& model,

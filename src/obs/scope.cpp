@@ -50,6 +50,21 @@ void Scope::Absorb(const Telemetry& telemetry, const LogHistogram* phase_ns) {
   }
 }
 
+void Scope::AbsorbCounters(
+    std::span<const std::pair<std::string_view, uint64_t>> counters) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, delta] : counters) {
+    registry_.counter(name).Add(delta);
+  }
+}
+
+void Scope::AbsorbHistogram(std::string_view name,
+                            const LogHistogram& histogram) {
+  if (histogram.count() == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  registry_.histogram(name).Merge(histogram);
+}
+
 std::string Scope::SummaryLine() const {
   std::lock_guard<std::mutex> lock(mutex_);
   // Const view of the aggregate; counter() would insert, so go through

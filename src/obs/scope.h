@@ -22,7 +22,10 @@
 
 #include <cstdint>
 #include <mutex>
+#include <span>
 #include <string>
+#include <string_view>
+#include <utility>
 
 #include "core/types.h"
 #include "obs/level.h"
@@ -58,6 +61,14 @@ class Scope {
   // engine.* counters, per-color drop/reconfig counters, per-phase duration
   // histograms, and the run's structured policy counters.
   void Absorb(const Telemetry& telemetry, const LogHistogram* phase_ns);
+
+  // Generic absorption for non-engine producers (e.g. the offline solver):
+  // adds each (name, delta) into the aggregate counters / merges a finished
+  // run-local histogram, thread-safe. Cold path — callers batch at end of
+  // run, never per event.
+  void AbsorbCounters(
+      std::span<const std::pair<std::string_view, uint64_t>> counters);
+  void AbsorbHistogram(std::string_view name, const LogHistogram& histogram);
 
   // The cross-run aggregate. Safe to read once all runs absorbed (the
   // reference is unsynchronized; Absorb is the only concurrent writer).

@@ -21,21 +21,24 @@ struct Search {
   uint64_t nodes = 0;
   bool exhausted = false;
   uint64_t best = static_cast<uint64_t>(-1);
+  mutable std::vector<uint64_t> counts_scratch;
 
   explicit Search(const Instance& inst) : instance(inst), m(1), delta(1),
                                           max_nodes(0) {}
 
   void AddArrivals(Round k, std::vector<ColorPending>& pending) const {
-    auto jobs = instance.jobs_in_round(k);
-    size_t i = 0;
-    while (i < jobs.size()) {
-      ColorId c = jobs[i].color;
-      uint64_t count = 0;
-      while (i < jobs.size() && jobs[i].color == c) {
-        ++count;
-        ++i;
-      }
-      pending[c].emplace_back(k + instance.delay_bound(c), count);
+    // Accumulate a full per-color count first: jobs within a round are not
+    // guaranteed color-sorted, and appending one group per consecutive run
+    // would create several same-deadline groups for a color — the drop
+    // phase removes only the front group per round, so later duplicates
+    // would silently escape their deadline.
+    counts_scratch.assign(instance.num_colors(), 0);
+    for (const Job& job : instance.jobs_in_round(k)) ++counts_scratch[job.color];
+    for (ColorId c = 0; c < instance.num_colors(); ++c) {
+      if (counts_scratch[c] == 0) continue;
+      // Deadlines stay strictly ascending: earlier arrivals of c have
+      // strictly earlier deadlines (same delay bound, earlier round).
+      pending[c].emplace_back(k + instance.delay_bound(c), counts_scratch[c]);
     }
   }
 
@@ -86,10 +89,12 @@ struct Search {
       if (p.empty()) continue;
       if (--p.front().second == 0) p.erase(p.begin());
     }
-    // Advance: drop phase of round k+1, then its arrivals.
+    // Advance: drop phase of round k+1, then its arrivals. A `while` (not
+    // `if`): every pending group whose deadline has arrived must pay, even
+    // if the invariant of one group per deadline were ever relaxed.
     for (ColorId c = 0; c < instance.num_colors(); ++c) {
       ColorPending& p = pending[c];
-      if (!p.empty() && p.front().first == k + 1) {
+      while (!p.empty() && p.front().first <= k + 1) {
         cost += p.front().second * instance.drop_cost(c);
         p.erase(p.begin());
       }

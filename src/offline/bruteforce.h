@@ -4,9 +4,13 @@
 // the resource's color" (which is exchange-optimal, see optimal.h).
 //
 // Exponentially slower than offline::SolveOptimal, but *independent* of it:
-// the two implementations share no state representation, so agreeing on
-// random instances is strong evidence both are correct. Used only in tests
-// and strictly for very small instances.
+// this solver recurses over raw (resource -> color) assignments with
+// vector-of-vector pending queues, sharing neither the packed span encoding
+// nor the pruning machinery of the branch-and-bound search (nor the
+// unordered_map layering of offline/dp_reference), so agreement on random
+// instances is strong evidence all of them are correct. Used only in tests
+// and strictly for very small instances (the differential suite stays at
+// m <= 2, <= 3 colors).
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,237 @@
+#include "offline/dp_reference.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace rrs {
+namespace offline {
+
+namespace {
+
+// Black (unconfigured) sentinel inside state encodings: one past the last
+// real color, so sorted configs are canonical.
+struct VecHash {
+  size_t operator()(const std::vector<uint32_t>& v) const {
+    uint64_t h = 1469598103934665603ULL;  // FNV-1a
+    for (uint32_t x : v) {
+      h ^= x;
+      h *= 1099511628211ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+// Pending jobs of one color: (relative deadline, count), sorted ascending.
+using ColorPending = std::vector<std::pair<uint32_t, uint32_t>>;
+
+struct State {
+  std::vector<uint32_t> config;        // sorted, size m, black = num_colors
+  std::vector<ColorPending> pending;   // per color
+
+  std::vector<uint32_t> Encode() const {
+    std::vector<uint32_t> key;
+    key.reserve(config.size() + pending.size() * 3);
+    key.insert(key.end(), config.begin(), config.end());
+    for (const ColorPending& p : pending) {
+      key.push_back(static_cast<uint32_t>(p.size()));
+      for (const auto& [rel, count] : p) {
+        key.push_back(rel);
+        key.push_back(count);
+      }
+    }
+    return key;
+  }
+};
+
+// Multiset overlap of two sorted vectors.
+uint32_t SortedOverlap(const std::vector<uint32_t>& a,
+                       const std::vector<uint32_t>& b) {
+  uint32_t overlap = 0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++overlap;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return overlap;
+}
+
+// Enumerates all sorted multisets of size m over the sorted alphabet.
+void EnumerateConfigs(const std::vector<uint32_t>& alphabet, uint32_t m,
+                      size_t from, std::vector<uint32_t>& current,
+                      std::vector<std::vector<uint32_t>>& out) {
+  if (current.size() == m) {
+    out.push_back(current);
+    return;
+  }
+  for (size_t i = from; i < alphabet.size(); ++i) {
+    current.push_back(alphabet[i]);
+    EnumerateConfigs(alphabet, m, i, current, out);
+    current.pop_back();
+  }
+}
+
+}  // namespace
+
+std::optional<DpReferenceResult> SolveLayeredDpReference(
+    const Instance& instance, const DpReferenceOptions& options) {
+  RRS_CHECK_GE(options.num_resources, 1u);
+  const uint32_t m = options.num_resources;
+  const uint32_t num_colors = static_cast<uint32_t>(instance.num_colors());
+  const uint32_t kBlack = num_colors;
+  const uint64_t delta = options.cost_model.delta;
+
+  if (instance.num_jobs() == 0) return DpReferenceResult{};
+
+  // Per-round per-color arrival counts, gathered once.
+  auto arrivals_of = [&](Round k) {
+    std::vector<std::pair<ColorId, uint32_t>> out;
+    auto jobs = instance.jobs_in_round(k);
+    size_t i = 0;
+    while (i < jobs.size()) {
+      ColorId c = jobs[i].color;
+      uint32_t count = 0;
+      while (i < jobs.size() && jobs[i].color == c) {
+        ++count;
+        ++i;
+      }
+      out.emplace_back(c, count);
+    }
+    return out;
+  };
+
+  // Layer k: canonical state -> min cost, for states after the arrival phase
+  // of round k.
+  std::unordered_map<std::vector<uint32_t>, uint64_t, VecHash> layer;
+  std::unordered_map<std::vector<uint32_t>, uint64_t, VecHash> next_layer;
+
+  State initial;
+  initial.config.assign(m, kBlack);
+  initial.pending.assign(num_colors, {});
+  for (const auto& [c, count] : arrivals_of(0)) {
+    initial.pending[c].emplace_back(
+        static_cast<uint32_t>(instance.delay_bound(c)), count);
+  }
+  layer.emplace(initial.Encode(), 0);
+
+  uint64_t states_expanded = 0;
+  const Round horizon = instance.horizon();
+
+  // Decoding helper: rebuild a State from its key.
+  auto decode = [&](const std::vector<uint32_t>& key) {
+    State s;
+    s.config.assign(key.begin(), key.begin() + m);
+    s.pending.assign(num_colors, {});
+    size_t pos = m;
+    for (uint32_t c = 0; c < num_colors; ++c) {
+      uint32_t len = key[pos++];
+      s.pending[c].reserve(len);
+      for (uint32_t i = 0; i < len; ++i) {
+        uint32_t rel = key[pos++];
+        uint32_t count = key[pos++];
+        s.pending[c].emplace_back(rel, count);
+      }
+    }
+    return s;
+  };
+
+  std::vector<std::vector<uint32_t>> configs;
+  std::vector<uint32_t> scratch;
+
+  for (Round k = 0; k < horizon; ++k) {
+    next_layer.clear();
+    auto next_arrivals = arrivals_of(k + 1);
+
+    for (const auto& [key, base_cost] : layer) {
+      if (++states_expanded > options.max_states) return std::nullopt;
+      State s = decode(key);
+
+      // Alphabet: current colors ∪ nonidle colors (reconfiguring to an idle
+      // color is dominated; "keep" is covered by including current colors).
+      std::vector<uint32_t> alphabet = s.config;
+      for (uint32_t c = 0; c < num_colors; ++c) {
+        if (!s.pending[c].empty()) alphabet.push_back(c);
+      }
+      std::sort(alphabet.begin(), alphabet.end());
+      alphabet.erase(std::unique(alphabet.begin(), alphabet.end()),
+                     alphabet.end());
+
+      configs.clear();
+      scratch.clear();
+      EnumerateConfigs(alphabet, m, 0, scratch, configs);
+
+      for (const std::vector<uint32_t>& config : configs) {
+        uint64_t cost =
+            base_cost + delta * (m - SortedOverlap(s.config, config));
+
+        // Execution phase: each resource executes the earliest-deadline
+        // pending job of its color.
+        State t;
+        t.config = config;
+        t.pending = s.pending;
+        for (size_t i = 0; i < config.size();) {
+          uint32_t c = config[i];
+          size_t j = i;
+          while (j < config.size() && config[j] == c) ++j;
+          uint32_t copies = static_cast<uint32_t>(j - i);
+          i = j;
+          if (c == kBlack) continue;
+          ColorPending& p = t.pending[c];
+          while (copies > 0 && !p.empty()) {
+            uint32_t take = std::min(copies, p.front().second);
+            p.front().second -= take;
+            copies -= take;
+            if (p.front().second == 0) p.erase(p.begin());
+          }
+        }
+
+        // Advance to round k+1: decrement relative deadlines, drop rel==1.
+        for (uint32_t c = 0; c < num_colors; ++c) {
+          ColorPending& p = t.pending[c];
+          size_t out = 0;
+          for (auto& [rel, count] : p) {
+            if (rel == 1) {
+              // Dropped in round k+1's drop phase (weighted).
+              cost += count * instance.drop_cost(c);
+            } else {
+              p[out++] = {rel - 1, count};
+            }
+          }
+          p.resize(out);
+        }
+        // Arrivals of round k+1.
+        for (const auto& [c, count] : next_arrivals) {
+          t.pending[c].emplace_back(
+              static_cast<uint32_t>(instance.delay_bound(c)), count);
+        }
+
+        auto enc = t.Encode();
+        auto [it, inserted] = next_layer.emplace(std::move(enc), cost);
+        if (!inserted && cost < it->second) it->second = cost;
+      }
+    }
+    layer.swap(next_layer);
+  }
+
+  uint64_t best = static_cast<uint64_t>(-1);
+  for (const auto& [key, cost] : layer) best = std::min(best, cost);
+  RRS_CHECK(!layer.empty());
+
+  DpReferenceResult result;
+  result.total_cost = best;
+  result.states_expanded = states_expanded;
+  return result;
+}
+
+}  // namespace offline
+}  // namespace rrs

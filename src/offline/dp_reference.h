@@ -1,0 +1,40 @@
+// The pre-optimization exact offline solver, kept verbatim as a correctness
+// oracle and performance baseline: a single-threaded layered DP over
+// canonical states keyed by heap-allocated vector<uint32_t> in an
+// unordered_map, with no pruning. bench_offline_solver measures the packed
+// branch-and-bound solver's states/s against it (the ≥10x packing claim),
+// and the offline differential suite cross-checks all three solvers
+// (SolveOptimal, SolveBruteForce, this) on small instances.
+//
+// Do not optimize this file — its value is being the slow, obviously-correct
+// reference. Honest envelope: m <= 3, <= 4 colors, horizon <= ~64.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/cost.h"
+#include "core/instance.h"
+
+namespace rrs {
+namespace offline {
+
+struct DpReferenceOptions {
+  uint32_t num_resources = 1;
+  CostModel cost_model;
+  uint64_t max_states = 5'000'000;
+};
+
+struct DpReferenceResult {
+  uint64_t total_cost = 0;
+  uint64_t states_expanded = 0;
+};
+
+// Exact minimum offline cost via the reference layered DP, or nullopt when
+// the expansion budget is exceeded (the historical failure mode the packed
+// solver's bracket replaced).
+std::optional<DpReferenceResult> SolveLayeredDpReference(
+    const Instance& instance, const DpReferenceOptions& options);
+
+}  // namespace offline
+}  // namespace rrs

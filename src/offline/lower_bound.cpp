@@ -39,5 +39,17 @@ uint64_t LowerBound(const Instance& instance, uint32_t m,
   return std::max(DropLowerBound(instance, m), ColorLowerBound(instance, model));
 }
 
+uint64_t CapacityRelaxedDrops(std::span<const uint32_t> rle, uint32_t m) {
+  uint64_t cum = 0;
+  uint64_t worst = 0;
+  for (size_t i = 0; i + 1 < rle.size(); i += 2) {
+    const uint64_t rel = rle[i];
+    cum += rle[i + 1];
+    const uint64_t capacity = rel * m;
+    if (cum > capacity) worst = std::max(worst, cum - capacity);
+  }
+  return worst;
+}
+
 }  // namespace offline
 }  // namespace rrs

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "core/cost.h"
 #include "core/instance.h"
@@ -25,6 +26,17 @@ uint64_t DropLowerBound(const Instance& instance, uint32_t m);
 uint64_t ColorLowerBound(const Instance& instance, const CostModel& model);
 uint64_t LowerBound(const Instance& instance, uint32_t m,
                     const CostModel& model);
+
+// Minimum number of drops forced by a single color's pending-deadline
+// profile when that color owns all m resources and reconfiguration is free —
+// the capacity-m relaxation behind the exact solver's admissible per-state
+// bound (a per-profile generalization of the Par-EDF drop leg above).
+//
+// `rle` is interleaved (relative deadline, count) pairs with strictly
+// ascending deadlines; a job at relative deadline r has exactly r execution
+// slots left. By Hall's condition the forced drops are
+// max_i(cum_i − m·rel_i)⁺ over the RLE prefixes, and EDF achieves that.
+uint64_t CapacityRelaxedDrops(std::span<const uint32_t> rle, uint32_t m);
 
 }  // namespace offline
 }  // namespace rrs

@@ -191,14 +191,14 @@ TEST(Differential, DpMatchesBruteForceAcrossShapes) {
     dp_options.num_resources = m;
     dp_options.cost_model.delta = delta;
     auto dp = offline::SolveOptimal(inst, dp_options);
-    ASSERT_TRUE(dp.has_value()) << "trial " << trial;
+    ASSERT_TRUE(dp.exact) << "trial " << trial;
 
     offline::BruteForceOptions bf_options;
     bf_options.num_resources = m;
     bf_options.cost_model.delta = delta;
     auto bf = offline::SolveBruteForce(inst, bf_options);
     if (!bf.has_value()) continue;  // node budget
-    EXPECT_EQ(dp->total_cost, *bf)
+    EXPECT_EQ(dp.total_cost, *bf)
         << "trial " << trial << " m=" << m << " delta=" << delta
         << (weighted ? " weighted" : "") << "\n"
         << inst.Summary();
@@ -220,12 +220,12 @@ TEST(Differential, BoundsBracketExactOptimumAcrossShapes) {
     options.num_resources = m;
     options.cost_model = model;
     auto opt = offline::SolveOptimal(inst, options);
-    ASSERT_TRUE(opt.has_value());
+    ASSERT_TRUE(opt.exact);
 
-    EXPECT_LE(offline::LowerBound(inst, m, model), opt->total_cost)
+    EXPECT_LE(offline::LowerBound(inst, m, model), opt.total_cost)
         << "trial " << trial;
     EXPECT_GE(offline::ClairvoyantCost(inst, m, model).total_cost,
-              opt->total_cost)
+              opt.total_cost)
         << "trial " << trial;
   }
 }
@@ -240,10 +240,10 @@ TEST(Differential, ReconstructionMatchesDpAcrossShapes) {
     options.cost_model.delta = delta;
     options.reconstruct_schedule = true;
     auto result = offline::SolveOptimal(inst, options);
-    ASSERT_TRUE(result.has_value() && result->schedule.has_value());
-    auto v = result->schedule->Validate(inst);
+    ASSERT_TRUE(result.exact && result.schedule.has_value());
+    auto v = result.schedule->Validate(inst);
     ASSERT_TRUE(v.ok) << "trial " << trial << ": " << v.error;
-    EXPECT_EQ(v.cost.total(CostModel{delta}), result->total_cost)
+    EXPECT_EQ(v.cost.total(CostModel{delta}), result.total_cost)
         << "trial " << trial;
   }
 }

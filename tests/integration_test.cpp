@@ -78,8 +78,8 @@ TEST(Integration, Lemma31SparseColorsCostAtMostOff) {
     opt_options.num_resources = 1;
     opt_options.cost_model.delta = delta;
     auto opt = offline::SolveOptimal(inst, opt_options);
-    ASSERT_TRUE(opt.has_value());
-    EXPECT_LE(online.total_cost(options.cost_model), opt->total_cost)
+    ASSERT_TRUE(opt.exact);
+    EXPECT_LE(online.total_cost(options.cost_model), opt.total_cost)
         << "trial " << trial;
     // And ΔLRU-EDF indeed never reconfigures here.
     EXPECT_EQ(online.cost.reconfigurations, 0u);

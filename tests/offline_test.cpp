@@ -16,8 +16,8 @@
 namespace rrs {
 namespace {
 
-std::optional<offline::OptimalResult> Solve(const Instance& inst, uint32_t m,
-                                            uint64_t delta) {
+offline::OptimalResult Solve(const Instance& inst, uint32_t m,
+                             uint64_t delta) {
   offline::OptimalOptions options;
   options.num_resources = m;
   options.cost_model.delta = delta;
@@ -30,8 +30,8 @@ TEST(Optimal, EmptyInstanceIsFree) {
   InstanceBuilder b;
   b.AddColor(2);
   auto r = Solve(b.Build(), 1, 5);
-  ASSERT_TRUE(r.has_value());
-  EXPECT_EQ(r->total_cost, 0u);
+  ASSERT_TRUE(r.exact);
+  EXPECT_EQ(r.total_cost, 0u);
 }
 
 TEST(Optimal, SingleJobConfigureOrDrop) {
@@ -40,8 +40,8 @@ TEST(Optimal, SingleJobConfigureOrDrop) {
   ColorId c = b.AddColor(2);
   b.AddJob(c, 0);
   auto r = Solve(b.Build(), 1, 3);
-  ASSERT_TRUE(r.has_value());
-  EXPECT_EQ(r->total_cost, 1u);
+  ASSERT_TRUE(r.exact);
+  EXPECT_EQ(r.total_cost, 1u);
 }
 
 TEST(Optimal, ManyJobsJustifyConfiguring) {
@@ -50,8 +50,8 @@ TEST(Optimal, ManyJobsJustifyConfiguring) {
   ColorId c = b.AddColor(8);
   b.AddJobs(c, 0, 5);
   auto r = Solve(b.Build(), 1, 3);
-  ASSERT_TRUE(r.has_value());
-  EXPECT_EQ(r->total_cost, 3u);
+  ASSERT_TRUE(r.exact);
+  EXPECT_EQ(r.total_cost, 3u);
 }
 
 TEST(Optimal, CapacityForcesDropsEvenWhenConfigured) {
@@ -60,8 +60,8 @@ TEST(Optimal, CapacityForcesDropsEvenWhenConfigured) {
   ColorId c = b.AddColor(4);
   b.AddJobs(c, 0, 6);
   auto r = Solve(b.Build(), 1, 2);
-  ASSERT_TRUE(r.has_value());
-  EXPECT_EQ(r->total_cost, 2u + 2u);
+  ASSERT_TRUE(r.exact);
+  EXPECT_EQ(r.total_cost, 2u + 2u);
 }
 
 TEST(Optimal, TwoColorsOneResourceConflict) {
@@ -75,8 +75,8 @@ TEST(Optimal, TwoColorsOneResourceConflict) {
   b.AddJobs(c0, 0, 4);
   b.AddJobs(c1, 0, 4);
   auto r = Solve(b.Build(), 1, 1);
-  ASSERT_TRUE(r.has_value());
-  EXPECT_EQ(r->total_cost, 5u);
+  ASSERT_TRUE(r.exact);
+  EXPECT_EQ(r.total_cost, 5u);
 }
 
 TEST(Optimal, TwoResourcesResolveTheConflict) {
@@ -86,8 +86,8 @@ TEST(Optimal, TwoResourcesResolveTheConflict) {
   b.AddJobs(c0, 0, 4);
   b.AddJobs(c1, 0, 4);
   auto r = Solve(b.Build(), 2, 1);
-  ASSERT_TRUE(r.has_value());
-  EXPECT_EQ(r->total_cost, 2u);  // two reconfigs, zero drops
+  ASSERT_TRUE(r.exact);
+  EXPECT_EQ(r.total_cost, 2u);  // two reconfigs, zero drops
 }
 
 TEST(Optimal, ReconfigurationMidStreamWhenWorthIt) {
@@ -99,8 +99,8 @@ TEST(Optimal, ReconfigurationMidStreamWhenWorthIt) {
   b.AddJobs(a, 0, 3);
   b.AddJobs(c, 4, 3);
   auto r = Solve(b.Build(), 1, 2);
-  ASSERT_TRUE(r.has_value());
-  EXPECT_EQ(r->total_cost, 4u);
+  ASSERT_TRUE(r.exact);
+  EXPECT_EQ(r.total_cost, 4u);
 }
 
 TEST(Optimal, InterleavedUrgencyRequiresChoosing) {
@@ -114,8 +114,8 @@ TEST(Optimal, InterleavedUrgencyRequiresChoosing) {
   for (Round t = 0; t < 4; ++t) b.AddJob(urgent, t);
   b.AddJobs(backlog, 0, 4);
   auto r = Solve(b.Build(), 1, 1);
-  ASSERT_TRUE(r.has_value());
-  EXPECT_EQ(r->total_cost, 2u);
+  ASSERT_TRUE(r.exact);
+  EXPECT_EQ(r.total_cost, 2u);
 }
 
 TEST(Optimal, StateBudgetRespected) {
@@ -129,7 +129,17 @@ TEST(Optimal, StateBudgetRespected) {
   offline::OptimalOptions options;
   options.num_resources = 2;
   options.max_states = 1;
-  EXPECT_FALSE(offline::SolveOptimal(b.Build(), options).has_value());
+  Instance inst = b.Build();
+  auto r = offline::SolveOptimal(inst, options);
+  EXPECT_FALSE(r.exact);
+  // Exhaustion still certifies a bracket: LB <= OPT <= incumbent, with the
+  // reported total_cost the (achievable) upper end.
+  EXPECT_GT(r.upper_bound, 0u);
+  EXPECT_LE(r.lower_bound, r.upper_bound);
+  EXPECT_EQ(r.total_cost, r.upper_bound);
+  EXPECT_LE(r.states_expanded, 1u);
+  CostModel model;
+  EXPECT_GE(r.lower_bound, offline::LowerBound(inst, 2, model));
 }
 
 TEST(Optimal, IsAFloorUnderEveryPolicy) {
@@ -142,7 +152,7 @@ TEST(Optimal, IsAFloorUnderEveryPolicy) {
     Instance inst = MakePoisson(specs, gen);
     const uint64_t delta = 2;
     auto opt = Solve(inst, 1, delta);
-    ASSERT_TRUE(opt.has_value()) << "trial " << trial;
+    ASSERT_TRUE(opt.exact) << "trial " << trial;
     CostModel model{delta};
     for (const char* name : {"greedy-edf", "lazy-greedy", "static", "never"}) {
       auto policy = MakePolicy(name);
@@ -150,7 +160,7 @@ TEST(Optimal, IsAFloorUnderEveryPolicy) {
       options.num_resources = 1;
       options.cost_model = model;
       RunResult r = RunPolicy(inst, *policy, options);
-      EXPECT_GE(r.total_cost(model), opt->total_cost)
+      EXPECT_GE(r.total_cost(model), opt.total_cost)
           << name << " trial " << trial;
     }
   }
@@ -166,8 +176,8 @@ TEST(Optimal, MoreResourcesNeverHurt) {
     Instance inst = MakePoisson(specs, gen);
     auto m1 = Solve(inst, 1, 2);
     auto m2 = Solve(inst, 2, 2);
-    ASSERT_TRUE(m1 && m2);
-    EXPECT_LE(m2->total_cost, m1->total_cost) << "trial " << trial;
+    ASSERT_TRUE(m1.exact && m2.exact);
+    EXPECT_LE(m2.total_cost, m1.total_cost) << "trial " << trial;
   }
 }
 
@@ -194,9 +204,9 @@ TEST(Optimal, AgreesWithIndependentBruteForce) {
     bf_options.num_resources = 1;
     bf_options.cost_model.delta = delta;
     auto bf = offline::SolveBruteForce(inst, bf_options);
-    ASSERT_TRUE(dp.has_value());
+    ASSERT_TRUE(dp.exact);
     if (!bf.has_value()) continue;  // node budget; skip
-    EXPECT_EQ(dp->total_cost, *bf) << "trial " << trial;
+    EXPECT_EQ(dp.total_cost, *bf) << "trial " << trial;
     ++checked;
   }
   EXPECT_GE(checked, 10);
@@ -216,9 +226,9 @@ TEST(Optimal, AgreesWithBruteForceTwoResources) {
     bf_options.num_resources = 2;
     bf_options.cost_model.delta = 2;
     auto bf = offline::SolveBruteForce(inst, bf_options);
-    ASSERT_TRUE(dp.has_value());
+    ASSERT_TRUE(dp.exact);
     if (!bf.has_value()) continue;
-    EXPECT_EQ(dp->total_cost, *bf) << "trial " << trial;
+    EXPECT_EQ(dp.total_cost, *bf) << "trial " << trial;
     ++checked;
   }
   EXPECT_GE(checked, 5);
@@ -244,9 +254,9 @@ TEST(Optimal, AgreesWithBruteForceUnderVariableDropCosts) {
     bf_options.num_resources = 1;
     bf_options.cost_model.delta = 2;
     auto bf = offline::SolveBruteForce(inst, bf_options);
-    ASSERT_TRUE(dp.has_value());
+    ASSERT_TRUE(dp.exact);
     if (!bf.has_value()) continue;
-    EXPECT_EQ(dp->total_cost, *bf) << "trial " << trial;
+    EXPECT_EQ(dp.total_cost, *bf) << "trial " << trial;
     ++checked;
   }
   EXPECT_GE(checked, 5);
@@ -264,8 +274,8 @@ TEST(Optimal, PrefersProtectingExpensiveColor) {
   (void)cheap;
   (void)dear;
   auto r = Solve(b.Build(), 1, 10);
-  ASSERT_TRUE(r.has_value());
-  EXPECT_EQ(r->total_cost, 13u);
+  ASSERT_TRUE(r.exact);
+  EXPECT_EQ(r.total_cost, 13u);
 }
 
 TEST(Optimal, ReconstructedScheduleValidatesAtOptimalCost) {
@@ -283,14 +293,14 @@ TEST(Optimal, ReconstructedScheduleValidatesAtOptimalCost) {
     options.cost_model.delta = delta;
     options.reconstruct_schedule = true;
     auto result = offline::SolveOptimal(inst, options);
-    ASSERT_TRUE(result.has_value());
-    ASSERT_TRUE(result->schedule.has_value());
+    ASSERT_TRUE(result.exact);
+    ASSERT_TRUE(result.schedule.has_value());
 
-    auto v = result->schedule->Validate(inst);
+    auto v = result.schedule->Validate(inst);
     ASSERT_TRUE(v.ok) << "trial " << trial << ": " << v.error;
     // The independently recomputed cost of the reconstructed schedule must
-    // equal the DP's optimum exactly.
-    EXPECT_EQ(v.cost.total(CostModel{delta}), result->total_cost)
+    // equal the search's optimum exactly.
+    EXPECT_EQ(v.cost.total(CostModel{delta}), result.total_cost)
         << "trial " << trial;
   }
 }
@@ -306,8 +316,8 @@ TEST(Optimal, ReconstructionOnKnownInstance) {
   options.cost_model.delta = 3;
   options.reconstruct_schedule = true;
   auto result = offline::SolveOptimal(inst, options);
-  ASSERT_TRUE(result.has_value() && result->schedule.has_value());
-  auto v = result->schedule->Validate(inst);
+  ASSERT_TRUE(result.exact && result.schedule.has_value());
+  auto v = result.schedule->Validate(inst);
   ASSERT_TRUE(v.ok) << v.error;
   EXPECT_EQ(v.executed, 5u);
   EXPECT_EQ(v.cost.reconfigurations, 1u);
@@ -456,8 +466,8 @@ TEST(LowerBound, NeverExceedsExactOptimal) {
     Instance inst = MakePoisson(specs, gen);
     const uint64_t delta = 3;
     auto opt = Solve(inst, 1, delta);
-    ASSERT_TRUE(opt.has_value());
-    EXPECT_LE(offline::LowerBound(inst, 1, CostModel{delta}), opt->total_cost)
+    ASSERT_TRUE(opt.exact);
+    EXPECT_LE(offline::LowerBound(inst, 1, CostModel{delta}), opt.total_cost)
         << "trial " << trial;
   }
 }
@@ -475,9 +485,9 @@ TEST(Clairvoyant, NeverBelowExactOptimal) {
     const uint64_t delta = 2;
     CostModel model{delta};
     auto opt = Solve(inst, 1, delta);
-    ASSERT_TRUE(opt.has_value());
+    ASSERT_TRUE(opt.exact);
     auto heuristic = offline::ClairvoyantCost(inst, 1, model);
-    EXPECT_GE(heuristic.total_cost, opt->total_cost) << "trial " << trial;
+    EXPECT_GE(heuristic.total_cost, opt.total_cost) << "trial " << trial;
     EXPECT_GE(heuristic.total_cost,
               offline::LowerBound(inst, 1, model))
         << "trial " << trial;

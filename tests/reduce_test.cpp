@@ -248,12 +248,12 @@ TEST(Aggregate, WorksOnExactOptimalSchedules) {
   options.cost_model.delta = 2;
   options.reconstruct_schedule = true;
   auto opt = offline::SolveOptimal(inst, options);
-  ASSERT_TRUE(opt.has_value() && opt->schedule.has_value());
+  ASSERT_TRUE(opt.exact && opt.schedule.has_value());
 
-  auto result = reduce::AggregateSchedule(inst, *opt->schedule, dt);
+  auto result = reduce::AggregateSchedule(inst, *opt.schedule, dt);
   auto v = result.schedule.Validate(dt.transformed);
   ASSERT_TRUE(v.ok) << v.error;
-  EXPECT_EQ(v.executed, opt->schedule->executions().size());
+  EXPECT_EQ(v.executed, opt.schedule->executions().size());
 }
 
 TEST(Aggregate, EmptyScheduleGivesEmptyResult) {
@@ -346,10 +346,10 @@ TEST(Punctualize, ComposedTheorem3OfflineChain) {
   opt_options.cost_model.delta = 2;
   opt_options.reconstruct_schedule = true;
   auto opt = offline::SolveOptimal(inst, opt_options);
-  ASSERT_TRUE(opt.has_value() && opt->schedule.has_value());
+  ASSERT_TRUE(opt.exact && opt.schedule.has_value());
 
   auto vb = VarBatchInstance(inst);
-  auto punctual = reduce::PunctualizeSchedule(inst, *opt->schedule, vb);
+  auto punctual = reduce::PunctualizeSchedule(inst, *opt.schedule, vb);
   ASSERT_TRUE(punctual.schedule.Validate(vb.transformed).ok);
 
   auto dt = DistributeInstance(vb.transformed);
@@ -357,7 +357,7 @@ TEST(Punctualize, ComposedTheorem3OfflineChain) {
       reduce::AggregateSchedule(vb.transformed, punctual.schedule, dt);
   auto v = aggregated.schedule.Validate(dt.transformed);
   ASSERT_TRUE(v.ok) << v.error;
-  EXPECT_EQ(v.executed, opt->schedule->executions().size());
+  EXPECT_EQ(v.executed, opt.schedule->executions().size());
   EXPECT_EQ(aggregated.schedule.num_resources(), 21u);  // 1 -> 7 -> 21
 }
 

@@ -8,11 +8,15 @@ Fails (exit 1) when any benchmark cell in CURRENT:
   * is missing relative to BASELINE,
   * lacks a metric that the BASELINE cell records (a gated metric silently
     disappearing from the report must fail loudly, not with a KeyError),
-  * regresses rounds_per_sec or jobs_per_sec by more than --threshold
-    (fraction; 0.15 = 15% slower than baseline), or
+  * regresses a higher-is-better throughput metric (rounds_per_sec,
+    jobs_per_sec, states_per_sec) by more than --threshold (fraction; 0.15 =
+    15% slower than baseline),
+  * regresses a lower-is-better latency metric (solve_ms) by more than
+    --threshold (an *increase* beyond the threshold fails), or
   * exceeds the steady-state allocation budget (allocations per round in
-    steady state; the engine's contract is ~0 — scratch reuse only, so even
-    amortized vector doubling stays under a small constant).
+    steady state; gated only for cells whose baseline records
+    steady_allocs_per_round — the engine bench does, the solver bench has no
+    per-round allocation contract).
 
 Metrics present only in CURRENT (e.g. the informational phase_*_p50_ns
 breakdown) are ignored, so reports can grow new columns without a baseline
@@ -54,13 +58,22 @@ def main():
         print(f"malformed benchmark report: {e}", file=sys.stderr)
         return 1
 
+    # metric -> +1 (higher is better) or -1 (lower is better). Only metrics
+    # listed here are gated; anything else in a report is informational.
+    gated_metrics = (
+        ("rounds_per_sec", +1),
+        ("jobs_per_sec", +1),
+        ("states_per_sec", +1),
+        ("solve_ms", -1),
+    )
+
     failures = []
     for name, base in sorted(baseline.items()):
         cur = current.get(name)
         if cur is None:
             failures.append(f"{name}: missing from current report")
             continue
-        for metric in ("rounds_per_sec", "jobs_per_sec"):
+        for metric, direction in gated_metrics:
             if metric not in base:
                 continue  # baseline predates this metric; nothing to gate
             if metric not in cur:
@@ -71,27 +84,30 @@ def main():
             b, c = base[metric], cur[metric]
             change = (c - b) / b if b > 0 else 0.0
             status = "ok"
-            if change < -args.threshold:
+            if direction * change < -args.threshold:
                 status = "REGRESSION"
                 failures.append(
-                    f"{name}: {metric} {c:.0f} vs baseline {b:.0f} "
-                    f"({change * 100:+.1f}% < -{args.threshold * 100:.0f}%)")
-            print(f"{name:24s} {metric:16s} {c:14.0f} "
-                  f"(baseline {b:.0f}, {change * 100:+.1f}%) {status}")
-        if "steady_allocs_per_round" not in cur:
-            failures.append(
-                f"{name}: metric 'steady_allocs_per_round' present in "
-                f"baseline but missing from current report")
-            continue
-        allocs = cur["steady_allocs_per_round"]
-        status = "ok"
-        if allocs > args.alloc_budget:
-            status = "OVER BUDGET"
-            failures.append(
-                f"{name}: steady_allocs_per_round {allocs:.4f} > "
-                f"budget {args.alloc_budget}")
-        print(f"{name:24s} {'allocs/round':16s} {allocs:14.4f} "
-              f"(budget {args.alloc_budget}) {status}")
+                    f"{name}: {metric} {c:.2f} vs baseline {b:.2f} "
+                    f"({change * 100:+.1f}%, allowed "
+                    f"{'-' if direction > 0 else '+'}"
+                    f"{args.threshold * 100:.0f}%)")
+            print(f"{name:28s} {metric:16s} {c:14.2f} "
+                  f"(baseline {b:.2f}, {change * 100:+.1f}%) {status}")
+        if "steady_allocs_per_round" in base:
+            if "steady_allocs_per_round" not in cur:
+                failures.append(
+                    f"{name}: metric 'steady_allocs_per_round' present in "
+                    f"baseline but missing from current report")
+                continue
+            allocs = cur["steady_allocs_per_round"]
+            status = "ok"
+            if allocs > args.alloc_budget:
+                status = "OVER BUDGET"
+                failures.append(
+                    f"{name}: steady_allocs_per_round {allocs:.4f} > "
+                    f"budget {args.alloc_budget}")
+            print(f"{name:28s} {'allocs/round':16s} {allocs:14.4f} "
+                  f"(budget {args.alloc_budget}) {status}")
 
     for name in sorted(set(current) - set(baseline)):
         print(f"{name:24s} new cell (not in baseline), skipped")

@@ -31,6 +31,13 @@ def cell(name, rounds=1e6, jobs=5e5, allocs=0.0, **extra):
     return out
 
 
+def solver_cell(name, states=1e6, ms=50.0, **extra):
+    """A bench_offline_solver-style cell: no steady_allocs_per_round."""
+    out = {"name": name, "states_per_sec": states, "solve_ms": ms}
+    out.update(extra)
+    return out
+
+
 class BenchCompareTest(unittest.TestCase):
     def run_compare(self, baseline, current, *extra_args):
         """Writes both reports to temp files and runs bench_compare.py."""
@@ -119,6 +126,37 @@ class BenchCompareTest(unittest.TestCase):
         cur = report([cell("dlru/128c/8r")])
         proc = self.run_compare(base, cur)
         self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_states_per_sec_regression_fails(self):
+        base = report([solver_cell("packed/m2/4c/h48", states=1e6)])
+        cur = report([solver_cell("packed/m2/4c/h48", states=0.5e6)])
+        proc = self.run_compare(base, cur)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("states_per_sec", proc.stderr)
+
+    def test_solve_ms_increase_fails(self):
+        # solve_ms is lower-is-better: a large *increase* is the regression.
+        base = report([solver_cell("packed/m2/4c/h48", ms=50.0)])
+        cur = report([solver_cell("packed/m2/4c/h48", ms=80.0)])
+        proc = self.run_compare(base, cur)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("solve_ms", proc.stderr)
+
+    def test_solve_ms_decrease_passes(self):
+        # A big latency *improvement* must never trip the gate.
+        base = report([solver_cell("packed/m2/4c/h48", ms=80.0)])
+        cur = report([solver_cell("packed/m2/4c/h48", ms=20.0)])
+        proc = self.run_compare(base, cur)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_solver_cells_have_no_alloc_gate(self):
+        # Solver cells record no steady_allocs_per_round; its absence from
+        # both reports must not fail (the alloc gate is engine-bench-only).
+        base = report([solver_cell("dp_ref/m2/4c/h48")])
+        cur = report([solver_cell("dp_ref/m2/4c/h48")])
+        proc = self.run_compare(base, cur)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertNotIn("allocs/round", proc.stdout)
 
 
 if __name__ == "__main__":
