@@ -7,8 +7,13 @@ namespace analysis {
 
 PolicyReport RunAndReport(const Instance& instance, SchedulerPolicy& policy,
                           const EngineOptions& options) {
+  // One pooled session per harness thread: Reset rebinds it to the new
+  // instance in place, so back-to-back reports reuse the engine arena.
+  thread_local Engine engine;
+
   auto start = std::chrono::steady_clock::now();
-  RunResult result = RunPolicy(instance, policy, options);
+  engine.Reset(instance, options);
+  RunResult result = engine.Run(policy);
   auto end = std::chrono::steady_clock::now();
 
   PolicyReport report;
@@ -20,7 +25,6 @@ PolicyReport RunAndReport(const Instance& instance, SchedulerPolicy& policy,
   report.rounds = result.rounds_simulated;
   report.wall_seconds =
       std::chrono::duration<double>(end - start).count();
-  report.counters = std::move(result.policy_counters);
   report.telemetry = std::move(result.telemetry);
   return report;
 }

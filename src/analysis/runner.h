@@ -1,8 +1,9 @@
-// Thin wrapper around Engine::Run adding wall-clock timing and a flat report
-// row, used by examples and the experiment harness.
+// Thin wrapper around the Engine adding wall-clock timing and a flat report
+// row, used by examples and the experiment harness. Runs execute through a
+// pooled thread-local Engine session (core/session.h) — repeated reports on
+// one harness thread reuse the engine arena instead of rebuilding it.
 #pragma once
 
-#include <map>
 #include <string>
 
 #include "core/engine.h"
@@ -18,10 +19,10 @@ struct PolicyReport {
   uint64_t arrived = 0;
   Round rounds = 0;
   double wall_seconds = 0;
-  std::map<std::string, double> counters;
   // Structured per-run snapshot (phase times, per-color drops/reconfigs,
-  // policy counters); empty at RRS_OBS_LEVEL=0. `counters` above stays the
-  // legacy flat view.
+  // policy counters via SchedulerPolicy::ExportMetrics). Phase times and
+  // per-color vectors are empty at RRS_OBS_LEVEL=0; counters are always
+  // populated.
   obs::Telemetry telemetry;
 
   double jobs_per_second() const {

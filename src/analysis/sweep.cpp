@@ -1,14 +1,11 @@
 #include "analysis/sweep.h"
 
-#include <atomic>
-
 #include "core/engine.h"
+#include "fleet/fleet_runner.h"
 #include "obs/scope.h"
 #include "obs/trace.h"
 #include "parallel/parallel_for.h"
 #include "parallel/thread_pool.h"
-#include "reduce/pipeline.h"
-#include "sched/dlru_edf.h"
 #include "util/check.h"
 #include "util/stats.h"
 
@@ -47,61 +44,45 @@ std::vector<SweepCell> RunCostSweep(const InstanceFactory& factory,
     for (uint64_t delta : config.deltas) grid.push_back({n, delta});
   }
 
-  // One task per (cell, seed); results gathered into per-cell stats after.
-  struct RunOutcome {
-    uint64_t total = 0;
-    uint64_t reconfigs = 0;
-    uint64_t drops = 0;
-    uint64_t arrived = 0;
-  };
-  std::vector<RunOutcome> outcomes(grid.size() * config.seeds.size());
+  // One FleetJob per (cell, seed), executed through pooled fleet sessions:
+  // worker threads reuse warm engine/policy/pipeline arenas across cells
+  // instead of constructing them per run.
+  std::vector<fleet::FleetJob> jobs;
+  jobs.reserve(grid.size() * config.seeds.size());
+  for (size_t cell = 0; cell < grid.size(); ++cell) {
+    for (size_t seed_idx = 0; seed_idx < config.seeds.size(); ++seed_idx) {
+      fleet::FleetJob job;
+      job.instance = &instances[seed_idx];
+      job.options.num_resources = grid[cell].n;
+      job.options.cost_model.delta = grid[cell].delta;
+      job.options.obs_scope = config.scope;
+      job.kind = config.use_pipeline ? fleet::FleetJob::Kind::kPipeline
+                                     : fleet::FleetJob::Kind::kReplay;
+      jobs.push_back(job);
+    }
+  }
 
-  ParallelFor(
-      GlobalThreadPool(), 0, static_cast<int64_t>(outcomes.size()),
-      [&](int64_t flat) {
-        const size_t cell = static_cast<size_t>(flat) / config.seeds.size();
-        const size_t seed_idx =
-            static_cast<size_t>(flat) % config.seeds.size();
-        const Instance& instance = instances[seed_idx];
-
-        obs::Span span(tracer,
-                       tracer != nullptr ? tracer->ThreadTrack() : nullptr,
-                       "sweep.run", static_cast<uint64_t>(flat));
-
-        EngineOptions options;
-        options.num_resources = grid[cell].n;
-        options.cost_model.delta = grid[cell].delta;
-        options.obs_scope = config.scope;
-
-        RunOutcome out;
-        out.arrived = instance.num_jobs();
-        if (config.use_pipeline) {
-          auto result = reduce::SolveOnline(instance, options);
-          out.total = result.cost().total(options.cost_model);
-          out.reconfigs = result.cost().reconfigurations;
-          out.drops = result.cost().drops;
-        } else {
-          DlruEdfPolicy policy;
-          RunResult result = RunPolicy(instance, policy, options);
-          out.total = result.total_cost(options.cost_model);
-          out.reconfigs = result.cost.reconfigurations;
-          out.drops = result.cost.drops;
-        }
-        outcomes[static_cast<size_t>(flat)] = out;
-      });
+  fleet::FleetOptions fleet_options;
+  fleet_options.pool = &GlobalThreadPool();
+  fleet_options.scope = config.scope;
+  fleet_options.trace_label = "sweep.run";  // historical sweep span name
+  fleet::FleetRunner runner(std::move(fleet_options));
+  std::vector<RunResult> results = runner.RunAll(jobs);
 
   std::vector<SweepCell> cells;
   cells.reserve(grid.size());
   for (size_t cell = 0; cell < grid.size(); ++cell) {
     RunningStats total_stats, reconfig_stats, drop_stats, rate_stats;
     for (size_t s = 0; s < config.seeds.size(); ++s) {
-      const RunOutcome& out = outcomes[cell * config.seeds.size() + s];
-      total_stats.Add(static_cast<double>(out.total));
-      reconfig_stats.Add(static_cast<double>(out.reconfigs));
-      drop_stats.Add(static_cast<double>(out.drops));
+      const RunResult& out = results[cell * config.seeds.size() + s];
+      CostModel cost_model;
+      cost_model.delta = grid[cell].delta;
+      total_stats.Add(static_cast<double>(out.total_cost(cost_model)));
+      reconfig_stats.Add(static_cast<double>(out.cost.reconfigurations));
+      drop_stats.Add(static_cast<double>(out.cost.drops));
       rate_stats.Add(out.arrived == 0
                          ? 0.0
-                         : static_cast<double>(out.drops) /
+                         : static_cast<double>(out.cost.drops) /
                                static_cast<double>(out.arrived));
     }
     SweepCell summary;

@@ -44,9 +44,6 @@ class TimelinePolicy : public SchedulerPolicy {
   void ExportMetrics(obs::Registry& registry) const override {
     inner_.ExportMetrics(registry);
   }
-  void CollectCounters(std::map<std::string, double>& out) const override {
-    inner_.CollectCounters(out);
-  }
 
   const std::vector<RoundSample>& samples() const { return samples_; }
 

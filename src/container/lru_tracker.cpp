@@ -119,6 +119,16 @@ void LruTracker::Clear() {
   timestamp_.clear();
 }
 
+void LruTracker::Reset(size_t capacity) {
+  Clear();
+  // Clear() already re-marked every tracked key absent; only a grown
+  // universe needs new (absent) entries.
+  slot_.resize(capacity, kAbsent);
+  members_.reserve(capacity);
+  timestamp_.reserve(capacity);
+  scratch_.reserve(capacity);
+}
+
 bool LruTracker::CheckInvariants() const {
   size_t present_count = 0;
   for (size_t key = 0; key < slot_.size(); ++key) {

@@ -68,6 +68,12 @@ class LruTracker {
 
   void Clear();
 
+  // Empties the tracker and re-sizes the key universe, reusing all storage
+  // (no allocation unless the universe grows). The session-reuse form of
+  // construction: policies call this on every Reset instead of rebuilding
+  // the tracker per run.
+  void Reset(size_t capacity);
+
   // O(n) consistency check between the member list and the per-key index.
   bool CheckInvariants() const;
 

@@ -17,10 +17,17 @@ namespace {
 // of magnitude below its total job count — which keeps the working set
 // cache-resident and round-over-round memory reuse high (unlike a
 // total-jobs-sized slab, whose tail writes only ever touch cold lines).
+// Capacity is session-owned: clear() empties the ring but keeps the arrays,
+// so a reused session serves its next tenant allocation-free.
 class JobRing {
  public:
   bool empty() const { return size_ == 0; }
   uint32_t size() const { return size_; }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
 
   JobId front_job() const {
     RRS_DCHECK(size_ > 0);
@@ -90,45 +97,26 @@ class JobRing {
   uint32_t mask_ = 0;  // capacity - 1 (capacity is a power of two, or 0)
 };
 
-// Mutable per-run simulation state, shared between the phase loop and the
-// policy-facing view.
+}  // namespace
+
+// The session arena: all mutable simulation state, owned by the Engine for
+// its whole lifetime and rebound to each tenant by StartRun. Buffers are
+// assigned (not reconstructed) per run, so capacity acquired for one tenant
+// carries over to the next — after the first tenant of a given shape, runs
+// perform no steady-state allocation (Session rules 1-2, core/session.h).
 //
 // The expiry schedule is a timing wheel over the next max-delay-bound
 // rounds: when round k's arrival phase gives color c the deadline k + D_c,
 // the color is pushed (deduplicated per deadline) into wheel slot
 // (k + D_c) mod W with W > max D_ℓ, and round k's drop phase consumes
 // exactly slot k mod W. Deadlines live at most max D_ℓ rounds, so a slot is
-// always consumed (and cleared) before it is reused. This reproduces the
-// seed engine's lazily registered expiry buckets — same colors, same order —
-// at O(max D_ℓ) memory instead of O(horizon), with no precomputation pass.
-//
-// Setup is O(num_colors); the round loop performs zero steady-state
-// allocations (ring growth and wheel-slot warm-up settle after the first
-// backlog peak; the perf gate's bench_baseline measures exactly this).
-struct SimState {
-  explicit SimState(const Instance& instance, const EngineOptions& options)
-      : instance(instance),
-        resource_color(options.num_resources, kNoColor),
-        rings(instance.num_colors()),
-        pending_n(instance.num_colors(), 0),
-        in_nonidle_list(instance.num_colors(), 0),
-        last_wheel_push(instance.num_colors(), -1),
-        exec_count(instance.num_colors(), 0) {
-#if RRS_OBS_LEVEL >= 1
-    reconfigs_per_color.assign(instance.num_colors(), 0);
-#endif
-    const size_t num_colors = instance.num_colors();
-    nonidle_list.reserve(num_colors);
-    exec_touched.reserve(num_colors);
+// always consumed (and cleared) before it is reused; any W > max D_ℓ gives
+// the same slot contents per round, so the wheel keeps the largest size any
+// tenant needed.
+struct Engine::SimState {
+  const Instance* instance = nullptr;
+  EngineOptions options;
 
-    Round max_delay = 1;
-    for (ColorId c = 0; c < num_colors; ++c) {
-      max_delay = std::max(max_delay, instance.delay_bound(c));
-    }
-    wheel.resize(static_cast<size_t>(max_delay) + 1);
-  }
-
-  const Instance& instance;
   std::vector<ColorId> resource_color;
 
   std::vector<JobRing> rings;
@@ -150,6 +138,15 @@ struct SimState {
   std::vector<ColorId> exec_touched;
   std::vector<JobId> dropped_scratch;  // wrapped drop spans only
 
+  // Per-run accumulators, kept here (not on the stack of Run) so a run can
+  // pause between StepRounds calls.
+  CostBreakdown cost;
+  uint64_t executed = 0;
+  std::vector<uint64_t> drops_per_color;
+  Schedule schedule;
+  Schedule* schedule_ptr = nullptr;  // &schedule iff recording
+  obs::RunInstruments instruments;
+
 #if RRS_OBS_LEVEL >= 1
   // Per-color recoloring counts (telemetry); recolorings to black are only
   // in the aggregate total.
@@ -157,6 +154,50 @@ struct SimState {
 #endif
 
   uint64_t pending_count(ColorId c) const { return pending_n[c]; }
+
+  // Rebinds the arena to a tenant and clears all per-run state. O(num
+  // colors + num resources + wheel size) writes, zero allocations once every
+  // buffer has grown to the shape.
+  void StartRun(const Instance& inst, const EngineOptions& opts) {
+    instance = &inst;
+    options = opts;
+    const size_t num_colors = inst.num_colors();
+
+    resource_color.assign(opts.num_resources, kNoColor);
+    if (rings.size() < num_colors) rings.resize(num_colors);
+    for (auto& ring : rings) ring.clear();
+    pending_n.assign(num_colors, 0);
+    nonidle_list.clear();
+    nonidle_list.reserve(num_colors);
+    in_nonidle_list.assign(num_colors, 0);
+    last_wheel_push.assign(num_colors, -1);
+    exec_count.assign(num_colors, 0);
+    exec_touched.clear();
+    exec_touched.reserve(num_colors);
+    dropped_scratch.clear();
+
+    Round max_delay = 1;
+    for (ColorId c = 0; c < num_colors; ++c) {
+      max_delay = std::max(max_delay, inst.delay_bound(c));
+    }
+    const size_t wheel_size = static_cast<size_t>(max_delay) + 1;
+    if (wheel.size() < wheel_size) wheel.resize(wheel_size);
+    for (auto& slot : wheel) slot.clear();
+
+    cost = CostBreakdown{};
+    executed = 0;
+    drops_per_color.assign(num_colors, 0);
+#if RRS_OBS_LEVEL >= 1
+    reconfigs_per_color.assign(num_colors, 0);
+#endif
+    if (opts.record_schedule) {
+      schedule = Schedule(opts.num_resources, opts.mini_rounds_per_round);
+      schedule_ptr = &schedule;
+    } else {
+      schedule_ptr = nullptr;
+    }
+    instruments.Rebind(opts.obs_scope, "engine");
+  }
 
   // Appends `count` jobs with consecutive ids and a common deadline to color
   // c, registering the deadline in the expiry wheel.
@@ -190,20 +231,16 @@ struct SimState {
   }
 };
 
-}  // namespace
-
 // `final` so internal calls through View& devirtualize; policies still see
-// the ResourceView interface.
+// the ResourceView interface. The view lives as long as the engine and is
+// re-pointed at the pending table each BeginRun (its storage may move when
+// a larger tenant grows it).
 class Engine::View final : public ResourceView {
  public:
-  View(SimState& state, const EngineOptions& options, CostBreakdown& cost,
-       Schedule* schedule, obs::RunInstruments& instruments)
-      : ResourceView(state.pending_n.data()),
-        state_(state),
-        options_(options),
-        cost_(cost),
-        schedule_(schedule),
-        instruments_(instruments) {}
+  explicit View(SimState& state)
+      : ResourceView(state.pending_n.data()), state_(state) {}
+
+  void Rebind() { set_pending_table(state_.pending_n.data()); }
 
   void SetPhase(Round round, int mini) {
     round_ = round;
@@ -211,7 +248,9 @@ class Engine::View final : public ResourceView {
     compacted_ = false;
   }
 
-  uint32_t num_resources() const final { return options_.num_resources; }
+  uint32_t num_resources() const final {
+    return state_.options.num_resources;
+  }
 
   ColorId color_of(ResourceId r) const final {
     RRS_DCHECK(r < state_.resource_color.size());
@@ -220,17 +259,19 @@ class Engine::View final : public ResourceView {
 
   void SetColor(ResourceId r, ColorId c) final {
     RRS_CHECK_LT(r, state_.resource_color.size());
-    RRS_CHECK(c == kNoColor || c < state_.instance.num_colors())
+    RRS_CHECK(c == kNoColor || c < state_.instance->num_colors())
         << "SetColor to unknown color " << c;
     if (state_.resource_color[r] == c) return;
     state_.resource_color[r] = c;
-    ++cost_.reconfigurations;
+    ++state_.cost.reconfigurations;
 #if RRS_OBS_LEVEL >= 1
     if (c != kNoColor) ++state_.reconfigs_per_color[c];
-    if (instruments_.tracing()) instruments_.EmitRecolor(round_, r);
+    if (state_.instruments.tracing()) {
+      state_.instruments.EmitRecolor(round_, r);
+    }
 #endif
-    if (schedule_ != nullptr) {
-      schedule_->AddReconfig(round_, mini_, r, c);
+    if (state_.schedule_ptr != nullptr) {
+      state_.schedule_ptr->AddReconfig(round_, mini_, r, c);
     }
   }
 
@@ -250,40 +291,71 @@ class Engine::View final : public ResourceView {
 
  private:
   SimState& state_;
-  const EngineOptions& options_;
-  CostBreakdown& cost_;
-  Schedule* schedule_;
-  obs::RunInstruments& instruments_;
   Round round_ = 0;
   int mini_ = 0;
   mutable bool compacted_ = false;
 };
 
-Engine::Engine(const Instance& instance, EngineOptions options)
-    : instance_(instance), options_(options) {
-  RRS_CHECK_GE(options_.num_resources, 1u);
-  RRS_CHECK_GE(options_.mini_rounds_per_round, 1);
-  RRS_CHECK_GE(options_.cost_model.delta, 1u);
+Engine::Engine() = default;
+Engine::~Engine() = default;
+Engine::Engine(Engine&&) noexcept = default;
+Engine& Engine::operator=(Engine&&) noexcept = default;
+
+Engine::Engine(const Instance& instance, EngineOptions options) {
+  Reset(instance, options);
 }
+
+void Engine::Reset(const Instance& instance, EngineOptions options) {
+  RRS_CHECK(!running_) << "Engine::Reset during an open run";
+  RRS_CHECK_GE(options.num_resources, 1u);
+  RRS_CHECK_GE(options.mini_rounds_per_round, 1);
+  RRS_CHECK_GE(options.cost_model.delta, 1u);
+  instance_ = &instance;
+  options_ = options;
+  if (state_ == nullptr) state_ = std::make_unique<SimState>();
+}
+
+void Engine::Reset(const Instance& instance) { Reset(instance, options_); }
 
 RunResult Engine::Run(SchedulerPolicy& policy) {
   RunResult result;
-  result.drops_per_color.assign(instance_.num_colors(), 0);
-  result.arrived = instance_.num_jobs();
+  BeginRun(policy);
+  StepRounds(instance_->horizon() + 1);
+  FinishRun(result);
+  return result;
+}
 
-  Schedule schedule(options_.num_resources, options_.mini_rounds_per_round);
-  Schedule* schedule_ptr = options_.record_schedule ? &schedule : nullptr;
+void Engine::BeginRun(SchedulerPolicy& policy) {
+  RRS_CHECK(instance_ != nullptr) << "BeginRun on an unbound engine session";
+  RRS_CHECK(!running_) << "BeginRun while a run is open";
+  state_->StartRun(*instance_, options_);
+  if (view_ == nullptr) view_ = std::make_unique<View>(*state_);
+  view_->Rebind();
+  policy.Reset(*instance_, options_);
+  policy_ = &policy;
+  next_round_ = 0;
+  running_ = true;
+}
 
-  SimState state(instance_, options_);
-  obs::RunInstruments instruments(options_.obs_scope, "engine");
-  View view(state, options_, result.cost, schedule_ptr, instruments);
+bool Engine::StepRounds(Round max_rounds) {
+  RRS_CHECK(running_) << "StepRounds without BeginRun";
+  RRS_CHECK_GE(max_rounds, 1);
+  SimState& state = *state_;
+  SchedulerPolicy& policy = *policy_;
+  View& view = *view_;
+  obs::RunInstruments& instruments = state.instruments;
+  Schedule* const schedule_ptr = state.schedule_ptr;
 
-  policy.Reset(instance_, options_);
-
-  const Round horizon = instance_.horizon();
+  const Round horizon = instance_->horizon();
+  if (next_round_ > horizon) return false;
   const uint32_t num_resources = options_.num_resources;
   const size_t wheel_size = state.wheel.size();
-  for (Round k = 0; k <= horizon; ++k) {
+  // Overflow-safe "min(horizon, next + max - 1)".
+  const Round last = (max_rounds - 1 >= horizon - next_round_)
+                         ? horizon
+                         : next_round_ + max_rounds - 1;
+
+  for (Round k = next_round_; k <= last; ++k) {
     // Phase wall times are sampled (every round only when tracing); with no
     // scope attached this folds to a single dead branch per round.
     const bool obs_sampled = instruments.ShouldSample(k);
@@ -308,9 +380,9 @@ RunResult Engine::Run(SchedulerPolicy& policy) {
           }
           jobs = state.dropped_scratch;
         }
-        result.cost.drops += n;
-        result.cost.weighted_drops += n * instance_.drop_cost(c);
-        result.drops_per_color[c] += n;
+        state.cost.drops += n;
+        state.cost.weighted_drops += n * instance_->drop_cost(c);
+        state.drops_per_color[c] += n;
         policy.OnJobsDropped(k, c, n, jobs);
         ring.pop_n(n);
         state.pending_n[c] -= n;
@@ -325,9 +397,9 @@ RunResult Engine::Run(SchedulerPolicy& policy) {
     }
 
     // ---- Arrival phase: request k. ----
-    auto arrivals = instance_.jobs_in_round(k);
+    auto arrivals = instance_->jobs_in_round(k);
     if (!arrivals.empty()) {
-      JobId id = instance_.first_job_in_round(k);
+      JobId id = instance_->first_job_in_round(k);
       // Jobs within a round are grouped per color for the policy callback;
       // runs of equal colors are contiguous after a single pass because the
       // builder keeps insertion order and generators emit per-color runs.
@@ -335,7 +407,7 @@ RunResult Engine::Run(SchedulerPolicy& policy) {
       size_t i = 0;
       while (i < arrivals.size()) {
         ColorId c = arrivals[i].color;
-        const Round deadline = k + instance_.delay_bound(c);
+        const Round deadline = k + instance_->delay_bound(c);
         RRS_CHECK_LE(deadline, horizon);
         size_t j = i;
         while (j < arrivals.size() && arrivals[j].color == c) ++j;
@@ -382,7 +454,7 @@ RunResult Engine::Run(SchedulerPolicy& policy) {
           count[c] = 0;
           state.rings[c].pop_n(static_cast<uint32_t>(take));
           state.pending_n[c] -= take;
-          result.executed += take;
+          state.executed += take;
         }
       } else {
         // Recording path: per-resource pops, so each execution is attributed
@@ -395,7 +467,7 @@ RunResult Engine::Run(SchedulerPolicy& policy) {
           const JobId job = ring.front_job();
           ring.pop_n(1);
           --state.pending_n[c];
-          ++result.executed;
+          ++state.executed;
           schedule_ptr->AddExecution(k, mini, r, job);
         }
       }
@@ -407,19 +479,40 @@ RunResult Engine::Run(SchedulerPolicy& policy) {
     }
   }
 
+  next_round_ = last + 1;
+  return next_round_ <= horizon;
+}
+
+void Engine::FinishRun(RunResult& result) {
+  RRS_CHECK(running_) << "FinishRun without BeginRun";
+  RRS_CHECK_GT(next_round_, instance_->horizon())
+      << "FinishRun before the horizon";
+  SimState& state = *state_;
+
+  result.cost = state.cost;
+  result.executed = state.executed;
+  result.arrived = instance_->num_jobs();
+  result.rounds_simulated = instance_->horizon() + 1;
+  result.drops_per_color = state.drops_per_color;
+
   // Every job must have been executed or dropped by the horizon.
   RRS_CHECK_EQ(result.executed + result.cost.drops, result.arrived)
       << "engine accounting mismatch";
 
-  result.rounds_simulated = horizon + 1;
 #if RRS_OBS_LEVEL >= 1
-  internal::FinalizeRunTelemetry(policy, instruments,
-                                 std::move(state.reconfigs_per_color), result);
+  internal::FinalizeRunTelemetry(*policy_, state.instruments,
+                                 state.reconfigs_per_color, result);
 #else
-  internal::FinalizeRunTelemetry(policy, instruments, {}, result);
+  internal::FinalizeRunTelemetry(*policy_, state.instruments, {}, result);
 #endif
-  if (schedule_ptr != nullptr) result.schedule = std::move(schedule);
-  return result;
+  if (state.schedule_ptr != nullptr) {
+    result.schedule = std::move(state.schedule);
+    state.schedule_ptr = nullptr;
+  } else {
+    result.schedule.reset();
+  }
+  policy_ = nullptr;
+  running_ = false;
 }
 
 RunResult RunPolicy(const Instance& instance, SchedulerPolicy& policy,

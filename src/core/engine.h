@@ -16,11 +16,19 @@
 // Expiry scanning uses a timing wheel keyed by deadline mod (max D_ℓ + 1),
 // armed during the arrival phase, so a round's drop phase touches only
 // colors that can actually expire in it.
-// See src/core/engine.cpp (SimState) and DESIGN.md §"Engine internals".
+//
+// Engine is a *session core* (core/session.h): one object serves an
+// unbounded series of tenants. Reset(instance[, options]) rebinds it in
+// place — the SimState behind the pimpl is the session's arena, its rings,
+// wheel, and scratch buffers are reused across tenants and only grow when a
+// tenant's shape exceeds everything seen before. Runs can execute whole
+// (Run) or incrementally (BeginRun / StepRounds / FinishRun), which is what
+// lets fleet/FleetRunner interleave thousands of sessions in round buckets.
+// See src/core/engine.cpp (SimState) and DESIGN.md §3.8.
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -38,12 +46,11 @@ struct RunResult {
   Round rounds_simulated = 0;
   std::vector<uint64_t> drops_per_color;
   // Structured per-run snapshot: cost totals, per-color drop/reconfig
-  // vectors, sampled per-phase wall-time summaries, and merged policy
-  // counters. Empty at RRS_OBS_LEVEL=0.
+  // vectors, sampled per-phase wall-time summaries, and the policy's
+  // counters (SchedulerPolicy::ExportMetrics). The counters are populated
+  // at every obs level; the phase/per-color fields are empty at
+  // RRS_OBS_LEVEL=0.
   obs::Telemetry telemetry;
-  // DEPRECATED: string-map view of telemetry.counters, kept for one release;
-  // read telemetry.counters instead.
-  std::map<std::string, double> policy_counters;
   std::optional<Schedule> schedule;  // present iff options.record_schedule
 
   uint64_t total_cost(const CostModel& model) const {
@@ -53,23 +60,72 @@ struct RunResult {
 
 class Engine {
  public:
+  // An unbound session; Reset(...) before the first run.
+  Engine();
+  ~Engine();
+  Engine(Engine&&) noexcept;
+  Engine& operator=(Engine&&) noexcept;
+
+  // Constructs and binds in one step (the classic single-tenant shape).
   Engine(const Instance& instance, EngineOptions options);
+
+  // Rebinds the session to a new tenant in place (Session rule 1): sizes
+  // the simulation state for the instance without releasing capacity
+  // acquired for earlier tenants. `instance` must outlive all runs against
+  // it. Illegal while a run is open.
+  void Reset(const Instance& instance, EngineOptions options);
+  // Same-options rebind (keeps the options from the previous bind).
+  void Reset(const Instance& instance);
 
   // Runs the policy over the whole instance (rounds 0..horizon inclusive, so
   // every job either executes or drops) and returns the outcome.
   RunResult Run(SchedulerPolicy& policy);
 
+  // ---- Incremental session stepping (FleetRunner's interface) ----------
+  //
+  //   engine.BeginRun(policy);
+  //   while (engine.StepRounds(bucket)) {}
+  //   engine.FinishRun(result);
+  //
+  // is equivalent to result = engine.Run(policy) for any bucket size.
+
+  // Opens a run: clears all per-run state, resets the policy. One run may
+  // be open at a time.
+  void BeginRun(SchedulerPolicy& policy);
+
+  // Simulates up to max_rounds further rounds; returns true while rounds
+  // remain. max_rounds must be >= 1.
+  bool StepRounds(Round max_rounds);
+
+  // Closes the run and fills `result` (overwriting it; its buffers are
+  // reused). Requires StepRounds to have exhausted the horizon.
+  void FinishRun(RunResult& result);
+
+  bool running() const { return running_; }
+  // The next round BeginRun/StepRounds will simulate.
+  Round next_round() const { return next_round_; }
+
   const EngineOptions& options() const { return options_; }
+  const Instance& instance() const { return *instance_; }
 
  private:
   // ResourceView implementation handed to the policy each reconfig phase.
   class View;
+  struct SimState;
 
-  const Instance& instance_;
+  const Instance* instance_ = nullptr;
   EngineOptions options_;
+  // The session arena: all simulation state, reused across tenants.
+  std::unique_ptr<SimState> state_;
+  std::unique_ptr<View> view_;
+  SchedulerPolicy* policy_ = nullptr;  // non-null while a run is open
+  Round next_round_ = 0;
+  bool running_ = false;
 };
 
-// Convenience helper: construct an engine and run one policy.
+// Convenience helper: construct a fresh engine and run one policy. This is
+// deliberately *not* pooled — differential tests use it as the
+// fresh-construction oracle that session reuse must match bit for bit.
 RunResult RunPolicy(const Instance& instance, SchedulerPolicy& policy,
                     const EngineOptions& options);
 

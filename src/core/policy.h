@@ -21,7 +21,6 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <span>
 #include <string>
 
@@ -86,6 +85,13 @@ class ResourceView {
   explicit ResourceView(const uint64_t* pending_by_color)
       : pending_by_color_(pending_by_color) {}
 
+  // Repoints the pending table. Session engines keep one view alive across
+  // tenants and the table's storage may move when Reset grows it for a
+  // larger color universe.
+  void set_pending_table(const uint64_t* pending_by_color) {
+    pending_by_color_ = pending_by_color;
+  }
+
  private:
   const uint64_t* pending_by_color_;
 };
@@ -127,16 +133,8 @@ class SchedulerPolicy {
   // obs::Registry; policies register named counters/gauges/histograms (epoch
   // counts, eligible/ineligible drop split, ...). The values land in
   // RunResult::telemetry.counters and in the scope's aggregate registry.
-  // Preferred over CollectCounters for new code.
   virtual void ExportMetrics(obs::Registry& registry) const {
     (void)registry;
-  }
-
-  // DEPRECATED string-map counter export, kept for one release as a
-  // compatibility path; RunResult::policy_counters is now derived from it
-  // plus ExportMetrics. Migrate overrides to ExportMetrics.
-  virtual void CollectCounters(std::map<std::string, double>& out) const {
-    (void)out;
   }
 };
 

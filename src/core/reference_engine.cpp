@@ -248,7 +248,7 @@ RunResult RunPolicyReference(const Instance& instance, SchedulerPolicy& policy,
   result.rounds_simulated = horizon + 1;
 #if RRS_OBS_LEVEL >= 1
   internal::FinalizeRunTelemetry(policy, instruments,
-                                 std::move(state.reconfigs_per_color), result);
+                                 state.reconfigs_per_color, result);
 #else
   internal::FinalizeRunTelemetry(policy, instruments, {}, result);
 #endif

@@ -1,12 +1,17 @@
 // Shared end-of-run telemetry assembly for the replay engines (Engine and
-// RunPolicyReference): merges the legacy CollectCounters map with the
-// structured ExportMetrics registry, fills RunResult::telemetry, and folds
-// the run into the obs::Scope via RunInstruments::Finalize.
+// RunPolicyReference): snapshots the policy's structured ExportMetrics
+// registry into RunResult::telemetry.counters, fills the rest of the
+// telemetry block, and folds the run into the obs::Scope via
+// RunInstruments::Finalize.
+//
+// The counters snapshot runs at every obs level (it is end-of-run, not hot
+// path), so harness code can read policy counters even when the
+// instrumentation layer is compiled out; the phase timings and per-color
+// vectors require RRS_OBS_LEVEL >= 1.
 //
 // Internal header (engine implementations only).
 #pragma once
 
-#include <utility>
 #include <vector>
 
 #include "core/engine.h"
@@ -17,30 +22,25 @@
 namespace rrs {
 namespace internal {
 
-inline void FinalizeRunTelemetry(SchedulerPolicy& policy,
+inline void FinalizeRunTelemetry(const SchedulerPolicy& policy,
                                  obs::RunInstruments& instruments,
-                                 std::vector<uint64_t>&& reconfigs_per_color,
+                                 const std::vector<uint64_t>& reconfigs_per_color,
                                  RunResult& result) {
-  // Legacy path first, structured values win on name collision. The merge
-  // runs at every obs level (it is end-of-run, not hot path), so policies
-  // migrated to ExportMetrics keep their policy_counters entries even when
-  // the instrumentation layer is compiled out.
-  policy.CollectCounters(result.policy_counters);
+  obs::Telemetry& telemetry = result.telemetry;
+  telemetry.counters.clear();
   obs::Registry policy_registry;
   policy.ExportMetrics(policy_registry);
   for (const auto& [name, value] : policy_registry.Values()) {
-    result.policy_counters[name] = value;
+    telemetry.counters[name] = value;
   }
 #if RRS_OBS_LEVEL >= 1
-  obs::Telemetry& telemetry = result.telemetry;
   telemetry.arrived = result.arrived;
   telemetry.executed = result.executed;
   telemetry.drops = result.cost.drops;
   telemetry.reconfigs = result.cost.reconfigurations;
   telemetry.rounds = static_cast<uint64_t>(result.rounds_simulated);
   telemetry.drops_per_color = result.drops_per_color;
-  telemetry.reconfigs_per_color = std::move(reconfigs_per_color);
-  telemetry.counters = result.policy_counters;
+  telemetry.reconfigs_per_color = reconfigs_per_color;
   instruments.Finalize(telemetry);
 #else
   (void)instruments;

@@ -1,6 +1,7 @@
 #include "core/stream_engine.h"
 
 #include <algorithm>
+#include <functional>
 
 #include "util/check.h"
 
@@ -90,27 +91,61 @@ StreamEngine::StreamEngine(std::vector<Round> delay_bounds,
                            SchedulerPolicy& policy, EngineOptions options)
     : instance_(ColorsOnlyInstance(delay_bounds)),
       policy_(policy),
-      options_(options),
-      instruments_(options_.obs_scope, "stream") {
+      options_(options) {
   RRS_CHECK_GE(options_.num_resources, 1u);
   RRS_CHECK_GE(options_.mini_rounds_per_round, 1);
   RRS_CHECK(!options_.record_schedule)
       << "streaming mode has no job ids; schedule recording is unsupported";
   pending_.assign(instance_.num_colors(), {});
-  pending_n_.assign(instance_.num_colors(), 0);
-  in_nonidle_list_.assign(instance_.num_colors(), 0);
-  last_expiry_push_.assign(instance_.num_colors(), -1);
+  Reset();
+}
+
+void StreamEngine::Reset() {
+  const size_t num_colors = instance_.num_colors();
+  // Same color table: empty the rings in place, keeping their arrays. All
+  // remaining buffers are assigned at unchanged sizes, which reuses their
+  // capacity — a warm session restarts allocation-free.
+  for (auto& ring : pending_) ring.clear();
+  pending_n_.assign(num_colors, 0);
+  nonidle_list_.clear();
+  nonidle_list_.reserve(num_colors);
+  in_nonidle_list_.assign(num_colors, 0);
+  expiry_.clear();
+  last_expiry_push_.assign(num_colors, -1);
   resource_color_.assign(options_.num_resources, kNoColor);
-  arrivals_scratch_.assign(instance_.num_colors(), 0);
-  exec_count_.assign(instance_.num_colors(), 0);
-  nonidle_list_.reserve(instance_.num_colors());
-  touched_scratch_.reserve(instance_.num_colors());
-  exec_touched_.reserve(instance_.num_colors());
+  arrivals_scratch_.assign(num_colors, 0);
+  touched_scratch_.clear();
+  touched_scratch_.reserve(num_colors);
+  exec_count_.assign(num_colors, 0);
+  exec_touched_.clear();
+  exec_touched_.reserve(num_colors);
+  outcome_.round = 0;
+  outcome_.reconfigs.clear();
+  outcome_.executions.clear();
+  outcome_.drops.clear();
+
+  round_ = 0;
+  cost_ = CostBreakdown{};
+  arrived_ = 0;
+  executed_ = 0;
+  pending_total_ = 0;
 #if RRS_OBS_LEVEL >= 1
-  drops_per_color_.assign(instance_.num_colors(), 0);
-  reconfigs_per_color_.assign(instance_.num_colors(), 0);
+  drops_per_color_.assign(num_colors, 0);
+  reconfigs_per_color_.assign(num_colors, 0);
+  absorbed_ = false;
 #endif
+  instruments_.Rebind(options_.obs_scope, "stream");
+  ++tenants_served_;
   policy_.Reset(instance_, options_);
+}
+
+void StreamEngine::Reset(std::vector<Round> delay_bounds) {
+  instance_ = ColorsOnlyInstance(delay_bounds);
+  const size_t num_colors = instance_.num_colors();
+  // Shape change: grow the per-color ring array (existing rings keep their
+  // capacity; new colors start empty).
+  if (pending_.size() < num_colors) pending_.resize(num_colors);
+  Reset();
 }
 
 void StreamEngine::ArmExpiry(ColorId c) {
@@ -119,7 +154,9 @@ void StreamEngine::ArmExpiry(ColorId c) {
   const Round front = pending_[c].front_deadline();
   if (last_expiry_push_[c] != front) {
     last_expiry_push_[c] = front;
-    expiry_.emplace(front, c);
+    expiry_.emplace_back(front, c);
+    std::push_heap(expiry_.begin(), expiry_.end(),
+                   std::greater<std::pair<Round, ColorId>>{});
   }
 }
 
@@ -135,9 +172,11 @@ const RoundOutcome& StreamEngine::Step(
   uint64_t obs_t0 = obs_sampled ? obs::NowNs() : 0;
 
   // ---- Drop phase -------------------------------------------------------
-  while (!expiry_.empty() && expiry_.top().first <= k) {
-    auto [deadline, c] = expiry_.top();
-    expiry_.pop();
+  while (!expiry_.empty() && expiry_.front().first <= k) {
+    auto [deadline, c] = expiry_.front();
+    std::pop_heap(expiry_.begin(), expiry_.end(),
+                  std::greater<std::pair<Round, ColorId>>{});
+    expiry_.pop_back();
     if (deadline < k) continue;  // stale lazy entry
     auto& ring = pending_[c];
     // A color's pending deadlines are distinct, so at most one entry — the
@@ -259,7 +298,6 @@ obs::Telemetry StreamEngine::SnapshotTelemetry() const {
   telemetry.drops = cost_.drops;
   telemetry.reconfigs = cost_.reconfigurations;
   telemetry.rounds = static_cast<uint64_t>(round_);
-  policy_.CollectCounters(telemetry.counters);
   obs::Registry policy_registry;
   policy_.ExportMetrics(policy_registry);
   for (const auto& [name, value] : policy_registry.Values()) {

@@ -22,7 +22,6 @@
 #pragma once
 
 #include <cstdint>
-#include <queue>
 #include <span>
 #include <utility>
 #include <vector>
@@ -53,6 +52,12 @@ class DeadlineRing {
  public:
   bool empty() const { return size_ == 0; }
   uint32_t size() const { return size_; }
+
+  // Empties the ring, keeping its arrays (session reuse).
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
 
   Round front_deadline() const {
     RRS_DCHECK(size_ > 0);
@@ -109,6 +114,17 @@ class StreamEngine {
   StreamEngine(std::vector<Round> delay_bounds, SchedulerPolicy& policy,
                EngineOptions options);
 
+  // Session rebind (core/session.h): restarts the stream at round 0 for a
+  // new tenant with the SAME color table — all pending state, costs, and
+  // counters are cleared in place (rings and scratch keep their capacity;
+  // zero steady-state allocation at a fixed shape) and the policy is reset.
+  void Reset();
+
+  // Session rebind with a NEW color table: rebuilds the jobless Instance
+  // (this is the one shape-changing, allocating step) and then behaves like
+  // Reset().
+  void Reset(std::vector<Round> delay_bounds);
+
   size_t num_colors() const { return instance_.num_colors(); }
   Round current_round() const { return round_; }
 
@@ -120,6 +136,9 @@ class StreamEngine {
 
   // True while any job is still pending.
   bool HasPending() const { return pending_total_ > 0; }
+
+  // Tenants this session has served (1 after construction, +1 per Reset).
+  uint64_t tenants_served() const { return tenants_served_; }
 
   // Advances empty rounds until no jobs are pending (each pending job either
   // executes or reaches its deadline). Bounded by the largest delay bound.
@@ -166,11 +185,10 @@ class StreamEngine {
   std::vector<uint64_t> pending_n_;
   std::vector<ColorId> nonidle_list_;  // lazily compacted
   std::vector<uint8_t> in_nonidle_list_;
-  // Colors that may expire, keyed by deadline (lazy min-heap; duplicates ok).
-  std::priority_queue<std::pair<Round, ColorId>,
-                      std::vector<std::pair<Round, ColorId>>,
-                      std::greater<>>
-      expiry_;
+  // Colors that may expire, keyed by deadline (lazy min-heap over a plain
+  // vector — push_heap/pop_heap — so Reset can clear it without releasing
+  // storage; duplicates ok).
+  std::vector<std::pair<Round, ColorId>> expiry_;
   std::vector<Round> last_expiry_push_;  // dedupe heap pushes
   std::vector<ColorId> resource_color_;
   std::vector<uint64_t> arrivals_scratch_;
@@ -184,6 +202,7 @@ class StreamEngine {
   std::vector<uint64_t> reconfigs_per_color_;  // telemetry (kNoColor excluded)
   bool absorbed_ = false;
 #endif
+  uint64_t tenants_served_ = 0;  // Reset calls (including construction)
 };
 
 }  // namespace rrs

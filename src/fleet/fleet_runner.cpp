@@ -1,0 +1,189 @@
+#include "fleet/fleet_runner.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/scope.h"
+#include "obs/trace.h"
+#include "parallel/parallel_for.h"
+#include "parallel/thread_pool.h"
+#include "util/check.h"
+
+namespace rrs {
+namespace fleet {
+
+void FleetStats::MergeFrom(const FleetStats& other) {
+  sessions_completed += other.sessions_completed;
+  rounds_stepped += other.rounds_stepped;
+  sessions_created += other.sessions_created;
+  sessions_recycled += other.sessions_recycled;
+  peak_live_sessions = std::max(peak_live_sessions, other.peak_live_sessions);
+  ticks += other.ticks;
+}
+
+// Shard-local state: session pools plus the live set. Owned and touched by
+// exactly one worker per RunAll (shard → worker affinity), so nothing here
+// is synchronized.
+struct FleetRunner::Shard {
+  explicit Shard(const FleetOptions& options)
+      : replay_pool([&options] {
+          auto session = std::make_unique<ReplaySession>();
+          session->policy = options.policy_factory();
+          return session;
+        }),
+        pipeline_pool([&options] {
+          return std::make_unique<reduce::PipelineSession>(
+              options.pipeline_params);
+        }) {}
+
+  struct LiveSession {
+    std::unique_ptr<ReplaySession> session;
+    size_t job_index = 0;
+  };
+
+  SessionPool<ReplaySession> replay_pool;
+  SessionPool<reduce::PipelineSession> pipeline_pool;
+  std::vector<LiveSession> live;
+  FleetStats stats;
+};
+
+FleetRunner::FleetRunner(FleetOptions options) : options_(std::move(options)) {
+  RRS_CHECK_GE(options_.rounds_per_tick, 1);
+  if (!options_.policy_factory) {
+    const DlruEdfPolicy::Params params;
+    options_.policy_factory = [params] {
+      return std::make_unique<DlruEdfPolicy>(params);
+    };
+  }
+  size_t shards = options_.num_shards;
+  if (shards == 0) {
+    shards = options_.pool != nullptr
+                 ? std::max<size_t>(1, options_.pool->thread_count())
+                 : 1;
+  }
+  shards_.reserve(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>(options_));
+  }
+}
+
+FleetRunner::~FleetRunner() = default;
+
+void FleetRunner::RunShard(Shard& shard, std::span<const FleetJob> jobs,
+                           std::span<RunResult> results, size_t shard_index,
+                           size_t stride) {
+  size_t next = shard_index;  // this shard's jobs: shard_index + k * stride
+  auto& live = shard.live;
+  RRS_CHECK(live.empty());
+
+  // Per-tenant work traces onto this worker's thread track (single-writer).
+  obs::Tracer* tracer =
+      options_.scope != nullptr ? options_.scope->tracer() : nullptr;
+  obs::TraceTrack* track = tracer != nullptr ? tracer->ThreadTrack() : nullptr;
+
+  while (next < jobs.size() || !live.empty()) {
+    // ---- Admit: bind waiting tenants to sessions up to the live cap. ----
+    while (next < jobs.size() &&
+           (options_.max_live_sessions == 0 ||
+            live.size() < options_.max_live_sessions)) {
+      const FleetJob& job = jobs[next];
+      RRS_CHECK(job.instance != nullptr);
+      if (job.kind == FleetJob::Kind::kPipeline) {
+        // Pipeline tenants run to completion on admission (the pipeline's
+        // transform → run → project → validate chain has no round-bucket
+        // seam), through a pooled session so the inner engine stays warm.
+        auto session = shard.pipeline_pool.Acquire();
+        obs::Span span(tracer, track, options_.trace_label,
+                       static_cast<uint64_t>(next));
+        const reduce::PipelineResult& pipe =
+            session->SolveOnline(*job.instance, job.options);
+        RunResult& out = results[next];
+        out.cost = pipe.validation.cost;
+        out.arrived = job.instance->num_jobs();
+        out.executed = out.arrived - out.cost.drops;
+        out.rounds_simulated = pipe.inner.rounds_simulated;
+        out.drops_per_color = pipe.inner.drops_per_color;
+        out.telemetry = pipe.inner.telemetry;
+        shard.stats.rounds_stepped +=
+            static_cast<uint64_t>(pipe.inner.rounds_simulated);
+        ++shard.stats.sessions_completed;
+        shard.pipeline_pool.Release(std::move(session));
+      } else {
+        auto session = shard.replay_pool.Acquire();
+        session->engine.Reset(*job.instance, job.options);
+        session->engine.BeginRun(*session->policy);
+        live.push_back({std::move(session), next});
+        shard.stats.peak_live_sessions =
+            std::max<uint64_t>(shard.stats.peak_live_sessions, live.size());
+      }
+      next += stride;
+    }
+
+    if (live.empty()) continue;
+
+    // ---- Tick: advance every live session one round bucket. ----
+    size_t out = 0;
+    for (size_t i = 0; i < live.size(); ++i) {
+      Engine& engine = live[i].session->engine;
+      obs::Span span(tracer, track, options_.trace_label,
+                     static_cast<uint64_t>(live[i].job_index));
+      const Round before = engine.next_round();
+      const bool more = engine.StepRounds(options_.rounds_per_tick);
+      shard.stats.rounds_stepped +=
+          static_cast<uint64_t>(engine.next_round() - before);
+      if (more) {
+        live[out++] = std::move(live[i]);
+      } else {
+        engine.FinishRun(results[live[i].job_index]);
+        ++shard.stats.sessions_completed;
+        shard.replay_pool.Release(std::move(live[i].session));
+      }
+    }
+    live.resize(out);
+    ++shard.stats.ticks;
+  }
+
+  shard.stats.sessions_created = shard.replay_pool.created() +
+                                 shard.pipeline_pool.created();
+  shard.stats.sessions_recycled = shard.replay_pool.recycled() +
+                                  shard.pipeline_pool.recycled();
+}
+
+std::vector<RunResult> FleetRunner::RunAll(std::span<const FleetJob> jobs) {
+  std::vector<RunResult> results(jobs.size());
+  const size_t stride = shards_.size();
+  const FleetStats before = stats();  // stats are cumulative; absorb a delta
+
+  if (options_.pool == nullptr || shards_.size() == 1) {
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      RunShard(*shards_[s], jobs, results, s, stride);
+    }
+  } else {
+    ParallelFor(*options_.pool, 0, static_cast<int64_t>(shards_.size()),
+                [&](int64_t s) {
+                  RunShard(*shards_[static_cast<size_t>(s)], jobs, results,
+                           static_cast<size_t>(s), stride);
+                });
+  }
+
+  if (options_.scope != nullptr) {
+    const FleetStats total = stats();
+    const std::pair<std::string_view, uint64_t> counters[] = {
+        {"fleet.sessions_completed",
+         total.sessions_completed - before.sessions_completed},
+        {"fleet.rounds_stepped", total.rounds_stepped - before.rounds_stepped},
+        {"fleet.ticks", total.ticks - before.ticks},
+    };
+    options_.scope->AbsorbCounters(counters);
+  }
+  return results;
+}
+
+FleetStats FleetRunner::stats() const {
+  FleetStats total;
+  for (const auto& shard : shards_) total.MergeFrom(shard->stats);
+  return total;
+}
+
+}  // namespace fleet
+}  // namespace rrs

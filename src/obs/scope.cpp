@@ -97,8 +97,17 @@ std::string Scope::SummaryLine() const {
 
 #if RRS_OBS_LEVEL >= 1
 
-RunInstruments::RunInstruments(Scope* scope, const char* engine_name)
-    : scope_(EffectiveScope(scope)) {
+RunInstruments::RunInstruments(Scope* scope, const char* engine_name) {
+  Rebind(scope, engine_name);
+}
+
+void RunInstruments::Rebind(Scope* scope, const char* engine_name) {
+  scope_ = EffectiveScope(scope);
+  tracer_ = nullptr;
+  for (int p = 0; p < kNumPhases; ++p) {
+    tracks_[p] = nullptr;
+    phase_ns_[p].Reset();
+  }
   if (scope_ == nullptr) return;
   sample_mask_ = scope_->sample_mask();
   Tracer* tracer = scope_->tracer();

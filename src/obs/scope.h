@@ -111,6 +111,16 @@ class RunInstruments {
   // null — then only the always-on structured counters are kept).
   RunInstruments(Scope* scope, const char* engine_name);
 
+  // Unbound instruments for session cores constructed before their first
+  // tenant; Rebind before the first run.
+  RunInstruments() = default;
+
+  // Re-arms the instruments for a new run on a (possibly different) scope:
+  // clears the phase histograms and registers fresh trace tracks. This is
+  // what lets one session object serve many tenants without reconstructing
+  // its instrument block.
+  void Rebind(Scope* scope, const char* engine_name);
+
   bool active() const { return scope_ != nullptr; }
   bool tracing() const { return tracer_ != nullptr; }
 
@@ -148,7 +158,7 @@ class RunInstruments {
   void Finalize(Telemetry& telemetry);
 
  private:
-  Scope* scope_;
+  Scope* scope_ = nullptr;
   Tracer* tracer_ = nullptr;
   uint32_t sample_mask_ = 31;
   TraceTrack* tracks_[kNumPhases] = {};
@@ -159,7 +169,9 @@ class RunInstruments {
 
 class RunInstruments {
  public:
+  RunInstruments() = default;
   RunInstruments(Scope*, const char*) {}
+  void Rebind(Scope*, const char*) {}
   static constexpr bool active() { return false; }
   static constexpr bool tracing() { return false; }
   static constexpr bool ShouldSample(Round) { return false; }

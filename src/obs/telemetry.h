@@ -1,12 +1,9 @@
-// Telemetry: the structured per-run snapshot carried by RunResult, replacing
-// the ad-hoc string-map policy_counters (which remains as a deprecated view
-// derived from `counters` for one release).
+// Telemetry: the structured per-run snapshot carried by RunResult.
 //
 // The snapshot is cheap plain data — cost totals, per-color drop/reconfig
 // vectors, per-phase wall-time summaries (from sampled LogHistograms), and a
-// flat counter map fed by SchedulerPolicy::ExportMetrics plus the legacy
-// CollectCounters path — so harness code can aggregate it without touching
-// the obs runtime.
+// flat counter map fed by SchedulerPolicy::ExportMetrics — so harness code
+// can aggregate it without touching the obs runtime.
 #pragma once
 
 #include <cstdint>
@@ -55,8 +52,8 @@ struct Telemetry {
 
   PhaseStat phase[kNumPhases];
 
-  // Structured policy/extension counters (ExportMetrics + legacy
-  // CollectCounters, merged; structured values win on name collision).
+  // Structured policy/extension counters (SchedulerPolicy::ExportMetrics,
+  // flattened).
   std::map<std::string, double> counters;
 
   // One-line human summary: drops, reconfigs, and per-phase p50/p99 — the

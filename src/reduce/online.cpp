@@ -43,6 +43,21 @@ OnlineSolver::OnlineSolver(std::vector<ColorSpec> colors,
   }
 }
 
+void OnlineSolver::Reset() {
+  engine_.Reset();  // also resets policy_ against the inner color table
+  round_ = 0;
+  arrived_ = 0;
+  cost_ = CostBreakdown{};
+  std::fill(resource_base_color_.begin(), resource_base_color_.end(),
+            kNoColor);
+  buffered_.clear();
+  inner_arrivals_scratch_.clear();
+  outcome_.round = 0;
+  outcome_.reconfigs.clear();
+  outcome_.executions.clear();
+  outcome_.drops.clear();
+}
+
 const RoundOutcome& OnlineSolver::Step(
     std::span<const std::pair<ColorId, uint64_t>> arrivals) {
   // VarBatch streaming: buffer each arrival at its half-block boundary.

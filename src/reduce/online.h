@@ -46,6 +46,13 @@ class OnlineSolver {
   OnlineSolver(std::vector<ColorSpec> colors, EngineOptions options,
                DlruEdfPolicy::Params params = {});
 
+  // Session rebind (core/session.h): restarts the solver at round 0 for a
+  // new tenant with the same color table. The inner StreamEngine, the
+  // ΔLRU-EDF policy state, the VarBatch buffers, and the base-color
+  // projection are all cleared in place — zero steady-state allocation — so
+  // one solver object serves an unbounded series of tenants.
+  void Reset();
+
   size_t num_colors() const { return colors_.size(); }
   Round current_round() const { return round_; }
 

@@ -45,5 +45,49 @@ PipelineResult SolveOnline(const Instance& instance, EngineOptions options,
   return result;
 }
 
+PipelineSession::PipelineSession(DlruEdfPolicy::Params params)
+    : policy_(params) {}
+
+void PipelineSession::RunInner(const Instance& transformed,
+                               EngineOptions options) {
+  options.record_schedule = true;
+  engine_.Reset(transformed, options);
+  engine_.BeginRun(policy_);
+  engine_.StepRounds(transformed.horizon() + 1);
+  engine_.FinishRun(result_.inner);
+  ++tenants_served_;
+}
+
+const PipelineResult& PipelineSession::SolveBatched(const Instance& instance,
+                                                    EngineOptions options) {
+  result_.varbatch = VarBatchTransform{};
+  result_.distribute = DistributeInstance(instance);
+  RunInner(result_.distribute.transformed, options);
+  RRS_CHECK(result_.inner.schedule.has_value());
+
+  result_.schedule =
+      ProjectDistributeSchedule(*result_.inner.schedule, result_.distribute);
+  result_.validation = result_.schedule.Validate(instance);
+  RRS_CHECK(result_.validation.ok)
+      << "batched pipeline schedule invalid: " << result_.validation.error;
+  return result_;
+}
+
+const PipelineResult& PipelineSession::SolveOnline(const Instance& instance,
+                                                   EngineOptions options) {
+  result_.varbatch = VarBatchInstance(instance);
+  result_.distribute = DistributeInstance(result_.varbatch.transformed);
+  RunInner(result_.distribute.transformed, options);
+  RRS_CHECK(result_.inner.schedule.has_value());
+
+  Schedule mid =
+      ProjectDistributeSchedule(*result_.inner.schedule, result_.distribute);
+  result_.schedule = ProjectVarBatchSchedule(mid, result_.varbatch);
+  result_.validation = result_.schedule.Validate(instance);
+  RRS_CHECK(result_.validation.ok)
+      << "pipeline schedule invalid: " << result_.validation.error;
+  return result_;
+}
+
 }  // namespace reduce
 }  // namespace rrs

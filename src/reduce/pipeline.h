@@ -36,6 +36,11 @@ struct PipelineResult {
 // Runs the full pipeline on an arbitrary [Δ | 1 | D_ℓ | 1] instance.
 // options.num_resources must satisfy ΔLRU-EDF's requirement (divisible by 4,
 // >= the LRU denominator in params).
+//
+// The free functions construct a fresh policy and engine per call — they are
+// the one-shot form and the fresh-construction oracle for the session-reuse
+// differential tests. Batch workloads (sweeps, fleets) should reuse a
+// PipelineSession instead.
 PipelineResult SolveOnline(const Instance& instance, EngineOptions options,
                            const DlruEdfPolicy::Params& params = {});
 
@@ -43,6 +48,38 @@ PipelineResult SolveOnline(const Instance& instance, EngineOptions options,
 // Distribute ∘ ΔLRU-EDF (Theorem 2).
 PipelineResult SolveBatched(const Instance& instance, EngineOptions options,
                             const DlruEdfPolicy::Params& params = {});
+
+// Session form of the pipeline (core/session.h): owns one ΔLRU-EDF policy
+// and one replay Engine and reuses both — via Engine::Reset — for an
+// unbounded series of tenants. The instance transforms (VarBatch,
+// Distribute) and the schedule projections still build per-tenant objects
+// (they are shape work, proportional to the tenant's instance), but the
+// engine hot path runs out of the session arena. Results are bit-identical
+// to the free functions on the same inputs.
+class PipelineSession {
+ public:
+  explicit PipelineSession(DlruEdfPolicy::Params params = {});
+
+  // Runs the pipeline for a new tenant. The returned result is owned by the
+  // session and valid until the next Solve* call.
+  const PipelineResult& SolveOnline(const Instance& instance,
+                                    EngineOptions options);
+  const PipelineResult& SolveBatched(const Instance& instance,
+                                     EngineOptions options);
+
+  // Tenants this session has served.
+  uint64_t tenants_served() const { return tenants_served_; }
+
+ private:
+  // ΔLRU-EDF on the transformed instance through the pooled engine, writing
+  // into result_.inner (reusing its buffers).
+  void RunInner(const Instance& transformed, EngineOptions options);
+
+  DlruEdfPolicy policy_;
+  Engine engine_;
+  PipelineResult result_;
+  uint64_t tenants_served_ = 0;
+};
 
 }  // namespace reduce
 }  // namespace rrs

@@ -43,9 +43,8 @@ void BatchedSchedulerBase::OnArrivals(Round k, ColorId c, uint64_t count) {
   if (table_.OnArrivals(k, c, count)) OnBecameEligible(k, c);
 }
 
-void BatchedSchedulerBase::CollectCounters(
-    std::map<std::string, double>& out) const {
-  table_.CollectCounters(out);
+void BatchedSchedulerBase::ExportMetrics(obs::Registry& registry) const {
+  table_.ExportMetrics(registry);
 }
 
 }  // namespace rrs

@@ -9,7 +9,6 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <string>
 
 #include "core/policy.h"
@@ -30,7 +29,8 @@ class BatchedSchedulerBase : public SchedulerPolicy {
   void AfterDropPhase(Round k) final;
   void OnArrivals(Round k, ColorId c, uint64_t count) final;
 
-  void CollectCounters(std::map<std::string, double>& out) const override;
+  // Exports the ColorStateTable analysis counters (Lemmas 3.2-3.4).
+  void ExportMetrics(obs::Registry& registry) const override;
 
   const ColorStateTable& color_state() const { return table_; }
   const CacheSlots& cache() const { return slots_; }

@@ -13,12 +13,26 @@ void ColorStateTable::Reset(const Instance& instance, uint64_t delta) {
   state_.assign(instance.num_colors(), State{});
   dd_.assign(instance.num_colors(), 0);
 
-  groups_by_delay_.clear();
-  std::map<Round, std::vector<ColorId>> groups;
-  for (ColorId c = 0; c < instance.num_colors(); ++c) {
-    groups[instance.delay_bound(c)].push_back(c);
+  const uint32_t num_colors = static_cast<uint32_t>(instance.num_colors());
+  group_color_ids_.resize(num_colors);
+  for (ColorId c = 0; c < num_colors; ++c) group_color_ids_[c] = c;
+  std::sort(group_color_ids_.begin(), group_color_ids_.end(),
+            [&instance](ColorId a, ColorId b) {
+              const Round da = instance.delay_bound(a);
+              const Round db = instance.delay_bound(b);
+              if (da != db) return da < db;
+              return a < b;
+            });
+  group_delay_.clear();
+  group_begin_.clear();
+  for (uint32_t i = 0; i < num_colors; ++i) {
+    const Round d = instance.delay_bound(group_color_ids_[i]);
+    if (group_delay_.empty() || group_delay_.back() != d) {
+      group_delay_.push_back(d);
+      group_begin_.push_back(i);
+    }
   }
-  groups_by_delay_.assign(groups.begin(), groups.end());
+  group_begin_.push_back(num_colors);
 
   eligible_list_.clear();
   in_eligible_list_.assign(instance.num_colors(), 0);
@@ -83,9 +97,10 @@ const std::vector<ColorId>& ColorStateTable::eligible_colors() const {
 void ColorStateTable::CollectBoundaryColors(Round k,
                                             std::vector<ColorId>& out) const {
   out.clear();
-  for (const auto& [delay, colors] : groups_by_delay_) {
-    if (k % delay == 0) {
-      out.insert(out.end(), colors.begin(), colors.end());
+  for (uint32_t i = 0; i < group_delay_.size(); ++i) {
+    if (k % group_delay_[i] == 0) {
+      out.insert(out.end(), group_color_ids_.begin() + group_begin_[i],
+                 group_color_ids_.begin() + group_begin_[i + 1]);
     }
   }
 }
@@ -94,13 +109,13 @@ uint64_t ColorStateTable::num_epochs() const {
   return epochs_completed_ + colors_with_jobs_;
 }
 
-void ColorStateTable::CollectCounters(std::map<std::string, double>& out) const {
-  out["epochs_completed"] = static_cast<double>(epochs_completed_);
-  out["num_epochs"] = static_cast<double>(num_epochs());
-  out["eligible_drops"] = static_cast<double>(eligible_drops_);
-  out["ineligible_drops"] = static_cast<double>(ineligible_drops_);
-  out["wrap_events"] = static_cast<double>(wrap_events_);
-  out["timestamp_update_events"] = static_cast<double>(timestamp_update_events_);
+void ColorStateTable::ExportMetrics(obs::Registry& registry) const {
+  registry.counter("epochs_completed").Add(epochs_completed_);
+  registry.counter("num_epochs").Add(num_epochs());
+  registry.counter("eligible_drops").Add(eligible_drops_);
+  registry.counter("ineligible_drops").Add(ineligible_drops_);
+  registry.counter("wrap_events").Add(wrap_events_);
+  registry.counter("timestamp_update_events").Add(timestamp_update_events_);
 }
 
 }  // namespace rrs

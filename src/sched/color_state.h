@@ -23,12 +23,11 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <string>
 #include <vector>
 
 #include "core/instance.h"
 #include "core/types.h"
+#include "obs/metrics.h"
 
 namespace rrs {
 
@@ -114,7 +113,10 @@ class ColorStateTable {
   uint64_t wrap_events() const { return wrap_events_; }
   uint64_t timestamp_update_events() const { return timestamp_update_events_; }
 
-  void CollectCounters(std::map<std::string, double>& out) const;
+  // Registers the analysis counters (epochs_completed, num_epochs,
+  // eligible_drops, ineligible_drops, wrap_events, timestamp_update_events)
+  // into the structured metrics registry.
+  void ExportMetrics(obs::Registry& registry) const;
 
  private:
   struct State {
@@ -134,7 +136,11 @@ class ColorStateTable {
   // eligible color each round, so they live apart from the colder State.
   std::vector<Round> dd_;
   // Colors grouped by delay bound for O(#boundary-colors) boundary scans.
-  std::vector<std::pair<Round, std::vector<ColorId>>> groups_by_delay_;
+  // CSR layout (flat color array + offsets) so Reset rebuilds the groups for
+  // a new tenant without allocating once the buffers are warm.
+  std::vector<Round> group_delay_;        // sorted distinct D
+  std::vector<ColorId> group_color_ids_;  // colors sorted by (D, color)
+  std::vector<uint32_t> group_begin_;     // group i: [begin[i], begin[i+1])
 
   mutable std::vector<ColorId> eligible_list_;  // lazily compacted
   mutable std::vector<uint8_t> in_eligible_list_;

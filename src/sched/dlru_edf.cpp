@@ -15,26 +15,35 @@ void DlruEdfPolicy::OnReset() {
       << "dlru-edf needs n >= " << params_.lru_den << " resources";
   RRS_CHECK_LT(lru_capacity_, slots_.capacity())
       << "LRU side must leave room for the EDF side";
-  tracker_ = LruTracker(instance_->num_colors());
+  const uint32_t num_colors = static_cast<uint32_t>(instance_->num_colors());
+  tracker_.Reset(num_colors);
   evict_rng_ = Rng(params_.random_evict_seed);
-  is_lru_.assign(instance_->num_colors(), 0);
-  evict_first_.assign(instance_->num_colors(), 0);
-  in_lru_desired_.assign(instance_->num_colors(), 0);
+  is_lru_.assign(num_colors, 0);
+  evict_first_.assign(num_colors, 0);
+  in_lru_desired_.assign(num_colors, 0);
 
-  // Delay classes for the EDF scan, colors ascending within each class.
+  // Delay classes for the EDF scan, colors ascending within each class: sort
+  // a flat color array by (delay bound, color) and cut it at class
+  // boundaries. All three CSR buffers reuse their capacity across Resets.
+  class_color_ids_.resize(num_colors);
+  for (ColorId c = 0; c < num_colors; ++c) class_color_ids_[c] = c;
+  std::sort(class_color_ids_.begin(), class_color_ids_.end(),
+            [this](ColorId a, ColorId b) {
+              const Round da = instance_->delay_bound(a);
+              const Round db = instance_->delay_bound(b);
+              if (da != db) return da < db;
+              return a < b;
+            });
   class_delay_.clear();
-  class_colors_.clear();
-  for (ColorId c = 0; c < instance_->num_colors(); ++c) {
-    const Round d = instance_->delay_bound(c);
-    auto it = std::lower_bound(class_delay_.begin(), class_delay_.end(), d);
-    const size_t at = static_cast<size_t>(it - class_delay_.begin());
-    if (it == class_delay_.end() || *it != d) {
-      class_delay_.insert(it, d);
-      class_colors_.emplace(class_colors_.begin() +
-                            static_cast<ptrdiff_t>(at));
+  class_begin_.clear();
+  for (uint32_t i = 0; i < num_colors; ++i) {
+    const Round d = instance_->delay_bound(class_color_ids_[i]);
+    if (class_delay_.empty() || class_delay_.back() != d) {
+      class_delay_.push_back(d);
+      class_begin_.push_back(i);
     }
-    class_colors_[at].push_back(c);
   }
+  class_begin_.push_back(num_colors);
   class_order_.reserve(class_delay_.size());
 }
 
@@ -128,12 +137,14 @@ void DlruEdfPolicy::Reconfigure(Round k, int mini, ResourceView& view) {
   for (uint32_t i = 0; i < class_delay_.size(); ++i) {
     // All colors of a class share dd; read it off the first one (same
     // source RankOf uses, so ordering is byte-identical to full ranking).
-    class_order_.emplace_back(table_.deadline(class_colors_[i][0]), i);
+    class_order_.emplace_back(table_.deadline(class_color_ids_[class_begin_[i]]),
+                              i);
   }
   std::sort(class_order_.begin(), class_order_.end());
   ranked_.clear();
   for (const auto& [dd, i] : class_order_) {
-    for (ColorId c : class_colors_[i]) {
+    for (uint32_t j = class_begin_[i]; j < class_begin_[i + 1]; ++j) {
+      const ColorId c = class_color_ids_[j];
       if (is_lru_[c] || !table_.eligible(c)) continue;
       if (view.pending_count(c) == 0) continue;
       ranked_.emplace_back(RankOf(c, view), c);

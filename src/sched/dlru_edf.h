@@ -89,8 +89,11 @@ class DlruEdfPolicy : public BatchedSchedulerBase {
   // per-round scratch of (class deadline, class index). Every color of a
   // class shares the same color deadline at any round, so the EDF scan walks
   // classes in (dd, D) order instead of ranking all eligible colors.
-  std::vector<Round> class_delay_;                  // sorted distinct D
-  std::vector<std::vector<ColorId>> class_colors_;  // parallel to class_delay_
+  // CSR layout (flat color array + offsets, both reused across Resets) so
+  // rebuilding the classes for a new tenant allocates nothing once warm.
+  std::vector<Round> class_delay_;       // sorted distinct D
+  std::vector<ColorId> class_color_ids_; // colors sorted by (D, color)
+  std::vector<uint32_t> class_begin_;    // class i owns [begin[i], begin[i+1])
   std::vector<std::pair<Round, uint32_t>> class_order_;
   Rng evict_rng_{0};
 };

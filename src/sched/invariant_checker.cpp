@@ -63,7 +63,8 @@ void InvariantCheckingPolicy::Verify(Round k, const ResourceView& view) const {
     const uint32_t n =
         slots.replicate() ? slots.capacity() * 2 : slots.capacity();
     const uint32_t lru_slots = n / lru_den_;
-    std::vector<std::pair<Round, ColorId>> eligible;
+    auto& eligible = eligible_scratch_;
+    eligible.clear();
     for (ColorId c : table.eligible_colors()) {
       eligible.emplace_back(table.timestamp(c), c);
     }

@@ -17,6 +17,8 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/policy.h"
 #include "sched/batched_base.h"
@@ -46,12 +48,8 @@ class InvariantCheckingPolicy : public SchedulerPolicy {
   void AfterArrivalPhase(Round k) override { inner_.AfterArrivalPhase(k); }
   void Reconfigure(Round k, int mini, ResourceView& view) override;
   // Structured export: "invariant_checks" plus whatever the inner policy
-  // registers. The legacy CollectCounters path only forwards to the inner
-  // policy (this wrapper's own counter lives on the registry now).
+  // registers.
   void ExportMetrics(obs::Registry& registry) const override;
-  void CollectCounters(std::map<std::string, double>& out) const override {
-    inner_.CollectCounters(out);
-  }
 
   uint64_t checks_performed() const { return checks_; }
 
@@ -62,6 +60,9 @@ class InvariantCheckingPolicy : public SchedulerPolicy {
   uint32_t lru_den_;
   uint32_t num_resources_ = 0;
   uint64_t checks_ = 0;
+  // Verify()'s (timestamp, color) ranking buffer; mutable member so the
+  // per-phase invariant sweep stays allocation-free across session reuse.
+  mutable std::vector<std::pair<Round, ColorId>> eligible_scratch_;
 };
 
 }  // namespace rrs

@@ -45,14 +45,10 @@ TEST_P(InvariantSweep, DlruEdfInvariantsHoldEveryRound) {
   RunResult r = RunPolicy(instance, checked, options);
   EXPECT_GT(checked.checks_performed(), 0u);
   EXPECT_EQ(r.executed + r.cost.drops, r.arrived);
-  // The wrapper's counter is registered via ExportMetrics and lands both in
-  // the structured telemetry and in the deprecated policy_counters view.
-  EXPECT_EQ(r.policy_counters["invariant_checks"],
-            static_cast<double>(checked.checks_performed()));
-#if RRS_OBS_LEVEL >= 1
+  // The wrapper's counter is registered via ExportMetrics and lands in the
+  // structured telemetry at every obs level.
   EXPECT_EQ(r.telemetry.counters["invariant_checks"],
             static_cast<double>(checked.checks_performed()));
-#endif
 }
 
 TEST_P(InvariantSweep, DlruInvariantsHold) {
@@ -146,14 +142,10 @@ TEST(SuperEpoch, CompletesSuperEpochsUnderChurn) {
   options.cost_model.delta = 2;
   RunResult r = RunPolicy(instance, policy, options);
   EXPECT_GT(policy.super_epochs_completed(), 0u);
-  EXPECT_EQ(r.policy_counters["super_epochs_completed"],
-            static_cast<double>(policy.super_epochs_completed()));
-  EXPECT_EQ(r.policy_counters["max_epochs_per_super_epoch"],
-            static_cast<double>(policy.max_epochs_overlapping_super_epoch()));
-#if RRS_OBS_LEVEL >= 1
   EXPECT_EQ(r.telemetry.counters["super_epochs_completed"],
             static_cast<double>(policy.super_epochs_completed()));
-#endif
+  EXPECT_EQ(r.telemetry.counters["max_epochs_per_super_epoch"],
+            static_cast<double>(policy.max_epochs_overlapping_super_epoch()));
 }
 
 TEST(SuperEpoch, NoSuperEpochWithoutTimestampChurn) {

@@ -464,10 +464,10 @@ TEST(DlruEdfPolicy, CountersExported) {
   options.num_resources = 4;
   options.cost_model.delta = 2;
   RunResult r = RunPolicy(adv.instance, policy, options);
-  EXPECT_TRUE(r.policy_counters.count("num_epochs"));
-  EXPECT_TRUE(r.policy_counters.count("eligible_drops"));
-  EXPECT_EQ(r.policy_counters["eligible_drops"] +
-                r.policy_counters["ineligible_drops"],
+  EXPECT_TRUE(r.telemetry.counters.count("num_epochs"));
+  EXPECT_TRUE(r.telemetry.counters.count("eligible_drops"));
+  EXPECT_EQ(r.telemetry.counters["eligible_drops"] +
+                r.telemetry.counters["ineligible_drops"],
             static_cast<double>(r.cost.drops));
 }
 

@@ -9,8 +9,8 @@ Fails (exit 1) when any benchmark cell in CURRENT:
   * lacks a metric that the BASELINE cell records (a gated metric silently
     disappearing from the report must fail loudly, not with a KeyError),
   * regresses a higher-is-better throughput metric (rounds_per_sec,
-    jobs_per_sec, states_per_sec) by more than --threshold (fraction; 0.15 =
-    15% slower than baseline),
+    jobs_per_sec, sessions_per_sec, states_per_sec) by more than --threshold
+    (fraction; 0.15 = 15% slower than baseline),
   * regresses a lower-is-better latency metric (solve_ms) by more than
     --threshold (an *increase* beyond the threshold fails), or
   * exceeds the steady-state allocation budget (allocations per round in
@@ -63,6 +63,7 @@ def main():
     gated_metrics = (
         ("rounds_per_sec", +1),
         ("jobs_per_sec", +1),
+        ("sessions_per_sec", +1),
         ("states_per_sec", +1),
         ("solve_ms", -1),
     )

@@ -38,6 +38,18 @@ def solver_cell(name, states=1e6, ms=50.0, **extra):
     return out
 
 
+def fleet_cell(name, sessions=1e4, rounds=1e6, allocs=0.0, **extra):
+    """A bench_fleet-style cell: sessions/rounds throughput + alloc budget."""
+    out = {
+        "name": name,
+        "sessions_per_sec": sessions,
+        "rounds_per_sec": rounds,
+        "steady_allocs_per_round": allocs,
+    }
+    out.update(extra)
+    return out
+
+
 class BenchCompareTest(unittest.TestCase):
     def run_compare(self, baseline, current, *extra_args):
         """Writes both reports to temp files and runs bench_compare.py."""
@@ -146,6 +158,35 @@ class BenchCompareTest(unittest.TestCase):
         # A big latency *improvement* must never trip the gate.
         base = report([solver_cell("packed/m2/4c/h48", ms=80.0)])
         cur = report([solver_cell("packed/m2/4c/h48", ms=20.0)])
+        proc = self.run_compare(base, cur)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_sessions_per_sec_regression_fails(self):
+        base = report([fleet_cell("fleet/10k/replay", sessions=1e4)])
+        cur = report([fleet_cell("fleet/10k/replay", sessions=0.5e4)])
+        proc = self.run_compare(base, cur)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("sessions_per_sec", proc.stderr)
+
+    def test_fleet_alloc_budget_violation_fails(self):
+        # The fleet bench carries the engine's zero-steady-allocation
+        # contract: a warm pooled session allocating per round must trip the
+        # same budget the engine bench is gated on.
+        base = report([fleet_cell("fleet/1k/replay", allocs=0.0)])
+        cur = report([fleet_cell("fleet/1k/replay", allocs=0.8)])
+        proc = self.run_compare(base, cur)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("OVER BUDGET", proc.stdout)
+
+    def test_fleet_informational_metrics_not_gated(self):
+        # fresh_sessions_per_sec / pooled_speedup are informational: a
+        # slower fresh path (= larger speedup) must never fail the gate.
+        base = report([fleet_cell("sweep/pooled-vs-fresh",
+                                  fresh_sessions_per_sec=5e3,
+                                  pooled_speedup=2.0)])
+        cur = report([fleet_cell("sweep/pooled-vs-fresh",
+                                 fresh_sessions_per_sec=1e3,
+                                 pooled_speedup=10.0)])
         proc = self.run_compare(base, cur)
         self.assertEqual(proc.returncode, 0, proc.stderr)
 
