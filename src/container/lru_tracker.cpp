@@ -129,6 +129,26 @@ void LruTracker::Reset(size_t capacity) {
   scratch_.reserve(capacity);
 }
 
+void LruTracker::SaveState(snapshot::Writer& w) const {
+  w.BeginSection(snapshot::kTagLruTracker);
+  w.PutVec(members_);
+  w.PutVec(slot_);
+  w.PutVec(timestamp_);
+  w.EndSection();
+}
+
+void LruTracker::LoadState(snapshot::Reader& r) {
+  r.BeginSection(snapshot::kTagLruTracker);
+  const size_t capacity = slot_.size();
+  r.GetVec(members_);
+  r.GetVec(slot_);
+  r.GetVec(timestamp_);
+  r.EndSection();
+  RRS_CHECK_EQ(slot_.size(), capacity)
+      << "LruTracker restored into a different key universe";
+  RRS_CHECK(CheckInvariants());
+}
+
 bool LruTracker::CheckInvariants() const {
   size_t present_count = 0;
   for (size_t key = 0; key < slot_.size(); ++key) {

@@ -23,6 +23,8 @@
 #include <utility>
 #include <vector>
 
+#include "snapshot/codec.h"
+
 namespace rrs {
 
 class LruTracker {
@@ -76,6 +78,14 @@ class LruTracker {
 
   // O(n) consistency check between the member list and the per-key index.
   bool CheckInvariants() const;
+
+  // Checkpoint/restore. SaveState appends one self-checksummed section with
+  // the member list, per-key index, and timestamps verbatim — dense-array
+  // order included, because TopK ties and Oldest scans must replay
+  // identically after a restore. LoadState requires a tracker Reset to the
+  // same capacity.
+  void SaveState(snapshot::Writer& w) const;
+  void LoadState(snapshot::Reader& r);
 
  private:
   static constexpr uint32_t kAbsent = static_cast<uint32_t>(-1);

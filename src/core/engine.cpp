@@ -71,6 +71,23 @@ class JobRing {
   bool front_contiguous(uint32_t n) const { return head_ + n <= capacity(); }
   const JobId* front_ptr() const { return &job_[head_]; }
 
+  // Checkpoint/restore: entries in FIFO order. Capacity and head position
+  // are deliberately not saved — they are layout, not state; a restored ring
+  // re-packs from index 0 and regrows on demand.
+  void SaveState(snapshot::Writer& w) const {
+    w.PutU64(size_);
+    for (uint32_t i = 0; i < size_; ++i) w.PutU64(job_at(i));
+    for (uint32_t i = 0; i < size_; ++i) w.PutI64(deadline_at(i));
+  }
+  void LoadState(snapshot::Reader& r) {
+    clear();
+    const uint32_t n = r.GetU32();
+    while (n > capacity()) Grow();
+    for (uint32_t i = 0; i < n; ++i) job_[i] = r.GetU32();
+    for (uint32_t i = 0; i < n; ++i) deadline_[i] = r.GetI64();
+    size_ = n;
+  }
+
  private:
   uint32_t capacity() const { return static_cast<uint32_t>(job_.size()); }
 
@@ -511,6 +528,114 @@ void Engine::FinishRun(RunResult& result) {
   } else {
     result.schedule.reset();
   }
+  policy_ = nullptr;
+  running_ = false;
+}
+
+const CostBreakdown& Engine::state_cost() const {
+  RRS_CHECK(running_) << "run_cost outside an open run";
+  return state_->cost;
+}
+
+uint64_t Engine::state_executed() const {
+  RRS_CHECK(running_) << "run_executed outside an open run";
+  return state_->executed;
+}
+
+void Engine::SnapshotRun(snapshot::Writer& w) const {
+  RRS_CHECK(running_) << "SnapshotRun without an open run";
+  const SimState& state = *state_;
+  RRS_CHECK(state.schedule_ptr == nullptr)
+      << "recording runs cannot be snapshotted";
+
+  w.BeginSection(snapshot::kTagEngine);
+  // Shape words: restore must target an equal-shaped session.
+  w.PutU64(instance_->num_colors());
+  w.PutU32(options_.num_resources);
+  w.PutI64(next_round_);
+  w.PutVec(state.resource_color);
+  for (size_t c = 0; c < instance_->num_colors(); ++c) {
+    state.rings[c].SaveState(w);
+  }
+  w.PutVec(state.pending_n);
+  w.PutVec(state.nonidle_list);
+  w.PutVec(state.in_nonidle_list);
+  // The wheel at its exact current size: slot membership of round k is
+  // wheel[k % W], so the restored session must keep the same W even if its
+  // own arena had grown a larger wheel for an earlier tenant.
+  w.PutU64(state.wheel.size());
+  for (const auto& slot : state.wheel) w.PutVec(slot);
+  w.PutVec(state.last_wheel_push);
+  w.PutU64(state.cost.reconfigurations);
+  w.PutU64(state.cost.drops);
+  w.PutU64(state.cost.weighted_drops);
+  w.PutU64(state.executed);
+  w.PutVec(state.drops_per_color);
+#if RRS_OBS_LEVEL >= 1
+  w.PutBool(true);
+  w.PutVec(state.reconfigs_per_color);
+#else
+  w.PutBool(false);
+#endif
+  w.EndSection();
+
+  policy_->SaveState(w);
+}
+
+void Engine::RestoreRun(SchedulerPolicy& policy, snapshot::Reader& r) {
+  // BeginRun gives a fresh arena bound to this session's instance and a
+  // Reset policy; the snapshot then overwrites the mutable state.
+  BeginRun(policy);
+  SimState& state = *state_;
+
+  r.BeginSection(snapshot::kTagEngine);
+  RRS_CHECK_EQ(r.GetU64(), instance_->num_colors())
+      << "snapshot restored against a different color universe";
+  RRS_CHECK_EQ(r.GetU32(), options_.num_resources)
+      << "snapshot restored with a different resource count";
+  next_round_ = r.GetI64();
+  RRS_CHECK_LE(next_round_, instance_->horizon() + 1);
+  r.GetVec(state.resource_color);
+  RRS_CHECK_EQ(state.resource_color.size(), options_.num_resources);
+  for (size_t c = 0; c < instance_->num_colors(); ++c) {
+    state.rings[c].LoadState(r);
+    state.pending_n[c] = state.rings[c].size();
+  }
+  RRS_CHECK_EQ(r.GetU64(), state.pending_n.size());
+  for (size_t c = 0; c < state.pending_n.size(); ++c) {
+    RRS_CHECK_EQ(r.GetU64(), state.pending_n[c])
+        << "snapshot pending count disagrees with ring contents for color "
+        << c;
+  }
+  r.GetVec(state.nonidle_list);
+  r.GetVec(state.in_nonidle_list);
+  const size_t wheel_size = r.GetU64();
+  RRS_CHECK_GE(wheel_size, 1u);
+  state.wheel.resize(wheel_size);
+  for (auto& slot : state.wheel) r.GetVec(slot);
+  r.GetVec(state.last_wheel_push);
+  state.cost.reconfigurations = r.GetU64();
+  state.cost.drops = r.GetU64();
+  state.cost.weighted_drops = r.GetU64();
+  state.executed = r.GetU64();
+  r.GetVec(state.drops_per_color);
+  const bool obs_fields = r.GetBool();
+#if RRS_OBS_LEVEL >= 1
+  RRS_CHECK(obs_fields)
+      << "snapshot from an RRS_OBS_LEVEL=0 build lacks telemetry state";
+  r.GetVec(state.reconfigs_per_color);
+#else
+  RRS_CHECK(!obs_fields)
+      << "snapshot carries telemetry state this RRS_OBS_LEVEL=0 build drops";
+#endif
+  r.EndSection();
+
+  policy.LoadState(r);
+}
+
+void Engine::AbortRun() {
+  RRS_CHECK(running_) << "AbortRun without an open run";
+  state_->schedule_ptr = nullptr;
   policy_ = nullptr;
   running_ = false;
 }

@@ -101,9 +101,35 @@ class Engine {
   // reused). Requires StepRounds to have exhausted the horizon.
   void FinishRun(RunResult& result);
 
+  // Closes an open run without producing a result, at any point. The fault
+  // paths (worker kill, tenant eviction) snapshot a run and then abandon the
+  // local copy; the session is immediately reusable for another tenant.
+  void AbortRun();
+
   bool running() const { return running_; }
   // The next round BeginRun/StepRounds will simulate.
   Round next_round() const { return next_round_; }
+
+  // Mid-run accumulators (valid while a run is open): the cost and execution
+  // count over the rounds simulated so far. Golden-trace tests hash these
+  // per round; ChaosFleetRunner reads them for its progress counters.
+  const CostBreakdown& run_cost() const { return state_cost(); }
+  uint64_t run_executed() const { return state_executed(); }
+
+  // ---- Checkpoint/restore (snapshot/codec.h) ---------------------------
+  //
+  // SnapshotRun serializes the open run at a StepRounds boundary: the full
+  // SimState (rings, wheel, pending counts, accumulators) followed by the
+  // policy's state. RestoreRun is the inverse: on a session Reset against
+  // the *same* instance and options it opens a run (BeginRun semantics:
+  // resets the policy, rebinds the arena) and overwrites the fresh state
+  // from the snapshot. Stepping the restored session to the horizon yields
+  // results bit-identical to the uninterrupted run — on this engine, or on
+  // any other engine bound to an equal instance (worker migration).
+  // Recording runs (options.record_schedule) cannot be snapshotted: the
+  // partial Schedule is an unbounded log, not session state.
+  void SnapshotRun(snapshot::Writer& w) const;
+  void RestoreRun(SchedulerPolicy& policy, snapshot::Reader& r);
 
   const EngineOptions& options() const { return options_; }
   const Instance& instance() const { return *instance_; }
@@ -112,6 +138,10 @@ class Engine {
   // ResourceView implementation handed to the policy each reconfig phase.
   class View;
   struct SimState;
+
+  // Out-of-line peeks into the pimpl for the mid-run accessors.
+  const CostBreakdown& state_cost() const;
+  uint64_t state_executed() const;
 
   const Instance* instance_ = nullptr;
   EngineOptions options_;

@@ -27,6 +27,7 @@
 #include "core/cost.h"
 #include "core/instance.h"
 #include "core/types.h"
+#include "snapshot/codec.h"
 
 namespace rrs {
 
@@ -136,6 +137,17 @@ class SchedulerPolicy {
   virtual void ExportMetrics(obs::Registry& registry) const {
     (void)registry;
   }
+
+  // Checkpoint/restore (snapshot/codec.h). SaveState appends every piece of
+  // run state that influences future decisions; LoadState is called on a
+  // policy already Reset against the same instance and options and must
+  // leave it indistinguishable from the saved one. Engines call these as
+  // part of their own snapshot/restore at round boundaries, so policies only
+  // see state between rounds (per-phase scratch need not be saved). The
+  // default covers stateless policies (EDF, greedy, lookahead: every
+  // decision derives from engine state the engine itself snapshots).
+  virtual void SaveState(snapshot::Writer& w) const { (void)w; }
+  virtual void LoadState(snapshot::Reader& r) { (void)r; }
 };
 
 }  // namespace rrs

@@ -323,6 +323,89 @@ void StreamEngine::AbsorbIntoScope() {
 #endif
 }
 
+void StreamEngine::SaveState(snapshot::Writer& w) const {
+  w.BeginSection(snapshot::kTagStreamEngine);
+  w.PutU64(instance_.num_colors());
+  w.PutU32(options_.num_resources);
+  w.PutI64(round_);
+  w.PutU64(cost_.reconfigurations);
+  w.PutU64(cost_.drops);
+  w.PutU64(cost_.weighted_drops);
+  w.PutU64(arrived_);
+  w.PutU64(executed_);
+  w.PutU64(pending_total_);
+  for (size_t c = 0; c < instance_.num_colors(); ++c) {
+    pending_[c].SaveState(w);
+  }
+  w.PutVec(pending_n_);
+  w.PutVec(nonidle_list_);
+  w.PutVec(in_nonidle_list_);
+  // The expiry heap's raw vector: a valid heap layout stays a valid heap, so
+  // the restored stream pops in the identical order, stale entries included.
+  w.PutU64(expiry_.size());
+  for (const auto& [deadline, c] : expiry_) {
+    w.PutI64(deadline);
+    w.PutU32(c);
+  }
+  w.PutVec(last_expiry_push_);
+  w.PutVec(resource_color_);
+#if RRS_OBS_LEVEL >= 1
+  w.PutBool(true);
+  w.PutVec(drops_per_color_);
+  w.PutVec(reconfigs_per_color_);
+#else
+  w.PutBool(false);
+#endif
+  w.EndSection();
+
+  policy_.SaveState(w);
+}
+
+void StreamEngine::LoadState(snapshot::Reader& r) {
+  Reset();  // clean arena + Reset policy, ready to be overwritten
+  r.BeginSection(snapshot::kTagStreamEngine);
+  RRS_CHECK_EQ(r.GetU64(), instance_.num_colors())
+      << "stream snapshot restored against a different color table";
+  RRS_CHECK_EQ(r.GetU32(), options_.num_resources)
+      << "stream snapshot restored with a different resource count";
+  round_ = r.GetI64();
+  cost_.reconfigurations = r.GetU64();
+  cost_.drops = r.GetU64();
+  cost_.weighted_drops = r.GetU64();
+  arrived_ = r.GetU64();
+  executed_ = r.GetU64();
+  pending_total_ = r.GetU64();
+  for (size_t c = 0; c < instance_.num_colors(); ++c) {
+    pending_[c].LoadState(r);
+  }
+  r.GetVec(pending_n_);
+  r.GetVec(nonidle_list_);
+  r.GetVec(in_nonidle_list_);
+  const uint64_t expiry_size = r.GetU64();
+  expiry_.clear();
+  expiry_.reserve(expiry_size);
+  for (uint64_t i = 0; i < expiry_size; ++i) {
+    const Round deadline = r.GetI64();
+    expiry_.emplace_back(deadline, r.GetU32());
+  }
+  r.GetVec(last_expiry_push_);
+  r.GetVec(resource_color_);
+  const bool obs_fields = r.GetBool();
+#if RRS_OBS_LEVEL >= 1
+  RRS_CHECK(obs_fields)
+      << "stream snapshot from an RRS_OBS_LEVEL=0 build lacks telemetry";
+  r.GetVec(drops_per_color_);
+  r.GetVec(reconfigs_per_color_);
+#else
+  RRS_CHECK(!obs_fields)
+      << "stream snapshot carries telemetry this RRS_OBS_LEVEL=0 build drops";
+#endif
+  r.EndSection();
+  RRS_CHECK_EQ(pending_n_.size(), instance_.num_colors());
+
+  policy_.LoadState(r);
+}
+
 void StreamEngine::Finish() {
   while (HasPending()) {
     Step({});

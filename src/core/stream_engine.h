@@ -96,6 +96,25 @@ class DeadlineRing {
     return count_[(head_ + size_ - 1) & mask_];
   }
 
+  // Checkpoint/restore: RLE entries in FIFO order (layout — capacity, head
+  // position — is not state and is rebuilt on demand).
+  void SaveState(snapshot::Writer& w) const {
+    w.PutU64(size_);
+    for (uint32_t i = 0; i < size_; ++i) {
+      const uint32_t at = (head_ + i) & mask_;
+      w.PutI64(deadline_[at]);
+      w.PutU64(count_[at]);
+    }
+  }
+  void LoadState(snapshot::Reader& r) {
+    clear();
+    const uint32_t n = r.GetU32();
+    for (uint32_t i = 0; i < n; ++i) {
+      const Round deadline = r.GetI64();
+      push_back(deadline, r.GetU64());
+    }
+  }
+
  private:
   uint32_t capacity() const { return static_cast<uint32_t>(deadline_.size()); }
   void Grow();
@@ -158,6 +177,15 @@ class StreamEngine {
   // Called by Finish(); idempotent, so explicit calls for streams that never
   // drain are safe.
   void AbsorbIntoScope();
+
+  // Checkpoint/restore at a round boundary (between Step calls): the full
+  // pending state (RLE rings, expiry heap, resource colors, accumulators)
+  // followed by the policy's state. LoadState Reset()s the session first,
+  // so a restored stream — on this engine or any other with the same color
+  // table, policy parameters, and options — continues bit-identically to
+  // the saved one. tenants_served() is session-local and not restored.
+  void SaveState(snapshot::Writer& w) const;
+  void LoadState(snapshot::Reader& r);
 
  private:
   class View;

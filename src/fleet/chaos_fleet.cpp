@@ -1,0 +1,319 @@
+#include "fleet/chaos_fleet.h"
+
+#include <utility>
+
+#include "core/session.h"
+#include "obs/scope.h"
+#include "obs/trace.h"
+#include "parallel/parallel_for.h"
+#include "parallel/thread_pool.h"
+#include "util/check.h"
+
+namespace rrs {
+namespace fleet {
+
+void ChaosStats::MergeFrom(const ChaosStats& other) {
+  ticks += other.ticks;
+  kills += other.kills;
+  evictions += other.evictions;
+  delayed_restores += other.delayed_restores;
+  rebalances += other.rebalances;
+  restores += other.restores;
+  migrations += other.migrations;
+  noop_faults += other.noop_faults;
+  snapshot_words += other.snapshot_words;
+  sessions_completed += other.sessions_completed;
+  rounds_stepped += other.rounds_stepped;
+}
+
+// Worker-local state. Within a tick each worker is touched by exactly one
+// thread; between ticks only the serial coordinator mutates it, so nothing
+// here is synchronized.
+struct ChaosFleetRunner::Worker {
+  Worker(const ChaosOptions& options, size_t worker_index)
+      : index(worker_index), pool([&options] {
+          auto session = std::make_unique<Session>();
+          session->policy = options.policy_factory();
+          return session;
+        }) {}
+
+  struct Live {
+    std::unique_ptr<Session> session;
+    size_t job_index = 0;
+  };
+
+  const size_t index;
+  SessionPool<Session> pool;
+  std::vector<Live> live;
+  std::vector<size_t> waiting;       // job indices, admission order
+  std::vector<Checkpoint> incoming;  // restored when delay_ticks reaches 0
+  ChaosStats stats;                  // worker-side events (restores, steps)
+};
+
+ChaosFleetRunner::ChaosFleetRunner(ChaosOptions options)
+    : options_(std::move(options)), plan_rng_(options_.seed) {
+  RRS_CHECK_GE(options_.num_workers, 1u);
+  RRS_CHECK_GE(options_.rounds_per_tick, 1);
+  if (!options_.policy_factory) {
+    const DlruEdfPolicy::Params params;
+    options_.policy_factory = [params] {
+      return std::make_unique<DlruEdfPolicy>(params);
+    };
+  }
+  workers_.reserve(options_.num_workers);
+  for (size_t w = 0; w < options_.num_workers; ++w) {
+    workers_.push_back(std::make_unique<Worker>(options_, w));
+  }
+}
+
+ChaosFleetRunner::~ChaosFleetRunner() = default;
+
+void ChaosFleetRunner::TickWorker(Worker& worker,
+                                  std::span<const FleetJob> jobs,
+                                  std::span<RunResult> results) {
+  obs::Tracer* tracer =
+      options_.scope != nullptr ? options_.scope->tracer() : nullptr;
+  obs::TraceTrack* track = tracer != nullptr ? tracer->ThreadTrack() : nullptr;
+
+  // ---- Restore: resume every due checkpoint (exempt from the live cap —
+  // a checkpointed tenant must come back regardless of load). ----
+  size_t keep = 0;
+  for (size_t i = 0; i < worker.incoming.size(); ++i) {
+    Checkpoint& cp = worker.incoming[i];
+    if (cp.delay_ticks > 0) {
+      if (keep != i) worker.incoming[keep] = std::move(cp);  // no self-move
+      ++keep;
+      continue;
+    }
+    const FleetJob& job = jobs[cp.job_index];
+    auto session = worker.pool.Acquire();
+    session->engine.Reset(*job.instance, job.options);
+    snapshot::Reader reader(cp.words);
+    {
+      obs::Span span(tracer, track, "fleet.chaos.restore",
+                     static_cast<uint64_t>(cp.job_index));
+      session->engine.RestoreRun(*session->policy, reader);
+    }
+    RRS_CHECK(reader.AtEnd()) << "trailing words in tenant checkpoint";
+    worker.live.push_back({std::move(session), cp.job_index});
+    ++worker.stats.restores;
+    if (cp.from_worker != worker.index) ++worker.stats.migrations;
+  }
+  worker.incoming.resize(keep);
+
+  // ---- Admit: bind waiting tenants to sessions up to the live cap. ----
+  size_t admitted = 0;
+  while (admitted < worker.waiting.size() &&
+         (options_.max_live_sessions == 0 ||
+          worker.live.size() < options_.max_live_sessions)) {
+    const size_t job_index = worker.waiting[admitted++];
+    const FleetJob& job = jobs[job_index];
+    auto session = worker.pool.Acquire();
+    session->engine.Reset(*job.instance, job.options);
+    session->engine.BeginRun(*session->policy);
+    worker.live.push_back({std::move(session), job_index});
+  }
+  worker.waiting.erase(
+      worker.waiting.begin(),
+      worker.waiting.begin() + static_cast<ptrdiff_t>(admitted));
+
+  // ---- Step: advance every live session one round bucket. ----
+  size_t out = 0;
+  for (size_t i = 0; i < worker.live.size(); ++i) {
+    Engine& engine = worker.live[i].session->engine;
+    obs::Span span(tracer, track, options_.trace_label,
+                   static_cast<uint64_t>(worker.live[i].job_index));
+    const Round before = engine.next_round();
+    const bool more = engine.StepRounds(options_.rounds_per_tick);
+    worker.stats.rounds_stepped +=
+        static_cast<uint64_t>(engine.next_round() - before);
+    if (more) {
+      worker.live[out++] = std::move(worker.live[i]);
+    } else {
+      engine.FinishRun(results[worker.live[i].job_index]);
+      ++worker.stats.sessions_completed;
+      worker.pool.Release(std::move(worker.live[i].session));
+    }
+  }
+  worker.live.resize(out);
+}
+
+bool ChaosFleetRunner::InjectFaults(std::span<const FleetJob> jobs) {
+  (void)jobs;
+  obs::Tracer* tracer =
+      options_.scope != nullptr ? options_.scope->tracer() : nullptr;
+  obs::TraceTrack* track = tracer != nullptr ? tracer->ThreadTrack() : nullptr;
+  const size_t num_workers = workers_.size();
+  ++stats_.ticks;
+
+  // Age checkpoints queued on earlier ticks toward their restore.
+  for (auto& worker : workers_) {
+    for (Checkpoint& cp : worker->incoming) {
+      if (cp.delay_ticks > 0) --cp.delay_ticks;
+    }
+  }
+
+  // Snapshot one live session into a Checkpoint and tear it down (shared by
+  // the kill and evict paths). The pooled session object survives as
+  // reusable capacity; the run state lives on only in the checkpoint words.
+  auto checkpoint = [&](Worker& worker, size_t live_index,
+                        uint32_t delay_ticks) {
+    Worker::Live& entry = worker.live[live_index];
+    Checkpoint cp;
+    cp.job_index = entry.job_index;
+    cp.delay_ticks = delay_ticks;
+    cp.from_worker = worker.index;
+    snapshot_scratch_.Clear();
+    entry.session->engine.SnapshotRun(snapshot_scratch_);
+    entry.session->engine.AbortRun();
+    worker.pool.Release(std::move(entry.session));
+    cp.words = snapshot_scratch_.words();
+    stats_.snapshot_words += cp.words.size();
+    return cp;
+  };
+
+  // ---- kill-worker ------------------------------------------------------
+  if (num_workers > 1 && plan_rng_.Bernoulli(options_.kill_worker_prob)) {
+    const size_t victim = plan_rng_.NextBounded(num_workers);
+    Worker& worker = *workers_[victim];
+    if (worker.live.empty()) {
+      ++stats_.noop_faults;
+    } else {
+      obs::Span span(tracer, track, "fleet.chaos.kill",
+                     static_cast<uint64_t>(worker.live.size()));
+      ++stats_.kills;
+      // Checkpoint every live tenant on the victim and deal the snapshots
+      // round-robin to the surviving workers for immediate restore.
+      size_t target = victim;
+      for (size_t i = 0; i < worker.live.size(); ++i) {
+        target = (target + 1) % num_workers;
+        if (target == victim) target = (target + 1) % num_workers;
+        workers_[target]->incoming.push_back(checkpoint(worker, i, 0));
+      }
+      worker.live.clear();
+    }
+  }
+
+  // ---- evict-and-restore (possibly delayed) -----------------------------
+  if (plan_rng_.Bernoulli(options_.evict_prob)) {
+    size_t total_live = 0;
+    for (const auto& worker : workers_) total_live += worker->live.size();
+    if (total_live == 0) {
+      ++stats_.noop_faults;
+    } else {
+      size_t pick = plan_rng_.NextBounded(total_live);
+      size_t source = 0;
+      while (pick >= workers_[source]->live.size()) {
+        pick -= workers_[source]->live.size();
+        ++source;
+      }
+      uint32_t delay = 0;
+      if (options_.max_restore_delay_ticks > 0 &&
+          plan_rng_.Bernoulli(options_.delayed_restore_prob)) {
+        delay = static_cast<uint32_t>(
+            1 + plan_rng_.NextBounded(options_.max_restore_delay_ticks));
+        ++stats_.delayed_restores;
+      }
+      const size_t target = plan_rng_.NextBounded(num_workers);
+      Worker& worker = *workers_[source];
+      obs::Span span(tracer, track, "fleet.chaos.evict",
+                     static_cast<uint64_t>(worker.live[pick].job_index));
+      workers_[target]->incoming.push_back(checkpoint(worker, pick, delay));
+      worker.live.erase(worker.live.begin() + static_cast<ptrdiff_t>(pick));
+      ++stats_.evictions;
+    }
+  }
+
+  // ---- shard rebalance --------------------------------------------------
+  if (num_workers > 1 && plan_rng_.Bernoulli(options_.rebalance_prob)) {
+    rebalance_scratch_.clear();
+    for (auto& worker : workers_) {
+      rebalance_scratch_.insert(rebalance_scratch_.end(),
+                                worker->waiting.begin(),
+                                worker->waiting.end());
+      worker->waiting.clear();
+    }
+    if (rebalance_scratch_.empty()) {
+      ++stats_.noop_faults;
+    } else {
+      obs::Span span(tracer, track, "fleet.chaos.rebalance",
+                     static_cast<uint64_t>(rebalance_scratch_.size()));
+      size_t target = plan_rng_.NextBounded(num_workers);
+      for (size_t job_index : rebalance_scratch_) {
+        workers_[target]->waiting.push_back(job_index);
+        target = (target + 1) % num_workers;
+      }
+      ++stats_.rebalances;
+    }
+  }
+
+  for (const auto& worker : workers_) {
+    if (!worker->live.empty() || !worker->waiting.empty() ||
+        !worker->incoming.empty()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<RunResult> ChaosFleetRunner::RunAll(
+    std::span<const FleetJob> jobs) {
+  std::vector<RunResult> results(jobs.size());
+  const size_t num_workers = workers_.size();
+  const ChaosStats before = stats();  // stats are cumulative; absorb a delta
+
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    RRS_CHECK(jobs[j].instance != nullptr);
+    RRS_CHECK(jobs[j].kind == FleetJob::Kind::kReplay)
+        << "ChaosFleetRunner supports replay jobs only";
+    RRS_CHECK(!jobs[j].options.record_schedule)
+        << "recording runs cannot be checkpointed";
+    workers_[j % num_workers]->waiting.push_back(j);
+  }
+
+  bool more = !jobs.empty();
+  while (more) {
+    if (options_.pool == nullptr || num_workers == 1) {
+      for (auto& worker : workers_) TickWorker(*worker, jobs, results);
+    } else {
+      ParallelFor(*options_.pool, 0, static_cast<int64_t>(num_workers),
+                  [&](int64_t w) {
+                    TickWorker(*workers_[static_cast<size_t>(w)], jobs,
+                               results);
+                  });
+    }
+    more = InjectFaults(jobs);
+  }
+
+  if (options_.scope != nullptr) {
+    const ChaosStats total = stats();
+    const std::pair<std::string_view, uint64_t> counters[] = {
+        {"fleet.chaos.ticks", total.ticks - before.ticks},
+        {"fleet.chaos.kills", total.kills - before.kills},
+        {"fleet.chaos.evictions", total.evictions - before.evictions},
+        {"fleet.chaos.delayed_restores",
+         total.delayed_restores - before.delayed_restores},
+        {"fleet.chaos.rebalances", total.rebalances - before.rebalances},
+        {"fleet.chaos.restores", total.restores - before.restores},
+        {"fleet.chaos.migrations", total.migrations - before.migrations},
+        {"fleet.chaos.noop_faults", total.noop_faults - before.noop_faults},
+        {"fleet.chaos.snapshot_words",
+         total.snapshot_words - before.snapshot_words},
+        {"fleet.chaos.sessions_completed",
+         total.sessions_completed - before.sessions_completed},
+        {"fleet.chaos.rounds_stepped",
+         total.rounds_stepped - before.rounds_stepped},
+    };
+    options_.scope->AbsorbCounters(counters);
+  }
+  return results;
+}
+
+ChaosStats ChaosFleetRunner::stats() const {
+  ChaosStats total = stats_;
+  for (const auto& worker : workers_) total.MergeFrom(worker->stats);
+  return total;
+}
+
+}  // namespace fleet
+}  // namespace rrs

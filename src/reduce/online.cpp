@@ -142,5 +142,56 @@ void OnlineSolver::Finish() {
   }
 }
 
+void OnlineSolver::SaveState(snapshot::Writer& w) const {
+  w.BeginSection(snapshot::kTagOnlineSolver);
+  w.PutU64(colors_.size());
+  w.PutI64(round_);
+  w.PutU64(arrived_);
+  w.PutU64(cost_.reconfigurations);
+  w.PutU64(cost_.drops);
+  w.PutU64(cost_.weighted_drops);
+  w.PutVec(resource_base_color_);
+  // Buffered VarBatch batches: FlatMaps iterate in sorted key order, so the
+  // restored maps rebuild identically entry by entry.
+  w.PutU64(buffered_.size());
+  for (const auto& [boundary, per_color] : buffered_) {
+    w.PutI64(boundary);
+    w.PutU64(per_color.size());
+    for (const auto& [color, count] : per_color) {
+      w.PutU32(color);
+      w.PutU64(count);
+    }
+  }
+  w.EndSection();
+
+  engine_.SaveState(w);  // inner stream + ΔLRU-EDF policy state
+}
+
+void OnlineSolver::LoadState(snapshot::Reader& r) {
+  Reset();
+  r.BeginSection(snapshot::kTagOnlineSolver);
+  RRS_CHECK_EQ(r.GetU64(), colors_.size())
+      << "solver snapshot restored against a different color table";
+  round_ = r.GetI64();
+  arrived_ = r.GetU64();
+  cost_.reconfigurations = r.GetU64();
+  cost_.drops = r.GetU64();
+  cost_.weighted_drops = r.GetU64();
+  r.GetVec(resource_base_color_);
+  const uint64_t num_boundaries = r.GetU64();
+  for (uint64_t i = 0; i < num_boundaries; ++i) {
+    const Round boundary = r.GetI64();
+    FlatMap<ColorId, uint64_t>& per_color = buffered_[boundary];
+    const uint64_t num_entries = r.GetU64();
+    for (uint64_t j = 0; j < num_entries; ++j) {
+      const ColorId color = r.GetU32();
+      per_color[color] = r.GetU64();
+    }
+  }
+  r.EndSection();
+
+  engine_.LoadState(r);
+}
+
 }  // namespace reduce
 }  // namespace rrs

@@ -70,6 +70,15 @@ class OnlineSolver {
   uint64_t arrived() const { return arrived_; }
   uint64_t executed() const { return engine_.executed(); }
 
+  // Checkpoint/restore at a round boundary: the solver's own projection
+  // state (round, certified cost, base colors, buffered VarBatch batches)
+  // followed by the inner StreamEngine + ΔLRU-EDF state. LoadState requires
+  // a solver built with the same color table, options, and params; it
+  // Reset()s and then overwrites, so the restored solver's future Step
+  // outputs are bit-identical to the saved one's.
+  void SaveState(snapshot::Writer& w) const;
+  void LoadState(snapshot::Reader& r);
+
  private:
   void StepInner(std::span<const std::pair<ColorId, uint64_t>> arrivals);
 

@@ -70,6 +70,24 @@ class PipelineSession {
   // Tenants this session has served.
   uint64_t tenants_served() const { return tenants_served_; }
 
+  // Checkpoint/restore. A pipeline session has no mid-tenant seam — each
+  // Solve* runs its tenant to completion, and the transforms/result are
+  // per-tenant shape work — so the only durable session state is the tenant
+  // counter. Snapshotting between tenants and restoring into a fresh
+  // session yields an equivalent session (the engine arena is capacity, not
+  // state). Mid-tenant interruption is handled one level down, by
+  // Engine::SnapshotRun on the inner run.
+  void SaveState(snapshot::Writer& w) const {
+    w.BeginSection(snapshot::kTagPipelineSession);
+    w.PutU64(tenants_served_);
+    w.EndSection();
+  }
+  void LoadState(snapshot::Reader& r) {
+    r.BeginSection(snapshot::kTagPipelineSession);
+    tenants_served_ = r.GetU64();
+    r.EndSection();
+  }
+
  private:
   // ΔLRU-EDF on the transformed instance through the pooled engine, writing
   // into result_.inner (reusing its buffers).

@@ -47,4 +47,20 @@ void BatchedSchedulerBase::ExportMetrics(obs::Registry& registry) const {
   table_.ExportMetrics(registry);
 }
 
+void BatchedSchedulerBase::SaveState(snapshot::Writer& w) const {
+  table_.SaveState(w);
+  slots_.SaveState(w);
+  w.BeginSection(snapshot::kTagPolicyBatched);
+  w.PutVec(ineligible_job_ids_);
+  w.EndSection();
+}
+
+void BatchedSchedulerBase::LoadState(snapshot::Reader& r) {
+  table_.LoadState(r);
+  slots_.LoadState(r);
+  r.BeginSection(snapshot::kTagPolicyBatched);
+  r.GetVec(ineligible_job_ids_);
+  r.EndSection();
+}
+
 }  // namespace rrs

@@ -32,6 +32,12 @@ class BatchedSchedulerBase : public SchedulerPolicy {
   // Exports the ColorStateTable analysis counters (Lemmas 3.2-3.4).
   void ExportMetrics(obs::Registry& registry) const override;
 
+  // Checkpoint/restore of the shared state (color table, cache slots,
+  // collected ineligible-job ids). Stateful subclasses extend these, calling
+  // the base first so sections stream in save order.
+  void SaveState(snapshot::Writer& w) const override;
+  void LoadState(snapshot::Reader& r) override;
+
   const ColorStateTable& color_state() const { return table_; }
   const CacheSlots& cache() const { return slots_; }
 

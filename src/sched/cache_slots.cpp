@@ -71,6 +71,39 @@ void CacheSlots::ApplyTo(ResourceView& view) {
   dirty_slots_.clear();
 }
 
+void CacheSlots::SaveState(snapshot::Writer& w) const {
+  RRS_CHECK(dirty_slots_.empty())
+      << "CacheSlots snapshot mid-phase (unapplied slot changes)";
+  w.BeginSection(snapshot::kTagCacheSlots);
+  w.PutU32(capacity_);
+  w.PutU32(size_);
+  w.PutBool(replicate_);
+  w.PutVec(slots_);
+  w.PutVec(slot_of_);
+  w.PutVec(free_slots_);
+  w.PutVec(cached_);
+  w.PutVec(in_cached_list_);
+  w.EndSection();
+}
+
+void CacheSlots::LoadState(snapshot::Reader& r) {
+  RRS_CHECK(dirty_slots_.empty());
+  r.BeginSection(snapshot::kTagCacheSlots);
+  const uint32_t capacity = r.GetU32();
+  RRS_CHECK_EQ(capacity, capacity_)
+      << "CacheSlots restored into a different slot count";
+  size_ = r.GetU32();
+  replicate_ = r.GetBool();
+  r.GetVec(slots_);
+  r.GetVec(slot_of_);
+  r.GetVec(free_slots_);
+  r.GetVec(cached_);
+  r.GetVec(in_cached_list_);
+  r.EndSection();
+  RRS_CHECK_EQ(slot_of_.size(), in_cached_list_.size());
+  RRS_CHECK(CheckInvariants());
+}
+
 bool CacheSlots::CheckInvariants() const {
   uint32_t occupied = 0;
   for (uint32_t s = 0; s < capacity_; ++s) {

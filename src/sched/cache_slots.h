@@ -18,6 +18,7 @@
 
 #include "core/policy.h"
 #include "core/types.h"
+#include "snapshot/codec.h"
 
 namespace rrs {
 
@@ -55,6 +56,14 @@ class CacheSlots {
 
   // O(capacity + colors) consistency check; test hook.
   bool CheckInvariants() const;
+
+  // Checkpoint/restore. Everything is saved verbatim, including the
+  // free-slot stack and the lazily-compacted cached list: their orders
+  // decide which slot the next Insert takes and the iteration order of
+  // cached_colors(), both of which downstream policies' decisions depend
+  // on. LoadState requires a CacheSlots Reset to the same shape.
+  void SaveState(snapshot::Writer& w) const;
+  void LoadState(snapshot::Reader& r);
 
  private:
   static constexpr uint32_t kNoSlot = static_cast<uint32_t>(-1);

@@ -105,6 +105,58 @@ void ColorStateTable::CollectBoundaryColors(Round k,
   }
 }
 
+void ColorStateTable::SaveState(snapshot::Writer& w) const {
+  w.BeginSection(snapshot::kTagColorState);
+  w.PutU64(delta_);
+  w.PutU64(state_.size());
+  for (const State& s : state_) {
+    w.PutU64(s.cnt);
+    w.PutI64(s.timestamp);
+    w.PutI64(s.pending_wrap);
+    w.PutBool(s.eligible);
+    w.PutBool(s.saw_jobs);
+  }
+  w.PutVec(dd_);
+  w.PutVec(eligible_list_);
+  w.PutVec(in_eligible_list_);
+  w.PutBool(eligible_list_dirty_);
+  w.PutU64(epochs_completed_);
+  w.PutU64(colors_with_jobs_);
+  w.PutU64(eligible_drops_);
+  w.PutU64(ineligible_drops_);
+  w.PutU64(wrap_events_);
+  w.PutU64(timestamp_update_events_);
+  w.EndSection();
+}
+
+void ColorStateTable::LoadState(snapshot::Reader& r) {
+  r.BeginSection(snapshot::kTagColorState);
+  RRS_CHECK_EQ(r.GetU64(), delta_)
+      << "ColorStateTable restored with a different delta";
+  RRS_CHECK_EQ(r.GetU64(), state_.size())
+      << "ColorStateTable restored with a different color count";
+  for (State& s : state_) {
+    s.cnt = r.GetU64();
+    s.timestamp = r.GetI64();
+    s.pending_wrap = r.GetI64();
+    s.eligible = r.GetBool();
+    s.saw_jobs = r.GetBool();
+  }
+  r.GetVec(dd_);
+  r.GetVec(eligible_list_);
+  r.GetVec(in_eligible_list_);
+  eligible_list_dirty_ = r.GetBool();
+  epochs_completed_ = r.GetU64();
+  colors_with_jobs_ = r.GetU64();
+  eligible_drops_ = r.GetU64();
+  ineligible_drops_ = r.GetU64();
+  wrap_events_ = r.GetU64();
+  timestamp_update_events_ = r.GetU64();
+  r.EndSection();
+  RRS_CHECK_EQ(dd_.size(), state_.size());
+  RRS_CHECK_EQ(in_eligible_list_.size(), state_.size());
+}
+
 uint64_t ColorStateTable::num_epochs() const {
   return epochs_completed_ + colors_with_jobs_;
 }

@@ -28,6 +28,7 @@
 #include "core/instance.h"
 #include "core/types.h"
 #include "obs/metrics.h"
+#include "snapshot/codec.h"
 
 namespace rrs {
 
@@ -117,6 +118,14 @@ class ColorStateTable {
   // eligible_drops, ineligible_drops, wrap_events, timestamp_update_events)
   // into the structured metrics registry.
   void ExportMetrics(obs::Registry& registry) const;
+
+  // Checkpoint/restore of all mutable state: per-color State, deadlines,
+  // the eligible list (order and staleness included — compaction order is
+  // observable through eligible_colors()), and the analysis counters. The
+  // delay-group CSR is derived from the instance and rebuilt by Reset, so
+  // LoadState requires a table Reset against the same instance and delta.
+  void SaveState(snapshot::Writer& w) const;
+  void LoadState(snapshot::Reader& r);
 
  private:
   struct State {

@@ -23,6 +23,16 @@ class DlruPolicy : public BatchedSchedulerBase {
 
   void Reconfigure(Round k, int mini, ResourceView& view) override;
 
+  // Checkpoint/restore: shared batched state plus the recency tracker.
+  void SaveState(snapshot::Writer& w) const override {
+    BatchedSchedulerBase::SaveState(w);
+    tracker_.SaveState(w);
+  }
+  void LoadState(snapshot::Reader& r) override {
+    BatchedSchedulerBase::LoadState(r);
+    tracker_.LoadState(r);
+  }
+
  protected:
   uint32_t PrimarySlots(uint32_t n) const override { return n / 2; }
 

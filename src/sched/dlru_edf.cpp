@@ -162,4 +162,28 @@ void DlruEdfPolicy::Reconfigure(Round k, int mini, ResourceView& view) {
   slots_.ApplyTo(view);
 }
 
+void DlruEdfPolicy::SaveState(snapshot::Writer& w) const {
+  BatchedSchedulerBase::SaveState(w);
+  w.BeginSection(snapshot::kTagPolicyDlruEdf);
+  w.PutVec(is_lru_);
+  w.PutVec(evict_first_);
+  for (uint64_t word : evict_rng_.SaveState()) w.PutU64(word);
+  w.EndSection();
+  tracker_.SaveState(w);
+}
+
+void DlruEdfPolicy::LoadState(snapshot::Reader& r) {
+  BatchedSchedulerBase::LoadState(r);
+  r.BeginSection(snapshot::kTagPolicyDlruEdf);
+  r.GetVec(is_lru_);
+  r.GetVec(evict_first_);
+  std::array<uint64_t, 4> rng_state;
+  for (uint64_t& word : rng_state) word = r.GetU64();
+  evict_rng_.LoadState(rng_state);
+  r.EndSection();
+  tracker_.LoadState(r);
+  RRS_CHECK_EQ(is_lru_.size(), instance_->num_colors());
+  RRS_CHECK_EQ(evict_first_.size(), instance_->num_colors());
+}
+
 }  // namespace rrs

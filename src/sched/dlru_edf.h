@@ -63,6 +63,11 @@ class DlruEdfPolicy : public BatchedSchedulerBase {
   uint64_t ineligible_drop_cost() const { return table_.ineligible_drops(); }
   uint64_t num_epochs() const { return table_.num_epochs(); }
 
+  // Checkpoint/restore: shared batched state plus the LRU membership marks,
+  // kEvictFirst demotion marks, random-evict RNG stream, and the tracker.
+  void SaveState(snapshot::Writer& w) const override;
+  void LoadState(snapshot::Reader& r) override;
+
  protected:
   uint32_t PrimarySlots(uint32_t n) const override {
     return params_.replicate ? n / 2 : n;

@@ -66,6 +66,19 @@ class StaticPartitionPolicy : public SchedulerPolicy {
   void Reset(const Instance& instance, const EngineOptions& options) override;
   void Reconfigure(Round k, int mini, ResourceView& view) override;
 
+  // The one bit of persistent state: whether the round-0 partition has been
+  // applied (a restored mid-run session must not re-apply it and re-bill Δ).
+  void SaveState(snapshot::Writer& w) const override {
+    w.BeginSection(snapshot::kTagPolicyStatic);
+    w.PutBool(configured_);
+    w.EndSection();
+  }
+  void LoadState(snapshot::Reader& r) override {
+    r.BeginSection(snapshot::kTagPolicyStatic);
+    configured_ = r.GetBool();
+    r.EndSection();
+  }
+
  private:
   const Instance* instance_ = nullptr;
   bool configured_ = false;

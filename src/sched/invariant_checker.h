@@ -53,6 +53,22 @@ class InvariantCheckingPolicy : public SchedulerPolicy {
 
   uint64_t checks_performed() const { return checks_; }
 
+  // Checkpoint/restore forwards to the wrapped policy (checks_ is
+  // diagnostic, not decision state, but keeping it exact keeps the wrapper
+  // transparent to the differential tests).
+  void SaveState(snapshot::Writer& w) const override {
+    inner_.SaveState(w);
+    w.BeginSection(snapshot::kTagPolicyBatched);
+    w.PutU64(checks_);
+    w.EndSection();
+  }
+  void LoadState(snapshot::Reader& r) override {
+    inner_.LoadState(r);
+    r.BeginSection(snapshot::kTagPolicyBatched);
+    checks_ = r.GetU64();
+    r.EndSection();
+  }
+
  private:
   void Verify(Round k, const ResourceView& view) const;
 

@@ -44,6 +44,34 @@ class InstrumentedDlruEdfPolicy : public DlruEdfPolicy {
   // top of the base policy's export (migrated off the legacy string map).
   void ExportMetrics(obs::Registry& registry) const override;
 
+  // Checkpoint/restore: ΔLRU-EDF state plus the super-epoch accounting.
+  void SaveState(snapshot::Writer& w) const override {
+    DlruEdfPolicy::SaveState(w);
+    w.BeginSection(snapshot::kTagPolicyInstrumented);
+    w.PutU64(super_epochs_completed_);
+    w.PutU64(max_overlap_);
+    w.PutU64(active_count_);
+    w.PutVec(active_in_se_);
+    w.PutVec(prev_timestamp_);
+    w.PutVec(epoch_ends_in_se_);
+    w.PutVec(touched_);
+    w.PutVec(touched_flag_);
+    w.EndSection();
+  }
+  void LoadState(snapshot::Reader& r) override {
+    DlruEdfPolicy::LoadState(r);
+    r.BeginSection(snapshot::kTagPolicyInstrumented);
+    super_epochs_completed_ = r.GetU64();
+    max_overlap_ = r.GetU64();
+    active_count_ = r.GetU64();
+    r.GetVec(active_in_se_);
+    r.GetVec(prev_timestamp_);
+    r.GetVec(epoch_ends_in_se_);
+    r.GetVec(touched_);
+    r.GetVec(touched_flag_);
+    r.EndSection();
+  }
+
  protected:
   void OnReset() override;
   void OnBecameIneligible(Round k, ColorId c) override;

@@ -10,6 +10,7 @@
 // produce identical streams across standard libraries).
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
@@ -91,6 +92,17 @@ class Rng {
   // Derives an independent child generator; useful for giving each parallel
   // sweep task its own deterministic stream.
   Rng Fork();
+
+  // Raw generator state, for checkpoint/restore (snapshot/codec.h). A
+  // restored Rng continues the exact stream of the saved one, so a restored
+  // tenant replays the identical arrival future.
+  std::array<uint64_t, 4> SaveState() const { return {s_[0], s_[1], s_[2], s_[3]}; }
+  void LoadState(const std::array<uint64_t, 4>& s) {
+    s_[0] = s[0];
+    s_[1] = s[1];
+    s_[2] = s[2];
+    s_[3] = s[3];
+  }
 
  private:
   uint64_t s_[4];

@@ -1,0 +1,158 @@
+#include "util/sha256.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace rrs {
+namespace {
+
+constexpr uint32_t kRoundConstants[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+inline uint32_t RotR(uint32_t x, int n) {
+  return (x >> n) | (x << (32 - n));
+}
+
+}  // namespace
+
+void Sha256::Reset() {
+  h_[0] = 0x6a09e667;
+  h_[1] = 0xbb67ae85;
+  h_[2] = 0x3c6ef372;
+  h_[3] = 0xa54ff53a;
+  h_[4] = 0x510e527f;
+  h_[5] = 0x9b05688c;
+  h_[6] = 0x1f83d9ab;
+  h_[7] = 0x5be0cd19;
+  length_ = 0;
+  buffered_ = 0;
+}
+
+void Sha256::Compress(const uint8_t block[64]) {
+  uint32_t w[64];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<uint32_t>(block[4 * i]) << 24) |
+           (static_cast<uint32_t>(block[4 * i + 1]) << 16) |
+           (static_cast<uint32_t>(block[4 * i + 2]) << 8) |
+           static_cast<uint32_t>(block[4 * i + 3]);
+  }
+  for (int i = 16; i < 64; ++i) {
+    const uint32_t s0 =
+        RotR(w[i - 15], 7) ^ RotR(w[i - 15], 18) ^ (w[i - 15] >> 3);
+    const uint32_t s1 =
+        RotR(w[i - 2], 17) ^ RotR(w[i - 2], 19) ^ (w[i - 2] >> 10);
+    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+  }
+
+  uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3];
+  uint32_t e = h_[4], f = h_[5], g = h_[6], h = h_[7];
+  for (int i = 0; i < 64; ++i) {
+    const uint32_t s1 = RotR(e, 6) ^ RotR(e, 11) ^ RotR(e, 25);
+    const uint32_t ch = (e & f) ^ (~e & g);
+    const uint32_t t1 = h + s1 + ch + kRoundConstants[i] + w[i];
+    const uint32_t s0 = RotR(a, 2) ^ RotR(a, 13) ^ RotR(a, 22);
+    const uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+    const uint32_t t2 = s0 + maj;
+    h = g;
+    g = f;
+    f = e;
+    e = d + t1;
+    d = c;
+    c = b;
+    b = a;
+    a = t1 + t2;
+  }
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+  h_[5] += f;
+  h_[6] += g;
+  h_[7] += h;
+}
+
+void Sha256::Update(const void* data, size_t len) {
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  length_ += len;
+  if (buffered_ > 0) {
+    const size_t take = std::min(len, sizeof(buffer_) - buffered_);
+    std::memcpy(buffer_ + buffered_, bytes, take);
+    buffered_ += take;
+    bytes += take;
+    len -= take;
+    if (buffered_ == sizeof(buffer_)) {
+      Compress(buffer_);
+      buffered_ = 0;
+    }
+  }
+  while (len >= sizeof(buffer_)) {
+    Compress(bytes);
+    bytes += sizeof(buffer_);
+    len -= sizeof(buffer_);
+  }
+  if (len > 0) {
+    std::memcpy(buffer_, bytes, len);
+    buffered_ = len;
+  }
+}
+
+void Sha256::UpdateU64(uint64_t v) {
+  uint8_t le[8];
+  for (int i = 0; i < 8; ++i) le[i] = static_cast<uint8_t>(v >> (8 * i));
+  Update(le, sizeof(le));
+}
+
+std::array<uint8_t, 32> Sha256::Finish() {
+  const uint64_t bit_length = length_ * 8;
+  const uint8_t pad = 0x80;
+  Update(&pad, 1);
+  const uint8_t zero = 0;
+  while (buffered_ != 56) Update(&zero, 1);
+  uint8_t be[8];
+  for (int i = 0; i < 8; ++i) {
+    be[i] = static_cast<uint8_t>(bit_length >> (8 * (7 - i)));
+  }
+  // Bypass length_ accounting for the length field itself (already final).
+  std::memcpy(buffer_ + buffered_, be, sizeof(be));
+  Compress(buffer_);
+  buffered_ = 0;
+
+  std::array<uint8_t, 32> digest;
+  for (int i = 0; i < 8; ++i) {
+    digest[4 * i] = static_cast<uint8_t>(h_[i] >> 24);
+    digest[4 * i + 1] = static_cast<uint8_t>(h_[i] >> 16);
+    digest[4 * i + 2] = static_cast<uint8_t>(h_[i] >> 8);
+    digest[4 * i + 3] = static_cast<uint8_t>(h_[i]);
+  }
+  return digest;
+}
+
+std::string Sha256::FinishHex() {
+  const std::array<uint8_t, 32> digest = Finish();
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out(64, '0');
+  for (size_t i = 0; i < digest.size(); ++i) {
+    out[2 * i] = kHex[digest[i] >> 4];
+    out[2 * i + 1] = kHex[digest[i] & 0xf];
+  }
+  return out;
+}
+
+std::string Sha256Hex(std::string_view data) {
+  Sha256 hash;
+  hash.Update(data);
+  return hash.FinishHex();
+}
+
+}  // namespace rrs

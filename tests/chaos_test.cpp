@@ -1,0 +1,205 @@
+// ChaosFleetRunner differential suite: a fleet run under kill/evict/delay/
+// rebalance churn must produce per-tenant RunResults bit-identical to a
+// fault-free FleetRunner run of the same jobs — at every thread count,
+// because the fault plan is a pure function of (jobs, seed) and checkpoint/
+// restore is exact.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "fleet/chaos_fleet.h"
+#include "fleet/fleet_runner.h"
+#include "obs/scope.h"
+#include "parallel/thread_pool.h"
+#include "sched/registry.h"
+#include "workload/synthetic.h"
+
+namespace rrs {
+namespace {
+
+Instance ChaosTenant(uint64_t seed, Round rounds = 96) {
+  std::vector<workload::ColorSpec> specs = {
+      {1, 0.4}, {2, 0.5}, {4, 0.5}, {8, 0.4}, {16, 0.3}};
+  workload::PoissonOptions gen;
+  gen.rounds = rounds;
+  gen.seed = seed;
+  return MakePoisson(specs, gen);
+}
+
+void ExpectSameRunResult(const RunResult& got, const RunResult& want,
+                         const std::string& label) {
+  EXPECT_EQ(got.cost.reconfigurations, want.cost.reconfigurations) << label;
+  EXPECT_EQ(got.cost.drops, want.cost.drops) << label;
+  EXPECT_EQ(got.cost.weighted_drops, want.cost.weighted_drops) << label;
+  EXPECT_EQ(got.executed, want.executed) << label;
+  EXPECT_EQ(got.arrived, want.arrived) << label;
+  EXPECT_EQ(got.rounds_simulated, want.rounds_simulated) << label;
+  EXPECT_EQ(got.drops_per_color, want.drops_per_color) << label;
+  EXPECT_EQ(got.telemetry.counters, want.telemetry.counters) << label;
+}
+
+struct Workload {
+  std::vector<Instance> tenants;
+  std::vector<fleet::FleetJob> jobs;
+};
+
+Workload MakeWorkload(size_t num_tenants) {
+  Workload w;
+  for (size_t i = 0; i < num_tenants; ++i) {
+    // Varied lengths so tenants finish on different ticks and the fault
+    // injector sees fleets of changing size.
+    w.tenants.push_back(ChaosTenant(500 + i, 48 + 16 * (i % 5)));
+  }
+  for (size_t i = 0; i < num_tenants; ++i) {
+    fleet::FleetJob job;
+    job.instance = &w.tenants[i];
+    job.options.num_resources = 8;
+    job.options.cost_model.delta = 2 + static_cast<uint64_t>(i % 3);
+    w.jobs.push_back(job);
+  }
+  return w;
+}
+
+// Fault-free oracle through the plain FleetRunner (itself pinned against
+// fresh engines by fleet_test.cpp).
+std::vector<RunResult> FaultFreeOracle(const Workload& w) {
+  fleet::FleetOptions options;
+  options.num_shards = 1;
+  return fleet::FleetRunner(options).RunAll(w.jobs);
+}
+
+fleet::ChaosOptions AggressiveChaos(ThreadPool* pool) {
+  fleet::ChaosOptions options;
+  options.pool = pool;
+  options.num_workers = 4;
+  options.rounds_per_tick = 8;  // many tick barriers => many fault points
+  options.seed = 0xfeed;
+  options.kill_worker_prob = 0.4;
+  options.evict_prob = 0.7;
+  options.rebalance_prob = 0.4;
+  options.delayed_restore_prob = 0.6;
+  options.max_restore_delay_ticks = 3;
+  return options;
+}
+
+// ---- Differential vs fault-free, 0/1/2/8 threads -------------------------
+
+class ChaosDifferential : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ChaosDifferential, ResultsMatchFaultFreeRun) {
+  const size_t threads = GetParam();
+  Workload w = MakeWorkload(24);
+  std::vector<RunResult> oracle = FaultFreeOracle(w);
+
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 0) pool = std::make_unique<ThreadPool>(threads);
+  fleet::ChaosFleetRunner runner(AggressiveChaos(pool.get()));
+  std::vector<RunResult> chaotic = runner.RunAll(w.jobs);
+
+  ASSERT_EQ(chaotic.size(), oracle.size());
+  for (size_t i = 0; i < oracle.size(); ++i) {
+    ExpectSameRunResult(chaotic[i], oracle[i],
+                        "tenant " + std::to_string(i) + " threads=" +
+                            std::to_string(threads));
+  }
+
+  // The plan must actually have fired: at least three distinct fault kinds.
+  const fleet::ChaosStats stats = runner.stats();
+  EXPECT_GT(stats.kills, 0u) << "threads=" << threads;
+  EXPECT_GT(stats.evictions, 0u) << "threads=" << threads;
+  EXPECT_GT(stats.delayed_restores, 0u) << "threads=" << threads;
+  EXPECT_GT(stats.restores, 0u) << "threads=" << threads;
+  EXPECT_EQ(stats.sessions_completed, w.jobs.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ChaosDifferential,
+                         ::testing::Values(0, 1, 2, 8),
+                         [](const auto& info) {
+                           return "threads" + std::to_string(info.param);
+                         });
+
+// ---- Fault plan determinism ----------------------------------------------
+
+TEST(ChaosFleet, FaultPlanIsIdenticalAcrossThreadCounts) {
+  Workload w = MakeWorkload(16);
+
+  fleet::ChaosFleetRunner serial(AggressiveChaos(nullptr));
+  serial.RunAll(w.jobs);
+  const fleet::ChaosStats a = serial.stats();
+
+  ThreadPool pool(8);
+  fleet::ChaosFleetRunner threaded(AggressiveChaos(&pool));
+  threaded.RunAll(w.jobs);
+  const fleet::ChaosStats b = threaded.stats();
+
+  EXPECT_EQ(a.ticks, b.ticks);
+  EXPECT_EQ(a.kills, b.kills);
+  EXPECT_EQ(a.evictions, b.evictions);
+  EXPECT_EQ(a.delayed_restores, b.delayed_restores);
+  EXPECT_EQ(a.rebalances, b.rebalances);
+  EXPECT_EQ(a.restores, b.restores);
+  EXPECT_EQ(a.migrations, b.migrations);
+  EXPECT_EQ(a.noop_faults, b.noop_faults);
+  EXPECT_EQ(a.snapshot_words, b.snapshot_words);
+  EXPECT_EQ(a.rounds_stepped, b.rounds_stepped);
+}
+
+// ---- Alternate policies through the chaos path ---------------------------
+
+class ChaosEveryPolicy : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ChaosEveryPolicy, RestoredTenantsMatchFaultFreeRun) {
+  const std::string name = GetParam();
+  Workload w = MakeWorkload(12);
+
+  fleet::FleetOptions oracle_options;
+  oracle_options.num_shards = 1;
+  oracle_options.policy_factory = [&name] { return MakePolicy(name); };
+  std::vector<RunResult> oracle =
+      fleet::FleetRunner(oracle_options).RunAll(w.jobs);
+
+  fleet::ChaosOptions chaos = AggressiveChaos(nullptr);
+  chaos.policy_factory = [&name] { return MakePolicy(name); };
+  fleet::ChaosFleetRunner runner(chaos);
+  std::vector<RunResult> chaotic = runner.RunAll(w.jobs);
+
+  for (size_t i = 0; i < oracle.size(); ++i) {
+    ExpectSameRunResult(chaotic[i], oracle[i],
+                        name + " tenant " + std::to_string(i));
+  }
+  EXPECT_GT(runner.stats().restores, 0u) << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, ChaosEveryPolicy,
+                         ::testing::ValuesIn(PolicyNames()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+// ---- Counters surface through obs ----------------------------------------
+
+TEST(ChaosFleet, CountersAbsorbIntoScope) {
+  Workload w = MakeWorkload(8);
+  obs::Scope scope;
+
+  fleet::ChaosOptions options = AggressiveChaos(nullptr);
+  options.scope = &scope;
+  fleet::ChaosFleetRunner runner(options);
+  runner.RunAll(w.jobs);
+
+  const auto values = scope.registry().Values();
+  EXPECT_GT(values.at("fleet.chaos.ticks"), 0.0);
+  EXPECT_GT(values.at("fleet.chaos.restores"), 0.0);
+  EXPECT_EQ(values.at("fleet.chaos.sessions_completed"),
+            static_cast<double>(w.jobs.size()));
+}
+
+}  // namespace
+}  // namespace rrs

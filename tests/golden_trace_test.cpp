@@ -1,0 +1,176 @@
+// Golden-trace regression suite: SHA-256 fingerprints of per-round
+// execution timelines for the canned workload/scenarios.cpp instances,
+// across every registry policy.
+//
+// Each (scenario, policy) run is stepped one round at a time and the
+// mid-run accumulators (round, reconfigurations, drops, weighted drops,
+// executions) are folded into a SHA-256 digest, followed by the final
+// per-color drop vector. The digests are pinned in
+// tests/golden/golden_traces.txt: any unintended change to engine phase
+// order, policy decisions, cost accounting, or scenario generation shows up
+// as a digest mismatch naming the exact (scenario, policy) pair.
+//
+// After an *intentional* semantics change, regenerate with:
+//
+//   ./rrs_golden_trace_test --regen-golden
+//
+// which rewrites the golden file in the source tree (path baked in via
+// RRS_GOLDEN_FILE) and prints the new digests for review.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "sched/registry.h"
+#include "util/check.h"
+#include "util/sha256.h"
+#include "workload/scenarios.h"
+
+namespace rrs {
+namespace {
+
+std::vector<std::pair<std::string, Instance>> GoldenScenarios() {
+  std::vector<std::pair<std::string, Instance>> scenarios;
+
+  workload::RouterOptions router;
+  router.rounds = 192;
+  router.period = 64;
+  router.seed = 7;
+  scenarios.emplace_back(
+      "router",
+      workload::MakeRouterScenario(workload::DefaultRouterServices(), router));
+
+  workload::DatacenterOptions datacenter;
+  datacenter.rounds = 384;
+  datacenter.phase_length = 128;
+  datacenter.seed = 7;
+  scenarios.emplace_back("datacenter",
+                         workload::MakeDatacenterScenario(datacenter));
+  return scenarios;
+}
+
+// Fingerprints the full per-round timeline of one policy on one instance.
+std::string TraceDigest(const Instance& instance, const std::string& policy) {
+  EngineOptions options;
+  options.num_resources = 8;
+  options.cost_model.delta = 3;
+
+  auto p = MakePolicy(policy);
+  RRS_CHECK(p != nullptr) << policy;
+  Engine engine(instance, options);
+  engine.BeginRun(*p);
+
+  Sha256 hash;
+  bool more = true;
+  while (more) {
+    more = engine.StepRounds(1);
+    hash.UpdateU64(static_cast<uint64_t>(engine.next_round()));
+    const CostBreakdown& cost = engine.run_cost();
+    hash.UpdateU64(cost.reconfigurations);
+    hash.UpdateU64(cost.drops);
+    hash.UpdateU64(cost.weighted_drops);
+    hash.UpdateU64(engine.run_executed());
+  }
+  RunResult result;
+  engine.FinishRun(result);
+  hash.UpdateU64(result.arrived);
+  hash.UpdateU64(result.executed);
+  for (uint64_t d : result.drops_per_color) hash.UpdateU64(d);
+  return hash.FinishHex();
+}
+
+// All (scenario/policy) digests, in deterministic order.
+std::map<std::string, std::string> ComputeAllDigests() {
+  std::map<std::string, std::string> digests;
+  for (const auto& [scenario, instance] : GoldenScenarios()) {
+    for (const std::string& policy : PolicyNames()) {
+      digests[scenario + "/" + policy] = TraceDigest(instance, policy);
+    }
+  }
+  return digests;
+}
+
+std::map<std::string, std::string> LoadGoldenFile(const std::string& path) {
+  std::map<std::string, std::string> golden;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string key, digest;
+    fields >> key >> digest;
+    if (!key.empty() && !digest.empty()) golden[key] = digest;
+  }
+  return golden;
+}
+
+TEST(GoldenTrace, EveryScenarioPolicyTimelineMatchesGolden) {
+  const std::map<std::string, std::string> golden =
+      LoadGoldenFile(RRS_GOLDEN_FILE);
+  ASSERT_FALSE(golden.empty())
+      << "golden file missing or empty: " << RRS_GOLDEN_FILE
+      << " — regenerate with ./rrs_golden_trace_test --regen-golden";
+
+  const std::map<std::string, std::string> got = ComputeAllDigests();
+  // Every computed digest must be pinned, and every pin must still exist
+  // (a dropped policy or scenario is as much a regression as a changed one).
+  EXPECT_EQ(got.size(), golden.size());
+  for (const auto& [key, digest] : got) {
+    auto it = golden.find(key);
+    if (it == golden.end()) {
+      ADD_FAILURE() << key << " has no golden digest — if the new "
+                    << "scenario/policy is intentional, regenerate with "
+                    << "--regen-golden";
+      continue;
+    }
+    EXPECT_EQ(digest, it->second)
+        << key << " timeline changed — if intentional, regenerate with "
+        << "./rrs_golden_trace_test --regen-golden";
+  }
+}
+
+TEST(GoldenTrace, DigestIsDeterministicAcrossRuns) {
+  const auto scenarios = GoldenScenarios();
+  const std::string a = TraceDigest(scenarios[0].second, "dlru-edf");
+  const std::string b = TraceDigest(scenarios[0].second, "dlru-edf");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 64u);
+}
+
+int RegenGolden() {
+  const std::map<std::string, std::string> digests = ComputeAllDigests();
+  std::ofstream out(RRS_GOLDEN_FILE, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", RRS_GOLDEN_FILE);
+    return 1;
+  }
+  out << "# SHA-256 digests of per-round execution timelines, one line per\n"
+         "# <scenario>/<policy>. Regenerate after intentional semantics\n"
+         "# changes with: ./rrs_golden_trace_test --regen-golden\n";
+  for (const auto& [key, digest] : digests) {
+    out << key << " " << digest << "\n";
+    std::printf("%s %s\n", key.c_str(), digest.c_str());
+  }
+  std::printf("wrote %zu digests to %s\n", digests.size(), RRS_GOLDEN_FILE);
+  return 0;
+}
+
+}  // namespace
+}  // namespace rrs
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--regen-golden") == 0) {
+      return rrs::RegenGolden();
+    }
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

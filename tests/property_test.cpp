@@ -10,7 +10,10 @@
 
 #include "core/engine.h"
 #include "offline/lower_bound.h"
+#include "reduce/distribute.h"
 #include "reduce/pipeline.h"
+#include "reduce/varbatch.h"
+#include "snapshot/codec.h"
 #include "sched/registry.h"
 #include "util/rng.h"
 #include "workload/scenarios.h"
@@ -203,6 +206,148 @@ TEST_P(ParEdfResourceSweep, MoreResourcesNeverIncreaseDrops) {
 
 INSTANTIATE_TEST_SUITE_P(Resources, ParEdfResourceSweep,
                          ::testing::Values(1u, 2u, 3u, 4u, 6u, 8u));
+
+// ---- Reduction cost-bound invariants ---------------------------------------
+//
+// Lemma 4.2: projecting a schedule for the Distribute-transformed instance
+// back onto the original elides no-op recolorings, so the certified cost
+// never exceeds the inner run's cost. VarBatch's projection only re-targets
+// job ids, so its certified cost is bounded by the inner cost too.
+
+Instance RandomBatched(uint64_t seed) {
+  std::vector<workload::ColorSpec> specs = {
+      {1, 0.5}, {2, 0.7}, {4, 0.8}, {8, 0.6}, {16, 0.5}};
+  workload::PoissonOptions gen;
+  gen.rounds = 96;
+  gen.batched = true;  // batched but NOT rate-limited: Distribute's input
+  gen.seed = seed;
+  return MakePoisson(specs, gen);
+}
+
+class DistributeCostBound : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DistributeCostBound, ProjectedCostNeverExceedsInnerCost) {
+  Instance inst = RandomBatched(GetParam());
+  ASSERT_TRUE(inst.IsBatched());
+  EngineOptions options;
+  options.num_resources = 8;
+  options.cost_model.delta = 3;
+  auto policy = MakePolicy("dlru-edf");
+  auto run = reduce::RunDistribute(inst, *policy, options);
+
+  ASSERT_TRUE(run.validation.ok) << run.validation.error;
+  // Job identity passes through the projection, so the execution/drop sets
+  // are preserved exactly; only reconfigurations can shrink (elided no-ops).
+  EXPECT_EQ(run.validation.cost.drops, run.inner.cost.drops);
+  EXPECT_EQ(run.validation.executed, run.inner.executed);
+  EXPECT_LE(run.validation.cost.reconfigurations,
+            run.inner.cost.reconfigurations);
+  EXPECT_LE(run.validation.cost.total(options.cost_model),
+            run.inner.cost.total(options.cost_model));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DistributeCostBound,
+                         ::testing::Values(21u, 22u, 23u, 24u, 25u));
+
+class VarBatchCostBound : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VarBatchCostBound, ProjectedCostNeverExceedsInnerCost) {
+  // Arbitrary (unbatched) input: VarBatch's own precondition.
+  Instance inst = MakeFamily(Family::kZipfUnbatched, GetParam());
+  auto transform = reduce::VarBatchInstance(inst);
+  ASSERT_TRUE(transform.transformed.IsBatched());
+  EXPECT_EQ(transform.transformed.num_jobs(), inst.num_jobs());
+
+  EngineOptions options;
+  options.num_resources = 8;
+  options.cost_model.delta = 3;
+  options.record_schedule = true;
+  auto policy = MakePolicy("dlru-edf");
+  RunResult inner = RunPolicy(transform.transformed, *policy, options);
+  ASSERT_TRUE(inner.schedule.has_value());
+
+  Schedule projected =
+      reduce::ProjectVarBatchSchedule(*inner.schedule, transform);
+  auto v = projected.Validate(inst);
+  ASSERT_TRUE(v.ok) << v.error;
+  EXPECT_EQ(v.executed, inner.executed);
+  EXPECT_EQ(v.cost.drops, inner.cost.drops);
+  EXPECT_LE(v.cost.total(options.cost_model),
+            inner.cost.total(options.cost_model));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VarBatchCostBound,
+                         ::testing::Values(31u, 32u, 33u, 34u, 35u));
+
+// ---- Snapshot/restore commutes with the reductions -------------------------
+//
+// Checkpointing the inner run mid-way and restoring it (on a different
+// engine + fresh policy object) must leave the reduction's outcome
+// unchanged: the restored inner run finishes bit-identically, so the
+// projected/certified cost is the same as without the interruption.
+
+void ExpectSameCosts(const RunResult& got, const RunResult& want) {
+  EXPECT_EQ(got.cost.reconfigurations, want.cost.reconfigurations);
+  EXPECT_EQ(got.cost.drops, want.cost.drops);
+  EXPECT_EQ(got.cost.weighted_drops, want.cost.weighted_drops);
+  EXPECT_EQ(got.executed, want.executed);
+  EXPECT_EQ(got.arrived, want.arrived);
+  EXPECT_EQ(got.drops_per_color, want.drops_per_color);
+  EXPECT_EQ(got.telemetry.counters, want.telemetry.counters);
+}
+
+RunResult FinishInterrupted(const Instance& transformed,
+                            const EngineOptions& options, Round cut) {
+  Engine donor;
+  donor.Reset(transformed, options);
+  auto policy = MakePolicy("dlru-edf");
+  donor.BeginRun(*policy);
+  donor.StepRounds(cut);
+  snapshot::Writer w;
+  donor.SnapshotRun(w);
+  donor.AbortRun();
+
+  Engine resumed;
+  resumed.Reset(transformed, options);
+  auto policy2 = MakePolicy("dlru-edf");
+  snapshot::Reader r(w.words());
+  resumed.RestoreRun(*policy2, r);
+  while (resumed.StepRounds(64)) {
+  }
+  RunResult result;
+  resumed.FinishRun(result);
+  return result;
+}
+
+TEST(SnapshotReductionCommute, DistributeInnerRunSurvivesCheckpoint) {
+  Instance inst = RandomBatched(41);
+  auto transform = reduce::DistributeInstance(inst);
+  EngineOptions options;
+  options.num_resources = 8;
+  options.cost_model.delta = 3;
+
+  auto oracle_policy = MakePolicy("dlru-edf");
+  RunResult oracle = RunPolicy(transform.transformed, *oracle_policy, options);
+  for (Round cut : {Round{5}, Round{33}, Round{70}}) {
+    ExpectSameCosts(FinishInterrupted(transform.transformed, options, cut),
+                    oracle);
+  }
+}
+
+TEST(SnapshotReductionCommute, VarBatchInnerRunSurvivesCheckpoint) {
+  Instance inst = MakeFamily(Family::kZipfUnbatched, 43);
+  auto transform = reduce::VarBatchInstance(inst);
+  EngineOptions options;
+  options.num_resources = 8;
+  options.cost_model.delta = 3;
+
+  auto oracle_policy = MakePolicy("dlru-edf");
+  RunResult oracle = RunPolicy(transform.transformed, *oracle_policy, options);
+  for (Round cut : {Round{5}, Round{33}, Round{70}}) {
+    ExpectSameCosts(FinishInterrupted(transform.transformed, options, cut),
+                    oracle);
+  }
+}
 
 }  // namespace
 }  // namespace rrs

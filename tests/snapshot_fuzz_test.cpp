@@ -1,0 +1,205 @@
+// Randomized checkpoint-point differential fuzz for checkpoint/restore.
+//
+// Each iteration draws a random workload, engine shape, and a chain of
+// random checkpoint rounds, snapshots the run at each cut, migrates it to a
+// different engine + fresh policy object, and finishes — the final
+// RunResult must be bit-identical to the uninterrupted run. Runs for every
+// registry policy; a second fuzzer drives StreamEngine's RLE-ring save/load
+// the same way round by round.
+//
+// Iteration count is capped for tier-1 speed and raised via the
+// RRS_FUZZ_ITERS environment variable (the `nightly`-labeled registration
+// and the sanitizer/TSan suites set it explicitly).
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/stream_engine.h"
+#include "sched/registry.h"
+#include "snapshot/codec.h"
+#include "util/rng.h"
+#include "workload/synthetic.h"
+
+namespace rrs {
+namespace {
+
+int FuzzIters() {
+  const char* env = std::getenv("RRS_FUZZ_ITERS");
+  if (env != nullptr && std::atoi(env) > 0) return std::atoi(env);
+  return 12;  // tier-1 cap; nightly/sanitize runs raise it
+}
+
+Instance FuzzInstance(Rng& rng) {
+  std::vector<workload::ColorSpec> specs;
+  const size_t num_colors = 2 + rng.NextBounded(6);
+  for (size_t c = 0; c < num_colors; ++c) {
+    workload::ColorSpec spec;
+    spec.delay_bound = Round{1} << rng.NextBounded(5);
+    spec.rate = rng.UniformDouble(0.05, 0.8);
+    specs.push_back(spec);
+  }
+  workload::PoissonOptions gen;
+  gen.rounds = 16 + static_cast<Round>(rng.NextBounded(140));
+  gen.seed = rng.Next();
+  return MakePoisson(specs, gen);
+}
+
+EngineOptions FuzzOptions(Rng& rng) {
+  EngineOptions options;
+  // Multiple of 4 and >= 4 so the ΔLRU-EDF family's resource-split
+  // precondition holds for every registry policy.
+  options.num_resources = 4 * (1 + static_cast<uint32_t>(rng.NextBounded(3)));
+  options.cost_model.delta = 1 + rng.NextBounded(5);
+  // Occasionally run double-speed so checkpoints cover mini-round runs too.
+  if (rng.Bernoulli(0.25)) options.mini_rounds_per_round = 2;
+  return options;
+}
+
+void ExpectSameRunResult(const RunResult& got, const RunResult& want,
+                         const std::string& label) {
+  ASSERT_EQ(got.cost.reconfigurations, want.cost.reconfigurations) << label;
+  ASSERT_EQ(got.cost.drops, want.cost.drops) << label;
+  ASSERT_EQ(got.cost.weighted_drops, want.cost.weighted_drops) << label;
+  ASSERT_EQ(got.executed, want.executed) << label;
+  ASSERT_EQ(got.arrived, want.arrived) << label;
+  ASSERT_EQ(got.rounds_simulated, want.rounds_simulated) << label;
+  ASSERT_EQ(got.drops_per_color, want.drops_per_color) << label;
+  ASSERT_EQ(got.telemetry.counters, want.telemetry.counters) << label;
+}
+
+// ---- Engine: chained random checkpoints, every registry policy -----------
+
+class SnapshotFuzzEveryPolicy
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SnapshotFuzzEveryPolicy, ChainedRandomCheckpointsAreExact) {
+  const std::string name = GetParam();
+  Rng rng(0xf022 ^ std::hash<std::string>{}(name));
+  const int iters = FuzzIters();
+
+  for (int iter = 0; iter < iters; ++iter) {
+    Instance instance = FuzzInstance(rng);
+    EngineOptions options = FuzzOptions(rng);
+    const std::string label =
+        name + " iter " + std::to_string(iter);
+
+    auto oracle_policy = MakePolicy(name);
+    ASSERT_NE(oracle_policy, nullptr) << name;
+    RunResult oracle = RunPolicy(instance, *oracle_policy, options);
+
+    // 1-3 random checkpoint rounds, each migrating to the other engine.
+    const int cuts = 1 + static_cast<int>(rng.NextBounded(3));
+    Engine engines[2];
+    engines[0].Reset(instance, options);
+    auto policy = MakePolicy(name);
+    engines[0].BeginRun(*policy);
+    int active = 0;
+    snapshot::Writer w;
+    for (int cut = 0; cut < cuts; ++cut) {
+      const Round at =
+          1 + static_cast<Round>(rng.NextBounded(
+                  static_cast<uint64_t>(instance.num_request_rounds())));
+      if (at > engines[active].next_round()) {
+        engines[active].StepRounds(at - engines[active].next_round());
+      }
+      w.Clear();
+      engines[active].SnapshotRun(w);
+      engines[active].AbortRun();
+      active = 1 - active;
+      engines[active].Reset(instance, options);
+      policy = MakePolicy(name);
+      snapshot::Reader r(w.words());
+      engines[active].RestoreRun(*policy, r);
+      ASSERT_TRUE(r.AtEnd()) << label;
+    }
+    while (engines[active].StepRounds(64)) {
+    }
+    RunResult resumed;
+    engines[active].FinishRun(resumed);
+    ExpectSameRunResult(resumed, oracle, label);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, SnapshotFuzzEveryPolicy,
+                         ::testing::ValuesIn(PolicyNames()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+// ---- StreamEngine: random cut, restored stream must emit the same rounds -
+
+TEST(SnapshotFuzzStream, RandomCutRestoresEmitIdenticalOutcomes) {
+  Rng rng(0x57f0);
+  const int iters = FuzzIters();
+
+  const std::vector<std::string> policies = PolicyNames();
+  for (int iter = 0; iter < iters; ++iter) {
+    Instance instance = FuzzInstance(rng);
+    EngineOptions options = FuzzOptions(rng);
+    const std::string name = policies[rng.NextBounded(policies.size())];
+    const std::string label = name + " iter " + std::to_string(iter);
+
+    std::vector<Round> bounds;
+    for (ColorId c = 0; c < instance.num_colors(); ++c) {
+      bounds.push_back(instance.delay_bound(c));
+    }
+    const Round cut = 1 + static_cast<Round>(rng.NextBounded(
+                              static_cast<uint64_t>(
+                                  instance.num_request_rounds())));
+
+    auto policy = MakePolicy(name);
+    StreamEngine original(bounds, *policy, options);
+    std::vector<std::pair<ColorId, uint64_t>> arrivals;
+    auto feed_round = [&](StreamEngine& engine, Round k) -> const RoundOutcome& {
+      arrivals.clear();
+      auto jobs = instance.jobs_in_round(k);
+      size_t i = 0;
+      while (i < jobs.size()) {
+        ColorId c = jobs[i].color;
+        uint64_t count = 0;
+        while (i < jobs.size() && jobs[i].color == c) {
+          ++count;
+          ++i;
+        }
+        arrivals.emplace_back(c, count);
+      }
+      return engine.Step(arrivals);
+    };
+
+    for (Round k = 0; k < cut; ++k) feed_round(original, k);
+
+    snapshot::Writer w;
+    original.SaveState(w);
+    auto policy2 = MakePolicy(name);
+    StreamEngine restored(bounds, *policy2, options);
+    snapshot::Reader r(w.words());
+    restored.LoadState(r);
+    ASSERT_TRUE(r.AtEnd()) << label;
+
+    for (Round k = cut; k < instance.num_request_rounds(); ++k) {
+      const RoundOutcome a = feed_round(original, k);
+      const RoundOutcome& b = feed_round(restored, k);
+      ASSERT_EQ(a.reconfigs, b.reconfigs) << label << " round " << k;
+      ASSERT_EQ(a.executions, b.executions) << label << " round " << k;
+      ASSERT_EQ(a.drops, b.drops) << label << " round " << k;
+    }
+    original.Finish();
+    restored.Finish();
+    ASSERT_EQ(original.cost().reconfigurations,
+              restored.cost().reconfigurations)
+        << label;
+    ASSERT_EQ(original.cost().drops, restored.cost().drops) << label;
+    ASSERT_EQ(original.executed(), restored.executed()) << label;
+  }
+}
+
+}  // namespace
+}  // namespace rrs

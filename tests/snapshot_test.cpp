@@ -1,0 +1,452 @@
+// Checkpoint/restore suite for the snapshot codec and every session core:
+// the codec must round-trip values and reject corrupted/truncated/misordered
+// streams loudly, and Snapshot → Restore into a *different* session object
+// must continue bit-identically to the uninterrupted run — the property the
+// chaos fleet's migration paths stand on.
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/stream_engine.h"
+#include "reduce/distribute.h"
+#include "reduce/online.h"
+#include "reduce/pipeline.h"
+#include "reduce/varbatch.h"
+#include "sched/registry.h"
+#include "snapshot/codec.h"
+#include "util/rng.h"
+#include "workload/synthetic.h"
+
+namespace rrs {
+namespace {
+
+Instance SnapshotTenant(uint64_t seed, Round rounds = 96) {
+  std::vector<workload::ColorSpec> specs = {
+      {1, 0.4}, {2, 0.5}, {4, 0.5}, {8, 0.4}, {16, 0.3}};
+  workload::PoissonOptions gen;
+  gen.rounds = rounds;
+  gen.seed = seed;
+  return MakePoisson(specs, gen);
+}
+
+EngineOptions SnapshotOptions() {
+  EngineOptions options;
+  options.num_resources = 8;
+  options.cost_model.delta = 3;
+  return options;
+}
+
+void ExpectSameRunResult(const RunResult& got, const RunResult& want,
+                         const std::string& label) {
+  EXPECT_EQ(got.cost.reconfigurations, want.cost.reconfigurations) << label;
+  EXPECT_EQ(got.cost.drops, want.cost.drops) << label;
+  EXPECT_EQ(got.cost.weighted_drops, want.cost.weighted_drops) << label;
+  EXPECT_EQ(got.executed, want.executed) << label;
+  EXPECT_EQ(got.arrived, want.arrived) << label;
+  EXPECT_EQ(got.rounds_simulated, want.rounds_simulated) << label;
+  EXPECT_EQ(got.drops_per_color, want.drops_per_color) << label;
+  EXPECT_EQ(got.telemetry.counters, want.telemetry.counters) << label;
+}
+
+// ---- Codec ---------------------------------------------------------------
+
+TEST(SnapshotCodec, RoundTripsScalarsAndVectors) {
+  snapshot::Writer w;
+  w.BeginSection(snapshot::kTagRng);
+  w.PutU64(~0ULL);
+  w.PutU32(0xdeadbeefu);
+  w.PutI64(-42);
+  w.PutBool(true);
+  w.PutBool(false);
+  std::vector<uint32_t> v32 = {1, 2, 3};
+  std::vector<int64_t> v64 = {-1, 0, 7};
+  w.PutVec(v32);
+  w.PutVec(v64);
+  w.EndSection();
+
+  snapshot::Reader r(w.words());
+  r.BeginSection(snapshot::kTagRng);
+  EXPECT_EQ(r.GetU64(), ~0ULL);
+  EXPECT_EQ(r.GetU32(), 0xdeadbeefu);
+  EXPECT_EQ(r.GetI64(), -42);
+  EXPECT_TRUE(r.GetBool());
+  EXPECT_FALSE(r.GetBool());
+  std::vector<uint32_t> got32;
+  std::vector<int64_t> got64;
+  r.GetVec(got32);
+  r.GetVec(got64);
+  EXPECT_EQ(got32, v32);
+  EXPECT_EQ(got64, v64);
+  r.EndSection();
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SnapshotCodec, MultipleSectionsReadBackInOrder) {
+  snapshot::Writer w;
+  w.BeginSection(snapshot::kTagEngine);
+  w.PutU64(1);
+  w.EndSection();
+  w.BeginSection(snapshot::kTagLruTracker);
+  w.PutU64(2);
+  w.EndSection();
+
+  snapshot::Reader r(w.words());
+  r.BeginSection(snapshot::kTagEngine);
+  EXPECT_EQ(r.GetU64(), 1u);
+  r.EndSection();
+  r.BeginSection(snapshot::kTagLruTracker);
+  EXPECT_EQ(r.GetU64(), 2u);
+  r.EndSection();
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SnapshotCodec, ClearKeepsHeaderAndDropsSections) {
+  snapshot::Writer w;
+  w.BeginSection(snapshot::kTagEngine);
+  w.PutU64(99);
+  w.EndSection();
+  w.Clear();
+  EXPECT_EQ(w.words().size(), 2u);  // magic + version only
+  snapshot::Reader r(w.words());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SnapshotCodecDeath, RejectsBadMagic) {
+  std::vector<uint64_t> words = {0x1234, snapshot::kVersion};
+  EXPECT_DEATH(snapshot::Reader r(words), "magic");
+}
+
+TEST(SnapshotCodecDeath, RejectsBadVersion) {
+  std::vector<uint64_t> words = {snapshot::kMagic, snapshot::kVersion + 1};
+  EXPECT_DEATH(snapshot::Reader r(words), "version");
+}
+
+TEST(SnapshotCodecDeath, RejectsCorruptedPayload) {
+  snapshot::Writer w;
+  w.BeginSection(snapshot::kTagEngine);
+  w.PutU64(7);
+  w.PutU64(8);
+  w.EndSection();
+  std::vector<uint64_t> words = w.words();
+  words.back() ^= 1;  // flip a payload bit
+  EXPECT_DEATH(
+      {
+        snapshot::Reader r(words);
+        r.BeginSection(snapshot::kTagEngine);
+      },
+      "checksum");
+}
+
+TEST(SnapshotCodecDeath, RejectsTruncatedStream) {
+  snapshot::Writer w;
+  w.BeginSection(snapshot::kTagEngine);
+  w.PutU64(7);
+  w.PutU64(8);
+  w.EndSection();
+  std::vector<uint64_t> words = w.words();
+  words.pop_back();
+  EXPECT_DEATH(
+      {
+        snapshot::Reader r(words);
+        r.BeginSection(snapshot::kTagEngine);
+      },
+      "truncated");
+}
+
+TEST(SnapshotCodecDeath, RejectsSectionOrderDrift) {
+  snapshot::Writer w;
+  w.BeginSection(snapshot::kTagEngine);
+  w.EndSection();
+  EXPECT_DEATH(
+      {
+        snapshot::Reader r(w.words());
+        r.BeginSection(snapshot::kTagStreamEngine);
+      },
+      "order mismatch");
+}
+
+TEST(SnapshotCodecDeath, RejectsUnderconsumedSection) {
+  snapshot::Writer w;
+  w.BeginSection(snapshot::kTagEngine);
+  w.PutU64(7);
+  w.EndSection();
+  EXPECT_DEATH(
+      {
+        snapshot::Reader r(w.words());
+        r.BeginSection(snapshot::kTagEngine);
+        r.EndSection();
+      },
+      "not fully consumed");
+}
+
+// ---- Rng -----------------------------------------------------------------
+
+TEST(SnapshotRng, RestoredRngContinuesTheExactStream) {
+  Rng rng(1234);
+  for (int i = 0; i < 100; ++i) rng.Next();
+  const auto state = rng.SaveState();
+
+  Rng restored(999);  // different seed, fully overwritten by LoadState
+  restored.LoadState(state);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(restored.Next(), rng.Next()) << "draw " << i;
+  }
+}
+
+// ---- Engine: snapshot mid-run, restore on another session ----------------
+
+class EngineSnapshotEveryPolicy
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EngineSnapshotEveryPolicy, RestoredRunFinishesBitIdentically) {
+  const std::string name = GetParam();
+  Instance instance = SnapshotTenant(7);
+  EngineOptions options = SnapshotOptions();
+
+  // Uninterrupted oracle.
+  auto oracle_policy = MakePolicy(name);
+  ASSERT_NE(oracle_policy, nullptr) << name;
+  RunResult oracle = RunPolicy(instance, *oracle_policy, options);
+
+  for (Round cut : {Round{1}, Round{17}, Round{64}}) {
+    // Run to the cut, snapshot, keep stepping the original to the end.
+    Engine engine;
+    engine.Reset(instance, options);
+    auto policy = MakePolicy(name);
+    engine.BeginRun(*policy);
+    engine.StepRounds(cut);
+    snapshot::Writer w;
+    engine.SnapshotRun(w);
+    while (engine.StepRounds(64)) {
+    }
+    RunResult original;
+    engine.FinishRun(original);
+    ExpectSameRunResult(original, oracle, name + " original");
+
+    // Restore into a *different* engine + policy object (worker migration)
+    // and finish from the cut.
+    Engine migrated;
+    migrated.Reset(instance, options);
+    auto policy2 = MakePolicy(name);
+    snapshot::Reader r(w.words());
+    migrated.RestoreRun(*policy2, r);
+    EXPECT_TRUE(r.AtEnd()) << name;
+    EXPECT_EQ(migrated.next_round(), cut) << name;
+    while (migrated.StepRounds(64)) {
+    }
+    RunResult resumed;
+    migrated.FinishRun(resumed);
+    ExpectSameRunResult(resumed, oracle,
+                        name + " restored at " + std::to_string(cut));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, EngineSnapshotEveryPolicy,
+                         ::testing::ValuesIn(PolicyNames()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(EngineSnapshot, SnapshotOfRestoredSessionIsIdentical) {
+  // Snapshot determinism: re-snapshotting a restored session at the same
+  // round produces the same words — checkpoints of checkpoints are stable.
+  Instance instance = SnapshotTenant(11);
+  EngineOptions options = SnapshotOptions();
+
+  Engine engine;
+  engine.Reset(instance, options);
+  auto policy = MakePolicy("dlru-edf");
+  engine.BeginRun(*policy);
+  engine.StepRounds(23);
+  snapshot::Writer first;
+  engine.SnapshotRun(first);
+
+  Engine restored;
+  restored.Reset(instance, options);
+  auto policy2 = MakePolicy("dlru-edf");
+  snapshot::Reader r(first.words());
+  restored.RestoreRun(*policy2, r);
+  snapshot::Writer second;
+  restored.SnapshotRun(second);
+  EXPECT_EQ(first.words(), second.words());
+}
+
+TEST(EngineSnapshot, RestoreWorksAcrossPriorSessionShapes) {
+  // Restoring onto an engine whose arena grew for a *larger* earlier tenant
+  // must still be exact (oversized buffers, wheel resized down).
+  Instance big = SnapshotTenant(3, 512);
+  Instance small = SnapshotTenant(5, 64);
+  EngineOptions options = SnapshotOptions();
+
+  auto oracle_policy = MakePolicy("dlru-edf");
+  RunResult oracle = RunPolicy(small, *oracle_policy, options);
+
+  Engine donor;
+  donor.Reset(small, options);
+  auto policy = MakePolicy("dlru-edf");
+  donor.BeginRun(*policy);
+  donor.StepRounds(9);
+  snapshot::Writer w;
+  donor.SnapshotRun(w);
+  donor.AbortRun();
+
+  Engine grown;
+  grown.Reset(big, options);
+  auto big_policy = MakePolicy("dlru-edf");
+  RunResult ignored = grown.Run(*big_policy);
+  (void)ignored;
+
+  grown.Reset(small, options);
+  auto policy2 = MakePolicy("dlru-edf");
+  snapshot::Reader r(w.words());
+  grown.RestoreRun(*policy2, r);
+  while (grown.StepRounds(64)) {
+  }
+  RunResult resumed;
+  grown.FinishRun(resumed);
+  ExpectSameRunResult(resumed, oracle, "restore into grown arena");
+}
+
+// ---- StreamEngine --------------------------------------------------------
+
+std::vector<std::pair<ColorId, uint64_t>> RoundArrivals(
+    const Instance& instance, Round k) {
+  std::vector<std::pair<ColorId, uint64_t>> arrivals;
+  auto jobs = instance.jobs_in_round(k);
+  size_t i = 0;
+  while (i < jobs.size()) {
+    ColorId c = jobs[i].color;
+    uint64_t count = 0;
+    while (i < jobs.size() && jobs[i].color == c) {
+      ++count;
+      ++i;
+    }
+    arrivals.emplace_back(c, count);
+  }
+  return arrivals;
+}
+
+TEST(StreamEngineSnapshot, RestoredStreamContinuesBitIdentically) {
+  Instance instance = SnapshotTenant(21);
+  std::vector<Round> bounds;
+  for (ColorId c = 0; c < instance.num_colors(); ++c) {
+    bounds.push_back(instance.delay_bound(c));
+  }
+  EngineOptions options = SnapshotOptions();
+
+  auto policy = MakePolicy("dlru-edf");
+  StreamEngine original(bounds, *policy, options);
+  const Round cut = 31;
+  for (Round k = 0; k < cut; ++k) original.Step(RoundArrivals(instance, k));
+
+  snapshot::Writer w;
+  original.SaveState(w);
+
+  auto policy2 = MakePolicy("dlru-edf");
+  StreamEngine restored(bounds, *policy2, options);
+  snapshot::Reader r(w.words());
+  restored.LoadState(r);
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(restored.current_round(), cut);
+
+  // Every subsequent round's outcome must match element for element.
+  for (Round k = cut; k < instance.num_request_rounds(); ++k) {
+    auto arrivals = RoundArrivals(instance, k);
+    const RoundOutcome& a = original.Step(arrivals);
+    const RoundOutcome& b = restored.Step(arrivals);
+    EXPECT_EQ(a.round, b.round);
+    EXPECT_EQ(a.reconfigs, b.reconfigs) << "round " << k;
+    EXPECT_EQ(a.executions, b.executions) << "round " << k;
+    EXPECT_EQ(a.drops, b.drops) << "round " << k;
+  }
+  original.Finish();
+  restored.Finish();
+  EXPECT_EQ(original.cost().reconfigurations,
+            restored.cost().reconfigurations);
+  EXPECT_EQ(original.cost().drops, restored.cost().drops);
+  EXPECT_EQ(original.executed(), restored.executed());
+  EXPECT_EQ(original.arrived(), restored.arrived());
+}
+
+// ---- OnlineSolver --------------------------------------------------------
+
+TEST(OnlineSolverSnapshot, RestoredSolverContinuesBitIdentically) {
+  Instance instance = SnapshotTenant(33, 80);
+  if (instance.num_jobs() == 0) GTEST_SKIP();
+  EngineOptions options = SnapshotOptions();
+
+  auto varbatch = reduce::VarBatchInstance(instance);
+  auto distribute = reduce::DistributeInstance(varbatch.transformed);
+  std::vector<reduce::OnlineSolver::ColorSpec> colors;
+  for (ColorId c = 0; c < instance.num_colors(); ++c) {
+    colors.push_back(
+        {instance.delay_bound(c), distribute.subcolors_per_color[c]});
+  }
+
+  reduce::OnlineSolver original(colors, options);
+  const Round cut = 29;
+  for (Round k = 0; k < cut; ++k) original.Step(RoundArrivals(instance, k));
+
+  snapshot::Writer w;
+  original.SaveState(w);
+
+  reduce::OnlineSolver restored(colors, options);
+  snapshot::Reader r(w.words());
+  restored.LoadState(r);
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(restored.current_round(), cut);
+
+  for (Round k = cut; k < instance.num_request_rounds(); ++k) {
+    auto arrivals = RoundArrivals(instance, k);
+    original.Step(arrivals);
+    restored.Step(arrivals);
+  }
+  original.Finish();
+  restored.Finish();
+  EXPECT_EQ(original.cost().reconfigurations,
+            restored.cost().reconfigurations);
+  EXPECT_EQ(original.cost().drops, restored.cost().drops);
+  EXPECT_EQ(original.arrived(), restored.arrived());
+  EXPECT_EQ(original.executed(), restored.executed());
+}
+
+// ---- PipelineSession -----------------------------------------------------
+
+TEST(PipelineSessionSnapshot, RestoredSessionMatchesAndKeepsCounting) {
+  Instance a = SnapshotTenant(41, 64);
+  Instance b = SnapshotTenant(43, 64);
+  EngineOptions options = SnapshotOptions();
+
+  reduce::PipelineSession original;
+  original.SolveOnline(a, options);
+  original.SolveOnline(b, options);
+
+  snapshot::Writer w;
+  original.SaveState(w);
+
+  reduce::PipelineSession restored;
+  snapshot::Reader r(w.words());
+  restored.LoadState(r);
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(restored.tenants_served(), original.tenants_served());
+
+  // Both sessions solve the next tenant identically (the arena is capacity,
+  // not state).
+  const reduce::PipelineResult& x = original.SolveOnline(a, options);
+  const CostBreakdown cx = x.cost();
+  const reduce::PipelineResult& y = restored.SolveOnline(a, options);
+  const CostBreakdown cy = y.cost();
+  EXPECT_EQ(cx.reconfigurations, cy.reconfigurations);
+  EXPECT_EQ(cx.drops, cy.drops);
+  EXPECT_EQ(original.tenants_served(), restored.tenants_served());
+}
+
+}  // namespace
+}  // namespace rrs

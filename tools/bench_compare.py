@@ -9,7 +9,8 @@ Fails (exit 1) when any benchmark cell in CURRENT:
   * lacks a metric that the BASELINE cell records (a gated metric silently
     disappearing from the report must fail loudly, not with a KeyError),
   * regresses a higher-is-better throughput metric (rounds_per_sec,
-    jobs_per_sec, sessions_per_sec, states_per_sec) by more than --threshold
+    jobs_per_sec, sessions_per_sec, states_per_sec, snapshots_per_sec) by
+    more than --threshold
     (fraction; 0.15 = 15% slower than baseline),
   * regresses a lower-is-better latency metric (solve_ms) by more than
     --threshold (an *increase* beyond the threshold fails), or
@@ -32,10 +33,30 @@ import json
 import sys
 
 
+class BenchReportError(Exception):
+    """A benchmark report that cannot be read or parsed (clear message)."""
+
+
 def load_cells(path):
-    with open(path) as f:
-        report = json.load(f)
-    return {cell["name"]: cell for cell in report["benchmarks"]}
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except OSError as e:
+        raise BenchReportError(
+            f"cannot read benchmark report '{path}': {e}. If this is the "
+            f"checked-in baseline, regenerate it by running the bench binary "
+            f"and committing its JSON output.")
+    except json.JSONDecodeError as e:
+        raise BenchReportError(
+            f"benchmark report '{path}' is not valid JSON (truncated or "
+            f"interrupted bench run?): {e}")
+    try:
+        return {cell["name"]: cell for cell in report["benchmarks"]}
+    except (KeyError, TypeError) as e:
+        raise BenchReportError(
+            f"benchmark report '{path}' has unexpected shape, expected "
+            f'{{"benchmarks": [{{"name": ..., <metrics>...}}]}}: '
+            f"{type(e).__name__}: {e}")
 
 
 def main():
@@ -51,11 +72,8 @@ def main():
     try:
         baseline = load_cells(args.baseline)
         current = load_cells(args.current)
-    except OSError as e:
-        print(f"cannot read benchmark report: {e}", file=sys.stderr)
-        return 1
-    except (json.JSONDecodeError, KeyError) as e:
-        print(f"malformed benchmark report: {e}", file=sys.stderr)
+    except BenchReportError as e:
+        print(e, file=sys.stderr)
         return 1
 
     # metric -> +1 (higher is better) or -1 (lower is better). Only metrics
@@ -65,6 +83,7 @@ def main():
         ("jobs_per_sec", +1),
         ("sessions_per_sec", +1),
         ("states_per_sec", +1),
+        ("snapshots_per_sec", +1),
         ("solve_ms", -1),
     )
 

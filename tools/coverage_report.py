@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Coverage preset: build with -DRRS_COVERAGE=ON, run ctest, summarize.
+
+Usage:
+    tools/coverage_report.py [--build-dir build-cov] [--jobs N]
+                             [--ctest-args ARGS] [--skip-build]
+                             [--min-line-coverage PCT]
+
+Drives the whole flow:
+  1. configure the build dir with -DRRS_COVERAGE=ON (tests only; bench and
+     examples are skipped — the test suite is what drives coverage),
+  2. build and run ctest (pass e.g. --ctest-args "-L chaos" to restrict),
+  3. summarize line coverage for src/:
+       * clang builds: llvm-profdata merge + llvm-cov report over every
+         test binary (source-based coverage),
+       * gcc builds: gcov over the emitted .gcda counters.
+
+Prints a per-file table and a TOTAL line; with --min-line-coverage the
+script exits 1 when the total falls below the threshold, so CI can gate.
+
+For headers compiled into many test binaries the gcc path reports the
+best-covered instantiation per file (a cheap under-approximation of the
+union); the clang path merges profiles exactly.
+"""
+
+import argparse
+import glob
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+
+def run(cmd, **kwargs):
+    print("+", " ".join(cmd), flush=True)
+    return subprocess.run(cmd, **kwargs)
+
+
+def check_run(cmd, **kwargs):
+    proc = run(cmd, **kwargs)
+    if proc.returncode != 0:
+        sys.exit(f"command failed ({proc.returncode}): {' '.join(cmd)}")
+    return proc
+
+
+def find_test_binaries(build_dir):
+    binaries = []
+    for path in sorted(glob.glob(os.path.join(build_dir, "tests", "*"))):
+        if os.path.isfile(path) and os.access(path, os.X_OK):
+            binaries.append(path)
+    return binaries
+
+
+def report_llvm(build_dir, source_dir, profraws):
+    profdata = os.path.join(build_dir, "coverage", "merged.profdata")
+    check_run(["llvm-profdata", "merge", "-sparse", "-o", profdata] +
+              profraws)
+    binaries = find_test_binaries(build_dir)
+    if not binaries:
+        sys.exit(f"no test binaries under {build_dir}/tests")
+    cmd = ["llvm-cov", "report", f"-instr-profile={profdata}",
+           "-ignore-filename-regex=(tests|_deps)/", binaries[0]]
+    for extra in binaries[1:]:
+        cmd += ["-object", extra]
+    proc = check_run(cmd, capture_output=True, text=True)
+    print(proc.stdout)
+    # llvm-cov's TOTAL row: the line-coverage percentage is the last column.
+    for line in proc.stdout.splitlines():
+        if line.startswith("TOTAL"):
+            match = re.findall(r"([0-9.]+)%", line)
+            if match:
+                return float(match[-1])
+    sys.exit("could not find TOTAL row in llvm-cov output")
+
+
+def report_gcov(build_dir, source_dir, gcdas):
+    src_prefix = os.path.realpath(os.path.join(source_dir, "src")) + os.sep
+    # file -> (lines_total, lines_executed); keep the best-covered TU.
+    per_file = {}
+    chunk = 64
+    for start in range(0, len(gcdas), chunk):
+        proc = check_run(["gcov", "-n"] + gcdas[start:start + chunk],
+                         capture_output=True, text=True, cwd=build_dir)
+        current = None
+        for line in proc.stdout.splitlines():
+            m = re.match(r"File '(.*)'", line)
+            if m:
+                current = os.path.realpath(
+                    os.path.join(build_dir, m.group(1)))
+                continue
+            m = re.match(r"Lines executed:([0-9.]+)% of (\d+)", line)
+            if m and current and current.startswith(src_prefix):
+                total = int(m.group(2))
+                executed = round(float(m.group(1)) / 100.0 * total)
+                name = current[len(src_prefix):]
+                if name not in per_file or executed > per_file[name][1]:
+                    per_file[name] = (total, executed)
+                current = None
+    if not per_file:
+        sys.exit("gcov produced no coverage for src/ files")
+
+    width = max(len(name) for name in per_file) + 2
+    print(f"\n{'file':<{width}} {'lines':>7} {'covered':>8} {'pct':>7}")
+    sum_total = sum_executed = 0
+    for name in sorted(per_file):
+        total, executed = per_file[name]
+        sum_total += total
+        sum_executed += executed
+        print(f"{name:<{width}} {total:>7} {executed:>8} "
+              f"{100.0 * executed / total:>6.1f}%")
+    pct = 100.0 * sum_executed / sum_total
+    print(f"{'TOTAL':<{width}} {sum_total:>7} {sum_executed:>8} {pct:>6.1f}%")
+    return pct
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--build-dir", default="build-cov")
+    parser.add_argument("--source-dir",
+                        default=os.path.dirname(os.path.dirname(
+                            os.path.abspath(__file__))))
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 2)
+    parser.add_argument("--ctest-args", default="",
+                        help="extra args for ctest, e.g. '-L chaos'")
+    parser.add_argument("--skip-build", action="store_true",
+                        help="reuse an already-configured coverage build")
+    parser.add_argument("--min-line-coverage", type=float, default=None,
+                        help="fail (exit 1) below this total line %%")
+    args = parser.parse_args()
+
+    build_dir = os.path.abspath(args.build_dir)
+    if not args.skip_build:
+        check_run(["cmake", "-S", args.source_dir, "-B", build_dir,
+                   "-DRRS_COVERAGE=ON", "-DCMAKE_BUILD_TYPE=Debug",
+                   "-DRRS_BUILD_BENCH=OFF", "-DRRS_BUILD_EXAMPLES=OFF"])
+        check_run(["cmake", "--build", build_dir, "-j", str(args.jobs)])
+
+    # Stale counters from a previous run would double-count.
+    coverage_dir = os.path.join(build_dir, "coverage")
+    shutil.rmtree(coverage_dir, ignore_errors=True)
+    os.makedirs(coverage_dir, exist_ok=True)
+    for gcda in glob.glob(os.path.join(build_dir, "**", "*.gcda"),
+                          recursive=True):
+        os.remove(gcda)
+
+    env = dict(os.environ)
+    env["LLVM_PROFILE_FILE"] = os.path.join(coverage_dir, "p-%p.profraw")
+    ctest = ["ctest", "--output-on-failure", "-j", str(args.jobs)]
+    ctest += args.ctest_args.split()
+    check_run(ctest, cwd=build_dir, env=env)
+
+    profraws = sorted(glob.glob(os.path.join(coverage_dir, "*.profraw")))
+    gcdas = sorted(glob.glob(os.path.join(build_dir, "**", "*.gcda"),
+                             recursive=True))
+    if profraws:
+        pct = report_llvm(build_dir, args.source_dir, profraws)
+    elif gcdas:
+        pct = report_gcov(build_dir, args.source_dir, gcdas)
+    else:
+        sys.exit("no coverage counters produced — was the build configured "
+                 "with -DRRS_COVERAGE=ON?")
+
+    print(f"\ntotal line coverage: {pct:.1f}%")
+    if args.min_line_coverage is not None and pct < args.min_line_coverage:
+        sys.exit(f"line coverage {pct:.1f}% is below the required "
+                 f"{args.min_line_coverage:.1f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

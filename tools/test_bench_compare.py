@@ -65,6 +65,22 @@ class BenchCompareTest(unittest.TestCase):
                  *extra_args],
                 capture_output=True, text=True)
 
+    def run_compare_raw(self, baseline_text, current_text):
+        """Like run_compare, but writes raw bytes (or skips the baseline
+        entirely when baseline_text is None) to exercise the report-loading
+        error paths."""
+        with tempfile.TemporaryDirectory() as tmp:
+            base_path = os.path.join(tmp, "baseline.json")
+            cur_path = os.path.join(tmp, "current.json")
+            if baseline_text is not None:
+                with open(base_path, "w") as f:
+                    f.write(baseline_text)
+            with open(cur_path, "w") as f:
+                f.write(current_text)
+            return subprocess.run(
+                [sys.executable, BENCH_COMPARE, base_path, cur_path],
+                capture_output=True, text=True)
+
     def test_identical_reports_pass(self):
         r = report([cell("dlru/128c/8r"), cell("pipeline/32c/8r")])
         proc = self.run_compare(r, r)
@@ -189,6 +205,50 @@ class BenchCompareTest(unittest.TestCase):
                                  pooled_speedup=10.0)])
         proc = self.run_compare(base, cur)
         self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_absent_baseline_fails_with_clear_message(self):
+        # A missing bench/BENCH_*.json baseline must name the file and tell
+        # the user how to regenerate it, not dump a Traceback.
+        proc = self.run_compare_raw(None, json.dumps(report([cell("a")])))
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("cannot read benchmark report", proc.stderr)
+        self.assertIn("baseline.json", proc.stderr)
+        self.assertIn("regenerate", proc.stderr)
+        self.assertNotIn("Traceback", proc.stderr)
+
+    def test_truncated_baseline_fails_with_clear_message(self):
+        # A bench run killed mid-write leaves a half-emitted JSON file.
+        full = json.dumps(report([cell("dlru/128c/8r")]))
+        proc = self.run_compare_raw(full[:len(full) // 2],
+                                    json.dumps(report([cell("dlru/128c/8r")])))
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("not valid JSON", proc.stderr)
+        self.assertIn("truncated", proc.stderr)
+        self.assertNotIn("Traceback", proc.stderr)
+
+    def test_wrong_shape_report_fails_with_clear_message(self):
+        # Valid JSON of the wrong shape ("benchmarks" not a list of cells)
+        # used to escape as a bare TypeError stack trace.
+        proc = self.run_compare_raw(
+            json.dumps({"benchmarks": {"dlru/128c/8r": 1.0}}),
+            json.dumps(report([cell("dlru/128c/8r")])))
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("unexpected shape", proc.stderr)
+        self.assertNotIn("Traceback", proc.stderr)
+
+    def test_empty_baseline_file_fails_with_clear_message(self):
+        proc = self.run_compare_raw("", json.dumps(report([cell("a")])))
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("not valid JSON", proc.stderr)
+        self.assertNotIn("Traceback", proc.stderr)
+
+    def test_snapshots_per_sec_regression_fails(self):
+        # bench_snapshot's headline metric is gated like other throughputs.
+        base = report([cell("snapshot/10k", snapshots_per_sec=2e4)])
+        cur = report([cell("snapshot/10k", snapshots_per_sec=0.5e4)])
+        proc = self.run_compare(base, cur)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("snapshots_per_sec", proc.stderr)
 
     def test_solver_cells_have_no_alloc_gate(self):
         # Solver cells record no steady_allocs_per_round; its absence from
