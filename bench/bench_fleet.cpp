@@ -29,7 +29,10 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <memory>
 #include <new>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -115,6 +118,14 @@ struct Cell {
   size_t colors = 16;
   uint32_t resources = 8;
   rrs::Round max_delay = 32;     // largest delay class (bounds drain length)
+  // Lane-parallel execution (fleet/batch_engine): 0 = scalar engines. A
+  // batched cell names its scalar twin via scalar_ref so the perf gate can
+  // hold the batched/scalar rounds/s ratio, and stamps the floor that
+  // ratio must clear (tools/bench_compare.py reads the cell's speedup_gate,
+  // falling back to --min-batched-speedup).
+  uint32_t batch_width = 0;
+  const char* scalar_ref = nullptr;
+  double speedup_gate = 0;  // 0 = use the compare tool's default
 };
 
 struct CellResult {
@@ -123,99 +134,145 @@ struct CellResult {
   double rounds_per_sec = 0;
   double steady_allocs_per_round = -1;  // <0 = not measured (pipeline cells)
   double fresh_sessions_per_sec = -1;   // <0 = not measured
+  uint32_t batch_width = 0;
+  std::string scalar_ref;   // empty = scalar cell
+  double speedup_gate = 0;
+  double lane_occupancy = -1;  // mean live lanes per slab step / width
 };
 
-CellResult RunCell(const Cell& cell) {
-  // Best-of-N timing windows: the max rate over independent windows is
-  // robust to scheduler interference on shared machines, which a single
-  // long window averages in.
-  constexpr int kWindows = 3;
-  constexpr double kWindowSeconds = 0.12;
+// Best-of-N timing windows: the max rate over independent windows is
+// robust to scheduler interference on shared machines, which a single
+// long window averages in.
+constexpr int kWindows = 4;
+constexpr double kWindowSeconds = 0.12;
 
+// One timing window: repeat full fleets over the warm runner, keep the best
+// observed rate in `out`.
+void TimeWindow(rrs::fleet::FleetRunner& runner,
+                const std::vector<rrs::fleet::FleetJob>& jobs,
+                size_t tenant_count, CellResult& out) {
+  const rrs::fleet::FleetStats window_start = runner.stats();
+  uint64_t iters = 0;
+  const auto start = Clock::now();
+  auto now = start;
+  do {
+    runner.RunAll(jobs);
+    ++iters;
+    now = Clock::now();
+  } while (Seconds(start, now) < kWindowSeconds);
+  const double elapsed = Seconds(start, now);
+  const double sps = static_cast<double>(iters * tenant_count) / elapsed;
+  if (sps > out.sessions_per_sec) {
+    out.sessions_per_sec = sps;
+    out.rounds_per_sec =
+        static_cast<double>(runner.stats().rounds_stepped -
+                            window_start.rounds_stepped) /
+        elapsed;
+  }
+}
+
+// Measures `cells` (one scalar cell, or a scalar cell followed by its
+// batched twin over the same tenants). A pair's timing windows interleave —
+// scalar, batched, scalar, batched, ... over shared warm runners — so slow
+// machine drift (frequency/thermal state, background load) lands on both
+// sides of the gated batched/scalar ratio and divides out.
+std::vector<CellResult> RunCells(std::span<const Cell> cells) {
+  const Cell& base = cells.front();
   const std::vector<rrs::Instance> tenants =
-      MakeTenantPool(cell.rounds, cell.colors, cell.max_delay);
-  const auto jobs = MakeJobs(tenants, cell.tenants, cell.kind,
-                             cell.resources);
+      MakeTenantPool(base.rounds, base.colors, base.max_delay);
+  const auto jobs =
+      MakeJobs(tenants, base.tenants, base.kind, base.resources);
 
-  rrs::fleet::FleetOptions options;
-  options.rounds_per_tick = 32;
-  options.max_live_sessions = cell.max_live;
-  rrs::fleet::FleetRunner runner(std::move(options));
+  std::vector<std::unique_ptr<rrs::fleet::FleetRunner>> runners;
+  std::vector<CellResult> results;
+  for (const Cell& cell : cells) {
+    rrs::fleet::FleetOptions options;
+    options.rounds_per_tick = 32;
+    options.max_live_sessions = cell.max_live;
+    options.batch_width = cell.batch_width;
+    runners.push_back(
+        std::make_unique<rrs::fleet::FleetRunner>(std::move(options)));
+    runners.back()->RunAll(jobs);  // warm-up (pool growth, arena sizing)
 
-  CellResult out;
-  out.name = cell.name;
+    CellResult out;
+    out.name = cell.name;
+    out.batch_width = cell.batch_width;
+    if (cell.scalar_ref != nullptr) out.scalar_ref = cell.scalar_ref;
+    out.speedup_gate = cell.speedup_gate;
+    results.push_back(std::move(out));
+  }
 
-  // Throughput: repeat full fleets over a warm runner.
-  runner.RunAll(jobs);  // warm-up (pool growth, arena sizing)
   for (int w = 0; w < kWindows; ++w) {
-    const rrs::fleet::FleetStats window_start = runner.stats();
-    uint64_t iters = 0;
-    const auto start = Clock::now();
-    auto now = start;
-    do {
-      runner.RunAll(jobs);
-      ++iters;
-      now = Clock::now();
-    } while (Seconds(start, now) < kWindowSeconds);
-    const double elapsed = Seconds(start, now);
-    const double sps = static_cast<double>(iters * cell.tenants) / elapsed;
-    if (sps > out.sessions_per_sec) {
-      out.sessions_per_sec = sps;
-      out.rounds_per_sec =
-          static_cast<double>(runner.stats().rounds_stepped -
-                              window_start.rounds_stepped) /
-          elapsed;
+    for (size_t i = 0; i < cells.size(); ++i) {
+      TimeWindow(*runners[i], jobs, base.tenants, results[i]);
     }
   }
 
-  // Steady-state allocations (replay cells): horizon-H vs horizon-2H fleets
-  // through one warm runner. Result materialization, pool bookkeeping, and
-  // per-tenant rebinds are identical in both, so the difference isolates
-  // per-round allocation.
-  if (cell.kind == rrs::fleet::FleetJob::Kind::kReplay) {
-    const std::vector<rrs::Instance> tenants_2h =
-        MakeTenantPool(2 * cell.rounds, cell.colors, cell.max_delay);
-    const auto jobs_2h = MakeJobs(tenants_2h, cell.tenants, cell.kind,
-                                  cell.resources);
-    runner.RunAll(jobs_2h);  // warm-up: size arenas for the 2H horizon
-    auto measure = [&](const std::vector<rrs::fleet::FleetJob>& fleet) {
-      const uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
-      runner.RunAll(fleet);
-      return g_alloc_count.load(std::memory_order_relaxed) - before;
-    };
-    const uint64_t allocs_h = measure(jobs);
-    const uint64_t allocs_2h = measure(jobs_2h);
-    const uint64_t extra = allocs_2h > allocs_h ? allocs_2h - allocs_h : 0;
-    out.steady_allocs_per_round =
-        static_cast<double>(extra) /
-        static_cast<double>(cell.tenants * cell.rounds);
-  }
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Cell& cell = cells[i];
+    rrs::fleet::FleetRunner& runner = *runners[i];
+    CellResult& out = results[i];
 
-  // Pooled-vs-fresh: the same tenants with a freshly constructed engine and
-  // policy per job — the pre-fleet sweep execution model.
-  if (cell.compare_fresh) {
-    auto run_fresh = [&] {
-      for (const rrs::fleet::FleetJob& job : jobs) {
-        rrs::DlruEdfPolicy policy;
-        rrs::RunPolicy(*job.instance, policy, job.options);
+    if (cell.batch_width > 1) {
+      const rrs::fleet::FleetStats stats = runner.stats();
+      if (stats.slab_rounds_stepped > 0) {
+        out.lane_occupancy =
+            static_cast<double>(stats.lane_rounds_stepped) /
+            (static_cast<double>(stats.slab_rounds_stepped) *
+             cell.batch_width);
       }
-    };
-    run_fresh();  // warm-up
-    for (int w = 0; w < kWindows; ++w) {
-      uint64_t fresh_iters = 0;
-      const auto fresh_start = Clock::now();
-      auto fresh_now = fresh_start;
-      do {
-        run_fresh();
-        ++fresh_iters;
-        fresh_now = Clock::now();
-      } while (Seconds(fresh_start, fresh_now) < kWindowSeconds);
-      const double sps = static_cast<double>(fresh_iters * cell.tenants) /
-                         Seconds(fresh_start, fresh_now);
-      out.fresh_sessions_per_sec = std::max(out.fresh_sessions_per_sec, sps);
+    }
+
+    // Steady-state allocations (replay cells): horizon-H vs horizon-2H
+    // fleets through one warm runner. Result materialization, pool
+    // bookkeeping, and per-tenant rebinds are identical in both, so the
+    // difference isolates per-round allocation.
+    if (cell.kind == rrs::fleet::FleetJob::Kind::kReplay) {
+      const std::vector<rrs::Instance> tenants_2h =
+          MakeTenantPool(2 * cell.rounds, cell.colors, cell.max_delay);
+      const auto jobs_2h = MakeJobs(tenants_2h, cell.tenants, cell.kind,
+                                    cell.resources);
+      runner.RunAll(jobs_2h);  // warm-up: size arenas for the 2H horizon
+      auto measure = [&](const std::vector<rrs::fleet::FleetJob>& fleet) {
+        const uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+        runner.RunAll(fleet);
+        return g_alloc_count.load(std::memory_order_relaxed) - before;
+      };
+      const uint64_t allocs_h = measure(jobs);
+      const uint64_t allocs_2h = measure(jobs_2h);
+      const uint64_t extra = allocs_2h > allocs_h ? allocs_2h - allocs_h : 0;
+      out.steady_allocs_per_round =
+          static_cast<double>(extra) /
+          static_cast<double>(cell.tenants * cell.rounds);
+    }
+
+    // Pooled-vs-fresh: the same tenants with a freshly constructed engine
+    // and policy per job — the pre-fleet sweep execution model.
+    if (cell.compare_fresh) {
+      auto run_fresh = [&] {
+        for (const rrs::fleet::FleetJob& job : jobs) {
+          rrs::DlruEdfPolicy policy;
+          rrs::RunPolicy(*job.instance, policy, job.options);
+        }
+      };
+      run_fresh();  // warm-up
+      for (int w = 0; w < kWindows; ++w) {
+        uint64_t fresh_iters = 0;
+        const auto fresh_start = Clock::now();
+        auto fresh_now = fresh_start;
+        do {
+          run_fresh();
+          ++fresh_iters;
+          fresh_now = Clock::now();
+        } while (Seconds(fresh_start, fresh_now) < kWindowSeconds);
+        const double sps = static_cast<double>(fresh_iters * cell.tenants) /
+                           Seconds(fresh_start, fresh_now);
+        out.fresh_sessions_per_sec =
+            std::max(out.fresh_sessions_per_sec, sps);
+      }
     }
   }
-  return out;
+  return results;
 }
 
 }  // namespace
@@ -223,13 +280,40 @@ CellResult RunCell(const Cell& cell) {
 int main(int argc, char** argv) {
   const char* out_path = argc > 1 ? argv[1] : "BENCH_fleet.json";
 
+  // Each batched cell follows its scalar twin and RunCells measures the two
+  // with interleaved timing windows: the gated quantity is their rounds/s
+  // ratio (tools/bench_compare.py, keyed by scalar_ref, floor per cell via
+  // speedup_gate), and interleaving keeps slow drift — thermal/frequency
+  // state, background load — common to both sides of the division. The
+  // batched twins use the same tenants and live window, packed into
+  // full-width 64-lane slabs (shared per-slab-round work — wheel slot scan,
+  // boundary masks, class-order memoization — amortizes over every resident
+  // lane).
   const Cell cells[] = {
       // Concurrency scale: every tenant live at once (unbounded window).
       {"fleet/1k/replay", 1000, 64, 0},
+      // Long-horizon cells spend most rounds in the post-arrival drain,
+      // where per-round work is light and the slab's fixed stepping costs
+      // are a larger fraction — the win is real but smaller, so they carry
+      // a regression floor rather than the headline target.
+      {"fleet/1k/batched", 1000, 64, 0,
+       rrs::fleet::FleetJob::Kind::kReplay, false, 16, 8, 32,
+       /*batch_width=*/64, /*scalar_ref=*/"fleet/1k/replay",
+       /*speedup_gate=*/1.25},
       {"fleet/10k/replay", 10000, 32, 0},
+      {"fleet/10k/batched", 10000, 32, 0,
+       rrs::fleet::FleetJob::Kind::kReplay, false, 16, 8, 32,
+       /*batch_width=*/64, /*scalar_ref=*/"fleet/10k/replay",
+       /*speedup_gate=*/1.25},
       // 100k tenants through a bounded live window: the memory-capped shape
-      // a real control plane runs, dominated by session recycling.
+      // a real control plane runs, dominated by session recycling. This is
+      // the headline cell: the batched engine must hold >= 2x the scalar
+      // twin's rounds/s.
       {"fleet/100k/capped", 100000, 8, 1024},
+      {"fleet/100k/batched", 100000, 8, 1024,
+       rrs::fleet::FleetJob::Kind::kReplay, false, 16, 8, 32,
+       /*batch_width=*/64, /*scalar_ref=*/"fleet/100k/capped",
+       /*speedup_gate=*/2.0},
       // Theorem-3 pipeline tenants through pooled pipeline sessions.
       {"fleet/1k/pipeline", 1000, 32, 0,
        rrs::fleet::FleetJob::Kind::kPipeline},
@@ -244,9 +328,22 @@ int main(int argc, char** argv) {
   };
 
   std::vector<CellResult> results;
-  for (const Cell& cell : cells) {
-    results.push_back(RunCell(cell));
-    const CellResult& r = results.back();
+  const size_t num_cells = sizeof(cells) / sizeof(cells[0]);
+  for (size_t i = 0; i < num_cells; ++i) {
+    // A batched cell naming the preceding scalar cell runs paired with it
+    // (interleaved windows).
+    const size_t group =
+        (i + 1 < num_cells && cells[i + 1].scalar_ref != nullptr &&
+         std::strcmp(cells[i + 1].scalar_ref, cells[i].name) == 0)
+            ? 2
+            : 1;
+    auto group_results = RunCells(std::span<const Cell>(&cells[i], group));
+    i += group - 1;
+    for (CellResult& r : group_results) {
+      results.push_back(std::move(r));
+    }
+  }
+  for (const CellResult& r : results) {
     std::printf("%-24s %12.0f sessions/s %12.0f rounds/s", r.name.c_str(),
                 r.sessions_per_sec, r.rounds_per_sec);
     if (r.steady_allocs_per_round >= 0) {
@@ -255,6 +352,17 @@ int main(int argc, char** argv) {
     if (r.fresh_sessions_per_sec > 0) {
       std::printf(" (fresh %.0f/s, speedup %.2fx)", r.fresh_sessions_per_sec,
                   r.sessions_per_sec / r.fresh_sessions_per_sec);
+    }
+    if (r.lane_occupancy >= 0) {
+      std::printf(" (width %u, occupancy %.3f", r.batch_width,
+                  r.lane_occupancy);
+      for (const CellResult& ref : results) {
+        if (ref.name == r.scalar_ref && ref.rounds_per_sec > 0) {
+          std::printf(", %.2fx scalar", r.rounds_per_sec / ref.rounds_per_sec);
+          break;
+        }
+      }
+      std::printf(")");
     }
     std::printf("\n");
   }
@@ -281,6 +389,15 @@ int main(int argc, char** argv) {
                    "\"pooled_speedup\": %.3f",
                    r.fresh_sessions_per_sec,
                    r.sessions_per_sec / r.fresh_sessions_per_sec);
+    }
+    if (!r.scalar_ref.empty()) {
+      std::fprintf(f,
+                   ", \"scalar_ref\": \"%s\", \"batch_width\": %u, "
+                   "\"lane_occupancy\": %.4f",
+                   r.scalar_ref.c_str(), r.batch_width, r.lane_occupancy);
+      if (r.speedup_gate > 0) {
+        std::fprintf(f, ", \"speedup_gate\": %.2f", r.speedup_gate);
+      }
     }
     std::fprintf(f, "}%s\n", i + 1 < results.size() ? "," : "");
   }

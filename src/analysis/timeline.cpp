@@ -13,7 +13,9 @@ namespace analysis {
 class TimelinePolicy::CountingView : public ResourceView {
  public:
   CountingView(ResourceView& inner, uint64_t& counter)
-      : ResourceView(inner.pending_table()), inner_(inner), counter_(counter) {}
+      : ResourceView(inner.pending_table(), inner.pending_stride()),
+        inner_(inner),
+        counter_(counter) {}
 
   uint32_t num_resources() const override { return inner_.num_resources(); }
   ColorId color_of(ResourceId r) const override { return inner_.color_of(r); }

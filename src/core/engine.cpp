@@ -2,119 +2,12 @@
 
 #include <algorithm>
 
+#include "core/job_ring.h"
 #include "core/run_telemetry.h"
 #include "obs/scope.h"
 #include "util/check.h"
 
 namespace rrs {
-
-namespace {
-
-// Per-color pending FIFO: a power-of-two ring over SoA (job id, deadline)
-// arrays. A color's deadlines arrive in nondecreasing order, so FIFO order
-// is earliest-deadline order. Capacity starts small and doubles on demand,
-// so a ring holds roughly the color's *maximum backlog* — typically orders
-// of magnitude below its total job count — which keeps the working set
-// cache-resident and round-over-round memory reuse high (unlike a
-// total-jobs-sized slab, whose tail writes only ever touch cold lines).
-// Capacity is session-owned: clear() empties the ring but keeps the arrays,
-// so a reused session serves its next tenant allocation-free.
-class JobRing {
- public:
-  bool empty() const { return size_ == 0; }
-  uint32_t size() const { return size_; }
-
-  void clear() {
-    head_ = 0;
-    size_ = 0;
-  }
-
-  JobId front_job() const {
-    RRS_DCHECK(size_ > 0);
-    return job_[head_];
-  }
-  Round front_deadline() const {
-    RRS_DCHECK(size_ > 0);
-    return deadline_[head_];
-  }
-  // The i-th entry after the front (i < size()).
-  Round deadline_at(uint32_t i) const {
-    RRS_DCHECK(i < size_);
-    return deadline_[(head_ + i) & mask_];
-  }
-  JobId job_at(uint32_t i) const {
-    RRS_DCHECK(i < size_);
-    return job_[(head_ + i) & mask_];
-  }
-
-  // Appends `count` jobs with consecutive ids [first, first + count) and a
-  // common deadline.
-  void push_run(JobId first, Round deadline, uint32_t count) {
-    while (size_ + count > capacity()) Grow();
-    uint32_t at = (head_ + size_) & mask_;
-    for (uint32_t m = 0; m < count; ++m) {
-      job_[at] = first + m;
-      deadline_[at] = deadline;
-      at = (at + 1) & mask_;
-    }
-    size_ += count;
-  }
-
-  void pop_n(uint32_t n) {
-    RRS_DCHECK(n <= size_);
-    head_ = (head_ + n) & mask_;
-    size_ -= n;
-  }
-
-  // True when the first n entries are contiguous in memory (no wraparound),
-  // i.e. they can be exposed as a span without copying.
-  bool front_contiguous(uint32_t n) const { return head_ + n <= capacity(); }
-  const JobId* front_ptr() const { return &job_[head_]; }
-
-  // Checkpoint/restore: entries in FIFO order. Capacity and head position
-  // are deliberately not saved — they are layout, not state; a restored ring
-  // re-packs from index 0 and regrows on demand.
-  void SaveState(snapshot::Writer& w) const {
-    w.PutU64(size_);
-    for (uint32_t i = 0; i < size_; ++i) w.PutU64(job_at(i));
-    for (uint32_t i = 0; i < size_; ++i) w.PutI64(deadline_at(i));
-  }
-  void LoadState(snapshot::Reader& r) {
-    clear();
-    const uint32_t n = r.GetU32();
-    while (n > capacity()) Grow();
-    for (uint32_t i = 0; i < n; ++i) job_[i] = r.GetU32();
-    for (uint32_t i = 0; i < n; ++i) deadline_[i] = r.GetI64();
-    size_ = n;
-  }
-
- private:
-  uint32_t capacity() const { return static_cast<uint32_t>(job_.size()); }
-
-  void Grow() {
-    const uint32_t old_cap = capacity();
-    const uint32_t new_cap = old_cap == 0 ? 16 : old_cap * 2;
-    std::vector<JobId> job(new_cap);
-    std::vector<Round> deadline(new_cap);
-    for (uint32_t i = 0; i < size_; ++i) {
-      const uint32_t at = (head_ + i) & mask_;
-      job[i] = job_[at];
-      deadline[i] = deadline_[at];
-    }
-    job_ = std::move(job);
-    deadline_ = std::move(deadline);
-    head_ = 0;
-    mask_ = new_cap - 1;
-  }
-
-  std::vector<JobId> job_;
-  std::vector<Round> deadline_;
-  uint32_t head_ = 0;
-  uint32_t size_ = 0;
-  uint32_t mask_ = 0;  // capacity - 1 (capacity is a power of two, or 0)
-};
-
-}  // namespace
 
 // The session arena: all mutable simulation state, owned by the Engine for
 // its whole lifetime and rebound to each tenant by StartRun. Buffers are
@@ -183,6 +76,15 @@ struct Engine::SimState {
     resource_color.assign(opts.num_resources, kNoColor);
     if (rings.size() < num_colors) rings.resize(num_colors);
     for (auto& ring : rings) ring.clear();
+    // Pre-size each ring to the tenant's backlog bound so the round loop
+    // never grows one mid-run: ring allocation happens here, at the tenant
+    // boundary, and a reused session whose rings already fit performs none.
+    uint32_t max_backlog_any = 0;
+    for (ColorId c = 0; c < num_colors; ++c) {
+      const uint32_t bound = inst.max_backlog(c);
+      rings[c].Reserve(bound);
+      max_backlog_any = std::max(max_backlog_any, bound);
+    }
     pending_n.assign(num_colors, 0);
     nonidle_list.clear();
     nonidle_list.reserve(num_colors);
@@ -192,6 +94,8 @@ struct Engine::SimState {
     exec_touched.clear();
     exec_touched.reserve(num_colors);
     dropped_scratch.clear();
+    // A wrapped drop span copies at most one color's whole backlog.
+    dropped_scratch.reserve(max_backlog_any);
 
     Round max_delay = 1;
     for (ColorId c = 0; c < num_colors; ++c) {

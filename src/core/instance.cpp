@@ -57,6 +57,36 @@ Instance InstanceBuilder::Build() {
   inst.num_request_rounds_ = max_arrival + 1;
   inst.horizon_ = max_deadline;
 
+  // Per-color backlog bound: the max number of color-c arrivals in any
+  // window of D_c consecutive rounds (a pending job's arrival is at most
+  // D_c - 1 rounds old). Jobs are sorted by arrival, so one pass splits
+  // them into per-color (arrival, count) runs and a two-pointer sweep per
+  // color computes the windowed max.
+  const size_t num_colors = inst.delay_bounds_.size();
+  std::vector<std::vector<std::pair<Round, uint32_t>>> runs(num_colors);
+  for (const Job& j : inst.jobs_) {
+    auto& r = runs[j.color];
+    if (r.empty() || r.back().first != j.arrival) {
+      r.emplace_back(j.arrival, 1);
+    } else {
+      ++r.back().second;
+    }
+  }
+  inst.max_backlog_.assign(num_colors, 0);
+  for (size_t c = 0; c < num_colors; ++c) {
+    const Round d = inst.delay_bounds_[c];
+    uint64_t window = 0, best = 0;
+    size_t lo = 0;
+    for (size_t hi = 0; hi < runs[c].size(); ++hi) {
+      window += runs[c][hi].second;
+      while (runs[c][lo].first <= runs[c][hi].first - d) {
+        window -= runs[c][lo++].second;
+      }
+      best = std::max(best, window);
+    }
+    inst.max_backlog_[c] = static_cast<uint32_t>(best);
+  }
+
   // CSR offsets: round_offsets_[r] = index of first job with arrival >= r.
   inst.round_offsets_.assign(static_cast<size_t>(inst.num_request_rounds_) + 1, 0);
   for (const Job& j : inst.jobs_) {

@@ -104,6 +104,20 @@ class Instance {
     return jobs_per_color_;
   }
 
+  // Upper bound on the number of color-c jobs simultaneously pending in any
+  // round: the maximum number of color-c arrivals over any window of D_c
+  // consecutive rounds. Every pending job's deadline lies in (k, k + D_c],
+  // so its arrival lies in (k - D_c, k] — executions only shrink the set.
+  // Sessions use this to pre-size per-color rings at bind time, making the
+  // round loop allocation-free by construction (not just after warm-up).
+  uint32_t max_backlog(ColorId c) const {
+    RRS_DCHECK(c < max_backlog_.size());
+    return max_backlog_[c];
+  }
+  const std::vector<uint32_t>& max_backlog_per_color() const {
+    return max_backlog_;
+  }
+
   // --- Structural predicates -------------------------------------------
 
   // True if every color-ℓ job arrives at an integral multiple of D_ℓ
@@ -140,6 +154,7 @@ class Instance {
   std::vector<Job> jobs_;                 // sorted by arrival (stable)
   std::vector<uint32_t> round_offsets_;   // CSR: round -> first job index
   std::vector<uint64_t> jobs_per_color_;
+  std::vector<uint32_t> max_backlog_;     // windowed-max arrivals per color
   Round num_request_rounds_ = 0;
   Round horizon_ = 0;
 };

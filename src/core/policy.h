@@ -67,12 +67,18 @@ class ResourceView {
   // recorded; setting the current color is a no-op (no cost).
   virtual void SetColor(ResourceId r, ColorId c) = 0;
 
-  // Pending color-c jobs; O(1), non-virtual (see class comment).
-  uint64_t pending_count(ColorId c) const { return pending_by_color_[c]; }
+  // Pending color-c jobs; O(1), non-virtual (see class comment). The table
+  // is strided so lane views over the batched fleet's SoA slabs (one entry
+  // per [color][lane], stride = lane width) share this fast path; scalar
+  // engines use stride 1.
+  uint64_t pending_count(ColorId c) const {
+    return pending_by_color_[static_cast<size_t>(c) * pending_stride_];
+  }
 
-  // The engine's per-color pending table (indexed by ColorId); lets wrapper
-  // views forward the non-virtual fast path.
+  // The engine's per-color pending table (indexed by ColorId times
+  // pending_stride); lets wrapper views forward the non-virtual fast path.
   const uint64_t* pending_table() const { return pending_by_color_; }
+  size_t pending_stride() const { return pending_stride_; }
 
   // Earliest deadline among pending color-c jobs; requires pending_count > 0.
   virtual Round earliest_deadline(ColorId c) const = 0;
@@ -81,20 +87,22 @@ class ResourceView {
   virtual const std::vector<ColorId>& nonidle_colors() const = 0;
 
  protected:
-  // `pending_by_color` must stay valid and sized num_colors for the view's
-  // lifetime; the owning engine keeps it current across phases.
-  explicit ResourceView(const uint64_t* pending_by_color)
-      : pending_by_color_(pending_by_color) {}
+  // `pending_by_color` must stay valid (with num_colors strided entries) for
+  // the view's lifetime; the owning engine keeps it current across phases.
+  explicit ResourceView(const uint64_t* pending_by_color, size_t stride = 1)
+      : pending_by_color_(pending_by_color), pending_stride_(stride) {}
 
   // Repoints the pending table. Session engines keep one view alive across
   // tenants and the table's storage may move when Reset grows it for a
   // larger color universe.
-  void set_pending_table(const uint64_t* pending_by_color) {
+  void set_pending_table(const uint64_t* pending_by_color, size_t stride = 1) {
     pending_by_color_ = pending_by_color;
+    pending_stride_ = stride;
   }
 
  private:
   const uint64_t* pending_by_color_;
+  size_t pending_stride_ = 1;
 };
 
 class SchedulerPolicy {

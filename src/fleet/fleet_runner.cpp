@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "fleet/batch_engine.h"
 #include "obs/scope.h"
 #include "obs/trace.h"
 #include "parallel/parallel_for.h"
@@ -19,7 +20,40 @@ void FleetStats::MergeFrom(const FleetStats& other) {
   sessions_recycled += other.sessions_recycled;
   peak_live_sessions = std::max(peak_live_sessions, other.peak_live_sessions);
   ticks += other.ticks;
+  batched_sessions += other.batched_sessions;
+  fallback_sessions += other.fallback_sessions;
+  lane_rounds_stepped += other.lane_rounds_stepped;
+  slab_rounds_stepped += other.slab_rounds_stepped;
 }
+
+namespace {
+
+// A tenant the batched engine could take in principle (shape compatibility
+// with a particular slab is checked separately).
+bool BatchEligible(const FleetJob& job) {
+  return job.kind == FleetJob::Kind::kReplay && !job.options.record_schedule &&
+         job.options.obs_scope == nullptr;
+}
+
+}  // namespace
+
+// A pooled slab: one BatchEngine plus one policy per lane (each lane's
+// tenant gets its own policy instance, rebound via Reset inside OpenLane).
+struct FleetRunner::BatchSlab {
+  BatchSlab(uint32_t width,
+            const std::function<std::unique_ptr<SchedulerPolicy>()>& factory)
+      : engine(width) {
+    policies.reserve(width);
+    for (uint32_t lane = 0; lane < width; ++lane) {
+      policies.push_back(factory());
+    }
+    job_index.assign(width, 0);
+  }
+
+  BatchEngine engine;
+  std::vector<std::unique_ptr<SchedulerPolicy>> policies;
+  std::vector<size_t> job_index;  // per-lane tenant (valid for open lanes)
+};
 
 // Shard-local state: session pools plus the live set. Owned and touched by
 // exactly one worker per RunAll (shard → worker affinity), so nothing here
@@ -34,6 +68,10 @@ struct FleetRunner::Shard {
         pipeline_pool([&options] {
           return std::make_unique<reduce::PipelineSession>(
               options.pipeline_params);
+        }),
+        batch_pool([&options] {
+          return std::make_unique<BatchSlab>(options.batch_width,
+                                             options.policy_factory);
         }) {}
 
   struct LiveSession {
@@ -43,12 +81,16 @@ struct FleetRunner::Shard {
 
   SessionPool<ReplaySession> replay_pool;
   SessionPool<reduce::PipelineSession> pipeline_pool;
+  SessionPool<BatchSlab> batch_pool;
   std::vector<LiveSession> live;
+  std::vector<std::unique_ptr<BatchSlab>> batch_live;
+  size_t batch_lanes = 0;  // open lanes across batch_live
   FleetStats stats;
 };
 
 FleetRunner::FleetRunner(FleetOptions options) : options_(std::move(options)) {
   RRS_CHECK_GE(options_.rounds_per_tick, 1);
+  RRS_CHECK_LE(options_.batch_width, BatchEngine::kMaxLanes);
   if (!options_.policy_factory) {
     const DlruEdfPolicy::Params params;
     options_.policy_factory = [params] {
@@ -75,19 +117,57 @@ void FleetRunner::RunShard(Shard& shard, std::span<const FleetJob> jobs,
   size_t next = shard_index;  // this shard's jobs: shard_index + k * stride
   auto& live = shard.live;
   RRS_CHECK(live.empty());
+  RRS_CHECK(shard.batch_live.empty());
+  const bool batching = options_.batch_width > 1;
 
   // Per-tenant work traces onto this worker's thread track (single-writer).
   obs::Tracer* tracer =
       options_.scope != nullptr ? options_.scope->tracer() : nullptr;
   obs::TraceTrack* track = tracer != nullptr ? tracer->ThreadTrack() : nullptr;
 
-  while (next < jobs.size() || !live.empty()) {
+  while (next < jobs.size() || !live.empty() || !shard.batch_live.empty()) {
     // ---- Admit: bind waiting tenants to sessions up to the live cap. ----
     while (next < jobs.size() &&
            (options_.max_live_sessions == 0 ||
-            live.size() < options_.max_live_sessions)) {
+            live.size() + shard.batch_lanes < options_.max_live_sessions)) {
       const FleetJob& job = jobs[next];
       RRS_CHECK(job.instance != nullptr);
+      if (batching && BatchEligible(job)) {
+        // Pack the tenant into a filling slab of its shape (slabs only
+        // accept lanes before their first step), or start a new one.
+        const uint64_t full_mask =
+            options_.batch_width >= 64
+                ? ~uint64_t{0}
+                : (uint64_t{1} << options_.batch_width) - 1;
+        BatchSlab* slab = nullptr;
+        for (auto& candidate : shard.batch_live) {
+          if (candidate->engine.next_round() == 0 &&
+              candidate->engine.open_mask() != full_mask &&
+              candidate->engine.LaneCompatible(*job.instance, job.options)) {
+            slab = candidate.get();
+            break;
+          }
+        }
+        if (slab == nullptr) {
+          shard.batch_live.push_back(shard.batch_pool.Acquire());
+          slab = shard.batch_live.back().get();
+          RRS_CHECK(slab->engine.empty());
+        }
+        uint32_t lane = 0;
+        while (slab->engine.lane_open(lane)) ++lane;
+        slab->engine.OpenLane(lane, *job.instance, job.options,
+                              *slab->policies[lane]);
+        slab->job_index[lane] = next;
+        ++shard.batch_lanes;
+        ++shard.stats.batched_sessions;
+        shard.stats.peak_live_sessions = std::max<uint64_t>(
+            shard.stats.peak_live_sessions, live.size() + shard.batch_lanes);
+        next += stride;
+        continue;
+      }
+      if (batching && job.kind == FleetJob::Kind::kReplay) {
+        ++shard.stats.fallback_sessions;
+      }
       if (job.kind == FleetJob::Kind::kPipeline) {
         // Pipeline tenants run to completion on admission (the pipeline's
         // transform → run → project → validate chain has no round-bucket
@@ -119,7 +199,7 @@ void FleetRunner::RunShard(Shard& shard, std::span<const FleetJob> jobs,
       next += stride;
     }
 
-    if (live.empty()) continue;
+    if (live.empty() && shard.batch_live.empty()) continue;
 
     // ---- Tick: advance every live session one round bucket. ----
     size_t out = 0;
@@ -140,6 +220,33 @@ void FleetRunner::RunShard(Shard& shard, std::span<const FleetJob> jobs,
       }
     }
     live.resize(out);
+
+    size_t slab_out = 0;
+    for (size_t i = 0; i < shard.batch_live.size(); ++i) {
+      BatchSlab& slab = *shard.batch_live[i];
+      const uint64_t lanes_before = slab.engine.lane_rounds_stepped();
+      const uint64_t slabs_before = slab.engine.slab_rounds_stepped();
+      const bool more = slab.engine.StepRounds(options_.rounds_per_tick);
+      const uint64_t lane_delta =
+          slab.engine.lane_rounds_stepped() - lanes_before;
+      shard.stats.rounds_stepped += lane_delta;
+      shard.stats.lane_rounds_stepped += lane_delta;
+      shard.stats.slab_rounds_stepped +=
+          slab.engine.slab_rounds_stepped() - slabs_before;
+      for (uint32_t lane = 0; lane < options_.batch_width; ++lane) {
+        if (!slab.engine.lane_done(lane)) continue;
+        slab.engine.FinishLane(lane, results[slab.job_index[lane]]);
+        ++shard.stats.sessions_completed;
+        --shard.batch_lanes;
+      }
+      if (!more) {
+        RRS_CHECK(slab.engine.empty());
+        shard.batch_pool.Release(std::move(shard.batch_live[i]));
+      } else {
+        shard.batch_live[slab_out++] = std::move(shard.batch_live[i]);
+      }
+    }
+    shard.batch_live.resize(slab_out);
     ++shard.stats.ticks;
   }
 
@@ -173,6 +280,14 @@ std::vector<RunResult> FleetRunner::RunAll(std::span<const FleetJob> jobs) {
          total.sessions_completed - before.sessions_completed},
         {"fleet.rounds_stepped", total.rounds_stepped - before.rounds_stepped},
         {"fleet.ticks", total.ticks - before.ticks},
+        {"fleet.batch.sessions",
+         total.batched_sessions - before.batched_sessions},
+        {"fleet.batch.fallback",
+         total.fallback_sessions - before.fallback_sessions},
+        {"fleet.batch.lane_rounds",
+         total.lane_rounds_stepped - before.lane_rounds_stepped},
+        {"fleet.batch.slab_rounds",
+         total.slab_rounds_stepped - before.slab_rounds_stepped},
     };
     options_.scope->AbsorbCounters(counters);
   }

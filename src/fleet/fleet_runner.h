@@ -70,8 +70,16 @@ struct FleetOptions {
   Round rounds_per_tick = 64;
   // Cap on simultaneously live replay sessions per shard; 0 = admit every
   // assigned job at once. A cap bounds fleet memory at huge tenant counts
-  // (each live session holds an engine arena).
+  // (each live session holds an engine arena). Batched lanes count toward
+  // the cap one-for-one.
   size_t max_live_sessions = 0;
+  // Lane-parallel batched execution (fleet/batch_engine.h): replay tenants
+  // of equal shape are packed `batch_width` to a slab and advance in
+  // lock-step through shared SoA state. 0 or 1 = scalar engines only.
+  // Tenants a slab cannot take (pipeline jobs, record_schedule, an explicit
+  // obs scope, or no same-shape slab filling at admission time) fall back to
+  // scalar sessions; results are bit-identical either way. Max 64.
+  uint32_t batch_width = 0;
   // Builds the scheduler for replay sessions (one per pooled session, reused
   // across tenants via SchedulerPolicy::Reset). Defaults to ΔLRU-EDF with
   // default parameters.
@@ -93,6 +101,12 @@ struct FleetStats {
   uint64_t sessions_recycled = 0;  // tenants served by a warm session
   uint64_t peak_live_sessions = 0; // max concurrently live, any shard
   uint64_t ticks = 0;              // scheduling ticks across shards
+
+  // Batched-execution occupancy (zero when batch_width <= 1).
+  uint64_t batched_sessions = 0;   // tenants run on slab lanes
+  uint64_t fallback_sessions = 0;  // batch-ineligible replay tenants
+  uint64_t lane_rounds_stepped = 0;  // per-lane rounds (occupancy numerator)
+  uint64_t slab_rounds_stepped = 0;  // slab lock-step rounds (denominator)
 
   void MergeFrom(const FleetStats& other);
 };
@@ -125,6 +139,7 @@ class FleetRunner {
     Engine engine;
     std::unique_ptr<SchedulerPolicy> policy;
   };
+  struct BatchSlab;
   struct Shard;
 
   void RunShard(Shard& shard, std::span<const FleetJob> jobs,

@@ -68,7 +68,14 @@ void LogHistogram::Merge(const LogHistogram& other) {
   max_ = std::max(max_, other.max_);
 }
 
-void LogHistogram::Reset() { *this = LogHistogram(); }
+void LogHistogram::Reset() {
+  // count_ == 0 implies every bucket (and sum_/max_) is already zero: Record
+  // bumps count_ with every bucket increment and Merge adds counts in step.
+  // Run-scoped instruments Reset per rebind but record only when a scope
+  // samples, so the empty case skips the 4 KiB bucket clear.
+  if (count_ == 0) return;
+  *this = LogHistogram();
+}
 
 // ---- Registry -------------------------------------------------------------
 

@@ -48,6 +48,7 @@ class BatchedSchedulerBase : public SchedulerPolicy {
   void set_collect_ineligible_jobs(bool enabled) {
     collect_ineligible_jobs_ = enabled;
   }
+  bool collect_ineligible_jobs() const { return collect_ineligible_jobs_; }
   const std::vector<JobId>& ineligible_job_ids() const {
     return ineligible_job_ids_;
   }

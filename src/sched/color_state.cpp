@@ -14,25 +14,42 @@ void ColorStateTable::Reset(const Instance& instance, uint64_t delta) {
   dd_.assign(instance.num_colors(), 0);
 
   const uint32_t num_colors = static_cast<uint32_t>(instance.num_colors());
-  group_color_ids_.resize(num_colors);
-  for (ColorId c = 0; c < num_colors; ++c) group_color_ids_[c] = c;
-  std::sort(group_color_ids_.begin(), group_color_ids_.end(),
-            [&instance](ColorId a, ColorId b) {
-              const Round da = instance.delay_bound(a);
-              const Round db = instance.delay_bound(b);
-              if (da != db) return da < db;
-              return a < b;
-            });
-  group_delay_.clear();
-  group_begin_.clear();
-  for (uint32_t i = 0; i < num_colors; ++i) {
-    const Round d = instance.delay_bound(group_color_ids_[i]);
-    if (group_delay_.empty() || group_delay_.back() != d) {
-      group_delay_.push_back(d);
-      group_begin_.push_back(i);
+  // Pooled sessions rebind tenants with identical delay layouts constantly
+  // (a batched slab requires it; sweeps and fleets commonly do). The CSR is
+  // a deterministic function of the layout, so when the surviving CSR still
+  // describes the new instance — an O(colors) scan — skip the sort+rebuild.
+  bool layout_same =
+      !group_begin_.empty() && group_begin_.back() == num_colors;
+  for (uint32_t g = 0; layout_same && g < group_delay_.size(); ++g) {
+    const Round d = group_delay_[g];
+    for (uint32_t i = group_begin_[g]; i < group_begin_[g + 1]; ++i) {
+      if (instance.delay_bound(group_color_ids_[i]) != d) {
+        layout_same = false;
+        break;
+      }
     }
   }
-  group_begin_.push_back(num_colors);
+  if (!layout_same) {
+    group_color_ids_.resize(num_colors);
+    for (ColorId c = 0; c < num_colors; ++c) group_color_ids_[c] = c;
+    std::sort(group_color_ids_.begin(), group_color_ids_.end(),
+              [&instance](ColorId a, ColorId b) {
+                const Round da = instance.delay_bound(a);
+                const Round db = instance.delay_bound(b);
+                if (da != db) return da < db;
+                return a < b;
+              });
+    group_delay_.clear();
+    group_begin_.clear();
+    for (uint32_t i = 0; i < num_colors; ++i) {
+      const Round d = instance.delay_bound(group_color_ids_[i]);
+      if (group_delay_.empty() || group_delay_.back() != d) {
+        group_delay_.push_back(d);
+        group_begin_.push_back(i);
+      }
+    }
+    group_begin_.push_back(num_colors);
+  }
 
   eligible_list_.clear();
   in_eligible_list_.assign(instance.num_colors(), 0);

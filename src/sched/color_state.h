@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/instance.h"
@@ -64,9 +65,22 @@ class ColorStateTable {
   template <typename IsCachedFn>
   void ProcessBoundary(Round k, IsCachedFn&& is_cached, BoundaryEvents& events) {
     CollectBoundaryColors(k, events.boundary_colors);
+    ProcessBoundaryPrecollected(k, events.boundary_colors,
+                                std::forward<IsCachedFn>(is_cached), events);
+  }
+
+  // The same transition over a precollected boundary set. Boundary
+  // membership (k ≡ 0 mod D_ℓ) depends only on the round and the delay
+  // layout, so the batched fleet collects it once per slab and replays it
+  // against every lane's table; `boundary` may alias
+  // events.boundary_colors.
+  template <typename IsCachedFn>
+  void ProcessBoundaryPrecollected(Round k, std::span<const ColorId> boundary,
+                                   IsCachedFn&& is_cached,
+                                   BoundaryEvents& events) {
     events.became_ineligible.clear();
     events.timestamp_updated.clear();
-    for (ColorId c : events.boundary_colors) {
+    for (ColorId c : boundary) {
       State& s = state_[c];
       if (s.eligible && !is_cached(c)) {
         s.eligible = false;
@@ -90,15 +104,54 @@ class ColorStateTable {
   // transitioned ineligible -> eligible in this call.
   bool OnArrivals(Round k, ColorId c, uint64_t count);
 
+  // ---- Single-color boundary steps (lane-fused kernel) -------------------
+  // The batched fleet kernel (sched/lane_kernels.h) tracks both boundary
+  // predicates as per-color lane bitmasks and applies only the lanes that
+  // actually transition, so it needs the three steps of
+  // ProcessBoundaryPrecollected individually. Each caller must have
+  // established the step's precondition itself.
+
+  // Step 1 for one color: ends the epoch (caller established eligible(c) and
+  // !is_cached(c)).
+  void BoundaryExpire(ColorId c) {
+    State& s = state_[c];
+    s.eligible = false;
+    s.cnt = 0;
+    ++epochs_completed_;
+    eligible_list_dirty_ = true;
+  }
+
+  // Step 2 for one color: promotes the pending wrap (caller established
+  // pending_wrap(c) >= 0). Returns the promoted timestamp.
+  Round BoundaryPromoteWrap(ColorId c) {
+    State& s = state_[c];
+    s.timestamp = s.pending_wrap;
+    s.pending_wrap = -1;
+    ++timestamp_update_events_;
+    return s.timestamp;
+  }
+
+  // Step 3 for one color: dd = k + D_ℓ, precomputed by the caller (it is
+  // lane-invariant across a slab).
+  void SetDeadline(ColorId c, Round dd) { dd_[c] = dd; }
+
   // ---- Queries -----------------------------------------------------------
 
   bool eligible(ColorId c) const { return state_[c].eligible; }
   uint64_t counter(ColorId c) const { return state_[c].cnt; }
   Round deadline(ColorId c) const { return dd_[c]; }
   Round timestamp(ColorId c) const { return state_[c].timestamp; }
+  Round pending_wrap(ColorId c) const { return state_[c].pending_wrap; }
+  Round delay_bound(ColorId c) const { return instance_->delay_bound(c); }
 
   // All currently eligible colors (unordered; lazily compacted).
   const std::vector<ColorId>& eligible_colors() const;
+
+  // Colors with k ≡ 0 (mod D_ℓ), in (D, color) order — the boundary set
+  // ProcessBoundary visits for round k. Public so the batched fleet can
+  // collect once per slab (the set is lane-invariant at a fixed delay
+  // layout) and feed ProcessBoundaryPrecollected per lane.
+  void CollectBoundaryColors(Round k, std::vector<ColorId>& out) const;
 
   size_t num_colors() const { return state_.size(); }
   uint64_t delta() const { return delta_; }
@@ -135,8 +188,6 @@ class ColorStateTable {
     bool eligible = false;
     bool saw_jobs = false;
   };
-
-  void CollectBoundaryColors(Round k, std::vector<ColorId>& out) const;
 
   const Instance* instance_ = nullptr;
   uint64_t delta_ = 1;

@@ -24,27 +24,43 @@ void DlruEdfPolicy::OnReset() {
 
   // Delay classes for the EDF scan, colors ascending within each class: sort
   // a flat color array by (delay bound, color) and cut it at class
-  // boundaries. All three CSR buffers reuse their capacity across Resets.
-  class_color_ids_.resize(num_colors);
-  for (ColorId c = 0; c < num_colors; ++c) class_color_ids_[c] = c;
-  std::sort(class_color_ids_.begin(), class_color_ids_.end(),
-            [this](ColorId a, ColorId b) {
-              const Round da = instance_->delay_bound(a);
-              const Round db = instance_->delay_bound(b);
-              if (da != db) return da < db;
-              return a < b;
-            });
-  class_delay_.clear();
-  class_begin_.clear();
-  for (uint32_t i = 0; i < num_colors; ++i) {
-    const Round d = instance_->delay_bound(class_color_ids_[i]);
-    if (class_delay_.empty() || class_delay_.back() != d) {
-      class_delay_.push_back(d);
-      class_begin_.push_back(i);
+  // boundaries. All three CSR buffers reuse their capacity across Resets,
+  // and when the surviving CSR still describes the new tenant's layout — the
+  // common case for pooled/batched rebinds — the sort+rebuild is skipped
+  // (the CSR is a deterministic function of the layout).
+  bool layout_same =
+      !class_begin_.empty() && class_begin_.back() == num_colors;
+  for (uint32_t g = 0; layout_same && g < class_delay_.size(); ++g) {
+    const Round d = class_delay_[g];
+    for (uint32_t i = class_begin_[g]; i < class_begin_[g + 1]; ++i) {
+      if (instance_->delay_bound(class_color_ids_[i]) != d) {
+        layout_same = false;
+        break;
+      }
     }
   }
-  class_begin_.push_back(num_colors);
-  class_order_.reserve(class_delay_.size());
+  if (!layout_same) {
+    class_color_ids_.resize(num_colors);
+    for (ColorId c = 0; c < num_colors; ++c) class_color_ids_[c] = c;
+    std::sort(class_color_ids_.begin(), class_color_ids_.end(),
+              [this](ColorId a, ColorId b) {
+                const Round da = instance_->delay_bound(a);
+                const Round db = instance_->delay_bound(b);
+                if (da != db) return da < db;
+                return a < b;
+              });
+    class_delay_.clear();
+    class_begin_.clear();
+    for (uint32_t i = 0; i < num_colors; ++i) {
+      const Round d = instance_->delay_bound(class_color_ids_[i]);
+      if (class_delay_.empty() || class_delay_.back() != d) {
+        class_delay_.push_back(d);
+        class_begin_.push_back(i);
+      }
+    }
+    class_begin_.push_back(num_colors);
+    class_order_.reserve(class_delay_.size());
+  }
 }
 
 void DlruEdfPolicy::OnBecameEligible(Round k, ColorId c) {

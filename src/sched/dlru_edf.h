@@ -56,6 +56,8 @@ class DlruEdfPolicy : public BatchedSchedulerBase {
 
   std::string name() const override { return "dlru-edf"; }
 
+  const Params& params() const { return params_; }
+
   void Reconfigure(Round k, int mini, ResourceView& view) override;
 
   // Lemma 3.2 / 3.4 instrumentation.
@@ -80,6 +82,11 @@ class DlruEdfPolicy : public BatchedSchedulerBase {
   void OnTimestampUpdated(Round k, ColorId c) override;
 
  private:
+  // The lane-fused fleet kernel (sched/lane_kernels.h) reimplements this
+  // policy's phase processing non-virtually over slab lanes, sharing the
+  // lane-invariant work; it needs the same access the member functions have.
+  friend class DlruEdfLaneKernel;
+
   Params params_;
   uint32_t lru_capacity_ = 0;
   LruTracker tracker_{0};

@@ -17,7 +17,18 @@ Fails (exit 1) when any benchmark cell in CURRENT:
   * exceeds the steady-state allocation budget (allocations per round in
     steady state; gated only for cells whose baseline records
     steady_allocs_per_round — the engine bench does, the solver bench has no
-    per-round allocation contract).
+    per-round allocation contract), or
+  * is a batched fleet cell (records "scalar_ref": the name of its scalar
+    twin in the same report) whose rounds_per_sec falls below its required
+    speedup times the scalar twin's rounds_per_sec. The required speedup is
+    the cell's own "speedup_gate" field when present (the bench binary
+    stamps per-cell floors: the headline cell carries the paper target, the
+    small-fleet cells a regression floor), falling back to
+    --min-batched-speedup. The ratio is computed within CURRENT (both rows
+    measured on the same machine in the same run), so it gates the
+    lane-parallel engine's relative win, not absolute machine speed. A
+    scalar_ref naming a row absent from the report, or either row lacking
+    rounds_per_sec, fails with a clear message.
 
 Metrics present only in CURRENT (e.g. the informational phase_*_p50_ns
 breakdown) are ignored, so reports can grow new columns without a baseline
@@ -67,6 +78,11 @@ def main():
                         help="max allowed fractional throughput regression")
     parser.add_argument("--alloc-budget", type=float, default=0.05,
                         help="max steady-state allocations per round")
+    parser.add_argument("--min-batched-speedup", type=float, default=2.0,
+                        help="min rounds_per_sec ratio a batched fleet cell "
+                             "must hold over its scalar_ref row (same "
+                             "report); a cell's own speedup_gate field "
+                             "overrides this default")
     args = parser.parse_args()
 
     try:
@@ -131,6 +147,50 @@ def main():
 
     for name in sorted(set(current) - set(baseline)):
         print(f"{name:24s} new cell (not in baseline), skipped")
+
+    # Batched-vs-scalar ratio gate, held within the current report: both
+    # rows come from the same run, so the ratio isolates the lane-parallel
+    # engine's win from machine speed. Applies to every current cell that
+    # names a scalar_ref (baseline presence is irrelevant).
+    for name, cur in sorted(current.items()):
+        ref_name = cur.get("scalar_ref")
+        if ref_name is None:
+            continue
+        ref = current.get(ref_name)
+        if ref is None:
+            failures.append(
+                f"{name}: scalar_ref '{ref_name}' names a row missing from "
+                f"the current report; the batched speedup gate needs both "
+                f"rows from the same run")
+            continue
+        missing = [n for n, c in ((name, cur), (ref_name, ref))
+                   if "rounds_per_sec" not in c]
+        if missing:
+            failures.append(
+                f"{name}: batched speedup gate needs rounds_per_sec on both "
+                f"rows; missing from: {', '.join(missing)}")
+            continue
+        if ref["rounds_per_sec"] <= 0:
+            failures.append(
+                f"{name}: scalar_ref '{ref_name}' rounds_per_sec is "
+                f"{ref['rounds_per_sec']}, cannot compute batched speedup")
+            continue
+        min_speedup = cur.get("speedup_gate", args.min_batched_speedup)
+        try:
+            min_speedup = float(min_speedup)
+        except (TypeError, ValueError):
+            failures.append(
+                f"{name}: speedup_gate {min_speedup!r} is not a number")
+            continue
+        speedup = cur["rounds_per_sec"] / ref["rounds_per_sec"]
+        status = "ok"
+        if speedup < min_speedup:
+            status = "BELOW MIN SPEEDUP"
+            failures.append(
+                f"{name}: batched_speedup {speedup:.2f}x vs '{ref_name}' "
+                f"below required {min_speedup}")
+        print(f"{name:28s} {'batched_speedup':16s} {speedup:13.2f}x "
+              f"(vs {ref_name}, min {min_speedup}) {status}")
 
     if failures:
         print("\nPERF GATE FAILED:", file=sys.stderr)

@@ -242,6 +242,105 @@ class BenchCompareTest(unittest.TestCase):
         self.assertIn("not valid JSON", proc.stderr)
         self.assertNotIn("Traceback", proc.stderr)
 
+    def test_batched_speedup_at_least_2x_passes(self):
+        # The batched fleet cell names its scalar twin via scalar_ref; the
+        # ratio is taken within the current report, so a 2.2x batched row
+        # passes the default 2.0x gate regardless of baseline values.
+        cur = report([
+            fleet_cell("fleet/100k/capped", rounds=1e6),
+            fleet_cell("fleet/100k/batched", rounds=2.2e6,
+                       scalar_ref="fleet/100k/capped", batch_width=16,
+                       lane_occupancy=0.97),
+        ])
+        proc = self.run_compare(cur, cur)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("batched_speedup", proc.stdout)
+        self.assertIn("2.20x", proc.stdout)
+
+    def test_batched_speedup_below_2x_fails(self):
+        cur = report([
+            fleet_cell("fleet/100k/capped", rounds=1e6),
+            fleet_cell("fleet/100k/batched", rounds=1.5e6,
+                       scalar_ref="fleet/100k/capped", batch_width=16),
+        ])
+        proc = self.run_compare(cur, cur)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("BELOW MIN SPEEDUP", proc.stdout)
+        self.assertIn("batched_speedup 1.50x", proc.stderr)
+
+    def test_batched_speedup_custom_minimum(self):
+        # --min-batched-speedup relaxes (or tightens) the default 2.0 gate.
+        cur = report([
+            fleet_cell("fleet/100k/capped", rounds=1e6),
+            fleet_cell("fleet/100k/batched", rounds=1.5e6,
+                       scalar_ref="fleet/100k/capped", batch_width=16),
+        ])
+        proc = self.run_compare(cur, cur, "--min-batched-speedup", "1.1")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        proc = self.run_compare(cur, cur, "--min-batched-speedup", "1.6")
+        self.assertEqual(proc.returncode, 1)
+
+    def test_batched_speedup_missing_scalar_ref_row_fails(self):
+        # The gate needs both rows from the same run; a batched cell whose
+        # scalar twin was dropped from the report must fail loudly, not with
+        # a KeyError.
+        cur = report([
+            fleet_cell("fleet/100k/batched", rounds=2.5e6,
+                       scalar_ref="fleet/100k/capped", batch_width=16),
+        ])
+        proc = self.run_compare(cur, cur)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("scalar_ref 'fleet/100k/capped' names a row missing",
+                      proc.stderr)
+        self.assertNotIn("KeyError", proc.stderr)
+        self.assertNotIn("Traceback", proc.stderr)
+
+    def test_batched_speedup_gate_applies_to_new_cells(self):
+        # Batched cells absent from the baseline are still speedup-gated:
+        # the ratio is within-current, so "new cell, skipped" must not skip
+        # the speedup check.
+        base = report([fleet_cell("fleet/100k/capped", rounds=1e6)])
+        cur = report([
+            fleet_cell("fleet/100k/capped", rounds=1e6),
+            fleet_cell("fleet/100k/batched", rounds=1.2e6,
+                       scalar_ref="fleet/100k/capped", batch_width=16),
+        ])
+        proc = self.run_compare(base, cur)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("batched_speedup", proc.stderr)
+
+    def test_speedup_gate_field_overrides_default(self):
+        # A cell stamping its own speedup_gate is judged against that floor,
+        # not --min-batched-speedup: 1.5x passes a 1.25 per-cell gate that
+        # the 2.0 default would fail, and fails a 1.8 per-cell gate even
+        # when the flag is relaxed below it.
+        def rows(gate):
+            return report([
+                fleet_cell("fleet/10k/replay", rounds=1e6),
+                fleet_cell("fleet/10k/batched", rounds=1.5e6,
+                           scalar_ref="fleet/10k/replay", batch_width=16,
+                           speedup_gate=gate),
+            ])
+        proc = self.run_compare(rows(1.25), rows(1.25))
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("min 1.25", proc.stdout)
+        proc = self.run_compare(rows(1.8), rows(1.8),
+                                "--min-batched-speedup", "1.0")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("below required 1.8", proc.stderr)
+
+    def test_speedup_gate_non_numeric_fails_cleanly(self):
+        cur = report([
+            fleet_cell("fleet/10k/replay", rounds=1e6),
+            fleet_cell("fleet/10k/batched", rounds=2.5e6,
+                       scalar_ref="fleet/10k/replay", batch_width=16,
+                       speedup_gate="fast"),
+        ])
+        proc = self.run_compare(cur, cur)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("speedup_gate 'fast' is not a number", proc.stderr)
+        self.assertNotIn("Traceback", proc.stderr)
+
     def test_snapshots_per_sec_regression_fails(self):
         # bench_snapshot's headline metric is gated like other throughputs.
         base = report([cell("snapshot/10k", snapshots_per_sec=2e4)])
