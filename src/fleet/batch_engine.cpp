@@ -500,6 +500,16 @@ void BatchEngine::FinishLane(uint32_t lane, RunResult& result) {
   CloseLane(lane);
 }
 
+const CostBreakdown& BatchEngine::lane_cost(uint32_t lane) const {
+  RRS_CHECK(lane_open(lane)) << "lane_cost on a free lane";
+  return lanes_[lane].cost;
+}
+
+Round BatchEngine::lane_rounds(uint32_t lane) const {
+  RRS_CHECK(lane_open(lane)) << "lane_rounds on a free lane";
+  return std::min(next_round_, lanes_[lane].horizon + 1);
+}
+
 void BatchEngine::AbortLane(uint32_t lane) {
   RRS_CHECK_LT(lane, width_);
   RRS_CHECK(lane_open(lane)) << "AbortLane on a free lane";

@@ -113,6 +113,13 @@ class BatchEngine {
                    const EngineOptions& options, SchedulerPolicy& policy,
                    snapshot::Reader& r);
 
+  // ---- Mid-run observation hooks (SLO tracking) --------------------------
+  // The lane's cost accumulated so far; valid while the lane is open.
+  const CostBreakdown& lane_cost(uint32_t lane) const;
+  // Rounds the lane has actually advanced: the slab round clamped to the
+  // lane's own horizon (a done lane stops participating in lock-step).
+  Round lane_rounds(uint32_t lane) const;
+
   // ---- Occupancy counters (cumulative over the slab's lifetime) ----------
   uint64_t lane_rounds_stepped() const { return lane_rounds_; }
   uint64_t slab_rounds_stepped() const { return slab_rounds_; }

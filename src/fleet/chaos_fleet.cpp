@@ -1,8 +1,12 @@
 #include "fleet/chaos_fleet.h"
 
+#include <string>
 #include <utility>
 
 #include "core/session.h"
+#include "fleet/slo.h"
+#include "obs/flight_recorder.h"
+#include "obs/level.h"
 #include "obs/scope.h"
 #include "obs/trace.h"
 #include "parallel/parallel_for.h"
@@ -48,6 +52,7 @@ struct ChaosFleetRunner::Worker {
   std::vector<size_t> waiting;       // job indices, admission order
   std::vector<Checkpoint> incoming;  // restored when delay_ticks reaches 0
   ChaosStats stats;                  // worker-side events (restores, steps)
+  obs::FlightRing* ring = nullptr;   // cached per RunAll when recording
 };
 
 ChaosFleetRunner::ChaosFleetRunner(ChaosOptions options)
@@ -74,6 +79,11 @@ void ChaosFleetRunner::TickWorker(Worker& worker,
   obs::Tracer* tracer =
       options_.scope != nullptr ? options_.scope->tracer() : nullptr;
   obs::TraceTrack* track = tracer != nullptr ? tracer->ThreadTrack() : nullptr;
+  SloTracker* slo = obs::kEnabled ? options_.slo : nullptr;
+  obs::FlightRing* ring = obs::kEnabled ? worker.ring : nullptr;
+  const uint32_t worker_tag = static_cast<uint32_t>(worker.index);
+  // One clock read per worker-tick; every event below shares it (RecordAt).
+  const uint64_t now_ns = ring != nullptr ? obs::NowNs() : 0;
 
   // ---- Restore: resume every due checkpoint (exempt from the live cap —
   // a checkpointed tenant must come back regardless of load). ----
@@ -98,6 +108,10 @@ void ChaosFleetRunner::TickWorker(Worker& worker,
     worker.live.push_back({std::move(session), cp.job_index});
     ++worker.stats.restores;
     if (cp.from_worker != worker.index) ++worker.stats.migrations;
+    if (ring != nullptr) {
+      ring->RecordAt(now_ns, obs::kFlightRestore, worker_tag, cp.job_index,
+                   cp.from_worker);
+    }
   }
   worker.incoming.resize(keep);
 
@@ -112,6 +126,9 @@ void ChaosFleetRunner::TickWorker(Worker& worker,
     session->engine.Reset(*job.instance, job.options);
     session->engine.BeginRun(*session->policy);
     worker.live.push_back({std::move(session), job_index});
+    if (ring != nullptr) {
+      ring->RecordAt(now_ns, obs::kFlightAdmit, worker_tag, job_index);
+    }
   }
   worker.waiting.erase(
       worker.waiting.begin(),
@@ -128,14 +145,41 @@ void ChaosFleetRunner::TickWorker(Worker& worker,
     worker.stats.rounds_stepped +=
         static_cast<uint64_t>(engine.next_round() - before);
     if (more) {
+      if (slo != nullptr &&
+          slo->Observe(worker.index, worker.live[i].job_index,
+                       static_cast<uint64_t>(engine.next_round()),
+                       engine.run_cost().drops) > 0 &&
+          ring != nullptr) {
+        ring->RecordAt(now_ns, obs::kFlightSloExhausted, worker_tag,
+                     worker.live[i].job_index);
+      }
       worker.live[out++] = std::move(worker.live[i]);
     } else {
-      engine.FinishRun(results[worker.live[i].job_index]);
+      const size_t job_index = worker.live[i].job_index;
+      engine.FinishRun(results[job_index]);
       ++worker.stats.sessions_completed;
       worker.pool.Release(std::move(worker.live[i].session));
+      if (slo != nullptr) {
+        const uint32_t exhausted =
+            slo->Finish(worker.index, job_index, *jobs[job_index].instance,
+                        results[job_index]);
+        if (exhausted > 0 && ring != nullptr) {
+          ring->RecordAt(now_ns, obs::kFlightSloExhausted, worker_tag,
+                         job_index);
+        }
+      }
+      if (ring != nullptr) {
+        ring->RecordAt(now_ns, obs::kFlightFinish, worker_tag, job_index,
+                     results[job_index].cost.drops);
+      }
     }
   }
   worker.live.resize(out);
+  if (ring != nullptr) {
+    ring->RecordAt(now_ns, obs::kFlightTick, worker_tag,
+                   worker.stats.rounds_stepped);
+  }
+  if (slo != nullptr) slo->Publish(worker.index);
 }
 
 bool ChaosFleetRunner::InjectFaults(std::span<const FleetJob> jobs) {
@@ -145,6 +189,8 @@ bool ChaosFleetRunner::InjectFaults(std::span<const FleetJob> jobs) {
   obs::TraceTrack* track = tracer != nullptr ? tracer->ThreadTrack() : nullptr;
   const size_t num_workers = workers_.size();
   ++stats_.ticks;
+  obs::FlightRing* ring = obs::kEnabled ? coord_ring_ : nullptr;
+  if (ring != nullptr) ring->Record(obs::kFlightTick, 0, stats_.ticks);
 
   // Age checkpoints queued on earlier ticks toward their restore.
   for (auto& worker : workers_) {
@@ -182,6 +228,10 @@ bool ChaosFleetRunner::InjectFaults(std::span<const FleetJob> jobs) {
       obs::Span span(tracer, track, "fleet.chaos.kill",
                      static_cast<uint64_t>(worker.live.size()));
       ++stats_.kills;
+      if (ring != nullptr) {
+        ring->Record(obs::kFlightKillWorker, static_cast<uint32_t>(victim),
+                     worker.live.size());
+      }
       // Checkpoint every live tenant on the victim and deal the snapshots
       // round-robin to the surviving workers for immediate restore.
       size_t target = victim;
@@ -218,6 +268,10 @@ bool ChaosFleetRunner::InjectFaults(std::span<const FleetJob> jobs) {
       Worker& worker = *workers_[source];
       obs::Span span(tracer, track, "fleet.chaos.evict",
                      static_cast<uint64_t>(worker.live[pick].job_index));
+      if (ring != nullptr) {
+        ring->Record(obs::kFlightEvict, static_cast<uint32_t>(source),
+                     worker.live[pick].job_index, delay);
+      }
       workers_[target]->incoming.push_back(checkpoint(worker, pick, delay));
       worker.live.erase(worker.live.begin() + static_cast<ptrdiff_t>(pick));
       ++stats_.evictions;
@@ -239,6 +293,10 @@ bool ChaosFleetRunner::InjectFaults(std::span<const FleetJob> jobs) {
       obs::Span span(tracer, track, "fleet.chaos.rebalance",
                      static_cast<uint64_t>(rebalance_scratch_.size()));
       size_t target = plan_rng_.NextBounded(num_workers);
+      if (ring != nullptr) {
+        ring->Record(obs::kFlightRebalance, static_cast<uint32_t>(target),
+                     rebalance_scratch_.size());
+      }
       for (size_t job_index : rebalance_scratch_) {
         workers_[target]->waiting.push_back(job_index);
         target = (target + 1) % num_workers;
@@ -261,6 +319,20 @@ std::vector<RunResult> ChaosFleetRunner::RunAll(
   std::vector<RunResult> results(jobs.size());
   const size_t num_workers = workers_.size();
   const ChaosStats before = stats();  // stats are cumulative; absorb a delta
+
+  if (obs::kEnabled && options_.slo != nullptr) {
+    options_.slo->Bind(jobs.size(), num_workers);
+  }
+  coord_ring_ = nullptr;
+  for (auto& worker : workers_) worker->ring = nullptr;
+  if (obs::kEnabled && options_.recorder != nullptr) {
+    coord_ring_ = options_.recorder->Ring("chaos.coord");
+    for (auto& worker : workers_) {
+      worker->ring =
+          options_.recorder->Ring("chaos.worker" +
+                                  std::to_string(worker->index));
+    }
+  }
 
   for (size_t j = 0; j < jobs.size(); ++j) {
     RRS_CHECK(jobs[j].instance != nullptr);
@@ -305,6 +377,9 @@ std::vector<RunResult> ChaosFleetRunner::RunAll(
          total.rounds_stepped - before.rounds_stepped},
     };
     options_.scope->AbsorbCounters(counters);
+    if (obs::kEnabled && options_.slo != nullptr) {
+      options_.slo->AbsorbInto(*options_.scope);
+    }
   }
   return results;
 }

@@ -49,6 +49,10 @@ namespace rrs {
 
 class ThreadPool;
 
+namespace obs {
+class FlightRing;
+}  // namespace obs
+
 namespace fleet {
 
 struct ChaosOptions {
@@ -85,6 +89,14 @@ struct ChaosOptions {
   // coordinator's track and per-session work on worker tracks.
   obs::Scope* scope = nullptr;
   const char* trace_label = "fleet.chaos";
+  // Per-tenant SLO tracking (fleet/slo.h): bound per RunAll, fed at tick
+  // barriers (accounting follows the tenant across evictions/migrations),
+  // absorbed into `scope` as fleet.slo.*. Erased at RRS_OBS_LEVEL=0.
+  SloTracker* slo = nullptr;
+  // Flight recorder: each worker records tick/admit/finish/restore events
+  // into "chaos.worker<i>"; the serial coordinator records fault decisions
+  // (kill/evict/rebalance) into "chaos.coord". Erased at RRS_OBS_LEVEL=0.
+  obs::FlightRecorder* recorder = nullptr;
 };
 
 struct ChaosStats {
@@ -148,6 +160,7 @@ class ChaosFleetRunner {
   std::vector<std::unique_ptr<Worker>> workers_;
   Rng plan_rng_;
   ChaosStats stats_;
+  obs::FlightRing* coord_ring_ = nullptr;  // set per RunAll when recording
   // Coordinator scratch, reused across events (SnapshotRun words and the
   // rebalance gather buffer).
   snapshot::Writer snapshot_scratch_;

@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "fleet/batch_engine.h"
+#include "fleet/slo.h"
+#include "obs/flight_recorder.h"
 #include "obs/scope.h"
 #include "obs/trace.h"
 #include "parallel/parallel_for.h"
@@ -125,7 +127,21 @@ void FleetRunner::RunShard(Shard& shard, std::span<const FleetJob> jobs,
       options_.scope != nullptr ? options_.scope->tracer() : nullptr;
   obs::TraceTrack* track = tracer != nullptr ? tracer->ThreadTrack() : nullptr;
 
+  // SLO tracking and flight recording are shard-local and pure observation;
+  // obs::kEnabled is constexpr false at RRS_OBS_LEVEL=0, erasing both.
+  SloTracker* slo = obs::kEnabled ? options_.slo : nullptr;
+  obs::FlightRing* ring = nullptr;
+  if (obs::kEnabled && options_.recorder != nullptr) {
+    ring = options_.recorder->Ring("fleet.shard" +
+                                   std::to_string(shard_index));
+  }
+  const uint32_t shard_tag = static_cast<uint32_t>(shard_index);
+
   while (next < jobs.size() || !live.empty() || !shard.batch_live.empty()) {
+    // One clock read per tick: every event this tick — admits, finishes,
+    // the tick mark itself — shares the barrier's stamp (see RecordAt).
+    const uint64_t now_ns = ring != nullptr ? obs::NowNs() : 0;
+
     // ---- Admit: bind waiting tenants to sessions up to the live cap. ----
     while (next < jobs.size() &&
            (options_.max_live_sessions == 0 ||
@@ -152,12 +168,19 @@ void FleetRunner::RunShard(Shard& shard, std::span<const FleetJob> jobs,
           shard.batch_live.push_back(shard.batch_pool.Acquire());
           slab = shard.batch_live.back().get();
           RRS_CHECK(slab->engine.empty());
+          if (ring != nullptr) {
+            ring->RecordAt(now_ns, obs::kFlightSlabOpen, shard_tag,
+                           shard.batch_live.size());
+          }
         }
         uint32_t lane = 0;
         while (slab->engine.lane_open(lane)) ++lane;
         slab->engine.OpenLane(lane, *job.instance, job.options,
                               *slab->policies[lane]);
         slab->job_index[lane] = next;
+        if (ring != nullptr) {
+          ring->RecordAt(now_ns, obs::kFlightAdmit, shard_tag, next);
+        }
         ++shard.batch_lanes;
         ++shard.stats.batched_sessions;
         shard.stats.peak_live_sessions = std::max<uint64_t>(
@@ -188,6 +211,10 @@ void FleetRunner::RunShard(Shard& shard, std::span<const FleetJob> jobs,
             static_cast<uint64_t>(pipe.inner.rounds_simulated);
         ++shard.stats.sessions_completed;
         shard.pipeline_pool.Release(std::move(session));
+        if (slo != nullptr) slo->Finish(shard_index, next, *job.instance, out);
+        if (ring != nullptr) {
+          ring->RecordAt(now_ns, obs::kFlightFinish, shard_tag, next);
+        }
       } else {
         auto session = shard.replay_pool.Acquire();
         session->engine.Reset(*job.instance, job.options);
@@ -195,6 +222,9 @@ void FleetRunner::RunShard(Shard& shard, std::span<const FleetJob> jobs,
         live.push_back({std::move(session), next});
         shard.stats.peak_live_sessions =
             std::max<uint64_t>(shard.stats.peak_live_sessions, live.size());
+        if (ring != nullptr) {
+          ring->RecordAt(now_ns, obs::kFlightAdmit, shard_tag, next);
+        }
       }
       next += stride;
     }
@@ -211,12 +241,31 @@ void FleetRunner::RunShard(Shard& shard, std::span<const FleetJob> jobs,
       const bool more = engine.StepRounds(options_.rounds_per_tick);
       shard.stats.rounds_stepped +=
           static_cast<uint64_t>(engine.next_round() - before);
+      const size_t job_index = live[i].job_index;
       if (more) {
+        if (slo != nullptr &&
+            slo->Observe(shard_index, job_index,
+                         static_cast<uint64_t>(engine.next_round()),
+                         engine.run_cost().drops) > 0 &&
+            ring != nullptr) {
+          ring->RecordAt(now_ns, obs::kFlightSloExhausted, shard_tag,
+                         job_index);
+        }
         live[out++] = std::move(live[i]);
       } else {
-        engine.FinishRun(results[live[i].job_index]);
+        engine.FinishRun(results[job_index]);
         ++shard.stats.sessions_completed;
         shard.replay_pool.Release(std::move(live[i].session));
+        if (slo != nullptr &&
+            slo->Finish(shard_index, job_index, *jobs[job_index].instance,
+                        results[job_index]) > 0 &&
+            ring != nullptr) {
+          ring->RecordAt(now_ns, obs::kFlightSloExhausted, shard_tag,
+                         job_index);
+        }
+        if (ring != nullptr) {
+          ring->RecordAt(now_ns, obs::kFlightFinish, shard_tag, job_index);
+        }
       }
     }
     live.resize(out);
@@ -234,21 +283,55 @@ void FleetRunner::RunShard(Shard& shard, std::span<const FleetJob> jobs,
       shard.stats.slab_rounds_stepped +=
           slab.engine.slab_rounds_stepped() - slabs_before;
       for (uint32_t lane = 0; lane < options_.batch_width; ++lane) {
-        if (!slab.engine.lane_done(lane)) continue;
-        slab.engine.FinishLane(lane, results[slab.job_index[lane]]);
+        if (!slab.engine.lane_open(lane)) continue;
+        const size_t job_index = slab.job_index[lane];
+        if (!slab.engine.lane_done(lane)) {
+          if (slo != nullptr &&
+              slo->Observe(shard_index, job_index,
+                           static_cast<uint64_t>(slab.engine.lane_rounds(lane)),
+                           slab.engine.lane_cost(lane).drops) > 0 &&
+              ring != nullptr) {
+            ring->RecordAt(now_ns, obs::kFlightSloExhausted, shard_tag,
+                           job_index);
+          }
+          continue;
+        }
+        slab.engine.FinishLane(lane, results[job_index]);
         ++shard.stats.sessions_completed;
         --shard.batch_lanes;
+        if (slo != nullptr &&
+            slo->Finish(shard_index, job_index, *jobs[job_index].instance,
+                        results[job_index]) > 0 &&
+            ring != nullptr) {
+          ring->RecordAt(now_ns, obs::kFlightSloExhausted, shard_tag,
+                         job_index);
+        }
+        if (ring != nullptr) {
+          ring->RecordAt(now_ns, obs::kFlightFinish, shard_tag, job_index);
+        }
       }
       if (!more) {
         RRS_CHECK(slab.engine.empty());
         shard.batch_pool.Release(std::move(shard.batch_live[i]));
+        if (ring != nullptr) {
+          ring->RecordAt(now_ns, obs::kFlightSlabClose, shard_tag,
+                         shard.batch_lanes);
+        }
       } else {
         shard.batch_live[slab_out++] = std::move(shard.batch_live[i]);
       }
     }
     shard.batch_live.resize(slab_out);
     ++shard.stats.ticks;
+    if (ring != nullptr) {
+      ring->RecordAt(now_ns, obs::kFlightTick, shard_tag, shard.stats.ticks);
+    }
+    if (slo != nullptr) slo->Publish(shard_index);
   }
+
+  // Pipeline-only workloads finish inside admission without ever reaching
+  // the tick barrier; a final publish makes their accounting scrapable too.
+  if (slo != nullptr) slo->Publish(shard_index);
 
   shard.stats.sessions_created = shard.replay_pool.created() +
                                  shard.pipeline_pool.created();
@@ -260,6 +343,10 @@ std::vector<RunResult> FleetRunner::RunAll(std::span<const FleetJob> jobs) {
   std::vector<RunResult> results(jobs.size());
   const size_t stride = shards_.size();
   const FleetStats before = stats();  // stats are cumulative; absorb a delta
+
+  if (obs::kEnabled && options_.slo != nullptr) {
+    options_.slo->Bind(jobs.size(), shards_.size());
+  }
 
   if (options_.pool == nullptr || shards_.size() == 1) {
     for (size_t s = 0; s < shards_.size(); ++s) {
@@ -290,6 +377,9 @@ std::vector<RunResult> FleetRunner::RunAll(std::span<const FleetJob> jobs) {
          total.slab_rounds_stepped - before.slab_rounds_stepped},
     };
     options_.scope->AbsorbCounters(counters);
+    if (obs::kEnabled && options_.slo != nullptr) {
+      options_.slo->AbsorbInto(*options_.scope);
+    }
   }
   return results;
 }

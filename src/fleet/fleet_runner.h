@@ -44,7 +44,13 @@ namespace rrs {
 
 class ThreadPool;
 
+namespace obs {
+class FlightRecorder;
+}  // namespace obs
+
 namespace fleet {
+
+class SloTracker;
 
 // One tenant of the fleet. The instance is not owned and must outlive
 // RunAll.
@@ -91,6 +97,16 @@ struct FleetOptions {
   // (arg = job index) on each worker's thread track.
   obs::Scope* scope = nullptr;
   const char* trace_label = "fleet.session";
+  // Per-tenant SLO tracking (fleet/slo.h). When set, RunAll re-Binds the
+  // tracker to (jobs, shards), observes every live tenant at each tick
+  // barrier, publishes per-shard snapshots for live scrapes, and absorbs
+  // fleet.slo.* into `scope` at the end. Pure observation — results stay
+  // bit-identical. Erased at RRS_OBS_LEVEL=0.
+  SloTracker* slo = nullptr;
+  // Flight recorder (obs/flight_recorder.h): each shard records
+  // tick/admit/finish, slab open/close, and SLO-exhaustion events into its
+  // own ring ("fleet.shard<i>"). Erased at RRS_OBS_LEVEL=0.
+  obs::FlightRecorder* recorder = nullptr;
 };
 
 // Aggregated (or per-shard) fleet statistics.

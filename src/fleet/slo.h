@@ -1,0 +1,159 @@
+// Per-tenant SLO tracking for the fleet runners.
+//
+// Each tenant gets a miss budget (dropped jobs are deadline misses in this
+// model: a job is dropped exactly when its delay bound expires unexecuted)
+// over rolling windows of `window_rounds` simulated rounds. The runners feed
+// the tracker at tick barriers — one Observe per live tenant per tick with
+// the session's cumulative (rounds, misses), one Finish when the tenant
+// completes — and Publish a shard's aggregate once per tick.
+//
+// Determinism contract: all accounting happens at tick barriers on the
+// worker that owns the tenant for that tick, and every quantity is a pure
+// function of the tenant's observation sequence. Since shard/worker
+// assignment and tick schedules are thread-count-invariant (FleetRunner's
+// j % num_shards affinity; ChaosFleetRunner's seeded fault plan), the entire
+// SLO state — including which window a miss lands in — is bit-identical at
+// any thread count. Scrapes never mutate: they read the per-shard snapshots
+// copied at the last Publish, under that shard's mutex.
+//
+// Hot-path cost: Observe touches one tenant slot and one shard accumulator
+// block (both shard-owned between barriers — no atomics, no locks) and
+// allocates nothing after Bind. Sum-over-shards == fleet totals holds by
+// construction: totals are computed by summing the same published shard
+// snapshots a scraper reads per shard.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/instance.h"
+#include "obs/metrics.h"
+
+namespace rrs {
+namespace obs {
+class Scope;
+}  // namespace obs
+
+namespace fleet {
+
+struct SloOptions {
+  // Rolling window length in simulated rounds. Misses observed in a tick
+  // are attributed to the tenant's window current at that tick barrier.
+  Round window_rounds = 256;
+  // Allowed misses per tenant per window; exceeding it marks the window
+  // (and the tenant, until the window rolls) budget-exhausted.
+  uint64_t miss_budget = 8;
+  // Worst-burn tenants retained per shard for /tenants and fleet_top.
+  uint32_t top_k = 16;
+};
+
+class SloTracker {
+ public:
+  // One tenant on a shard's worst-burn list. burn = window_misses / budget
+  // (> 1 means the current window is over budget).
+  struct TenantBurn {
+    uint64_t tenant = 0;
+    uint64_t window_misses = 0;
+    double burn = 0.0;
+  };
+
+  // Copy of one shard's aggregate as of its last Publish. Also the shape of
+  // fleet totals (SnapshotTotals sums these, merging the top lists).
+  struct Snapshot {
+    uint64_t observations = 0;     // Observe calls
+    uint64_t rounds = 0;           // tenant-rounds observed
+    uint64_t misses = 0;           // misses observed
+    uint64_t windows_closed = 0;
+    uint64_t windows_breached = 0; // closed or current windows over budget
+    uint64_t exhausted_events = 0; // budget-exhaustion transitions
+    uint64_t tenants_seen = 0;     // distinct tenants observed
+    uint64_t tenants_finished = 0;
+    // Tenants whose current window is over budget. Signed: a chaos-migrated
+    // tenant may exhaust on one worker and roll its window on another, so a
+    // single shard's value can dip negative transiently; the sum over
+    // shards (the fleet total) is always >= 0 and exact.
+    int64_t tenants_out_of_budget = 0;
+    obs::LogHistogram miss_delay;  // misses by delay class (delay bound)
+    std::vector<TenantBurn> top;   // worst burn first
+  };
+
+  explicit SloTracker(SloOptions options = SloOptions());
+  ~SloTracker();
+
+  SloTracker(const SloTracker&) = delete;
+  SloTracker& operator=(const SloTracker&) = delete;
+
+  const SloOptions& options() const { return options_; }
+  size_t num_shards() const { return shards_.size(); }
+
+  // Sizes (grow-only) and resets all state for a fleet of `num_tenants`
+  // jobs over `num_shards` shards/workers. Serial; runners call it at the
+  // top of RunAll.
+  void Bind(size_t num_tenants, size_t num_shards);
+
+  // Folds one tenant's progress into its current window. `rounds`/`misses`
+  // are the session's cumulative values (the tracker keeps last-seen marks
+  // and works on deltas, so checkpointed/migrated tenants just keep
+  // counting). Returns how many budget exhaustions this observation newly
+  // triggered (0 or 1) — the runner's cue to drop a flight-recorder event.
+  uint32_t Observe(size_t shard, size_t tenant, uint64_t rounds,
+                   uint64_t misses);
+
+  // Final accounting when a tenant completes: catches up on progress since
+  // the last barrier, closes the partial window, retires the tenant from
+  // the worst-burn list (the list is a live view of current burners;
+  // counters and the histogram keep the history), and folds the run's
+  // per-color drops into the shard's miss-by-delay-class histogram (delay
+  // bound = the color's delay class). Returns newly-triggered exhaustions,
+  // like Observe.
+  uint32_t Finish(size_t shard, size_t tenant, const Instance& instance,
+                  const RunResult& result);
+
+  // Copies the shard's accumulators into its published (scrape-visible)
+  // snapshot. Runners call this once per tick, at the barrier.
+  void Publish(size_t shard);
+
+  // ---- Scrape side (thread-safe against Publish) --------------------------
+
+  Snapshot SnapshotShard(size_t shard) const;
+  // Sum of all published shard snapshots; top lists merged and re-ranked.
+  Snapshot SnapshotTotals() const;
+
+  // Prometheus text section: rrs_fleet_slo_* totals plus the same series
+  // with a shard="i" label per shard. Appended to the export server's
+  // /metrics via AddMetricsSection.
+  std::string RenderPrometheus(std::string_view prefix = "rrs") const;
+
+  // Top-K (across shards) per-tenant SLO state as a JSON array — the
+  // /tenants endpoint. `limit` 0 means options().top_k.
+  std::string TenantsJson(uint32_t limit = 0) const;
+
+  // Absorbs the delta since the last call as fleet.slo.* counters, the
+  // fleet.slo.worst_burn / tenants_{in,out}_of_budget gauges, and the
+  // fleet.slo.miss_delay histogram. Serial; runners call it at end of
+  // RunAll.
+  void AbsorbInto(obs::Scope& scope);
+
+ private:
+  struct TenantSlot;
+  struct ShardState;
+
+  uint32_t ObserveImpl(size_t shard, size_t tenant, uint64_t rounds,
+                       uint64_t misses, bool update_top);
+  void UpdateTop(ShardState& shard, TenantSlot& slot, uint64_t tenant,
+                 uint64_t window_misses);
+  void RecomputeTopWeakest(ShardState& shard);
+
+  SloOptions options_;
+  std::vector<TenantSlot> tenants_;
+  std::vector<std::unique_ptr<ShardState>> shards_;
+  Snapshot absorbed_;  // baseline for AbsorbInto deltas
+};
+
+}  // namespace fleet
+}  // namespace rrs

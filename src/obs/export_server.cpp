@@ -1,0 +1,223 @@
+#include "obs/export_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace rrs {
+namespace obs {
+
+namespace {
+
+// send(2) loop with MSG_NOSIGNAL: a scraper hanging up mid-response must not
+// SIGPIPE the fleet process.
+bool SendAll(int fd, std::string_view data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+std::string HttpResponse(int status, std::string_view reason,
+                         std::string_view content_type,
+                         std::string_view body) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
+                    std::string(reason) + "\r\nContent-Type: " +
+                    std::string(content_type) +
+                    "\r\nContent-Length: " + std::to_string(body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  out.append(body);
+  return out;
+}
+
+// Reads until the end of the request head ("\r\n\r\n") or the peer stops
+// sending. GET requests have no body, so the head is the whole request.
+std::string ReadRequestHead(int fd) {
+  std::string request;
+  char buf[2048];
+  while (request.size() < 16 * 1024) {
+    struct pollfd pfd = {fd, POLLIN, 0};
+    if (::poll(&pfd, 1, /*timeout_ms=*/1000) <= 0) break;
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    request.append(buf, static_cast<size_t>(n));
+    if (request.find("\r\n\r\n") != std::string::npos) break;
+  }
+  return request;
+}
+
+}  // namespace
+
+ExportServer::ExportServer(Options options) : options_(std::move(options)) {
+  if (options_.scope != nullptr) {
+    Scope* scope = options_.scope;
+    const std::string prefix = options_.prefix;
+    Handle("/metrics.json", "application/json",
+           [scope] { return scope->RenderJson(); });
+    Handle("/metrics", "text/plain; version=0.0.4", [this, scope, prefix] {
+      std::string body = scope->RenderPrometheus(prefix);
+      for (const Handler& section : metrics_sections_) body += section();
+      return body;
+    });
+  }
+  Handle("/healthz", "text/plain", [] { return std::string("ok\n"); });
+}
+
+ExportServer::~ExportServer() { Stop(); }
+
+void ExportServer::Handle(std::string path, std::string content_type,
+                          Handler handler) {
+  routes_.push_back({std::move(path), std::move(content_type),
+                     std::move(handler)});
+}
+
+void ExportServer::AddMetricsSection(Handler section) {
+  metrics_sections_.push_back(std::move(section));
+}
+
+bool ExportServer::Start(std::string* error) {
+  auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = what + ": " + std::strerror(errno);
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return false;
+  };
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return fail("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    return fail("inet_pton(" + options_.bind_address + ")");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return fail("bind");
+  }
+  if (::listen(listen_fd_, 16) != 0) return fail("listen");
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                    &len) != 0) {
+    return fail("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { Serve(); });
+  running_ = true;
+  return true;
+}
+
+void ExportServer::Stop() {
+  if (!running_) return;
+  stop_.store(true, std::memory_order_release);
+  thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  running_ = false;
+}
+
+void ExportServer::Serve() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    struct pollfd pfd = {listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check the stop flag
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    HandleConnection(fd);
+    ::close(fd);
+  }
+}
+
+void ExportServer::HandleConnection(int fd) {
+  const std::string request = ReadRequestHead(fd);
+  const size_t line_end = request.find("\r\n");
+  const std::string line =
+      request.substr(0, line_end == std::string::npos ? 0 : line_end);
+  if (line.rfind("GET ", 0) != 0) {
+    SendAll(fd, HttpResponse(405, "Method Not Allowed", "text/plain",
+                             "GET only\n"));
+    return;
+  }
+  size_t path_end = line.find(' ', 4);
+  if (path_end == std::string::npos) path_end = line.size();
+  std::string path = line.substr(4, path_end - 4);
+  // Scrapers may append query params (?format=...); routes ignore them.
+  const size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+  for (const Route& route : routes_) {
+    if (route.path != path) continue;
+    SendAll(fd, HttpResponse(200, "OK", route.content_type, route.handler()));
+    return;
+  }
+  SendAll(fd, HttpResponse(404, "Not Found", "text/plain", "not found\n"));
+}
+
+std::string HttpGet(const std::string& host, uint16_t port,
+                    const std::string& path, std::string* error) {
+  auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = what;
+    return std::string();
+  };
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return fail(std::string("socket: ") + std::strerror(errno));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return fail("inet_pton(" + host + ")");
+  }
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return fail(std::string("connect: ") + std::strerror(errno));
+  }
+  const std::string request = "GET " + path + " HTTP/1.1\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
+  if (!SendAll(fd, request)) {
+    ::close(fd);
+    return fail(std::string("send: ") + std::strerror(errno));
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  const size_t head_end = response.find("\r\n\r\n");
+  if (head_end == std::string::npos) return fail("malformed response");
+  const std::string status_line = response.substr(0, response.find("\r\n"));
+  if (status_line.find(" 200 ") == std::string::npos) {
+    return fail(status_line);
+  }
+  return response.substr(head_end + 4);
+}
+
+}  // namespace obs
+}  // namespace rrs

@@ -1,0 +1,102 @@
+// Dependency-free HTTP exposition server for live fleet scrapes.
+//
+// Serves the Prometheus text format and JSON snapshots of a running fleet
+// without stopping workers: every handler renders under the owning
+// structure's own lock (Scope::RenderPrometheus, SloTracker's published
+// per-shard snapshots), so a scrape observes the aggregate exactly as of the
+// last absorb/publish — never a half-written registry.
+//
+// Scope: GET-only, one thread, Connection: close, loopback by default.
+// This is a metrics endpoint for `curl`/Prometheus/fleet_top, not a web
+// server; anything beyond "GET <path>" gets a 400/404/405.
+//
+// Routes installed by default when a Scope is attached:
+//   /metrics       Prometheus text exposition (plus registered sections)
+//   /metrics.json  Registry::ToJson snapshot
+//   /healthz       "ok"
+// Additional routes (e.g. /tenants) are registered with Handle() before
+// Start(); fleet glue adds its SLO section to /metrics with
+// AddMetricsSection().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "obs/scope.h"
+
+namespace rrs {
+namespace obs {
+
+class ExportServer {
+ public:
+  // Produces one response body per request; must be internally synchronized
+  // (it runs on the server thread while workers mutate the fleet).
+  using Handler = std::function<std::string()>;
+
+  struct Options {
+    uint16_t port = 0;  // 0 = ephemeral; read the bound port via port()
+    std::string bind_address = "127.0.0.1";
+    Scope* scope = nullptr;  // not owned; enables /metrics + /metrics.json
+    std::string prefix = "rrs";  // metric name prefix for /metrics
+  };
+
+  explicit ExportServer(Options options);
+  ~ExportServer();  // stops and joins the serving thread
+
+  ExportServer(const ExportServer&) = delete;
+  ExportServer& operator=(const ExportServer&) = delete;
+
+  // Registers `path` -> body producer. Call before Start() (the route table
+  // is read without a lock once the thread is serving).
+  void Handle(std::string path, std::string content_type, Handler handler);
+
+  // Appends a producer whose output is concatenated after the Scope's
+  // exposition in /metrics — how the SLO tracker contributes its per-shard
+  // section to the same scrape. Call before Start().
+  void AddMetricsSection(Handler section);
+
+  // Binds, listens, and spawns the serving thread. False (with *error set)
+  // when the bind fails; safe to call once.
+  bool Start(std::string* error = nullptr);
+
+  // Idempotent; joins the serving thread.
+  void Stop();
+
+  bool running() const { return running_; }
+  uint16_t port() const { return port_; }
+
+ private:
+  struct Route {
+    std::string path;
+    std::string content_type;
+    Handler handler;
+  };
+
+  void Serve();
+  void HandleConnection(int fd);
+
+  Options options_;
+  std::vector<Route> routes_;
+  std::vector<Handler> metrics_sections_;
+  std::thread thread_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  bool running_ = false;
+  // Written by Stop(), read by the serving thread between polls. Plain bool
+  // would be a race; this is the only cross-thread state.
+  std::atomic<bool> stop_{false};
+};
+
+// Minimal blocking HTTP/1.1 GET for tests and fleet_top: returns the
+// response body on HTTP 200, empty string otherwise (*error carries the
+// status line or errno text).
+std::string HttpGet(const std::string& host, uint16_t port,
+                    const std::string& path, std::string* error = nullptr);
+
+}  // namespace obs
+}  // namespace rrs

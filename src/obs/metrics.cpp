@@ -39,6 +39,14 @@ void LogHistogram::Record(uint64_t value) {
   max_ = std::max(max_, value);
 }
 
+void LogHistogram::RecordMany(uint64_t value, uint64_t count) {
+  if (count == 0) return;
+  buckets_[BucketOf(value)] += count;
+  count_ += count;
+  sum_ += value * count;
+  max_ = std::max(max_, value);
+}
+
 double LogHistogram::Quantile(double q) const {
   if (count_ == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
@@ -68,6 +76,21 @@ void LogHistogram::Merge(const LogHistogram& other) {
   max_ = std::max(max_, other.max_);
 }
 
+void LogHistogram::MergeDiff(const LogHistogram& cur,
+                             const LogHistogram& baseline) {
+  // count_ == count_ fast path: nothing recorded since the baseline copy.
+  if (cur.count_ == baseline.count_) {
+    max_ = std::max(max_, cur.max_);
+    return;
+  }
+  for (uint32_t i = 0; i < kNumBuckets; ++i) {
+    buckets_[i] += cur.buckets_[i] - baseline.buckets_[i];
+  }
+  count_ += cur.count_ - baseline.count_;
+  sum_ += cur.sum_ - baseline.sum_;
+  max_ = std::max(max_, cur.max_);
+}
+
 void LogHistogram::Reset() {
   // count_ == 0 implies every bucket (and sum_/max_) is already zero: Record
   // bumps count_ with every bucket increment and Merge adds counts in step.
@@ -88,19 +111,6 @@ Value& Lookup(Map& map, std::string_view name) {
     it = map.emplace(std::string(name), std::make_unique<Value>()).first;
   }
   return *it->second;
-}
-
-std::string SanitizeMetricName(std::string_view prefix, std::string_view name) {
-  std::string out;
-  out.reserve(prefix.size() + 1 + name.size());
-  out.append(prefix);
-  out.push_back('_');
-  for (char c : name) {
-    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-                    (c >= '0' && c <= '9') || c == '_' || c == ':';
-    out.push_back(ok ? c : '_');
-  }
-  return out;
 }
 
 std::string JsonEscape(std::string_view s) {
@@ -193,27 +203,87 @@ std::string Registry::ToJson() const {
   return out;
 }
 
+namespace {
+
+// Emits the `# HELP`/`# TYPE` preamble for `metric` unless an earlier raw
+// name already sanitized onto it — the exposition format forbids repeated
+// metadata lines for one metric, and sanitization can collapse distinct raw
+// names (e.g. "a.b" and "a-b") onto one exposition name.
+void EmitMetadata(std::string& out, std::vector<std::string>& emitted,
+                  const std::string& metric, std::string_view raw_name,
+                  std::string_view type) {
+  if (std::find(emitted.begin(), emitted.end(), metric) != emitted.end()) {
+    return;
+  }
+  emitted.push_back(metric);
+  out += "# HELP " + metric + " rrs instrument ";
+  // HELP text is free-form but newlines/backslashes must be escaped exactly
+  // like label values; the raw name may contain either.
+  out += PromEscapeLabel(raw_name);
+  out += "\n# TYPE " + metric + " " + std::string(type) + "\n";
+}
+
+}  // namespace
+
 std::string Registry::ToPrometheus(std::string_view prefix) const {
   std::string out;
+  std::vector<std::string> emitted;
+  emitted.reserve(counters_.size() + gauges_.size() + histograms_.size());
   for (const auto& [name, c] : counters_) {
-    const std::string metric = SanitizeMetricName(prefix, name);
-    out += "# TYPE " + metric + " counter\n";
+    const std::string metric = PromMetricName(prefix, name);
+    EmitMetadata(out, emitted, metric, name, "counter");
     out += metric + " " + std::to_string(c->value) + "\n";
   }
   for (const auto& [name, g] : gauges_) {
-    const std::string metric = SanitizeMetricName(prefix, name);
-    out += "# TYPE " + metric + " gauge\n";
+    const std::string metric = PromMetricName(prefix, name);
+    EmitMetadata(out, emitted, metric, name, "gauge");
     out += metric + " " + FormatDouble(g->value) + "\n";
   }
   for (const auto& [name, h] : histograms_) {
-    const std::string metric = SanitizeMetricName(prefix, name);
-    out += "# TYPE " + metric + " summary\n";
+    const std::string metric = PromMetricName(prefix, name);
+    EmitMetadata(out, emitted, metric, name, "summary");
     for (double q : {0.5, 0.9, 0.99}) {
       out += metric + "{quantile=\"" + FormatDouble(q) + "\"} " +
              FormatDouble(h->Quantile(q)) + "\n";
     }
     out += metric + "_sum " + std::to_string(h->sum()) + "\n";
     out += metric + "_count " + std::to_string(h->count()) + "\n";
+  }
+  return out;
+}
+
+// ---- Prometheus exposition helpers ----------------------------------------
+
+std::string PromMetricName(std::string_view prefix, std::string_view name) {
+  std::string out;
+  out.reserve(prefix.size() + 1 + name.size());
+  out.append(prefix);
+  out.push_back('_');
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string PromEscapeLabel(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
   }
   return out;
 }

@@ -58,6 +58,10 @@ class LogHistogram {
       kUnitBuckets + (64 - 4) * kSubBuckets;  // 496
 
   void Record(uint64_t value);
+  // Records `value` `count` times in O(1) — what lets end-of-run absorption
+  // fold per-color drop totals into a by-delay-class histogram without
+  // replaying every dropped job.
+  void RecordMany(uint64_t value, uint64_t count);
 
   uint64_t count() const { return count_; }
   uint64_t sum() const { return sum_; }
@@ -72,6 +76,14 @@ class LogHistogram {
   double Quantile(double q) const;
 
   void Merge(const LogHistogram& other);
+  // Folds in the delta cur - baseline, where `baseline` is a copy of `cur`
+  // taken earlier (both grow-only accumulators of the same stream). Lets a
+  // periodic absorber pull "what's new since last time" out of a cumulative
+  // histogram without the writer double-recording into a separate pending
+  // histogram on its hot path. max() folds cur's cumulative max: for a
+  // running absorb-delta stream the merged max still equals the max over
+  // all events absorbed so far.
+  void MergeDiff(const LogHistogram& cur, const LogHistogram& baseline);
   void Reset();
 
   // Bucket introspection (exports/tests): value range [lo, hi) of bucket i.
@@ -119,7 +131,10 @@ class Registry {
 
   // Prometheus text exposition: counters/gauges verbatim, histograms as
   // summaries (quantile 0.5/0.9/0.99 + _sum/_count). Metric names are
-  // prefixed and sanitized to [a-zA-Z0-9_:].
+  // prefixed and sanitized to [a-zA-Z0-9_:] (PromMetricName); every metric
+  // carries # HELP and # TYPE lines, emitted once per *sanitized* name even
+  // when several raw names collapse onto it (duplicate metadata lines are
+  // invalid exposition format).
   std::string ToPrometheus(std::string_view prefix = "rrs") const;
 
  private:
@@ -129,6 +144,22 @@ class Registry {
   std::map<std::string, std::unique_ptr<LogHistogram>, std::less<>>
       histograms_;
 };
+
+// ---- Prometheus exposition helpers ----------------------------------------
+// Shared by Registry::ToPrometheus and every other exposition producer
+// (fleet::SloTracker's per-shard section, the export server).
+
+// `prefix_name` with every character outside [a-zA-Z0-9_:] replaced by '_'.
+// An empty raw name yields "prefix_" — still a legal metric name, since the
+// prefix supplies a legal leading character. Names never need rejection
+// outright: the prefix guarantees a sound first character and substitution
+// makes the rest legal.
+std::string PromMetricName(std::string_view prefix, std::string_view name);
+
+// Escapes a label *value* per the exposition format: backslash, double
+// quote, and newline become \\, \", and \n. Everything else (including other
+// control characters and UTF-8) passes through verbatim.
+std::string PromEscapeLabel(std::string_view value);
 
 }  // namespace obs
 }  // namespace rrs

@@ -65,6 +65,21 @@ void Scope::AbsorbHistogram(std::string_view name,
   registry_.histogram(name).Merge(histogram);
 }
 
+void Scope::AbsorbGauge(std::string_view name, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  registry_.gauge(name).Set(value);
+}
+
+std::string Scope::RenderPrometheus(std::string_view prefix) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return registry_.ToPrometheus(prefix);
+}
+
+std::string Scope::RenderJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return registry_.ToJson();
+}
+
 std::string Scope::SummaryLine() const {
   std::lock_guard<std::mutex> lock(mutex_);
   // Const view of the aggregate; counter() would insert, so go through

@@ -69,6 +69,7 @@ class Scope {
   void AbsorbCounters(
       std::span<const std::pair<std::string_view, uint64_t>> counters);
   void AbsorbHistogram(std::string_view name, const LogHistogram& histogram);
+  void AbsorbGauge(std::string_view name, double value);
 
   // The cross-run aggregate. Safe to read once all runs absorbed (the
   // reference is unsynchronized; Absorb is the only concurrent writer).
@@ -76,6 +77,12 @@ class Scope {
   const Registry& registry() const { return registry_; }
 
   uint64_t runs_absorbed() const { return runs_absorbed_; }
+
+  // Consistent snapshots for live scrapes: render the aggregate under the
+  // same mutex Absorb takes, so an export server can read while runs are
+  // still folding in. (registry() stays the unsynchronized post-run view.)
+  std::string RenderPrometheus(std::string_view prefix = "rrs") const;
+  std::string RenderJson() const;
 
   // One-line summary of everything absorbed so far (runs, drops, reconfigs,
   // phase p50/p99) — what run_experiments prints after each experiment.

@@ -12,6 +12,8 @@
 #include "core/engine.h"
 #include "fleet/chaos_fleet.h"
 #include "fleet/fleet_runner.h"
+#include "fleet/slo.h"
+#include "obs/flight_recorder.h"
 #include "obs/scope.h"
 #include "parallel/thread_pool.h"
 #include "sched/registry.h"
@@ -115,6 +117,51 @@ TEST_P(ChaosDifferential, ResultsMatchFaultFreeRun) {
   EXPECT_EQ(stats.sessions_completed, w.jobs.size());
 }
 
+// Same differential with the full observability plane attached: SLO tracking
+// and the flight recorder are pure observation, so per-tenant results must
+// stay bit-identical — and the SLO totals themselves are checked against the
+// oracle's (thread-count-invariant) drop counts.
+TEST_P(ChaosDifferential, ResultsMatchWithSloAndFlightRecorderEnabled) {
+  const size_t threads = GetParam();
+  Workload w = MakeWorkload(24);
+  std::vector<RunResult> oracle = FaultFreeOracle(w);
+
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 0) pool = std::make_unique<ThreadPool>(threads);
+  obs::Scope scope;
+  fleet::SloTracker slo;
+  obs::FlightRecorder recorder;
+  fleet::ChaosOptions options = AggressiveChaos(pool.get());
+  options.scope = &scope;
+  options.slo = &slo;
+  options.recorder = &recorder;
+  fleet::ChaosFleetRunner runner(options);
+  std::vector<RunResult> chaotic = runner.RunAll(w.jobs);
+
+  ASSERT_EQ(chaotic.size(), oracle.size());
+  uint64_t oracle_misses = 0;
+  for (size_t i = 0; i < oracle.size(); ++i) {
+    ExpectSameRunResult(chaotic[i], oracle[i],
+                        "tenant " + std::to_string(i) + " threads=" +
+                            std::to_string(threads));
+    oracle_misses += oracle[i].cost.drops;
+  }
+
+  const fleet::SloTracker::Snapshot totals = slo.SnapshotTotals();
+  EXPECT_EQ(totals.tenants_seen, w.jobs.size());
+  EXPECT_EQ(totals.tenants_finished, w.jobs.size());
+  EXPECT_EQ(totals.misses, oracle_misses);
+  EXPECT_EQ(totals.miss_delay.count(), oracle_misses);
+  EXPECT_EQ(totals.tenants_out_of_budget, 0);  // every window closed by Finish
+  EXPECT_GT(recorder.num_rings(), 0u);  // coordinator + worker rings exist
+
+  const auto values = scope.registry().Values();
+  EXPECT_EQ(values.at("fleet.slo.tenants_finished"),
+            static_cast<double>(w.jobs.size()));
+  EXPECT_EQ(values.at("fleet.slo.misses"),
+            static_cast<double>(oracle_misses));
+}
+
 INSTANTIATE_TEST_SUITE_P(ThreadCounts, ChaosDifferential,
                          ::testing::Values(0, 1, 2, 8),
                          [](const auto& info) {
@@ -145,6 +192,48 @@ TEST(ChaosFleet, FaultPlanIsIdenticalAcrossThreadCounts) {
   EXPECT_EQ(a.noop_faults, b.noop_faults);
   EXPECT_EQ(a.snapshot_words, b.snapshot_words);
   EXPECT_EQ(a.rounds_stepped, b.rounds_stepped);
+}
+
+// Per-shard SLO state — including which window each miss landed in and the
+// worst-burn rankings — is a pure function of (jobs, seed), so two runs at
+// different thread counts must agree field for field, shard by shard.
+TEST(ChaosFleet, SloStateIsIdenticalAcrossThreadCounts) {
+  Workload w = MakeWorkload(16);
+
+  fleet::SloTracker slo_serial;
+  fleet::ChaosOptions serial_options = AggressiveChaos(nullptr);
+  serial_options.slo = &slo_serial;
+  fleet::ChaosFleetRunner(serial_options).RunAll(w.jobs);
+
+  ThreadPool pool(8);
+  fleet::SloTracker slo_threaded;
+  fleet::ChaosOptions threaded_options = AggressiveChaos(&pool);
+  threaded_options.slo = &slo_threaded;
+  fleet::ChaosFleetRunner(threaded_options).RunAll(w.jobs);
+
+  ASSERT_EQ(slo_serial.num_shards(), slo_threaded.num_shards());
+  for (size_t s = 0; s < slo_serial.num_shards(); ++s) {
+    const fleet::SloTracker::Snapshot a = slo_serial.SnapshotShard(s);
+    const fleet::SloTracker::Snapshot b = slo_threaded.SnapshotShard(s);
+    EXPECT_EQ(a.observations, b.observations) << "shard " << s;
+    EXPECT_EQ(a.rounds, b.rounds) << "shard " << s;
+    EXPECT_EQ(a.misses, b.misses) << "shard " << s;
+    EXPECT_EQ(a.windows_closed, b.windows_closed) << "shard " << s;
+    EXPECT_EQ(a.windows_breached, b.windows_breached) << "shard " << s;
+    EXPECT_EQ(a.exhausted_events, b.exhausted_events) << "shard " << s;
+    EXPECT_EQ(a.tenants_seen, b.tenants_seen) << "shard " << s;
+    EXPECT_EQ(a.tenants_finished, b.tenants_finished) << "shard " << s;
+    EXPECT_EQ(a.tenants_out_of_budget, b.tenants_out_of_budget)
+        << "shard " << s;
+    EXPECT_EQ(a.miss_delay.count(), b.miss_delay.count()) << "shard " << s;
+    EXPECT_EQ(a.miss_delay.sum(), b.miss_delay.sum()) << "shard " << s;
+    ASSERT_EQ(a.top.size(), b.top.size()) << "shard " << s;
+    for (size_t i = 0; i < a.top.size(); ++i) {
+      EXPECT_EQ(a.top[i].tenant, b.top[i].tenant) << "shard " << s;
+      EXPECT_EQ(a.top[i].window_misses, b.top[i].window_misses)
+          << "shard " << s;
+    }
+  }
 }
 
 // ---- Alternate policies through the chaos path ---------------------------

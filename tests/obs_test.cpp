@@ -97,6 +97,49 @@ TEST(LogHistogram, QuantilesAreMonotoneAndOrdered) {
   EXPECT_DOUBLE_EQ(h.Quantile(1.0), 1000.0);
 }
 
+TEST(LogHistogram, RecordManyMatchesRepeatedRecord) {
+  obs::LogHistogram many, loop;
+  const std::pair<uint64_t, uint64_t> samples[] = {
+      {0, 3}, {7, 1}, {100, 50}, {(1ull << 33) + 9, 4}, {12, 0}};
+  for (const auto& [value, count] : samples) {
+    many.RecordMany(value, count);
+    for (uint64_t i = 0; i < count; ++i) loop.Record(value);
+  }
+  EXPECT_EQ(many.count(), loop.count());
+  EXPECT_EQ(many.sum(), loop.sum());
+  EXPECT_EQ(many.max(), loop.max());
+  for (uint32_t i = 0; i < obs::LogHistogram::kNumBuckets; ++i) {
+    ASSERT_EQ(many.bucket_count(i), loop.bucket_count(i)) << i;
+  }
+  EXPECT_DOUBLE_EQ(many.Quantile(0.5), loop.Quantile(0.5));
+}
+
+TEST(LogHistogram, ResetOnEmptyIsANoOpAndKeepsInvariants) {
+  // The empty fast-path (count_ == 0 skips the bucket clear) must leave an
+  // untouched histogram indistinguishable from a freshly constructed one —
+  // including after Merge added zero counts, which must not break the
+  // "count_ == 0 implies all buckets zero" invariant the fast-path relies on.
+  obs::LogHistogram h, empty;
+  h.Reset();
+  h.Merge(empty);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  for (uint32_t i = 0; i < obs::LogHistogram::kNumBuckets; ++i) {
+    ASSERT_EQ(h.bucket_count(i), 0u) << i;
+  }
+  // And the fast-path does not leak stale state through a record/reset/record
+  // cycle: reset-after-record clears, second reset is the empty path.
+  h.Record(42);
+  h.Reset();
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  h.Record(3);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.sum(), 3u);
+}
+
 TEST(LogHistogram, MergeAndReset) {
   obs::LogHistogram a, b;
   a.Record(3);
@@ -109,6 +152,34 @@ TEST(LogHistogram, MergeAndReset) {
   a.Reset();
   EXPECT_EQ(a.count(), 0u);
   EXPECT_EQ(a.max(), 0u);
+}
+
+TEST(LogHistogram, MergeDiffRecoversPeriodicDeltas) {
+  // The absorb pattern: a writer records into one cumulative histogram; a
+  // periodic absorber snapshots it as a baseline and later pulls the delta
+  // with MergeDiff. The accumulated deltas must reproduce the stream a
+  // dedicated pending histogram would have captured.
+  obs::LogHistogram cumulative, baseline, absorbed, expected;
+  auto absorb = [&] {
+    absorbed.MergeDiff(cumulative, baseline);
+    baseline = cumulative;
+  };
+  cumulative.RecordMany(100, 3);
+  expected.RecordMany(100, 3);
+  absorb();
+  // Empty round: nothing recorded since the baseline copy.
+  absorb();
+  cumulative.Record(7);
+  cumulative.RecordMany((1ull << 20) + 5, 2);
+  expected.Record(7);
+  expected.RecordMany((1ull << 20) + 5, 2);
+  absorb();
+  EXPECT_EQ(absorbed.count(), expected.count());
+  EXPECT_EQ(absorbed.sum(), expected.sum());
+  EXPECT_EQ(absorbed.max(), expected.max());
+  for (uint32_t i = 0; i < obs::LogHistogram::kNumBuckets; ++i) {
+    ASSERT_EQ(absorbed.bucket_count(i), expected.bucket_count(i)) << i;
+  }
 }
 
 TEST(LogHistogram, BucketBoundsContainTheirValues) {
@@ -197,6 +268,136 @@ TEST(Registry, PrometheusExportSanitizesNames) {
     const std::string name = line.substr(0, line.find_first_of(" {"));
     EXPECT_EQ(name.find('.'), std::string::npos) << line;
   }
+}
+
+TEST(Registry, PrometheusAdversarialNamesStayLegal) {
+  obs::Registry reg;
+  reg.counter("bad\"quote").Add(1);
+  reg.counter("line\nbreak").Add(2);
+  reg.counter("back\\slash").Add(3);
+  reg.counter("").Add(4);  // empty raw name: the prefix carries the metric
+  reg.gauge("späce and ütf8").Set(1.0);
+  const std::string prom = reg.ToPrometheus();
+  // Every non-comment line is `name[{labels}] value` with a legal name.
+  std::istringstream lines(prom);
+  std::string line;
+  size_t sample_lines = 0;
+  while (std::getline(lines, line)) {
+    if (line.rfind("# ", 0) == 0) continue;
+    ASSERT_FALSE(line.empty());
+    const std::string name = line.substr(0, line.find_first_of(" {"));
+    ASSERT_FALSE(name.empty()) << line;
+    for (char c : name) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_' || c == ':';
+      EXPECT_TRUE(ok) << "illegal char in metric name: " << line;
+    }
+    ++sample_lines;
+  }
+  EXPECT_EQ(sample_lines, 5u);
+  EXPECT_NE(prom.find("rrs_bad_quote 1"), std::string::npos);
+  EXPECT_NE(prom.find("rrs_line_break 2"), std::string::npos);
+  EXPECT_NE(prom.find("rrs_back_slash 3"), std::string::npos);
+  EXPECT_NE(prom.find("\nrrs_ 4"), std::string::npos);
+}
+
+TEST(Registry, PrometheusMetadataEmittedOncePerSanitizedName) {
+  obs::Registry reg;
+  // Three raw names collapsing onto one sanitized name.
+  reg.counter("a.b").Add(1);
+  reg.counter("a-b").Add(2);
+  reg.counter("a b").Add(3);
+  reg.counter("distinct").Add(9);
+  const std::string prom = reg.ToPrometheus();
+  auto count_of = [&](const std::string& needle) {
+    size_t n = 0;
+    for (size_t at = prom.find(needle); at != std::string::npos;
+         at = prom.find(needle, at + 1)) {
+      ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(count_of("# TYPE rrs_a_b counter\n"), 1u);
+  EXPECT_EQ(count_of("# HELP rrs_a_b "), 1u);
+  EXPECT_EQ(count_of("# TYPE rrs_distinct counter\n"), 1u);
+  EXPECT_EQ(count_of("# HELP rrs_distinct "), 1u);
+  // All three collapsed samples still appear.
+  EXPECT_NE(prom.find("rrs_a_b 1"), std::string::npos);
+  EXPECT_NE(prom.find("rrs_a_b 2"), std::string::npos);
+  EXPECT_NE(prom.find("rrs_a_b 3"), std::string::npos);
+}
+
+TEST(Registry, PrometheusEveryMetricHasHelpAndType) {
+  obs::Registry reg;
+  reg.counter("c").Add(1);
+  reg.gauge("g").Set(2.5);
+  reg.histogram("h").Record(10);
+  const std::string prom = reg.ToPrometheus();
+  for (const char* needle :
+       {"# HELP rrs_c ", "# TYPE rrs_c counter", "# HELP rrs_g ",
+        "# TYPE rrs_g gauge", "# HELP rrs_h ", "# TYPE rrs_h summary"}) {
+    EXPECT_NE(prom.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(PromHelpers, EscapeLabelHandlesSpecials) {
+  EXPECT_EQ(obs::PromEscapeLabel("plain"), "plain");
+  EXPECT_EQ(obs::PromEscapeLabel("a\"b"), "a\\\"b");
+  EXPECT_EQ(obs::PromEscapeLabel("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::PromEscapeLabel("a\nb"), "a\\nb");
+  EXPECT_EQ(obs::PromEscapeLabel("\\\"\n"), "\\\\\\\"\\n");
+  EXPECT_EQ(obs::PromEscapeLabel(""), "");
+}
+
+TEST(PromHelpers, MetricNameSanitizes) {
+  EXPECT_EQ(obs::PromMetricName("rrs", "fleet.slo.misses"),
+            "rrs_fleet_slo_misses");
+  EXPECT_EQ(obs::PromMetricName("rrs", "ok_name:sub"), "rrs_ok_name:sub");
+  EXPECT_EQ(obs::PromMetricName("rrs", "\"\n\\"), "rrs____");
+  EXPECT_EQ(obs::PromMetricName("rrs", ""), "rrs_");
+}
+
+// ---- Scope generic absorption under contention (sanitize/tsan target) -----
+
+TEST(ScopeConcurrency, AbsorbCountersAndHistogramFromEightThreads) {
+  obs::Scope scope;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&scope, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const std::pair<std::string_view, uint64_t> deltas[] = {
+            {"stress.shared", 1},
+            {t % 2 == 0 ? "stress.even" : "stress.odd", 2},
+        };
+        scope.AbsorbCounters(deltas);
+        obs::LogHistogram h;
+        h.Record(static_cast<uint64_t>(t * kIters + i));
+        scope.AbsorbHistogram("stress.hist", h);
+        scope.AbsorbGauge("stress.gauge", static_cast<double>(t));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(scope.registry().FindCounter("stress.shared")->value,
+            static_cast<uint64_t>(kThreads * kIters));
+  EXPECT_EQ(scope.registry().FindCounter("stress.even")->value,
+            static_cast<uint64_t>(4 * kIters * 2));
+  EXPECT_EQ(scope.registry().FindCounter("stress.odd")->value,
+            static_cast<uint64_t>(4 * kIters * 2));
+  ASSERT_NE(scope.registry().FindHistogram("stress.hist"), nullptr);
+  EXPECT_EQ(scope.registry().FindHistogram("stress.hist")->count(),
+            static_cast<uint64_t>(kThreads * kIters));
+  // The gauge holds whichever thread wrote last — any valid thread index.
+  const double gauge = scope.registry().Values()["stress.gauge"];
+  EXPECT_GE(gauge, 0.0);
+  EXPECT_LT(gauge, static_cast<double>(kThreads));
+  // Locked render helpers see a consistent aggregate.
+  const std::string prom = scope.RenderPrometheus();
+  EXPECT_NE(prom.find("rrs_stress_shared 1600"), std::string::npos);
+  EXPECT_NE(scope.RenderJson().find("\"stress.hist\""), std::string::npos);
 }
 
 // ---- Tracer ---------------------------------------------------------------

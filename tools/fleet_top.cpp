@@ -1,0 +1,219 @@
+// fleet_top: a text-mode "top" for a live fleet.
+//
+// Polls an obs::ExportServer endpoint (bench_fleet --serve-metrics, trace_tool
+// --serve-metrics, or any embedding that wires Scope + SloTracker into an
+// ExportServer) and renders a refreshing table: fleet totals with a rounds/s
+// rate derived from successive scrapes, the per-shard SLO series, and the
+// worst-burn tenants from /tenants.
+//
+//   fleet_top <port> [--host 127.0.0.1] [--interval-ms 1000] [--top 10]
+//             [--once]
+//
+// --once prints a single frame without clearing the screen (scripts, docs,
+// tests). Everything is parsed from the Prometheus text exposition — the tool
+// depends only on the rrsched library's HttpGet client.
+#include <chrono>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "obs/export_server.h"
+#include "obs/trace.h"
+
+namespace {
+
+// One scrape of /metrics, parsed. Keys are full series names including the
+// label block, e.g. `rrs_fleet_slo_rounds` or `rrs_fleet_slo_rounds{shard="3"}`.
+struct Frame {
+  std::map<std::string, double> series;
+  int64_t scrape_ns = 0;
+  bool ok = false;
+
+  double Get(const std::string& name) const {
+    auto it = series.find(name);
+    return it == series.end() ? 0.0 : it->second;
+  }
+};
+
+Frame Scrape(const std::string& host, int port) {
+  Frame frame;
+  std::string error;
+  const std::string body =
+      rrs::obs::HttpGet(host, port, "/metrics", &error);
+  frame.scrape_ns = rrs::obs::NowNs();
+  if (body.empty() && !error.empty()) return frame;
+  size_t pos = 0;
+  while (pos < body.size()) {
+    size_t eol = body.find('\n', pos);
+    if (eol == std::string::npos) eol = body.size();
+    const std::string_view line(body.data() + pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const size_t space = line.rfind(' ');
+    if (space == std::string_view::npos || space == 0) continue;
+    const std::string name(line.substr(0, space));
+    frame.series[name] = std::strtod(line.data() + space + 1, nullptr);
+  }
+  frame.ok = true;
+  return frame;
+}
+
+// Minimal extraction from the /tenants JSON array (flat objects with numeric
+// fields only, as rendered by SloTracker::TenantsJson).
+struct TenantRow {
+  uint64_t tenant = 0;
+  uint64_t shard = 0;
+  uint64_t window_misses = 0;
+  double burn = 0.0;
+};
+
+double JsonField(std::string_view object, const char* key) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const size_t at = object.find(needle);
+  if (at == std::string_view::npos) return 0.0;
+  return std::strtod(object.data() + at + needle.size(), nullptr);
+}
+
+std::vector<TenantRow> FetchTenants(const std::string& host, int port) {
+  std::vector<TenantRow> rows;
+  const std::string body = rrs::obs::HttpGet(host, port, "/tenants");
+  size_t pos = 0;
+  while ((pos = body.find('{', pos)) != std::string::npos) {
+    const size_t end = body.find('}', pos);
+    if (end == std::string::npos) break;
+    const std::string_view object(body.data() + pos, end - pos);
+    TenantRow row;
+    row.tenant = static_cast<uint64_t>(JsonField(object, "tenant"));
+    row.shard = static_cast<uint64_t>(JsonField(object, "shard"));
+    row.window_misses =
+        static_cast<uint64_t>(JsonField(object, "window_misses"));
+    row.burn = JsonField(object, "burn");
+    rows.push_back(row);
+    pos = end + 1;
+  }
+  return rows;
+}
+
+std::string ShardSeries(const char* base, size_t shard) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "rrs_fleet_slo_%s{shard=\"%zu\"}", base,
+                shard);
+  return buf;
+}
+
+void Render(const Frame& now, const Frame& prev,
+            const std::vector<TenantRow>& tenants, int top_n) {
+  const double seen = now.Get("rrs_fleet_slo_tenants_seen");
+  const double finished = now.Get("rrs_fleet_slo_tenants_finished");
+  const double rounds = now.Get("rrs_fleet_slo_rounds");
+  const double misses = now.Get("rrs_fleet_slo_misses");
+  const double out = now.Get("rrs_fleet_slo_tenants_out_of_budget");
+  const double worst = now.Get("rrs_fleet_slo_worst_burn");
+  const double breached = now.Get("rrs_fleet_slo_windows_breached");
+
+  double rounds_per_s = 0.0;
+  if (prev.ok && now.scrape_ns > prev.scrape_ns) {
+    rounds_per_s = (rounds - prev.Get("rrs_fleet_slo_rounds")) * 1e9 /
+                   static_cast<double>(now.scrape_ns - prev.scrape_ns);
+  }
+
+  std::printf(
+      "fleet: %.0f tenants seen, %.0f finished | %.0f rounds (%.0f/s) | "
+      "%.0f misses | %.0f windows breached | %.0f out of budget | "
+      "worst burn %.2f\n\n",
+      seen, finished, rounds, rounds_per_s, misses, breached, out, worst);
+
+  std::printf("%6s %14s %12s %10s %10s %8s\n", "shard", "rounds", "misses",
+              "breached", "exhausted", "out");
+  for (size_t shard = 0;; ++shard) {
+    const std::string key = ShardSeries("rounds", shard);
+    if (now.series.find(key) == now.series.end()) break;
+    std::printf("%6zu %14.0f %12.0f %10.0f %10.0f %8.0f\n", shard,
+                now.Get(key), now.Get(ShardSeries("misses", shard)),
+                now.Get(ShardSeries("windows_breached", shard)),
+                now.Get(ShardSeries("exhausted_events", shard)),
+                now.Get(ShardSeries("tenants_out_of_budget", shard)));
+  }
+
+  if (!tenants.empty()) {
+    std::printf("\nworst-burn tenants:\n%10s %6s %14s %8s\n", "tenant",
+                "shard", "window_misses", "burn");
+    int shown = 0;
+    for (const TenantRow& row : tenants) {
+      if (shown++ >= top_n) break;
+      std::printf("%10" PRIu64 " %6" PRIu64 " %14" PRIu64 " %8.2f\n",
+                  row.tenant, row.shard, row.window_misses, row.burn);
+    }
+  }
+
+  // Chaos counters appear once a chaos run has absorbed into the scope.
+  const double chaos_ticks = now.Get("rrs_fleet_chaos_ticks");
+  if (chaos_ticks > 0) {
+    std::printf(
+        "\nchaos: %.0f ticks | %.0f kills | %.0f evictions | %.0f restores "
+        "| %.0f migrations\n",
+        chaos_ticks, now.Get("rrs_fleet_chaos_kills"),
+        now.Get("rrs_fleet_chaos_evictions"),
+        now.Get("rrs_fleet_chaos_restores"),
+        now.Get("rrs_fleet_chaos_migrations"));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  int interval_ms = 1000;
+  int top_n = 10;
+  bool once = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--host" && i + 1 < argc) {
+      host = argv[++i];
+    } else if (arg == "--interval-ms" && i + 1 < argc) {
+      interval_ms = std::atoi(argv[++i]);
+    } else if (arg == "--top" && i + 1 < argc) {
+      top_n = std::atoi(argv[++i]);
+    } else if (arg == "--once") {
+      once = true;
+    } else if (arg[0] != '-' && port == 0) {
+      port = std::atoi(argv[i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: fleet_top <port> [--host H] [--interval-ms N] "
+                   "[--top N] [--once]\n");
+      return 2;
+    }
+  }
+  if (port <= 0) {
+    std::fprintf(stderr, "fleet_top: missing or invalid port\n");
+    return 2;
+  }
+
+  Frame prev;
+  while (true) {
+    Frame now = Scrape(host, port);
+    if (!now.ok) {
+      std::fprintf(stderr, "fleet_top: scrape of %s:%d failed\n", host.c_str(),
+                   port);
+      return 1;
+    }
+    const std::vector<TenantRow> tenants = FetchTenants(host, port);
+    if (!once) std::printf("\x1b[H\x1b[2J");  // cursor home + clear
+    Render(now, prev, tenants, top_n);
+    std::fflush(stdout);
+    if (once) break;
+    prev = now;
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+  return 0;
+}

@@ -1,0 +1,113 @@
+// flight_decode: pretty-print a flight-recorder post-mortem dump.
+//
+//   flight_decode <dump-file> [--merged] [--ring <name>]
+//
+// Default output is one section per ring (oldest event first). --merged
+// interleaves every ring's events into one global time-ordered stream —
+// the view that answers "what was the whole fleet doing when it died".
+// Timestamps print relative to the earliest event in the dump.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr, "usage: %s <dump-file> [--merged] [--ring <name>]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* path = nullptr;
+  const char* only_ring = nullptr;
+  bool merged = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--merged") == 0) {
+      merged = true;
+    } else if (std::strcmp(argv[i], "--ring") == 0 && i + 1 < argc) {
+      only_ring = argv[++i];
+    } else if (path == nullptr && argv[i][0] != '-') {
+      path = argv[i];
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (path == nullptr) return Usage(argv[0]);
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    std::fprintf(stderr, "flight_decode: cannot open %s\n", path);
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string bytes = buffer.str();
+
+  rrs::obs::DecodedFlight flight;
+  std::string error;
+  if (!rrs::obs::DecodeFlightDump(bytes, &flight, &error)) {
+    std::fprintf(stderr, "flight_decode: %s: %s\n", path, error.c_str());
+    return 1;
+  }
+
+  uint64_t epoch_ns = UINT64_MAX;
+  size_t total_events = 0;
+  for (const auto& ring : flight.rings) {
+    for (const auto& event : ring.events) {
+      epoch_ns = std::min(epoch_ns, event.ts_ns);
+    }
+    total_events += ring.events.size();
+  }
+  if (epoch_ns == UINT64_MAX) epoch_ns = 0;
+
+  std::printf("flight dump %s: version %u, %zu rings, capacity %llu, "
+              "%zu events retained\n",
+              path, flight.version, flight.rings.size(),
+              static_cast<unsigned long long>(flight.ring_capacity),
+              total_events);
+
+  if (merged) {
+    struct Tagged {
+      const rrs::obs::FlightEvent* event;
+      const std::string* ring;
+    };
+    std::vector<Tagged> all;
+    all.reserve(total_events);
+    for (const auto& ring : flight.rings) {
+      if (only_ring != nullptr && ring.name != only_ring) continue;
+      for (const auto& event : ring.events) all.push_back({&event, &ring.name});
+    }
+    std::stable_sort(all.begin(), all.end(),
+                     [](const Tagged& a, const Tagged& b) {
+                       return a.event->ts_ns < b.event->ts_ns;
+                     });
+    for (const auto& t : all) {
+      std::printf("%s  [%s]\n",
+                  rrs::obs::FormatFlightEvent(*t.event, epoch_ns).c_str(),
+                  t.ring->c_str());
+    }
+    return 0;
+  }
+
+  for (const auto& ring : flight.rings) {
+    if (only_ring != nullptr && ring.name != only_ring) continue;
+    std::printf("\n== ring %s: %llu recorded, %zu retained ==\n",
+                ring.name.c_str(),
+                static_cast<unsigned long long>(ring.recorded),
+                ring.events.size());
+    for (const auto& event : ring.events) {
+      std::printf("%s\n",
+                  rrs::obs::FormatFlightEvent(event, epoch_ns).c_str());
+    }
+  }
+  return 0;
+}

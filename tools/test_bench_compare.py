@@ -341,6 +341,97 @@ class BenchCompareTest(unittest.TestCase):
         self.assertIn("speedup_gate 'fast' is not a number", proc.stderr)
         self.assertNotIn("Traceback", proc.stderr)
 
+    def test_regression_failure_prints_units_and_both_values(self):
+        # A tripped throughput gate must name the unit and show both values
+        # side by side, so the CI log alone tells the story.
+        base = report([cell("dlru/128c/8r", rounds=1e6)])
+        cur = report([cell("dlru/128c/8r", rounds=0.5e6)])
+        proc = self.run_compare(base, cur)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("rounds/s", proc.stderr)
+        self.assertIn("current 500000.00", proc.stderr)
+        self.assertIn("baseline 1000000.00", proc.stderr)
+
+    def test_latency_regression_failure_prints_ms_unit(self):
+        base = report([solver_cell("packed/m2/4c/h48", ms=50.0)])
+        cur = report([solver_cell("packed/m2/4c/h48", ms=80.0)])
+        proc = self.run_compare(base, cur)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("current 80.00 ms", proc.stderr)
+        self.assertIn("baseline 50.00 ms", proc.stderr)
+
+    def test_alloc_failure_prints_units_and_budget(self):
+        base = report([cell("dlru/128c/8r", allocs=0.0)])
+        cur = report([cell("dlru/128c/8r", allocs=1.5)])
+        proc = self.run_compare(base, cur)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("current 1.5000 allocs/round", proc.stderr)
+        self.assertIn("budget 0.0500 allocs/round", proc.stderr)
+
+    def test_speedup_failure_prints_both_rates(self):
+        cur = report([
+            fleet_cell("fleet/100k/capped", rounds=1e6),
+            fleet_cell("fleet/100k/batched", rounds=1.5e6,
+                       scalar_ref="fleet/100k/capped", batch_width=16),
+        ])
+        proc = self.run_compare(cur, cur)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("current 1500000.00 rounds/s", proc.stderr)
+        self.assertIn("scalar 1000000.00 rounds/s", proc.stderr)
+
+    def test_obs_overhead_twin_gated_below_one(self):
+        # The observability twin runs the same shape as its scalar_ref with
+        # SLO tracking + exporter attached and stamps a speedup_gate below
+        # 1.0 (e.g. 0.98 = at most 2% overhead). The same ratio machinery
+        # must gate it: 1% overhead passes, 5% fails.
+        def rows(obs_rounds):
+            return report([
+                fleet_cell("fleet/100k/capped", rounds=1e6),
+                fleet_cell("fleet/100k/obs", rounds=obs_rounds,
+                           scalar_ref="fleet/100k/capped",
+                           speedup_gate=0.98),
+            ])
+        proc = self.run_compare(rows(0.99e6), rows(0.99e6))
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        proc = self.run_compare(rows(0.95e6), rows(0.95e6))
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("below required 0.98", proc.stderr)
+
+    def test_measured_speedup_takes_priority_over_rate_division(self):
+        # A cell stamping measured_speedup (the bench's paired-window median
+        # ratio) is gated on it, not on the division of the two best-of-N
+        # rates: best-rate division says 0.90x here, but the paired ratio
+        # 0.99x passes — and vice versa.
+        passing = report([
+            fleet_cell("fleet/100k/capped", rounds=1e6),
+            fleet_cell("fleet/100k/obs", rounds=0.90e6,
+                       scalar_ref="fleet/100k/capped", speedup_gate=0.98,
+                       measured_speedup=0.99),
+        ])
+        proc = self.run_compare(passing, passing)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        failing = report([
+            fleet_cell("fleet/100k/capped", rounds=1e6),
+            fleet_cell("fleet/100k/obs", rounds=0.99e6,
+                       scalar_ref="fleet/100k/capped", speedup_gate=0.98,
+                       measured_speedup=0.90),
+        ])
+        proc = self.run_compare(failing, failing)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("below required 0.98", proc.stderr)
+
+    def test_non_numeric_measured_speedup_fails_cleanly(self):
+        cur = report([
+            fleet_cell("fleet/100k/capped", rounds=1e6),
+            fleet_cell("fleet/100k/obs", rounds=1e6,
+                       scalar_ref="fleet/100k/capped", speedup_gate=0.98,
+                       measured_speedup="fast"),
+        ])
+        proc = self.run_compare(cur, cur)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("measured_speedup", proc.stderr)
+        self.assertIn("not a number", proc.stderr)
+
     def test_snapshots_per_sec_regression_fails(self):
         # bench_snapshot's headline metric is gated like other throughputs.
         base = report([cell("snapshot/10k", snapshots_per_sec=2e4)])
