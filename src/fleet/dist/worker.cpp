@@ -1,0 +1,491 @@
+#include "fleet/dist/worker.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/instance.h"
+#include "core/session.h"
+#include "fleet/dist/protocol.h"
+#include "net/socket.h"
+#include "obs/export_server.h"
+#include "obs/level.h"
+#include "obs/scope.h"
+#include "parallel/parallel_for.h"
+#include "parallel/thread_pool.h"
+#include "sched/registry.h"
+#include "util/check.h"
+
+namespace rrs {
+namespace fleet {
+namespace dist {
+
+namespace {
+
+uint64_t WallNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct Session {
+  Engine engine;
+  std::unique_ptr<SchedulerPolicy> policy;
+};
+
+struct Live {
+  std::unique_ptr<Session> session;
+  TenantSpec spec;
+};
+
+// One shard: touched by exactly one thread per tick, so nothing here is
+// synchronized. The scratch vectors are the shard's slice of the TickReport,
+// merged (and sorted by tenant) at the barrier.
+struct Shard {
+  explicit Shard(SessionPool<Session>::Factory factory)
+      : pool(std::move(factory)) {}
+
+  SessionPool<Session> pool;
+  std::vector<Live> live;
+
+  // Per-tick scratch, cleared at the top of every step phase.
+  std::vector<TenantResult> completed;
+  std::vector<TenantProgress> slo;
+  std::vector<TraceRow> trace;
+  std::vector<TenantCheckpoint> checkpoints;
+  uint64_t rounds_stepped = 0;
+  snapshot::Writer snapshot_scratch;
+};
+
+class Worker {
+ public:
+  Worker(int fd, uint64_t index) : fd_(fd), index_(index) {}
+
+  int Run() {
+    if (!SendHello()) return 1;
+    std::vector<uint64_t> payload;
+    for (;;) {
+      uint64_t type = 0;
+      std::string error;
+      if (!net::RecvFrame(fd_, &type, &payload, net::Deadline::Infinite(),
+                          &error)) {
+        // Clean EOF (empty error) = controller went away without Shutdown —
+        // e.g. a controller crash. Exit quietly; anything else is a wire
+        // fault worth a nonzero exit.
+        return error.empty() ? 0 : 1;
+      }
+      snapshot::Reader reader(payload);
+      switch (type) {
+        case kMsgConfig:
+          HandleConfig(reader);
+          break;
+        case kMsgAddInstances:
+          HandleAddInstances(reader);
+          break;
+        case kMsgAddTenants:
+          HandleAddTenants(reader);
+          break;
+        case kMsgTick:
+          HandleTick(reader);
+          break;
+        case kMsgSnapshotTenant:
+          HandleSnapshotTenant(reader);
+          break;
+        case kMsgRestoreTenant:
+          HandleRestoreTenant(reader);
+          break;
+        case kMsgShedTenant:
+          HandleShedTenant(reader);
+          break;
+        case kMsgShutdown:
+          reply_.Clear();
+          PutWorkerStats(reply_, stats_);
+          Send(kMsgBye);
+          return 0;
+        default:
+          RRS_CHECK(false) << "worker " << index_ << ": unexpected frame "
+                           << MsgTypeName(type) << " (" << type << ")";
+      }
+      RRS_CHECK(reader.AtEnd())
+          << "worker " << index_ << ": trailing words after "
+          << MsgTypeName(type);
+    }
+  }
+
+ private:
+  bool SendHello() {
+    HelloInfo hello;
+    hello.worker_index = index_;
+    hello.pid = static_cast<uint64_t>(::getpid());
+    hello.protocol_version = kProtocolVersion;
+    reply_.Clear();
+    PutHello(reply_, hello);
+    return net::SendFrame(fd_, kMsgHello, reply_.words());
+  }
+
+  void Send(uint64_t type) {
+    RRS_CHECK(net::SendFrame(fd_, type, reply_.words()))
+        << "worker " << index_ << ": send " << MsgTypeName(type) << " failed";
+  }
+
+  void HandleConfig(snapshot::Reader& reader) {
+    RRS_CHECK(shards_.empty()) << "duplicate Config";
+    config_ = GetConfig(reader);
+    RRS_CHECK_GE(config_.rounds_per_tick, 1);
+    const std::string policy =
+        config_.policy.empty() ? std::string("dlru-edf") : config_.policy;
+    // Every session gets its own policy instance from the registry; a
+    // restored tenant resumes on a fresh one (RestoreRun reloads its state).
+    auto factory = [policy] {
+      auto session = std::make_unique<Session>();
+      session->policy = MakePolicy(policy);
+      RRS_CHECK(session->policy != nullptr)
+          << "unknown policy in worker config: " << policy;
+      return session;
+    };
+    const size_t num_shards = std::max<uint32_t>(1, config_.threads);
+    shards_.reserve(num_shards);
+    for (size_t s = 0; s < num_shards; ++s) {
+      shards_.push_back(std::make_unique<Shard>(factory));
+    }
+    if (config_.threads > 0) {
+      pool_ = std::make_unique<ThreadPool>(config_.threads);
+    }
+    uint64_t metrics_port = 0;
+    if (config_.serve_metrics && obs::kEnabled) {
+      scope_ = std::make_unique<obs::Scope>();
+      obs::ExportServer::Options server;
+      server.scope = scope_.get();
+      server.prefix = "rrs_worker";
+      exporter_ = std::make_unique<obs::ExportServer>(std::move(server));
+      std::string error;
+      RRS_CHECK(exporter_->Start(&error))
+          << "worker " << index_ << " metrics server: " << error;
+      metrics_port = exporter_->port();
+    }
+    HelloInfo ack;
+    ack.worker_index = index_;
+    ack.pid = static_cast<uint64_t>(::getpid());
+    ack.metrics_port = metrics_port;
+    reply_.Clear();
+    PutHello(reply_, ack);
+    Send(kMsgConfigAck);
+  }
+
+  void HandleAddInstances(snapshot::Reader& reader) {
+    std::vector<std::pair<uint32_t, Instance>> decoded;
+    GetInstanceTable(reader, &decoded);
+    for (auto& [id, instance] : decoded) {
+      // std::map nodes are address-stable: engines keep Instance pointers
+      // across rebinds, so the table must never relocate.
+      const auto [it, inserted] = instances_.emplace(id, std::move(instance));
+      RRS_CHECK(inserted) << "duplicate instance id " << id;
+      (void)it;
+    }
+    reply_.Clear();
+    PutTenantId(reply_, decoded.size());
+    Send(kMsgConfigAck);
+  }
+
+  void HandleAddTenants(snapshot::Reader& reader) {
+    GetTenantSpecs(reader, &waiting_);
+    reply_.Clear();
+    PutTenantId(reply_, waiting_.size());
+    Send(kMsgConfigAck);
+  }
+
+  const Instance& InstanceOf(const TenantSpec& spec) const {
+    const auto it = instances_.find(spec.instance_id);
+    RRS_CHECK(it != instances_.end())
+        << "tenant " << spec.tenant << " references unknown instance "
+        << spec.instance_id;
+    return it->second;
+  }
+
+  size_t TotalLive() const {
+    size_t live = 0;
+    for (const auto& shard : shards_) live += shard->live.size();
+    return live;
+  }
+
+  void HandleTick(snapshot::Reader& reader) {
+    RRS_CHECK(!shards_.empty()) << "Tick before Config";
+    const TickCmd cmd = GetTickCmd(reader);
+
+    // ---- Admit: bind waiting tenants to pooled sessions, round-robin over
+    // shards in admission order, up to the worker-wide live cap. ----
+    size_t total_live = TotalLive();
+    size_t admitted = 0;
+    while (admitted < waiting_.size() &&
+           (config_.max_live_sessions == 0 ||
+            total_live < config_.max_live_sessions)) {
+      const TenantSpec& spec = waiting_[admitted++];
+      Shard& shard = *shards_[admit_counter_++ % shards_.size()];
+      auto session = shard.pool.Acquire();
+      session->engine.Reset(InstanceOf(spec), spec.options.ToEngineOptions());
+      session->engine.BeginRun(*session->policy);
+      shard.live.push_back({std::move(session), spec});
+      ++total_live;
+    }
+    waiting_.erase(waiting_.begin(),
+                   waiting_.begin() + static_cast<ptrdiff_t>(admitted));
+
+    // ---- Step: every shard advances its live sessions one round bucket;
+    // shards run in parallel on the internal pool, each touched by exactly
+    // one thread. ----
+    const uint64_t step_start = WallNs();
+    auto step_shard = [&](int64_t s) {
+      StepShard(*shards_[static_cast<size_t>(s)], cmd.checkpoint);
+    };
+    if (pool_ != nullptr) {
+      ParallelFor(*pool_, 0, static_cast<int64_t>(shards_.size()), step_shard);
+    } else {
+      for (int64_t s = 0; s < static_cast<int64_t>(shards_.size()); ++s) {
+        step_shard(s);
+      }
+    }
+    const uint64_t tick_wall_ns = WallNs() - step_start;
+
+    // ---- Barrier: merge shard slices into one report, sorted by tenant so
+    // the controller's view is shard-count-invariant. ----
+    TickReport report;
+    report.tick = cmd.tick;
+    report.tick_wall_ns = tick_wall_ns;
+    report.waiting = waiting_.size();
+    for (auto& shard : shards_) {
+      report.rounds_stepped += shard->rounds_stepped;
+      report.live += shard->live.size();
+      std::move(shard->completed.begin(), shard->completed.end(),
+                std::back_inserter(report.completed));
+      report.slo.insert(report.slo.end(), shard->slo.begin(),
+                        shard->slo.end());
+      report.trace.insert(report.trace.end(), shard->trace.begin(),
+                          shard->trace.end());
+      std::move(shard->checkpoints.begin(), shard->checkpoints.end(),
+                std::back_inserter(report.checkpoints));
+    }
+    auto by_tenant = [](const auto& a, const auto& b) {
+      return a.tenant < b.tenant;
+    };
+    std::sort(report.completed.begin(), report.completed.end(), by_tenant);
+    std::sort(report.slo.begin(), report.slo.end(), by_tenant);
+    // Trace rows: per-tenant round order is already ascending within a
+    // shard; stable sort keeps it while grouping tenants.
+    std::stable_sort(report.trace.begin(), report.trace.end(), by_tenant);
+    std::sort(report.checkpoints.begin(), report.checkpoints.end(),
+              by_tenant);
+
+    ++stats_.ticks;
+    stats_.rounds_stepped += report.rounds_stepped;
+    stats_.sessions_completed += report.completed.size();
+    stats_.snapshots += report.checkpoints.size();
+    if (scope_ != nullptr) {
+      const std::pair<std::string_view, uint64_t> counters[] = {
+          {"dist.worker.ticks", 1},
+          {"dist.worker.rounds_stepped", report.rounds_stepped},
+          {"dist.worker.completed", report.completed.size()},
+          {"dist.worker.checkpoints", report.checkpoints.size()},
+      };
+      scope_->AbsorbCounters(counters);
+      scope_->AbsorbGauge("dist.worker.live",
+                          static_cast<double>(report.live));
+      scope_->AbsorbGauge("dist.worker.waiting",
+                          static_cast<double>(report.waiting));
+    }
+
+    reply_.Clear();
+    PutTickReport(reply_, report);
+    Send(kMsgTickDone);
+  }
+
+  void StepShard(Shard& shard, bool checkpoint) {
+    shard.completed.clear();
+    shard.slo.clear();
+    shard.trace.clear();
+    shard.checkpoints.clear();
+    shard.rounds_stepped = 0;
+    size_t out = 0;
+    for (size_t i = 0; i < shard.live.size(); ++i) {
+      Live& entry = shard.live[i];
+      Engine& engine = entry.session->engine;
+      const Round before = engine.next_round();
+      bool more = true;
+      if (config_.report_trace) {
+        // Single-round stepping with one trace row per round: the exact
+        // fold the golden-trace digests hash, resumable across migrations
+        // because every row carries its round.
+        for (Round r = 0; more && r < config_.rounds_per_tick; ++r) {
+          more = engine.StepRounds(1);
+          const CostBreakdown& cost = engine.run_cost();
+          shard.trace.push_back({entry.spec.tenant,
+                                 static_cast<uint64_t>(engine.next_round()),
+                                 cost.reconfigurations, cost.drops,
+                                 cost.weighted_drops, engine.run_executed()});
+        }
+      } else {
+        more = engine.StepRounds(config_.rounds_per_tick);
+      }
+      shard.rounds_stepped +=
+          static_cast<uint64_t>(engine.next_round() - before);
+      if (more) {
+        if (config_.report_slo) {
+          shard.slo.push_back({entry.spec.tenant,
+                               static_cast<uint64_t>(engine.next_round()),
+                               engine.run_cost().drops});
+        }
+        if (checkpoint) {
+          shard.snapshot_scratch.Clear();
+          engine.SnapshotRun(shard.snapshot_scratch);
+          shard.checkpoints.push_back(
+              {entry.spec.tenant, static_cast<uint64_t>(engine.next_round()),
+               shard.snapshot_scratch.words()});
+        }
+        if (out != i) shard.live[out] = std::move(shard.live[i]);
+        ++out;
+      } else {
+        TenantResult done;
+        done.tenant = entry.spec.tenant;
+        engine.FinishRun(done.result);
+        if (!config_.collect_results) {
+          // Completion signal only: keep the scalars (cheap, and enough for
+          // the controller's accounting), drop the per-color vectors and
+          // counter map that dominate the wire at 1M tenants.
+          done.result.drops_per_color.clear();
+          done.result.telemetry = obs::Telemetry();
+        }
+        shard.completed.push_back(std::move(done));
+        shard.pool.Release(std::move(entry.session));
+      }
+    }
+    shard.live.resize(out);
+  }
+
+  // Finds a live tenant; returns (shard, index) or (nullptr, 0).
+  std::pair<Shard*, size_t> FindLive(uint64_t tenant) {
+    for (auto& shard : shards_) {
+      for (size_t i = 0; i < shard->live.size(); ++i) {
+        if (shard->live[i].spec.tenant == tenant) return {shard.get(), i};
+      }
+    }
+    return {nullptr, 0};
+  }
+
+  void RemoveLive(Shard& shard, size_t index) {
+    shard.live[index] = std::move(shard.live.back());
+    shard.live.pop_back();
+  }
+
+  void HandleSnapshotTenant(snapshot::Reader& reader) {
+    const uint64_t tenant = GetTenantId(reader);
+    SnapshotReply out;
+    out.checkpoint.tenant = tenant;
+    auto [shard, index] = FindLive(tenant);
+    if (shard != nullptr) {
+      Live& entry = shard->live[index];
+      out.state = kTenantLive;
+      out.checkpoint.round =
+          static_cast<uint64_t>(entry.session->engine.next_round());
+      shard->snapshot_scratch.Clear();
+      entry.session->engine.SnapshotRun(shard->snapshot_scratch);
+      entry.session->engine.AbortRun();
+      out.checkpoint.words = shard->snapshot_scratch.words();
+      shard->pool.Release(std::move(entry.session));
+      RemoveLive(*shard, index);
+      ++stats_.snapshots;
+    } else {
+      const auto it = std::find_if(
+          waiting_.begin(), waiting_.end(),
+          [tenant](const TenantSpec& spec) { return spec.tenant == tenant; });
+      if (it != waiting_.end()) {
+        out.state = kTenantWaiting;
+        waiting_.erase(it);
+      }
+    }
+    reply_.Clear();
+    PutSnapshotReply(reply_, out);
+    Send(kMsgTenantSnapshot);
+  }
+
+  void HandleRestoreTenant(snapshot::Reader& reader) {
+    RRS_CHECK(!shards_.empty()) << "Restore before Config";
+    std::vector<TenantSpec> specs;
+    GetTenantSpecs(reader, &specs);
+    RRS_CHECK_EQ(specs.size(), 1u);
+    TenantCheckpoint checkpoint;
+    GetCheckpoint(reader, &checkpoint);
+    RRS_CHECK_EQ(specs[0].tenant, checkpoint.tenant);
+    const TenantSpec& spec = specs[0];
+    // Restores are exempt from the live cap: a checkpointed tenant must
+    // come back regardless of load (same rule as ChaosFleetRunner).
+    Shard& shard = *shards_[admit_counter_++ % shards_.size()];
+    auto session = shard.pool.Acquire();
+    session->engine.Reset(InstanceOf(spec), spec.options.ToEngineOptions());
+    snapshot::Reader words(checkpoint.words);
+    session->engine.RestoreRun(*session->policy, words);
+    RRS_CHECK(words.AtEnd()) << "trailing words in tenant checkpoint";
+    shard.live.push_back({std::move(session), spec});
+    ++stats_.restores;
+    reply_.Clear();
+    PutTenantId(reply_, spec.tenant);
+    Send(kMsgRestoreAck);
+  }
+
+  void HandleShedTenant(snapshot::Reader& reader) {
+    const uint64_t tenant = GetTenantId(reader);
+    ShedInfo info;
+    info.tenant = tenant;
+    auto [shard, index] = FindLive(tenant);
+    if (shard != nullptr) {
+      Live& entry = shard->live[index];
+      info.state = kTenantLive;
+      info.rounds = static_cast<uint64_t>(entry.session->engine.next_round());
+      info.misses = entry.session->engine.run_cost().drops;
+      entry.session->engine.AbortRun();
+      shard->pool.Release(std::move(entry.session));
+      RemoveLive(*shard, index);
+    } else {
+      const auto it = std::find_if(
+          waiting_.begin(), waiting_.end(),
+          [tenant](const TenantSpec& spec) { return spec.tenant == tenant; });
+      if (it != waiting_.end()) {
+        info.state = kTenantWaiting;
+        waiting_.erase(it);
+      }
+    }
+    reply_.Clear();
+    PutShedInfo(reply_, info);
+    Send(kMsgShedAck);
+  }
+
+  const int fd_;
+  const uint64_t index_;
+  WireConfig config_;
+  std::map<uint32_t, Instance> instances_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<TenantSpec> waiting_;  // admission order
+  size_t admit_counter_ = 0;         // shard round-robin cursor
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<obs::Scope> scope_;
+  std::unique_ptr<obs::ExportServer> exporter_;
+  WorkerStats stats_;
+  snapshot::Writer reply_;
+};
+
+}  // namespace
+
+int WorkerMain(int fd, uint64_t worker_index) {
+  Worker worker(fd, worker_index);
+  return worker.Run();
+}
+
+}  // namespace dist
+}  // namespace fleet
+}  // namespace rrs

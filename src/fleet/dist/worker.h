@@ -1,0 +1,41 @@
+// The worker side of the distributed fleet: one process hosting a sharded
+// batch of live sessions, driven entirely by protocol frames on its control
+// socket.
+//
+// WorkerMain is the whole worker — an event loop that blocks on RecvFrame
+// and dispatches: Config builds the shards (SessionPools of Engine + a
+// registry policy each, an optional internal ThreadPool, an optional
+// metrics ExportServer); AddInstances/AddTenants install work; Tick admits
+// waiting tenants up to the live cap, steps every live session one round
+// bucket (shards in parallel on the internal pool), and replies with a
+// TickReport carrying completions, per-tenant SLO progress rows, optional
+// per-round trace rows, and — when the controller asks — a checkpoint of
+// every still-live tenant; Snapshot/Restore/Shed implement the migration
+// and failover edges. Shutdown replies Bye with lifetime totals and
+// returns.
+//
+// Determinism: shard assignment is admission-order round-robin, every shard
+// is touched by exactly one thread per tick, and all report rows are merged
+// in shard order then sorted by tenant — so a worker's observable behavior
+// is a pure function of the frame sequence it receives, independent of its
+// internal thread count.
+//
+// Normally entered in a freshly forked child (DistController::Start); tests
+// may also run it on a thread in-process against one end of a socketpair —
+// it touches no global state.
+#pragma once
+
+#include <cstdint>
+
+namespace rrs {
+namespace fleet {
+namespace dist {
+
+// Runs the worker event loop on `fd` (one end of the controller's
+// socketpair) until Shutdown or controller EOF. Returns the process exit
+// code (0 on clean shutdown).
+int WorkerMain(int fd, uint64_t worker_index);
+
+}  // namespace dist
+}  // namespace fleet
+}  // namespace rrs

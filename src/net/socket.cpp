@@ -1,0 +1,172 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace rrs {
+namespace net {
+
+int64_t SteadyNowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Deadline Deadline::In(int64_t ms) {
+  if (ms < 0) return Infinite();
+  return Deadline(SteadyNowMs() + ms);
+}
+
+bool Deadline::expired() const {
+  return at_ms_ >= 0 && SteadyNowMs() >= at_ms_;
+}
+
+int Deadline::PollTimeoutMs() const {
+  if (at_ms_ < 0) return -1;
+  const int64_t remaining = at_ms_ - SteadyNowMs();
+  if (remaining <= 0) return 0;
+  // poll takes int; clamp pathological far-future deadlines.
+  return remaining > 1'000'000'000 ? 1'000'000'000
+                                   : static_cast<int>(remaining);
+}
+
+bool SendAll(int fd, const void* data, size_t len) {
+  const char* p = static_cast<const char*>(data);
+  size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd, p + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+ptrdiff_t RecvSome(int fd, void* buf, size_t len, Deadline deadline) {
+  for (;;) {
+    struct pollfd pfd = {fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, deadline.PollTimeoutMs());
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (ready == 0) {
+      errno = ETIMEDOUT;
+      return -1;
+    }
+    const ssize_t n = ::recv(fd, buf, len, 0);
+    if (n < 0 && errno == EINTR) continue;
+    return n;
+  }
+}
+
+bool RecvExact(int fd, void* buf, size_t len, Deadline deadline) {
+  char* p = static_cast<char*>(buf);
+  size_t got = 0;
+  while (got < len) {
+    const ptrdiff_t n = RecvSome(fd, p + got, len - got, deadline);
+    if (n < 0) return false;  // errno: ETIMEDOUT or the recv error
+    if (n == 0) {
+      errno = ECONNRESET;  // EOF mid-buffer: the peer died on us
+      return false;
+    }
+    got += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool SendFrame(int fd, uint64_t type, std::span<const uint64_t> payload) {
+  const uint64_t header[2] = {payload.size(), type};
+  if (!SendAll(fd, header, sizeof(header))) return false;
+  return payload.empty() ||
+         SendAll(fd, payload.data(), payload.size() * sizeof(uint64_t));
+}
+
+bool RecvFrame(int fd, uint64_t* type, std::vector<uint64_t>* payload,
+               Deadline deadline, std::string* error) {
+  auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = what;
+    return false;
+  };
+  uint64_t header[2];
+  // EOF cleanly *between* frames is a normal peer shutdown: report false
+  // with an empty error so callers can tell it from corruption.
+  const ptrdiff_t first =
+      RecvSome(fd, header, sizeof(header), deadline);
+  if (first < 0) {
+    return fail(errno == ETIMEDOUT ? "frame header timeout"
+                                   : std::string("frame header recv: ") +
+                                         std::strerror(errno));
+  }
+  if (first == 0) {
+    if (error != nullptr) error->clear();
+    return false;
+  }
+  if (static_cast<size_t>(first) < sizeof(header) &&
+      !RecvExact(fd, reinterpret_cast<char*>(header) + first,
+                 sizeof(header) - static_cast<size_t>(first), deadline)) {
+    return fail(errno == ETIMEDOUT ? "frame header timeout (partial header)"
+                                   : "frame header truncated");
+  }
+  const uint64_t words = header[0];
+  if (words > kMaxFrameWords) {
+    return fail("frame length " + std::to_string(words) +
+                " words exceeds kMaxFrameWords (corrupt length prefix?)");
+  }
+  *type = header[1];
+  payload->resize(words);
+  if (words > 0 &&
+      !RecvExact(fd, payload->data(), words * sizeof(uint64_t), deadline)) {
+    return fail(errno == ETIMEDOUT
+                    ? "frame payload timeout (" + std::to_string(words) +
+                          " words expected)"
+                    : "frame payload truncated");
+  }
+  return true;
+}
+
+bool UnixStreamPair(int fds[2], std::string* error) {
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    if (error != nullptr) {
+      *error = std::string("socketpair: ") + std::strerror(errno);
+    }
+    return false;
+  }
+  return true;
+}
+
+int ConnectTcp(const std::string& host, uint16_t port, std::string* error) {
+  auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = what;
+    return -1;
+  };
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return fail(std::string("socket: ") + std::strerror(errno));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return fail("inet_pton(" + host + ")");
+  }
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const std::string what = std::string("connect: ") + std::strerror(errno);
+    ::close(fd);
+    return fail(what);
+  }
+  return fd;
+}
+
+}  // namespace net
+}  // namespace rrs

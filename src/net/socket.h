@@ -1,0 +1,91 @@
+// Deadline-aware socket I/O shared by the obs export server, its HttpGet
+// client, and the distributed fleet's control channel (fleet/dist/).
+//
+// Everything here is dependency-free POSIX: stream sockets (TCP loopback for
+// metrics scrapes, Unix-domain socketpairs for the controller <-> worker
+// protocol), EINTR-safe full-buffer send/recv loops, and poll(2)-based
+// deadlines so a stalled peer turns into a clean timeout instead of a hung
+// caller (a scrape of a wedged worker must not hang fleet_top forever).
+//
+// The frame layer is the distributed fleet's wire unit: a length-prefixed
+// uint64-word message —
+//
+//   [u64 payload word count][u64 message type][payload words...]
+//
+// — whose payload is, by convention, a snapshot::Writer word stream
+// (magic + version header + checksummed sections), so every message gets the
+// snapshot codec's corruption and version-skew detection for free.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace rrs {
+namespace net {
+
+// A point in time to stop waiting, carried across the header/payload reads
+// of one frame (or the header/body reads of one HTTP response) so the whole
+// operation shares a single budget.
+class Deadline {
+ public:
+  // No deadline: waits block indefinitely.
+  static Deadline Infinite() { return Deadline(-1); }
+  // Expires `ms` milliseconds from now (ms < 0 behaves like Infinite).
+  static Deadline In(int64_t ms);
+
+  bool infinite() const { return at_ms_ < 0; }
+  bool expired() const;
+  // Remaining budget as a poll(2) timeout: -1 = infinite, 0 = expired.
+  int PollTimeoutMs() const;
+
+ private:
+  explicit Deadline(int64_t at_ms) : at_ms_(at_ms) {}
+  int64_t at_ms_;  // steady-clock ms; < 0 = infinite
+};
+
+// Monotonic milliseconds (steady clock); the base Deadline counts in.
+int64_t SteadyNowMs();
+
+// send(2) loop with MSG_NOSIGNAL: a peer hanging up mid-message must not
+// SIGPIPE the process. Retries EINTR; returns false on any other error.
+bool SendAll(int fd, const void* data, size_t len);
+
+// Receives up to `len` bytes once the fd is readable, honoring the deadline.
+// Returns >0 bytes read, 0 on orderly EOF, -1 on error or deadline expiry
+// (errno = ETIMEDOUT for the latter).
+ptrdiff_t RecvSome(int fd, void* buf, size_t len, Deadline deadline);
+
+// Short-read loop: receives exactly `len` bytes or fails. False on EOF
+// mid-buffer, error, or deadline expiry (errno distinguishes: ETIMEDOUT vs
+// ECONNRESET for a premature EOF vs the underlying errno).
+bool RecvExact(int fd, void* buf, size_t len, Deadline deadline);
+
+// ---- Length-prefixed uint64-word frames (the dist control protocol) ------
+
+// Hard cap on a single frame's payload, as a corruption guard on the length
+// prefix (a garbled word must not turn into a multi-GiB allocation). 1M
+// tenants of checkpoint words stream as many frames, not one.
+inline constexpr uint64_t kMaxFrameWords = 1ull << 28;  // 2 GiB of words
+
+bool SendFrame(int fd, uint64_t type, std::span<const uint64_t> payload);
+
+// Receives one frame; `payload` is overwritten (capacity reused). False on
+// EOF before a header (clean peer shutdown, *error empty), or on timeout /
+// truncation / oversized length (*error describes which).
+bool RecvFrame(int fd, uint64_t* type, std::vector<uint64_t>* payload,
+               Deadline deadline, std::string* error = nullptr);
+
+// AF_UNIX SOCK_STREAM pair — the controller <-> worker control channel.
+// False with *error on failure.
+bool UnixStreamPair(int fds[2], std::string* error = nullptr);
+
+// Blocking TCP connect to an IPv4 address ("127.0.0.1") — the scrape
+// client's dial. Returns the fd, or -1 with *error set.
+int ConnectTcp(const std::string& host, uint16_t port,
+               std::string* error = nullptr);
+
+}  // namespace net
+}  // namespace rrs

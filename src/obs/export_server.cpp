@@ -7,28 +7,21 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cctype>
 #include <cerrno>
 #include <cstring>
+
+#include "net/socket.h"
 
 namespace rrs {
 namespace obs {
 
 namespace {
 
-// send(2) loop with MSG_NOSIGNAL: a scraper hanging up mid-response must not
-// SIGPIPE the fleet process.
+// Shared EINTR/MSG_NOSIGNAL send loop (net/socket.h): a scraper hanging up
+// mid-response must not SIGPIPE the fleet process.
 bool SendAll(int fd, std::string_view data) {
-  size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
-                             MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    sent += static_cast<size_t>(n);
-  }
-  return true;
+  return net::SendAll(fd, data.data(), data.size());
 }
 
 std::string HttpResponse(int status, std::string_view reason,
@@ -174,49 +167,128 @@ void ExportServer::HandleConnection(int fd) {
   SendAll(fd, HttpResponse(404, "Not Found", "text/plain", "not found\n"));
 }
 
+namespace {
+
+// Case-insensitive Content-Length extraction from a response head.
+bool FindContentLength(std::string_view head, size_t* length) {
+  size_t pos = 0;
+  while (pos < head.size()) {
+    size_t eol = head.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = head.size();
+    const std::string_view line = head.substr(pos, eol - pos);
+    pos = eol + 2;
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos) continue;
+    std::string name(line.substr(0, colon));
+    for (char& c : name) c = static_cast<char>(std::tolower(c));
+    if (name != "content-length") continue;
+    size_t at = colon + 1;
+    while (at < line.size() && line[at] == ' ') ++at;
+    *length = 0;
+    bool any = false;
+    for (; at < line.size() && line[at] >= '0' && line[at] <= '9'; ++at) {
+      *length = *length * 10 + static_cast<size_t>(line[at] - '0');
+      any = true;
+    }
+    return any;
+  }
+  return false;
+}
+
+}  // namespace
+
 std::string HttpGet(const std::string& host, uint16_t port,
-                    const std::string& path, std::string* error) {
+                    const std::string& path, std::string* error,
+                    int64_t timeout_ms) {
   auto fail = [&](const std::string& what) {
     if (error != nullptr) *error = what;
     return std::string();
   };
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return fail(std::string("socket: ") + std::strerror(errno));
-  struct sockaddr_in addr;
-  std::memset(&addr, 0, sizeof(addr));
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd);
-    return fail("inet_pton(" + host + ")");
-  }
-  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
-                sizeof(addr)) != 0) {
-    ::close(fd);
-    return fail(std::string("connect: ") + std::strerror(errno));
-  }
+  // One deadline spans the whole request: connect-to-last-body-byte. A
+  // wedged worker's scrape endpoint fails in bounded time.
+  const net::Deadline deadline = net::Deadline::In(timeout_ms);
+  const int fd = net::ConnectTcp(host, port, error);
+  if (fd < 0) return std::string();
   const std::string request = "GET " + path + " HTTP/1.1\r\nHost: " + host +
                               "\r\nConnection: close\r\n\r\n";
-  if (!SendAll(fd, request)) {
+  if (!net::SendAll(fd, request.data(), request.size())) {
     ::close(fd);
     return fail(std::string("send: ") + std::strerror(errno));
   }
+  // Read until the end of the head, then loop until Content-Length bytes of
+  // body have arrived (short reads and dribbling servers included). Without
+  // Content-Length, fall back to read-until-EOF (Connection: close).
   std::string response;
+  size_t head_end = std::string::npos;
   char buf[4096];
-  for (;;) {
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) break;
-    response.append(buf, static_cast<size_t>(n));
+  auto recv_chunk = [&]() -> ptrdiff_t {
+    const ptrdiff_t n = net::RecvSome(fd, buf, sizeof(buf), deadline);
+    if (n > 0) response.append(buf, static_cast<size_t>(n));
+    return n;
+  };
+  while (head_end == std::string::npos) {
+    const ptrdiff_t n = recv_chunk();
+    if (n < 0) {
+      ::close(fd);
+      return fail(errno == ETIMEDOUT
+                      ? "timeout waiting for response head from " + host +
+                            ":" + std::to_string(port) + path
+                      : std::string("recv: ") + std::strerror(errno));
+    }
+    if (n == 0) break;  // EOF: head_end search below decides if that is ok
+    if (response.size() > 1 << 20) {
+      ::close(fd);
+      return fail("response head exceeds 1 MiB");
+    }
+    head_end = response.find("\r\n\r\n");
+  }
+  if (head_end == std::string::npos) {
+    ::close(fd);
+    return fail("malformed response (no header terminator)");
+  }
+  const std::string status_line = response.substr(0, response.find("\r\n"));
+  size_t content_length = 0;
+  const bool has_length = FindContentLength(
+      std::string_view(response).substr(0, head_end), &content_length);
+  const size_t body_start = head_end + 4;
+  if (has_length) {
+    while (response.size() - body_start < content_length) {
+      const ptrdiff_t n = recv_chunk();
+      if (n < 0) {
+        ::close(fd);
+        return fail(errno == ETIMEDOUT
+                        ? "timeout mid-body: got " +
+                              std::to_string(response.size() - body_start) +
+                              " of " + std::to_string(content_length) +
+                              " bytes"
+                        : std::string("recv: ") + std::strerror(errno));
+      }
+      if (n == 0) {
+        ::close(fd);
+        return fail("connection closed mid-body: got " +
+                    std::to_string(response.size() - body_start) + " of " +
+                    std::to_string(content_length) + " bytes");
+      }
+    }
+  } else {
+    for (;;) {
+      const ptrdiff_t n = recv_chunk();
+      if (n == 0) break;
+      if (n < 0) {
+        ::close(fd);
+        return fail(errno == ETIMEDOUT
+                        ? "timeout reading un-lengthed body"
+                        : std::string("recv: ") + std::strerror(errno));
+      }
+    }
   }
   ::close(fd);
-  const size_t head_end = response.find("\r\n\r\n");
-  if (head_end == std::string::npos) return fail("malformed response");
-  const std::string status_line = response.substr(0, response.find("\r\n"));
   if (status_line.find(" 200 ") == std::string::npos) {
     return fail(status_line);
   }
-  return response.substr(head_end + 4);
+  std::string body = response.substr(body_start);
+  if (has_length && body.size() > content_length) body.resize(content_length);
+  return body;
 }
 
 }  // namespace obs

@@ -95,8 +95,17 @@ class ExportServer {
 // Minimal blocking HTTP/1.1 GET for tests and fleet_top: returns the
 // response body on HTTP 200, empty string otherwise (*error carries the
 // status line or errno text).
+//
+// The whole request shares one deadline (`timeout_ms`; < 0 = no deadline):
+// a stalled or wedged server turns into an ETIMEDOUT error instead of a
+// forever-hung scraper. Bodies are assembled with a short-read loop against
+// the response's Content-Length, so a server that dribbles the body in
+// small writes — or a kernel that returns partial reads — still yields the
+// complete payload; a connection that closes short of Content-Length is an
+// error, not a silently truncated body.
 std::string HttpGet(const std::string& host, uint16_t port,
-                    const std::string& path, std::string* error = nullptr);
+                    const std::string& path, std::string* error = nullptr,
+                    int64_t timeout_ms = 5000);
 
 }  // namespace obs
 }  // namespace rrs

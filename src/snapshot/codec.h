@@ -62,6 +62,15 @@ enum Tag : uint64_t {
   kTagChaosTenant = 12,
   kTagPolicyBatched = 13,
   kTagPolicyInstrumented = 14,
+  // Distributed-fleet control protocol (fleet/dist/protocol.h): every frame
+  // payload is a codec word stream, so messages inherit the checksum and
+  // version-skew checks. One tag per section kind within a message.
+  kTagDistMsg = 15,
+  kTagDistInstance = 16,
+  kTagDistResult = 17,
+  kTagDistSlo = 18,
+  kTagDistTrace = 19,
+  kTagDistCheckpoint = 20,
 };
 
 // FNV-1a over 64-bit words (the repo-wide checksum; same constants as the
@@ -143,10 +152,21 @@ class Writer {
 class Reader {
  public:
   // The span must outlive the reader. Validates the header immediately.
+  // Version skew gets a directional diagnostic: a snapshot stamped with a
+  // *future* version was produced by a newer writer (a mixed-version worker
+  // pool shipping checkpoints backwards), which is a deployment error worth
+  // naming precisely, not a generic mismatch.
   explicit Reader(std::span<const uint64_t> words) : words_(words) {
     RRS_CHECK_GE(words_.size(), 2u) << "snapshot truncated: no header";
     RRS_CHECK_EQ(words_[0], kMagic) << "snapshot magic mismatch";
-    RRS_CHECK_EQ(words_[1], kVersion) << "snapshot version mismatch";
+    RRS_CHECK_LE(words_[1], kVersion)
+        << "snapshot from future codec version " << words_[1]
+        << " (this build reads version " << kVersion
+        << "): refusing to guess at a newer format — upgrade this reader "
+           "or re-snapshot with a matching writer";
+    RRS_CHECK_EQ(words_[1], kVersion)
+        << "snapshot version mismatch (snapshot " << words_[1]
+        << ", reader " << kVersion << ")";
     pos_ = 2;
   }
 

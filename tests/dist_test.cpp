@@ -1,0 +1,611 @@
+// Distributed fleet differential suite (fleet/dist/): the multi-process
+// controller/worker fabric must be observationally identical to a
+// single-engine run of the same tenants —
+//
+//   - per-tenant RunResults (cost, executions, drops, telemetry counters)
+//     bit-identical to the fresh-engine oracle at 1/2/4 workers, any worker
+//     thread count;
+//   - live migration at any cut point, for every registry policy, leaves
+//     results, SLO windows, and golden trace digests exactly as if the
+//     tenant had never moved (quiesce → snapshot → ship → restore);
+//   - killing a worker and failing its tenants over from the checkpoint
+//     stream (or restarting them from scratch) is invisible in the results:
+//     deterministic re-execution converges on the same bits.
+//
+// The protocol layer is round-tripped directly, and the controller/worker
+// metrics endpoints are scraped over real HTTP.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/instance.h"
+#include "fleet/dist/controller.h"
+#include "fleet/dist/protocol.h"
+#include "fleet/fleet_runner.h"
+#include "fleet/slo.h"
+#include "obs/export_server.h"
+#include "sched/registry.h"
+#include "util/sha256.h"
+#include "workload/synthetic.h"
+
+namespace rrs {
+namespace fleet {
+namespace dist {
+namespace {
+
+Instance DistTenant(uint64_t seed, Round rounds = 96) {
+  std::vector<workload::ColorSpec> specs = {
+      {1, 0.4}, {2, 0.5}, {4, 0.5}, {8, 0.4}, {16, 0.3}};
+  workload::PoissonOptions gen;
+  gen.rounds = rounds;
+  gen.seed = seed;
+  return MakePoisson(specs, gen);
+}
+
+EngineOptions TestOptions() {
+  EngineOptions options;
+  options.num_resources = 8;
+  options.cost_model.delta = 3;
+  return options;
+}
+
+void ExpectSameRunResult(const RunResult& got, const RunResult& want,
+                         const std::string& label) {
+  EXPECT_EQ(got.cost.reconfigurations, want.cost.reconfigurations) << label;
+  EXPECT_EQ(got.cost.drops, want.cost.drops) << label;
+  EXPECT_EQ(got.cost.weighted_drops, want.cost.weighted_drops) << label;
+  EXPECT_EQ(got.executed, want.executed) << label;
+  EXPECT_EQ(got.arrived, want.arrived) << label;
+  EXPECT_EQ(got.rounds_simulated, want.rounds_simulated) << label;
+  EXPECT_EQ(got.drops_per_color, want.drops_per_color) << label;
+  EXPECT_EQ(got.telemetry.drops, want.telemetry.drops) << label;
+  EXPECT_EQ(got.telemetry.executed, want.telemetry.executed) << label;
+  EXPECT_EQ(got.telemetry.counters, want.telemetry.counters) << label;
+}
+
+// The golden-trace fold (tests/golden_trace_test.cpp TraceDigest), computed
+// on a plain single-process engine — the oracle the controller's
+// migration-proof digest fold must reproduce bit for bit.
+std::string OracleDigest(const Instance& instance,
+                         const std::string& policy) {
+  auto p = MakePolicy(policy);
+  Engine engine(instance, TestOptions());
+  engine.BeginRun(*p);
+  Sha256 hash;
+  bool more = true;
+  while (more) {
+    more = engine.StepRounds(1);
+    hash.UpdateU64(static_cast<uint64_t>(engine.next_round()));
+    const CostBreakdown& cost = engine.run_cost();
+    hash.UpdateU64(cost.reconfigurations);
+    hash.UpdateU64(cost.drops);
+    hash.UpdateU64(cost.weighted_drops);
+    hash.UpdateU64(engine.run_executed());
+  }
+  RunResult result;
+  engine.FinishRun(result);
+  hash.UpdateU64(result.arrived);
+  hash.UpdateU64(result.executed);
+  for (uint64_t d : result.drops_per_color) hash.UpdateU64(d);
+  return hash.FinishHex();
+}
+
+struct DistRun {
+  std::vector<RunResult> results;
+  std::vector<std::string> digests;
+  SloTracker::Snapshot slo;
+  DistStats stats;
+};
+
+DistRun RunDistFleet(
+    const std::vector<Instance>& tenants, const std::string& policy,
+    size_t workers, uint32_t threads = 0,
+    const std::function<void(DistController&)>& plan = nullptr,
+    uint32_t checkpoint_interval = 0) {
+  DistOptions options;
+  options.num_workers = workers;
+  options.worker.policy = policy;
+  options.worker.rounds_per_tick = 1;
+  options.worker.threads = threads;
+  options.worker.report_slo = true;
+  options.worker.report_trace = true;
+  options.worker.checkpoint_interval_ticks = checkpoint_interval;
+  options.track_slo = true;
+  options.trace_digests = true;
+  options.slo.window_rounds = 16;
+  options.slo.miss_budget = 2;
+  DistController controller(std::move(options));
+  std::string error;
+  EXPECT_TRUE(controller.Start(&error)) << error;
+  std::vector<FleetJob> jobs(tenants.size());
+  for (size_t t = 0; t < tenants.size(); ++t) {
+    jobs[t].instance = &tenants[t];
+    jobs[t].options = TestOptions();
+  }
+  controller.AddJobs(jobs);
+  if (plan) plan(controller);
+  DistRun run;
+  run.results = controller.Run();
+  for (size_t t = 0; t < tenants.size(); ++t) {
+    run.digests.push_back(controller.trace_digest(t));
+  }
+  run.slo = controller.slo()->SnapshotTotals();
+  run.stats = controller.stats();
+  controller.Shutdown();
+  return run;
+}
+
+void ExpectSameSloTotals(const SloTracker::Snapshot& got,
+                         const SloTracker::Snapshot& want,
+                         const std::string& label) {
+  EXPECT_EQ(got.observations, want.observations) << label;
+  EXPECT_EQ(got.rounds, want.rounds) << label;
+  EXPECT_EQ(got.misses, want.misses) << label;
+  EXPECT_EQ(got.windows_closed, want.windows_closed) << label;
+  EXPECT_EQ(got.windows_breached, want.windows_breached) << label;
+  EXPECT_EQ(got.exhausted_events, want.exhausted_events) << label;
+  EXPECT_EQ(got.tenants_seen, want.tenants_seen) << label;
+  EXPECT_EQ(got.tenants_finished, want.tenants_finished) << label;
+  EXPECT_EQ(got.tenants_out_of_budget, want.tenants_out_of_budget) << label;
+}
+
+// ---- Protocol round-trips ------------------------------------------------
+
+TEST(DistProtocol, ConfigRoundTrips) {
+  WireConfig config;
+  config.rounds_per_tick = 17;
+  config.max_live_sessions = 5;
+  config.threads = 3;
+  config.collect_results = false;
+  config.report_slo = true;
+  config.report_trace = true;
+  config.checkpoint_interval_ticks = 9;
+  config.serve_metrics = true;
+  config.policy = "greedy-edf";
+  snapshot::Writer w;
+  PutConfig(w, config);
+  snapshot::Reader r(w.words());
+  const WireConfig got = GetConfig(r);
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(got.rounds_per_tick, 17);
+  EXPECT_EQ(got.max_live_sessions, 5u);
+  EXPECT_EQ(got.threads, 3u);
+  EXPECT_FALSE(got.collect_results);
+  EXPECT_TRUE(got.report_trace);
+  EXPECT_EQ(got.checkpoint_interval_ticks, 9u);
+  EXPECT_TRUE(got.serve_metrics);
+  EXPECT_EQ(got.policy, "greedy-edf");
+}
+
+TEST(DistProtocol, InstanceTableRoundTripsIncludingNamesAndDropCosts) {
+  InstanceBuilder builder;
+  builder.AddColor(3, "alpha", 2);
+  builder.AddColor(7, "beta-with-a-longer-name", 5);
+  builder.AddJobs(0, 0, 4);
+  builder.AddJobs(1, 2, 1);
+  builder.AddJobs(0, 5, 3);
+  const Instance original = builder.Build();
+  snapshot::Writer w;
+  PutInstanceTable(w, {&original}, 11);
+  snapshot::Reader r(w.words());
+  std::vector<std::pair<uint32_t, Instance>> decoded;
+  GetInstanceTable(r, &decoded);
+  EXPECT_TRUE(r.AtEnd());
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_EQ(decoded[0].first, 11u);
+  const Instance& got = decoded[0].second;
+  ASSERT_EQ(got.num_colors(), original.num_colors());
+  for (ColorId c = 0; c < original.num_colors(); ++c) {
+    EXPECT_EQ(got.delay_bound(c), original.delay_bound(c));
+    EXPECT_EQ(got.drop_cost(c), original.drop_cost(c));
+    EXPECT_EQ(got.color_name(c), original.color_name(c));
+  }
+  ASSERT_EQ(got.jobs().size(), original.jobs().size());
+  for (size_t j = 0; j < original.jobs().size(); ++j) {
+    EXPECT_EQ(got.jobs()[j], original.jobs()[j]);
+  }
+  // A decoded instance must drive the engine identically.
+  auto p1 = MakePolicy("dlru-edf");
+  auto p2 = MakePolicy("dlru-edf");
+  const RunResult a = RunPolicy(original, *p1, TestOptions());
+  const RunResult b = RunPolicy(got, *p2, TestOptions());
+  ExpectSameRunResult(b, a, "decoded instance");
+}
+
+TEST(DistProtocol, TickReportRoundTripsAllSections) {
+  TickReport report;
+  report.tick = 3;
+  report.rounds_stepped = 640;
+  report.live = 7;
+  report.waiting = 2;
+  report.tick_wall_ns = 12345;
+  TenantResult done;
+  done.tenant = 4;
+  done.result.cost = {10, 3, 9};
+  done.result.executed = 55;
+  done.result.arrived = 58;
+  done.result.rounds_simulated = 97;
+  done.result.drops_per_color = {1, 2, 0};
+  done.result.telemetry.drops = 3;
+  done.result.telemetry.counters["policy.recolor_scans"] = 42.0;
+  report.completed.push_back(done);
+  report.slo = {{1, 64, 2}, {2, 64, 0}};
+  report.trace = {{1, 63, 4, 2, 6, 50}, {1, 64, 4, 2, 6, 51}};
+  report.checkpoints.push_back({2, 64, {9, 8, 7}});
+  snapshot::Writer w;
+  PutTickReport(w, report);
+  snapshot::Reader r(w.words());
+  TickReport got;
+  GetTickReport(r, &got);
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(got.tick, 3u);
+  EXPECT_EQ(got.rounds_stepped, 640u);
+  EXPECT_EQ(got.live, 7u);
+  EXPECT_EQ(got.waiting, 2u);
+  ASSERT_EQ(got.completed.size(), 1u);
+  EXPECT_EQ(got.completed[0].tenant, 4u);
+  ExpectSameRunResult(got.completed[0].result, done.result, "tick report");
+  ASSERT_EQ(got.slo.size(), 2u);
+  EXPECT_EQ(got.slo[1].tenant, 2u);
+  EXPECT_EQ(got.slo[0].misses, 2u);
+  ASSERT_EQ(got.trace.size(), 2u);
+  EXPECT_EQ(got.trace[1].round, 64u);
+  EXPECT_EQ(got.trace[1].executed, 51u);
+  ASSERT_EQ(got.checkpoints.size(), 1u);
+  EXPECT_EQ(got.checkpoints[0].tenant, 2u);
+  EXPECT_EQ(got.checkpoints[0].words, (std::vector<uint64_t>{9, 8, 7}));
+}
+
+TEST(DistProtocol, SmallBodiesRoundTrip) {
+  {
+    snapshot::Writer w;
+    PutTickCmd(w, {77, true});
+    snapshot::Reader r(w.words());
+    const TickCmd cmd = GetTickCmd(r);
+    EXPECT_EQ(cmd.tick, 77u);
+    EXPECT_TRUE(cmd.checkpoint);
+  }
+  {
+    snapshot::Writer w;
+    PutTenantId(w, 123456789);
+    snapshot::Reader r(w.words());
+    EXPECT_EQ(GetTenantId(r), 123456789u);
+  }
+  {
+    SnapshotReply reply;
+    reply.state = kTenantLive;
+    reply.checkpoint = {5, 40, {1, 2, 3}};
+    snapshot::Writer w;
+    PutSnapshotReply(w, reply);
+    snapshot::Reader r(w.words());
+    SnapshotReply got;
+    GetSnapshotReply(r, &got);
+    EXPECT_EQ(got.state, static_cast<uint64_t>(kTenantLive));
+    EXPECT_EQ(got.checkpoint.round, 40u);
+    EXPECT_EQ(got.checkpoint.words.size(), 3u);
+  }
+  {
+    SnapshotReply waiting;
+    waiting.state = kTenantWaiting;
+    snapshot::Writer w;
+    PutSnapshotReply(w, waiting);
+    snapshot::Reader r(w.words());
+    SnapshotReply got;
+    GetSnapshotReply(r, &got);
+    EXPECT_EQ(got.state, static_cast<uint64_t>(kTenantWaiting));
+    EXPECT_TRUE(got.checkpoint.words.empty());
+  }
+  {
+    snapshot::Writer w;
+    PutShedInfo(w, {9, kTenantLive, 33, 4});
+    snapshot::Reader r(w.words());
+    const ShedInfo info = GetShedInfo(r);
+    EXPECT_EQ(info.tenant, 9u);
+    EXPECT_EQ(info.rounds, 33u);
+    EXPECT_EQ(info.misses, 4u);
+  }
+  {
+    snapshot::Writer w;
+    PutWorkerStats(w, {10, 20, 30, 40, 50});
+    snapshot::Reader r(w.words());
+    const WorkerStats stats = GetWorkerStats(r);
+    EXPECT_EQ(stats.ticks, 10u);
+    EXPECT_EQ(stats.snapshots, 50u);
+  }
+}
+
+// ---- End-to-end: multi-process fleet vs fresh-engine oracle --------------
+
+TEST(DistFleet, MatchesSingleEngineOracleAcrossWorkerCounts) {
+  std::vector<Instance> tenants;
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    tenants.push_back(DistTenant(seed));
+  }
+  for (const std::string& policy : {std::string("dlru-edf"),
+                                    std::string("edf")}) {
+    std::vector<RunResult> oracle;
+    std::vector<std::string> oracle_digests;
+    for (const Instance& tenant : tenants) {
+      auto p = MakePolicy(policy);
+      oracle.push_back(RunPolicy(tenant, *p, TestOptions()));
+      oracle_digests.push_back(OracleDigest(tenant, policy));
+    }
+    for (const size_t workers : {1u, 2u, 4u}) {
+      const uint32_t threads = workers == 2 ? 2 : 0;  // one cell with a pool
+      const DistRun run = RunDistFleet(tenants, policy, workers, threads);
+      const std::string label =
+          policy + " @" + std::to_string(workers) + "w";
+      ASSERT_EQ(run.results.size(), tenants.size());
+      for (size_t t = 0; t < tenants.size(); ++t) {
+        ExpectSameRunResult(run.results[t], oracle[t],
+                            label + " tenant " + std::to_string(t));
+        EXPECT_EQ(run.digests[t], oracle_digests[t])
+            << label << " tenant " << t;
+      }
+      EXPECT_EQ(run.stats.completed, tenants.size()) << label;
+    }
+  }
+}
+
+// ---- Live migration: every policy, every cut, 1/2/4 workers --------------
+//
+// At the cut tick every tenant is snapshotted off its worker and restored
+// on another (on a 1-worker fleet: back onto the same worker — the full
+// quiesce/snapshot/restore cycle still runs). Everything observable must
+// match the never-migrated oracle.
+
+TEST(DistMigration, EveryPolicyEveryCutMatchesNeverMigratedOracle) {
+  std::vector<Instance> tenants;
+  for (uint64_t seed = 21; seed <= 24; ++seed) {
+    tenants.push_back(DistTenant(seed));
+  }
+  const std::vector<uint64_t> cuts = {1, 17, 64};
+  for (const std::string& policy : PolicyNames()) {
+    // Never-migrated oracle: fresh engines + the direct digest fold, plus
+    // the SLO totals of an undisturbed 1-worker dist run (the tracker is
+    // fed identically regardless of placement, which is the claim).
+    std::vector<RunResult> oracle;
+    std::vector<std::string> oracle_digests;
+    for (const Instance& tenant : tenants) {
+      auto p = MakePolicy(policy);
+      oracle.push_back(RunPolicy(tenant, *p, TestOptions()));
+      oracle_digests.push_back(OracleDigest(tenant, policy));
+    }
+    const DistRun undisturbed = RunDistFleet(tenants, policy, 1);
+    for (const size_t workers : {1u, 2u, 4u}) {
+      for (const uint64_t cut : cuts) {
+        const DistRun run = RunDistFleet(
+            tenants, policy, workers, /*threads=*/0,
+            [&](DistController& controller) {
+              for (uint64_t t = 0; t < tenants.size(); ++t) {
+                controller.ScheduleMigration(
+                    cut, t, (t + cut) % controller.num_workers());
+              }
+            });
+        const std::string label = policy + " cut=" + std::to_string(cut) +
+                                  " @" + std::to_string(workers) + "w";
+        for (size_t t = 0; t < tenants.size(); ++t) {
+          ExpectSameRunResult(run.results[t], oracle[t],
+                              label + " tenant " + std::to_string(t));
+          EXPECT_EQ(run.digests[t], oracle_digests[t])
+              << label << " tenant " << t;
+        }
+        ExpectSameSloTotals(run.slo, undisturbed.slo, label);
+      }
+    }
+  }
+}
+
+// ---- Failover: kill a worker, recover from the checkpoint stream ---------
+
+TEST(DistFailover, KilledWorkerRecoversFromCheckpointsBitIdentically) {
+  std::vector<Instance> tenants;
+  for (uint64_t seed = 31; seed <= 36; ++seed) {
+    tenants.push_back(DistTenant(seed));
+  }
+  const std::string policy = "dlru-edf";
+  std::vector<RunResult> oracle;
+  std::vector<std::string> oracle_digests;
+  for (const Instance& tenant : tenants) {
+    auto p = MakePolicy(policy);
+    oracle.push_back(RunPolicy(tenant, *p, TestOptions()));
+    oracle_digests.push_back(OracleDigest(tenant, policy));
+  }
+  const DistRun undisturbed = RunDistFleet(tenants, policy, 1);
+  const DistRun run = RunDistFleet(
+      tenants, policy, /*workers=*/3, /*threads=*/0,
+      [](DistController& controller) {
+        controller.ScheduleKill(10, 1);
+        controller.ScheduleKill(30, 2);
+      },
+      /*checkpoint_interval=*/4);
+  EXPECT_EQ(run.stats.kills, 2u);
+  EXPECT_GT(run.stats.restored_from_checkpoint, 0u);
+  for (size_t t = 0; t < tenants.size(); ++t) {
+    ExpectSameRunResult(run.results[t], oracle[t],
+                        "failover tenant " + std::to_string(t));
+    EXPECT_EQ(run.digests[t], oracle_digests[t]) << "failover tenant " << t;
+  }
+  // SLO windows: the high-water guard must drop the rewound re-observations
+  // so totals match the undisturbed fleet exactly.
+  ExpectSameSloTotals(run.slo, undisturbed.slo, "failover slo");
+}
+
+TEST(DistFailover, UncheckpointedTenantsRestartFromScratch) {
+  std::vector<Instance> tenants = {DistTenant(41), DistTenant(42),
+                                   DistTenant(43)};
+  const std::string policy = "greedy-edf";
+  std::vector<RunResult> oracle;
+  for (const Instance& tenant : tenants) {
+    auto p = MakePolicy(policy);
+    oracle.push_back(RunPolicy(tenant, *p, TestOptions()));
+  }
+  const DistRun undisturbed = RunDistFleet(tenants, policy, 1);
+  // No checkpoint stream at all: the kill forces the from-scratch path.
+  const DistRun run = RunDistFleet(
+      tenants, policy, /*workers=*/2, /*threads=*/0,
+      [](DistController& controller) { controller.ScheduleKill(5, 0); },
+      /*checkpoint_interval=*/0);
+  EXPECT_EQ(run.stats.kills, 1u);
+  EXPECT_EQ(run.stats.restored_from_checkpoint, 0u);
+  EXPECT_GT(run.stats.restarted_from_scratch, 0u);
+  for (size_t t = 0; t < tenants.size(); ++t) {
+    ExpectSameRunResult(run.results[t], oracle[t],
+                        "restart tenant " + std::to_string(t));
+  }
+  ExpectSameSloTotals(run.slo, undisturbed.slo, "restart slo");
+}
+
+// ---- Shedding ------------------------------------------------------------
+
+TEST(DistShed, ScriptedShedDropsOneTenantAndLeavesTheRestExact) {
+  std::vector<Instance> tenants = {DistTenant(51), DistTenant(52),
+                                   DistTenant(53), DistTenant(54)};
+  const std::string policy = "dlru-edf";
+  std::vector<RunResult> oracle;
+  for (const Instance& tenant : tenants) {
+    auto p = MakePolicy(policy);
+    oracle.push_back(RunPolicy(tenant, *p, TestOptions()));
+  }
+  const DistRun run = RunDistFleet(
+      tenants, policy, /*workers=*/2, /*threads=*/0,
+      [](DistController& controller) { controller.ScheduleShed(3, 2); });
+  EXPECT_EQ(run.stats.shed, 1u);
+  EXPECT_EQ(run.stats.completed, tenants.size() - 1);
+  for (size_t t = 0; t < tenants.size(); ++t) {
+    if (t == 2) {
+      EXPECT_EQ(run.results[t].rounds_simulated, 0);  // default result
+      continue;
+    }
+    ExpectSameRunResult(run.results[t], oracle[t],
+                        "shed-survivor " + std::to_string(t));
+  }
+}
+
+TEST(DistShed, BurnDrivenSheddingActsAsOverloadValve) {
+  // `never` never reconfigures, so most jobs miss their delay bounds: every
+  // tenant burns its window budget immediately and the threshold sheds
+  // them instead of letting them grind to completion.
+  std::vector<Instance> tenants = {DistTenant(61), DistTenant(62)};
+  DistOptions options;
+  options.num_workers = 2;
+  options.worker.policy = "never";
+  options.worker.rounds_per_tick = 4;
+  options.slo.window_rounds = 16;
+  options.slo.miss_budget = 1;
+  options.shed_burn_threshold = 2.0;
+  DistController controller(std::move(options));
+  std::string error;
+  ASSERT_TRUE(controller.Start(&error)) << error;
+  std::vector<FleetJob> jobs(tenants.size());
+  for (size_t t = 0; t < tenants.size(); ++t) {
+    jobs[t].instance = &tenants[t];
+    jobs[t].options = TestOptions();
+  }
+  controller.AddJobs(jobs);
+  const std::vector<RunResult> results = controller.Run();
+  const DistStats& stats = controller.stats();
+  EXPECT_GT(stats.shed, 0u);
+  EXPECT_EQ(stats.shed + stats.completed, tenants.size());
+  for (size_t t = 0; t < tenants.size(); ++t) {
+    EXPECT_EQ(controller.tenant_shed(t), results[t].rounds_simulated == 0);
+  }
+  controller.Shutdown();
+}
+
+// ---- Observability plane over the process boundary -----------------------
+
+TEST(DistMetrics, ControllerAndWorkerEndpointsServeAggregates) {
+  std::vector<Instance> tenants = {DistTenant(71), DistTenant(72),
+                                   DistTenant(73)};
+  DistOptions options;
+  options.num_workers = 2;
+  options.worker.policy = "dlru-edf";
+  options.worker.rounds_per_tick = 8;
+  options.worker.serve_metrics = true;
+  options.serve_metrics = true;
+  DistController controller(std::move(options));
+  std::string error;
+  ASSERT_TRUE(controller.Start(&error)) << error;
+  std::vector<FleetJob> jobs(tenants.size());
+  for (size_t t = 0; t < tenants.size(); ++t) {
+    jobs[t].instance = &tenants[t];
+    jobs[t].options = TestOptions();
+  }
+  controller.AddJobs(jobs);
+  controller.Run();
+
+  // Controller plane: Prometheus text with the SLO section, the /workers
+  // placement table, and /tenants.
+  ASSERT_NE(controller.metrics_port(), 0);
+  std::string metrics = obs::HttpGet("127.0.0.1", controller.metrics_port(),
+                                     "/metrics", &error);
+  EXPECT_TRUE(error.empty()) << error;
+  EXPECT_NE(metrics.find("rrs_dist_ticks"), std::string::npos) << metrics;
+  EXPECT_NE(metrics.find("rrs_fleet_slo_observations"), std::string::npos);
+  const std::string workers_json =
+      obs::HttpGet("127.0.0.1", controller.metrics_port(), "/workers",
+                   &error);
+  EXPECT_TRUE(error.empty()) << error;
+  EXPECT_NE(workers_json.find("\"worker\":0"), std::string::npos);
+  EXPECT_NE(workers_json.find("\"worker\":1"), std::string::npos);
+  EXPECT_NE(workers_json.find("\"alive\":true"), std::string::npos);
+
+  // Worker plane: each worker process serves its own scrape endpoint; the
+  // ports travel back through the ConfigAck handshake.
+  const std::vector<uint64_t> ports = controller.worker_metrics_ports();
+  ASSERT_EQ(ports.size(), 2u);
+  for (size_t w = 0; w < ports.size(); ++w) {
+    ASSERT_NE(ports[w], 0u) << "worker " << w;
+    const std::string worker_metrics = obs::HttpGet(
+        "127.0.0.1", static_cast<uint16_t>(ports[w]), "/metrics", &error);
+    EXPECT_TRUE(error.empty()) << "worker " << w << ": " << error;
+    EXPECT_NE(worker_metrics.find("rrs_worker_dist_worker_rounds_stepped"),
+              std::string::npos)
+        << worker_metrics;
+  }
+  controller.Shutdown();
+}
+
+// A worker-side cap exercises admission control: with max_live_sessions=1
+// per worker, tenants queue and admit one at a time, and results must still
+// match the oracle (admission order is deterministic).
+TEST(DistFleet, LiveSessionCapQueuesDeterministically) {
+  std::vector<Instance> tenants;
+  for (uint64_t seed = 81; seed <= 86; ++seed) {
+    tenants.push_back(DistTenant(seed));
+  }
+  const std::string policy = "dlru-edf";
+  DistOptions options;
+  options.num_workers = 2;
+  options.worker.policy = policy;
+  options.worker.rounds_per_tick = 16;
+  options.worker.max_live_sessions = 1;
+  DistController controller(std::move(options));
+  std::string error;
+  ASSERT_TRUE(controller.Start(&error)) << error;
+  std::vector<FleetJob> jobs(tenants.size());
+  for (size_t t = 0; t < tenants.size(); ++t) {
+    jobs[t].instance = &tenants[t];
+    jobs[t].options = TestOptions();
+  }
+  controller.AddJobs(jobs);
+  const std::vector<RunResult> results = controller.Run();
+  for (size_t t = 0; t < tenants.size(); ++t) {
+    auto p = MakePolicy(policy);
+    const RunResult oracle = RunPolicy(tenants[t], *p, TestOptions());
+    ExpectSameRunResult(results[t], oracle,
+                        "capped tenant " + std::to_string(t));
+  }
+  controller.Shutdown();
+}
+
+}  // namespace
+}  // namespace dist
+}  // namespace fleet
+}  // namespace rrs

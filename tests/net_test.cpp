@@ -1,0 +1,306 @@
+// net/socket.h: deadline-aware I/O, length-prefixed frames, and the HttpGet
+// client's short-read/timeout discipline.
+
+#include "net/socket.h"
+
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export_server.h"
+
+namespace rrs {
+namespace {
+
+TEST(Deadline, InfiniteNeverExpires) {
+  const net::Deadline d = net::Deadline::Infinite();
+  EXPECT_TRUE(d.infinite());
+  EXPECT_FALSE(d.expired());
+  EXPECT_EQ(d.PollTimeoutMs(), -1);
+}
+
+TEST(Deadline, ZeroBudgetIsExpired) {
+  const net::Deadline d = net::Deadline::In(0);
+  EXPECT_FALSE(d.infinite());
+  EXPECT_TRUE(d.expired());
+  EXPECT_EQ(d.PollTimeoutMs(), 0);
+}
+
+TEST(Deadline, NegativeMsBehavesLikeInfinite) {
+  EXPECT_TRUE(net::Deadline::In(-5).infinite());
+}
+
+TEST(Frames, RoundTripOverSocketpair) {
+  int fds[2];
+  std::string error;
+  ASSERT_TRUE(net::UnixStreamPair(fds, &error)) << error;
+  const std::vector<uint64_t> payload = {1, 2, 3, 0xdeadbeef, 0};
+  ASSERT_TRUE(net::SendFrame(fds[0], 42, payload));
+  uint64_t type = 0;
+  std::vector<uint64_t> got;
+  ASSERT_TRUE(
+      net::RecvFrame(fds[1], &type, &got, net::Deadline::In(5000), &error))
+      << error;
+  EXPECT_EQ(type, 42u);
+  EXPECT_EQ(got, payload);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(Frames, EmptyPayloadTravels) {
+  int fds[2];
+  ASSERT_TRUE(net::UnixStreamPair(fds));
+  ASSERT_TRUE(net::SendFrame(fds[0], 7, {}));
+  uint64_t type = 0;
+  std::vector<uint64_t> got = {99};  // must be overwritten
+  ASSERT_TRUE(net::RecvFrame(fds[1], &type, &got, net::Deadline::In(5000)));
+  EXPECT_EQ(type, 7u);
+  EXPECT_TRUE(got.empty());
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(Frames, CleanEofBetweenFramesIsNotAnError) {
+  int fds[2];
+  ASSERT_TRUE(net::UnixStreamPair(fds));
+  ::close(fds[0]);
+  uint64_t type = 0;
+  std::vector<uint64_t> got;
+  std::string error = "sentinel";
+  EXPECT_FALSE(
+      net::RecvFrame(fds[1], &type, &got, net::Deadline::In(5000), &error));
+  EXPECT_TRUE(error.empty()) << error;  // orderly shutdown, not a fault
+  ::close(fds[1]);
+}
+
+TEST(Frames, EofMidFrameIsAnError) {
+  int fds[2];
+  ASSERT_TRUE(net::UnixStreamPair(fds));
+  // Header promising 4 payload words, then hang up after one.
+  const uint64_t header[2] = {4, 11};
+  ASSERT_TRUE(net::SendAll(fds[0], header, sizeof(header)));
+  const uint64_t one = 123;
+  ASSERT_TRUE(net::SendAll(fds[0], &one, sizeof(one)));
+  ::close(fds[0]);
+  uint64_t type = 0;
+  std::vector<uint64_t> got;
+  std::string error;
+  EXPECT_FALSE(
+      net::RecvFrame(fds[1], &type, &got, net::Deadline::In(5000), &error));
+  EXPECT_FALSE(error.empty());
+  ::close(fds[1]);
+}
+
+TEST(Frames, OversizedLengthPrefixIsRejectedNotAllocated) {
+  int fds[2];
+  ASSERT_TRUE(net::UnixStreamPair(fds));
+  const uint64_t header[2] = {net::kMaxFrameWords + 1, 5};
+  ASSERT_TRUE(net::SendAll(fds[0], header, sizeof(header)));
+  uint64_t type = 0;
+  std::vector<uint64_t> got;
+  std::string error;
+  EXPECT_FALSE(
+      net::RecvFrame(fds[1], &type, &got, net::Deadline::In(5000), &error));
+  EXPECT_NE(error.find("frame"), std::string::npos) << error;
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(RecvExact, TimesOutOnSilentPeer) {
+  int fds[2];
+  ASSERT_TRUE(net::UnixStreamPair(fds));
+  char buf[8];
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(net::RecvExact(fds[1], buf, sizeof(buf),
+                              net::Deadline::In(100)));
+  EXPECT_EQ(errno, ETIMEDOUT);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  // Must have actually waited (not failed instantly) and then returned.
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            50);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(RecvExact, AssemblesDribbledBytes) {
+  int fds[2];
+  ASSERT_TRUE(net::UnixStreamPair(fds));
+  std::thread writer([fd = fds[0]] {
+    for (char c = 'a'; c <= 'h'; ++c) {
+      net::SendAll(fd, &c, 1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+  char buf[8];
+  ASSERT_TRUE(net::RecvExact(fds[1], buf, sizeof(buf),
+                             net::Deadline::In(5000)));
+  EXPECT_EQ(std::string(buf, 8), "abcdefgh");
+  writer.join();
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+// ---- HttpGet against adversarial servers ---------------------------------
+
+// One-connection TCP server: accepts a single client on an ephemeral
+// loopback port and hands the connected fd to `serve`.
+class OneShotServer {
+ public:
+  explicit OneShotServer(std::function<void(int fd)> serve) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    struct sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                     sizeof(addr)),
+              0);
+    EXPECT_EQ(::listen(listen_fd_, 1), 0);
+    socklen_t len = sizeof(addr);
+    ::getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                  &len);
+    port_ = ntohs(addr.sin_port);
+    thread_ = std::thread([this, serve = std::move(serve)] {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd >= 0) {
+        serve(fd);
+        ::close(fd);
+      }
+    });
+  }
+
+  ~OneShotServer() {
+    thread_.join();
+    ::close(listen_fd_);
+  }
+
+  uint16_t port() const { return port_; }
+
+ private:
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread thread_;
+};
+
+// Reads until the request head terminator so the client's send completes.
+void DrainRequest(int fd) {
+  char buf[1024];
+  std::string seen;
+  while (seen.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return;
+    seen.append(buf, static_cast<size_t>(n));
+  }
+}
+
+TEST(HttpGet, AssemblesDribbledBodyAgainstContentLength) {
+  const std::string body(1000, 'x');
+  OneShotServer server([&body](int fd) {
+    DrainRequest(fd);
+    const std::string head =
+        "HTTP/1.1 200 OK\r\nContent-Length: " + std::to_string(body.size()) +
+        "\r\n\r\n";
+    net::SendAll(fd, head.data(), head.size());
+    // Dribble the body in 100-byte writes with pauses: every read on the
+    // client side is a short read.
+    for (size_t i = 0; i < body.size(); i += 100) {
+      net::SendAll(fd, body.data() + i, 100);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+  std::string error;
+  const std::string got =
+      obs::HttpGet("127.0.0.1", server.port(), "/x", &error, 5000);
+  EXPECT_TRUE(error.empty()) << error;
+  EXPECT_EQ(got, body);
+}
+
+TEST(HttpGet, SilentServerTimesOutInsteadOfHanging) {
+  OneShotServer server([](int fd) {
+    DrainRequest(fd);
+    // Never respond; hold the connection open past the client deadline.
+    std::this_thread::sleep_for(std::chrono::milliseconds(600));
+  });
+  std::string error;
+  const auto start = std::chrono::steady_clock::now();
+  const std::string got =
+      obs::HttpGet("127.0.0.1", server.port(), "/slow", &error, 200);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  EXPECT_TRUE(got.empty());
+  EXPECT_NE(error.find("timeout"), std::string::npos) << error;
+  EXPECT_LT(elapsed, 5000);  // bounded by the deadline, not the server
+}
+
+TEST(HttpGet, StallMidBodyTimesOutWithProgressCount) {
+  OneShotServer server([](int fd) {
+    DrainRequest(fd);
+    const std::string head = "HTTP/1.1 200 OK\r\nContent-Length: 100\r\n\r\n";
+    net::SendAll(fd, head.data(), head.size());
+    net::SendAll(fd, "0123456789", 10);  // 10 of 100 bytes, then stall
+    std::this_thread::sleep_for(std::chrono::milliseconds(600));
+  });
+  std::string error;
+  const std::string got =
+      obs::HttpGet("127.0.0.1", server.port(), "/stall", &error, 200);
+  EXPECT_TRUE(got.empty());
+  EXPECT_NE(error.find("timeout mid-body"), std::string::npos) << error;
+  EXPECT_NE(error.find("10 of 100"), std::string::npos) << error;
+}
+
+TEST(HttpGet, EarlyCloseMidBodyIsAnErrorNotATruncatedBody) {
+  OneShotServer server([](int fd) {
+    DrainRequest(fd);
+    const std::string head = "HTTP/1.1 200 OK\r\nContent-Length: 100\r\n\r\n";
+    net::SendAll(fd, head.data(), head.size());
+    net::SendAll(fd, "0123456789", 10);  // then close 90 bytes short
+  });
+  std::string error;
+  const std::string got =
+      obs::HttpGet("127.0.0.1", server.port(), "/cut", &error, 2000);
+  EXPECT_TRUE(got.empty());
+  EXPECT_NE(error.find("closed mid-body"), std::string::npos) << error;
+  EXPECT_NE(error.find("10 of 100"), std::string::npos) << error;
+}
+
+TEST(HttpGet, CaseInsensitiveContentLengthAndTrailingBytesTrimmed) {
+  OneShotServer server([](int fd) {
+    DrainRequest(fd);
+    const std::string response =
+        "HTTP/1.1 200 OK\r\ncontent-length: 5\r\n\r\nhelloEXTRA";
+    net::SendAll(fd, response.data(), response.size());
+  });
+  std::string error;
+  const std::string got =
+      obs::HttpGet("127.0.0.1", server.port(), "/", &error, 2000);
+  EXPECT_TRUE(error.empty()) << error;
+  EXPECT_EQ(got, "hello");
+}
+
+TEST(HttpGet, NoContentLengthFallsBackToReadUntilEof) {
+  OneShotServer server([](int fd) {
+    DrainRequest(fd);
+    const std::string response =
+        "HTTP/1.1 200 OK\r\nConnection: close\r\n\r\nstreamed";
+    net::SendAll(fd, response.data(), response.size());
+  });
+  std::string error;
+  const std::string got =
+      obs::HttpGet("127.0.0.1", server.port(), "/", &error, 2000);
+  EXPECT_TRUE(error.empty()) << error;
+  EXPECT_EQ(got, "streamed");
+}
+
+}  // namespace
+}  // namespace rrs

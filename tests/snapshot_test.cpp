@@ -124,6 +124,58 @@ TEST(SnapshotCodecDeath, RejectsBadVersion) {
   EXPECT_DEATH(snapshot::Reader r(words), "version");
 }
 
+// Version skew is directional: a snapshot stamped *newer* than this reader
+// comes from a future writer (mixed-version worker pool shipping
+// checkpoints backwards) and must be named as such, not as a generic
+// mismatch — the operator needs to know which side to upgrade.
+TEST(SnapshotCodecDeath, FutureVersionGetsDirectionalDiagnostic) {
+  std::vector<uint64_t> words = {snapshot::kMagic, snapshot::kVersion + 1};
+  EXPECT_DEATH(snapshot::Reader r(words), "future codec version");
+  std::vector<uint64_t> far_future = {snapshot::kMagic,
+                                      snapshot::kVersion + 1000};
+  EXPECT_DEATH(snapshot::Reader r(far_future),
+               "refusing to guess at a newer format");
+}
+
+// Corruption of the *first* payload word of a section: the checksum must
+// catch damage at word 0, not just in the tail (an off-by-one in the
+// checksum span would skip exactly this word).
+TEST(SnapshotCodecDeath, RejectsCorruptionAtPayloadWordZero) {
+  snapshot::Writer w;
+  w.BeginSection(snapshot::kTagEngine);
+  w.PutU64(7);
+  w.PutU64(8);
+  w.EndSection();
+  std::vector<uint64_t> words = w.words();
+  // Layout: magic, version, tag, count, checksum, payload[0], payload[1].
+  words[5] ^= 1;  // payload word 0
+  EXPECT_DEATH(
+      {
+        snapshot::Reader r(words);
+        r.BeginSection(snapshot::kTagEngine);
+      },
+      "checksum");
+}
+
+// A section truncated so hard that not even payload word 0 survives: the
+// declared count overruns the stream and the reader must say "truncated",
+// never index past the end.
+TEST(SnapshotCodecDeath, RejectsSectionTruncatedAtWordZero) {
+  snapshot::Writer w;
+  w.BeginSection(snapshot::kTagEngine);
+  w.PutU64(7);
+  w.PutU64(8);
+  w.EndSection();
+  std::vector<uint64_t> words = w.words();
+  words.resize(5);  // keep tag/count/checksum, drop the whole payload
+  EXPECT_DEATH(
+      {
+        snapshot::Reader r(words);
+        r.BeginSection(snapshot::kTagEngine);
+      },
+      "truncated inside section");
+}
+
 TEST(SnapshotCodecDeath, RejectsCorruptedPayload) {
   snapshot::Writer w;
   w.BeginSection(snapshot::kTagEngine);

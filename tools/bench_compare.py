@@ -32,7 +32,16 @@ Fails (exit 1) when any benchmark cell in CURRENT:
     best-of-N rates — the paired estimate is much more stable on noisy
     machines, which tight floors (the obs twin's 0.98) need. A scalar_ref
     naming a row absent from the report, or either row lacking
-    rounds_per_sec, fails with a clear message.
+    rounds_per_sec, fails with a clear message, or
+  * is a distributed fleet cell (records "scaling_ref": the name of its
+    fewer-worker twin, plus "scaling_gate": the required aggregate
+    rounds_per_sec ratio — the linear-scaling claim). The gate is enforced
+    only when the current report's "usable_cpus" can host the cell's
+    "workers" (usable_cpus >= workers): worker processes timesharing one
+    core cannot scale no matter how good the code is, so on small machines
+    the gate is SKIPPED with a loud message instead of failing on physics.
+    Like the batched gate, the ratio prefers the bench's interleaved
+    "measured_scaling" estimate over dividing the two best-of-N rates.
 
 Metrics present only in CURRENT (e.g. the informational phase_*_p50_ns
 breakdown) are ignored, so reports can grow new columns without a baseline
@@ -166,6 +175,66 @@ def main():
 
     for name in sorted(set(current) - set(baseline)):
         print(f"{name:24s} new cell (not in baseline), skipped")
+
+    # Distributed scaling gate, held within the current report: a cell with
+    # scaling_ref + scaling_gate claims its aggregate rounds_per_sec is at
+    # least gate x its fewer-worker twin's. Only meaningful when the machine
+    # can actually run the workers in parallel.
+    for name, cur in sorted(current.items()):
+        ref_name = cur.get("scaling_ref")
+        gate = cur.get("scaling_gate")
+        if ref_name is None or gate is None:
+            continue
+        try:
+            gate = float(gate)
+        except (TypeError, ValueError):
+            failures.append(f"{name}: scaling_gate {gate!r} is not a number")
+            continue
+        workers = cur.get("workers")
+        cpus = cur.get("usable_cpus")
+        if workers is None or cpus is None:
+            failures.append(
+                f"{name}: scaling gate needs both 'workers' and "
+                f"'usable_cpus' recorded in the cell; got workers={workers!r}"
+                f", usable_cpus={cpus!r}")
+            continue
+        if cpus < workers:
+            print(f"{name:28s} {'scaling':16s} {'SKIPPED':>14s} "
+                  f"(machine has {cpus} usable cpus < {workers} workers; "
+                  f"linear scaling needs real parallelism)")
+            continue
+        ref = current.get(ref_name)
+        if ref is None:
+            failures.append(
+                f"{name}: scaling_ref '{ref_name}' names a row missing from "
+                f"the current report; the scaling gate needs both rows from "
+                f"the same run")
+            continue
+        measured = cur.get("measured_scaling")
+        if measured is not None:
+            try:
+                scaling = float(measured)
+            except (TypeError, ValueError):
+                failures.append(
+                    f"{name}: measured_scaling {measured!r} is not a number")
+                continue
+        elif "rounds_per_sec" in cur and ref.get("rounds_per_sec", 0) > 0:
+            scaling = cur["rounds_per_sec"] / ref["rounds_per_sec"]
+        else:
+            failures.append(
+                f"{name}: scaling gate needs measured_scaling or "
+                f"rounds_per_sec on both rows")
+            continue
+        status = "ok"
+        if scaling < gate:
+            status = "BELOW SCALING GATE"
+            failures.append(
+                f"{name}: scaling {scaling:.2f}x vs '{ref_name}' below "
+                f"required {gate}x — aggregate rounds/s must scale with "
+                f"worker count on a {cpus}-cpu machine")
+        print(f"{name:28s} {'scaling':16s} {scaling:13.2f}x "
+              f"(vs {ref_name}, min {gate}, {workers} workers on "
+              f"{cpus} cpus) {status}")
 
     # Batched-vs-scalar ratio gate, held within the current report: both
     # rows come from the same run, so the ratio isolates the lane-parallel

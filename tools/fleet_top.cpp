@@ -8,10 +8,22 @@
 //
 //   fleet_top <port> [--host 127.0.0.1] [--interval-ms 1000] [--top 10]
 //             [--once]
+//   fleet_top --endpoints <p1,p2,host:p3,...> [same flags]
 //
 // --once prints a single frame without clearing the screen (scripts, docs,
 // tests). Everything is parsed from the Prometheus text exposition — the tool
 // depends only on the rrsched library's HttpGet client.
+//
+// Multi-endpoint mode (--endpoints) watches a distributed fleet: every
+// worker process of a DistController serves its own /metrics (rrs_worker_*
+// series), and the controller serves the aggregate. Point --endpoints at
+// all of them — each endpoint gets a per-worker row (ticks, rounds, a
+// rounds/s rate from successive scrapes, completions, restores), the rates
+// are summed into an aggregate fleet line, and any endpoint that turns out
+// to be a controller (it exports rrs_fleet_slo_*) also renders the classic
+// totals + worst-burn view below the worker table. A dead endpoint renders
+// as "down" instead of failing the whole dashboard — workers die and fail
+// over; the dashboard should watch that happen, not exit.
 #include <chrono>
 #include <cinttypes>
 #include <cstdint>
@@ -166,6 +178,74 @@ void Render(const Frame& now, const Frame& prev,
   }
 }
 
+// One scrape target in --endpoints mode: "8081" or "10.0.0.2:8081".
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  int port = 0;
+};
+
+bool ParseEndpoints(std::string_view list, const std::string& default_host,
+                    std::vector<Endpoint>* out) {
+  size_t pos = 0;
+  while (pos <= list.size()) {
+    size_t comma = list.find(',', pos);
+    if (comma == std::string_view::npos) comma = list.size();
+    const std::string_view item = list.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    Endpoint endpoint;
+    endpoint.host = default_host;
+    const size_t colon = item.rfind(':');
+    std::string port_text;
+    if (colon != std::string_view::npos) {
+      endpoint.host = std::string(item.substr(0, colon));
+      port_text = std::string(item.substr(colon + 1));
+    } else {
+      port_text = std::string(item);
+    }
+    endpoint.port = std::atoi(port_text.c_str());
+    if (endpoint.port <= 0) return false;
+    out->push_back(std::move(endpoint));
+  }
+  return !out->empty();
+}
+
+// Per-worker breakdown across all endpoints, plus summed fleet rates. The
+// worker rows read the rrs_worker_dist_worker_* series each worker process
+// absorbs at every tick barrier.
+void RenderMulti(const std::vector<Endpoint>& endpoints,
+                 const std::vector<Frame>& now,
+                 const std::vector<Frame>& prev) {
+  std::printf("%-22s %8s %14s %12s %10s %9s %9s\n", "endpoint", "ticks",
+              "rounds", "rounds/s", "done", "restores", "snaps");
+  double fleet_rate = 0.0;
+  double fleet_rounds = 0.0;
+  for (size_t i = 0; i < endpoints.size(); ++i) {
+    char where[64];
+    std::snprintf(where, sizeof(where), "%s:%d", endpoints[i].host.c_str(),
+                  endpoints[i].port);
+    if (!now[i].ok) {
+      std::printf("%-22s %8s\n", where, "down");
+      continue;
+    }
+    const double rounds = now[i].Get("rrs_worker_dist_worker_rounds_stepped");
+    double rate = 0.0;
+    if (i < prev.size() && prev[i].ok && now[i].scrape_ns > prev[i].scrape_ns) {
+      rate = (rounds - prev[i].Get("rrs_worker_dist_worker_rounds_stepped")) *
+             1e9 / static_cast<double>(now[i].scrape_ns - prev[i].scrape_ns);
+    }
+    fleet_rate += rate;
+    fleet_rounds += rounds;
+    std::printf("%-22s %8.0f %14.0f %12.0f %10.0f %9.0f %9.0f\n", where,
+                now[i].Get("rrs_worker_dist_worker_ticks"), rounds, rate,
+                now[i].Get("rrs_worker_dist_worker_completed"),
+                now[i].Get("rrs_worker_dist_worker_restores"),
+                now[i].Get("rrs_worker_dist_worker_snapshots"));
+  }
+  std::printf("%-22s %8s %14.0f %12.0f  (aggregate)\n\n", "fleet", "",
+              fleet_rounds, fleet_rate);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -174,6 +254,7 @@ int main(int argc, char** argv) {
   int interval_ms = 1000;
   int top_n = 10;
   bool once = false;
+  std::string endpoints_arg;
 
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -183,6 +264,8 @@ int main(int argc, char** argv) {
       interval_ms = std::atoi(argv[++i]);
     } else if (arg == "--top" && i + 1 < argc) {
       top_n = std::atoi(argv[++i]);
+    } else if (arg == "--endpoints" && i + 1 < argc) {
+      endpoints_arg = argv[++i];
     } else if (arg == "--once") {
       once = true;
     } else if (arg[0] != '-' && port == 0) {
@@ -190,10 +273,53 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: fleet_top <port> [--host H] [--interval-ms N] "
-                   "[--top N] [--once]\n");
+                   "[--top N] [--once]\n"
+                   "       fleet_top --endpoints <p1,p2,host:p3,...> "
+                   "[--host H] [--interval-ms N] [--top N] [--once]\n");
       return 2;
     }
   }
+
+  if (!endpoints_arg.empty()) {
+    std::vector<Endpoint> endpoints;
+    if (!ParseEndpoints(endpoints_arg, host, &endpoints)) {
+      std::fprintf(stderr, "fleet_top: bad --endpoints list '%s'\n",
+                   endpoints_arg.c_str());
+      return 2;
+    }
+    std::vector<Frame> prev(endpoints.size());
+    while (true) {
+      std::vector<Frame> now(endpoints.size());
+      size_t up = 0;
+      for (size_t i = 0; i < endpoints.size(); ++i) {
+        now[i] = Scrape(endpoints[i].host, endpoints[i].port);
+        if (now[i].ok) ++up;
+      }
+      if (up == 0) {
+        std::fprintf(stderr, "fleet_top: all %zu endpoints down\n",
+                     endpoints.size());
+        return 1;
+      }
+      if (!once) std::printf("\x1b[H\x1b[2J");
+      RenderMulti(endpoints, now, prev);
+      // An endpoint exporting the fleet SLO section is the controller:
+      // render the classic totals view for it under the worker table.
+      for (size_t i = 0; i < endpoints.size(); ++i) {
+        if (now[i].ok &&
+            now[i].series.count("rrs_fleet_slo_tenants_seen") > 0) {
+          const std::vector<TenantRow> tenants =
+              FetchTenants(endpoints[i].host, endpoints[i].port);
+          Render(now[i], prev[i], tenants, top_n);
+          break;
+        }
+      }
+      std::fflush(stdout);
+      if (once) return 0;
+      prev = std::move(now);
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+  }
+
   if (port <= 0) {
     std::fprintf(stderr, "fleet_top: missing or invalid port\n");
     return 2;

@@ -440,6 +440,105 @@ class BenchCompareTest(unittest.TestCase):
         self.assertEqual(proc.returncode, 1)
         self.assertIn("snapshots_per_sec", proc.stderr)
 
+    def dist_cell(self, name, workers, cpus, rounds, **extra):
+        """A bench_fleet_distributed-style cell."""
+        out = {
+            "name": name,
+            "workers": workers,
+            "usable_cpus": cpus,
+            "rounds_per_sec": rounds,
+            "sessions_per_sec": rounds / 32.0,
+        }
+        out.update(extra)
+        return out
+
+    def test_scaling_gate_enforced_on_capable_machine_passes(self):
+        # 8 usable cpus >= 2 workers: the gate is live, and 1.85x clears 1.7.
+        cur = report([
+            self.dist_cell("dist/1worker", 1, 8, 1e6),
+            self.dist_cell("dist/2workers", 2, 8, 1.85e6,
+                           scaling_ref="dist/1worker", scaling_gate=1.7,
+                           measured_scaling=1.85),
+        ])
+        proc = self.run_compare(cur, cur)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("scaling", proc.stdout)
+        self.assertIn("1.85x", proc.stdout)
+
+    def test_scaling_gate_enforced_on_capable_machine_fails(self):
+        cur = report([
+            self.dist_cell("dist/1worker", 1, 8, 1e6),
+            self.dist_cell("dist/2workers", 2, 8, 1.2e6,
+                           scaling_ref="dist/1worker", scaling_gate=1.7,
+                           measured_scaling=1.2),
+        ])
+        proc = self.run_compare(cur, cur)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("BELOW SCALING GATE", proc.stdout)
+        self.assertIn("scaling 1.20x", proc.stderr)
+
+    def test_scaling_gate_skipped_loudly_on_small_machine(self):
+        # 1 usable cpu < 2 workers: processes timeshare one core, so the
+        # scaling claim is untestable — skip with a loud message, never fail.
+        cur = report([
+            self.dist_cell("dist/1worker", 1, 1, 1e6),
+            self.dist_cell("dist/2workers", 2, 1, 0.97e6,
+                           scaling_ref="dist/1worker", scaling_gate=1.7,
+                           measured_scaling=0.97),
+        ])
+        proc = self.run_compare(cur, cur)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("SKIPPED", proc.stdout)
+        self.assertIn("1 usable cpus < 2 workers", proc.stdout)
+
+    def test_scaling_gate_missing_ref_row_fails(self):
+        cur = report([
+            self.dist_cell("dist/2workers", 2, 8, 1.85e6,
+                           scaling_ref="dist/1worker", scaling_gate=1.7),
+        ])
+        proc = self.run_compare(cur, cur)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("scaling_ref 'dist/1worker' names a row missing",
+                      proc.stderr)
+        self.assertNotIn("Traceback", proc.stderr)
+
+    def test_scaling_gate_without_cpu_fields_fails_cleanly(self):
+        # A cell claiming a scaling gate but not recording workers /
+        # usable_cpus cannot be judged; that is a report bug, not a skip.
+        cur = report([
+            self.dist_cell("dist/1worker", 1, 8, 1e6),
+            {"name": "dist/2workers", "rounds_per_sec": 1.85e6,
+             "scaling_ref": "dist/1worker", "scaling_gate": 1.7},
+        ])
+        proc = self.run_compare(cur, cur)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("needs both 'workers' and 'usable_cpus'", proc.stderr)
+        self.assertNotIn("Traceback", proc.stderr)
+
+    def test_scaling_without_gate_is_informational(self):
+        # The 4-worker cell records scaling_ref + measured_scaling but no
+        # scaling_gate: informational, never gated even at 0.5x.
+        cur = report([
+            self.dist_cell("dist/1worker", 1, 8, 1e6),
+            self.dist_cell("dist/4workers", 4, 8, 0.5e6,
+                           scaling_ref="dist/1worker",
+                           measured_scaling=0.5),
+        ])
+        proc = self.run_compare(cur, cur)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_scaling_gate_prefers_measured_scaling(self):
+        # Same priority rule as the batched gate: the interleaved paired
+        # estimate wins over dividing best-of-N rates.
+        cur = report([
+            self.dist_cell("dist/1worker", 1, 8, 1e6),
+            self.dist_cell("dist/2workers", 2, 8, 1.5e6,  # division: 1.5x
+                           scaling_ref="dist/1worker", scaling_gate=1.7,
+                           measured_scaling=1.8),         # paired: passes
+        ])
+        proc = self.run_compare(cur, cur)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
     def test_solver_cells_have_no_alloc_gate(self):
         # Solver cells record no steady_allocs_per_round; its absence from
         # both reports must not fail (the alloc gate is engine-bench-only).
