@@ -24,6 +24,8 @@
 // tools/bench_compare.py diffs this report against the checked-in
 // bench/BENCH_fleet.json and fails on regression; ctest wires the pair up
 // under the opt-in "perf" configuration (ctest -C perf -L perf).
+#include <malloc.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -31,6 +33,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <new>
 #include <span>
@@ -45,24 +48,45 @@
 #include "obs/flight_recorder.h"
 #include "obs/scope.h"
 #include "sched/dlru_edf.h"
+#include "workload/arrival_source.h"
+#include "workload/source.h"
 #include "workload/synthetic.h"
 
 // ---- Counting allocator hook ----------------------------------------------
-// Counts every global operator-new; frees are uninteresting for the gate.
+// Counts every global operator-new, and tracks live heap bytes (via
+// malloc_usable_size, so frees subtract exactly what their allocation
+// added) with a high-water mark — the fleet/mem cells gate the *peak
+// residency* per tenant, which is what distinguishes a fleet of
+// materialized job vectors from a fleet of streaming generators.
 static std::atomic<uint64_t> g_alloc_count{0};
+static std::atomic<uint64_t> g_live_bytes{0};
+static std::atomic<uint64_t> g_peak_bytes{0};
 
 void* operator new(std::size_t size) {
   g_alloc_count.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(size ? size : 1)) return p;
-  throw std::bad_alloc();
+  void* p = std::malloc(size ? size : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  const uint64_t chunk = malloc_usable_size(p);
+  const uint64_t live =
+      g_live_bytes.fetch_add(chunk, std::memory_order_relaxed) + chunk;
+  uint64_t peak = g_peak_bytes.load(std::memory_order_relaxed);
+  while (live > peak && !g_peak_bytes.compare_exchange_weak(
+                            peak, live, std::memory_order_relaxed)) {
+  }
+  return p;
 }
 
 void* operator new[](std::size_t size) { return ::operator new(size); }
 
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p) noexcept {
+  if (p != nullptr) {
+    g_live_bytes.fetch_sub(malloc_usable_size(p), std::memory_order_relaxed);
+  }
+  std::free(p);
+}
+void operator delete[](void* p) noexcept { ::operator delete(p); }
+void operator delete(void* p, std::size_t) noexcept { ::operator delete(p); }
+void operator delete[](void* p, std::size_t) noexcept { ::operator delete(p); }
 
 namespace {
 
@@ -119,6 +143,72 @@ std::vector<rrs::fleet::FleetJob> MakeJobs(
   return jobs;
 }
 
+// Streaming twin of MakeTenantPool: the same kDistinct workloads as
+// ArrivalSource prototypes (Materialize of pool[i] is byte-identical to the
+// instance pool's pool[i], so streaming cells simulate exactly the same
+// rounds as their instance-fed refs).
+std::vector<std::unique_ptr<rrs::workload::ArrivalSource>> MakeSourcePool(
+    rrs::Round rounds, size_t colors = 16, rrs::Round max_delay = 32) {
+  std::vector<rrs::workload::ColorSpec> specs;
+  std::vector<rrs::Round> delays;
+  for (rrs::Round d = 1; d <= max_delay; d *= 2) delays.push_back(d);
+  for (size_t c = 0; c < colors; ++c) {
+    specs.push_back({delays[c % delays.size()], 0.5});
+  }
+  std::vector<std::unique_ptr<rrs::workload::ArrivalSource>> pool;
+  pool.reserve(kDistinct);
+  for (size_t i = 0; i < kDistinct; ++i) {
+    rrs::workload::PoissonOptions gen;
+    gen.rounds = rounds;
+    gen.rate_limited = true;
+    gen.seed = 1000 + i;
+    pool.push_back(rrs::workload::MakePoissonSource(specs, gen));
+  }
+  return pool;
+}
+
+// Streaming jobs: queued tenants hold only a Clone closure over the
+// prototype pool; a source exists only while its tenant is live.
+std::vector<rrs::fleet::FleetJob> MakeStreamingJobs(
+    const std::vector<std::unique_ptr<rrs::workload::ArrivalSource>>& pool,
+    size_t count, uint32_t resources = 8) {
+  std::vector<rrs::fleet::FleetJob> jobs;
+  jobs.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    rrs::fleet::FleetJob job;
+    const rrs::workload::ArrivalSource* proto = pool[i % pool.size()].get();
+    job.make_source = [proto] { return proto->Clone(); };
+    job.options.num_resources = resources;
+    job.options.cost_model.delta = 4;
+    jobs.push_back(job);
+  }
+  return jobs;
+}
+
+// Materialize-per-session jobs: each admission clones the prototype,
+// drains it into a full Instance, and replays that via an owning
+// InstanceSource — the same generation work as MakeStreamingJobs plus the
+// materialized job-vector build the streaming form avoids.
+std::vector<rrs::fleet::FleetJob> MakeMaterializingJobs(
+    const std::vector<std::unique_ptr<rrs::workload::ArrivalSource>>& pool,
+    size_t count, uint32_t resources = 8) {
+  std::vector<rrs::fleet::FleetJob> jobs;
+  jobs.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    rrs::fleet::FleetJob job;
+    const rrs::workload::ArrivalSource* proto = pool[i % pool.size()].get();
+    job.make_source = [proto] {
+      auto fresh = proto->Clone();
+      return rrs::workload::MakeOwnedInstanceSource(
+          rrs::workload::Materialize(*fresh));
+    };
+    job.options.num_resources = resources;
+    job.options.cost_model.delta = 4;
+    jobs.push_back(job);
+  }
+  return jobs;
+}
+
 struct Cell {
   const char* name;
   size_t tenants;
@@ -142,6 +232,19 @@ struct Cell {
   // ExportServer being scraped throughout. Names its bare twin via
   // scalar_ref with a sub-1.0 speedup_gate (the allowed overhead floor).
   bool obs_plane = false;
+  // Streaming twin: the same workloads as ArrivalSource Clone closures
+  // instead of materialized instances (sources exist only while their
+  // tenants are live). Names its instance-fed twin via scalar_ref with a
+  // sub-1.0 speedup_gate: streaming must not cost rounds/s.
+  bool streaming = false;
+  // Materialize-per-session twin: each tenant clones the same source
+  // prototype, materializes it into a full Instance at admission, and
+  // replays that — the pre-streaming execution model for fleets whose
+  // tenants have distinct workloads (the shared kDistinct pool of the
+  // replay cells amortizes generation 100k ways; a real per-tenant fleet
+  // cannot). The streaming cell gates against this twin: same per-session
+  // generation work, different representation.
+  bool materialize = false;
 };
 
 struct CellResult {
@@ -154,6 +257,12 @@ struct CellResult {
   std::string scalar_ref;   // empty = scalar cell
   double speedup_gate = 0;
   double lane_occupancy = -1;  // mean live lanes per slab step / width
+  // fleet/mem cells: peak heap residency per tenant (workload + fleet
+  // state), and the gate tying the streaming cell to its materialized ref
+  // (streaming bytes/tenant must be <= max_bytes_ratio * ref's).
+  double bytes_per_tenant = -1;
+  std::string mem_ref;
+  double max_bytes_ratio = 0;
   // Median over interleaved windows of (this cell's rounds/s) / (its
   // scalar_ref's rounds/s in the same window index). Adjacent windows share
   // the machine's noise environment, so the paired ratio is far more stable
@@ -213,6 +322,24 @@ std::vector<CellResult> RunCells(std::span<const Cell> cells) {
       MakeTenantPool(base.rounds, base.colors, base.max_delay);
   const auto jobs =
       MakeJobs(tenants, base.tenants, base.kind, base.resources);
+  // Streaming twins pull the identical workloads from a source pool.
+  std::vector<std::unique_ptr<rrs::workload::ArrivalSource>> source_pool;
+  std::vector<std::vector<rrs::fleet::FleetJob>> cell_jobs(cells.size());
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (cells[i].streaming || cells[i].materialize) {
+      if (source_pool.empty()) {
+        source_pool = MakeSourcePool(base.rounds, base.colors, base.max_delay);
+      }
+      cell_jobs[i] =
+          cells[i].streaming
+              ? MakeStreamingJobs(source_pool, base.tenants, base.resources)
+              : MakeMaterializingJobs(source_pool, base.tenants,
+                                      base.resources);
+    }
+  }
+  const auto jobs_of = [&](size_t i) -> const std::vector<rrs::fleet::FleetJob>& {
+    return cell_jobs[i].empty() ? jobs : cell_jobs[i];
+  };
 
   // Full observability plane for obs twin cells: the tracker/recorder are
   // fed by the runner's hot path, the server is scraped by a live polling
@@ -273,7 +400,8 @@ std::vector<CellResult> RunCells(std::span<const Cell> cells) {
     }
     runners.push_back(
         std::make_unique<rrs::fleet::FleetRunner>(std::move(options)));
-    runners.back()->RunAll(jobs);  // warm-up (pool growth, arena sizing)
+    // warm-up (pool growth, arena sizing)
+    runners.back()->RunAll(jobs_of(runners.size() - 1));
 
     CellResult out;
     out.name = cell.name;
@@ -291,7 +419,7 @@ std::vector<CellResult> RunCells(std::span<const Cell> cells) {
   for (int w = 0; w < windows; ++w) {
     for (size_t i = 0; i < cells.size(); ++i) {
       window_rates[i].push_back(
-          TimeWindow(*runners[i], jobs, base.tenants, results[i]));
+          TimeWindow(*runners[i], jobs_of(i), base.tenants, results[i]));
     }
   }
   // Paired ratios, ABA-style: window w of a twin against the geometric
@@ -344,18 +472,31 @@ std::vector<CellResult> RunCells(std::span<const Cell> cells) {
     // fleets through one warm runner. Result materialization, pool
     // bookkeeping, and per-tenant rebinds are identical in both, so the
     // difference isolates per-round allocation.
-    if (cell.kind == rrs::fleet::FleetJob::Kind::kReplay) {
+    // (The materialize twin is exempt: per-session Instance builds ARE its
+    // workload — holding it to the per-round alloc budget would gate the
+    // very cost the streaming comparison exists to show.)
+    if (cell.kind == rrs::fleet::FleetJob::Kind::kReplay &&
+        !cell.materialize) {
       const std::vector<rrs::Instance> tenants_2h =
-          MakeTenantPool(2 * cell.rounds, cell.colors, cell.max_delay);
-      const auto jobs_2h = MakeJobs(tenants_2h, cell.tenants, cell.kind,
-                                    cell.resources);
+          cell.streaming ? std::vector<rrs::Instance>{}
+                         : MakeTenantPool(2 * cell.rounds, cell.colors,
+                                          cell.max_delay);
+      std::vector<std::unique_ptr<rrs::workload::ArrivalSource>> sources_2h;
+      if (cell.streaming) {
+        sources_2h =
+            MakeSourcePool(2 * cell.rounds, cell.colors, cell.max_delay);
+      }
+      const auto jobs_2h =
+          cell.streaming
+              ? MakeStreamingJobs(sources_2h, cell.tenants, cell.resources)
+              : MakeJobs(tenants_2h, cell.tenants, cell.kind, cell.resources);
       runner.RunAll(jobs_2h);  // warm-up: size arenas for the 2H horizon
       auto measure = [&](const std::vector<rrs::fleet::FleetJob>& fleet) {
         const uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
         runner.RunAll(fleet);
         return g_alloc_count.load(std::memory_order_relaxed) - before;
       };
-      const uint64_t allocs_h = measure(jobs);
+      const uint64_t allocs_h = measure(jobs_of(i));
       const uint64_t allocs_2h = measure(jobs_2h);
       const uint64_t extra = allocs_2h > allocs_h ? allocs_2h - allocs_h : 0;
       out.steady_allocs_per_round =
@@ -397,6 +538,88 @@ std::vector<CellResult> RunCells(std::span<const Cell> cells) {
     if (plane->server != nullptr) plane->server->Stop();
   }
   return results;
+}
+
+// ---- Memory cells: peak residency per tenant, materialized vs streaming --
+//
+// Unlike the throughput cells (which cycle kDistinct shared workloads so a
+// 100k fleet stays cheap), the mem cells give every tenant its OWN
+// workload — the shape where materialization actually costs memory: N job
+// vectors resident for the whole run vs at most max_live_sessions live
+// generators. Peak live-heap bytes are measured over workload construction
+// + the full RunAll, minus the baseline before the cell; per tenant.
+std::vector<CellResult> RunMemCells() {
+  constexpr size_t kMemTenants = 8192;
+  constexpr size_t kMemLive = 1024;
+  constexpr rrs::Round kMemRounds = 64;
+  std::vector<rrs::workload::ColorSpec> specs;
+  for (rrs::Round d = 1; d <= 32; d *= 2) {
+    for (int k = 0; k < 2; ++k) specs.push_back({d, 0.5});
+  }
+
+  const auto peak_during = [](const std::function<void()>& fn) {
+    const uint64_t before = g_live_bytes.load(std::memory_order_relaxed);
+    g_peak_bytes.store(before, std::memory_order_relaxed);
+    fn();
+    const uint64_t peak = g_peak_bytes.load(std::memory_order_relaxed);
+    return peak > before ? peak - before : 0;
+  };
+  rrs::fleet::FleetOptions options;
+  options.rounds_per_tick = 32;
+  options.max_live_sessions = kMemLive;
+
+  CellResult materialized;
+  materialized.name = "fleet/mem/materialized";
+  materialized.bytes_per_tenant =
+      static_cast<double>(peak_during([&] {
+        std::vector<rrs::Instance> instances;
+        instances.reserve(kMemTenants);
+        for (size_t i = 0; i < kMemTenants; ++i) {
+          rrs::workload::PoissonOptions gen;
+          gen.rounds = kMemRounds;
+          gen.rate_limited = true;
+          gen.seed = 3000 + i;
+          instances.push_back(MakePoisson(specs, gen));
+        }
+        rrs::fleet::FleetRunner runner(options);
+        runner.RunAll(MakeJobs(instances, kMemTenants,
+                               rrs::fleet::FleetJob::Kind::kReplay));
+      })) /
+      static_cast<double>(kMemTenants);
+
+  CellResult streaming;
+  streaming.name = "fleet/mem/streaming";
+  streaming.mem_ref = materialized.name;
+  // The workload payload shrinks from O(jobs) x N tenants to
+  // O(generator state) x max_live; the remaining per-tenant cost is the
+  // job/result bookkeeping both forms pay. 0.5 is a loose floor — measured
+  // ratios sit far below it.
+  streaming.max_bytes_ratio = 0.5;
+  streaming.bytes_per_tenant =
+      static_cast<double>(peak_during([&] {
+        std::vector<rrs::fleet::FleetJob> jobs;
+        jobs.reserve(kMemTenants);
+        for (size_t i = 0; i < kMemTenants; ++i) {
+          rrs::fleet::FleetJob job;
+          const uint64_t seed = 3000 + i;
+          const auto* spec_list = &specs;
+          job.make_source = [spec_list, seed] {
+            rrs::workload::PoissonOptions gen;
+            gen.rounds = kMemRounds;
+            gen.rate_limited = true;
+            gen.seed = seed;
+            return rrs::workload::MakePoissonSource(*spec_list, gen);
+          };
+          job.options.num_resources = 8;
+          job.options.cost_model.delta = 4;
+          jobs.push_back(job);
+        }
+        rrs::fleet::FleetRunner runner(options);
+        runner.RunAll(jobs);
+      })) /
+      static_cast<double>(kMemTenants);
+
+  return {std::move(materialized), std::move(streaming)};
 }
 
 }  // namespace
@@ -462,6 +685,23 @@ int main(int argc, char** argv) {
        rrs::fleet::FleetJob::Kind::kReplay, false, 16, 8, 32,
        /*batch_width=*/64, /*scalar_ref=*/"fleet/100k/capped",
        /*speedup_gate=*/2.0},
+      // Per-session-workload pair: both cells regenerate every tenant's
+      // arrivals at admission (the shape a fleet with distinct per-tenant
+      // workloads runs — the shared kDistinct pool above amortizes
+      // generation 100k ways, which no such fleet can). The leader
+      // materializes each clone into a full Instance and replays it (the
+      // pre-streaming model); the streaming twin feeds the clone straight
+      // to the engine. The gate holds streaming rounds/s to >= 95% of the
+      // materializing twin — the memory win (fleet/mem cells) must not
+      // cost throughput for the same generation work.
+      {"fleet/100k/matsrc", 100000, 8, 1024,
+       rrs::fleet::FleetJob::Kind::kReplay, false, 16, 8, 32,
+       /*batch_width=*/0, /*scalar_ref=*/nullptr, /*speedup_gate=*/0,
+       /*obs_plane=*/false, /*streaming=*/false, /*materialize=*/true},
+      {"fleet/100k/streaming", 100000, 8, 1024,
+       rrs::fleet::FleetJob::Kind::kReplay, false, 16, 8, 32,
+       /*batch_width=*/0, /*scalar_ref=*/"fleet/100k/matsrc",
+       /*speedup_gate=*/0.95, /*obs_plane=*/false, /*streaming=*/true},
       // Theorem-3 pipeline tenants through pooled pipeline sessions.
       {"fleet/1k/pipeline", 1000, 32, 0,
        rrs::fleet::FleetJob::Kind::kPipeline},
@@ -523,7 +763,20 @@ int main(int argc, char** argv) {
       results.push_back(std::move(r));
     }
   }
+  for (CellResult& r : RunMemCells()) {
+    results.push_back(std::move(r));
+  }
   for (const CellResult& r : results) {
+    if (r.bytes_per_tenant >= 0) {
+      std::printf("%-24s %12.0f bytes/tenant", r.name.c_str(),
+                  r.bytes_per_tenant);
+      if (!r.mem_ref.empty()) {
+        std::printf(" (gate: <= %.2fx of %s)", r.max_bytes_ratio,
+                    r.mem_ref.c_str());
+      }
+      std::printf("\n");
+      continue;
+    }
     std::printf("%-24s %12.0f sessions/s %12.0f rounds/s", r.name.c_str(),
                 r.sessions_per_sec, r.rounds_per_sec);
     if (r.steady_allocs_per_round >= 0) {
@@ -541,7 +794,7 @@ int main(int argc, char** argv) {
       }
       std::printf(")");
     } else if (!r.scalar_ref.empty() && r.measured_speedup >= 0) {
-      // Observability twin: the paired-window overhead vs its bare twin.
+      // Observability/streaming twin: paired-window ratio vs the bare twin.
       std::printf(" (%.2fx of %s)", r.measured_speedup, r.scalar_ref.c_str());
     }
     std::printf("\n");
@@ -581,6 +834,13 @@ int main(int argc, char** argv) {
       }
       if (r.measured_speedup >= 0) {
         std::fprintf(f, ", \"measured_speedup\": %.4f", r.measured_speedup);
+      }
+    }
+    if (r.bytes_per_tenant >= 0) {
+      std::fprintf(f, ", \"bytes_per_tenant\": %.1f", r.bytes_per_tenant);
+      if (!r.mem_ref.empty()) {
+        std::fprintf(f, ", \"mem_ref\": \"%s\", \"max_bytes_ratio\": %.2f",
+                     r.mem_ref.c_str(), r.max_bytes_ratio);
       }
     }
     std::fprintf(f, "}%s\n", i + 1 < results.size() ? "," : "");

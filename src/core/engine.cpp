@@ -52,6 +52,10 @@ struct Engine::SimState {
   // pause between StepRounds calls.
   CostBreakdown cost;
   uint64_t executed = 0;
+  // Jobs pulled from the source so far; doubles as the next dense JobId
+  // (arrivals are numbered consecutively in emission order, which for an
+  // InstanceSource reproduces the Instance's JobIds exactly).
+  uint64_t arrived = 0;
   std::vector<uint64_t> drops_per_color;
   Schedule schedule;
   Schedule* schedule_ptr = nullptr;  // &schedule iff recording
@@ -68,7 +72,8 @@ struct Engine::SimState {
   // Rebinds the arena to a tenant and clears all per-run state. O(num
   // colors + num resources + wheel size) writes, zero allocations once every
   // buffer has grown to the shape.
-  void StartRun(const Instance& inst, const EngineOptions& opts) {
+  void StartRun(const Instance& inst, const EngineOptions& opts,
+                const workload::ArrivalSource& source) {
     instance = &inst;
     options = opts;
     const size_t num_colors = inst.num_colors();
@@ -79,9 +84,10 @@ struct Engine::SimState {
     // Pre-size each ring to the tenant's backlog bound so the round loop
     // never grows one mid-run: ring allocation happens here, at the tenant
     // boundary, and a reused session whose rings already fit performs none.
+    // The bound comes from the source (a jobless shape Instance reports 0).
     uint32_t max_backlog_any = 0;
     for (ColorId c = 0; c < num_colors; ++c) {
-      const uint32_t bound = inst.max_backlog(c);
+      const uint32_t bound = source.max_backlog(c);
       rings[c].Reserve(bound);
       max_backlog_any = std::max(max_backlog_any, bound);
     }
@@ -107,6 +113,7 @@ struct Engine::SimState {
 
     cost = CostBreakdown{};
     executed = 0;
+    arrived = 0;
     drops_per_color.assign(num_colors, 0);
 #if RRS_OBS_LEVEL >= 1
     reconfigs_per_color.assign(num_colors, 0);
@@ -231,17 +238,36 @@ void Engine::Reset(const Instance& instance, EngineOptions options) {
   RRS_CHECK_GE(options.num_resources, 1u);
   RRS_CHECK_GE(options.mini_rounds_per_round, 1);
   RRS_CHECK_GE(options.cost_model.delta, 1u);
+  own_source_.Bind(instance);
+  external_source_ = nullptr;
   instance_ = &instance;
+  horizon_ = instance.horizon();
+  request_rounds_ = instance.num_request_rounds();
   options_ = options;
   if (state_ == nullptr) state_ = std::make_unique<SimState>();
 }
 
 void Engine::Reset(const Instance& instance) { Reset(instance, options_); }
 
+void Engine::Reset(workload::ArrivalSource& source, EngineOptions options) {
+  RRS_CHECK(!running_) << "Engine::Reset during an open run";
+  RRS_CHECK_GE(options.num_resources, 1u);
+  RRS_CHECK_GE(options.mini_rounds_per_round, 1);
+  RRS_CHECK_GE(options.cost_model.delta, 1u);
+  external_source_ = &source;
+  instance_ = &source.shape();
+  horizon_ = source.horizon();
+  request_rounds_ = source.num_request_rounds();
+  options_ = options;
+  if (state_ == nullptr) state_ = std::make_unique<SimState>();
+}
+
+void Engine::Reset(workload::ArrivalSource& source) { Reset(source, options_); }
+
 RunResult Engine::Run(SchedulerPolicy& policy) {
   RunResult result;
   BeginRun(policy);
-  StepRounds(instance_->horizon() + 1);
+  StepRounds(horizon_ + 1);
   FinishRun(result);
   return result;
 }
@@ -249,7 +275,8 @@ RunResult Engine::Run(SchedulerPolicy& policy) {
 void Engine::BeginRun(SchedulerPolicy& policy) {
   RRS_CHECK(instance_ != nullptr) << "BeginRun on an unbound engine session";
   RRS_CHECK(!running_) << "BeginRun while a run is open";
-  state_->StartRun(*instance_, options_);
+  src().Reset();
+  state_->StartRun(*instance_, options_, src());
   if (view_ == nullptr) view_ = std::make_unique<View>(*state_);
   view_->Rebind();
   policy.Reset(*instance_, options_);
@@ -267,7 +294,9 @@ bool Engine::StepRounds(Round max_rounds) {
   obs::RunInstruments& instruments = state.instruments;
   Schedule* const schedule_ptr = state.schedule_ptr;
 
-  const Round horizon = instance_->horizon();
+  workload::ArrivalSource& source = src();
+  const bool instance_fed = external_source_ == nullptr;
+  const Round horizon = horizon_;
   if (next_round_ > horizon) return false;
   const uint32_t num_resources = options_.num_resources;
   const size_t wheel_size = state.wheel.size();
@@ -317,25 +346,44 @@ bool Engine::StepRounds(Round max_rounds) {
       obs_t0 = t;
     }
 
-    // ---- Arrival phase: request k. ----
-    auto arrivals = instance_->jobs_in_round(k);
-    if (!arrivals.empty()) {
-      JobId id = instance_->first_job_in_round(k);
-      // Jobs within a round are grouped per color for the policy callback;
-      // runs of equal colors are contiguous after a single pass because the
-      // builder keeps insertion order and generators emit per-color runs.
-      // Handle arbitrary interleavings anyway.
-      size_t i = 0;
-      while (i < arrivals.size()) {
-        ColorId c = arrivals[i].color;
-        const Round deadline = k + instance_->delay_bound(c);
-        RRS_CHECK_LE(deadline, horizon);
-        size_t j = i;
-        while (j < arrivals.size() && arrivals[j].color == c) ++j;
-        state.AddRun(c, id + static_cast<JobId>(i), deadline,
-                     static_cast<uint32_t>(j - i));
-        policy.OnArrivals(k, c, j - i);
-        i = j;
+    // ---- Arrival phase: request k, pulled from the bound source. ----
+    // NextRound is called for every round below the request horizon (even
+    // all-idle ones) so the source cursor tracks the simulated round. Runs
+    // arrive grouped per color for the policy callback; ids are assigned
+    // consecutively in emission order, matching the materialized JobIds.
+    //
+    // Instance-fed sessions take the inline loop over the job vector
+    // instead of InstanceSource::NextRound: same coalescing, same ids, but
+    // no per-round run-vector rebuild or virtual dispatch — the light-
+    // policy cells of bench_baseline are arrival-bound and pay ~15% for
+    // the indirection. The own-source cursor is re-synced once per
+    // StepRounds call below, which is all snapshots observe.
+    if (k < request_rounds_) {
+      if (instance_fed) {
+        auto arrivals = instance_->jobs_in_round(k);
+        size_t i = 0;
+        while (i < arrivals.size()) {
+          const ColorId c = arrivals[i].color;
+          const Round deadline = k + instance_->delay_bound(c);
+          RRS_CHECK_LE(deadline, horizon);
+          size_t j = i;
+          while (j < arrivals.size() && arrivals[j].color == c) ++j;
+          state.AddRun(c, static_cast<JobId>(state.arrived), deadline,
+                       static_cast<uint32_t>(j - i));
+          state.arrived += j - i;
+          policy.OnArrivals(k, c, j - i);
+          i = j;
+        }
+      } else {
+        for (const auto& [c, count] : source.NextRound()) {
+          if (count == 0) continue;
+          const Round deadline = k + instance_->delay_bound(c);
+          RRS_CHECK_LE(deadline, horizon);
+          state.AddRun(c, static_cast<JobId>(state.arrived), deadline,
+                       static_cast<uint32_t>(count));
+          state.arrived += count;
+          policy.OnArrivals(k, c, count);
+        }
       }
     }
     policy.AfterArrivalPhase(k);
@@ -401,19 +449,22 @@ bool Engine::StepRounds(Round max_rounds) {
   }
 
   next_round_ = last + 1;
+  // Keep the own-source cursor at the simulated round so snapshot-time
+  // invariants and SeekRound-based restores see a consistent source; O(1)
+  // for an InstanceSource.
+  if (instance_fed) source.SeekRound(next_round_);
   return next_round_ <= horizon;
 }
 
 void Engine::FinishRun(RunResult& result) {
   RRS_CHECK(running_) << "FinishRun without BeginRun";
-  RRS_CHECK_GT(next_round_, instance_->horizon())
-      << "FinishRun before the horizon";
+  RRS_CHECK_GT(next_round_, horizon_) << "FinishRun before the horizon";
   SimState& state = *state_;
 
   result.cost = state.cost;
   result.executed = state.executed;
-  result.arrived = instance_->num_jobs();
-  result.rounds_simulated = instance_->horizon() + 1;
+  result.arrived = state.arrived;
+  result.rounds_simulated = horizon_ + 1;
   result.drops_per_color = state.drops_per_color;
 
   // Every job must have been executed or dropped by the horizon.
@@ -486,7 +537,8 @@ void Engine::SnapshotRun(snapshot::Writer& w) const {
   policy_->SaveState(w);
 }
 
-void Engine::RestoreRun(SchedulerPolicy& policy, snapshot::Reader& r) {
+void Engine::RestoreRun(SchedulerPolicy& policy, snapshot::Reader& r,
+                        snapshot::Reader* source_state) {
   // BeginRun gives a fresh arena bound to this session's instance and a
   // Reset policy; the snapshot then overwrites the mutable state.
   BeginRun(policy);
@@ -498,7 +550,7 @@ void Engine::RestoreRun(SchedulerPolicy& policy, snapshot::Reader& r) {
   RRS_CHECK_EQ(r.GetU32(), options_.num_resources)
       << "snapshot restored with a different resource count";
   next_round_ = r.GetI64();
-  RRS_CHECK_LE(next_round_, instance_->horizon() + 1);
+  RRS_CHECK_LE(next_round_, horizon_ + 1);
   r.GetVec(state.resource_color);
   RRS_CHECK_EQ(state.resource_color.size(), options_.num_resources);
   for (size_t c = 0; c < instance_->num_colors(); ++c) {
@@ -534,7 +586,24 @@ void Engine::RestoreRun(SchedulerPolicy& policy, snapshot::Reader& r) {
 #endif
   r.EndSection();
 
+  // The snapshot has no arrival counter (its byte format predates streaming
+  // sources), but every arrived job is executed, dropped, or pending — and
+  // ids are dense — so the count is derivable.
+  uint64_t pending_total = 0;
+  for (const uint64_t n : state.pending_n) pending_total += n;
+  state.arrived = state.executed + state.cost.drops + pending_total;
+
   policy.LoadState(r);
+
+  // Reposition the source at the snapshot round: from its own saved words
+  // when provided (dist migration), else by deterministic replay.
+  if (source_state != nullptr) {
+    src().LoadState(*source_state);
+    RRS_CHECK_EQ(src().cursor(), std::min(next_round_, request_rounds_))
+        << "restored source state disagrees with the engine round";
+  } else {
+    src().SeekRound(next_round_);
+  }
 }
 
 void Engine::AbortRun() {

@@ -36,6 +36,7 @@
 #include "core/policy.h"
 #include "core/schedule.h"
 #include "obs/telemetry.h"
+#include "workload/arrival_source.h"
 
 namespace rrs {
 
@@ -72,10 +73,21 @@ class Engine {
   // Rebinds the session to a new tenant in place (Session rule 1): sizes
   // the simulation state for the instance without releasing capacity
   // acquired for earlier tenants. `instance` must outlive all runs against
-  // it. Illegal while a run is open.
+  // it. Illegal while a run is open. Internally this binds the engine's own
+  // InstanceSource adapter — every run pulls arrivals through a source
+  // cursor; the Instance form is the materialized special case.
   void Reset(const Instance& instance, EngineOptions options);
   // Same-options rebind (keeps the options from the previous bind).
   void Reset(const Instance& instance);
+
+  // Rebinds the session to a streaming tenant: arrivals are pulled from
+  // `source` (NextRound per simulated round, Reset at BeginRun), and the
+  // policy sees source.shape() as its Instance. `source` must outlive all
+  // runs against it and not be shared with another engine. Results are
+  // bit-identical to running the materialized equivalent
+  // (workload::Materialize) of the source.
+  void Reset(workload::ArrivalSource& source, EngineOptions options);
+  void Reset(workload::ArrivalSource& source);
 
   // Runs the policy over the whole instance (rounds 0..horizon inclusive, so
   // every job either executes or drops) and returns the outcome.
@@ -128,22 +140,50 @@ class Engine {
   // any other engine bound to an equal instance (worker migration).
   // Recording runs (options.record_schedule) cannot be snapshotted: the
   // partial Schedule is an unbounded log, not session state.
+  //
+  // Source-bound sessions: the engine snapshot's byte format is unchanged
+  // (it never contains source state). On restore, the bound source is
+  // repositioned — from `source_state` (a reader over the source's own
+  // SaveState words; O(source state), the dist migration path) when given,
+  // else by SeekRound replay (deterministic re-execution).
   void SnapshotRun(snapshot::Writer& w) const;
-  void RestoreRun(SchedulerPolicy& policy, snapshot::Reader& r);
+  void RestoreRun(SchedulerPolicy& policy, snapshot::Reader& r,
+                  snapshot::Reader* source_state = nullptr);
 
   const EngineOptions& options() const { return options_; }
+  // The bound tenant's Instance: the full instance when Instance-bound, the
+  // source's shape() (color table) when source-bound.
   const Instance& instance() const { return *instance_; }
+  // The bound arrival source (the engine-owned InstanceSource adapter when
+  // Instance-bound).
+  const workload::ArrivalSource& source() const {
+    if (external_source_ != nullptr) return *external_source_;
+    return own_source_;
+  }
 
  private:
   // ResourceView implementation handed to the policy each reconfig phase.
   class View;
   struct SimState;
 
+  workload::ArrivalSource& src() {
+    if (external_source_ != nullptr) return *external_source_;
+    return own_source_;
+  }
+
   // Out-of-line peeks into the pimpl for the mid-run accessors.
   const CostBreakdown& state_cost() const;
   uint64_t state_executed() const;
 
   const Instance* instance_ = nullptr;
+  // Non-null iff bound via Reset(ArrivalSource&); otherwise own_source_
+  // (the InstanceSource adapter) backs the run.
+  workload::ArrivalSource* external_source_ = nullptr;
+  workload::InstanceSource own_source_;
+  // Cached source stats: a jobless shape's Instance carries no horizon, so
+  // the round loop bounds come from the source at bind time.
+  Round horizon_ = 0;
+  Round request_rounds_ = 0;
   EngineOptions options_;
   // The session arena: all simulation state, reused across tenants.
   std::unique_ptr<SimState> state_;

@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "util/check.h"
+#include "workload/arrival_source.h"
 
 namespace rrs {
 
@@ -158,6 +159,15 @@ void StreamEngine::ArmExpiry(ColorId c) {
     std::push_heap(expiry_.begin(), expiry_.end(),
                    std::greater<std::pair<Round, ColorId>>{});
   }
+}
+
+const RoundOutcome& StreamEngine::Step(workload::ArrivalSource& source) {
+  if (source.cursor() < source.num_request_rounds()) {
+    RRS_CHECK_EQ(source.cursor(), round_)
+        << "source cursor out of step with the stream";
+    return Step(source.NextRound());
+  }
+  return Step({});
 }
 
 const RoundOutcome& StreamEngine::Step(

@@ -33,6 +33,10 @@
 
 namespace rrs {
 
+namespace workload {
+class ArrivalSource;
+}  // namespace workload
+
 struct RoundOutcome {
   Round round = 0;
   // Reconfigurations applied this round, in application order across all
@@ -152,6 +156,12 @@ class StreamEngine {
   // next Step).
   const RoundOutcome& Step(
       std::span<const std::pair<ColorId, uint64_t>> arrivals);
+
+  // Advances one round pulling arrivals from a streaming source: the
+  // source's next round while it has one, an empty round afterwards. The
+  // source's cursor must match current_round() while the source is live —
+  // reset or restore the two together.
+  const RoundOutcome& Step(workload::ArrivalSource& source);
 
   // True while any job is still pending.
   bool HasPending() const { return pending_total_ > 0; }

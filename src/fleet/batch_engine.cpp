@@ -29,11 +29,22 @@ inline Round PosMod(Round a, Round m) {
 // assigned (not reconstructed) per tenant, so capacity carries over and a
 // warm lane opens with zero allocation (Session rules 1-2).
 struct BatchEngine::Lane {
-  const Instance* instance = nullptr;
+  const Instance* instance = nullptr;  // shape (full instance when source-less)
   EngineOptions options;
   SchedulerPolicy* policy = nullptr;
   bool fused = false;
   Round horizon = 0;
+  Round request_rounds = 0;
+  uint64_t arrived = 0;  // dense JobId counter, mirrors scalar SimState
+  // Arrival feed: an external streaming source, or the lane's own adapter
+  // over `instance` (exactly the scalar Engine's arrangement).
+  workload::ArrivalSource* source = nullptr;
+  workload::InstanceSource own_source;
+
+  workload::ArrivalSource& src() {
+    if (source != nullptr) return *source;
+    return own_source;
+  }
   // The scalar-equivalent wheel size, carried for snapshot emission (a
   // restored lane keeps its snapshot's wheel size so a re-snapshot matches
   // the scalar session's bytes).
@@ -209,14 +220,21 @@ void BatchEngine::AdoptShape(const Instance& instance,
   kernel_.SetShape(num_colors_, width_, backlog_bits_.data());
 }
 
-void BatchEngine::InitLane(uint32_t lane, const Instance& instance,
+void BatchEngine::InitLane(uint32_t lane, const Instance& shape,
+                           workload::ArrivalSource* source,
                            const EngineOptions& options,
                            SchedulerPolicy& policy) {
   Lane& l = lanes_[lane];
-  l.instance = &instance;
+  l.instance = &shape;
+  l.source = source;
+  if (source == nullptr) l.own_source.Bind(shape);
+  workload::ArrivalSource& src = l.src();
+  src.Reset();
   l.options = options;
   l.policy = &policy;
-  l.horizon = instance.horizon();
+  l.horizon = src.horizon();
+  l.request_rounds = src.num_request_rounds();
+  l.arrived = 0;
   l.wheel_size = static_cast<uint64_t>(max_delay_) + 1;
 
   l.resource_color.assign(num_resources_, kNoColor);
@@ -225,7 +243,7 @@ void BatchEngine::InitLane(uint32_t lane, const Instance& instance,
   uint32_t max_backlog_any = 0;
   const uint64_t bit = uint64_t{1} << lane;
   for (size_t c = 0; c < num_colors_; ++c) {
-    const uint32_t bound = instance.max_backlog(static_cast<ColorId>(c));
+    const uint32_t bound = src.max_backlog(static_cast<ColorId>(c));
     l.rings[c].Reserve(bound);
     max_backlog_any = std::max(max_backlog_any, bound);
     pending_[c * width_ + lane] = 0;
@@ -249,7 +267,7 @@ void BatchEngine::InitLane(uint32_t lane, const Instance& instance,
   l.reconfigs_per_color.assign(num_colors_, 0);
 #endif
   l.instruments.Rebind(nullptr, "engine");
-  policy.Reset(instance, options);
+  policy.Reset(shape, options);
 }
 
 void BatchEngine::OpenLane(uint32_t lane, const Instance& instance,
@@ -261,8 +279,24 @@ void BatchEngine::OpenLane(uint32_t lane, const Instance& instance,
   RRS_CHECK(LaneCompatible(instance, options))
       << "tenant incompatible with the slab shape";
   if (open_mask_ == 0) AdoptShape(instance, options);
-  InitLane(lane, instance, options, policy);
+  InitLane(lane, instance, nullptr, options, policy);
+  BindOpenedLane(lane, policy);
+}
 
+void BatchEngine::OpenLane(uint32_t lane, workload::ArrivalSource& source,
+                           const EngineOptions& options,
+                           SchedulerPolicy& policy) {
+  RRS_CHECK_LT(lane, width_);
+  RRS_CHECK(!lane_open(lane)) << "OpenLane on an occupied lane";
+  RRS_CHECK_EQ(next_round_, 0) << "OpenLane into a stepped slab";
+  RRS_CHECK(LaneCompatible(source.shape(), options))
+      << "tenant incompatible with the slab shape";
+  if (open_mask_ == 0) AdoptShape(source.shape(), options);
+  InitLane(lane, source.shape(), &source, options, policy);
+  BindOpenedLane(lane, policy);
+}
+
+void BatchEngine::BindOpenedLane(uint32_t lane, SchedulerPolicy& policy) {
   Lane& l = lanes_[lane];
   l.fused = typeid(policy) == typeid(DlruEdfPolicy) &&
             !static_cast<DlruEdfPolicy&>(policy).collect_ineligible_jobs();
@@ -302,7 +336,7 @@ bool BatchEngine::StepRounds(Round max_rounds) {
   arrival_scratch_.clear();
   for (uint64_t m = stepping & fused_mask_; m != 0; m &= m - 1) {
     const uint32_t lane = static_cast<uint32_t>(std::countr_zero(m));
-    arrival_scratch_.emplace_back(lanes_[lane].instance->num_request_rounds(),
+    arrival_scratch_.emplace_back(lanes_[lane].request_rounds,
                                   uint64_t{1} << lane);
   }
   std::sort(arrival_scratch_.begin(), arrival_scratch_.end());
@@ -388,24 +422,22 @@ void BatchEngine::ArrivalPhase(Round k, uint64_t stepping) {
   for (uint64_t m = stepping; m != 0; m &= m - 1) {
     const uint32_t lane = static_cast<uint32_t>(std::countr_zero(m));
     Lane& l = lanes_[lane];
-    auto arrivals = l.instance->jobs_in_round(k);
-    if (!arrivals.empty()) {
-      const JobId id = l.instance->first_job_in_round(k);
-      size_t i = 0;
-      while (i < arrivals.size()) {
-        const ColorId c = arrivals[i].color;
+    if (k < l.request_rounds) {
+      workload::ArrivalSource& src = l.src();
+      RRS_DCHECK(src.cursor() == k);
+      for (const auto& [c, count64] : src.NextRound()) {
+        if (count64 == 0) continue;
         const Round deadline = k + delay_bounds_[c];
         RRS_CHECK_LE(deadline, l.horizon);
-        size_t j = i;
-        while (j < arrivals.size() && arrivals[j].color == c) ++j;
-        const uint32_t count = static_cast<uint32_t>(j - i);
+        const uint32_t count = static_cast<uint32_t>(count64);
         // Scalar SimState::AddRun against the slab's shared structures.
         uint64_t& pend = pending_[static_cast<size_t>(c) * width_ + lane];
         if (pend == 0 && !l.in_nonidle_list[c]) {
           l.in_nonidle_list[c] = 1;
           l.nonidle_list.push_back(c);
         }
-        l.rings[c].push_run(id + static_cast<JobId>(i), deadline, count);
+        l.rings[c].push_run(static_cast<JobId>(l.arrived), deadline, count);
+        l.arrived += count;
         pend += count;
         backlog_bits_[c] |= uint64_t{1} << lane;
         if (l.last_wheel_push[c] != deadline) {
@@ -418,7 +450,6 @@ void BatchEngine::ArrivalPhase(Round k, uint64_t stepping) {
         } else {
           l.policy->OnArrivals(k, c, count);
         }
-        i = j;
       }
     }
     // DlruEdfPolicy does not override AfterArrivalPhase; fused lanes skip it.
@@ -485,7 +516,7 @@ void BatchEngine::FinishLane(uint32_t lane, RunResult& result) {
 
   result.cost = l.cost;
   result.executed = l.executed;
-  result.arrived = l.instance->num_jobs();
+  result.arrived = l.arrived;
   result.rounds_simulated = l.horizon + 1;
   result.drops_per_color = l.drops_per_color;
   RRS_CHECK_EQ(result.executed + result.cost.drops, result.arrived)
@@ -534,6 +565,7 @@ void BatchEngine::CloseLane(uint32_t lane) {
   }
   l.policy = nullptr;
   l.instance = nullptr;
+  l.source = nullptr;
   l.fused = false;
   if (open_mask_ == 0) {
     // Last lane out: reset for reuse. Clearing the wheel drops any stale
@@ -611,8 +643,27 @@ void BatchEngine::RestoreLane(uint32_t lane, const Instance& instance,
   RRS_CHECK(LaneCompatible(instance, options))
       << "snapshot tenant incompatible with the slab shape";
   if (open_mask_ == 0) AdoptShape(instance, options);
-  InitLane(lane, instance, options, policy);
+  InitLane(lane, instance, nullptr, options, policy);
+  RestoreLaneImpl(lane, r, nullptr);
+}
+
+void BatchEngine::RestoreLane(uint32_t lane, workload::ArrivalSource& source,
+                              const EngineOptions& options,
+                              SchedulerPolicy& policy, snapshot::Reader& r,
+                              snapshot::Reader* source_state) {
+  RRS_CHECK_LT(lane, width_);
+  RRS_CHECK(!lane_open(lane)) << "RestoreLane on an occupied lane";
+  RRS_CHECK(LaneCompatible(source.shape(), options))
+      << "snapshot tenant incompatible with the slab shape";
+  if (open_mask_ == 0) AdoptShape(source.shape(), options);
+  InitLane(lane, source.shape(), &source, options, policy);
+  RestoreLaneImpl(lane, r, source_state);
+}
+
+void BatchEngine::RestoreLaneImpl(uint32_t lane, snapshot::Reader& r,
+                                  snapshot::Reader* source_state) {
   Lane& l = lanes_[lane];
+  SchedulerPolicy& policy = *l.policy;
   const uint64_t bit = uint64_t{1} << lane;
 
   r.BeginSection(snapshot::kTagEngine);
@@ -690,7 +741,23 @@ void BatchEngine::RestoreLane(uint32_t lane, const Instance& instance,
 #endif
   r.EndSection();
 
+  // The snapshot byte format predates streaming sources and does not carry
+  // an arrival counter; every arrived job is executed, dropped, or pending.
+  uint64_t pending_total = 0;
+  for (size_t c = 0; c < num_colors_; ++c) {
+    pending_total += pending_[c * width_ + lane];
+  }
+  l.arrived = l.executed + l.cost.drops + pending_total;
+
   policy.LoadState(r);
+
+  if (source_state != nullptr) {
+    l.src().LoadState(*source_state);
+    RRS_CHECK_EQ(l.src().cursor(), std::min(k, l.request_rounds))
+        << "restored source state disagrees with the lane round";
+  } else {
+    l.src().SeekRound(k);
+  }
 
   l.fused = typeid(policy) == typeid(DlruEdfPolicy) &&
             !static_cast<DlruEdfPolicy&>(policy).collect_ineligible_jobs();

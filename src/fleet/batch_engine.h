@@ -48,6 +48,7 @@
 #include "obs/scope.h"
 #include "sched/lane_kernels.h"
 #include "snapshot/codec.h"
+#include "workload/arrival_source.h"
 
 namespace rrs {
 namespace fleet {
@@ -86,6 +87,12 @@ class BatchEngine {
   void OpenLane(uint32_t lane, const Instance& instance,
                 const EngineOptions& options, SchedulerPolicy& policy);
 
+  // Opens a lane on a streaming source (same compatibility rules against
+  // source.shape()). The source is Reset and its rounds are pulled by the
+  // slab's arrival phase; it must outlive the lane's run.
+  void OpenLane(uint32_t lane, workload::ArrivalSource& source,
+                const EngineOptions& options, SchedulerPolicy& policy);
+
   // Advances every open lane by up to max_rounds rounds in lock-step (lanes
   // whose horizon is exhausted stop participating). Returns true while any
   // open lane has rounds remaining.
@@ -112,6 +119,14 @@ class BatchEngine {
   void RestoreLane(uint32_t lane, const Instance& instance,
                    const EngineOptions& options, SchedulerPolicy& policy,
                    snapshot::Reader& r);
+
+  // Restore onto a streaming source. With `source_state` the source loads
+  // its saved kTagArrivalSource section(s) from that reader; without it the
+  // source is repositioned by deterministic replay (SeekRound).
+  void RestoreLane(uint32_t lane, workload::ArrivalSource& source,
+                   const EngineOptions& options, SchedulerPolicy& policy,
+                   snapshot::Reader& r,
+                   snapshot::Reader* source_state = nullptr);
 
   // ---- Mid-run observation hooks (SLO tracking) --------------------------
   // The lane's cost accumulated so far; valid while the lane is open.
@@ -140,9 +155,17 @@ class BatchEngine {
   void AdoptShape(const Instance& instance, const EngineOptions& options);
 
   // Shared lane initialization for OpenLane and RestoreLane: binds the
-  // tenant, clears the lane's arena and resets the policy.
-  void InitLane(uint32_t lane, const Instance& instance,
-                const EngineOptions& options, SchedulerPolicy& policy);
+  // tenant (source == nullptr means instance-fed via the lane's own
+  // InstanceSource), clears the lane's arena and resets the policy.
+  void InitLane(uint32_t lane, const Instance& shape,
+                workload::ArrivalSource* source, const EngineOptions& options,
+                SchedulerPolicy& policy);
+
+  // Shared tail of the two OpenLane overloads (fused-kernel binding).
+  void BindOpenedLane(uint32_t lane, SchedulerPolicy& policy);
+  // Shared body of the two RestoreLane overloads.
+  void RestoreLaneImpl(uint32_t lane, snapshot::Reader& r,
+                       snapshot::Reader* source_state);
 
   // Releases a lane and, when it was the last one, resets the slab.
   void CloseLane(uint32_t lane);

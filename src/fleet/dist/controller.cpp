@@ -171,11 +171,13 @@ void DistController::Expect(WorkerHandle& worker, uint64_t want) {
 void DistController::AddJobs(std::span<const FleetJob> jobs) {
   RRS_CHECK(running_) << "AddJobs before Start";
   RRS_CHECK_EQ(tick_, 0u) << "AddJobs after Run";
-  // Dedup instances by pointer and ship the new ones to *every* worker: a
-  // migration target must already hold the instance when the checkpoint
-  // words arrive.
+  // Dedup instances and generator specs by pointer and ship the new ones to
+  // *every* worker: a migration target must already hold the instance (or
+  // spec) when the checkpoint words arrive.
   std::vector<const Instance*> new_instances;
+  std::vector<const workload::GeneratorSpec*> new_sources;
   const uint32_t first_id = next_instance_id_;
+  const uint32_t first_source_id = next_source_id_;
   const size_t first_tenant = tenants_.size();
   tenants_.reserve(tenants_.size() + jobs.size());
   for (const FleetJob& job : jobs) {
@@ -185,22 +187,43 @@ void DistController::AddJobs(std::span<const FleetJob> jobs) {
         << "recorded schedules cannot be snapshotted or shipped";
     RRS_CHECK(job.options.obs_scope == nullptr)
         << "per-job obs scopes are process-local";
-    uint32_t id = 0;
-    const auto it = std::find_if(
-        instance_ids_.begin(), instance_ids_.end(),
-        [&](const auto& entry) { return entry.first == job.instance; });
-    if (it != instance_ids_.end()) {
-      id = it->second;
-    } else {
-      id = next_instance_id_++;
-      instance_ids_.emplace_back(job.instance, id);
-      new_instances.push_back(job.instance);
-    }
     Tenant tenant;
     tenant.spec.tenant = tenants_.size();
-    tenant.spec.instance_id = id;
     tenant.spec.options = WireOptions::From(job.options);
-    tenant.instance = job.instance;
+    if (job.instance != nullptr) {
+      uint32_t id = 0;
+      const auto it = std::find_if(
+          instance_ids_.begin(), instance_ids_.end(),
+          [&](const auto& entry) { return entry.first == job.instance; });
+      if (it != instance_ids_.end()) {
+        id = it->second;
+      } else {
+        id = next_instance_id_++;
+        instance_ids_.emplace_back(job.instance, id);
+        new_instances.push_back(job.instance);
+      }
+      tenant.spec.instance_id = id;
+      tenant.instance = job.instance;
+    } else {
+      // Streaming tenant: only a GeneratorSpec travels (a make_source
+      // closure cannot ship to a worker process).
+      RRS_CHECK(job.source_spec != nullptr)
+          << "dist streaming tenants need a GeneratorSpec";
+      uint32_t id = 0;
+      const auto it = std::find_if(
+          source_ids_.begin(), source_ids_.end(),
+          [&](const auto& entry) { return entry.first == job.source_spec; });
+      if (it != source_ids_.end()) {
+        id = it->second;
+      } else {
+        id = next_source_id_++;
+        source_ids_.emplace_back(job.source_spec, id);
+        source_shapes_.push_back(workload::MakeSource(*job.source_spec));
+        new_sources.push_back(job.source_spec);
+      }
+      tenant.spec.source_id = id;
+      tenant.instance = &source_shapes_[id]->shape();
+    }
     tenants_.push_back(std::move(tenant));
     ++remaining_;
   }
@@ -210,6 +233,15 @@ void DistController::AddJobs(std::span<const FleetJob> jobs) {
       send_scratch_.Clear();
       PutInstanceTable(send_scratch_, new_instances, first_id);
       SendTo(worker, kMsgAddInstances);
+      Expect(worker, kMsgConfigAck);
+    }
+  }
+  if (!new_sources.empty()) {
+    for (WorkerHandle& worker : workers_) {
+      if (!worker.alive) continue;
+      send_scratch_.Clear();
+      PutSourceTable(send_scratch_, new_sources, first_source_id);
+      SendTo(worker, kMsgAddSources);
       Expect(worker, kMsgConfigAck);
     }
   }

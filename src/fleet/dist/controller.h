@@ -116,8 +116,9 @@ class DistController {
   bool Start(std::string* error = nullptr);
 
   // Registers jobs (replay kind only; record_schedule and obs_scope do not
-  // travel), ships new instances to every worker, and places the tenants
-  // on the least-outstanding workers. Callable between Start and Run.
+  // travel), ships new instances — and, for streaming jobs, new
+  // GeneratorSpecs — to every worker, and places the tenants on the
+  // least-outstanding workers. Callable between Start and Run.
   void AddJobs(std::span<const FleetJob> jobs);
 
   // Scripted fault plan, executed at the barrier after tick `tick` (1-based;
@@ -153,6 +154,9 @@ class DistController {
 
   struct Tenant {
     TenantSpec spec;
+    // The tenant's shape for SLO accounting: the job's instance, or for
+    // streaming tenants the shape() of the controller's local instantiation
+    // of their spec (source_shapes_).
     const Instance* instance = nullptr;
     size_t worker = 0;
     Phase phase = Phase::kAssigned;
@@ -200,6 +204,13 @@ class DistController {
   std::vector<Tenant> tenants_;
   std::vector<std::pair<const Instance*, uint32_t>> instance_ids_;
   uint32_t next_instance_id_ = 0;
+  // Streaming tenants: deduplicated GeneratorSpec table (by spec pointer,
+  // mirroring instance dedup) plus one locally instantiated source per spec
+  // — the controller never steps these; they exist so tenant.instance can
+  // point at a shape (color table) for SLO Finish accounting.
+  std::vector<std::pair<const workload::GeneratorSpec*, uint32_t>> source_ids_;
+  std::vector<std::unique_ptr<workload::ArrivalSource>> source_shapes_;
+  uint32_t next_source_id_ = 0;
   uint64_t tick_ = 0;
   uint64_t remaining_ = 0;  // tenants neither done nor shed
   std::vector<ScheduledEvent> migrations_;  // tenant + target packed below

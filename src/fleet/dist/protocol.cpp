@@ -26,6 +26,7 @@ const char* MsgTypeName(uint64_t type) {
     case kMsgShedAck: return "ShedAck";
     case kMsgShutdown: return "Shutdown";
     case kMsgBye: return "Bye";
+    case kMsgAddSources: return "AddSources";
     default: return "<unknown>";
   }
 }
@@ -210,6 +211,7 @@ void PutTenantSpecs(snapshot::Writer& w,
   for (const TenantSpec& spec : specs) {
     w.PutU64(spec.tenant);
     w.PutU32(spec.instance_id);
+    w.PutU32(spec.source_id);
     PutWireOptions(w, spec.options);
   }
   w.EndSection();
@@ -223,10 +225,36 @@ void GetTenantSpecs(snapshot::Reader& r, std::vector<TenantSpec>* out) {
     TenantSpec spec;
     spec.tenant = r.GetU64();
     spec.instance_id = r.GetU32();
+    spec.source_id = r.GetU32();
     spec.options = GetWireOptions(r);
     out->push_back(spec);
   }
   r.EndSection();
+}
+
+void PutSourceTable(snapshot::Writer& w,
+                    const std::vector<const workload::GeneratorSpec*>& specs,
+                    uint32_t first_id) {
+  w.BeginSection(snapshot::kTagDistMsg);
+  w.PutU64(specs.size());
+  w.PutU32(first_id);
+  w.EndSection();
+  for (const workload::GeneratorSpec* spec : specs) {
+    workload::PutGeneratorSpec(w, *spec);
+  }
+}
+
+void GetSourceTable(
+    snapshot::Reader& r,
+    std::vector<std::pair<uint32_t, workload::GeneratorSpec>>* out) {
+  r.BeginSection(snapshot::kTagDistMsg);
+  const uint64_t count = r.GetU64();
+  const uint32_t first_id = r.GetU32();
+  r.EndSection();
+  for (uint64_t i = 0; i < count; ++i) {
+    out->emplace_back(first_id + static_cast<uint32_t>(i),
+                      workload::GetGeneratorSpec(r));
+  }
 }
 
 void PutCheckpoint(snapshot::Writer& w, const TenantCheckpoint& checkpoint) {

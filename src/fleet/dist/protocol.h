@@ -27,6 +27,7 @@
 #include "core/engine.h"
 #include "core/instance.h"
 #include "snapshot/codec.h"
+#include "workload/generator_spec.h"
 
 namespace rrs {
 namespace fleet {
@@ -36,7 +37,10 @@ namespace dist {
 // snapshot payload format, which carries its own header inside checkpoint
 // words). Carried in kMsgHello so a mixed-version pool fails at handshake
 // with both numbers in the message, not mid-run on a garbled frame.
-inline constexpr uint64_t kProtocolVersion = 1;
+// v2: TenantSpec carries source_id; kMsgAddSources ships GeneratorSpec
+// tables so streaming tenants travel as O(colors) specs, not O(jobs)
+// instances.
+inline constexpr uint64_t kProtocolVersion = 2;
 
 enum MsgType : uint64_t {
   kMsgHello = 1,           // worker -> ctl: index, pid, protocol, metrics port
@@ -54,6 +58,7 @@ enum MsgType : uint64_t {
   kMsgShedAck = 13,        // worker -> ctl: partial progress at the cut
   kMsgShutdown = 14,       // ctl -> worker
   kMsgBye = 15,            // worker -> ctl: final stats
+  kMsgAddSources = 16,     // ctl -> worker: deduplicated GeneratorSpec table
 };
 
 const char* MsgTypeName(uint64_t type);
@@ -91,9 +96,15 @@ struct WireOptions {
   friend bool operator==(const WireOptions&, const WireOptions&) = default;
 };
 
+// TenantSpec.source_id sentinel: the tenant is instance-fed.
+inline constexpr uint32_t kNoSourceId = 0xffffffffu;
+
 struct TenantSpec {
   uint64_t tenant = 0;       // global tenant id (job index)
   uint32_t instance_id = 0;  // into the shipped instance table
+  // Streaming tenants reference the shipped GeneratorSpec table instead of
+  // the instance table; the worker instantiates the ArrivalSource locally.
+  uint32_t source_id = kNoSourceId;
   WireOptions options;
 };
 
@@ -207,6 +218,16 @@ void GetInstanceTable(snapshot::Reader& r,
 void PutTenantSpecs(snapshot::Writer& w,
                     const std::vector<TenantSpec>& specs);
 void GetTenantSpecs(snapshot::Reader& r, std::vector<TenantSpec>* out);
+
+// kMsgAddSources payload: `specs[i]` gets id `first_id + i` (the controller
+// ships each new spec to every worker exactly once, in id order).
+void PutSourceTable(snapshot::Writer& w,
+                    const std::vector<const workload::GeneratorSpec*>& specs,
+                    uint32_t first_id);
+// Appends (id, spec) pairs decoded from one kMsgAddSources payload.
+void GetSourceTable(
+    snapshot::Reader& r,
+    std::vector<std::pair<uint32_t, workload::GeneratorSpec>>* out);
 
 void PutTickReport(snapshot::Writer& w, const TickReport& report);
 void GetTickReport(snapshot::Reader& r, TickReport* out);

@@ -22,6 +22,8 @@
 #include "parallel/thread_pool.h"
 #include "sched/registry.h"
 #include "util/check.h"
+#include "workload/arrival_source.h"
+#include "workload/generator_spec.h"
 
 namespace rrs {
 namespace fleet {
@@ -44,6 +46,9 @@ struct Session {
 struct Live {
   std::unique_ptr<Session> session;
   TenantSpec spec;
+  // Streaming tenants: the instantiated source the engine pulls from (the
+  // engine holds a reference; null for instance-fed tenants).
+  std::unique_ptr<workload::ArrivalSource> source;
 };
 
 // One shard: touched by exactly one thread per tick, so nothing here is
@@ -92,6 +97,9 @@ class Worker {
           break;
         case kMsgAddTenants:
           HandleAddTenants(reader);
+          break;
+        case kMsgAddSources:
+          HandleAddSources(reader);
           break;
         case kMsgTick:
           HandleTick(reader);
@@ -202,12 +210,39 @@ class Worker {
     Send(kMsgConfigAck);
   }
 
+  void HandleAddSources(snapshot::Reader& reader) {
+    std::vector<std::pair<uint32_t, workload::GeneratorSpec>> decoded;
+    GetSourceTable(reader, &decoded);
+    for (auto& [id, spec] : decoded) {
+      const auto [it, inserted] = sources_.emplace(id, std::move(spec));
+      RRS_CHECK(inserted) << "duplicate source id " << id;
+      (void)it;
+    }
+    reply_.Clear();
+    PutTenantId(reply_, decoded.size());
+    Send(kMsgConfigAck);
+  }
+
   const Instance& InstanceOf(const TenantSpec& spec) const {
     const auto it = instances_.find(spec.instance_id);
     RRS_CHECK(it != instances_.end())
         << "tenant " << spec.tenant << " references unknown instance "
         << spec.instance_id;
     return it->second;
+  }
+
+  // Instantiates a streaming tenant's source from the shipped spec table
+  // (null for instance-fed tenants). The spec is deterministic, so every
+  // instantiation — admission here, restore on a migration target — yields
+  // the same stream.
+  std::unique_ptr<workload::ArrivalSource> SourceOf(
+      const TenantSpec& spec) const {
+    if (spec.source_id == kNoSourceId) return nullptr;
+    const auto it = sources_.find(spec.source_id);
+    RRS_CHECK(it != sources_.end())
+        << "tenant " << spec.tenant << " references unknown source "
+        << spec.source_id;
+    return workload::MakeSource(it->second);
   }
 
   size_t TotalLive() const {
@@ -230,9 +265,15 @@ class Worker {
       const TenantSpec& spec = waiting_[admitted++];
       Shard& shard = *shards_[admit_counter_++ % shards_.size()];
       auto session = shard.pool.Acquire();
-      session->engine.Reset(InstanceOf(spec), spec.options.ToEngineOptions());
+      std::unique_ptr<workload::ArrivalSource> source = SourceOf(spec);
+      if (source != nullptr) {
+        session->engine.Reset(*source, spec.options.ToEngineOptions());
+      } else {
+        session->engine.Reset(InstanceOf(spec),
+                              spec.options.ToEngineOptions());
+      }
       session->engine.BeginRun(*session->policy);
-      shard.live.push_back({std::move(session), spec});
+      shard.live.push_back({std::move(session), spec, std::move(source)});
       ++total_live;
     }
     waiting_.erase(waiting_.begin(),
@@ -344,6 +385,12 @@ class Worker {
         if (checkpoint) {
           shard.snapshot_scratch.Clear();
           engine.SnapshotRun(shard.snapshot_scratch);
+          // Streaming tenants: the source's own sections ride in the same
+          // checkpoint words, right after the engine's (RestoreRun consumes
+          // them through its source_state reader).
+          if (entry.source != nullptr) {
+            entry.source->SaveState(shard.snapshot_scratch);
+          }
           shard.checkpoints.push_back(
               {entry.spec.tenant, static_cast<uint64_t>(engine.next_round()),
                shard.snapshot_scratch.words()});
@@ -395,6 +442,9 @@ class Worker {
           static_cast<uint64_t>(entry.session->engine.next_round());
       shard->snapshot_scratch.Clear();
       entry.session->engine.SnapshotRun(shard->snapshot_scratch);
+      if (entry.source != nullptr) {
+        entry.source->SaveState(shard->snapshot_scratch);
+      }
       entry.session->engine.AbortRun();
       out.checkpoint.words = shard->snapshot_scratch.words();
       shard->pool.Release(std::move(entry.session));
@@ -427,11 +477,20 @@ class Worker {
     // come back regardless of load (same rule as ChaosFleetRunner).
     Shard& shard = *shards_[admit_counter_++ % shards_.size()];
     auto session = shard.pool.Acquire();
-    session->engine.Reset(InstanceOf(spec), spec.options.ToEngineOptions());
+    std::unique_ptr<workload::ArrivalSource> source = SourceOf(spec);
     snapshot::Reader words(checkpoint.words);
-    session->engine.RestoreRun(*session->policy, words);
+    if (source != nullptr) {
+      // The source's saved sections sit right after the engine's in the
+      // same word stream; passing the reader as its own source_state makes
+      // RestoreRun consume them in place (O(source state), no replay).
+      session->engine.Reset(*source, spec.options.ToEngineOptions());
+      session->engine.RestoreRun(*session->policy, words, &words);
+    } else {
+      session->engine.Reset(InstanceOf(spec), spec.options.ToEngineOptions());
+      session->engine.RestoreRun(*session->policy, words);
+    }
     RRS_CHECK(words.AtEnd()) << "trailing words in tenant checkpoint";
-    shard.live.push_back({std::move(session), spec});
+    shard.live.push_back({std::move(session), spec, std::move(source)});
     ++stats_.restores;
     reply_.Clear();
     PutTenantId(reply_, spec.tenant);
@@ -469,6 +528,7 @@ class Worker {
   const uint64_t index_;
   WireConfig config_;
   std::map<uint32_t, Instance> instances_;
+  std::map<uint32_t, workload::GeneratorSpec> sources_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<TenantSpec> waiting_;  // admission order
   size_t admit_counter_ = 0;         // shard round-robin cursor

@@ -11,6 +11,8 @@
 #include "parallel/parallel_for.h"
 #include "parallel/thread_pool.h"
 #include "util/check.h"
+#include "workload/arrival_source.h"
+#include "workload/generator_spec.h"
 
 namespace rrs {
 namespace fleet {
@@ -50,11 +52,15 @@ struct FleetRunner::BatchSlab {
       policies.push_back(factory());
     }
     job_index.assign(width, 0);
+    sources.resize(width);
   }
 
   BatchEngine engine;
   std::vector<std::unique_ptr<SchedulerPolicy>> policies;
   std::vector<size_t> job_index;  // per-lane tenant (valid for open lanes)
+  // Streaming tenants' sources, owned for the lane's lifetime (null for
+  // instance-fed lanes).
+  std::vector<std::unique_ptr<workload::ArrivalSource>> sources;
 };
 
 // Shard-local state: session pools plus the live set. Owned and touched by
@@ -79,6 +85,9 @@ struct FleetRunner::Shard {
   struct LiveSession {
     std::unique_ptr<ReplaySession> session;
     size_t job_index = 0;
+    // Streaming tenants' source, owned until the session finishes (the
+    // engine holds a reference into it).
+    std::unique_ptr<workload::ArrivalSource> source;
   };
 
   SessionPool<ReplaySession> replay_pool;
@@ -147,8 +156,20 @@ void FleetRunner::RunShard(Shard& shard, std::span<const FleetJob> jobs,
            (options_.max_live_sessions == 0 ||
             live.size() + shard.batch_lanes < options_.max_live_sessions)) {
       const FleetJob& job = jobs[next];
-      RRS_CHECK(job.instance != nullptr);
+      RRS_CHECK(job.instance != nullptr || job.make_source ||
+                job.source_spec != nullptr);
+      // Streaming tenants materialize their source now, at admission —
+      // queued jobs hold only the closure (or the spec).
+      std::unique_ptr<workload::ArrivalSource> source;
+      if (job.instance == nullptr) {
+        RRS_CHECK(job.kind == FleetJob::Kind::kReplay);
+        source = job.make_source ? job.make_source()
+                                 : workload::MakeSource(*job.source_spec);
+        RRS_CHECK(source != nullptr);
+      }
       if (batching && BatchEligible(job)) {
+        const Instance& shape =
+            source != nullptr ? source->shape() : *job.instance;
         // Pack the tenant into a filling slab of its shape (slabs only
         // accept lanes before their first step), or start a new one.
         const uint64_t full_mask =
@@ -159,7 +180,7 @@ void FleetRunner::RunShard(Shard& shard, std::span<const FleetJob> jobs,
         for (auto& candidate : shard.batch_live) {
           if (candidate->engine.next_round() == 0 &&
               candidate->engine.open_mask() != full_mask &&
-              candidate->engine.LaneCompatible(*job.instance, job.options)) {
+              candidate->engine.LaneCompatible(shape, job.options)) {
             slab = candidate.get();
             break;
           }
@@ -175,8 +196,14 @@ void FleetRunner::RunShard(Shard& shard, std::span<const FleetJob> jobs,
         }
         uint32_t lane = 0;
         while (slab->engine.lane_open(lane)) ++lane;
-        slab->engine.OpenLane(lane, *job.instance, job.options,
-                              *slab->policies[lane]);
+        if (source != nullptr) {
+          slab->engine.OpenLane(lane, *source, job.options,
+                                *slab->policies[lane]);
+          slab->sources[lane] = std::move(source);
+        } else {
+          slab->engine.OpenLane(lane, *job.instance, job.options,
+                                *slab->policies[lane]);
+        }
         slab->job_index[lane] = next;
         if (ring != nullptr) {
           ring->RecordAt(now_ns, obs::kFlightAdmit, shard_tag, next);
@@ -192,6 +219,7 @@ void FleetRunner::RunShard(Shard& shard, std::span<const FleetJob> jobs,
         ++shard.stats.fallback_sessions;
       }
       if (job.kind == FleetJob::Kind::kPipeline) {
+        RRS_CHECK(job.instance != nullptr);
         // Pipeline tenants run to completion on admission (the pipeline's
         // transform → run → project → validate chain has no round-bucket
         // seam), through a pooled session so the inner engine stays warm.
@@ -217,9 +245,13 @@ void FleetRunner::RunShard(Shard& shard, std::span<const FleetJob> jobs,
         }
       } else {
         auto session = shard.replay_pool.Acquire();
-        session->engine.Reset(*job.instance, job.options);
+        if (source != nullptr) {
+          session->engine.Reset(*source, job.options);
+        } else {
+          session->engine.Reset(*job.instance, job.options);
+        }
         session->engine.BeginRun(*session->policy);
-        live.push_back({std::move(session), next});
+        live.push_back({std::move(session), next, std::move(source)});
         shard.stats.peak_live_sessions =
             std::max<uint64_t>(shard.stats.peak_live_sessions, live.size());
         if (ring != nullptr) {
@@ -257,7 +289,10 @@ void FleetRunner::RunShard(Shard& shard, std::span<const FleetJob> jobs,
         ++shard.stats.sessions_completed;
         shard.replay_pool.Release(std::move(live[i].session));
         if (slo != nullptr &&
-            slo->Finish(shard_index, job_index, *jobs[job_index].instance,
+            slo->Finish(shard_index, job_index,
+                        live[i].source != nullptr
+                            ? live[i].source->shape()
+                            : *jobs[job_index].instance,
                         results[job_index]) > 0 &&
             ring != nullptr) {
           ring->RecordAt(now_ns, obs::kFlightSloExhausted, shard_tag,
@@ -300,7 +335,10 @@ void FleetRunner::RunShard(Shard& shard, std::span<const FleetJob> jobs,
         ++shard.stats.sessions_completed;
         --shard.batch_lanes;
         if (slo != nullptr &&
-            slo->Finish(shard_index, job_index, *jobs[job_index].instance,
+            slo->Finish(shard_index, job_index,
+                        slab.sources[lane] != nullptr
+                            ? slab.sources[lane]->shape()
+                            : *jobs[job_index].instance,
                         results[job_index]) > 0 &&
             ring != nullptr) {
           ring->RecordAt(now_ns, obs::kFlightSloExhausted, shard_tag,
@@ -309,6 +347,7 @@ void FleetRunner::RunShard(Shard& shard, std::span<const FleetJob> jobs,
         if (ring != nullptr) {
           ring->RecordAt(now_ns, obs::kFlightFinish, shard_tag, job_index);
         }
+        slab.sources[lane].reset();
       }
       if (!more) {
         RRS_CHECK(slab.engine.empty());

@@ -1,7 +1,8 @@
 // FleetRunner: multiplexes thousands of independent online sessions across
 // the thread pool.
 //
-// The unit of work is a FleetJob — one tenant: an Instance plus engine
+// The unit of work is a FleetJob — one tenant: a workload (a materialized
+// Instance, or a streaming ArrivalSource built at admission) plus engine
 // options, run either as a bare replay (a registry policy on the Engine) or
 // through the guaranteed Theorem-3 pipeline (VarBatch ∘ Distribute ∘
 // ΔLRU-EDF). Jobs are independent by construction, so a fleet of N tenants
@@ -48,12 +49,33 @@ namespace obs {
 class FlightRecorder;
 }  // namespace obs
 
+namespace workload {
+class ArrivalSource;
+struct GeneratorSpec;
+}  // namespace workload
+
 namespace fleet {
 
 class SloTracker;
 
-// One tenant of the fleet. The instance is not owned and must outlive
-// RunAll.
+// One tenant of the fleet. Exactly one of `instance` / `make_source` binds
+// the workload:
+//
+//  - `instance` (not owned; must outlive RunAll): the materialized form —
+//    the tenant replays the instance's job list.
+//  - `make_source`: the streaming form — called once, at admission, to
+//    build the tenant's private ArrivalSource (workload/arrival_source.h);
+//    the runner owns the source for the session's lifetime and the engine
+//    pulls rounds from it. Queued tenants hold only the closure, so a
+//    100k-tenant fleet materializes at most max_live_sessions sources at a
+//    time instead of 100k job vectors (bench_fleet's fleet/mem cells).
+//    Streaming tenants must be kReplay (the pipeline's transform chain
+//    needs the materialized job list).
+//  - `source_spec` (not owned; must outlive RunAll): the wire-compact
+//    streaming form — the runner instantiates MakeSource(*source_spec) at
+//    admission. The only streaming form DistController accepts (closures
+//    cannot ship to a worker process). When both are set, make_source wins
+//    locally.
 struct FleetJob {
   enum class Kind {
     kReplay,    // run options + a policy from the runner's factory
@@ -61,6 +83,8 @@ struct FleetJob {
   };
 
   const Instance* instance = nullptr;
+  std::function<std::unique_ptr<workload::ArrivalSource>()> make_source;
+  const workload::GeneratorSpec* source_spec = nullptr;
   EngineOptions options;
   Kind kind = Kind::kReplay;
 };

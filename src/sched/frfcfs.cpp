@@ -1,0 +1,55 @@
+#include "sched/frfcfs.h"
+
+#include "sched/ranking.h"
+#include "util/check.h"
+
+namespace rrs {
+
+void FrFcfsPolicy::Reset(const Instance& instance,
+                         const EngineOptions& options) {
+  (void)options;
+  instance_ = &instance;
+  claimed_.assign(instance.num_colors(), 0);
+}
+
+void FrFcfsPolicy::Reconfigure(Round k, int mini, ResourceView& view) {
+  (void)k;
+  (void)mini;
+  const uint32_t n = view.num_resources();
+  const auto& nonidle = view.nonidle_colors();
+
+  // Row hits: a resource whose color still has pending work keeps it.
+  for (ResourceId r = 0; r < n; ++r) {
+    ColorId c = view.color_of(r);
+    if (c != kNoColor && view.pending_count(c) > 0) claimed_[c] = 1;
+  }
+
+  for (ResourceId r = 0; r < n; ++r) {
+    ColorId cur = view.color_of(r);
+    if (cur != kNoColor && view.pending_count(cur) > 0) continue;  // row hit
+    // Drained row: open the oldest waiting one — the unclaimed nonidle
+    // color with the earliest pending deadline.
+    ColorId best = kNoColor;
+    ColorRankKey best_key{};
+    for (ColorId c : nonidle) {
+      if (claimed_[c]) continue;
+      ColorRankKey key{0, view.earliest_deadline(c), instance_->delay_bound(c),
+                       c};
+      if (best == kNoColor || key < best_key) {
+        best = c;
+        best_key = key;
+      }
+    }
+    if (best != kNoColor) {
+      view.SetColor(r, best);
+      claimed_[best] = 1;
+    }
+  }
+
+  for (ResourceId r = 0; r < n; ++r) {
+    ColorId c = view.color_of(r);
+    if (c != kNoColor) claimed_[c] = 0;
+  }
+}
+
+}  // namespace rrs

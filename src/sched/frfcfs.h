@@ -1,0 +1,32 @@
+// FR-FCFS-flavored baseline: First-Ready, First-Come-First-Served, the
+// classic memory-controller heuristic transplanted to the recoloring model.
+// A resource with pending work for its current color keeps it (the "row
+// hit" — servicing the open row is free, recoloring costs Δ); only a
+// resource whose color has drained recolors, and then to the unclaimed
+// nonidle color with the earliest pending deadline (deadline = arrival +
+// D_c, so at equal delay bounds this is exactly oldest-first — the FCFS
+// half). Built as the natural opponent for the memctrl workload family
+// (workload/memctrl.h): it rides row-locality bursts perfectly but has no
+// deadline pressure model, so refresh storms on short-deadline banks drop
+// where dlru-edf preempts (EXPERIMENTS.md races them).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/policy.h"
+
+namespace rrs {
+
+class FrFcfsPolicy : public SchedulerPolicy {
+ public:
+  std::string name() const override { return "frfcfs"; }
+  void Reset(const Instance& instance, const EngineOptions& options) override;
+  void Reconfigure(Round k, int mini, ResourceView& view) override;
+
+ private:
+  const Instance* instance_ = nullptr;
+  std::vector<uint8_t> claimed_;
+};
+
+}  // namespace rrs

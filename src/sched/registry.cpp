@@ -3,6 +3,7 @@
 #include "sched/dlru.h"
 #include "sched/dlru_edf.h"
 #include "sched/edf.h"
+#include "sched/frfcfs.h"
 #include "sched/greedy.h"
 #include "sched/lookahead.h"
 
@@ -19,6 +20,7 @@ std::unique_ptr<SchedulerPolicy> MakePolicy(const std::string& name) {
     return std::make_unique<DlruEdfPolicy>(params);
   }
   if (name == "greedy-edf") return std::make_unique<GreedyEdfPolicy>();
+  if (name == "frfcfs") return std::make_unique<FrFcfsPolicy>();
   if (name == "lazy-greedy") return std::make_unique<LazyGreedyPolicy>();
   if (name == "lazy-greedy-weighted") {
     return std::make_unique<LazyGreedyPolicy>(1, /*weight_aware=*/true);
@@ -34,8 +36,8 @@ std::unique_ptr<SchedulerPolicy> MakePolicy(const std::string& name) {
 std::vector<std::string> PolicyNames() {
   return {"dlru",        "edf",         "seq-edf",
           "dlru-edf",    "dlru-edf-evict", "greedy-edf",
-          "lazy-greedy", "lazy-greedy-weighted", "static",
-          "never",       "lookahead"};
+          "frfcfs",      "lazy-greedy", "lazy-greedy-weighted",
+          "static",      "never",       "lookahead"};
 }
 
 }  // namespace rrs

@@ -71,6 +71,11 @@ enum Tag : uint64_t {
   kTagDistSlo = 18,
   kTagDistTrace = 19,
   kTagDistCheckpoint = 20,
+  // Streaming arrival generators (workload/arrival_source.h): one section
+  // per source in a chain (wrappers append their inner sources' sections).
+  kTagArrivalSource = 21,
+  // A GeneratorSpec shipped over the dist wire (workload/generator_spec.h).
+  kTagDistSource = 22,
 };
 
 // FNV-1a over 64-bit words (the repo-wide checksum; same constants as the

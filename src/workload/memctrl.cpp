@@ -1,0 +1,98 @@
+#include "workload/memctrl.h"
+
+#include <string>
+
+#include "util/check.h"
+#include "workload/source.h"
+
+namespace rrs {
+namespace workload {
+
+namespace {
+
+class MemctrlSource final : public SeriesSource {
+ public:
+  explicit MemctrlSource(const MemctrlOptions& options) : options_(options) {
+    RRS_CHECK_GE(options_.num_ranks, 1u);
+    RRS_CHECK_GE(options_.banks_per_rank, 1u);
+    RRS_CHECK(!options_.delay_choices.empty());
+    RRS_CHECK_GE(options_.refresh_length, 0);
+    if (options_.refresh_length > 0) {
+      RRS_CHECK_GT(options_.refresh_period, options_.refresh_length);
+    }
+    InstanceBuilder builder;
+    size_t idx = 0;
+    for (uint32_t r = 0; r < options_.num_ranks; ++r) {
+      for (uint32_t b = 0; b < options_.banks_per_rank; ++b) {
+        builder.AddColor(
+            options_.delay_choices[idx++ % options_.delay_choices.size()],
+            "r" + std::to_string(r) + "b" + std::to_string(b));
+      }
+    }
+    InitSeries(builder.Build(), options_.rounds, options_.batched,
+               options_.rate_limited, Rng(options_.seed));
+    FinishInit(options_.rounds);
+  }
+
+  Family family() const override { return Family::kMemctrl; }
+
+  std::unique_ptr<ArrivalSource> Clone() const override {
+    auto clone = std::make_unique<MemctrlSource>(*this);
+    clone->Reset();
+    return clone;
+  }
+
+ protected:
+  uint64_t DrawCount(ColorId c, Round r) override {
+    uint64_t count = on_[c] ? rngs_[c].Poisson(options_.burst_rate)
+                            : rngs_[c].Poisson(options_.idle_rate);
+    const double flip = on_[c] ? options_.close_prob : options_.open_prob;
+    if (rngs_[c].Bernoulli(flip)) on_[c] ^= 1;
+    if (InRefresh(c / options_.banks_per_rank, r)) {
+      stash_[c] += count;
+      return 0;
+    }
+    count += stash_[c];
+    stash_[c] = 0;
+    return count;
+  }
+
+  void ResetSeries() override {
+    on_.assign(rngs_.size(), 0);
+    stash_.assign(rngs_.size(), 0);
+  }
+
+  void SaveSeries(snapshot::Writer& w) const override {
+    w.PutVec(on_);
+    w.PutVec(stash_);
+  }
+  void LoadSeries(snapshot::Reader& r) override {
+    r.GetVec(on_);
+    r.GetVec(stash_);
+    RRS_CHECK_EQ(on_.size(), rngs_.size());
+    RRS_CHECK_EQ(stash_.size(), rngs_.size());
+  }
+
+ private:
+  bool InRefresh(uint32_t rank, Round r) const {
+    if (options_.refresh_length == 0) return false;
+    // Stagger ranks evenly across the period so refresh storms don't align.
+    const Round stagger =
+        (options_.refresh_period / options_.num_ranks) * rank;
+    return (r + stagger) % options_.refresh_period < options_.refresh_length;
+  }
+
+  MemctrlOptions options_;
+  std::vector<uint8_t> on_;      // per-bank open-row flag
+  std::vector<uint64_t> stash_;  // per-bank arrivals held during refresh
+};
+
+}  // namespace
+
+std::unique_ptr<ArrivalSource> MakeMemctrlSource(
+    const MemctrlOptions& options) {
+  return std::make_unique<MemctrlSource>(options);
+}
+
+}  // namespace workload
+}  // namespace rrs

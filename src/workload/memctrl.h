@@ -1,0 +1,56 @@
+// Memory-controller-shaped streaming workload: the first family with no
+// materializing counterpart.
+//
+// Colors are (rank, bank) pairs — color r*banks_per_rank + b is bank b of
+// rank r, named "r<r>b<b>" — with delay bounds cycled from delay_choices
+// (DRAM-ish: some banks serve latency-critical readers, others bulk). Each
+// bank alternates between a closed-row idle trickle and an open-row burst
+// via a per-bank Markov chain (row locality: consecutive accesses to an open
+// row arrive in streaks). Ranks refresh on a staggered schedule: while rank
+// r is in its refresh window, its banks' arrivals are stashed, and the whole
+// backlog lands as a storm on the first post-refresh round — the access
+// pattern FR-FCFS-style row-hit-first policies (sched/frfcfs.h) exploit and
+// deadline-driven recoloring must absorb. See EXPERIMENTS.md for the race
+// against dlru-edf.
+//
+// Purely streaming: per-tenant state is O(ranks * banks) regardless of
+// rounds, so fleet tenants on this family never hold a job vector.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/types.h"
+#include "workload/arrival_source.h"
+
+namespace rrs {
+namespace workload {
+
+struct MemctrlOptions {
+  uint32_t num_ranks = 2;
+  uint32_t banks_per_rank = 4;
+  // Delay bounds cycled across colors in (rank, bank) order.
+  std::vector<Round> delay_choices = {4, 8, 16};
+  Round rounds = 2048;
+  // Open-row burst and closed-row idle arrival rates (jobs/round/bank).
+  double burst_rate = 3.0;
+  double idle_rate = 0.25;
+  // Per-round row activation (idle -> burst) and close (burst -> idle)
+  // probabilities.
+  double open_prob = 0.05;
+  double close_prob = 0.2;
+  // Every refresh_period rounds each rank blocks for refresh_length rounds
+  // (staggered across ranks); blocked arrivals storm out afterwards.
+  // refresh_length = 0 disables refresh.
+  Round refresh_period = 256;
+  Round refresh_length = 8;
+  bool batched = false;
+  bool rate_limited = false;
+  uint64_t seed = 1;
+};
+
+std::unique_ptr<ArrivalSource> MakeMemctrlSource(const MemctrlOptions& options);
+
+}  // namespace workload
+}  // namespace rrs

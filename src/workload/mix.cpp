@@ -1,5 +1,9 @@
 #include "workload/mix.h"
 
+#include <algorithm>
+#include <array>
+#include <utility>
+
 #include "util/check.h"
 
 namespace rrs {
@@ -68,6 +72,282 @@ Instance Concat(const Instance& a, const Instance& b, Round gap) {
   const Round offset = a.num_request_rounds() + gap;
   for (const Job& j : b.jobs()) builder.AddJob(j.color, j.arrival + offset);
   return builder.Build();
+}
+
+// ---- Streaming wrapper sources -------------------------------------------
+//
+// Like the materialized transforms above, wrapper shapes copy each color's
+// delay bound and name but take the default drop cost — so a wrapper-fed
+// engine matches a transform-fed one field for field. Each wrapper drives
+// its inner sources' cursors one round per EmitRound and guards against
+// pulling past an inner's num_request_rounds.
+
+namespace {
+
+class TimeShiftSource final : public ArrivalSource {
+ public:
+  TimeShiftSource(std::unique_ptr<ArrivalSource> inner, Round offset)
+      : inner_(std::move(inner)), offset_(offset) {
+    RRS_CHECK_GE(offset, 0);
+    const Instance& in = inner_->shape();
+    InstanceBuilder builder;
+    for (ColorId c = 0; c < in.num_colors(); ++c) {
+      builder.AddColor(in.delay_bound(c), in.color_name(c));
+    }
+    shape_ = builder.Build();
+    FinishInit(inner_->num_request_rounds() + offset_);
+  }
+
+  Family family() const override { return Family::kTimeShift; }
+  const Instance& shape() const override { return shape_; }
+
+  std::unique_ptr<ArrivalSource> Clone() const override {
+    auto clone =
+        std::make_unique<TimeShiftSource>(inner_->Clone(), offset_);
+    return clone;
+  }
+
+  void SaveState(snapshot::Writer& w) const override {
+    ArrivalSource::SaveState(w);
+    inner_->SaveState(w);
+  }
+  void LoadState(snapshot::Reader& r) override {
+    ArrivalSource::LoadState(r);
+    inner_->LoadState(r);
+  }
+
+ protected:
+  void ResetImpl() override { inner_->Reset(); }
+
+  std::span<const Run> EmitRound(Round k) override {
+    if (k < offset_ || inner_->cursor() >= inner_->num_request_rounds()) {
+      return {};
+    }
+    return inner_->NextRound();
+  }
+
+ private:
+  std::unique_ptr<ArrivalSource> inner_;
+  Round offset_ = 0;
+  Instance shape_;
+};
+
+class ThinSource final : public ArrivalSource {
+ public:
+  ThinSource(std::unique_ptr<ArrivalSource> inner, double keep_prob,
+             uint64_t seed)
+      : inner_(std::move(inner)),
+        keep_prob_(keep_prob),
+        seed_(seed),
+        rng_(seed) {
+    RRS_CHECK_GE(keep_prob, 0.0);
+    RRS_CHECK_LE(keep_prob, 1.0);
+    const Instance& in = inner_->shape();
+    InstanceBuilder builder;
+    for (ColorId c = 0; c < in.num_colors(); ++c) {
+      builder.AddColor(in.delay_bound(c), in.color_name(c));
+    }
+    shape_ = builder.Build();
+    FinishInit(inner_->num_request_rounds());
+  }
+
+  Family family() const override { return Family::kThin; }
+  const Instance& shape() const override { return shape_; }
+
+  std::unique_ptr<ArrivalSource> Clone() const override {
+    return std::make_unique<ThinSource>(inner_->Clone(), keep_prob_, seed_);
+  }
+
+  void SaveState(snapshot::Writer& w) const override {
+    ArrivalSource::SaveState(w);
+    inner_->SaveState(w);
+  }
+  void LoadState(snapshot::Reader& r) override {
+    ArrivalSource::LoadState(r);
+    inner_->LoadState(r);
+  }
+
+ protected:
+  void ResetImpl() override {
+    rng_ = Rng(seed_);
+    inner_->Reset();
+  }
+
+  std::span<const Run> EmitRound(Round) override {
+    runs_.clear();
+    if (inner_->cursor() < inner_->num_request_rounds()) {
+      for (const auto& [c, count] : inner_->NextRound()) {
+        uint64_t kept = 0;
+        for (uint64_t i = 0; i < count; ++i) {
+          if (rng_.Bernoulli(keep_prob_)) ++kept;
+        }
+        if (kept > 0) runs_.emplace_back(c, kept);
+      }
+    }
+    return runs_;
+  }
+
+  void SaveBody(snapshot::Writer& w) const override {
+    for (const uint64_t word : rng_.SaveState()) w.PutU64(word);
+  }
+  void LoadBody(snapshot::Reader& r) override {
+    std::array<uint64_t, 4> state;
+    for (uint64_t& word : state) word = r.GetU64();
+    rng_.LoadState(state);
+  }
+
+ private:
+  std::unique_ptr<ArrivalSource> inner_;
+  double keep_prob_ = 1.0;
+  uint64_t seed_ = 0;
+  Rng rng_;
+  Instance shape_;
+};
+
+class ConcatSource final : public ArrivalSource {
+ public:
+  ConcatSource(std::unique_ptr<ArrivalSource> a,
+               std::unique_ptr<ArrivalSource> b, Round gap)
+      : a_(std::move(a)), b_(std::move(b)), gap_(gap) {
+    RRS_CHECK_GE(gap, 0);
+    const Instance& sa = a_->shape();
+    const Instance& sb = b_->shape();
+    RRS_CHECK_EQ(sa.num_colors(), sb.num_colors())
+        << "Concat requires identical color tables";
+    InstanceBuilder builder;
+    for (ColorId c = 0; c < sa.num_colors(); ++c) {
+      RRS_CHECK_EQ(sa.delay_bound(c), sb.delay_bound(c))
+          << "Concat requires identical color tables (color " << c << ")";
+      builder.AddColor(sa.delay_bound(c), sa.color_name(c));
+    }
+    shape_ = builder.Build();
+    offset_ = a_->num_request_rounds() + gap_;
+    FinishInit(offset_ + b_->num_request_rounds());
+  }
+
+  Family family() const override { return Family::kConcat; }
+  const Instance& shape() const override { return shape_; }
+
+  std::unique_ptr<ArrivalSource> Clone() const override {
+    return std::make_unique<ConcatSource>(a_->Clone(), b_->Clone(), gap_);
+  }
+
+  void SaveState(snapshot::Writer& w) const override {
+    ArrivalSource::SaveState(w);
+    a_->SaveState(w);
+    b_->SaveState(w);
+  }
+  void LoadState(snapshot::Reader& r) override {
+    ArrivalSource::LoadState(r);
+    a_->LoadState(r);
+    b_->LoadState(r);
+  }
+
+ protected:
+  void ResetImpl() override {
+    a_->Reset();
+    b_->Reset();
+  }
+
+  std::span<const Run> EmitRound(Round k) override {
+    if (a_->cursor() < a_->num_request_rounds()) return a_->NextRound();
+    if (k >= offset_ && b_->cursor() < b_->num_request_rounds()) {
+      return b_->NextRound();
+    }
+    return {};
+  }
+
+ private:
+  std::unique_ptr<ArrivalSource> a_;
+  std::unique_ptr<ArrivalSource> b_;
+  Round gap_ = 0;
+  Round offset_ = 0;
+  Instance shape_;
+};
+
+class MergeSource final : public ArrivalSource {
+ public:
+  explicit MergeSource(std::vector<std::unique_ptr<ArrivalSource>> parts)
+      : parts_(std::move(parts)) {
+    RRS_CHECK(!parts_.empty());
+    InstanceBuilder builder;
+    Round raw = 0;
+    for (const auto& part : parts_) {
+      RRS_CHECK(part != nullptr);
+      const Instance& in = part->shape();
+      offsets_.push_back(static_cast<ColorId>(builder.num_colors()));
+      for (ColorId c = 0; c < in.num_colors(); ++c) {
+        builder.AddColor(in.delay_bound(c), in.color_name(c));
+      }
+      raw = std::max(raw, part->num_request_rounds());
+    }
+    shape_ = builder.Build();
+    FinishInit(raw);
+  }
+
+  Family family() const override { return Family::kMerge; }
+  const Instance& shape() const override { return shape_; }
+
+  std::unique_ptr<ArrivalSource> Clone() const override {
+    std::vector<std::unique_ptr<ArrivalSource>> parts;
+    parts.reserve(parts_.size());
+    for (const auto& part : parts_) parts.push_back(part->Clone());
+    return std::make_unique<MergeSource>(std::move(parts));
+  }
+
+  void SaveState(snapshot::Writer& w) const override {
+    ArrivalSource::SaveState(w);
+    for (const auto& part : parts_) part->SaveState(w);
+  }
+  void LoadState(snapshot::Reader& r) override {
+    ArrivalSource::LoadState(r);
+    for (auto& part : parts_) part->LoadState(r);
+  }
+
+ protected:
+  void ResetImpl() override {
+    for (auto& part : parts_) part->Reset();
+  }
+
+  std::span<const Run> EmitRound(Round) override {
+    runs_.clear();
+    for (size_t i = 0; i < parts_.size(); ++i) {
+      ArrivalSource& part = *parts_[i];
+      if (part.cursor() >= part.num_request_rounds()) continue;
+      for (const auto& [c, count] : part.NextRound()) {
+        runs_.emplace_back(offsets_[i] + c, count);
+      }
+    }
+    return runs_;
+  }
+
+ private:
+  std::vector<std::unique_ptr<ArrivalSource>> parts_;
+  std::vector<ColorId> offsets_;
+  Instance shape_;
+};
+
+}  // namespace
+
+std::unique_ptr<ArrivalSource> MakeMergeSource(
+    std::vector<std::unique_ptr<ArrivalSource>> parts) {
+  return std::make_unique<MergeSource>(std::move(parts));
+}
+
+std::unique_ptr<ArrivalSource> MakeTimeShiftSource(
+    std::unique_ptr<ArrivalSource> inner, Round offset) {
+  return std::make_unique<TimeShiftSource>(std::move(inner), offset);
+}
+
+std::unique_ptr<ArrivalSource> MakeThinSource(
+    std::unique_ptr<ArrivalSource> inner, double keep_prob, uint64_t seed) {
+  return std::make_unique<ThinSource>(std::move(inner), keep_prob, seed);
+}
+
+std::unique_ptr<ArrivalSource> MakeConcatSource(
+    std::unique_ptr<ArrivalSource> a, std::unique_ptr<ArrivalSource> b,
+    Round gap) {
+  return std::make_unique<ConcatSource>(std::move(a), std::move(b), gap);
 }
 
 }  // namespace workload

@@ -3,13 +3,22 @@
 // setting), shift traces in time, thin them probabilistically, and
 // concatenate scenarios back to back. All operations preserve per-color
 // delay bounds and return fresh Instances.
+//
+// Each transform also exists as a streaming wrapper source (Make*Source)
+// that composes ArrivalSources without materializing: feeding an engine
+// from MakeThinSource(MakeOwnedInstanceSource(x), p, s) is bit-identical
+// to feeding it Thin(x, p, s) (workload_source_test pins this for every
+// registry policy). Wrapper snapshots chain the inner sources' state
+// sections after their own, so a save/load cut restores the whole tree.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/instance.h"
 #include "util/rng.h"
+#include "workload/arrival_source.h"
 
 namespace rrs {
 namespace workload {
@@ -30,6 +39,29 @@ Instance Thin(const Instance& instance, double keep_prob, uint64_t seed);
 // both instances must have identical color tables. Models consecutive
 // workload phases.
 Instance Concat(const Instance& a, const Instance& b, Round gap);
+
+// ---- Streaming wrapper sources -------------------------------------------
+
+// Streaming MergeInstances: round k interleaves every part's round-k runs in
+// part order, colors renumbered by cumulative offset.
+std::unique_ptr<ArrivalSource> MakeMergeSource(
+    std::vector<std::unique_ptr<ArrivalSource>> parts);
+
+// Streaming TimeShift: inner round k surfaces at round k + offset.
+std::unique_ptr<ArrivalSource> MakeTimeShiftSource(
+    std::unique_ptr<ArrivalSource> inner, Round offset);
+
+// Streaming Thin: one Bernoulli(keep_prob) per inner job, drawn in stream
+// order — the same order Thin() walks instance.jobs() — so the kept set is
+// identical.
+std::unique_ptr<ArrivalSource> MakeThinSource(
+    std::unique_ptr<ArrivalSource> inner, double keep_prob, uint64_t seed);
+
+// Streaming Concat: plays `b` starting at a->num_request_rounds() + gap.
+// Both sources must share one color table (delay bounds checked).
+std::unique_ptr<ArrivalSource> MakeConcatSource(
+    std::unique_ptr<ArrivalSource> a, std::unique_ptr<ArrivalSource> b,
+    Round gap);
 
 }  // namespace workload
 }  // namespace rrs

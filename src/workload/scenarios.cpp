@@ -1,44 +1,14 @@
 #include "workload/scenarios.h"
 
-#include <algorithm>
-#include <cmath>
-
 #include "util/check.h"
-#include "util/rng.h"
+#include "workload/arrival_source.h"
+#include "workload/source.h"
 
 namespace rrs {
 namespace workload {
 
-namespace {
-
-constexpr double kTwoPi = 6.283185307179586;
-
-// Emits one color's per-round series, optionally aggregated into D-batches
-// (duplicated from synthetic.cpp's helper on purpose: scenarios are
-// self-contained and their batching policy may diverge).
-void EmitScenarioSeries(InstanceBuilder& builder, ColorId color, Round delay,
-                        const std::vector<uint64_t>& per_round, bool batched,
-                        bool rate_limited) {
-  const Round rounds = static_cast<Round>(per_round.size());
-  if (!batched && !rate_limited) {
-    for (Round r = 0; r < rounds; ++r) {
-      builder.AddJobs(color, r, per_round[static_cast<size_t>(r)]);
-    }
-    return;
-  }
-  for (Round k = 0; k < rounds; k += delay) {
-    uint64_t total = 0;
-    for (Round r = k; r < std::min(rounds, k + delay); ++r) {
-      total += per_round[static_cast<size_t>(r)];
-    }
-    if (rate_limited) {
-      total = std::min<uint64_t>(total, static_cast<uint64_t>(delay));
-    }
-    builder.AddJobs(color, k, total);
-  }
-}
-
-}  // namespace
+// Materialized views over the streaming scenario sources (workload/source.h);
+// golden_trace_test pins that these emit the exact pre-streaming bytes.
 
 std::vector<RouterService> DefaultRouterServices() {
   return {
@@ -51,79 +21,13 @@ std::vector<RouterService> DefaultRouterServices() {
 
 Instance MakeRouterScenario(const std::vector<RouterService>& services,
                             const RouterOptions& options) {
-  RRS_CHECK_GE(options.rounds, 1);
-  RRS_CHECK_GE(options.period, 2);
-  RRS_CHECK(!services.empty());
-  Rng rng(options.seed);
-
-  InstanceBuilder builder;
-  bool batched = options.batched || options.rate_limited;
-  for (size_t s = 0; s < services.size(); ++s) {
-    const RouterService& svc = services[s];
-    RRS_CHECK_GE(svc.delay_bound, 1);
-    RRS_CHECK_LE(svc.base_rate, svc.peak_rate);
-    ColorId c = builder.AddColor(svc.delay_bound, svc.name);
-    Rng service_rng = rng.Fork();
-    // Phase-shift each service by an equal fraction of the period so the
-    // dominant service rotates.
-    double phase = kTwoPi * static_cast<double>(s) /
-                   static_cast<double>(services.size());
-    std::vector<uint64_t> series(static_cast<size_t>(options.rounds));
-    for (Round r = 0; r < options.rounds; ++r) {
-      double wave = 0.5 * (1.0 + std::sin(kTwoPi * static_cast<double>(r) /
-                                              static_cast<double>(options.period) +
-                                          phase));
-      double rate = svc.base_rate + (svc.peak_rate - svc.base_rate) * wave;
-      series[static_cast<size_t>(r)] = service_rng.Poisson(rate);
-    }
-    EmitScenarioSeries(builder, c, svc.delay_bound, series, batched,
-                       options.rate_limited);
-  }
-  return builder.Build();
+  RouterSource source(services, options);
+  return Materialize(source);
 }
 
 Instance MakeDatacenterScenario(const DatacenterOptions& options) {
-  RRS_CHECK_GE(options.rounds, 1);
-  RRS_CHECK_GE(options.phase_length, 1);
-  RRS_CHECK_GE(options.num_services, 1u);
-  RRS_CHECK_GE(options.dominant_per_phase, 1u);
-  RRS_CHECK(!options.delay_choices.empty());
-  Rng rng(options.seed);
-
-  InstanceBuilder builder;
-  std::vector<Round> delay(options.num_services);
-  for (size_t s = 0; s < options.num_services; ++s) {
-    delay[s] = options.delay_choices[s % options.delay_choices.size()];
-    builder.AddColor(delay[s], "svc" + std::to_string(s));
-  }
-
-  // Pick each phase's dominant services up front (deterministic in the seed).
-  const size_t num_phases = static_cast<size_t>(
-      (options.rounds + options.phase_length - 1) / options.phase_length);
-  std::vector<std::vector<uint8_t>> dominant(
-      num_phases, std::vector<uint8_t>(options.num_services, 0));
-  for (size_t ph = 0; ph < num_phases; ++ph) {
-    std::vector<size_t> ids(options.num_services);
-    for (size_t s = 0; s < ids.size(); ++s) ids[s] = s;
-    rng.Shuffle(ids);
-    size_t take = std::min(options.dominant_per_phase, ids.size());
-    for (size_t i = 0; i < take; ++i) dominant[ph][ids[i]] = 1;
-  }
-
-  bool batched = options.batched || options.rate_limited;
-  for (size_t s = 0; s < options.num_services; ++s) {
-    Rng service_rng = rng.Fork();
-    std::vector<uint64_t> series(static_cast<size_t>(options.rounds));
-    for (Round r = 0; r < options.rounds; ++r) {
-      size_t ph = static_cast<size_t>(r / options.phase_length);
-      double rate = dominant[ph][s] ? options.dominant_rate
-                                    : options.background_rate;
-      series[static_cast<size_t>(r)] = service_rng.Poisson(rate);
-    }
-    EmitScenarioSeries(builder, static_cast<ColorId>(s), delay[s], series,
-                       batched, options.rate_limited);
-  }
-  return builder.Build();
+  DatacenterSource source(options);
+  return Materialize(source);
 }
 
 }  // namespace workload

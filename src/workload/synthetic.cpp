@@ -4,110 +4,31 @@
 #include <map>
 
 #include "util/check.h"
+#include "workload/arrival_source.h"
+#include "workload/source.h"
 
 namespace rrs {
 namespace workload {
 
-namespace {
-
-// Shared emission helper: given a per-round count series for one color,
-// either emit counts as-is or aggregate them into D-aligned batches.
-void EmitSeries(InstanceBuilder& builder, ColorId color, Round delay_bound,
-                const std::vector<uint64_t>& per_round, bool batched,
-                bool rate_limited) {
-  if (!batched && !rate_limited) {
-    for (Round r = 0; r < static_cast<Round>(per_round.size()); ++r) {
-      builder.AddJobs(color, r, per_round[static_cast<size_t>(r)]);
-    }
-    return;
-  }
-  // Aggregate each window [k, k + D) into a batch at k.
-  const Round rounds = static_cast<Round>(per_round.size());
-  for (Round k = 0; k < rounds; k += delay_bound) {
-    uint64_t total = 0;
-    for (Round r = k; r < std::min(rounds, k + delay_bound); ++r) {
-      total += per_round[static_cast<size_t>(r)];
-    }
-    if (rate_limited) {
-      total = std::min<uint64_t>(total, static_cast<uint64_t>(delay_bound));
-    }
-    builder.AddJobs(color, k, total);
-  }
-}
-
-}  // namespace
+// The builders are materialized views over the streaming sources
+// (workload/source.h): one construction path, two consumption modes.
+// golden_trace_test pins that these emit the exact pre-streaming bytes.
 
 Instance MakePoisson(const std::vector<ColorSpec>& colors,
                      const PoissonOptions& options) {
-  RRS_CHECK_GE(options.rounds, 1);
-  Rng rng(options.seed);
-  InstanceBuilder builder;
-  bool batched = options.batched || options.rate_limited;
-  for (const ColorSpec& spec : colors) {
-    ColorId c = builder.AddColor(spec.delay_bound);
-    Rng color_rng = rng.Fork();
-    std::vector<uint64_t> series(static_cast<size_t>(options.rounds));
-    for (auto& count : series) count = color_rng.Poisson(spec.rate);
-    EmitSeries(builder, c, spec.delay_bound, series, batched,
-               options.rate_limited);
-  }
-  return builder.Build();
+  PoissonSource source(colors, options);
+  return Materialize(source);
 }
 
 Instance MakeBursty(const std::vector<ColorSpec>& colors,
                     const BurstyOptions& options) {
-  RRS_CHECK_GE(options.rounds, 1);
-  Rng rng(options.seed);
-  InstanceBuilder builder;
-  bool batched = options.batched || options.rate_limited;
-  for (const ColorSpec& spec : colors) {
-    ColorId c = builder.AddColor(spec.delay_bound);
-    Rng color_rng = rng.Fork();
-    bool on = options.start_on;
-    std::vector<uint64_t> series(static_cast<size_t>(options.rounds));
-    for (auto& count : series) {
-      count = on ? color_rng.Poisson(spec.rate) : 0;
-      double flip = on ? options.p_on_to_off : options.p_off_to_on;
-      if (color_rng.Bernoulli(flip)) on = !on;
-    }
-    EmitSeries(builder, c, spec.delay_bound, series, batched,
-               options.rate_limited);
-  }
-  return builder.Build();
+  BurstySource source(colors, options);
+  return Materialize(source);
 }
 
 Instance MakeZipf(const ZipfOptions& options) {
-  RRS_CHECK_GE(options.rounds, 1);
-  RRS_CHECK_GE(options.num_colors, 1u);
-  RRS_CHECK(!options.delay_choices.empty());
-  Rng rng(options.seed);
-  ZipfDistribution zipf(options.num_colors, options.zipf_exponent);
-
-  InstanceBuilder builder;
-  std::vector<Round> delay(options.num_colors);
-  for (size_t c = 0; c < options.num_colors; ++c) {
-    delay[c] = options.delay_choices[c % options.delay_choices.size()];
-    builder.AddColor(delay[c]);
-  }
-
-  // Per-color per-round count matrix, filled by Zipf draws.
-  std::vector<std::vector<uint64_t>> series(
-      options.num_colors,
-      std::vector<uint64_t>(static_cast<size_t>(options.rounds), 0));
-  for (Round r = 0; r < options.rounds; ++r) {
-    uint64_t total = rng.Poisson(options.jobs_per_round);
-    for (uint64_t i = 0; i < total; ++i) {
-      size_t c = zipf.Sample(rng);
-      ++series[c][static_cast<size_t>(r)];
-    }
-  }
-
-  bool batched = options.batched || options.rate_limited;
-  for (size_t c = 0; c < options.num_colors; ++c) {
-    EmitSeries(builder, static_cast<ColorId>(c), delay[c], series[c], batched,
-               options.rate_limited);
-  }
-  return builder.Build();
+  ZipfSource source(options);
+  return Materialize(source);
 }
 
 Instance BatchArrivals(const Instance& instance, bool rate_limited) {

@@ -5,60 +5,89 @@
 #include <sstream>
 
 #include "util/check.h"
+#include "workload/arrival_source.h"
 
 namespace rrs {
 namespace workload {
 
-TraceStats ComputeTraceStats(const Instance& instance) {
+// Single-pass fold over the stream. Double accumulation visits rounds in
+// ascending order and skips zero-count rounds — adding an exact +0.0 is the
+// identity, so the partial-sum sequence (and with it burstiness, bit for
+// bit) matches the dense per-round loop this replaces; trace_stats_test
+// pins Instance-vs-source equality. Peak D-windows track per color as
+// (current window index, running sum): counts arrive in ascending round
+// order, so a count landing in a later window flushes the previous one;
+// empty windows sum to 0 and can never beat the running max.
+TraceStats ComputeTraceStats(ArrivalSource& source) {
   TraceStats stats;
-  stats.total_jobs = instance.num_jobs();
-  stats.request_rounds = instance.num_request_rounds();
+  const Instance& shape = source.shape();
+  const size_t num_colors = shape.num_colors();
+  stats.request_rounds = source.num_request_rounds();
   const Round rounds = std::max<Round>(1, stats.request_rounds);
-  stats.total_rate =
-      static_cast<double>(stats.total_jobs) / static_cast<double>(rounds);
 
-  // Per-color per-round counts in one pass (jobs are sorted by arrival).
-  const size_t num_colors = instance.num_colors();
-  std::vector<std::vector<uint64_t>> per_round(
-      num_colors, std::vector<uint64_t>(static_cast<size_t>(rounds), 0));
-  for (const Job& j : instance.jobs()) {
-    ++per_round[j.color][static_cast<size_t>(j.arrival)];
-  }
-
+  stats.colors.resize(num_colors);
   for (ColorId c = 0; c < num_colors; ++c) {
-    ColorStats cs;
-    cs.color = c;
-    cs.delay_bound = instance.delay_bound(c);
-    cs.jobs = instance.jobs_per_color()[c];
-    cs.mean_rate =
-        static_cast<double>(cs.jobs) / static_cast<double>(rounds);
-    cs.load_factor = cs.mean_rate;
-
-    double sum = 0, sum_sq = 0;
-    for (uint64_t count : per_round[c]) {
-      cs.peak_round = std::max(cs.peak_round, count);
-      sum += static_cast<double>(count);
-      sum_sq += static_cast<double>(count) * static_cast<double>(count);
-    }
-    const double n = static_cast<double>(rounds);
-    const double mean = sum / n;
-    const double variance = std::max(0.0, sum_sq / n - mean * mean);
-    cs.burstiness = mean > 0 ? std::sqrt(variance) / mean : 0;
-
-    // Peak D-aligned window.
-    for (Round w = 0; w < rounds; w += cs.delay_bound) {
-      uint64_t window = 0;
-      for (Round r = w; r < std::min(rounds, w + cs.delay_bound); ++r) {
-        window += per_round[c][static_cast<size_t>(r)];
-      }
-      cs.peak_window = std::max(cs.peak_window, window);
-    }
-    stats.colors.push_back(cs);
+    stats.colors[c].color = c;
+    stats.colors[c].delay_bound = shape.delay_bound(c);
   }
 
+  std::vector<double> sum(num_colors, 0.0);
+  std::vector<double> sum_sq(num_colors, 0.0);
+  std::vector<uint64_t> window(num_colors, 0);
+  std::vector<Round> window_idx(num_colors, 0);
+  // Per-round aggregation scratch (a round's runs may repeat a color).
+  std::vector<uint64_t> round_count(num_colors, 0);
+  std::vector<ColorId> touched;
+
+  source.Reset();
+  for (Round k = 0; k < stats.request_rounds; ++k) {
+    touched.clear();
+    for (const auto& [c, count] : source.NextRound()) {
+      RRS_CHECK_LT(c, num_colors);
+      if (count == 0) continue;
+      if (round_count[c] == 0) touched.push_back(c);
+      round_count[c] += count;
+    }
+    for (const ColorId c : touched) {
+      ColorStats& cs = stats.colors[c];
+      const uint64_t count = round_count[c];
+      round_count[c] = 0;
+      cs.jobs += count;
+      cs.peak_round = std::max(cs.peak_round, count);
+      const double x = static_cast<double>(count);
+      sum[c] += x;
+      sum_sq[c] += x * x;
+      const Round idx = k / cs.delay_bound;
+      if (idx != window_idx[c]) {
+        cs.peak_window = std::max(cs.peak_window, window[c]);
+        window[c] = 0;
+        window_idx[c] = idx;
+      }
+      window[c] += count;
+    }
+  }
+  source.Reset();
+
+  const double n = static_cast<double>(rounds);
+  for (ColorId c = 0; c < num_colors; ++c) {
+    ColorStats& cs = stats.colors[c];
+    cs.peak_window = std::max(cs.peak_window, window[c]);  // final flush
+    stats.total_jobs += cs.jobs;
+    cs.mean_rate = static_cast<double>(cs.jobs) / n;
+    cs.load_factor = cs.mean_rate;
+    const double mean = sum[c] / n;
+    const double variance = std::max(0.0, sum_sq[c] / n - mean * mean);
+    cs.burstiness = mean > 0 ? std::sqrt(variance) / mean : 0;
+  }
+  stats.total_rate = static_cast<double>(stats.total_jobs) / n;
   stats.min_feasible_resources = std::max<uint32_t>(
       1, static_cast<uint32_t>(std::ceil(stats.total_rate)));
   return stats;
+}
+
+TraceStats ComputeTraceStats(const Instance& instance) {
+  InstanceSource source(instance);
+  return ComputeTraceStats(source);
 }
 
 std::string TraceStats::ToString() const {

@@ -1,7 +1,10 @@
-// Trace statistics: per-color and aggregate load characterization of an
-// Instance — offered load vs capacity, burstiness, batch profile. Used by
+// Trace statistics: per-color and aggregate load characterization of a
+// workload — offered load vs capacity, burstiness, batch profile. Used by
 // trace_tool's `info` command, the capacity-planner example, and tests that
-// want to reason about generated workloads quantitatively.
+// want to reason about generated workloads quantitatively. The primary form
+// is a single-pass fold over a streaming ArrivalSource (O(colors) memory);
+// the Instance overload wraps the instance in an InstanceSource and folds
+// identically.
 #pragma once
 
 #include <cstdint>
@@ -9,6 +12,7 @@
 #include <vector>
 
 #include "core/instance.h"
+#include "workload/arrival_source.h"
 
 namespace rrs {
 namespace workload {
@@ -40,6 +44,11 @@ struct TraceStats {
   std::string ToString() const;
 };
 
+// Folds the source's stream (Reset before and after; the source is left at
+// round 0).
+TraceStats ComputeTraceStats(ArrivalSource& source);
+
+// Thin wrapper: folds the instance through an InstanceSource.
 TraceStats ComputeTraceStats(const Instance& instance);
 
 }  // namespace workload

@@ -31,6 +31,9 @@
 #include "obs/export_server.h"
 #include "sched/registry.h"
 #include "util/sha256.h"
+#include "workload/arrival_source.h"
+#include "workload/generator_spec.h"
+#include "workload/memctrl.h"
 #include "workload/synthetic.h"
 
 namespace rrs {
@@ -154,7 +157,105 @@ void ExpectSameSloTotals(const SloTracker::Snapshot& got,
   EXPECT_EQ(got.tenants_out_of_budget, want.tenants_out_of_budget) << label;
 }
 
+// Streaming counterpart of DistTenant: the GeneratorSpec whose local
+// instantiation materializes to DistTenant's byte-identical instance.
+workload::GeneratorSpec DistTenantSpec(uint64_t seed, Round rounds = 96) {
+  std::vector<workload::ColorSpec> specs = {
+      {1, 0.4}, {2, 0.5}, {4, 0.5}, {8, 0.4}, {16, 0.3}};
+  workload::PoissonOptions gen;
+  gen.rounds = rounds;
+  gen.seed = seed;
+  return workload::PoissonSpec(specs, gen);
+}
+
+// Same shape as RunDistFleet, but over caller-built jobs (streaming tenants
+// and mixed fleets).
+DistRun RunDistFleetJobs(
+    const std::vector<FleetJob>& jobs, const std::string& policy,
+    size_t workers, uint32_t threads = 0,
+    const std::function<void(DistController&)>& plan = nullptr,
+    uint32_t checkpoint_interval = 0) {
+  DistOptions options;
+  options.num_workers = workers;
+  options.worker.policy = policy;
+  options.worker.rounds_per_tick = 1;
+  options.worker.threads = threads;
+  options.worker.report_slo = true;
+  options.worker.report_trace = true;
+  options.worker.checkpoint_interval_ticks = checkpoint_interval;
+  options.track_slo = true;
+  options.trace_digests = true;
+  options.slo.window_rounds = 16;
+  options.slo.miss_budget = 2;
+  DistController controller(std::move(options));
+  std::string error;
+  EXPECT_TRUE(controller.Start(&error)) << error;
+  controller.AddJobs(jobs);
+  if (plan) plan(controller);
+  DistRun run;
+  run.results = controller.Run();
+  for (size_t t = 0; t < jobs.size(); ++t) {
+    run.digests.push_back(controller.trace_digest(t));
+  }
+  run.slo = controller.slo()->SnapshotTotals();
+  run.stats = controller.stats();
+  controller.Shutdown();
+  return run;
+}
+
 // ---- Protocol round-trips ------------------------------------------------
+
+TEST(DistProtocol, SourceTableRoundTripsAndRebuildsIdenticalSources) {
+  const workload::GeneratorSpec poisson = DistTenantSpec(9);
+  workload::MemctrlOptions mem;
+  mem.rounds = 64;
+  mem.refresh_period = 16;
+  mem.refresh_length = 2;
+  mem.seed = 5;
+  const workload::GeneratorSpec memctrl = workload::MemctrlSpec(mem);
+  snapshot::Writer w;
+  PutSourceTable(w, {&poisson, &memctrl}, 7);
+  snapshot::Reader r(w.words());
+  std::vector<std::pair<uint32_t, workload::GeneratorSpec>> decoded;
+  GetSourceTable(r, &decoded);
+  EXPECT_TRUE(r.AtEnd());
+  ASSERT_EQ(decoded.size(), 2u);
+  EXPECT_EQ(decoded[0].first, 7u);
+  EXPECT_EQ(decoded[1].first, 8u);
+  EXPECT_EQ(decoded[0].second, poisson);
+  EXPECT_EQ(decoded[1].second, memctrl);
+  // A worker-side instantiation of the decoded spec drives the engine
+  // identically to the controller's local one.
+  auto local = workload::MakeSource(poisson);
+  auto remote = workload::MakeSource(decoded[0].second);
+  auto p1 = MakePolicy("dlru-edf");
+  auto p2 = MakePolicy("dlru-edf");
+  Engine e1;
+  e1.Reset(*local, TestOptions());
+  Engine e2;
+  e2.Reset(*remote, TestOptions());
+  ExpectSameRunResult(e2.Run(*p2), e1.Run(*p1), "decoded source");
+}
+
+TEST(DistProtocol, TenantSpecsCarrySourceIds) {
+  std::vector<TenantSpec> specs(2);
+  specs[0].tenant = 3;
+  specs[0].instance_id = 1;
+  specs[0].options = WireOptions::From(TestOptions());
+  specs[1].tenant = 4;
+  specs[1].source_id = 9;
+  snapshot::Writer w;
+  PutTenantSpecs(w, specs);
+  snapshot::Reader r(w.words());
+  std::vector<TenantSpec> got;
+  GetTenantSpecs(r, &got);
+  EXPECT_TRUE(r.AtEnd());
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].source_id, kNoSourceId);
+  EXPECT_EQ(got[0].instance_id, 1u);
+  EXPECT_EQ(got[1].source_id, 9u);
+  EXPECT_EQ(got[1].tenant, 4u);
+}
 
 TEST(DistProtocol, ConfigRoundTrips) {
   WireConfig config;
@@ -603,6 +704,160 @@ TEST(DistFleet, LiveSessionCapQueuesDeterministically) {
                         "capped tenant " + std::to_string(t));
   }
   controller.Shutdown();
+}
+
+// ---- Streaming tenants over the wire -------------------------------------
+//
+// Streaming jobs ship as GeneratorSpecs (kMsgAddSources); every worker
+// instantiates its own ArrivalSource, and migration checkpoints append the
+// source's SaveState words to the engine's. All of it must be invisible in
+// the results: bit-identical to the materialized oracle, moved or not.
+
+TEST(DistStreaming, SourceTenantsMatchMaterializedOracleAcrossWorkerCounts) {
+  std::vector<workload::GeneratorSpec> specs;
+  for (uint64_t seed = 101; seed <= 105; ++seed) {
+    specs.push_back(DistTenantSpec(seed));
+  }
+  workload::MemctrlOptions mem;
+  mem.rounds = 96;
+  mem.refresh_period = 24;
+  mem.refresh_length = 4;
+  mem.seed = 9;
+  specs.push_back(workload::MemctrlSpec(mem));
+
+  const std::string policy = "dlru-edf";
+  std::vector<RunResult> oracle;
+  std::vector<std::string> oracle_digests;
+  std::vector<FleetJob> jobs(specs.size());
+  for (size_t t = 0; t < specs.size(); ++t) {
+    auto source = workload::MakeSource(specs[t]);
+    const Instance materialized = workload::Materialize(*source);
+    auto p = MakePolicy(policy);
+    oracle.push_back(RunPolicy(materialized, *p, TestOptions()));
+    oracle_digests.push_back(OracleDigest(materialized, policy));
+    jobs[t].source_spec = &specs[t];
+    jobs[t].options = TestOptions();
+  }
+  for (const size_t workers : {1u, 2u, 4u}) {
+    const DistRun run = RunDistFleetJobs(jobs, policy, workers);
+    const std::string label = "streaming @" + std::to_string(workers) + "w";
+    ASSERT_EQ(run.results.size(), jobs.size());
+    for (size_t t = 0; t < jobs.size(); ++t) {
+      ExpectSameRunResult(run.results[t], oracle[t],
+                          label + " tenant " + std::to_string(t));
+      EXPECT_EQ(run.digests[t], oracle_digests[t]) << label << " tenant " << t;
+    }
+    EXPECT_EQ(run.stats.completed, jobs.size()) << label;
+  }
+}
+
+TEST(DistStreaming, MigrationShipsSourceStateBitIdentically) {
+  std::vector<workload::GeneratorSpec> specs;
+  for (uint64_t seed = 111; seed <= 114; ++seed) {
+    specs.push_back(DistTenantSpec(seed));
+  }
+  const std::string policy = "dlru-edf";
+  std::vector<RunResult> oracle;
+  std::vector<std::string> oracle_digests;
+  std::vector<FleetJob> jobs(specs.size());
+  for (size_t t = 0; t < specs.size(); ++t) {
+    auto source = workload::MakeSource(specs[t]);
+    const Instance materialized = workload::Materialize(*source);
+    auto p = MakePolicy(policy);
+    oracle.push_back(RunPolicy(materialized, *p, TestOptions()));
+    oracle_digests.push_back(OracleDigest(materialized, policy));
+    jobs[t].source_spec = &specs[t];
+    jobs[t].options = TestOptions();
+  }
+  const DistRun undisturbed = RunDistFleetJobs(jobs, policy, 1);
+  for (const size_t workers : {1u, 2u, 4u}) {
+    for (const uint64_t cut : {1u, 17u, 64u}) {
+      const DistRun run = RunDistFleetJobs(
+          jobs, policy, workers, /*threads=*/0,
+          [&](DistController& controller) {
+            for (uint64_t t = 0; t < jobs.size(); ++t) {
+              controller.ScheduleMigration(
+                  cut, t, (t + cut) % controller.num_workers());
+            }
+          });
+      const std::string label = "streaming cut=" + std::to_string(cut) +
+                                " @" + std::to_string(workers) + "w";
+      for (size_t t = 0; t < jobs.size(); ++t) {
+        ExpectSameRunResult(run.results[t], oracle[t],
+                            label + " tenant " + std::to_string(t));
+        EXPECT_EQ(run.digests[t], oracle_digests[t])
+            << label << " tenant " << t;
+      }
+      EXPECT_GE(run.stats.migrations, jobs.size()) << label;
+      ExpectSameSloTotals(run.slo, undisturbed.slo, label);
+    }
+  }
+}
+
+TEST(DistStreaming, FailoverRestoresStreamingTenantsFromCheckpoints) {
+  std::vector<workload::GeneratorSpec> specs;
+  for (uint64_t seed = 121; seed <= 126; ++seed) {
+    specs.push_back(DistTenantSpec(seed));
+  }
+  const std::string policy = "greedy-edf";
+  std::vector<RunResult> oracle;
+  std::vector<std::string> oracle_digests;
+  std::vector<FleetJob> jobs(specs.size());
+  for (size_t t = 0; t < specs.size(); ++t) {
+    auto source = workload::MakeSource(specs[t]);
+    const Instance materialized = workload::Materialize(*source);
+    auto p = MakePolicy(policy);
+    oracle.push_back(RunPolicy(materialized, *p, TestOptions()));
+    oracle_digests.push_back(OracleDigest(materialized, policy));
+    jobs[t].source_spec = &specs[t];
+    jobs[t].options = TestOptions();
+  }
+  const DistRun undisturbed = RunDistFleetJobs(jobs, policy, 1);
+  const DistRun run = RunDistFleetJobs(
+      jobs, policy, /*workers=*/3, /*threads=*/0,
+      [](DistController& controller) {
+        controller.ScheduleKill(10, 1);
+        controller.ScheduleKill(30, 0);
+      },
+      /*checkpoint_interval=*/4);
+  EXPECT_EQ(run.stats.kills, 2u);
+  EXPECT_GT(run.stats.restored_from_checkpoint, 0u);
+  for (size_t t = 0; t < jobs.size(); ++t) {
+    ExpectSameRunResult(run.results[t], oracle[t],
+                        "streaming failover tenant " + std::to_string(t));
+    EXPECT_EQ(run.digests[t], oracle_digests[t])
+        << "streaming failover tenant " << t;
+  }
+  ExpectSameSloTotals(run.slo, undisturbed.slo, "streaming failover slo");
+}
+
+TEST(DistStreaming, MixedInstanceAndSourceFleetsCoexist) {
+  std::vector<Instance> instances = {DistTenant(131), DistTenant(132)};
+  std::vector<workload::GeneratorSpec> specs = {DistTenantSpec(133),
+                                                DistTenantSpec(134)};
+  const std::string policy = "dlru-edf";
+  std::vector<FleetJob> jobs(4);
+  std::vector<RunResult> oracle;
+  for (size_t t = 0; t < 2; ++t) {
+    jobs[t].instance = &instances[t];
+    jobs[t].options = TestOptions();
+    auto p = MakePolicy(policy);
+    oracle.push_back(RunPolicy(instances[t], *p, TestOptions()));
+  }
+  for (size_t t = 0; t < 2; ++t) {
+    jobs[2 + t].source_spec = &specs[t];
+    jobs[2 + t].options = TestOptions();
+    auto source = workload::MakeSource(specs[t]);
+    const Instance materialized = workload::Materialize(*source);
+    auto p = MakePolicy(policy);
+    oracle.push_back(RunPolicy(materialized, *p, TestOptions()));
+  }
+  const DistRun run = RunDistFleetJobs(jobs, policy, 2);
+  for (size_t t = 0; t < jobs.size(); ++t) {
+    ExpectSameRunResult(run.results[t], oracle[t],
+                        "mixed tenant " + std::to_string(t));
+  }
+  EXPECT_EQ(run.stats.completed, jobs.size());
 }
 
 }  // namespace

@@ -10,7 +10,10 @@
 // Iteration count is capped for tier-1 speed and raised via the
 // RRS_FUZZ_ITERS environment variable (the `nightly`-labeled registration
 // and the sanitizer/TSan suites set it explicitly).
+#include <algorithm>
 #include <cstdlib>
+#include <functional>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -22,6 +25,9 @@
 #include "sched/registry.h"
 #include "snapshot/codec.h"
 #include "util/rng.h"
+#include "workload/arrival_source.h"
+#include "workload/mix.h"
+#include "workload/source.h"
 #include "workload/synthetic.h"
 
 namespace rrs {
@@ -198,6 +204,174 @@ TEST(SnapshotFuzzStream, RandomCutRestoresEmitIdenticalOutcomes) {
         << label;
     ASSERT_EQ(original.cost().drops, restored.cost().drops) << label;
     ASSERT_EQ(original.executed(), restored.executed()) << label;
+  }
+}
+
+// ---- ArrivalSource: random wrapper chains, random chained cuts -----------
+//
+// Draws a random source tree (generator bases under random mix wrappers),
+// cuts it at random rounds with SaveState/LoadState onto a fresh tree, and
+// checks the restored tree emits the identical remaining stream. The
+// wrappers chain their inner sources' sections, so this fuzzes the
+// recursive state format the dist migration path ships.
+
+std::function<std::unique_ptr<workload::ArrivalSource>()> FuzzSourceFactory(
+    Rng& rng) {
+  std::vector<workload::ColorSpec> specs;
+  const size_t num_colors = 2 + rng.NextBounded(4);
+  for (size_t c = 0; c < num_colors; ++c) {
+    workload::ColorSpec spec;
+    spec.delay_bound = Round{1} << rng.NextBounded(5);
+    spec.rate = rng.UniformDouble(0.05, 0.8);
+    specs.push_back(spec);
+  }
+  const Round rounds = 16 + static_cast<Round>(rng.NextBounded(100));
+  const uint64_t seed = rng.Next();
+  const bool bursty = rng.Bernoulli(0.5);
+  auto base = [specs, rounds, seed,
+               bursty]() -> std::unique_ptr<workload::ArrivalSource> {
+    if (bursty) {
+      workload::BurstyOptions options;
+      options.rounds = rounds;
+      options.p_on_to_off = 0.15;
+      options.p_off_to_on = 0.25;
+      options.seed = seed;
+      return workload::MakeBurstySource(specs, options);
+    }
+    workload::PoissonOptions options;
+    options.rounds = rounds;
+    options.seed = seed;
+    return workload::MakePoissonSource(specs, options);
+  };
+  switch (rng.NextBounded(4)) {
+    case 0:
+      return base;
+    case 1: {
+      const Round offset = static_cast<Round>(rng.NextBounded(9));
+      return [base, offset] {
+        return workload::MakeTimeShiftSource(base(), offset);
+      };
+    }
+    case 2: {
+      const double keep = rng.UniformDouble(0.3, 0.9);
+      const uint64_t thin_seed = rng.Next();
+      return [base, keep, thin_seed] {
+        return workload::MakeThinSource(base(), keep, thin_seed);
+      };
+    }
+    default: {
+      const Round gap = static_cast<Round>(rng.NextBounded(6));
+      return [base, gap] {
+        return workload::MakeConcatSource(base(), base(), gap);
+      };
+    }
+  }
+}
+
+TEST(SnapshotFuzzSource, ChainedRandomCutsEmitIdenticalStreams) {
+  Rng rng(0x50a7);
+  const int iters = FuzzIters();
+  for (int iter = 0; iter < iters; ++iter) {
+    const std::string label = "iter " + std::to_string(iter);
+    auto make = FuzzSourceFactory(rng);
+    // Merge two independently drawn trees a quarter of the time, so the
+    // fuzzer also covers the N-ary wrapper's chained sections.
+    if (rng.Bernoulli(0.25)) {
+      auto other = FuzzSourceFactory(rng);
+      auto merged = [make, other] {
+        std::vector<std::unique_ptr<workload::ArrivalSource>> parts;
+        parts.push_back(make());
+        parts.push_back(other());
+        return workload::MakeMergeSource(std::move(parts));
+      };
+      make = merged;
+    }
+    auto original = make();
+    auto restored = make();
+    const int cuts = 1 + static_cast<int>(rng.NextBounded(3));
+    snapshot::Writer w;
+    for (int cut = 0; cut < cuts; ++cut) {
+      const Round total = original->num_request_rounds();
+      if (original->cursor() < total) {
+        const Round at =
+            original->cursor() +
+            1 + static_cast<Round>(rng.NextBounded(static_cast<uint64_t>(
+                    total - original->cursor())));
+        while (original->cursor() < at) original->NextRound();
+      }
+      w.Clear();
+      original->SaveState(w);
+      snapshot::Reader r(w.words());
+      restored->LoadState(r);
+      ASSERT_TRUE(r.AtEnd()) << label;
+      ASSERT_EQ(restored->cursor(), original->cursor()) << label;
+    }
+    while (original->cursor() < original->num_request_rounds()) {
+      const Round k = original->cursor();
+      const auto a = original->NextRound();
+      const auto b = restored->NextRound();
+      ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()))
+          << label << " round " << k;
+    }
+  }
+}
+
+// ---- Engine + source: the dist migration format under fuzz ---------------
+//
+// A source-fed engine run snapshotted at random cuts, each cut migrating to
+// a different engine AND a fresh source restored from the appended source
+// words (RestoreRun(policy, r, &r)) — exactly what a dist worker does with
+// a shipped tenant checkpoint.
+
+TEST(SnapshotFuzzSource, EngineMigrationWithSourceWordsIsExact) {
+  Rng rng(0x50a8);
+  const int iters = FuzzIters();
+  const std::vector<std::string> policies = PolicyNames();
+  for (int iter = 0; iter < iters; ++iter) {
+    auto make = FuzzSourceFactory(rng);
+    EngineOptions options = FuzzOptions(rng);
+    std::string name = policies[rng.NextBounded(policies.size())];
+    if (name == "lookahead") name = "dlru-edf";  // needs a full-job shape
+    const std::string label = name + " iter " + std::to_string(iter);
+
+    auto oracle_source = make();
+    auto oracle_policy = MakePolicy(name);
+    Engine oracle_engine;
+    oracle_engine.Reset(*oracle_source, options);
+    const RunResult oracle = oracle_engine.Run(*oracle_policy);
+
+    std::unique_ptr<workload::ArrivalSource> sources[2] = {make(), make()};
+    Engine engines[2];
+    engines[0].Reset(*sources[0], options);
+    auto policy = MakePolicy(name);
+    engines[0].BeginRun(*policy);
+    int active = 0;
+    snapshot::Writer w;
+    const int cuts = 1 + static_cast<int>(rng.NextBounded(3));
+    for (int cut = 0; cut < cuts; ++cut) {
+      const Round at = 1 + static_cast<Round>(rng.NextBounded(
+                               static_cast<uint64_t>(std::max<Round>(
+                                   sources[active]->num_request_rounds(), 1))));
+      if (at > engines[active].next_round()) {
+        engines[active].StepRounds(at - engines[active].next_round());
+      }
+      w.Clear();
+      engines[active].SnapshotRun(w);
+      sources[active]->SaveState(w);
+      engines[active].AbortRun();
+      active = 1 - active;
+      sources[active] = make();
+      engines[active].Reset(*sources[active], options);
+      policy = MakePolicy(name);
+      snapshot::Reader r(w.words());
+      engines[active].RestoreRun(*policy, r, &r);
+      ASSERT_TRUE(r.AtEnd()) << label;
+    }
+    while (engines[active].StepRounds(64)) {
+    }
+    RunResult resumed;
+    engines[active].FinishRun(resumed);
+    ExpectSameRunResult(resumed, oracle, label);
   }
 }
 

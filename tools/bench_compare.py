@@ -41,7 +41,15 @@ Fails (exit 1) when any benchmark cell in CURRENT:
     core cannot scale no matter how good the code is, so on small machines
     the gate is SKIPPED with a loud message instead of failing on physics.
     Like the batched gate, the ratio prefers the bench's interleaved
-    "measured_scaling" estimate over dividing the two best-of-N rates.
+    "measured_scaling" estimate over dividing the two best-of-N rates, or
+  * is a memory cell (records "mem_ref": the name of its materialized twin
+    in the same report, plus "max_bytes_ratio": the required ceiling) whose
+    bytes_per_tenant exceeds max_bytes_ratio times the twin's. Like the
+    speedup gates, the ratio is held within CURRENT — both rows measure
+    peak heap residency in the same run on the same allocator — so it gates
+    the streaming representation's memory win, not absolute allocator
+    behavior. A mem_ref naming an absent row, or either row lacking
+    bytes_per_tenant, fails with a clear message.
 
 Metrics present only in CURRENT (e.g. the informational phase_*_p50_ns
 breakdown) are ignored, so reports can grow new columns without a baseline
@@ -295,6 +303,53 @@ def main():
                 f"{ref['rounds_per_sec']:.2f} rounds/s")
         print(f"{name:28s} {'batched_speedup':16s} {speedup:13.2f}x "
               f"(vs {ref_name}, min {min_speedup}) {status}")
+
+    # Memory-ratio gate, held within the current report: a cell with
+    # mem_ref + max_bytes_ratio claims its peak heap residency per tenant
+    # is at most ratio x its materialized twin's. Both rows come from the
+    # same run (same allocator, same machine), so the gate isolates the
+    # representation's win from allocator behavior.
+    for name, cur in sorted(current.items()):
+        ref_name = cur.get("mem_ref")
+        if ref_name is None:
+            continue
+        max_ratio = cur.get("max_bytes_ratio")
+        try:
+            max_ratio = float(max_ratio)
+        except (TypeError, ValueError):
+            failures.append(
+                f"{name}: max_bytes_ratio {max_ratio!r} is not a number")
+            continue
+        ref = current.get(ref_name)
+        if ref is None:
+            failures.append(
+                f"{name}: mem_ref '{ref_name}' names a row missing from the "
+                f"current report; the memory gate needs both rows from the "
+                f"same run")
+            continue
+        missing = [n for n, c in ((name, cur), (ref_name, ref))
+                   if "bytes_per_tenant" not in c]
+        if missing:
+            failures.append(
+                f"{name}: memory gate needs bytes_per_tenant on both rows; "
+                f"missing from: {', '.join(missing)}")
+            continue
+        if ref["bytes_per_tenant"] <= 0:
+            failures.append(
+                f"{name}: mem_ref '{ref_name}' bytes_per_tenant is "
+                f"{ref['bytes_per_tenant']}, cannot compute memory ratio")
+            continue
+        ratio = cur["bytes_per_tenant"] / ref["bytes_per_tenant"]
+        status = "ok"
+        if ratio > max_ratio:
+            status = "OVER MEMORY CEILING"
+            failures.append(
+                f"{name}: bytes_per_tenant ratio {ratio:.2f}x vs "
+                f"'{ref_name}' above allowed {max_ratio}x — current "
+                f"{cur['bytes_per_tenant']:.0f} bytes/tenant vs "
+                f"{ref['bytes_per_tenant']:.0f} bytes/tenant")
+        print(f"{name:28s} {'bytes_ratio':16s} {ratio:13.2f}x "
+              f"(vs {ref_name}, max {max_ratio}) {status}")
 
     if failures:
         print("\nPERF GATE FAILED:", file=sys.stderr)

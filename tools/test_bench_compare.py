@@ -539,6 +539,91 @@ class BenchCompareTest(unittest.TestCase):
         proc = self.run_compare(cur, cur)
         self.assertEqual(proc.returncode, 0, proc.stderr)
 
+    def mem_cell(self, name, bytes_per_tenant, **extra):
+        """A bench_fleet memory-cell row: residency only, no throughput."""
+        out = {"name": name, "bytes_per_tenant": bytes_per_tenant}
+        out.update(extra)
+        return out
+
+    def test_memory_ratio_within_ceiling_passes(self):
+        cur = report([
+            self.mem_cell("fleet/mem/materialized", 14000.0),
+            self.mem_cell("fleet/mem/streaming", 5000.0,
+                          mem_ref="fleet/mem/materialized",
+                          max_bytes_ratio=0.5),
+        ])
+        proc = self.run_compare(cur, cur)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("bytes_ratio", proc.stdout)
+        self.assertIn("0.36x", proc.stdout)
+
+    def test_memory_ratio_over_ceiling_fails_with_both_values(self):
+        cur = report([
+            self.mem_cell("fleet/mem/materialized", 14000.0),
+            self.mem_cell("fleet/mem/streaming", 9800.0,
+                          mem_ref="fleet/mem/materialized",
+                          max_bytes_ratio=0.5),
+        ])
+        proc = self.run_compare(cur, cur)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("OVER MEMORY CEILING", proc.stdout)
+        self.assertIn("ratio 0.70x", proc.stderr)
+        self.assertIn("current 9800 bytes/tenant", proc.stderr)
+        self.assertIn("14000 bytes/tenant", proc.stderr)
+
+    def test_memory_gate_missing_mem_ref_row_fails(self):
+        cur = report([
+            self.mem_cell("fleet/mem/streaming", 5000.0,
+                          mem_ref="fleet/mem/materialized",
+                          max_bytes_ratio=0.5),
+        ])
+        proc = self.run_compare(cur, cur)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("mem_ref 'fleet/mem/materialized' names a row missing",
+                      proc.stderr)
+        self.assertNotIn("Traceback", proc.stderr)
+
+    def test_memory_gate_missing_bytes_metric_fails_cleanly(self):
+        cur = report([
+            {"name": "fleet/mem/materialized"},
+            self.mem_cell("fleet/mem/streaming", 5000.0,
+                          mem_ref="fleet/mem/materialized",
+                          max_bytes_ratio=0.5),
+        ])
+        proc = self.run_compare(cur, cur)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("needs bytes_per_tenant on both rows", proc.stderr)
+        self.assertIn("fleet/mem/materialized", proc.stderr)
+        self.assertNotIn("Traceback", proc.stderr)
+
+    def test_memory_gate_applies_to_new_cells(self):
+        # Like the speedup gates, the memory gate is held within the current
+        # report: cells absent from the baseline are still gated.
+        base = report([fleet_cell("fleet/100k/capped")])
+        cur = report([
+            fleet_cell("fleet/100k/capped"),
+            self.mem_cell("fleet/mem/materialized", 14000.0),
+            self.mem_cell("fleet/mem/streaming", 9800.0,
+                          mem_ref="fleet/mem/materialized",
+                          max_bytes_ratio=0.5),
+        ])
+        proc = self.run_compare(base, cur)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("OVER MEMORY CEILING", proc.stdout)
+
+    def test_memory_gate_non_numeric_ratio_fails_cleanly(self):
+        cur = report([
+            self.mem_cell("fleet/mem/materialized", 14000.0),
+            self.mem_cell("fleet/mem/streaming", 5000.0,
+                          mem_ref="fleet/mem/materialized",
+                          max_bytes_ratio="half"),
+        ])
+        proc = self.run_compare(cur, cur)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("max_bytes_ratio", proc.stderr)
+        self.assertIn("not a number", proc.stderr)
+        self.assertNotIn("Traceback", proc.stderr)
+
     def test_solver_cells_have_no_alloc_gate(self):
         # Solver cells record no steady_allocs_per_round; its absence from
         # both reports must not fail (the alloc gate is engine-bench-only).
