@@ -55,6 +55,15 @@ double Seconds(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double>(b - a).count();
 }
 
+// RRS_BENCH_SMOKE=1: one iteration per timing window — the tier-1 smoke run
+// that proves every cell still executes and emits its metrics. The numbers
+// are meaningless and only ever checked for shape (bench_compare.py
+// --shape-only), never gated.
+bool SmokeMode() {
+  static const bool smoke = std::getenv("RRS_BENCH_SMOKE") != nullptr;
+  return smoke;
+}
+
 rrs::Instance MakeBenchInstance(size_t colors, rrs::Round rounds,
                                 uint64_t seed) {
   // Same shape as bench_e9_throughput's workload: delay bounds cycling
@@ -88,7 +97,7 @@ struct CellResult {
 
 CellResult RunCell(const Cell& cell) {
   constexpr rrs::Round kRounds = 4096;
-  constexpr double kMinSeconds = 0.3;
+  const double kMinSeconds = SmokeMode() ? 0.0 : 0.3;
 
   // Every cell runs with a metrics-only scope attached, so the gate measures
   // the default-on observability overhead rather than the bare engine.

@@ -280,9 +280,18 @@ struct CellResult {
 // environment — the paired ratios (see measured_speedup) live or die on
 // that adjacency. Longer best-of-several windows were tried and are
 // *worse*: they push paired windows ~4s apart, decorrelating the noise.
-constexpr int kWindows = 4;
-constexpr int kObsWindows = 16;
-constexpr double kWindowSeconds = 0.12;
+// RRS_BENCH_SMOKE=1: one window, one iteration per window — the tier-1
+// smoke run that proves every cell still executes and emits its metrics;
+// numbers are only ever checked for shape (bench_compare.py --shape-only),
+// never gated.
+bool SmokeMode() {
+  static const bool smoke = std::getenv("RRS_BENCH_SMOKE") != nullptr;
+  return smoke;
+}
+
+int BenchWindows() { return SmokeMode() ? 1 : 4; }
+int BenchObsWindows() { return SmokeMode() ? 1 : 16; }
+double BenchWindowSeconds() { return SmokeMode() ? 0.0 : 0.12; }
 
 // One timing window: repeat full fleets over the warm runner, keep the best
 // observed rate in `out`. Returns the window's rounds/s so callers can pair
@@ -298,7 +307,7 @@ double TimeWindow(rrs::fleet::FleetRunner& runner,
     runner.RunAll(jobs);
     ++iters;
     now = Clock::now();
-  } while (Seconds(start, now) < kWindowSeconds);
+  } while (Seconds(start, now) < BenchWindowSeconds());
   const double elapsed = Seconds(start, now);
   const double sps = static_cast<double>(iters * tenant_count) / elapsed;
   const double rps = static_cast<double>(runner.stats().rounds_stepped -
@@ -411,9 +420,9 @@ std::vector<CellResult> RunCells(std::span<const Cell> cells) {
     results.push_back(std::move(out));
   }
 
-  int windows = kWindows;
+  int windows = BenchWindows();
   for (const Cell& cell : cells) {
-    if (cell.obs_plane) windows = kObsWindows;
+    if (cell.obs_plane) windows = BenchObsWindows();
   }
   std::vector<std::vector<double>> window_rates(cells.size());
   for (int w = 0; w < windows; ++w) {
@@ -514,7 +523,7 @@ std::vector<CellResult> RunCells(std::span<const Cell> cells) {
         }
       };
       run_fresh();  // warm-up
-      for (int w = 0; w < kWindows; ++w) {
+      for (int w = 0; w < BenchWindows(); ++w) {
         uint64_t fresh_iters = 0;
         const auto fresh_start = Clock::now();
         auto fresh_now = fresh_start;
@@ -522,7 +531,7 @@ std::vector<CellResult> RunCells(std::span<const Cell> cells) {
           run_fresh();
           ++fresh_iters;
           fresh_now = Clock::now();
-        } while (Seconds(fresh_start, fresh_now) < kWindowSeconds);
+        } while (Seconds(fresh_start, fresh_now) < BenchWindowSeconds());
         const double sps = static_cast<double>(fresh_iters * cell.tenants) /
                            Seconds(fresh_start, fresh_now);
         out.fresh_sessions_per_sec =
@@ -735,7 +744,7 @@ int main(int argc, char** argv) {
     // lose a coin flip no real regression caused. Rerun the group and keep
     // the best attempt, judged by the tightest-gated twin's estimate; a
     // genuine >2% overhead regression fails every attempt.
-    for (int attempt = 0; attempt < 2; ++attempt) {
+    for (int attempt = 0; attempt < (SmokeMode() ? 1 : 2); ++attempt) {
       const auto gate_miss = [](const CellResult& r) {
         return r.speedup_gate > 0 && r.measured_speedup >= 0 &&
                r.measured_speedup < r.speedup_gate;

@@ -53,6 +53,15 @@ double Seconds(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double>(b - a).count();
 }
 
+// RRS_BENCH_SMOKE=1: one interleaved run per cell instead of three — the
+// tier-1 smoke run that proves every cell still executes and emits its
+// metrics; numbers are only ever checked for shape (bench_compare.py
+// --shape-only), never gated.
+bool SmokeMode() {
+  static const bool smoke = std::getenv("RRS_BENCH_SMOKE") != nullptr;
+  return smoke;
+}
+
 // Tenants cycle over a small pool of distinct instances so a 1M-tenant
 // fleet does not pay 1M generator runs (same scheme as bench_fleet.cpp).
 constexpr size_t kDistinct = 32;
@@ -206,7 +215,7 @@ int main(int argc, char** argv) {
     // Gate cells: identical tenants at 1/2/4 workers. Runs interleave
     // (1w, 2w, 4w, 1w, 2w, 4w, ...) so every scaling ratio pairs runs that
     // shared the machine's noise environment.
-    constexpr int kIters = 3;
+    const int kIters = SmokeMode() ? 1 : 3;
     DistCell one{"dist/1worker", 1};
     DistCell two{"dist/2workers", 2};
     two.scaling_ref = "dist/1worker";

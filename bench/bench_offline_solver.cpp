@@ -28,6 +28,7 @@
 // under the opt-in "perf" configuration (ctest -C perf -L perf).
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,14 @@ using Clock = std::chrono::steady_clock;
 
 double Seconds(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double>(b - a).count();
+}
+
+// RRS_BENCH_SMOKE=1: one solve per cell — the tier-1 smoke run that proves
+// every cell still executes and emits its metrics; numbers are only ever
+// checked for shape (bench_compare.py --shape-only), never gated.
+bool SmokeMode() {
+  static const bool smoke = std::getenv("RRS_BENCH_SMOKE") != nullptr;
+  return smoke;
 }
 
 // Medium instance both solvers can exhaust unpruned: m=2, 4 colors,
@@ -106,7 +115,7 @@ struct CellResult {
 // the summed expansions over the summed wall time.
 template <typename SolveFn>
 CellResult TimeCell(const std::string& name, SolveFn solve) {
-  constexpr double kMinSeconds = 0.3;
+  const double kMinSeconds = SmokeMode() ? 0.0 : 0.3;
   CellResult out;
   out.name = name;
   solve(&out);  // warm-up (page-in, arena growth)

@@ -5,7 +5,9 @@
 #include "offline/clairvoyant.h"
 #include "offline/lower_bound.h"
 #include "offline/optimal.h"
+#include "offline/robust_optimal.h"
 #include "parallel/thread_pool.h"
+#include "workload/uncertain.h"
 
 namespace rrs {
 namespace analysis {
@@ -90,6 +92,27 @@ std::vector<RatioBracket> MeasureRatioBrackets(
     bracket.ratio_upper = SafeRatio(cost, bracket.lower_bound);
     out.push_back(std::move(bracket));
   }
+  return out;
+}
+
+RobustRatioReport MeasureRobustRatio(const workload::UncertainInstance& set,
+                                     uint64_t online_cost, uint32_t m,
+                                     const CostModel& model,
+                                     uint64_t max_states) {
+  offline::RobustOptions options;
+  options.num_resources = m;
+  options.cost_model = model;
+  options.max_states = max_states;
+  const offline::RobustResult robust = offline::SolveRobust(set, options);
+
+  RobustRatioReport out;
+  out.exact = robust.exact;
+  out.online_cost = online_cost;
+  out.opt_lower = robust.lower_bound;
+  out.opt_upper = robust.upper_bound;
+  out.states_expanded = robust.states_expanded;
+  out.ratio_lower = SafeRatio(online_cost, robust.upper_bound);
+  out.ratio_upper = SafeRatio(online_cost, robust.lower_bound);
   return out;
 }
 

@@ -24,6 +24,10 @@ namespace rrs {
 
 class ThreadPool;
 
+namespace workload {
+class UncertainInstance;
+}  // namespace workload
+
 namespace analysis {
 
 struct ExactRatio {
@@ -80,6 +84,27 @@ std::vector<RatioBracket> MeasureRatioBrackets(
     ThreadPool& pool, const Instance& instance,
     std::span<const uint64_t> online_costs, uint32_t m,
     const CostModel& model);
+
+// Robust (interval-uncertainty) ratio report: the certified OPT bracket from
+// offline::SolveRobust over the whole window set, and the worst-case ratio
+// bracket it induces for an online cost guaranteed across the set —
+//   online/opt_upper <= worst-case true ratio <= online/opt_lower
+// for every concrete trace. `exact` records search completion; exhaustion
+// only widens the bracket.
+struct RobustRatioReport {
+  bool exact = false;
+  uint64_t online_cost = 0;
+  uint64_t opt_lower = 0;
+  uint64_t opt_upper = 0;
+  uint64_t states_expanded = 0;
+  double ratio_lower = 0;
+  double ratio_upper = 0;
+};
+
+RobustRatioReport MeasureRobustRatio(const workload::UncertainInstance& set,
+                                     uint64_t online_cost, uint32_t m,
+                                     const CostModel& model,
+                                     uint64_t max_states = 5'000'000);
 
 }  // namespace analysis
 }  // namespace rrs

@@ -1,0 +1,85 @@
+#include "offline/interval_state.h"
+
+#include <cstring>
+#include <limits>
+
+#include "util/check.h"
+
+namespace rrs {
+namespace offline {
+
+bool IntervalProfileContains(const uint32_t* a, uint32_t alen,
+                             const uint32_t* b, uint32_t blen) {
+  // Both cumulative functions are step functions whose breakpoints are the
+  // rels of either profile, so checking right after each merged breakpoint
+  // covers every horizon t.
+  uint64_t a_lo = 0, a_hi = 0, b_lo = 0, b_hi = 0;
+  uint32_t i = 0, j = 0;
+  while (i < alen || j < blen) {
+    const uint32_t ra =
+        i < alen ? a[3 * i] : std::numeric_limits<uint32_t>::max();
+    const uint32_t rb =
+        j < blen ? b[3 * j] : std::numeric_limits<uint32_t>::max();
+    const uint32_t t = ra < rb ? ra : rb;
+    if (ra == t) {
+      a_lo += a[3 * i + 1];
+      a_hi += a[3 * i + 2];
+      ++i;
+    }
+    if (rb == t) {
+      b_lo += b[3 * j + 1];
+      b_hi += b[3 * j + 2];
+      ++j;
+    }
+    if (a_lo > b_lo || b_hi > a_hi) return false;
+  }
+  return true;
+}
+
+bool IntervalStateContains(std::span<const uint32_t> a,
+                           std::span<const uint32_t> b, uint32_t m,
+                           uint32_t num_colors) {
+  if (std::memcmp(a.data(), b.data(), m * sizeof(uint32_t)) != 0) return false;
+  size_t ia = m, ib = m;
+  for (uint32_t c = 0; c < num_colors; ++c) {
+    const uint32_t la = a[ia++];
+    const uint32_t lb = b[ib++];
+    if (!IntervalProfileContains(a.data() + ia, la, b.data() + ib, lb)) {
+      return false;
+    }
+    ia += 3 * static_cast<size_t>(la);
+    ib += 3 * static_cast<size_t>(lb);
+  }
+  return true;
+}
+
+bool IntervalStateDominates(std::span<const uint32_t> a, uint64_t a_cost_lo,
+                            uint64_t a_cost_hi, std::span<const uint32_t> b,
+                            uint64_t b_cost_lo, uint64_t b_cost_hi, uint32_t m,
+                            uint32_t num_colors) {
+  if (a_cost_lo > b_cost_lo || a_cost_hi < b_cost_hi) return false;
+  return IntervalStateContains(a, b, m, num_colors);
+}
+
+std::vector<uint32_t> EncodeIntervalState(
+    std::span<const uint32_t> config,
+    const std::vector<std::vector<IntervalBucket>>& per_color) {
+  std::vector<uint32_t> out(config.begin(), config.end());
+  for (const std::vector<IntervalBucket>& buckets : per_color) {
+    out.push_back(static_cast<uint32_t>(buckets.size()));
+    uint32_t prev_rel = 0;
+    for (const IntervalBucket& bucket : buckets) {
+      RRS_CHECK_GT(bucket.rel, prev_rel);
+      RRS_CHECK_LE(bucket.lo, bucket.hi);
+      RRS_CHECK_GE(bucket.hi, 1u);
+      prev_rel = bucket.rel;
+      out.push_back(bucket.rel);
+      out.push_back(bucket.lo);
+      out.push_back(bucket.hi);
+    }
+  }
+  return out;
+}
+
+}  // namespace offline
+}  // namespace rrs

@@ -1,0 +1,79 @@
+// Packed interval-valued search states for the robust (interval-uncertainty)
+// offline solver, plus the containment predicates its dominance merging uses.
+//
+// Layout (uint32 words, mirroring offline/optimal.cpp's concrete states):
+//
+//   [config multiset: m sorted words, black = num_colors]
+//   [per color: len, then len triples (rel, lo, hi)]
+//
+// where `rel` is the relative deadline (strictly ascending within a color),
+// and [lo, hi] brackets how many jobs of that bucket are pending: `lo` under
+// the optimistic arrival envelope (only forced, zero-width-window jobs) and
+// `hi` under the pessimistic envelope (every windowed job present at every
+// round of its window). Invariants: lo <= hi and hi >= 1 per bucket (a
+// bucket whose hi reaches 0 is elided). A zero-width window set collapses to
+// lo == hi everywhere — the concrete solver's states with counts doubled up.
+//
+// Containment ("A contains B"): at equal config multiset, A's envelopes
+// bracket B's pointwise in the cumulative domain — for every horizon t,
+//
+//   cum_lo_A(t) <= cum_lo_B(t)   and   cum_hi_B(t) <= cum_hi_A(t)
+//
+// per color. Then every pending-profile behavior reachable from B under some
+// concrete trace is also covered by A's envelopes, so once A's accumulated
+// cost interval also contains B's, B is redundant for *both* bracket sides
+// and the solver may prune it (the dominance rule; soundness argument in
+// DESIGN.md §3.14). Cumulative — not bucket-wise — comparison matters: a
+// profile can contain another whose buckets cross it (tests pin this via the
+// golden corpus).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace rrs {
+namespace offline {
+
+// One pending bucket of an interval profile, used by tests and encoding
+// helpers; the solver itself works on raw packed words.
+struct IntervalBucket {
+  uint32_t rel = 0;  // relative deadline, >= 1
+  uint32_t lo = 0;   // optimistic pending count
+  uint32_t hi = 0;   // pessimistic pending count, >= max(lo, 1)
+};
+
+// True when envelope profile `a` contains envelope profile `b`: for every
+// horizon t, cum_lo_a(t) <= cum_lo_b(t) and cum_hi_b(t) <= cum_hi_a(t).
+// Profiles are interleaved (rel, lo, hi) triples ascending by rel; `alen`
+// and `blen` count triples.
+bool IntervalProfileContains(const uint32_t* a, uint32_t alen,
+                             const uint32_t* b, uint32_t blen);
+
+// True when state `a` contains state `b`: identical config multiset (first
+// m words) and per-color profile containment. Spans use the packed layout
+// above and must describe the same (m, num_colors) shape.
+bool IntervalStateContains(std::span<const uint32_t> a,
+                           std::span<const uint32_t> b, uint32_t m,
+                           uint32_t num_colors);
+
+// The robust solver's dominance predicate: `a` makes `b` redundant when `a`
+// contains `b` and `a`'s accumulated cost interval contains `b`'s
+// ([a_cost_lo, a_cost_hi] ⊇ [b_cost_lo, b_cost_hi]). Pruning `b` preserves
+// both certified bracket sides; it is never sound in reverse unless the
+// states are identical (mutual containment forces equal spans and costs).
+bool IntervalStateDominates(std::span<const uint32_t> a, uint64_t a_cost_lo,
+                            uint64_t a_cost_hi, std::span<const uint32_t> b,
+                            uint64_t b_cost_lo, uint64_t b_cost_hi, uint32_t m,
+                            uint32_t num_colors);
+
+// Packs (config, per-color buckets) into the layout above. `config` must be
+// sorted ascending with black = num_colors; buckets per color must be
+// strictly ascending in rel with lo <= hi and hi >= 1. The layout is
+// snapshot-stable: tests pin the exact word sequence.
+std::vector<uint32_t> EncodeIntervalState(
+    std::span<const uint32_t> config,
+    const std::vector<std::vector<IntervalBucket>>& per_color);
+
+}  // namespace offline
+}  // namespace rrs

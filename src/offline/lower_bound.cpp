@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sched/par_edf.h"
+#include "workload/uncertain.h"
 
 namespace rrs {
 namespace offline {
@@ -49,6 +50,25 @@ uint64_t CapacityRelaxedDrops(std::span<const uint32_t> rle, uint32_t m) {
     if (cum > capacity) worst = std::max(worst, cum - capacity);
   }
   return worst;
+}
+
+uint64_t CapacityRelaxedDropsEnvelope(std::span<const uint32_t> rle3,
+                                      uint32_t m, bool pessimistic) {
+  const size_t count_off = pessimistic ? 2 : 1;
+  uint64_t cum = 0;
+  uint64_t worst = 0;
+  for (size_t i = 0; i + 2 < rle3.size(); i += 3) {
+    const uint64_t rel = rle3[i];
+    cum += rle3[i + count_off];
+    const uint64_t capacity = rel * m;
+    if (cum > capacity) worst = std::max(worst, cum - capacity);
+  }
+  return worst;
+}
+
+uint64_t RobustLowerBound(const workload::UncertainInstance& set, uint32_t m,
+                          const CostModel& model) {
+  return LowerBound(set.ForcedInstance(), m, model);
 }
 
 }  // namespace offline

@@ -20,6 +20,10 @@
 #include "core/instance.h"
 
 namespace rrs {
+namespace workload {
+class UncertainInstance;
+}  // namespace workload
+
 namespace offline {
 
 uint64_t DropLowerBound(const Instance& instance, uint32_t m);
@@ -37,6 +41,20 @@ uint64_t LowerBound(const Instance& instance, uint32_t m,
 // slots left. By Hall's condition the forced drops are
 // max_i(cum_i − m·rel_i)⁺ over the RLE prefixes, and EDF achieves that.
 uint64_t CapacityRelaxedDrops(std::span<const uint32_t> rle, uint32_t m);
+
+// The same Hall-bound leg over one envelope of an *interval* profile
+// (interleaved (rel, lo, hi) triples, see offline/interval_state.h):
+// `pessimistic` selects the hi counts, otherwise lo. Admissible for the
+// corresponding envelope instance by the argument above.
+uint64_t CapacityRelaxedDropsEnvelope(std::span<const uint32_t> rle3,
+                                      uint32_t m, bool pessimistic);
+
+// Generalization of LowerBound to an interval-uncertainty set: every
+// concrete trace in the set is a superset of the forced (zero-width-window)
+// sub-instance, and OPT is monotone under adding jobs, so the forced
+// instance's bound lower-bounds OPT of every member trace.
+uint64_t RobustLowerBound(const workload::UncertainInstance& set, uint32_t m,
+                          const CostModel& model);
 
 }  // namespace offline
 }  // namespace rrs

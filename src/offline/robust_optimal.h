@@ -1,0 +1,94 @@
+// Robust offline analysis over an interval-uncertainty set: certified
+// [lower, upper] brackets on OPT valid for *every* concrete trace obtainable
+// by pinning each job to one round of its arrival window.
+//
+// The search mirrors offline/optimal.cpp — packed arena-backed states,
+// layer-parallel chunked expansion, config-sharded merging, bit-identical
+// across thread counts — but each state is interval-valued (see
+// offline/interval_state.h): per-color RLE deadline profiles carry
+// [optimistic, pessimistic] pending bounds and the accumulated cost is an
+// interval [cost_lo, cost_hi]. The two envelopes evolve in lock-step under a
+// shared configuration choice:
+//
+//   - the lo side replays the *forced* sub-instance (zero-width jobs only),
+//     so along any config path, cost_lo <= that path's cost on every
+//     concrete trace — and min over complete paths of cost_lo lower-bounds
+//     min over traces of OPT;
+//   - the hi side replays the *pessimistic* duplicated instance (every job
+//     present at each round of its window), so cost_hi >= that path's cost
+//     on every concrete trace — and any single complete path's cost_hi
+//     upper-bounds max over traces of OPT.
+//
+// Pruning (both bracket-preserving; soundness in DESIGN.md §3.14):
+//   - bound: an incumbent upper bound is seeded from the clairvoyant
+//     portfolio replayed against the pessimistic envelope instance; a child
+//     whose cost_lo plus the admissible optimistic-envelope Hall bound is
+//     strictly above it cannot improve either bracket side;
+//   - dominance: interval containment (IntervalStateDominates) — a state
+//     whose envelopes and cost interval are bracketed by a groupmate's is
+//     redundant for both sides.
+//
+// With zero-width windows both envelopes coincide and the search collapses
+// to the concrete solver's: the bracket equals [OPT, OPT] bit-exactly
+// (differential tests pin this against SolveOptimal on the full corpus).
+#pragma once
+
+#include <cstdint>
+
+#include "core/cost.h"
+
+namespace rrs {
+
+class ThreadPool;
+
+namespace obs {
+class Scope;
+}  // namespace obs
+
+namespace workload {
+class UncertainInstance;
+}  // namespace workload
+
+namespace offline {
+
+struct RobustOptions {
+  uint32_t num_resources = 1;
+  CostModel cost_model;
+  // Expansion budget, checked at layer granularity like OptimalOptions: on
+  // exhaustion the result carries exact == false with a (wider but still
+  // certified) bracket from the frontier and the incumbent.
+  uint64_t max_states = 5'000'000;
+  // Worker pool for layer-parallel expansion; nullptr runs single-threaded.
+  // Results are identical for every pool size.
+  ThreadPool* pool = nullptr;
+  // Optional observability scope: records offline.robust.* counters and the
+  // offline.robust.layer_width histogram. Falls back to the global scope;
+  // null disables.
+  obs::Scope* obs_scope = nullptr;
+  // Testing/ablation knobs; both default on. The incumbent replay always
+  // runs (the upper bracket needs it); these only gate the pruning itself.
+  bool prune_bound = true;
+  bool prune_dominance = true;
+};
+
+struct RobustResult {
+  // True when the search completed within max_states. Either way,
+  //   lower_bound <= OPT(σ) <= upper_bound   for every concrete trace σ
+  // in the set; exhaustion only widens the bracket, never invalidates it.
+  bool exact = false;
+  uint64_t lower_bound = 0;
+  uint64_t upper_bound = 0;
+  // Search effort, deterministic across thread counts.
+  uint64_t states_expanded = 0;
+  uint64_t states_generated = 0;
+  uint64_t pruned_bound = 0;
+  uint64_t pruned_dominated = 0;
+  uint64_t max_layer_width = 0;
+};
+
+// Certified robust OPT bracket over the uncertainty set. Never fails.
+RobustResult SolveRobust(const workload::UncertainInstance& set,
+                         const RobustOptions& options);
+
+}  // namespace offline
+}  // namespace rrs

@@ -1,0 +1,119 @@
+#include "workload/uncertain.h"
+
+#include <utility>
+
+#include "util/check.h"
+#include "util/rng.h"
+#include "workload/arrival_source.h"
+
+namespace rrs {
+namespace workload {
+
+ColorId UncertainInstance::AddColor(Round delay_bound, std::string name,
+                                    uint64_t drop_cost) {
+  RRS_CHECK_GE(delay_bound, 1);
+  delay_bounds_.push_back(delay_bound);
+  drop_costs_.push_back(drop_cost);
+  names_.push_back(std::move(name));
+  return static_cast<ColorId>(delay_bounds_.size() - 1);
+}
+
+void UncertainInstance::AddJob(ColorId color, Round r_lo, Round r_hi) {
+  RRS_CHECK_LT(color, delay_bounds_.size());
+  RRS_CHECK_GE(r_lo, 0);
+  RRS_CHECK_LE(r_lo, r_hi);
+  jobs_.push_back(WindowedJob{color, r_lo, r_hi});
+}
+
+void UncertainInstance::AddJobs(ColorId color, Round r_lo, Round r_hi,
+                                uint64_t count) {
+  for (uint64_t i = 0; i < count; ++i) AddJob(color, r_lo, r_hi);
+}
+
+UncertainInstance UncertainInstance::FromInstance(const Instance& instance,
+                                                  Round widen_before,
+                                                  Round widen_after) {
+  UncertainInstance out;
+  for (ColorId c = 0; c < instance.num_colors(); ++c) {
+    out.AddColor(instance.delay_bound(c), instance.color_name(c),
+                 instance.drop_cost(c));
+  }
+  for (const Job& job : instance.jobs()) {
+    const Round lo =
+        job.arrival > widen_before ? job.arrival - widen_before : 0;
+    out.AddJob(job.color, lo, job.arrival + widen_after);
+  }
+  return out;
+}
+
+bool UncertainInstance::IsZeroWidth() const {
+  for (const WindowedJob& job : jobs_) {
+    if (job.release_lo != job.release_hi) return false;
+  }
+  return true;
+}
+
+Round UncertainInstance::num_request_rounds() const {
+  Round last = -1;
+  for (const WindowedJob& job : jobs_) last = std::max(last, job.release_hi);
+  return last + 1;
+}
+
+Round UncertainInstance::horizon() const {
+  Round horizon = 0;
+  for (const WindowedJob& job : jobs_) {
+    horizon = std::max(horizon, job.release_hi + delay_bounds_[job.color]);
+  }
+  return horizon;
+}
+
+Instance UncertainInstance::BuildEnvelope(bool pessimistic) const {
+  InstanceBuilder builder;
+  for (size_t c = 0; c < delay_bounds_.size(); ++c) {
+    builder.AddColor(delay_bounds_[c], names_[c], drop_costs_[c]);
+  }
+  for (const WindowedJob& job : jobs_) {
+    if (pessimistic) {
+      for (Round r = job.release_lo; r <= job.release_hi; ++r) {
+        builder.AddJob(job.color, r);
+      }
+    } else if (job.release_lo == job.release_hi) {
+      builder.AddJob(job.color, job.release_lo);
+    }
+  }
+  return builder.Build();
+}
+
+Instance UncertainInstance::ForcedInstance() const {
+  return BuildEnvelope(/*pessimistic=*/false);
+}
+
+Instance UncertainInstance::PessimisticInstance() const {
+  return BuildEnvelope(/*pessimistic=*/true);
+}
+
+Instance UncertainInstance::Sample(uint64_t seed) const {
+  Rng rng(seed);
+  InstanceBuilder builder;
+  for (size_t c = 0; c < delay_bounds_.size(); ++c) {
+    builder.AddColor(delay_bounds_[c], names_[c], drop_costs_[c]);
+  }
+  // One draw per job in insertion order, so a given seed pins the whole
+  // trace regardless of how callers interleave queries.
+  for (const WindowedJob& job : jobs_) {
+    const uint64_t width =
+        static_cast<uint64_t>(job.release_hi - job.release_lo);
+    const Round arrival =
+        job.release_lo + static_cast<Round>(rng.NextBounded(width + 1));
+    builder.AddJob(job.color, arrival);
+  }
+  return builder.Build();
+}
+
+std::unique_ptr<ArrivalSource> UncertainInstance::SampleSource(
+    uint64_t seed) const {
+  return MakeOwnedInstanceSource(Sample(seed));
+}
+
+}  // namespace workload
+}  // namespace rrs

@@ -1,0 +1,94 @@
+// Interval-uncertainty instances: each job's arrival round is only known to
+// lie in a window [release_lo, release_hi]. An UncertainInstance describes
+// the whole set of concrete traces obtained by pinning every job to one
+// round of its window; offline::SolveRobust certifies OPT brackets valid for
+// every member of that set, and Sample()/SampleSource() draw concrete member
+// traces for differential testing and empirical ratio work.
+//
+// Two envelope instances anchor the robust analysis (see DESIGN.md §3.14):
+//   - ForcedInstance(): only the zero-width jobs, pinned at their single
+//     possible round. Every concrete trace is a superset of this instance,
+//     so any lower bound on its OPT lower-bounds OPT of every trace.
+//   - PessimisticInstance(): every job replicated at *each* round of its
+//     window. Every concrete trace is a (per-round, per-color) sub-instance,
+//     so any schedule's cost against it upper-bounds that schedule's cost on
+//     every trace.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/types.h"
+
+namespace rrs {
+namespace workload {
+
+class ArrivalSource;
+
+struct WindowedJob {
+  ColorId color = 0;
+  Round release_lo = 0;  // earliest possible arrival round
+  Round release_hi = 0;  // latest possible arrival round (>= release_lo)
+};
+
+class UncertainInstance {
+ public:
+  UncertainInstance() = default;
+
+  // Mirrors InstanceBuilder::AddColor.
+  ColorId AddColor(Round delay_bound, std::string name = {},
+                   uint64_t drop_cost = 1);
+
+  // Adds a unit job whose arrival lies anywhere in [r_lo, r_hi].
+  void AddJob(ColorId color, Round r_lo, Round r_hi);
+  void AddJobs(ColorId color, Round r_lo, Round r_hi, uint64_t count);
+
+  // Lifts a concrete instance into a window set: each job's window becomes
+  // [max(0, arrival - widen_before), arrival + widen_after]. With both
+  // widths zero the set is the singleton {instance}.
+  static UncertainInstance FromInstance(const Instance& instance,
+                                        Round widen_before, Round widen_after);
+
+  size_t num_colors() const { return delay_bounds_.size(); }
+  size_t num_jobs() const { return jobs_.size(); }
+  const std::vector<WindowedJob>& jobs() const { return jobs_; }
+  Round delay_bound(ColorId c) const { return delay_bounds_[c]; }
+  uint64_t drop_cost(ColorId c) const { return drop_costs_[c]; }
+
+  // True when every window has zero width (the set is a single trace).
+  bool IsZeroWidth() const;
+
+  // Last round any member trace can receive an arrival: max release_hi + 1
+  // rounds carry requests (0 if no jobs).
+  Round num_request_rounds() const;
+
+  // Last round that must be simulated for *any* member trace: the maximum
+  // over jobs of release_hi + D_color (0 if no jobs).
+  Round horizon() const;
+
+  // The two envelope instances (see file comment). Both share this window
+  // set's color table.
+  Instance ForcedInstance() const;
+  Instance PessimisticInstance() const;
+
+  // One concrete member trace: each job's arrival drawn uniformly from its
+  // window, deterministically from `seed`.
+  Instance Sample(uint64_t seed) const;
+
+  // Sample(seed) wrapped as a seekable ArrivalSource (an owned
+  // InstanceSource), so robust analyses plug into everything that streams.
+  std::unique_ptr<ArrivalSource> SampleSource(uint64_t seed) const;
+
+ private:
+  Instance BuildEnvelope(bool pessimistic) const;
+
+  std::vector<Round> delay_bounds_;
+  std::vector<uint64_t> drop_costs_;
+  std::vector<std::string> names_;
+  std::vector<WindowedJob> jobs_;
+};
+
+}  // namespace workload
+}  // namespace rrs

@@ -3,6 +3,14 @@
 
 Usage:
     bench_compare.py BASELINE CURRENT [--threshold 0.15] [--alloc-budget 0.05]
+                     [--shape-only]
+
+With --shape-only only the report *shape* is validated — every baseline cell
+must appear in CURRENT and record every metric the baseline cell records —
+and no value is gated. This is the tier-1 smoke mode: the bench binaries run
+once under RRS_BENCH_SMOKE=1 (timing numbers are meaningless), and the smoke
+still catches a cell that crashes, is dropped, or silently loses a gated
+metric long before the nightly/perf run would.
 
 Fails (exit 1) when any benchmark cell in CURRENT:
   * is missing relative to BASELINE,
@@ -104,6 +112,10 @@ def main():
                              "must hold over its scalar_ref row (same "
                              "report); a cell's own speedup_gate field "
                              "overrides this default")
+    parser.add_argument("--shape-only", action="store_true",
+                        help="validate cell/metric presence only, gate no "
+                             "values (tier-1 smoke mode for RRS_BENCH_SMOKE "
+                             "reports)")
     args = parser.parse_args()
 
     try:
@@ -150,6 +162,9 @@ def main():
                     f"{name}: metric '{metric}' present in baseline but "
                     f"missing from current report")
                 continue
+            if args.shape_only:
+                print(f"{name:28s} {metric:16s} present")
+                continue
             b, c = base[metric], cur[metric]
             change = (c - b) / b if b > 0 else 0.0
             status = "ok"
@@ -170,6 +185,9 @@ def main():
                     f"{name}: metric 'steady_allocs_per_round' present in "
                     f"baseline but missing from current report")
                 continue
+            if args.shape_only:
+                print(f"{name:28s} {'allocs/round':16s} present")
+                continue
             allocs = cur["steady_allocs_per_round"]
             status = "ok"
             if allocs > args.alloc_budget:
@@ -183,6 +201,17 @@ def main():
 
     for name in sorted(set(current) - set(baseline)):
         print(f"{name:24s} new cell (not in baseline), skipped")
+
+    # Shape mode stops here: the within-report ratio gates below compare
+    # measured values, which a smoke run does not produce meaningfully.
+    if args.shape_only:
+        if failures:
+            print("\nSHAPE CHECK FAILED:", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        print("\nshape check passed")
+        return 0
 
     # Distributed scaling gate, held within the current report: a cell with
     # scaling_ref + scaling_gate claims its aggregate rounds_per_sec is at

@@ -624,6 +624,59 @@ class BenchCompareTest(unittest.TestCase):
         self.assertIn("not a number", proc.stderr)
         self.assertNotIn("Traceback", proc.stderr)
 
+    def test_shape_only_ignores_regressed_values(self):
+        # The tier-1 smoke mode: a catastrophic "regression" (smoke numbers
+        # are one-iteration noise) passes as long as the shape is intact.
+        base = report([cell("dlru/128c/8r", rounds=1e6, allocs=0.0),
+                       solver_cell("packed/m2/4c/h48", ms=50.0)])
+        cur = report([cell("dlru/128c/8r", rounds=1.0, allocs=99.0),
+                      solver_cell("packed/m2/4c/h48", ms=1e9)])
+        proc = self.run_compare(base, cur, "--shape-only")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("shape check passed", proc.stdout)
+        self.assertNotIn("REGRESSION", proc.stdout)
+
+    def test_shape_only_still_fails_on_missing_cell(self):
+        base = report([cell("dlru/128c/8r"), cell("static/128c/8r")])
+        cur = report([cell("dlru/128c/8r")])
+        proc = self.run_compare(base, cur, "--shape-only")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("missing from current report", proc.stderr)
+        self.assertIn("SHAPE CHECK FAILED", proc.stderr)
+
+    def test_shape_only_still_fails_on_missing_metric(self):
+        base = report([cell("dlru/128c/8r")])
+        cur = report([cell("dlru/128c/8r")])
+        del cur["benchmarks"][0]["jobs_per_sec"]
+        proc = self.run_compare(base, cur, "--shape-only")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("metric 'jobs_per_sec' present in baseline but missing",
+                      proc.stderr)
+
+    def test_shape_only_still_fails_on_missing_alloc_metric(self):
+        base = report([cell("dlru/128c/8r")])
+        cur = report([cell("dlru/128c/8r")])
+        del cur["benchmarks"][0]["steady_allocs_per_round"]
+        proc = self.run_compare(base, cur, "--shape-only")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("steady_allocs_per_round", proc.stderr)
+
+    def test_shape_only_skips_within_report_ratio_gates(self):
+        # A smoke run's batched/scaling/memory ratios are noise; shape mode
+        # must not judge them even when they would fail the live gates.
+        cur = report([
+            fleet_cell("fleet/100k/capped", rounds=1e6),
+            fleet_cell("fleet/100k/batched", rounds=1.0,
+                       scalar_ref="fleet/100k/capped", speedup_gate=2.0),
+            self.dist_cell("dist/1worker", 1, 8, 1e6),
+            self.dist_cell("dist/2workers", 2, 8, 1.0,
+                           scaling_ref="dist/1worker", scaling_gate=1.7,
+                           measured_scaling=0.1),
+        ])
+        proc = self.run_compare(cur, cur, "--shape-only")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("shape check passed", proc.stdout)
+
     def test_solver_cells_have_no_alloc_gate(self):
         # Solver cells record no steady_allocs_per_round; its absence from
         # both reports must not fail (the alloc gate is engine-bench-only).

@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Tests for tools/coverage_report.py (wired into ctest as a tier-1 test).
+
+Exercises the pure parse/rollup helpers directly — no coverage build or
+compiler toolchain needed — plus the CLI surface (--fail-under and its
+deprecated --min-line-coverage alias). Written as unittest so it runs with
+the stock interpreter; pytest collects it too.
+"""
+
+import io
+import json
+import os
+import sys
+import unittest
+
+TOOLS_DIR = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, TOOLS_DIR)
+
+import coverage_report  # noqa: E402
+
+SRC_PREFIX = os.path.realpath("/repo/src") + os.sep
+
+
+def llvm_export(files):
+    """Build an llvm-cov export -summary-only JSON blob."""
+    return json.dumps({
+        "data": [{
+            "files": [
+                {"filename": path,
+                 "summary": {"lines": {"count": count, "covered": covered,
+                                       "percent": 0.0}}}
+                for path, count, covered in files
+            ],
+        }],
+        "type": "llvm.coverage.json.export",
+        "version": "2.0.1",
+    })
+
+
+class ParseLlvmExportTest(unittest.TestCase):
+    def test_keeps_src_files_relative(self):
+        blob = llvm_export([
+            ("/repo/src/core/engine.cpp", 100, 80),
+            ("/repo/src/offline/optimal.cpp", 50, 45),
+        ])
+        per_file = coverage_report.parse_llvm_export(blob, SRC_PREFIX)
+        self.assertEqual(per_file, {
+            "core/engine.cpp": (100, 80),
+            "offline/optimal.cpp": (50, 45),
+        })
+
+    def test_drops_files_outside_src(self):
+        blob = llvm_export([
+            ("/repo/tests/engine_test.cpp", 200, 200),
+            ("/repo/src/core/engine.cpp", 10, 5),
+        ])
+        per_file = coverage_report.parse_llvm_export(blob, SRC_PREFIX)
+        self.assertEqual(list(per_file), ["core/engine.cpp"])
+
+    def test_drops_zero_line_files(self):
+        blob = llvm_export([("/repo/src/core/fwd.h", 0, 0)])
+        self.assertEqual(
+            coverage_report.parse_llvm_export(blob, SRC_PREFIX), {})
+
+
+class ParseGcovStdoutTest(unittest.TestCase):
+    GCOV = ("File '../src/core/engine.cpp'\n"
+            "Lines executed:75.00% of 40\n"
+            "Creating 'engine.cpp.gcov'\n"
+            "File '../src/offline/optimal.cpp'\n"
+            "Lines executed:90.00% of 10\n")
+
+    def test_parses_src_files(self):
+        per_file = {}
+        coverage_report.parse_gcov_stdout(
+            self.GCOV, "/repo/build", SRC_PREFIX, per_file)
+        self.assertEqual(per_file, {
+            "core/engine.cpp": (40, 30),
+            "offline/optimal.cpp": (10, 9),
+        })
+
+    def test_keeps_best_covered_instantiation(self):
+        per_file = {"core/engine.cpp": (40, 35)}
+        coverage_report.parse_gcov_stdout(
+            self.GCOV, "/repo/build", SRC_PREFIX, per_file)
+        self.assertEqual(per_file["core/engine.cpp"], (40, 35))
+        worse = {"core/engine.cpp": (40, 10)}
+        coverage_report.parse_gcov_stdout(
+            self.GCOV, "/repo/build", SRC_PREFIX, worse)
+        self.assertEqual(worse["core/engine.cpp"], (40, 30))
+
+    def test_ignores_files_outside_src(self):
+        per_file = {}
+        coverage_report.parse_gcov_stdout(
+            "File '../tests/engine_test.cpp'\n"
+            "Lines executed:100.00% of 99\n",
+            "/repo/build", SRC_PREFIX, per_file)
+        self.assertEqual(per_file, {})
+
+
+class RollupTest(unittest.TestCase):
+    def test_groups_by_directory(self):
+        per_dir = coverage_report.rollup_directories({
+            "core/engine.cpp": (100, 80),
+            "core/instance.h": (50, 40),
+            "offline/optimal.cpp": (60, 30),
+        })
+        self.assertEqual(per_dir, {
+            "core": (150, 120),
+            "offline": (60, 30),
+        })
+
+    def test_top_level_files_land_in_dot(self):
+        per_dir = coverage_report.rollup_directories({"api.h": (10, 5)})
+        self.assertEqual(per_dir, {".": (10, 5)})
+
+    def test_nested_directories_stay_separate(self):
+        per_dir = coverage_report.rollup_directories({
+            "offline/interval_state.h": (30, 30),
+            "offline/detail/arena.h": (20, 10),
+        })
+        self.assertEqual(per_dir, {
+            "offline": (30, 30),
+            "offline/detail": (20, 10),
+        })
+
+
+class TotalAndRenderTest(unittest.TestCase):
+    PER_FILE = {
+        "core/engine.cpp": (100, 80),
+        "offline/optimal.cpp": (100, 60),
+    }
+
+    def test_total_coverage(self):
+        self.assertAlmostEqual(
+            coverage_report.total_coverage(self.PER_FILE), 70.0)
+        self.assertEqual(coverage_report.total_coverage({}), 0.0)
+
+    def test_render_report_has_dir_rollup_and_total(self):
+        out = io.StringIO()
+        pct = coverage_report.render_report(self.PER_FILE, out=out)
+        self.assertAlmostEqual(pct, 70.0)
+        text = out.getvalue()
+        self.assertIn("core/engine.cpp", text)
+        self.assertIn("core/", text)
+        self.assertIn("offline/", text)
+        self.assertIn("TOTAL", text)
+        self.assertIn("70.0%", text)
+
+
+class CliTest(unittest.TestCase):
+    def test_fail_under_flag(self):
+        args = coverage_report.build_arg_parser().parse_args(
+            ["--fail-under", "85.5"])
+        self.assertEqual(args.fail_under, 85.5)
+
+    def test_min_line_coverage_alias(self):
+        args = coverage_report.build_arg_parser().parse_args(
+            ["--min-line-coverage", "60"])
+        self.assertEqual(args.fail_under, 60.0)
+
+    def test_fail_under_defaults_off(self):
+        args = coverage_report.build_arg_parser().parse_args([])
+        self.assertIsNone(args.fail_under)
+
+
+if __name__ == "__main__":
+    unittest.main()
